@@ -1,0 +1,173 @@
+"""Ablations of CrowdMap's design choices (DESIGN.md's ablation index).
+
+Not a paper table — these quantify the load-bearing design decisions:
+
+1. HOG key-frame thinning: how much work selection saves vs keeping all
+   frames, at equal downstream behaviour;
+2. the hierarchical S1 pre-filter: how many SURF comparisons the cheap
+   rung absorbs;
+3. LCSS epsilon sensitivity: aggregation accuracy across the distance
+   threshold;
+4. occupancy-grid cell size: hallway F-measure across grid resolutions.
+"""
+
+import numpy as np
+
+from repro.core.aggregation import SequenceAggregator, calibrate_drift
+from repro.core.comparison import KeyframeComparator
+from repro.core.keyframes import select_keyframes
+from repro.core.pipeline import CrowdMapPipeline, _trajectory_bounds
+from repro.core.skeleton import reconstruct_skeleton
+from repro.eval.hallway_metrics import evaluate_hallway_shape
+from repro.eval.matching_accuracy import evaluate_matching_accuracy
+from repro.eval.report import render_table
+
+from benchmarks._shared import tee_print as print  # noqa: A004
+from benchmarks._shared import (
+    dataset_for,
+    experiment_config,
+    plan_for,
+    print_banner,
+)
+
+
+def test_ablation_keyframe_selection(benchmark):
+    """HOG thinning: frames kept and anchor-matching cost with/without."""
+
+    def run():
+        config = experiment_config()
+        sessions = dataset_for("Lab1").sws_sessions()[:6]
+        with_selection = [
+            len(select_keyframes(s.frames, config)) for s in sessions
+        ]
+        all_frames = [s.n_frames for s in sessions]
+        return with_selection, all_frames
+
+    kept, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Ablation: HOG key-frame selection")
+    reduction = 1.0 - sum(kept) / sum(total)
+    print(
+        render_table(
+            "Frames kept per session",
+            ["session", "all frames", "key-frames", "reduction"],
+            [
+                [i, t, k, f"{1 - k / t:.0%}"]
+                for i, (k, t) in enumerate(zip(kept, total))
+            ],
+        )
+    )
+    print(f"\noverall reduction: {reduction:.0%} "
+          f"(pairwise matching cost scales with its square: "
+          f"{1 - (1 - reduction) ** 2:.0%} saved)")
+    assert reduction > 0.3, "selection should remove a large frame share"
+
+
+def test_ablation_s1_prefilter(benchmark):
+    """The hierarchical S1 rung absorbs most comparisons before SURF."""
+
+    def run():
+        config = experiment_config()
+        sessions = dataset_for("Lab1").sws_sessions()[:8]
+        pipe = CrowdMapPipeline(config)
+        anchored = [pipe.anchor_session(s) for s in sessions]
+
+        gated = KeyframeComparator(config)
+        SequenceAggregator(config, gated).aggregate(anchored)
+
+        no_prefilter = KeyframeComparator(
+            config.with_overrides(s1_threshold=0.0)
+        )
+        SequenceAggregator(
+            config.with_overrides(s1_threshold=0.0), no_prefilter
+        ).aggregate(anchored)
+        return gated, no_prefilter
+
+    gated, no_prefilter = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Ablation: hierarchical S1 pre-filter")
+    print(
+        render_table(
+            "SURF comparisons run",
+            ["configuration", "heading rejects", "S1 rejects", "SURF runs"],
+            [
+                ["full hierarchy", gated.n_heading_rejects,
+                 gated.n_s1_rejects, gated.n_surf_comparisons],
+                ["no S1 filter", no_prefilter.n_heading_rejects,
+                 no_prefilter.n_s1_rejects, no_prefilter.n_surf_comparisons],
+            ],
+        )
+    )
+    assert gated.n_surf_comparisons < no_prefilter.n_surf_comparisons
+
+
+def test_ablation_lcss_epsilon(benchmark):
+    """Aggregation accuracy across the LCSS distance threshold epsilon."""
+
+    def run():
+        config = experiment_config()
+        sessions = dataset_for("Lab1").sws_sessions()[:10]
+        pipe = CrowdMapPipeline(config)
+        anchored = [pipe.anchor_session(s) for s in sessions]
+        rows = {}
+        for epsilon in (0.5, 1.5, 3.0, 6.0):
+            cfg = config.with_overrides(lcss_epsilon=epsilon)
+            result = SequenceAggregator(cfg, pipe.comparator).aggregate(anchored)
+            report = evaluate_matching_accuracy(sessions, result)
+            rows[epsilon] = report
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Ablation: LCSS epsilon sensitivity")
+    print(
+        render_table(
+            "Matching accuracy vs epsilon",
+            ["epsilon (m)", "accuracy", "FPs", "FNs"],
+            [
+                [eps, f"{r.accuracy:.1%}", r.false_positives, r.false_negatives]
+                for eps, r in sorted(rows.items())
+            ],
+        )
+    )
+    default_eps = experiment_config().lcss_epsilon
+    assert rows[default_eps].accuracy >= max(
+        r.accuracy for r in rows.values()
+    ) - 0.15, "default epsilon should be near the accuracy plateau"
+
+
+def test_ablation_grid_cell_size(benchmark):
+    """Hallway F-measure across occupancy-grid resolutions."""
+
+    def run():
+        config = experiment_config()
+        plan = plan_for("Lab1")
+        sessions = dataset_for("Lab1").sws_sessions()
+        pipe = CrowdMapPipeline(config)
+        anchored = [pipe.anchor_session(s) for s in sessions]
+        aggregation = pipe.aggregator.aggregate(anchored)
+        trajectories = calibrate_drift(anchored, aggregation)
+        bounds = _trajectory_bounds(aggregation, margin=2.0)
+        scores = {}
+        for cell in (0.25, 0.5, 1.0, 2.0):
+            cfg = config.with_overrides(grid_cell_size=cell)
+            skeleton = reconstruct_skeleton(trajectories, bounds, cfg)
+            scores[cell] = evaluate_hallway_shape(skeleton, plan)
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Ablation: occupancy grid cell size")
+    print(
+        render_table(
+            "Hallway shape vs cell size",
+            ["cell size (m)", "precision", "recall", "F-measure"],
+            [
+                [cell, f"{s.precision:.1%}", f"{s.recall:.1%}",
+                 f"{s.f_measure:.1%}"]
+                for cell, s in sorted(scores.items())
+            ],
+        )
+    )
+    default = scores[0.5]
+    best_f = max(s.f_measure for s in scores.values())
+    # Coarse grids buy recall by over-covering (precision collapses); the
+    # default must stay near the best F *without* giving up precision.
+    assert default.f_measure >= best_f - 0.12
+    assert default.precision >= max(s.precision for s in scores.values()) - 0.1

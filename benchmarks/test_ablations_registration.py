@@ -1,0 +1,110 @@
+"""Ablations of the registration machinery added on top of the paper.
+
+Quantifies the three additions DESIGN.md documents around trajectory
+registration: anchor-based drift calibration, the geo-prior component
+correction inside aggregation, and the inertial heading gate in the
+hierarchical comparator.
+"""
+
+from repro.core.aggregation import SequenceAggregator, calibrate_drift
+from repro.core.comparison import KeyframeComparator
+from repro.core.pipeline import CrowdMapPipeline, _trajectory_bounds
+from repro.core.skeleton import reconstruct_skeleton
+from repro.eval.hallway_metrics import evaluate_hallway_shape
+from repro.eval.report import render_table
+
+from benchmarks._shared import tee_print as print  # noqa: A004
+from benchmarks._shared import (
+    dataset_for,
+    experiment_config,
+    plan_for,
+    print_banner,
+)
+
+
+def test_ablation_drift_calibration(benchmark):
+    """Hallway quality with drift calibration on vs off."""
+
+    def run():
+        config = experiment_config()
+        plan = plan_for("Lab1")
+        sessions = dataset_for("Lab1").sws_sessions()
+        pipe = CrowdMapPipeline(config)
+        anchored = [pipe.anchor_session(s) for s in sessions]
+        aggregation = pipe.aggregator.aggregate(anchored)
+        bounds = _trajectory_bounds(aggregation, margin=2.0)
+        scores = {}
+        for iterations in (0, 1, 2, 4):
+            if iterations > 0:
+                trajectories = calibrate_drift(
+                    anchored, aggregation, iterations=iterations
+                )
+            else:
+                trajectories = aggregation.trajectories
+            skeleton = reconstruct_skeleton(trajectories, bounds, config)
+            scores[iterations] = evaluate_hallway_shape(skeleton, plan)
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Ablation: anchor-based drift calibration")
+    print(
+        render_table(
+            "Hallway shape vs calibration iterations",
+            ["iterations", "precision", "recall", "F-measure"],
+            [
+                [k, f"{s.precision:.1%}", f"{s.recall:.1%}",
+                 f"{s.f_measure:.1%}"]
+                for k, s in sorted(scores.items())
+            ],
+        )
+    )
+    best_f = max(s.f_measure for s in scores.values())
+    assert scores[2].f_measure >= best_f - 0.06, (
+        "the default iteration count should sit near the plateau"
+    )
+
+
+def test_ablation_heading_gate(benchmark):
+    """Work saved and accuracy kept by the inertial heading gate."""
+
+    def run():
+        config = experiment_config()
+        sessions = dataset_for("Lab1").sws_sessions()[:8]
+        pipe = CrowdMapPipeline(config)
+        anchored = [pipe.anchor_session(s) for s in sessions]
+
+        gated = KeyframeComparator(config)
+        gated_result = SequenceAggregator(config, gated).aggregate(anchored)
+
+        import math
+
+        ungated_config = config.with_overrides(
+            max_heading_difference=math.pi
+        )
+        ungated = KeyframeComparator(ungated_config)
+        ungated_result = SequenceAggregator(
+            ungated_config, ungated
+        ).aggregate(anchored)
+        return gated, gated_result, ungated, ungated_result
+
+    gated, gated_result, ungated, ungated_result = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_banner("Ablation: inertial heading gate")
+    gated_work = gated.n_s1_rejects + gated.n_surf_comparisons
+    ungated_work = ungated.n_s1_rejects + ungated.n_surf_comparisons
+    print(
+        render_table(
+            "Comparator work with and without the gate",
+            ["configuration", "heading rejects", "S1+SURF evaluations",
+             "pairs merged"],
+            [
+                ["with gate", gated.n_heading_rejects, gated_work,
+                 len(gated_result.merged_pairs())],
+                ["without gate", ungated.n_heading_rejects, ungated_work,
+                 len(ungated_result.merged_pairs())],
+            ],
+        )
+    )
+    assert gated.n_heading_rejects > 0
+    assert gated_work < ungated_work, "the gate must save signature work"

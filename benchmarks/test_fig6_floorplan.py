@@ -1,0 +1,68 @@
+"""Fig. 6: the reconstructed floor plan next to the ground truth (Lab1).
+
+The paper's figure is visual; we regenerate it as ASCII art plus the
+summary statistics a reader would extract from it (corridor covered,
+rooms placed, their mean placement error).
+"""
+
+import numpy as np
+
+from repro.eval.hallway_metrics import evaluate_hallway_shape
+from repro.eval.report import render_table
+from repro.eval.room_metrics import evaluate_rooms
+from repro.geometry.polygon_ops import rasterize_polygons
+
+from benchmarks._shared import tee_print as print  # noqa: A004
+from benchmarks._shared import plan_for, print_banner, reconstruction_for
+
+
+def render_truth_ascii(plan, cell=1.0, max_width=90):
+    mask = rasterize_polygons(plan.hallway_polygons(), plan.bounds, cell)
+    canvas = np.full(mask.shape, " ", dtype="<U1")
+    canvas[mask] = "#"
+    for i, room in enumerate(plan.rooms):
+        bb = room.bounding_box()
+        letter = chr(ord("A") + i % 26)
+        c0 = int((bb.min_x - plan.bounds.min_x) / cell)
+        c1 = int((bb.max_x - plan.bounds.min_x) / cell)
+        r0 = int((bb.min_y - plan.bounds.min_y) / cell)
+        r1 = int((bb.max_y - plan.bounds.min_y) / cell)
+        for r in range(max(0, r0), min(canvas.shape[0], r1 + 1)):
+            for c in range(max(0, c0), min(canvas.shape[1], c1 + 1)):
+                if r in (r0, r1) or c in (c0, c1):
+                    canvas[r, c] = letter
+    return "\n".join("".join(row) for row in canvas[::-1])
+
+
+def run_fig6():
+    return reconstruction_for("Lab1")
+
+
+def test_fig6_reconstructed_floorplan(benchmark):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    plan = plan_for("Lab1")
+
+    print_banner("Fig. 6: ground truth vs reconstructed floor plan (Lab1)")
+    print("Ground truth ('#' hallway, letters rooms):\n")
+    print(render_truth_ascii(plan))
+    print("\nCrowdMap reconstruction:\n")
+    print(result.floorplan.render_ascii(max_width=90))
+
+    hallway = evaluate_hallway_shape(result.skeleton, plan)
+    rooms = evaluate_rooms(
+        result.layouts, [p.room_hint for p in result.panoramas], plan,
+        result.floorplan,
+    )
+    print(
+        render_table(
+            "Fig. 6 summary",
+            ["metric", "value"],
+            [
+                ["hallway F-measure", f"{hallway.f_measure:.1%}"],
+                ["rooms reconstructed", len(result.layouts)],
+                ["mean room location error", f"{rooms.mean_location_error():.2f} m"],
+            ],
+        )
+    )
+    assert hallway.f_measure > 0.5
+    assert len(result.layouts) >= 3

@@ -1,0 +1,66 @@
+"""Fig. 7b: tolerance of changes in lighting and exposure.
+
+The paper mixes night-group captures into a daylight dataset in steps and
+reports the aggregation error rate staying bounded (< ~20%) all the way to
+100% night data. We reproduce the sweep with the renderer's day/night
+models (brightness, color temperature, sensor noise, vignette).
+"""
+
+from repro.core.aggregation import SequenceAggregator
+from repro.core.pipeline import CrowdMapPipeline
+from repro.eval.matching_accuracy import evaluate_matching_accuracy
+from repro.eval.report import render_table
+from repro.world.crowd import CrowdConfig, generate_crowd_dataset
+
+from benchmarks._shared import tee_print as print  # noqa: A004
+from benchmarks._shared import experiment_config, plan_for, print_banner
+
+NIGHT_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def run_fig7b():
+    config = experiment_config()
+    plan = plan_for("Lab1")
+    pipe = CrowdMapPipeline(config)
+    error_rates = {}
+    for fraction in NIGHT_FRACTIONS:
+        dataset = generate_crowd_dataset(
+            plan,
+            CrowdConfig(
+                n_users=5, sws_per_user=2, srs_rooms_per_user=0,
+                night_fraction=fraction, seed=31,
+            ),
+        )
+        sessions = dataset.sws_sessions()
+        anchored = [pipe.anchor_session(s) for s in sessions]
+        result = SequenceAggregator(config).aggregate(anchored)
+        report = evaluate_matching_accuracy(sessions, result)
+        error_rates[fraction] = (1.0 - report.accuracy, report)
+    return error_rates
+
+
+def test_fig7b_lighting_tolerance(benchmark):
+    error_rates = benchmark.pedantic(run_fig7b, rounds=1, iterations=1)
+
+    print_banner("Fig. 7b: aggregation error vs portion of night trajectories")
+    rows = [
+        [
+            f"{fraction:.0%}",
+            f"{err:.1%}",
+            report.false_positives,
+            report.false_negatives,
+        ]
+        for fraction, (err, report) in sorted(error_rates.items())
+    ]
+    print(
+        render_table(
+            "Aggregation error rate by night fraction (paper: stays < ~20%)",
+            ["night fraction", "error rate", "FPs", "FNs"],
+            rows,
+        )
+    )
+
+    for fraction, (err, _) in error_rates.items():
+        assert err <= 0.35, (
+            f"aggregation collapsed at {fraction:.0%} night data: {err:.1%}"
+        )

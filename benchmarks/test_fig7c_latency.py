@@ -1,0 +1,97 @@
+"""Fig. 7c: CDF of user-trajectory matching latency.
+
+The paper reports ~0.8 s per key-frame pair (single-threaded, SURF
+matching dominating) and 40-50 s for a complete pairwise aggregation.
+Absolute numbers on this pure-numpy substrate differ; the reproduced
+shape is the CDF itself plus the breakdown showing SURF dominating the
+per-pair cost and the hierarchy (heading gate, S1) saving most of it.
+"""
+
+import time
+
+from repro.core.comparison import KeyframeComparator
+from repro.core.pipeline import CrowdMapPipeline
+from repro.eval.cdf import empirical_cdf, mean_of, percentile_of
+from repro.eval.report import render_table
+
+from benchmarks._shared import tee_print as print  # noqa: A004
+from benchmarks._shared import dataset_for, experiment_config, print_banner
+
+
+def run_fig7c():
+    config = experiment_config()
+    pipe = CrowdMapPipeline(config)
+    sessions = dataset_for("Lab1").sws_sessions()[:8]
+    anchored = [pipe.anchor_session(s) for s in sessions]
+
+    comparator = KeyframeComparator(config)
+    pair_latencies = []
+    for a in anchored[:4]:
+        for b in anchored[4:]:
+            for kf_a in a.keyframes[:6]:
+                for kf_b in b.keyframes[:6]:
+                    t0 = time.perf_counter()
+                    comparator.compare(kf_a, kf_b)
+                    pair_latencies.append(time.perf_counter() - t0)
+
+    # Whole-trajectory matching latency (one pairwise score).
+    from repro.core.aggregation import SequenceAggregator
+
+    aggregator = SequenceAggregator(config, comparator)
+    trajectory_latencies = []
+    for a in anchored[:4]:
+        for b in anchored[4:6]:
+            t0 = time.perf_counter()
+            aggregator.score_pair(a, b)
+            trajectory_latencies.append(time.perf_counter() - t0)
+    return pair_latencies, trajectory_latencies, comparator
+
+
+def test_fig7c_matching_latency(benchmark):
+    pair_latencies, trajectory_latencies, comparator = benchmark.pedantic(
+        run_fig7c, rounds=1, iterations=1
+    )
+
+    print_banner("Fig. 7c: user trajectory matching latency CDF")
+    xs, ps = empirical_cdf(pair_latencies)
+    rows = []
+    for q in (0.1, 0.5, 0.9, 0.99):
+        idx = min(len(xs) - 1, int(q * len(xs)))
+        rows.append([f"p{int(q * 100)}", f"{xs[idx] * 1000:.2f} ms"])
+    rows.append(["mean", f"{mean_of(pair_latencies) * 1000:.2f} ms"])
+    print(render_table("Key-frame pair comparison latency", ["quantile", "latency"], rows))
+    print(
+        render_table(
+            "Whole trajectory-pair scoring latency",
+            ["quantile", "latency"],
+            [
+                ["p50", f"{percentile_of(trajectory_latencies, 50):.3f} s"],
+                ["p90", f"{percentile_of(trajectory_latencies, 90):.3f} s"],
+                ["mean", f"{mean_of(trajectory_latencies):.3f} s"],
+            ],
+        )
+    )
+    total = (
+        comparator.n_heading_rejects
+        + comparator.n_s1_rejects
+        + comparator.n_surf_comparisons
+    )
+    print(
+        render_table(
+            "Hierarchy effectiveness (comparisons resolved per stage)",
+            ["stage", "count", "share"],
+            [
+                ["heading gate", comparator.n_heading_rejects,
+                 f"{comparator.n_heading_rejects / total:.0%}"],
+                ["S1 reject", comparator.n_s1_rejects,
+                 f"{comparator.n_s1_rejects / total:.0%}"],
+                ["SURF (S2) run", comparator.n_surf_comparisons,
+                 f"{comparator.n_surf_comparisons / total:.0%}"],
+            ],
+        )
+    )
+
+    assert mean_of(pair_latencies) < 0.8, "per-pair latency must beat the paper's testbed"
+    assert percentile_of(trajectory_latencies, 90) < 30.0
+    # The cheap stages must be resolving a meaningful share of the work.
+    assert comparator.n_surf_comparisons < total

@@ -1,0 +1,91 @@
+"""Fig. 8a + 8b: room area error and aspect-ratio error CDFs.
+
+Paper: visual method 9.8% mean area error vs 22.5% for inertial data;
+6.5% vs 15.1% mean aspect-ratio error ("our method delivers doubled
+performances"). The shape to hold: the visual CDF dominates the inertial
+CDF, with roughly a 2x gap in the means.
+"""
+
+import numpy as np
+
+from repro.baselines.inertial_only import InertialRoomEstimator
+from repro.baselines.jigsaw import JigsawRoomEstimator
+from repro.eval.cdf import mean_of
+from repro.eval.report import render_cdf_series
+from repro.eval.room_metrics import room_area_error, room_aspect_ratio_error
+
+from benchmarks._shared import tee_print as print  # noqa: A004
+from benchmarks._shared import (
+    BUILDINGS,
+    plan_for,
+    print_banner,
+    reconstruction_for,
+)
+
+
+def run_fig8ab():
+    visual_area, visual_ar = [], []
+    inertial_area, inertial_ar = [], []
+    jigsaw_area, jigsaw_ar = [], []
+    rng = np.random.default_rng(47)
+    for building in BUILDINGS:
+        plan = plan_for(building)
+        result = reconstruction_for(building)
+        inertial = InertialRoomEstimator(rng=rng)
+        jigsaw = JigsawRoomEstimator(rng=rng)
+        for pano, layout in zip(result.panoramas, result.layouts):
+            if pano.room_hint is None:
+                continue
+            room = plan.room_by_name(pano.room_hint)
+            visual_area.append(room_area_error(layout, room))
+            visual_ar.append(room_aspect_ratio_error(layout, room))
+            in_layout = inertial.estimate(room)
+            inertial_area.append(room_area_error(in_layout, room))
+            inertial_ar.append(room_aspect_ratio_error(in_layout, room))
+            jig_layout = jigsaw.estimate(room)
+            jigsaw_area.append(room_area_error(jig_layout, room))
+            jigsaw_ar.append(room_aspect_ratio_error(jig_layout, room))
+    return {
+        "area": {"visual": visual_area, "inertial": inertial_area,
+                 "jigsaw": jigsaw_area},
+        "aspect_ratio": {"visual": visual_ar, "inertial": inertial_ar,
+                         "jigsaw": jigsaw_ar},
+    }
+
+
+def test_fig8ab_room_area_and_aspect_ratio(benchmark):
+    series = benchmark.pedantic(run_fig8ab, rounds=1, iterations=1)
+
+    print_banner("Fig. 8a: room area error CDF (paper: 9.8% vs 22.5%)")
+    print(
+        render_cdf_series(
+            "Room area error",
+            series["area"],
+            thresholds=[0.05, 0.1, 0.2, 0.3, 0.5],
+        )
+    )
+    print_banner("Fig. 8b: room aspect ratio error CDF (paper: 6.5% vs 15.1%)")
+    print(
+        render_cdf_series(
+            "Room aspect ratio error",
+            series["aspect_ratio"],
+            thresholds=[0.05, 0.1, 0.2, 0.3],
+        )
+    )
+
+    mean_visual_area = mean_of(series["area"]["visual"])
+    mean_inertial_area = mean_of(series["area"]["inertial"])
+    mean_visual_ar = mean_of(series["aspect_ratio"]["visual"])
+    mean_inertial_ar = mean_of(series["aspect_ratio"]["inertial"])
+    print(
+        f"\nmeans: area visual {mean_visual_area:.1%} vs inertial "
+        f"{mean_inertial_area:.1%}; AR visual {mean_visual_ar:.1%} vs "
+        f"inertial {mean_inertial_ar:.1%}"
+    )
+
+    assert len(series["area"]["visual"]) >= 8, "too few rooms reconstructed"
+    # The paper's headline: visual roughly halves the inertial errors.
+    assert mean_visual_area < mean_inertial_area
+    assert mean_visual_ar < mean_inertial_ar
+    assert mean_visual_area < 0.30
+    assert mean_visual_ar < 0.25

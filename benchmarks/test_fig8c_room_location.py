@@ -1,0 +1,76 @@
+"""Fig. 8c: CDF of room location error for the three buildings.
+
+Paper: mean location error 1.2 m (Lab1), 1.5 m (Lab2), 1.2 m (Gym), with
+the Gym's sporadic room distribution producing the worst single room
+(max 5 m). The shape to hold: means around a metre-and-change, and the
+Gym owning the heaviest tail.
+"""
+
+from repro.eval.cdf import mean_of
+from repro.eval.report import render_cdf_series, render_table
+from repro.eval.room_metrics import evaluate_rooms
+
+from benchmarks._shared import tee_print as print  # noqa: A004
+from benchmarks._shared import (
+    BUILDINGS,
+    plan_for,
+    print_banner,
+    reconstruction_for,
+)
+
+PAPER_MEANS = {"Lab1": 1.2, "Lab2": 1.5, "Gym": 1.2}
+
+
+def run_fig8c():
+    series = {}
+    reports = {}
+    for building in BUILDINGS:
+        result = reconstruction_for(building)
+        report = evaluate_rooms(
+            result.layouts,
+            [p.room_hint for p in result.panoramas],
+            plan_for(building),
+            result.floorplan,
+        )
+        series[building] = list(report.location_errors.values())
+        reports[building] = report
+    return series, reports
+
+
+def test_fig8c_room_location_error(benchmark):
+    series, reports = benchmark.pedantic(run_fig8c, rounds=1, iterations=1)
+
+    print_banner("Fig. 8c: room location error CDF per building")
+    print(
+        render_cdf_series(
+            "Room location error",
+            series,
+            thresholds=[0.5, 1.0, 2.0, 3.0, 5.0],
+            unit="m",
+        )
+    )
+    rows = [
+        [
+            b,
+            f"{mean_of(series[b]):.2f} m",
+            f"{PAPER_MEANS[b]:.1f} m",
+            f"{reports[b].max_location_error():.2f} m",
+        ]
+        for b in BUILDINGS
+    ]
+    print(
+        render_table(
+            "Mean / max room location error",
+            ["building", "measured mean", "paper mean", "measured max"],
+            rows,
+        )
+    )
+
+    for building in BUILDINGS:
+        assert series[building], f"no rooms reconstructed in {building}"
+        assert mean_of(series[building]) < 3.5, (
+            f"{building} mean location error too large"
+        )
+    # Every room should land within the paper's 5 m worst case (+ slack).
+    worst = max(max(v) for v in series.values() if v)
+    assert worst < 8.0

@@ -1,0 +1,86 @@
+"""Table I: hallway shape precision / recall / F-measure per building.
+
+Paper reports (Lab1 / Lab2 / Gym): P 87.5 / 92.2 / 84.3 %,
+R 93.3 / 95.9 / 88.8 %, F 90.3 / 94.0 / 86.5 %. The shape to hold: all
+three buildings score high (F well above 0.5), and recall tends to run at
+or above precision because the occupancy grid over-covers the corridor.
+"""
+
+from repro.eval.hallway_metrics import evaluate_hallway_shape
+from repro.eval.report import render_table
+
+from benchmarks._shared import tee_print as print  # noqa: A004
+from benchmarks._shared import (
+    BUILDINGS,
+    plan_for,
+    print_banner,
+    reconstruction_for,
+)
+
+PAPER_ROWS = {
+    "Lab1": (0.875, 0.933, 0.903),
+    "Lab2": (0.922, 0.959, 0.940),
+    "Gym": (0.843, 0.888, 0.865),
+}
+
+
+def run_table1():
+    from repro.eval.coverage import hallway_coverage
+
+    from benchmarks._shared import dataset_for
+
+    scores = {}
+    coverage = {}
+    for building in BUILDINGS:
+        result = reconstruction_for(building)
+        scores[building] = evaluate_hallway_shape(
+            result.skeleton, plan_for(building)
+        )
+        coverage[building] = hallway_coverage(
+            dataset_for(building).sessions, plan_for(building), reach_m=1.25
+        )
+    return scores, coverage
+
+
+def test_table1_hallway_shape(benchmark):
+    scores, coverage = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    print_banner("Table I: hallway shape evaluation")
+    rows = []
+    for building in BUILDINGS:
+        s = scores[building]
+        paper = PAPER_ROWS[building]
+        rows.append(
+            [
+                building,
+                f"{s.precision:.1%}",
+                f"{s.recall:.1%}",
+                f"{s.f_measure:.1%}",
+                f"{coverage[building]:.0%}",
+                f"{paper[0]:.1%} / {paper[1]:.1%} / {paper[2]:.1%}",
+            ]
+        )
+    print(
+        render_table(
+            "Hallway shape (measured vs paper P/R/F)",
+            ["building", "precision", "recall", "F-measure",
+             "crowd coverage", "paper P/R/F"],
+            rows,
+        )
+    )
+    print()
+    print("(recall is bounded above by the crowd coverage column: the")
+    print(" reconstruction cannot recall corridor the crowd never walked)")
+
+    for building, s in scores.items():
+        assert s.f_measure > 0.55, (
+            f"{building} hallway F collapsed: {s.f_measure:.2f}"
+        )
+        assert s.precision > 0.5
+        assert s.recall > 0.45
+    # Shape check: where the crowd's coverage is near-complete (the lab
+    # loop), the occupancy grid over-covers and recall leads precision —
+    # the paper's stated property. Coverage-limited buildings (the gym
+    # hall) are recall-bounded by what the crowd walked instead.
+    lab1 = scores["Lab1"]
+    assert lab1.recall > lab1.precision - 0.05

@@ -1,0 +1,8 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+Kept so `pip install -e . --no-use-pep517` works on hosts without the
+`wheel` package (offline CI), where PEP 517 editable installs fail.
+"""
+from setuptools import setup
+
+setup()

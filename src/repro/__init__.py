@@ -1,0 +1,42 @@
+"""CrowdMap: indoor floor plan reconstruction from crowdsourced
+sensor-rich videos.
+
+A from-scratch reproduction of *CrowdMap: Accurate Reconstruction of
+Indoor Floor Plans from Crowdsourced Sensor-Rich Videos* (Chen, Li, Ren,
+Qiao - ICDCS 2015), including every substrate the system needs offline:
+
+- :mod:`repro.core` - the CrowdMap pipeline itself (key-frame selection,
+  hierarchical comparison, sequence-based trajectory aggregation, floor
+  path skeleton, panoramas, room layouts, floor plan assembly);
+- :mod:`repro.vision` - pure-numpy computer vision (SURF, HOG, color
+  indexing, wavelet signatures, stitching, LSD, Hough, Otsu, RANSAC);
+- :mod:`repro.sensors` - IMU simulation, step counting, heading fusion,
+  dead reckoning;
+- :mod:`repro.world` - procedural ground-truth buildings, a raycasting
+  renderer, and the simulated crowd;
+- :mod:`repro.backend` - the client-cloud dataflow (chunked uploads,
+  document store, queue, scheduler, worker pool);
+- :mod:`repro.baselines` - the comparators from the paper's evaluation;
+- :mod:`repro.eval` - the paper's metrics and report rendering.
+
+Quickstart::
+
+    from repro import CrowdMapPipeline, CrowdMapConfig
+    from repro.world import build_lab1, generate_crowd_dataset, CrowdConfig
+
+    plan = build_lab1()
+    dataset = generate_crowd_dataset(plan, CrowdConfig(n_users=6, seed=0))
+    result = CrowdMapPipeline(CrowdMapConfig()).run(dataset)
+    print(result.floorplan.render_ascii())
+"""
+
+from repro.core import CrowdMapConfig, CrowdMapPipeline, ReconstructionResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CrowdMapConfig",
+    "CrowdMapPipeline",
+    "ReconstructionResult",
+    "__version__",
+]

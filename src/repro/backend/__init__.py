@@ -1,0 +1,52 @@
+"""Client-cloud backend substrate.
+
+The paper deploys CrowdMap's backend on Azure: a Tornado web server
+receives 5 MB-chunked uploads over WebSockets, raw data lands in MongoDB,
+an APScheduler feeds a cascade pipeline, and PySpark parallelizes
+trajectory aggregation. This package reproduces that dataflow in-process:
+
+- :mod:`repro.backend.chunking` — zip-and-chunk upload protocol;
+- :mod:`repro.backend.datastore` — an in-memory document store with
+  MongoDB-style filters (the raw-data landing zone);
+- :mod:`repro.backend.queue` — a task queue with retry/ack semantics;
+- :mod:`repro.backend.scheduler` — a simulated-clock periodic scheduler;
+- :mod:`repro.backend.workers` — a worker pool running pipeline stages in
+  parallel (threads), standing in for the Spark job;
+- :mod:`repro.backend.server` — the ingest server tying upload, reassembly
+  and storage together.
+"""
+
+from repro.backend.chunking import chunk_payload, reassemble_chunks, Chunk
+from repro.backend.datastore import DocumentStore, Document
+from repro.backend.queue import TaskQueue, Task, TaskState
+from repro.backend.scheduler import SimulatedScheduler, ScheduledJob
+from repro.backend.workers import WorkerPool, map_parallel
+from repro.backend.server import IngestServer, UploadSession
+from repro.backend.telemetry import TelemetryRegistry, default_registry
+from repro.backend.serialization import (
+    DecodedSession,
+    payload_to_session,
+    session_to_payload,
+)
+
+__all__ = [
+    "chunk_payload",
+    "reassemble_chunks",
+    "Chunk",
+    "DocumentStore",
+    "Document",
+    "TaskQueue",
+    "Task",
+    "TaskState",
+    "SimulatedScheduler",
+    "ScheduledJob",
+    "WorkerPool",
+    "map_parallel",
+    "IngestServer",
+    "UploadSession",
+    "TelemetryRegistry",
+    "default_registry",
+    "DecodedSession",
+    "payload_to_session",
+    "session_to_payload",
+]

@@ -1,0 +1,94 @@
+"""Chunked upload protocol.
+
+Paper Section IV: "The datasets are zipped and then separated into 5MB
+chunks for transmitting." Each chunk carries a sequence number and a CRC so
+the server can detect loss, reordering and corruption; payloads are
+zlib-compressed before splitting, mirroring the zip step.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Sequence
+
+#: The paper's chunk size.
+DEFAULT_CHUNK_SIZE = 5 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One transmitted fragment of an upload."""
+
+    upload_id: str
+    index: int
+    total: int
+    payload: bytes
+    crc32: int
+
+    def verify(self) -> bool:
+        return zlib.crc32(self.payload) == self.crc32
+
+
+def chunk_payload(
+    upload_id: str,
+    data: bytes,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    compress: bool = True,
+) -> List[Chunk]:
+    """Compress ``data`` and split it into CRC-tagged chunks."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    blob = zlib.compress(data) if compress else data
+    total = max(1, (len(blob) + chunk_size - 1) // chunk_size)
+    chunks = []
+    for i in range(total):
+        part = blob[i * chunk_size : (i + 1) * chunk_size]
+        chunks.append(
+            Chunk(
+                upload_id=upload_id,
+                index=i,
+                total=total,
+                payload=part,
+                crc32=zlib.crc32(part),
+            )
+        )
+    return chunks
+
+
+class ChunkReassemblyError(Exception):
+    """Raised when a chunk set cannot be reassembled into the original data."""
+
+
+def reassemble_chunks(chunks: Sequence[Chunk], compressed: bool = True) -> bytes:
+    """Reassemble (possibly reordered) chunks back into the original bytes.
+
+    Raises :class:`ChunkReassemblyError` on missing, duplicate-conflicting,
+    corrupt or inconsistent chunks.
+    """
+    if not chunks:
+        raise ChunkReassemblyError("no chunks to reassemble")
+    upload_ids = {c.upload_id for c in chunks}
+    if len(upload_ids) != 1:
+        raise ChunkReassemblyError(f"mixed upload ids: {sorted(upload_ids)}")
+    total = chunks[0].total
+    if any(c.total != total for c in chunks):
+        raise ChunkReassemblyError("inconsistent chunk totals")
+    by_index: dict[int, Chunk] = {}
+    for c in chunks:
+        if not c.verify():
+            raise ChunkReassemblyError(f"chunk {c.index} failed CRC check")
+        existing = by_index.get(c.index)
+        if existing is not None and existing.payload != c.payload:
+            raise ChunkReassemblyError(f"conflicting duplicates of chunk {c.index}")
+        by_index[c.index] = c
+    missing = sorted(set(range(total)) - set(by_index))
+    if missing:
+        raise ChunkReassemblyError(f"missing chunks: {missing}")
+    blob = b"".join(by_index[i].payload for i in range(total))
+    if not compressed:
+        return blob
+    try:
+        return zlib.decompress(blob)
+    except zlib.error as exc:
+        raise ChunkReassemblyError(f"decompression failed: {exc}") from exc

@@ -1,0 +1,159 @@
+"""In-memory document store (MongoDB stand-in).
+
+The backend lands raw uploads in MongoDB before the pipeline consumes
+them. This store keeps the parts of the Mongo model the pipeline uses:
+schemaless documents in named collections, auto ids, and query-by-example
+filters with a few ``$``-operators (``$gt``, ``$gte``, ``$lt``, ``$lte``,
+``$ne``, ``$in``), plus simple secondary indexes for equality lookups.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+@dataclass
+class Document:
+    """A stored document: an id plus arbitrary fields."""
+
+    doc_id: int
+    fields: Dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+_OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "$gt": lambda value, arg: value is not None and value > arg,
+    "$gte": lambda value, arg: value is not None and value >= arg,
+    "$lt": lambda value, arg: value is not None and value < arg,
+    "$lte": lambda value, arg: value is not None and value <= arg,
+    "$ne": lambda value, arg: value != arg,
+    "$in": lambda value, arg: value in arg,
+}
+
+
+def _matches(fields: Dict[str, Any], query: Dict[str, Any]) -> bool:
+    for key, expected in query.items():
+        value = fields.get(key)
+        if isinstance(expected, dict) and any(k.startswith("$") for k in expected):
+            for op, arg in expected.items():
+                handler = _OPERATORS.get(op)
+                if handler is None:
+                    raise ValueError(f"unsupported operator {op!r}")
+                if not handler(value, arg):
+                    return False
+        elif value != expected:
+            return False
+    return True
+
+
+class _Collection:
+    def __init__(self, name: str):
+        self.name = name
+        self._docs: Dict[int, Document] = {}
+        self._indexes: Dict[str, Dict[Any, set]] = {}
+        self._id_counter = itertools.count(1)
+        self._lock = threading.RLock()
+
+    def create_index(self, field_name: str) -> None:
+        with self._lock:
+            if field_name in self._indexes:
+                return
+            index: Dict[Any, set] = {}
+            for doc in self._docs.values():
+                index.setdefault(doc.fields.get(field_name), set()).add(doc.doc_id)
+            self._indexes[field_name] = index
+
+    def insert(self, fields: Dict[str, Any]) -> Document:
+        with self._lock:
+            doc = Document(doc_id=next(self._id_counter), fields=dict(fields))
+            self._docs[doc.doc_id] = doc
+            for field_name, index in self._indexes.items():
+                index.setdefault(doc.fields.get(field_name), set()).add(doc.doc_id)
+            return doc
+
+    def _candidates(self, query: Dict[str, Any]) -> Iterable[Document]:
+        # Use the first indexed equality term to narrow the scan.
+        for key, expected in query.items():
+            if key in self._indexes and not isinstance(expected, dict):
+                ids = self._indexes[key].get(expected, set())
+                return [self._docs[i] for i in ids if i in self._docs]
+        return list(self._docs.values())
+
+    def find(self, query: Optional[Dict[str, Any]] = None) -> List[Document]:
+        query = query or {}
+        with self._lock:
+            return [d for d in self._candidates(query) if _matches(d.fields, query)]
+
+    def find_one(self, query: Optional[Dict[str, Any]] = None) -> Optional[Document]:
+        results = self.find(query)
+        return min(results, key=lambda d: d.doc_id) if results else None
+
+    def update(self, query: Dict[str, Any], changes: Dict[str, Any]) -> int:
+        with self._lock:
+            matched = self.find(query)
+            for doc in matched:
+                for field_name, index in self._indexes.items():
+                    if field_name in changes:
+                        index.setdefault(doc.fields.get(field_name), set()).discard(
+                            doc.doc_id
+                        )
+                        index.setdefault(changes[field_name], set()).add(doc.doc_id)
+                doc.fields.update(changes)
+            return len(matched)
+
+    def delete(self, query: Dict[str, Any]) -> int:
+        with self._lock:
+            matched = self.find(query)
+            for doc in matched:
+                del self._docs[doc.doc_id]
+                for index in self._indexes.values():
+                    for bucket in index.values():
+                        bucket.discard(doc.doc_id)
+            return len(matched)
+
+    def count(self, query: Optional[Dict[str, Any]] = None) -> int:
+        return len(self.find(query))
+
+
+class DocumentStore:
+    """A set of named collections, safe for concurrent worker access."""
+
+    def __init__(self) -> None:
+        self._collections: Dict[str, _Collection] = {}
+        self._lock = threading.RLock()
+
+    def collection(self, name: str) -> _Collection:
+        with self._lock:
+            if name not in self._collections:
+                self._collections[name] = _Collection(name)
+            return self._collections[name]
+
+    def insert(self, collection: str, fields: Dict[str, Any]) -> Document:
+        return self.collection(collection).insert(fields)
+
+    def find(self, collection: str, query: Optional[Dict[str, Any]] = None) -> List[Document]:
+        return self.collection(collection).find(query)
+
+    def find_one(self, collection: str, query: Optional[Dict[str, Any]] = None) -> Optional[Document]:
+        return self.collection(collection).find_one(query)
+
+    def update(self, collection: str, query: Dict[str, Any], changes: Dict[str, Any]) -> int:
+        return self.collection(collection).update(query, changes)
+
+    def delete(self, collection: str, query: Dict[str, Any]) -> int:
+        return self.collection(collection).delete(query)
+
+    def count(self, collection: str, query: Optional[Dict[str, Any]] = None) -> int:
+        return self.collection(collection).count(query)
+
+    def collection_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._collections)

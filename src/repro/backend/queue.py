@@ -1,0 +1,120 @@
+"""Task queue with acknowledgement and retry semantics.
+
+Connects the ingest path to the processing pipeline: uploads become tasks,
+workers lease them, and failed leases are retried up to a bound before
+landing in a dead-letter list — the behaviour a production cloud pipeline
+needs when a pipeline stage crashes mid-document.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a queued task."""
+
+    PENDING = "pending"
+    LEASED = "leased"
+    DONE = "done"
+    DEAD = "dead"
+
+
+@dataclass
+class Task:
+    """One unit of pipeline work."""
+
+    task_id: int
+    kind: str
+    payload: Any
+    state: TaskState = TaskState.PENDING
+    attempts: int = 0
+    last_error: Optional[str] = None
+    result: Any = None
+
+
+class TaskQueue:
+    """FIFO queue with lease/ack/nack and bounded retries."""
+
+    def __init__(self, max_attempts: int = 3):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.max_attempts = max_attempts
+        self._pending: Deque[int] = deque()
+        self._tasks: Dict[int, Task] = {}
+        self._counter = itertools.count(1)
+        self._lock = threading.Condition()
+
+    def submit(self, kind: str, payload: Any) -> Task:
+        with self._lock:
+            task = Task(task_id=next(self._counter), kind=kind, payload=payload)
+            self._tasks[task.task_id] = task
+            self._pending.append(task.task_id)
+            self._lock.notify()
+            return task
+
+    def lease(self, timeout: Optional[float] = None) -> Optional[Task]:
+        """Take the next pending task, blocking up to ``timeout`` seconds."""
+        with self._lock:
+            if not self._pending and timeout:
+                self._lock.wait(timeout)
+            if not self._pending:
+                return None
+            task = self._tasks[self._pending.popleft()]
+            task.state = TaskState.LEASED
+            task.attempts += 1
+            return task
+
+    def ack(self, task_id: int, result: Any = None) -> None:
+        with self._lock:
+            task = self._require(task_id, TaskState.LEASED)
+            task.state = TaskState.DONE
+            task.result = result
+            self._lock.notify_all()
+
+    def nack(self, task_id: int, error: str = "") -> None:
+        """Report a failed lease; requeues or dead-letters the task."""
+        with self._lock:
+            task = self._require(task_id, TaskState.LEASED)
+            task.last_error = error
+            if task.attempts >= self.max_attempts:
+                task.state = TaskState.DEAD
+            else:
+                task.state = TaskState.PENDING
+                self._pending.append(task.task_id)
+            self._lock.notify_all()
+
+    def _require(self, task_id: int, expected: TaskState) -> Task:
+        task = self._tasks.get(task_id)
+        if task is None:
+            raise KeyError(f"unknown task {task_id}")
+        if task.state is not expected:
+            raise ValueError(
+                f"task {task_id} is {task.state.value}, expected {expected.value}"
+            )
+        return task
+
+    def task(self, task_id: int) -> Task:
+        with self._lock:
+            return self._tasks[task_id]
+
+    def tasks_in_state(self, state: TaskState) -> List[Task]:
+        with self._lock:
+            return [t for t in self._tasks.values() if t.state is state]
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def all_settled(self) -> bool:
+        """True when nothing is pending or leased."""
+        with self._lock:
+            return all(
+                t.state in (TaskState.DONE, TaskState.DEAD)
+                for t in self._tasks.values()
+            )

@@ -1,0 +1,183 @@
+"""Wire format for uploaded sensor-rich sessions.
+
+The mobile front-end uploads raw capture data (frames + IMU + Task-1
+annotations); the cloud side decodes it and performs the device-side
+processing steps (heading fusion, dead reckoning) before the pipeline
+consumes it. Frames are quantized to 8 bits and zlib-compressed — the
+stand-in for the paper's video codec — so an uploaded session is a single
+JSON-compatible dict that survives the chunked transport byte-exactly.
+"""
+
+from __future__ import annotations
+
+import base64
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.sensors.dead_reckoning import DeadReckoningConfig, dead_reckon
+from repro.sensors.imu import ImuConfig, ImuSample, ImuTrace
+from repro.sensors.trajectory import Trajectory
+from repro.vision.image import Frame
+from repro.world.walker import CaptureSession
+
+
+def encode_array(arr: np.ndarray) -> Dict[str, Any]:
+    """Pack a numpy array as base64(zlib(raw bytes)) plus dtype/shape."""
+    contiguous = np.ascontiguousarray(arr)
+    packed = zlib.compress(contiguous.tobytes())
+    return {
+        "dtype": str(contiguous.dtype),
+        "shape": list(contiguous.shape),
+        "data": base64.b64encode(packed).decode("ascii"),
+    }
+
+
+def decode_array(blob: Dict[str, Any]) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    raw = zlib.decompress(base64.b64decode(blob["data"]))
+    arr = np.frombuffer(raw, dtype=np.dtype(blob["dtype"]))
+    return arr.reshape(blob["shape"]).copy()
+
+
+def _encode_pixels(pixels: np.ndarray) -> Dict[str, Any]:
+    """8-bit quantized frame encoding (the 'video codec')."""
+    quantized = np.clip(np.round(pixels * 255.0), 0, 255).astype(np.uint8)
+    return encode_array(quantized)
+
+
+def _decode_pixels(blob: Dict[str, Any]) -> np.ndarray:
+    return decode_array(blob).astype(np.float64) / 255.0
+
+
+def session_to_payload(session: CaptureSession) -> Dict[str, Any]:
+    """Serialize what the mobile front-end actually uploads.
+
+    Note what is deliberately *absent*: the hidden ground truth. The cloud
+    only ever sees frames, IMU samples and the Task-1 annotation.
+    """
+    imu = session.imu
+    return {
+        "session_id": session.session_id,
+        "user_id": session.user_id,
+        "building": session.building,
+        "floor": session.floor,
+        "task": session.task,
+        "origin": [
+            session.device_trajectory.points[0].x,
+            session.device_trajectory.points[0].y,
+        ]
+        if len(session.device_trajectory)
+        else [0.0, 0.0],
+        "initial_heading": (
+            session.device_trajectory.points[0].heading
+            if len(session.device_trajectory)
+            else 0.0
+        ),
+        "frames": [
+            {
+                "timestamp": f.timestamp,
+                "frame_index": f.frame_index,
+                "pixels": _encode_pixels(f.pixels),
+            }
+            for f in session.frames
+        ],
+        "imu": {
+            "t": encode_array(imu.times()),
+            "gyro_z": encode_array(imu.gyro()),
+            "accel": encode_array(imu.accel()),
+            "compass": encode_array(imu.compass()),
+        },
+    }
+
+
+@dataclass
+class DecodedSession:
+    """Cloud-side view of one uploaded session.
+
+    Quacks like :class:`~repro.world.walker.CaptureSession` for the parts
+    the pipeline touches (``frames``, ``device_trajectory``, ``task``,
+    ``session_id``, ``room_name``); ground truth is naturally absent.
+    """
+
+    session_id: str
+    user_id: str
+    building: str
+    floor: int
+    task: str
+    frames: List[Frame]
+    imu: ImuTrace
+    device_trajectory: Trajectory
+    room_name: Optional[str] = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.frames)
+
+
+def payload_to_session(payload: Dict[str, Any]) -> DecodedSession:
+    """Decode an upload and run the server-side sensor processing.
+
+    The cloud re-derives the fused heading track and the dead-reckoned
+    trajectory from the raw IMU samples, then annotates each frame with the
+    device pose at its capture instant — the same processing the walker
+    performs client-side, now exercised on the decoded bytes.
+    """
+    imu_blob = payload["imu"]
+    times = decode_array(imu_blob["t"])
+    gyro = decode_array(imu_blob["gyro_z"])
+    accel = decode_array(imu_blob["accel"])
+    compass = decode_array(imu_blob["compass"])
+    samples = [
+        ImuSample(t=float(t), gyro_z=float(g), accel_magnitude=float(a),
+                  compass_heading=float(c))
+        for t, g, a, c in zip(times, gyro, accel, compass)
+    ]
+    imu = ImuTrace(samples=samples, config=ImuConfig())
+
+    origin = tuple(payload.get("origin", (0.0, 0.0)))
+    trajectory = dead_reckon(
+        imu,
+        DeadReckoningConfig(),
+        origin=origin,
+        initial_heading=payload.get("initial_heading"),
+        user_id=payload["user_id"],
+        trajectory_id=payload["session_id"],
+    )
+
+    from repro.sensors.heading import HeadingEstimator
+
+    headings = HeadingEstimator().estimate(
+        imu, initial_heading=payload.get("initial_heading")
+    )
+    frames = []
+    for blob in payload["frames"]:
+        t = float(blob["timestamp"])
+        dev_heading = float(np.interp(t, times, headings)) if len(times) else 0.0
+        idx = trajectory.nearest_index(t) if len(trajectory) else 0
+        pos = (
+            (trajectory[idx].x, trajectory[idx].y) if len(trajectory) else None
+        )
+        frames.append(
+            Frame(
+                pixels=_decode_pixels(blob["pixels"]),
+                timestamp=t,
+                heading=dev_heading,
+                position=pos,
+                frame_index=int(blob["frame_index"]),
+                user_id=payload["user_id"],
+            )
+        )
+    return DecodedSession(
+        session_id=payload["session_id"],
+        user_id=payload["user_id"],
+        building=payload["building"],
+        floor=int(payload["floor"]),
+        task=payload["task"],
+        frames=frames,
+        imu=imu,
+        device_trajectory=trajectory,
+    )

@@ -1,0 +1,162 @@
+"""Ingest server: upload handling, reassembly and storage.
+
+Stands in for the Tornado + WebSocket front door: clients open an upload
+session, stream chunks (possibly out of order, possibly duplicated), and
+the server reassembles completed uploads, verifies them, stores the
+payload in the document store, and enqueues a processing task. Incomplete
+or corrupt uploads are rejected exactly like a production endpoint would.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.backend.chunking import Chunk, ChunkReassemblyError, reassemble_chunks
+from repro.backend.datastore import DocumentStore
+from repro.backend.queue import TaskQueue
+from repro.backend.telemetry import TelemetryRegistry, default_registry
+
+
+@dataclass
+class UploadSession:
+    """Server-side state of one in-flight upload."""
+
+    upload_id: str
+    user_id: str
+    metadata: Dict[str, Any]
+    chunks: Dict[int, Chunk] = field(default_factory=dict)
+    expected_total: Optional[int] = None
+    completed: bool = False
+
+    def is_complete(self) -> bool:
+        return (
+            self.expected_total is not None
+            and len(self.chunks) == self.expected_total
+        )
+
+
+class IngestServer:
+    """Receives chunked uploads and hands complete payloads to the pipeline.
+
+    ``metadata`` carries the Task-1 geo-spatial annotation (building
+    location + floor number); it is stored alongside the payload so the
+    pipeline can bucket sessions per floor.
+    """
+
+    RAW_COLLECTION = "raw_uploads"
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        queue: Optional[TaskQueue] = None,
+        telemetry: Optional[TelemetryRegistry] = None,
+    ):
+        self.store = store
+        self.queue = queue
+        self.telemetry = telemetry or default_registry
+        self._sessions: Dict[str, UploadSession] = {}
+        self._counter = itertools.count(1)
+        self._lock = threading.RLock()
+        self.store.collection(self.RAW_COLLECTION).create_index("building")
+
+    def open_upload(self, user_id: str, metadata: Optional[Dict[str, Any]] = None) -> str:
+        """Open an upload session; returns its id."""
+        metadata = dict(metadata or {})
+        if "building" not in metadata or "floor" not in metadata:
+            raise ValueError("metadata must include 'building' and 'floor'")
+        with self._lock:
+            upload_id = f"up-{next(self._counter):06d}"
+            self._sessions[upload_id] = UploadSession(
+                upload_id=upload_id, user_id=user_id, metadata=metadata
+            )
+            return upload_id
+
+    def receive_chunk(self, chunk: Chunk) -> Dict[str, Any]:
+        """Accept one chunk; returns an ack message (or raises on protocol errors)."""
+        with self._lock:
+            session = self._sessions.get(chunk.upload_id)
+            if session is None:
+                raise KeyError(f"unknown upload {chunk.upload_id!r}")
+            if session.completed:
+                raise ValueError(f"upload {chunk.upload_id!r} already finalized")
+            if not chunk.verify():
+                self.telemetry.counter(
+                    "ingest_chunk_crc_failures",
+                    "chunks that failed their CRC check",
+                ).inc()
+                return {"status": "retry", "index": chunk.index, "reason": "crc"}
+            if session.expected_total is None:
+                session.expected_total = chunk.total
+            elif session.expected_total != chunk.total:
+                raise ValueError("chunk total mismatch within upload")
+            session.chunks[chunk.index] = chunk
+            self.telemetry.counter(
+                "ingest_chunks_received", "chunks accepted"
+            ).inc()
+            return {
+                "status": "ok",
+                "index": chunk.index,
+                "received": len(session.chunks),
+                "expected": session.expected_total,
+            }
+
+    def finalize_upload(self, upload_id: str) -> int:
+        """Reassemble, verify, store and enqueue a completed upload.
+
+        Returns the stored document's id. Raises
+        :class:`ChunkReassemblyError` if chunks are missing or corrupt.
+        """
+        with self._lock:
+            session = self._sessions.get(upload_id)
+            if session is None:
+                raise KeyError(f"unknown upload {upload_id!r}")
+            if not session.is_complete():
+                have = sorted(session.chunks)
+                raise ChunkReassemblyError(
+                    f"upload {upload_id} incomplete: have {len(have)} of "
+                    f"{session.expected_total}"
+                )
+            data = reassemble_chunks(list(session.chunks.values()))
+            doc = self.store.insert(
+                self.RAW_COLLECTION,
+                {
+                    "upload_id": upload_id,
+                    "user_id": session.user_id,
+                    "building": session.metadata.get("building"),
+                    "floor": session.metadata.get("floor"),
+                    "metadata": session.metadata,
+                    "payload": data,
+                    "size": len(data),
+                },
+            )
+            session.completed = True
+            self.telemetry.counter(
+                "ingest_uploads_finalized", "uploads stored"
+            ).inc()
+            self.telemetry.counter(
+                "ingest_bytes_stored", "decompressed payload bytes"
+            ).inc(len(data))
+            if self.queue is not None:
+                self.queue.submit(
+                    "process_upload",
+                    {"doc_id": doc.doc_id, "upload_id": upload_id},
+                )
+            return doc.doc_id
+
+    def pending_uploads(self) -> List[str]:
+        with self._lock:
+            return [uid for uid, s in self._sessions.items() if not s.completed]
+
+
+def encode_session_payload(payload: Dict[str, Any]) -> bytes:
+    """Serialize an upload payload dict (JSON; arrays as nested lists)."""
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def decode_session_payload(data: bytes) -> Dict[str, Any]:
+    """Inverse of :func:`encode_session_payload`."""
+    return json.loads(data.decode("utf-8"))

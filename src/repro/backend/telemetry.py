@@ -1,0 +1,177 @@
+"""Backend telemetry: counters, gauges and latency histograms.
+
+A cloud pipeline ingesting crowdsourced uploads needs observability —
+which stage is slow, how many uploads failed CRC, how deep is the queue.
+This registry provides the standard trio (counter / gauge / histogram)
+with thread-safe updates and a text scrape, and a timer context manager
+the pipeline stages can wrap themselves in.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0
+)
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help_text = help_text
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, workers busy)."""
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help_text = help_text
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus-style) plus sum/count."""
+
+    def __init__(self, name: str, help_text: str = "",
+                 buckets: Tuple[float, ...] = _DEFAULT_BUCKETS):
+        self.name = name
+        self.help_text = help_text
+        self.buckets = tuple(sorted(buckets))
+        self._counts = [0] * (len(self.buckets) + 1)  # last = +inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the bucket boundaries."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        running = 0
+        for idx, bucket_count in enumerate(self._counts):
+            running += bucket_count
+            if running >= target:
+                if idx < len(self.buckets):
+                    return self.buckets[idx]
+                return self.buckets[-1]
+        return self.buckets[-1]
+
+
+class TelemetryRegistry:
+    """Named metric registry with a text scrape."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(name, help_text, Counter)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(name, help_text, Gauge)
+
+    def histogram(self, name: str, help_text: str = "") -> Histogram:
+        return self._get_or_create(name, help_text, Histogram)
+
+    def _get_or_create(self, name, help_text, kind):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}"
+                    )
+                return existing
+            metric = kind(name, help_text)
+            self._metrics[name] = metric
+            return metric
+
+    @contextmanager
+    def timer(self, name: str):
+        """Time a block into the named histogram (seconds)."""
+        histogram = self.histogram(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            histogram.observe(time.perf_counter() - start)
+
+    def scrape(self) -> str:
+        """Plain-text dump of every metric, stable-ordered."""
+        lines: List[str] = []
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for name, metric in items:
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(f"{name} {metric.value:g}")
+            elif isinstance(metric, Histogram):
+                lines.append(
+                    f"{name}_count {metric.count} "
+                    f"{name}_sum {metric.total:.6g} "
+                    f"{name}_p50 {metric.quantile(0.5):g} "
+                    f"{name}_p99 {metric.quantile(0.99):g}"
+                )
+        return "\n".join(lines)
+
+
+#: Process-wide default registry (import and use directly).
+default_registry = TelemetryRegistry()

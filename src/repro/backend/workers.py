@@ -1,0 +1,117 @@
+"""Worker pool for parallel pipeline stages (Spark stand-in).
+
+The paper "leverage[s] PySpark with MLlib ... to accelerate the process of
+user trajectories aggregation". The equivalent here is a thread pool that
+drains a :class:`~repro.backend.queue.TaskQueue` through per-kind handlers,
+plus a convenience :func:`map_parallel` for embarrassingly parallel stages
+(trajectory pair scoring, per-room layout generation). Threads are the
+right tool offline: numpy releases the GIL in its inner loops.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+
+from repro.backend.queue import Task, TaskQueue
+from repro.backend.telemetry import TelemetryRegistry, default_registry
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def map_parallel(
+    function: Callable[[T], R],
+    items: Sequence[T],
+    max_workers: int = 4,
+) -> List[R]:
+    """Apply ``function`` to every item in parallel, preserving order.
+
+    Exceptions propagate to the caller (after all futures settle), matching
+    the fail-fast behaviour of a Spark job with a failing partition.
+    """
+    if not items:
+        return []
+    if max_workers <= 1 or len(items) == 1:
+        return [function(item) for item in items]
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(function, items))
+
+
+class WorkerPool:
+    """Threads draining a task queue through registered handlers."""
+
+    def __init__(
+        self,
+        queue: TaskQueue,
+        n_workers: int = 2,
+        telemetry: Optional[TelemetryRegistry] = None,
+    ):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.queue = queue
+        self.n_workers = n_workers
+        self.telemetry = telemetry or default_registry
+        self._handlers: Dict[str, Callable[[Any], Any]] = {}
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+
+    def register(self, kind: str, handler: Callable[[Any], Any]) -> None:
+        """Route tasks of ``kind`` to ``handler(payload) -> result``."""
+        self._handlers[kind] = handler
+
+    def _run_one(self, task: Task) -> None:
+        handler = self._handlers.get(task.kind)
+        if handler is None:
+            self.queue.nack(task.task_id, error=f"no handler for kind {task.kind!r}")
+            return
+        try:
+            with self.telemetry.timer(f"worker_{task.kind}_seconds"):
+                result = handler(task.payload)
+        except Exception as exc:  # noqa: BLE001 - worker must survive bad tasks
+            self.telemetry.counter("worker_task_failures").inc()
+            self.queue.nack(task.task_id, error=f"{type(exc).__name__}: {exc}")
+        else:
+            self.telemetry.counter("worker_tasks_done").inc()
+            self.queue.ack(task.task_id, result=result)
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            task = self.queue.lease(timeout=0.05)
+            if task is not None:
+                self._run_one(task)
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("pool already started")
+        self._stop.clear()
+        for i in range(self.n_workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"worker-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+
+    def drain(self, poll_interval: float = 0.01, timeout: float = 30.0) -> None:
+        """Block until every submitted task settles (done or dead)."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while not self.queue.all_settled():
+            if time.monotonic() > deadline:
+                raise TimeoutError("worker pool did not drain in time")
+            time.sleep(poll_interval)
+
+    def __enter__(self) -> "WorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

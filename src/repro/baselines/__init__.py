@@ -1,0 +1,28 @@
+"""Baselines the paper compares against.
+
+- :mod:`repro.baselines.single_image` — single-image anchor aggregation
+  (the Fig. 7a comparator that degrades at high trajectory counts);
+- :mod:`repro.baselines.inertial_only` — CrowdInside-style room layout
+  from user motion traces alone (the Fig. 8a/8b comparator);
+- :mod:`repro.baselines.jigsaw` — Jigsaw-style hybrid: motion traces plus
+  a single image-derived wall segment at the room entrance;
+- :mod:`repro.baselines.sfm` — Structure-from-Motion visual odometry whose
+  reliability collapses in featureless indoor scenes (Fig. 9).
+"""
+
+from repro.baselines.single_image import SingleImageAggregator
+from repro.baselines.inertial_only import (
+    InertialRoomEstimator,
+    generate_room_wander,
+)
+from repro.baselines.jigsaw import JigsawRoomEstimator
+from repro.baselines.sfm import SfmSimulator, SfmTrackResult
+
+__all__ = [
+    "SingleImageAggregator",
+    "InertialRoomEstimator",
+    "generate_room_wander",
+    "JigsawRoomEstimator",
+    "SfmSimulator",
+    "SfmTrackResult",
+]

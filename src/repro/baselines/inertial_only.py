@@ -1,0 +1,148 @@
+"""Inertial-only room layout baseline (CrowdInside-style, Fig. 8a/8b).
+
+Sensor-only systems infer a room's shape from the user's motion trace
+inside it: walk around, dead-reckon, and take the trace's extent as the
+room. Two error sources make this much worse than the visual method, both
+simulated here:
+
+- **inaccessible edges**: furniture blocks the walls, so the trace never
+  reaches the true extents ("the edge of an indoor scene is usually
+  blocked by furniture or other objects") — a per-wall accessibility
+  margin shrinks the wanderable area;
+- **dead-reckoning drift**: stride-length error and heading drift distort
+  the trace the estimate is built from.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.room_layout import RoomLayout
+from repro.geometry.primitives import Point
+from repro.sensors.dead_reckoning import DeadReckoningConfig, dead_reckon
+from repro.sensors.imu import ImuSimulator
+from repro.sensors.trajectory import Trajectory
+from repro.world.floorplan_model import Room
+from repro.world.walker import GroundTruthMotion
+
+_GT_RATE = 20.0
+
+
+def generate_room_wander(
+    room: Room,
+    rng: np.random.Generator,
+    n_waypoints: int = 25,
+    base_margin: float = 0.2,
+    furniture_margin: float = 0.5,
+    furniture_walls: int = 1,
+    walking_speed: float = 1.0,
+    step_length: float = 0.7,
+) -> GroundTruthMotion:
+    """Ground-truth motion of a user wandering a room's accessible area.
+
+    ``furniture_walls`` of the four walls get an extra inaccessible margin
+    (desks, shelves), so the wander never observes those extents.
+    """
+    bb = room.bounding_box()
+    margins = np.full(4, base_margin)  # W, E, S, N
+    blocked = rng.choice(4, size=min(furniture_walls, 4), replace=False)
+    margins[blocked] += furniture_margin
+    lo_x, hi_x = bb.min_x + margins[0], bb.max_x - margins[1]
+    lo_y, hi_y = bb.min_y + margins[2], bb.max_y - margins[3]
+    if lo_x >= hi_x or lo_y >= hi_y:
+        lo_x = hi_x = (bb.min_x + bb.max_x) / 2.0
+        lo_y = hi_y = (bb.min_y + bb.max_y) / 2.0
+    waypoints = [
+        Point(float(rng.uniform(lo_x, hi_x)), float(rng.uniform(lo_y, hi_y)))
+        for _ in range(max(2, n_waypoints))
+    ]
+
+    times: List[float] = [0.0]
+    xs: List[float] = [waypoints[0].x]
+    ys: List[float] = [waypoints[0].y]
+    headings: List[float] = [0.0]
+    step_times: List[float] = []
+    t = 0.0
+    for a, b in zip(waypoints[:-1], waypoints[1:]):
+        dist = a.distance_to(b)
+        if dist < 1e-6:
+            continue
+        heading = math.atan2(b.y - a.y, b.x - a.x)
+        leg_time = dist / walking_speed
+        n_samples = max(2, int(leg_time * _GT_RATE))
+        for k in range(1, n_samples + 1):
+            frac = k / n_samples
+            times.append(t + frac * leg_time)
+            xs.append(a.x + frac * (b.x - a.x))
+            ys.append(a.y + frac * (b.y - a.y))
+            headings.append(heading)
+        step_period = step_length / walking_speed
+        step_times.extend(
+            np.arange(t + step_period / 2.0, t + leg_time, step_period)
+        )
+        t += leg_time
+    return GroundTruthMotion(
+        times=np.array(times),
+        positions=np.stack([xs, ys], axis=1),
+        headings=np.array(headings),
+        step_times=[float(s) for s in step_times],
+    )
+
+
+class InertialRoomEstimator:
+    """Room layout from a dead-reckoned wander trace."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self.rng = rng or np.random.default_rng()
+
+    def trace_from_motion(self, motion: GroundTruthMotion) -> Trajectory:
+        """Dead-reckon the wander through a simulated IMU."""
+        sim = ImuSimulator(rng=self.rng)
+        imu = sim.record(
+            motion.times, motion.positions, motion.headings, motion.step_times
+        )
+        return dead_reckon(
+            imu,
+            DeadReckoningConfig(),
+            origin=(float(motion.positions[0][0]), float(motion.positions[0][1])),
+            initial_heading=float(motion.headings[0]),
+        )
+
+    @staticmethod
+    def layout_from_trace(trace: Trajectory) -> RoomLayout:
+        """Oriented bounding rectangle (PCA) of the trace points.
+
+        The trace can only cover the accessible interior, so the rectangle
+        systematically underestimates the true room; drift adds noise on
+        top.
+        """
+        pts = trace.as_array()
+        if len(pts) < 3:
+            raise ValueError("wander trace too short to fit a room")
+        centroid = pts.mean(axis=0)
+        centered = pts - centroid
+        cov = centered.T @ centered / len(pts)
+        eigvals, eigvecs = np.linalg.eigh(cov)
+        major = eigvecs[:, int(np.argmax(eigvals))]
+        theta = math.atan2(major[1], major[0]) % math.pi
+        c, s = math.cos(theta), math.sin(theta)
+        along = centered @ np.array([c, s])
+        across = centered @ np.array([-s, c])
+        width = float(along.max() - along.min())
+        depth = float(across.max() - across.min())
+        return RoomLayout(
+            center=Point(float(centroid[0]), float(centroid[1])),
+            width=max(width, 0.1),
+            depth=max(depth, 0.1),
+            orientation=theta,
+            consistency=0.0,
+        )
+
+    def estimate(self, room: Room, **wander_kwargs) -> RoomLayout:
+        """Full baseline: wander the room, dead-reckon, fit the rectangle."""
+        motion = generate_room_wander(room, self.rng, **wander_kwargs)
+        trace = self.trace_from_motion(motion)
+        return self.layout_from_trace(trace)

@@ -1,0 +1,62 @@
+"""Jigsaw-style room layout baseline.
+
+Jigsaw (MobiCom 2014) photographs landmarks — notably room entrances — and
+recovers wall *segments* near them from imagery, but "still uses aggregated
+user motion trace and camera position to determine the shape of the room".
+This baseline models that hybrid: the wall containing the door is known
+accurately (image-derived), while the remaining extents come from the
+inertial wander trace. It sits between the pure-inertial baseline and
+CrowdMap's full-visual method, as it does in the paper's Fig. 8 narrative.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.inertial_only import InertialRoomEstimator, generate_room_wander
+from repro.core.room_layout import RoomLayout
+from repro.geometry.primitives import Point
+from repro.world.floorplan_model import Room
+
+
+class JigsawRoomEstimator:
+    """Inertial wander trace + one image-derived wall line."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None,
+                 door_wall_noise: float = 0.12):
+        self.rng = rng or np.random.default_rng()
+        self._inertial = InertialRoomEstimator(rng=self.rng)
+        #: Residual error (m) of the image-derived door-wall position.
+        self.door_wall_noise = door_wall_noise
+
+    def estimate(self, room: Room, **wander_kwargs) -> RoomLayout:
+        """Wander trace for the extents; exact door wall from imagery."""
+        motion = generate_room_wander(room, self.rng, **wander_kwargs)
+        trace = self._inertial.trace_from_motion(motion)
+        pts = trace.as_array()
+        bb = room.bounding_box()
+        # The image-derived wall ordinate (with small measurement noise).
+        noise = float(self.rng.normal(0.0, self.door_wall_noise))
+        wall = room.door.wall
+        min_x, max_x = pts[:, 0].min(), pts[:, 0].max()
+        min_y, max_y = pts[:, 1].min(), pts[:, 1].max()
+        if wall == "S":
+            min_y = bb.min_y + noise
+        elif wall == "N":
+            max_y = bb.max_y + noise
+        elif wall == "W":
+            min_x = bb.min_x + noise
+        else:
+            max_x = bb.max_x + noise
+        width = max(float(max_x - min_x), 0.1)
+        depth = max(float(max_y - min_y), 0.1)
+        return RoomLayout(
+            center=Point((min_x + max_x) / 2.0, (min_y + max_y) / 2.0),
+            width=width,
+            depth=depth,
+            orientation=0.0,
+            consistency=0.0,
+        )

@@ -1,0 +1,140 @@
+"""Single-image trajectory aggregation baseline (paper Fig. 7a).
+
+Merges two trajectories as soon as *one* key-frame pair matches, using that
+single anchor's transform — no sequence consistency, no LCSS validation.
+The paper's finding: "when the number of user trajectories data reaches
+above 65, the accuracy of single image aggregation method actually
+decreases... indoor scenes in the same floor have a high similarity.
+Hence, using single image only as an anchor point is insufficient and
+leads to errors." This baseline exists to reproduce exactly that failure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend.workers import map_parallel
+from repro.core.aggregation import (
+    AggregationResult,
+    AnchoredTrajectory,
+    MergeCandidate,
+)
+from repro.core.comparison import KeyframeComparator
+from repro.core.config import CrowdMapConfig
+from repro.geometry.primitives import Transform2D, wrap_angle
+
+
+class SingleImageAggregator:
+    """Merge-on-first-matching-key-frame aggregation."""
+
+    def __init__(
+        self,
+        config: Optional[CrowdMapConfig] = None,
+        comparator: Optional[KeyframeComparator] = None,
+    ):
+        self.config = config or CrowdMapConfig()
+        self.comparator = comparator or KeyframeComparator(self.config)
+
+    def score_pair(
+        self,
+        a: AnchoredTrajectory,
+        b: AnchoredTrajectory,
+        index_a: int = 0,
+        index_b: int = 1,
+    ) -> MergeCandidate:
+        """Merge decision from the single best-matching key-frame pair."""
+        best: Optional[Tuple[float, int, int]] = None
+        for i, kf_a in enumerate(a.keyframes):
+            for j, kf_b in enumerate(b.keyframes):
+                result = self.comparator.compare(kf_a, kf_b)
+                if result.matched and (best is None or result.s2 > best[0]):
+                    best = (result.s2, i, j)
+        if best is None:
+            return MergeCandidate(
+                index_a=index_a, index_b=index_b, s3=0.0,
+                transform=Transform2D.identity(),
+                n_anchor_matches=0, mergeable=False,
+            )
+        s2, i, j = best
+        interval = self.config.resample_interval
+        src = b.anchor_point(b.keyframes[j], interval)
+        dst = a.anchor_point(a.keyframes[i], interval)
+        rotation = wrap_angle(a.keyframes[i].heading - b.keyframes[j].heading)
+        c, s = math.cos(rotation), math.sin(rotation)
+        rotated = np.array(
+            [c * src[0] - s * src[1], s * src[0] + c * src[1]]
+        )
+        transform = Transform2D(
+            rotation, float(dst[0] - rotated[0]), float(dst[1] - rotated[1])
+        )
+        # Same geo-prior gate the sequence aggregator applies, so the
+        # Fig. 7a comparison isolates the sequence-vs-single difference.
+        if b.trajectory.points:
+            from repro.geometry.primitives import Point
+
+            origin_b = Point(b.trajectory.points[0].x, b.trajectory.points[0].y)
+            if transform.apply(origin_b).distance_to(origin_b) > \
+                    self.config.max_geo_displacement:
+                return MergeCandidate(
+                    index_a=index_a, index_b=index_b, s3=0.0,
+                    transform=Transform2D.identity(),
+                    n_anchor_matches=1, mergeable=False,
+                )
+        return MergeCandidate(
+            index_a=index_a, index_b=index_b, s3=s2,
+            transform=transform, n_anchor_matches=1, mergeable=True,
+        )
+
+    def aggregate(
+        self, anchored: Sequence[AnchoredTrajectory]
+    ) -> AggregationResult:
+        """Pairwise single-anchor merging with spanning-tree registration.
+
+        Structurally identical to
+        :meth:`repro.core.aggregation.SequenceAggregator.aggregate` so the
+        two methods are directly comparable in Fig. 7a.
+        """
+        n = len(anchored)
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        candidates = map_parallel(
+            lambda ij: self.score_pair(anchored[ij[0]], anchored[ij[1]], *ij),
+            pairs,
+            max_workers=self.config.n_workers,
+        )
+        adjacency = {i: [] for i in range(n)}
+        for cand in candidates:
+            if not cand.mergeable:
+                continue
+            adjacency[cand.index_a].append((cand.index_b, cand.transform))
+            adjacency[cand.index_b].append(
+                (cand.index_a, cand.transform.inverse())
+            )
+        transforms: List[Optional[Transform2D]] = [None] * n
+        components: List[List[int]] = []
+        for root in range(n):
+            if transforms[root] is not None:
+                continue
+            component = [root]
+            transforms[root] = Transform2D.identity()
+            frontier = [root]
+            while frontier:
+                node = frontier.pop()
+                for neighbour, edge in adjacency[node]:
+                    if transforms[neighbour] is None:
+                        transforms[neighbour] = transforms[node].compose(edge)
+                        component.append(neighbour)
+                        frontier.append(neighbour)
+            components.append(sorted(component))
+        moved = []
+        for i, anc in enumerate(anchored):
+            t = transforms[i] or Transform2D.identity()
+            moved.append(anc.trajectory.transformed(t.theta, t.tx, t.ty))
+        return AggregationResult(
+            trajectories=moved,
+            transforms=[t or Transform2D.identity() for t in transforms],
+            candidates=list(candidates),
+            components=components,
+        )

@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``demo``        build a building, simulate a crowd, reconstruct, print
+                  the ASCII floor plan and quality metrics;
+- ``generate``    simulate a crowd dataset and save it to a .npz bundle;
+- ``reconstruct`` load a saved dataset, run the pipeline, report metrics;
+- ``buildings``   list the available procedural buildings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+
+def _add_demo(subparsers) -> None:
+    p = subparsers.add_parser("demo", help="end-to-end demo on one building")
+    p.add_argument("--building", default="Lab1",
+                   choices=["Lab1", "Lab2", "Gym", "Office"])
+    p.add_argument("--users", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--layout-samples", type=int, default=2000)
+
+
+def _add_generate(subparsers) -> None:
+    p = subparsers.add_parser("generate", help="simulate and save a dataset")
+    p.add_argument("output", help="path of the .npz bundle to write")
+    p.add_argument("--building", default="Lab1",
+                   choices=["Lab1", "Lab2", "Gym", "Office"])
+    p.add_argument("--users", type=int, default=5)
+    p.add_argument("--sws-per-user", type=int, default=3)
+    p.add_argument("--srs-per-user", type=int, default=2)
+    p.add_argument("--night-fraction", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_reconstruct(subparsers) -> None:
+    p = subparsers.add_parser("reconstruct",
+                              help="run the pipeline on a saved dataset")
+    p.add_argument("dataset", help="path of a .npz bundle from 'generate'")
+    p.add_argument("--layout-samples", type=int, default=2000)
+
+
+def _add_buildings(subparsers) -> None:
+    subparsers.add_parser("buildings", help="list procedural buildings")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CrowdMap: indoor floor plans from crowdsourced "
+                    "sensor-rich videos (ICDCS 2015 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_demo(subparsers)
+    _add_generate(subparsers)
+    _add_reconstruct(subparsers)
+    _add_buildings(subparsers)
+    return parser
+
+
+def _report(result, plan) -> None:
+    from repro.eval import evaluate_hallway_shape, evaluate_rooms
+    from repro.eval.report import render_table
+
+    print("\nReconstructed floor plan ('#' hallway, letters rooms):\n")
+    print(result.floorplan.render_ascii(max_width=90))
+    hallway = evaluate_hallway_shape(result.skeleton, plan)
+    rooms = evaluate_rooms(
+        result.layouts, [p.room_hint for p in result.panoramas], plan,
+        result.floorplan,
+    )
+    print()
+    print(
+        render_table(
+            "Quality vs ground truth",
+            ["metric", "value"],
+            [
+                ["hallway precision", f"{hallway.precision:.1%}"],
+                ["hallway recall", f"{hallway.recall:.1%}"],
+                ["hallway F-measure", f"{hallway.f_measure:.1%}"],
+                ["rooms reconstructed", len(result.layouts)],
+                ["mean room area error", f"{rooms.mean_area_error():.1%}"],
+                ["mean aspect ratio error",
+                 f"{rooms.mean_aspect_ratio_error():.1%}"],
+                ["mean room location error",
+                 f"{rooms.mean_location_error():.2f} m"],
+            ],
+        )
+    )
+
+
+def cmd_demo(args) -> int:
+    from repro.core import CrowdMapConfig, CrowdMapPipeline
+    from repro.world import CrowdConfig, generate_crowd_dataset
+    from repro.world.buildings import BUILDING_BUILDERS
+
+    plan = BUILDING_BUILDERS[args.building]()
+    print(f"Simulating {args.users} users in {plan.name} ...")
+    t0 = time.perf_counter()
+    dataset = generate_crowd_dataset(
+        plan, CrowdConfig(n_users=args.users, seed=args.seed)
+    )
+    print(f"  {len(dataset.sessions)} sessions, {dataset.total_frames()} "
+          f"frames ({time.perf_counter() - t0:.1f} s)")
+    config = CrowdMapConfig().with_overrides(layout_samples=args.layout_samples)
+    print("Reconstructing ...")
+    result = CrowdMapPipeline(config).run(dataset)
+    _report(result, plan)
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from repro.world import CrowdConfig, generate_crowd_dataset
+    from repro.world.buildings import BUILDING_BUILDERS
+    from repro.world.dataset_io import save_dataset
+
+    plan = BUILDING_BUILDERS[args.building]()
+    print(f"Simulating {args.users} users in {plan.name} ...")
+    dataset = generate_crowd_dataset(
+        plan,
+        CrowdConfig(
+            n_users=args.users,
+            sws_per_user=args.sws_per_user,
+            srs_rooms_per_user=args.srs_per_user,
+            night_fraction=args.night_fraction,
+            seed=args.seed,
+        ),
+    )
+    save_dataset(dataset, args.output)
+    print(f"Wrote {len(dataset.sessions)} sessions "
+          f"({dataset.total_frames()} frames) to {args.output}")
+    return 0
+
+
+def cmd_reconstruct(args) -> int:
+    from repro.core import CrowdMapConfig, CrowdMapPipeline
+    from repro.world.dataset_io import load_dataset
+
+    print(f"Loading {args.dataset} ...")
+    dataset = load_dataset(args.dataset)
+    config = CrowdMapConfig().with_overrides(layout_samples=args.layout_samples)
+    print(f"Reconstructing {dataset.building} from "
+          f"{len(dataset.sessions)} sessions ...")
+    result = CrowdMapPipeline(config).run(dataset)
+    _report(result, dataset.plan)
+    return 0
+
+
+def cmd_buildings(_args) -> int:
+    from repro.world.buildings import BUILDING_BUILDERS
+
+    for name, builder in BUILDING_BUILDERS.items():
+        plan = builder()
+        print(
+            f"{name}: {plan.bounds.width:.0f} x {plan.bounds.height:.0f} m, "
+            f"{len(plan.rooms)} rooms, {len(plan.walls)} wall faces"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "demo": cmd_demo,
+    "generate": cmd_generate,
+    "reconstruct": cmd_reconstruct,
+    "buildings": cmd_buildings,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""CrowdMap core: the paper's contribution.
+
+The four modules of paper Fig. 1, layered over the substrates:
+
+- crowdsourced data collection lives client-side (:mod:`repro.world.walker`
+  simulates it; :mod:`repro.backend` receives it);
+- indoor path modeling: :mod:`repro.core.keyframes` (HOG key-frame
+  selection), :mod:`repro.core.comparison` (hierarchical key-frame
+  comparison, S1/S2), :mod:`repro.core.aggregation` (LCSS sequence-based
+  trajectory aggregation, S3) and :mod:`repro.core.skeleton` (occupancy
+  grid -> Otsu -> alpha shape -> regularized floor path skeleton);
+- room layout modeling: :mod:`repro.core.panorama` (per-cell key-frame
+  selection + 360-degree stitching) and :mod:`repro.core.room_layout`
+  (line segments -> corner evidence -> sampled rectangular models scored
+  by surface consistency);
+- floor plan modeling: :mod:`repro.core.floorplan` (force-directed room
+  arrangement onto the path skeleton).
+
+:mod:`repro.core.pipeline` wires everything into the end-to-end system.
+"""
+
+from repro.core.config import CrowdMapConfig
+from repro.core.keyframes import KeyFrame, select_keyframes
+from repro.core.comparison import KeyframeComparator, ComparisonResult
+from repro.core.aggregation import (
+    SequenceAggregator,
+    AnchoredTrajectory,
+    MergeCandidate,
+    lcss_similarity,
+)
+from repro.core.skeleton import OccupancyGrid, SkeletonResult, reconstruct_skeleton
+from repro.core.panorama import PanoramaBuilder, RoomPanorama
+from repro.core.room_layout import RoomLayoutEstimator, RoomLayout, LShapedLayout
+from repro.core.floorplan import FloorPlanAssembler, PlacedRoom, FloorPlanResult
+from repro.core.pipeline import CrowdMapPipeline, ReconstructionResult
+from repro.core.multifloor import MultiFloorPipeline, MultiFloorResult, StairLink
+from repro.core.incremental import IncrementalCrowdMap
+from repro.core.localization import VisualLocalizer, LocalizationEstimate
+from repro.core.navigation import SkeletonNavigator, NavigationPath, route_to_room
+from repro.core.quality import QualityReport, assess as assess_quality
+
+__all__ = [
+    "CrowdMapConfig",
+    "KeyFrame",
+    "select_keyframes",
+    "KeyframeComparator",
+    "ComparisonResult",
+    "SequenceAggregator",
+    "AnchoredTrajectory",
+    "MergeCandidate",
+    "lcss_similarity",
+    "OccupancyGrid",
+    "SkeletonResult",
+    "reconstruct_skeleton",
+    "PanoramaBuilder",
+    "RoomPanorama",
+    "RoomLayoutEstimator",
+    "RoomLayout",
+    "LShapedLayout",
+    "FloorPlanAssembler",
+    "PlacedRoom",
+    "FloorPlanResult",
+    "CrowdMapPipeline",
+    "ReconstructionResult",
+    "MultiFloorPipeline",
+    "MultiFloorResult",
+    "StairLink",
+    "IncrementalCrowdMap",
+    "VisualLocalizer",
+    "LocalizationEstimate",
+    "SkeletonNavigator",
+    "NavigationPath",
+    "route_to_room",
+    "QualityReport",
+    "assess_quality",
+]

@@ -1,0 +1,101 @@
+"""Hierarchical key-frame comparison (paper Section III.B.I).
+
+Two steps, exactly as the paper lays them out:
+
+1. A cheap linear combination ``S1`` of three off-the-shelf signatures —
+   Color Indexing histograms, shape matching and wavelet decomposition —
+   rejects clearly different pairs before any expensive work ("this is
+   significant to prevent wrong trajectories aggregation").
+2. Surviving pairs are matched precisely with SURF descriptors via the
+   mutual-nearest-neighbour procedure of Algorithm 1 and scored with
+   ``S2 = |A| / |F1 ∪ F2|`` (Eq. 1); the pair is declared identical when
+   ``S2 > h_f``.
+
+On top of the paper's two rungs we add an inertial gate: key-frames whose
+device headings differ by more than ``max_heading_difference`` cannot show
+the same scene from the same walkway direction and are skipped outright —
+the same Δω information the panorama stage already relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import CrowdMapConfig
+from repro.core.keyframes import KeyFrame
+from repro.geometry.primitives import angle_difference
+from repro.vision.color_histogram import histogram_intersection
+from repro.vision.matching import match_descriptors
+from repro.vision.shape_matching import shape_similarity
+from repro.vision.wavelet import wavelet_similarity
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of comparing two key-frames."""
+
+    s1: float
+    s2: float
+    matched: bool
+    stage: str  # which stage decided: "heading", "s1", "s2"
+
+    def __bool__(self) -> bool:
+        return self.matched
+
+
+class KeyframeComparator:
+    """Stateful comparator holding the thresholds and counters.
+
+    Counters expose how much work each rung of the hierarchy saved, which
+    the latency benchmark (paper Fig. 7c) reports.
+    """
+
+    def __init__(self, config: Optional[CrowdMapConfig] = None):
+        self.config = config or CrowdMapConfig()
+        self.n_heading_rejects = 0
+        self.n_s1_rejects = 0
+        self.n_surf_comparisons = 0
+
+    def s1_score(self, a: KeyFrame, b: KeyFrame) -> float:
+        """Weighted combination of the three cheap similarities."""
+        a.ensure_signatures()
+        b.ensure_signatures()
+        w_color, w_shape, w_wavelet = self.config.s1_weights
+        score = (
+            w_color * histogram_intersection(a.color, b.color)
+            + w_shape * shape_similarity(a.shape, b.shape)
+            + w_wavelet * wavelet_similarity(a.wavelet, b.wavelet)
+        )
+        total = w_color + w_shape + w_wavelet
+        return score / total if total > 0 else 0.0
+
+    def s2_score(self, a: KeyFrame, b: KeyFrame) -> float:
+        """SURF mutual-NN similarity (Eq. 1)."""
+        self.n_surf_comparisons += 1
+        result = match_descriptors(
+            a.ensure_surf(),
+            b.ensure_surf(),
+            distance_threshold=self.config.surf_distance_threshold,
+        )
+        return result.similarity
+
+    def compare(self, a: KeyFrame, b: KeyFrame) -> ComparisonResult:
+        """Full hierarchical comparison of two key-frames."""
+        cfg = self.config
+        heading_gap = abs(angle_difference(a.heading, b.heading))
+        if heading_gap > cfg.max_heading_difference:
+            self.n_heading_rejects += 1
+            return ComparisonResult(s1=0.0, s2=0.0, matched=False, stage="heading")
+        s1 = self.s1_score(a, b)
+        if s1 < cfg.s1_threshold:
+            self.n_s1_rejects += 1
+            return ComparisonResult(s1=s1, s2=0.0, matched=False, stage="s1")
+        s2 = self.s2_score(a, b)
+        return ComparisonResult(
+            s1=s1, s2=s2, matched=s2 > cfg.s2_threshold, stage="s2"
+        )
+
+    def matches(self, a: KeyFrame, b: KeyFrame) -> bool:
+        return self.compare(a, b).matched

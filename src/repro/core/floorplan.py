@@ -1,0 +1,176 @@
+"""Floor plan modeling: merge rooms with the path skeleton (Section III.D).
+
+Each reconstructed room arrives with an anchor position (where its
+panorama was captured, in the skeleton's frame). The force-directed room
+arrangement (Eades' spring model, as in the paper) then settles the final
+centres: a spring attracts every room toward its anchored position, while
+repulsive forces push apart rooms that overlap each other and rooms that
+intrude into the hallway skeleton, iterating until the net force
+vanishes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import CrowdMapConfig
+from repro.core.room_layout import RoomLayout
+from repro.core.skeleton import SkeletonResult
+from repro.geometry.primitives import BoundingBox, Point
+
+
+@dataclass
+class PlacedRoom:
+    """A room layout with its final centre in the floor-plan frame."""
+
+    layout: RoomLayout
+    center: Point
+    name: Optional[str] = None
+
+    def bounding_box(self) -> BoundingBox:
+        # The room rectangle is oriented; use its axis-aligned bound for
+        # overlap forces (orientations are near-axis-aligned in practice).
+        hw = self.layout.width / 2.0
+        hd = self.layout.depth / 2.0
+        c, s = abs(math.cos(self.layout.orientation)), abs(math.sin(self.layout.orientation))
+        half_x = hw * c + hd * s
+        half_y = hw * s + hd * c
+        return BoundingBox(
+            self.center.x - half_x,
+            self.center.y - half_y,
+            self.center.x + half_x,
+            self.center.y + half_y,
+        )
+
+
+@dataclass
+class FloorPlanResult:
+    """The assembled floor plan: skeleton plus arranged rooms."""
+
+    skeleton: SkeletonResult
+    rooms: List[PlacedRoom]
+
+    def room_by_name(self, name: str) -> PlacedRoom:
+        for room in self.rooms:
+            if room.name == name:
+                return room
+        raise KeyError(f"no placed room named {name!r}")
+
+    def render_ascii(self, max_width: int = 100) -> str:
+        """Top-down ASCII rendering: '#' hallway, letters for rooms."""
+        mask = self.skeleton.skeleton
+        rows, cols = mask.shape
+        step = max(1, int(np.ceil(cols / max_width)))
+        canvas = np.full(
+            ((rows + step - 1) // step, (cols + step - 1) // step), " ", dtype="<U1"
+        )
+        small = mask[::step, ::step]
+        canvas[: small.shape[0], : small.shape[1]][small] = "#"
+        bounds = self.skeleton.bounds
+        cell = self.skeleton.cell_size * step
+        for i, room in enumerate(self.rooms):
+            bb = room.bounding_box()
+            letter = chr(ord("A") + i % 26)
+            c0 = int((bb.min_x - bounds.min_x) / cell)
+            c1 = int((bb.max_x - bounds.min_x) / cell)
+            r0 = int((bb.min_y - bounds.min_y) / cell)
+            r1 = int((bb.max_y - bounds.min_y) / cell)
+            for r in range(max(0, r0), min(canvas.shape[0], r1 + 1)):
+                for c in range(max(0, c0), min(canvas.shape[1], c1 + 1)):
+                    on_edge = r in (r0, r1) or c in (c0, c1)
+                    canvas[r, c] = letter if on_edge else canvas[r, c]
+        # Row 0 is south; print north-up.
+        return "\n".join("".join(row) for row in canvas[::-1])
+
+
+def _overlap_vector(a: BoundingBox, b: BoundingBox) -> Optional[Tuple[float, float]]:
+    """Minimum-translation vector pushing ``a`` out of ``b`` (or None)."""
+    dx = min(a.max_x, b.max_x) - max(a.min_x, b.min_x)
+    dy = min(a.max_y, b.max_y) - max(a.min_y, b.min_y)
+    if dx <= 0 or dy <= 0:
+        return None
+    # Push along the axis of least penetration, away from b's centre.
+    if dx < dy:
+        direction = 1.0 if a.center.x >= b.center.x else -1.0
+        return (direction * dx, 0.0)
+    direction = 1.0 if a.center.y >= b.center.y else -1.0
+    return (0.0, direction * dy)
+
+
+class FloorPlanAssembler:
+    """Force-directed arrangement of rooms around the path skeleton."""
+
+    def __init__(self, config: Optional[CrowdMapConfig] = None):
+        self.config = config or CrowdMapConfig()
+
+    def _skeleton_overlap_force(
+        self, room: PlacedRoom, skeleton: SkeletonResult
+    ) -> Tuple[float, float]:
+        """Repulsion pushing a room off the hallway skeleton cells."""
+        bb = room.bounding_box()
+        bounds = skeleton.bounds
+        cell = skeleton.cell_size
+        mask = skeleton.skeleton
+        c0 = max(0, int((bb.min_x - bounds.min_x) / cell))
+        c1 = min(mask.shape[1], int(np.ceil((bb.max_x - bounds.min_x) / cell)))
+        r0 = max(0, int((bb.min_y - bounds.min_y) / cell))
+        r1 = min(mask.shape[0], int(np.ceil((bb.max_y - bounds.min_y) / cell)))
+        if r0 >= r1 or c0 >= c1:
+            return (0.0, 0.0)
+        window = mask[r0:r1, c0:c1]
+        overlap = np.count_nonzero(window)
+        if overlap == 0:
+            return (0.0, 0.0)
+        rows, cols = np.nonzero(window)
+        ox = bounds.min_x + (c0 + cols.mean() + 0.5) * cell
+        oy = bounds.min_y + (r0 + rows.mean() + 0.5) * cell
+        away_x = room.center.x - ox
+        away_y = room.center.y - oy
+        norm = math.hypot(away_x, away_y)
+        if norm < 1e-9:
+            away_x, away_y, norm = 1.0, 0.0, 1.0
+        strength = overlap * cell * cell / max(room.layout.area(), 1e-6)
+        return (away_x / norm * strength, away_y / norm * strength)
+
+    def arrange(
+        self,
+        skeleton: SkeletonResult,
+        layouts: Sequence[RoomLayout],
+        names: Optional[Sequence[Optional[str]]] = None,
+    ) -> FloorPlanResult:
+        """Run the spring relaxation and return the assembled floor plan."""
+        cfg = self.config
+        names = list(names) if names is not None else [None] * len(layouts)
+        rooms = [
+            PlacedRoom(layout=lay, center=lay.center, name=name)
+            for lay, name in zip(layouts, names)
+        ]
+        anchors = [lay.center for lay in layouts]
+        for _ in range(cfg.force_iterations):
+            max_move = 0.0
+            for i, room in enumerate(rooms):
+                fx = cfg.force_attract * (anchors[i].x - room.center.x)
+                fy = cfg.force_attract * (anchors[i].y - room.center.y)
+                bb = room.bounding_box()
+                for j, other in enumerate(rooms):
+                    if i == j:
+                        continue
+                    mtv = _overlap_vector(bb, other.bounding_box())
+                    if mtv is not None:
+                        fx += cfg.force_repulse * mtv[0] / 2.0
+                        fy += cfg.force_repulse * mtv[1] / 2.0
+                sx, sy = self._skeleton_overlap_force(room, skeleton)
+                fx += cfg.force_repulse * sx
+                fy += cfg.force_repulse * sy
+                # Damped displacement step.
+                step_x = np.clip(fx, -0.5, 0.5)
+                step_y = np.clip(fy, -0.5, 0.5)
+                room.center = Point(room.center.x + step_x, room.center.y + step_y)
+                max_move = max(max_move, abs(step_x), abs(step_y))
+            if max_move < cfg.force_tolerance:
+                break
+        return FloorPlanResult(skeleton=skeleton, rooms=rooms)

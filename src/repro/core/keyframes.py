@@ -1,0 +1,121 @@
+"""Video key-frame selection (paper Section III.B.I).
+
+Processing every frame with SURF was the paper's bottleneck, so frames are
+first thinned: a HOG descriptor summarizes each frame's gradient structure,
+consecutive frames are compared with a normalized cross-correlation score
+``Scc``, and frames too similar to the last kept key-frame are dropped —
+keeping only "frames with noticeable camera motion".
+
+A :class:`KeyFrame` caches every signature the later comparison stages
+need (color histogram, shape signature, wavelet signature, SURF features),
+so each is computed exactly once per key-frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import CrowdMapConfig
+from repro.vision.color_histogram import chromaticity_histogram
+from repro.vision.filters import gaussian_blur
+from repro.vision.hog import hog_descriptor, hog_similarity
+from repro.vision.image import to_grayscale
+from repro.vision.image import Frame
+from repro.vision.shape_matching import shape_signature
+from repro.vision.surf import SurfFeature, detect_and_describe
+from repro.vision.wavelet import WaveletSignature, wavelet_signature
+
+
+@dataclass
+class KeyFrame:
+    """A selected key-frame with its cached comparison signatures."""
+
+    frame: Frame
+    keyframe_id: str
+    hog: np.ndarray
+    color: Optional[np.ndarray] = None
+    shape: Optional[np.ndarray] = None
+    wavelet: Optional[WaveletSignature] = None
+    surf: Optional[List[SurfFeature]] = None
+    _config: CrowdMapConfig = field(default_factory=CrowdMapConfig, repr=False)
+
+    @property
+    def timestamp(self) -> float:
+        return self.frame.timestamp
+
+    @property
+    def heading(self) -> float:
+        return self.frame.heading
+
+    def ensure_signatures(self) -> None:
+        """Compute the cheap S1 signatures if not already cached."""
+        if self.color is None:
+            # Illumination-invariant variant: uploads span day and night
+            # lighting, so the S1 color rung must not key on exposure.
+            self.color = chromaticity_histogram(self.frame.pixels)
+        if self.shape is None:
+            self.shape = shape_signature(self.frame.pixels)
+        if self.wavelet is None:
+            self.wavelet = wavelet_signature(self.frame.pixels)
+
+    def ensure_surf(self) -> List[SurfFeature]:
+        """Compute (and cache) the frame's SURF features."""
+        if self.surf is None:
+            self.surf = detect_and_describe(
+                self.frame.pixels,
+                threshold=self._config.surf_response_threshold,
+                max_features=self._config.surf_max_features,
+            )
+        return self.surf
+
+
+def select_keyframes(
+    frames: Sequence[Frame],
+    config: Optional[CrowdMapConfig] = None,
+    session_id: str = "",
+) -> List[KeyFrame]:
+    """Thin a frame sequence into key-frames by HOG cross-correlation.
+
+    The first frame is always kept; each subsequent frame is kept when its
+    HOG similarity ``Scc`` to the *last kept* key-frame falls below the
+    ``keyframe_ncc_threshold`` (``h_g``) — i.e. the camera has moved
+    noticeably since the last key-frame. The last frame is also kept so
+    sequences never lose their endpoint.
+    """
+    config = config or CrowdMapConfig()
+    if not frames:
+        return []
+    keyframes: List[KeyFrame] = []
+    last_hog: Optional[np.ndarray] = None
+    for i, frame in enumerate(frames):
+        smoothed = gaussian_blur(to_grayscale(frame.pixels), config.hog_blur_sigma)
+        hog = hog_descriptor(smoothed, cell_size=config.hog_cell_size)
+        is_last = i == len(frames) - 1
+        if last_hog is None:
+            keep = True
+        else:
+            scc = hog_similarity(hog, last_hog)
+            keep = scc < config.keyframe_ncc_threshold
+        if keep or (is_last and len(keyframes) < 2):
+            keyframes.append(
+                KeyFrame(
+                    frame=frame,
+                    keyframe_id=f"{session_id}#{frame.frame_index}",
+                    hog=hog,
+                    _config=config,
+                )
+            )
+            last_hog = hog
+    return keyframes
+
+
+def keyframe_reduction_ratio(
+    n_frames: int, n_keyframes: int
+) -> float:
+    """Fraction of frames removed by selection (0 = kept all)."""
+    if n_frames == 0:
+        return 0.0
+    return 1.0 - n_keyframes / n_frames

@@ -1,0 +1,139 @@
+"""Multi-floor reconstruction (paper Section VI).
+
+"The task of constructing multiple floors can be decomposed into multiple
+1-floor map constructions. One possible solution is to use stairs,
+elevators and escalators as special reference points and connect multiple
+1-floor maps at these reference points." Floors are told apart by the
+barometer/acceleration signals (:mod:`repro.sensors.activity`); stair and
+elevator sessions become :class:`StairLink` reference points joining the
+per-floor reconstructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import CrowdMapConfig
+from repro.core.pipeline import CrowdMapPipeline, ReconstructionResult
+from repro.geometry.primitives import Point
+from repro.sensors.activity import (
+    FloorTransition,
+    detect_floor_transitions,
+    floor_of_session,
+)
+
+
+@dataclass(frozen=True)
+class StairLink:
+    """A vertical connection between two floors at a reference position."""
+
+    floor_from: int
+    floor_to: int
+    position: Point  # device-estimated stairwell position
+    kind: str  # "stairs" or "elevator"
+    session_id: str
+
+
+@dataclass
+class MultiFloorResult:
+    """Per-floor reconstructions plus the links that join them."""
+
+    floors: Dict[int, ReconstructionResult]
+    links: List[StairLink]
+    sessions_per_floor: Dict[int, int] = field(default_factory=dict)
+
+    def floor_indices(self) -> List[int]:
+        return sorted(self.floors)
+
+    def links_between(self, floor_a: int, floor_b: int) -> List[StairLink]:
+        lo, hi = min(floor_a, floor_b), max(floor_a, floor_b)
+        return [
+            link for link in self.links
+            if {link.floor_from, link.floor_to} == {lo, hi}
+        ]
+
+
+class MultiFloorPipeline:
+    """Decomposes a mixed-floor session stream into per-floor maps.
+
+    Sessions are classified by their barometric signature: sessions with a
+    detected floor transition become link reference points; the rest are
+    binned by floor index and fed to one :class:`CrowdMapPipeline` per
+    floor.
+    """
+
+    def __init__(self, config: Optional[CrowdMapConfig] = None):
+        self.config = config or CrowdMapConfig()
+
+    def classify_sessions(self, sessions: Sequence) -> Dict[str, object]:
+        """Split sessions into per-floor groups and transition links."""
+        per_floor: Dict[int, List] = {}
+        links: List[StairLink] = []
+        for session in sessions:
+            transitions = detect_floor_transitions(session.imu)
+            if transitions:
+                links.extend(self._links_from(session, transitions))
+                continue
+            floor = floor_of_session(session.imu)
+            per_floor.setdefault(floor, []).append(session)
+        return {"per_floor": per_floor, "links": links}
+
+    def _links_from(
+        self, session, transitions: List[FloorTransition]
+    ) -> List[StairLink]:
+        links = []
+        traj = session.device_trajectory
+        floor = floor_of_session_start(session)
+        for transition in transitions:
+            if len(traj):
+                idx = traj.nearest_index(transition.t_start)
+                position = Point(traj[idx].x, traj[idx].y)
+            else:
+                position = Point(0.0, 0.0)
+            links.append(
+                StairLink(
+                    floor_from=floor,
+                    floor_to=floor + transition.delta_floors,
+                    position=position,
+                    kind=transition.kind.value,
+                    session_id=session.session_id,
+                )
+            )
+            floor += transition.delta_floors
+        return links
+
+    def run(self, sessions: Sequence) -> MultiFloorResult:
+        """Classify, reconstruct each floor, and return the linked result.
+
+        Floors whose session group has no SWS walks are skipped (nothing to
+        build a skeleton from).
+        """
+        classified = self.classify_sessions(sessions)
+        per_floor: Dict[int, List] = classified["per_floor"]
+        results: Dict[int, ReconstructionResult] = {}
+        counts: Dict[int, int] = {}
+        for floor, floor_sessions in sorted(per_floor.items()):
+            counts[floor] = len(floor_sessions)
+            if not any(s.task == "SWS" for s in floor_sessions):
+                continue
+            pipeline = CrowdMapPipeline(self.config)
+            results[floor] = pipeline.run_sessions(floor_sessions)
+        return MultiFloorResult(
+            floors=results,
+            links=classified["links"],
+            sessions_per_floor=counts,
+        )
+
+
+def floor_of_session_start(session) -> int:
+    """Floor index at a session's start (median of the first seconds)."""
+    import numpy as np
+
+    from repro.sensors.activity import FLOOR_HEIGHT, estimate_altitude
+
+    altitude = estimate_altitude(session.imu)
+    if altitude.size == 0:
+        return 0
+    head = altitude[: max(1, altitude.size // 10)]
+    return int(np.round(float(np.median(head)) / FLOOR_HEIGHT))

@@ -1,0 +1,159 @@
+"""Navigation on the reconstructed floor plan.
+
+The paper's opening line motivates floor plans with "localization and
+navigation"; localization lives in :mod:`repro.core.localization`, and
+this module provides the navigation half: A* path planning over the
+reconstructed skeleton's accessible cells, with room-door goals derived
+from the placed room rectangles.
+
+Because the planner runs on the *reconstructed* map, its success is a
+functional end-to-end test of reconstruction quality: a skeleton with a
+broken corridor cannot route across the break.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.floorplan import FloorPlanResult
+from repro.core.skeleton import SkeletonResult
+from repro.geometry.primitives import Point
+
+
+@dataclass(frozen=True)
+class NavigationPath:
+    """A planned route over the skeleton."""
+
+    waypoints: Tuple[Point, ...]
+    length: float
+
+    @property
+    def found(self) -> bool:
+        return len(self.waypoints) > 0
+
+
+class SkeletonNavigator:
+    """A* planner over a reconstructed skeleton's accessible cells."""
+
+    _NEIGHBOURS = (
+        (-1, 0, 1.0), (1, 0, 1.0), (0, -1, 1.0), (0, 1, 1.0),
+        (-1, -1, math.sqrt(2)), (-1, 1, math.sqrt(2)),
+        (1, -1, math.sqrt(2)), (1, 1, math.sqrt(2)),
+    )
+
+    def __init__(self, skeleton: SkeletonResult):
+        self.skeleton = skeleton
+        self._mask = skeleton.skeleton
+        self._cell = skeleton.cell_size
+        self._bounds = skeleton.bounds
+
+    def _cell_of(self, p: Point) -> Tuple[int, int]:
+        return (
+            int((p.y - self._bounds.min_y) / self._cell),
+            int((p.x - self._bounds.min_x) / self._cell),
+        )
+
+    def _point_of(self, cell: Tuple[int, int]) -> Point:
+        row, col = cell
+        return Point(
+            self._bounds.min_x + (col + 0.5) * self._cell,
+            self._bounds.min_y + (row + 0.5) * self._cell,
+        )
+
+    def _nearest_accessible(self, p: Point, max_radius_m: float = 4.0):
+        """Closest skeleton cell to ``p`` (or None beyond the radius)."""
+        rows, cols = np.nonzero(self._mask)
+        if rows.size == 0:
+            return None
+        xs = self._bounds.min_x + (cols + 0.5) * self._cell
+        ys = self._bounds.min_y + (rows + 0.5) * self._cell
+        d = np.hypot(xs - p.x, ys - p.y)
+        k = int(np.argmin(d))
+        if d[k] > max_radius_m:
+            return None
+        return (int(rows[k]), int(cols[k]))
+
+    def plan(self, start: Point, goal: Point) -> NavigationPath:
+        """Shortest skeleton path between two world points.
+
+        Both endpoints snap to their nearest accessible cells first; an
+        empty path is returned when either snap fails or no route exists.
+        """
+        start_cell = self._nearest_accessible(start)
+        goal_cell = self._nearest_accessible(goal)
+        if start_cell is None or goal_cell is None:
+            return NavigationPath(waypoints=(), length=float("inf"))
+
+        def heuristic(cell: Tuple[int, int]) -> float:
+            return math.hypot(cell[0] - goal_cell[0], cell[1] - goal_cell[1])
+
+        rows, cols = self._mask.shape
+        open_heap: List[Tuple[float, Tuple[int, int]]] = [
+            (heuristic(start_cell), start_cell)
+        ]
+        g_score: Dict[Tuple[int, int], float] = {start_cell: 0.0}
+        came_from: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        closed = set()
+        while open_heap:
+            _, current = heapq.heappop(open_heap)
+            if current == goal_cell:
+                return self._reconstruct(came_from, current)
+            if current in closed:
+                continue
+            closed.add(current)
+            r, c = current
+            for dr, dc, cost in self._NEIGHBOURS:
+                nr, nc = r + dr, c + dc
+                if not (0 <= nr < rows and 0 <= nc < cols):
+                    continue
+                if not self._mask[nr, nc]:
+                    continue
+                neighbour = (nr, nc)
+                tentative = g_score[current] + cost
+                if tentative < g_score.get(neighbour, float("inf")):
+                    g_score[neighbour] = tentative
+                    came_from[neighbour] = current
+                    heapq.heappush(
+                        open_heap, (tentative + heuristic(neighbour), neighbour)
+                    )
+        return NavigationPath(waypoints=(), length=float("inf"))
+
+    def _reconstruct(self, came_from, current) -> NavigationPath:
+        cells = [current]
+        while current in came_from:
+            current = came_from[current]
+            cells.append(current)
+        cells.reverse()
+        points = [self._point_of(c) for c in cells]
+        length = sum(
+            points[i].distance_to(points[i + 1]) for i in range(len(points) - 1)
+        )
+        return NavigationPath(waypoints=tuple(points), length=length)
+
+
+def route_to_room(
+    floorplan: FloorPlanResult, start: Point, room_name: str
+) -> NavigationPath:
+    """Plan from ``start`` to the named placed room's nearest edge point."""
+    room = floorplan.room_by_name(room_name)
+    navigator = SkeletonNavigator(floorplan.skeleton)
+    # Aim for the point on the room's bounding box closest to the skeleton
+    # (a stand-in for its door, which the reconstruction does not know).
+    bb = room.bounding_box()
+    candidates = [
+        Point((bb.min_x + bb.max_x) / 2.0, bb.min_y),
+        Point((bb.min_x + bb.max_x) / 2.0, bb.max_y),
+        Point(bb.min_x, (bb.min_y + bb.max_y) / 2.0),
+        Point(bb.max_x, (bb.min_y + bb.max_y) / 2.0),
+    ]
+    best: Optional[NavigationPath] = None
+    for goal in candidates:
+        path = navigator.plan(start, goal)
+        if path.found and (best is None or path.length < best.length):
+            best = path
+    return best if best is not None else NavigationPath((), float("inf"))

@@ -1,0 +1,116 @@
+"""Indoor panorama generation (paper Section III.C.I).
+
+After aggregation, a skeleton cell can hold several key-frames — from an
+SRS spin at that spot or from multiple merged trajectories. Using each
+key-frame's inertial direction change Δω, the builder selects a series of
+overlapping key-frames whose viewing angles (i) pairwise overlap and
+(ii) jointly cover 360 degrees (the Overlap/Cover model of Fig. 4), then
+composites them into a cylindrical panorama (AutoStitch's role).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.config import CrowdMapConfig
+from repro.core.keyframes import KeyFrame
+from repro.geometry.primitives import Point
+from repro.vision.stitching import (
+    Panorama,
+    covers_full_circle,
+    select_panorama_frames,
+    stitch_cylindrical,
+)
+from repro.world.renderer import DEFAULT_FOV
+
+
+@dataclass
+class RoomPanorama:
+    """A stitched room panorama with its provenance."""
+
+    panorama: Panorama
+    capture_position: Point  # camera position estimate (skeleton frame)
+    session_ids: List[str] = field(default_factory=list)
+    room_hint: Optional[str] = None
+
+    @property
+    def width(self) -> int:
+        return self.panorama.width
+
+    @property
+    def height(self) -> int:
+        return self.panorama.height
+
+
+class PanoramaCoverageError(ValueError):
+    """The candidate key-frames cannot form a full 360-degree panorama."""
+
+
+class PanoramaBuilder:
+    """Selects overlapping key-frames and stitches room panoramas."""
+
+    def __init__(
+        self,
+        config: Optional[CrowdMapConfig] = None,
+        horizontal_fov: float = DEFAULT_FOV,
+    ):
+        self.config = config or CrowdMapConfig()
+        self.horizontal_fov = horizontal_fov
+
+    def check_coverage(self, keyframes: Sequence[KeyFrame]) -> bool:
+        """The paper's two panorama-candidate criteria (Fig. 4)."""
+        frames = [kf.frame for kf in keyframes]
+        return covers_full_circle(
+            frames, self.horizontal_fov,
+            min_overlap=self.config.panorama_min_overlap,
+        )
+
+    def build(
+        self,
+        keyframes: Sequence[KeyFrame],
+        capture_position: Point,
+        room_hint: Optional[str] = None,
+    ) -> RoomPanorama:
+        """Select key-frames by their Δω and stitch the 360-degree panorama.
+
+        Raises :class:`PanoramaCoverageError` when the key-frames cannot
+        cover the full circle with the required pairwise overlap, or when
+        the stitched result leaves more than ``panorama_max_gap`` of its
+        columns empty.
+        """
+        if not keyframes:
+            raise PanoramaCoverageError("no key-frames supplied")
+        if not self.check_coverage(keyframes):
+            raise PanoramaCoverageError(
+                "key-frames do not cover 360 degrees with sufficient overlap"
+            )
+        frames = [kf.frame for kf in keyframes]
+        selected = select_panorama_frames(
+            frames, self.horizontal_fov,
+            min_overlap=self.config.panorama_min_overlap,
+        )
+        if not covers_full_circle(
+            selected, self.horizontal_fov,
+            min_overlap=self.config.panorama_min_overlap,
+        ):
+            # The greedy sweep can under-select near the wrap point; fall
+            # back to stitching every candidate key-frame.
+            selected = frames
+        panorama = stitch_cylindrical(
+            selected,
+            horizontal_fov=self.horizontal_fov,
+            panorama_width=self.config.panorama_width,
+        )
+        gap = panorama.gap_fraction()
+        if gap > self.config.panorama_max_gap:
+            raise PanoramaCoverageError(
+                f"stitched panorama has {gap:.0%} uncovered columns"
+            )
+        session_ids = sorted({kf.frame.user_id for kf in keyframes if kf.frame.user_id})
+        return RoomPanorama(
+            panorama=panorama,
+            capture_position=capture_position,
+            session_ids=session_ids,
+            room_hint=room_hint,
+        )

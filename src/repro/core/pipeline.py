@@ -1,0 +1,262 @@
+"""The end-to-end CrowdMap pipeline (cloud-backend cascade).
+
+Mirrors the paper's three backend sub-processes:
+
+1. **Indoor pathway reconstruction** — key-frame selection per SWS
+   session, sequence-based trajectory aggregation, occupancy-grid floor
+   path skeleton.
+2. **Room layout reconstruction** — SRS sessions grouped by skeleton cell,
+   panorama stitching per group, rectangular-model fitting per panorama.
+3. **Floor plan modeling** — force-directed merge of rooms and skeleton.
+
+The pipeline is deterministic given the dataset and config, parallelizes
+its embarrassingly parallel stages through the worker substrate, and
+reports per-stage wall-clock timings (the paper's Fig. 7c latency data).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.backend.workers import map_parallel
+from repro.core.aggregation import (
+    AggregationResult,
+    AnchoredTrajectory,
+    SequenceAggregator,
+    calibrate_drift,
+)
+from repro.core.comparison import KeyframeComparator
+from repro.core.config import CrowdMapConfig
+from repro.core.floorplan import FloorPlanAssembler, FloorPlanResult
+from repro.core.keyframes import KeyFrame, select_keyframes
+from repro.core.panorama import PanoramaBuilder, PanoramaCoverageError, RoomPanorama
+from repro.core.room_layout import RoomLayout, RoomLayoutEstimator
+from repro.core.skeleton import SkeletonResult, reconstruct_skeleton
+from repro.geometry.primitives import BoundingBox, Point
+from repro.world.crowd import CrowdDataset
+from repro.world.walker import CaptureSession
+
+
+@dataclass
+class ReconstructionResult:
+    """Everything the pipeline produces for one building."""
+
+    aggregation: AggregationResult
+    skeleton: SkeletonResult
+    panoramas: List[RoomPanorama]
+    layouts: List[RoomLayout]
+    floorplan: FloorPlanResult
+    timings: Dict[str, float] = field(default_factory=dict)
+    anchored: List[AnchoredTrajectory] = field(default_factory=list)
+
+    def layout_for_room(self, room_hint: str) -> Optional[RoomLayout]:
+        for pano, layout in zip(self.panoramas, self.layouts):
+            if pano.room_hint == room_hint:
+                return layout
+        return None
+
+
+class CrowdMapPipeline:
+    """Orchestrates the full reconstruction for one building's dataset."""
+
+    def __init__(self, config: Optional[CrowdMapConfig] = None):
+        self.config = config or CrowdMapConfig()
+        self.comparator = KeyframeComparator(self.config)
+        self.aggregator = SequenceAggregator(self.config, self.comparator)
+        self.panorama_builder = PanoramaBuilder(self.config)
+        self.layout_estimator = RoomLayoutEstimator(self.config)
+        self.assembler = FloorPlanAssembler(self.config)
+
+    # ------------------------------------------------------------------
+    # Stage 1: pathway
+    # ------------------------------------------------------------------
+
+    def anchor_session(self, session: CaptureSession) -> AnchoredTrajectory:
+        """Select key-frames for one SWS session and anchor its trajectory."""
+        keyframes = select_keyframes(
+            session.frames, self.config, session_id=session.session_id
+        )
+        return AnchoredTrajectory(
+            trajectory=session.device_trajectory,
+            keyframes=keyframes,
+            session_id=session.session_id,
+        )
+
+    def build_pathway(
+        self, sessions: List[CaptureSession]
+    ) -> Tuple[List[AnchoredTrajectory], AggregationResult, SkeletonResult]:
+        anchored = map_parallel(
+            self.anchor_session, sessions, max_workers=self.config.n_workers
+        )
+        aggregation = self.aggregator.aggregate(anchored)
+        if self.config.drift_calibration_iterations > 0:
+            trajectories = calibrate_drift(
+                anchored, aggregation,
+                iterations=self.config.drift_calibration_iterations,
+            )
+        else:
+            trajectories = aggregation.trajectories
+        bounds = _trajectory_bounds(aggregation, margin=2.0)
+        skeleton = reconstruct_skeleton(trajectories, bounds, self.config)
+        return anchored, aggregation, skeleton
+
+    # ------------------------------------------------------------------
+    # Stage 2: rooms
+    # ------------------------------------------------------------------
+
+    def _srs_capture_position(self, session: CaptureSession) -> Point:
+        """Device-estimated spin position (the SRS trajectory is a point)."""
+        traj = session.device_trajectory
+        if len(traj) == 0:
+            return Point(0.0, 0.0)
+        xs = sum(p.x for p in traj.points) / len(traj)
+        ys = sum(p.y for p in traj.points) / len(traj)
+        return Point(xs, ys)
+
+    def group_srs_sessions(
+        self, sessions: List[CaptureSession], cell_size: float = 2.5
+    ) -> List[List[CaptureSession]]:
+        """Group SRS sessions by the skeleton cell of their capture position.
+
+        The paper generates one panorama per occupancy cell holding
+        multiple key-frames; spins performed in the same cell merge into
+        one panorama group.
+        """
+        buckets: Dict[Tuple[int, int], List[CaptureSession]] = defaultdict(list)
+        for session in sessions:
+            pos = self._srs_capture_position(session)
+            key = (int(pos.x // cell_size), int(pos.y // cell_size))
+            buckets[key].append(session)
+        return [buckets[k] for k in sorted(buckets)]
+
+    def build_room(
+        self, group: List[CaptureSession]
+    ) -> Optional[Tuple[RoomPanorama, RoomLayout]]:
+        """Panorama + layout for one SRS cell group (None if not stitchable).
+
+        When several users spun in the same cell, each session is stitched
+        and fitted on its own and the most surface-consistent layout wins:
+        redundant captures provide robustness ("some places were captured
+        multiple times"), while fusing different users' frames into one
+        panorama would let their independent heading biases fight at the
+        seams. A pooled panorama remains the fallback when no single
+        session covers the full circle by itself.
+        """
+        hints = Counter(s.room_name for s in group if s.room_name)
+        room_hint = hints.most_common(1)[0][0] if hints else None
+
+        best: Optional[Tuple[RoomPanorama, RoomLayout]] = None
+        for session in group:
+            session_keyframes = select_keyframes(
+                session.frames, self.config, session_id=session.session_id
+            )
+            capture = self._srs_capture_position(session)
+            try:
+                pano = self.panorama_builder.build(
+                    session_keyframes, capture_position=capture,
+                    room_hint=room_hint,
+                )
+            except PanoramaCoverageError:
+                continue
+            layout = self.layout_estimator.estimate(pano)
+            if best is None or layout.consistency > best[1].consistency:
+                best = (pano, layout)
+        if best is not None:
+            return best
+
+        # Fallback: pool every session's key-frames into one panorama.
+        keyframes: List[KeyFrame] = []
+        for session in group:
+            keyframes.extend(
+                select_keyframes(session.frames, self.config,
+                                 session_id=session.session_id)
+            )
+        positions = [self._srs_capture_position(s) for s in group]
+        capture = Point(
+            sum(p.x for p in positions) / len(positions),
+            sum(p.y for p in positions) / len(positions),
+        )
+        try:
+            pano = self.panorama_builder.build(
+                keyframes, capture_position=capture, room_hint=room_hint
+            )
+        except PanoramaCoverageError:
+            return None
+        return pano, self.layout_estimator.estimate(pano)
+
+    def build_rooms(
+        self, sessions: List[CaptureSession]
+    ) -> Tuple[List[RoomPanorama], List[RoomLayout]]:
+        groups = self.group_srs_sessions(sessions)
+        results = map_parallel(
+            self.build_room, groups, max_workers=self.config.n_workers
+        )
+        panoramas, layouts = [], []
+        for result in results:
+            if result is None:
+                continue
+            pano, layout = result
+            panoramas.append(pano)
+            layouts.append(layout)
+        return panoramas, layouts
+
+    # ------------------------------------------------------------------
+    # Full run
+    # ------------------------------------------------------------------
+
+    def run(self, dataset: CrowdDataset) -> ReconstructionResult:
+        """Reconstruct the floor plan from one building's crowd dataset."""
+        return self.run_sessions(dataset.sessions)
+
+    def run_sessions(self, sessions: List[CaptureSession]) -> ReconstructionResult:
+        """Reconstruct from a raw session list (split by task internally).
+
+        This is the entry point the backend uses: decoded uploads arrive as
+        a flat stream, and multi-floor reconstruction feeds per-floor
+        session groups through it.
+        """
+        sws = [s for s in sessions if s.task == "SWS"]
+        srs = [s for s in sessions if s.task == "SRS"]
+        timings: Dict[str, float] = {}
+
+        t0 = time.perf_counter()
+        anchored, aggregation, skeleton = self.build_pathway(sws)
+        timings["pathway"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        panoramas, layouts = self.build_rooms(srs)
+        timings["rooms"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        floorplan = self.assembler.arrange(
+            skeleton, layouts, names=[p.room_hint for p in panoramas]
+        )
+        timings["floorplan"] = time.perf_counter() - t0
+
+        return ReconstructionResult(
+            aggregation=aggregation,
+            skeleton=skeleton,
+            panoramas=panoramas,
+            layouts=layouts,
+            floorplan=floorplan,
+            timings=timings,
+            anchored=anchored,
+        )
+
+
+def _trajectory_bounds(aggregation: AggregationResult, margin: float) -> BoundingBox:
+    """Joint bounding box of all aggregated trajectories."""
+    xs: List[float] = []
+    ys: List[float] = []
+    for traj in aggregation.trajectories:
+        for p in traj.points:
+            xs.append(p.x)
+            ys.append(p.y)
+    if not xs:
+        return BoundingBox(0.0, 0.0, 1.0, 1.0)
+    return BoundingBox(
+        min(xs) - margin, min(ys) - margin, max(xs) + margin, max(ys) + margin
+    )

@@ -1,0 +1,112 @@
+"""Reconstruction self-diagnostics (no ground truth required).
+
+A deployed CrowdMap backend cannot score itself against a ground-truth
+plan — but it can tell an operator *where the map is weak* so the
+crowdsourcing campaign can be steered ("more spins needed in the north
+wing"). These diagnostics read only the reconstruction itself:
+
+- fragmentation: how many disconnected trajectory components remain
+  (1 is ideal; more means key-frame anchors never bridged some walks);
+- anchor density: matched key-frame pairs per merged trajectory pair;
+- skeleton connectivity: number of connected corridor components;
+- room confidence: each room's surface-consistency score and panorama
+  gap fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.pipeline import ReconstructionResult
+
+
+@dataclass(frozen=True)
+class RoomDiagnostic:
+    """Self-reported confidence of one reconstructed room."""
+
+    room_hint: str
+    consistency: float
+    panorama_gap: float
+    sessions: int
+
+
+@dataclass
+class QualityReport:
+    """Ground-truth-free health summary of a reconstruction."""
+
+    n_trajectories: int
+    n_components: int
+    largest_component_fraction: float
+    merged_pairs: int
+    mean_anchors_per_merge: float
+    skeleton_components: int
+    skeleton_area_m2: float
+    rooms: List[RoomDiagnostic] = field(default_factory=list)
+
+    @property
+    def is_fragmented(self) -> bool:
+        """True when a substantial share of walks never joined the map."""
+        return self.largest_component_fraction < 0.6
+
+    def weakest_rooms(self, k: int = 3) -> List[RoomDiagnostic]:
+        """The k rooms an operator should ask the crowd to re-capture."""
+        return sorted(self.rooms, key=lambda r: r.consistency)[:k]
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"trajectories: {self.n_trajectories} in "
+            f"{self.n_components} component(s); largest holds "
+            f"{self.largest_component_fraction:.0%}",
+            f"merged pairs: {self.merged_pairs} "
+            f"(mean {self.mean_anchors_per_merge:.1f} anchors each)",
+            f"skeleton: {self.skeleton_area_m2:.0f} m^2 in "
+            f"{self.skeleton_components} piece(s)",
+            f"rooms: {len(self.rooms)}",
+        ]
+        if self.is_fragmented:
+            lines.append(
+                "WARNING: map is fragmented - more overlapping walks needed"
+            )
+        return lines
+
+
+def assess(result: ReconstructionResult) -> QualityReport:
+    """Compute the self-diagnostics for a pipeline result."""
+    from scipy.ndimage import label
+
+    aggregation = result.aggregation
+    n = len(aggregation.trajectories)
+    component_sizes = [len(c) for c in aggregation.components]
+    largest = max(component_sizes) if component_sizes else 0
+
+    merged = [c for c in aggregation.candidates if c.mergeable]
+    mean_anchors = (
+        float(np.mean([c.n_anchor_matches for c in merged])) if merged else 0.0
+    )
+
+    _, skeleton_components = label(result.skeleton.skeleton)
+
+    rooms = []
+    for pano, layout in zip(result.panoramas, result.layouts):
+        rooms.append(
+            RoomDiagnostic(
+                room_hint=pano.room_hint or "?",
+                consistency=layout.consistency,
+                panorama_gap=pano.panorama.gap_fraction(),
+                sessions=len(pano.session_ids),
+            )
+        )
+
+    return QualityReport(
+        n_trajectories=n,
+        n_components=len(aggregation.components),
+        largest_component_fraction=(largest / n if n else 0.0),
+        merged_pairs=len(merged),
+        mean_anchors_per_merge=mean_anchors,
+        skeleton_components=int(skeleton_components),
+        skeleton_area_m2=result.skeleton.area(),
+        rooms=rooms,
+    )

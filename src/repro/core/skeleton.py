@@ -1,0 +1,219 @@
+"""Floor path skeleton reconstruction (paper Section III.B.II, Fig. 3a-d).
+
+Six steps over an occupancy grid:
+
+1. initialize the grid to zeros;
+2. map every aggregated trajectory onto it, accumulating access counts
+   (cells crossed by more trajectories get higher probability);
+3. binarize with an automatically selected Otsu threshold, removing the
+   errors and outliers of the crowdsourced data;
+4. mark boundaries with the alpha-shape algorithm (Delaunay based);
+5. regularize the boundaries with the alpha threshold ``h_alpha``;
+6. normalize by repairing unconnected paths (morphological closing and
+   small-component removal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import CrowdMapConfig
+from repro.geometry.alpha_shape import alpha_shape_mask
+from repro.geometry.primitives import BoundingBox, Point
+from repro.sensors.trajectory import Trajectory
+from repro.vision.otsu import otsu_threshold
+
+
+class OccupancyGrid:
+    """Access-probability grid over the building extent (row 0 = south)."""
+
+    def __init__(self, bounds: BoundingBox, cell_size: float):
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.bounds = bounds
+        self.cell_size = cell_size
+        self.rows = max(1, int(np.ceil(bounds.height / cell_size)))
+        self.cols = max(1, int(np.ceil(bounds.width / cell_size)))
+        self.counts = np.zeros((self.rows, self.cols), dtype=np.float64)
+
+    def cell_of(self, x: float, y: float) -> tuple:
+        col = int((x - self.bounds.min_x) / self.cell_size)
+        row = int((y - self.bounds.min_y) / self.cell_size)
+        return row, col
+
+    def center_of(self, row: int, col: int) -> Point:
+        return Point(
+            self.bounds.min_x + (col + 0.5) * self.cell_size,
+            self.bounds.min_y + (row + 0.5) * self.cell_size,
+        )
+
+    def in_bounds(self, row: int, col: int) -> bool:
+        return 0 <= row < self.rows and 0 <= col < self.cols
+
+    def add_trajectory(self, trajectory: Trajectory, splat_radius: float = 0.0) -> None:
+        """Accumulate one trajectory's path onto the grid.
+
+        The polyline is sampled at half-cell steps; each sample marks its
+        cell (and, with ``splat_radius``, the disc of cells around it,
+        approximating the walker's bodily occupancy). Cells are counted at
+        most once per trajectory so repeated passes within one walk don't
+        inflate the probability.
+        """
+        marked = np.zeros_like(self.counts, dtype=bool)
+        pts = trajectory.as_array()
+        if len(pts) == 0:
+            return
+        step = self.cell_size / 2.0
+        samples = [pts[0]]
+        for k in range(len(pts) - 1):
+            a, b = pts[k], pts[k + 1]
+            dist = float(np.hypot(*(b - a)))
+            n_steps = max(1, int(dist / step))
+            for t in np.linspace(0.0, 1.0, n_steps + 1)[1:]:
+                samples.append(a + t * (b - a))
+        radius_cells = int(np.ceil(splat_radius / self.cell_size))
+        for x, y in samples:
+            row, col = self.cell_of(float(x), float(y))
+            for dr in range(-radius_cells, radius_cells + 1):
+                for dc in range(-radius_cells, radius_cells + 1):
+                    if dr * dr + dc * dc > radius_cells * radius_cells:
+                        continue
+                    r, c = row + dr, col + dc
+                    if self.in_bounds(r, c):
+                        marked[r, c] = True
+        self.counts += marked
+
+    def probabilities(self) -> np.ndarray:
+        """Access probabilities: counts normalized by the max count."""
+        peak = self.counts.max()
+        if peak == 0:
+            return np.zeros_like(self.counts)
+        return self.counts / peak
+
+
+def _binary_closing(mask: np.ndarray, radius: int) -> np.ndarray:
+    """Dilate then erode with a square structuring element of ``radius``."""
+    if radius <= 0:
+        return mask.copy()
+
+    def dilate(m: np.ndarray) -> np.ndarray:
+        out = m.copy()
+        for dr in range(-radius, radius + 1):
+            for dc in range(-radius, radius + 1):
+                shifted = np.zeros_like(m)
+                src_r = slice(max(0, -dr), m.shape[0] - max(0, dr))
+                dst_r = slice(max(0, dr), m.shape[0] - max(0, -dr))
+                src_c = slice(max(0, -dc), m.shape[1] - max(0, dc))
+                dst_c = slice(max(0, dc), m.shape[1] - max(0, -dc))
+                shifted[dst_r, dst_c] = m[src_r, src_c]
+                out |= shifted
+        return out
+
+    def erode(m: np.ndarray) -> np.ndarray:
+        out = m.copy()
+        for dr in range(-radius, radius + 1):
+            for dc in range(-radius, radius + 1):
+                shifted = np.zeros_like(m)
+                src_r = slice(max(0, -dr), m.shape[0] - max(0, dr))
+                dst_r = slice(max(0, dr), m.shape[0] - max(0, -dr))
+                src_c = slice(max(0, -dc), m.shape[1] - max(0, dc))
+                dst_c = slice(max(0, dc), m.shape[1] - max(0, -dc))
+                shifted[dst_r, dst_c] = m[src_r, src_c]
+                out &= shifted
+        return out
+
+    return erode(dilate(mask))
+
+
+def _connected_components(mask: np.ndarray) -> List[np.ndarray]:
+    """4-connected components of a boolean mask, as separate masks."""
+    from scipy.ndimage import label
+
+    labels, count = label(mask)
+    return [labels == i for i in range(1, count + 1)]
+
+
+@dataclass
+class SkeletonResult:
+    """Output of skeleton reconstruction, with per-step intermediates."""
+
+    grid: OccupancyGrid
+    probability: np.ndarray  # step 2: access probabilities
+    binarized: np.ndarray  # step 3: Otsu-thresholded cells
+    alpha_mask: np.ndarray  # steps 4-5: regularized alpha shape
+    skeleton: np.ndarray  # step 6: repaired final skeleton
+
+    @property
+    def bounds(self) -> BoundingBox:
+        return self.grid.bounds
+
+    @property
+    def cell_size(self) -> float:
+        return self.grid.cell_size
+
+    def area(self) -> float:
+        return float(self.skeleton.sum()) * self.cell_size**2
+
+
+def reconstruct_skeleton(
+    trajectories: Sequence[Trajectory],
+    bounds: BoundingBox,
+    config: Optional[CrowdMapConfig] = None,
+) -> SkeletonResult:
+    """Run the six skeleton-reconstruction steps over aggregated trajectories."""
+    config = config or CrowdMapConfig()
+    grid = OccupancyGrid(bounds, config.grid_cell_size)  # step 1
+    for trajectory in trajectories:  # step 2
+        grid.add_trajectory(trajectory, splat_radius=config.trajectory_splat_radius)
+    probability = grid.probabilities()
+
+    occupied = probability[probability > 0]
+    if occupied.size == 0:
+        empty = np.zeros_like(probability, dtype=bool)
+        return SkeletonResult(grid, probability, empty, empty, empty)
+    # Step 3: Otsu splits the *occupied* cells into low/high access
+    # probability and the low class is dropped as crowdsourcing noise. The
+    # threshold is capped at a low quantile of the occupied distribution so
+    # a degenerate split can never discard the bulk of the corridor mass,
+    # and floored at ``min_visits`` passes so lone drift tails always go.
+    peak = float(grid.counts.max())
+    capped = min(
+        otsu_threshold(occupied),
+        float(np.quantile(occupied, config.binarize_cap_quantile)),
+        float(occupied.max()),
+    )
+    floor = (config.min_visits - 0.5) / peak if peak > 0 else 0.0
+    threshold = max(capped, min(floor, float(occupied.max())))
+    binarized = probability >= threshold
+
+    rows, cols = np.nonzero(binarized)  # steps 4-5
+    points = np.stack(
+        [
+            bounds.min_x + (cols + 0.5) * config.grid_cell_size,
+            bounds.min_y + (rows + 0.5) * config.grid_cell_size,
+        ],
+        axis=1,
+    )
+    if len(points) >= 3:
+        alpha_mask = alpha_shape_mask(
+            points, config.alpha, bounds, config.grid_cell_size
+        )
+    else:
+        alpha_mask = binarized.copy()
+
+    repaired = _binary_closing(alpha_mask, config.repair_radius)  # step 6
+    components = _connected_components(repaired)
+    if components:
+        # Keep components of meaningful size (>= 5% of the largest); tiny
+        # islands are aggregation outliers.
+        largest = max(c.sum() for c in components)
+        skeleton = np.zeros_like(repaired)
+        for comp in components:
+            if comp.sum() >= 0.05 * largest:
+                skeleton |= comp
+    else:
+        skeleton = repaired
+    return SkeletonResult(grid, probability, binarized, alpha_mask, skeleton)

@@ -1,0 +1,49 @@
+"""Evaluation: the paper's metrics, CDFs and report rendering.
+
+- :mod:`repro.eval.hallway_metrics` — hallway-shape precision/recall/F
+  (Table I) with the paper's overlay alignment procedure;
+- :mod:`repro.eval.room_metrics` — room area / aspect-ratio / location
+  errors (Fig. 8);
+- :mod:`repro.eval.cdf` — empirical CDF helper used by every CDF figure;
+- :mod:`repro.eval.report` — text rendering of tables and CDF series in
+  the shape the paper reports them.
+"""
+
+from repro.eval.hallway_metrics import evaluate_hallway_shape, HallwayShapeScore
+from repro.eval.room_metrics import (
+    room_area_error,
+    room_aspect_ratio_error,
+    room_location_error,
+    evaluate_rooms,
+    RoomErrorReport,
+)
+from repro.eval.cdf import empirical_cdf, cdf_at, mean_of
+from repro.eval.matching_accuracy import (
+    evaluate_matching_accuracy,
+    ground_truth_overlap,
+    MatchingAccuracyReport,
+)
+from repro.eval.report import render_table, render_cdf_series, render_comparison
+from repro.eval.figures import render_ascii_plot, render_cdf_plot, render_sparkline
+
+__all__ = [
+    "evaluate_hallway_shape",
+    "HallwayShapeScore",
+    "room_area_error",
+    "room_aspect_ratio_error",
+    "room_location_error",
+    "evaluate_rooms",
+    "RoomErrorReport",
+    "empirical_cdf",
+    "cdf_at",
+    "mean_of",
+    "evaluate_matching_accuracy",
+    "ground_truth_overlap",
+    "MatchingAccuracyReport",
+    "render_table",
+    "render_cdf_series",
+    "render_comparison",
+    "render_ascii_plot",
+    "render_cdf_plot",
+    "render_sparkline",
+]

@@ -1,0 +1,43 @@
+"""Empirical CDF helpers for the paper's Fig. 7-8 style plots."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted sample values and their cumulative probabilities.
+
+    Returns ``(xs, ps)`` where ``ps[i]`` is the fraction of samples
+    ``<= xs[i]``; plotting ``ps`` against ``xs`` draws the standard
+    staircase CDF.
+    """
+    arr = np.sort(np.asarray(list(values), dtype=np.float64))
+    if arr.size == 0:
+        return np.empty(0), np.empty(0)
+    ps = np.arange(1, arr.size + 1) / arr.size
+    return arr, ps
+
+
+def cdf_at(values: Sequence[float], threshold: float) -> float:
+    """Fraction of samples at or below ``threshold``."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(np.count_nonzero(arr <= threshold) / arr.size)
+
+
+def mean_of(values: Sequence[float]) -> float:
+    """Plain mean, 0 for empty input (the paper reports CDF means)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    return float(arr.mean()) if arr.size else 0.0
+
+
+def percentile_of(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (q in [0, 100]) of the samples."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(np.percentile(arr, q))

@@ -1,0 +1,96 @@
+"""Crowd coverage analysis: how much of the building did the crowd see?
+
+Reconstruction recall is bounded by what the crowd physically covered —
+the paper's premise ("users would be able to move across all edges and
+corners") fails exactly where coverage does. This module quantifies it:
+
+- :func:`hallway_coverage` — fraction of ground-truth hallway cells within
+  a body-width of any session's true path (the recall ceiling);
+- :func:`room_coverage` — which rooms received an SRS spin;
+- :func:`coverage_report` — a combined per-dataset summary.
+
+These read the *hidden ground truth*, so they are evaluation-only tools:
+they explain reconstruction scores, they are not available to the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.geometry.polygon_ops import rasterize_polygons
+from repro.world.crowd import CrowdDataset
+from repro.world.floorplan_model import FloorPlan
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Coverage summary of one crowd dataset."""
+
+    hallway_covered_fraction: float
+    rooms_visited: Dict[str, bool]
+    total_walk_length_m: float
+    walks: int
+    spins: int
+
+    @property
+    def rooms_visited_fraction(self) -> float:
+        if not self.rooms_visited:
+            return 0.0
+        return sum(self.rooms_visited.values()) / len(self.rooms_visited)
+
+
+def hallway_coverage(
+    sessions: Sequence,
+    plan: FloorPlan,
+    reach_m: float = 1.25,
+    cell_size: float = 0.5,
+) -> float:
+    """Fraction of hallway cells within ``reach_m`` of a true walked path."""
+    points: List[np.ndarray] = []
+    for session in sessions:
+        if session.task != "SWS":
+            continue
+        points.append(session.ground_truth.positions)
+    truth = rasterize_polygons(plan.hallway_polygons(), plan.bounds, cell_size)
+    rows, cols = np.nonzero(truth)
+    if rows.size == 0:
+        return 0.0
+    if not points:
+        return 0.0
+    walked = np.vstack(points)
+    xs = plan.bounds.min_x + (cols + 0.5) * cell_size
+    ys = plan.bounds.min_y + (rows + 0.5) * cell_size
+    tree = cKDTree(walked)
+    distances, _ = tree.query(np.stack([xs, ys], axis=1))
+    return float((distances <= reach_m).mean())
+
+
+def room_coverage(sessions: Sequence, plan: FloorPlan) -> Dict[str, bool]:
+    """Which ground-truth rooms received at least one SRS spin."""
+    visited = {room.name: False for room in plan.rooms}
+    for session in sessions:
+        if session.task == "SRS" and session.room_name in visited:
+            visited[session.room_name] = True
+    return visited
+
+
+def coverage_report(dataset: CrowdDataset) -> CoverageReport:
+    """Full coverage summary for one building's dataset."""
+    walks = dataset.sws_sessions()
+    total_length = 0.0
+    for session in walks:
+        positions = session.ground_truth.positions
+        total_length += float(
+            np.hypot(*np.diff(positions, axis=0).T).sum()
+        )
+    return CoverageReport(
+        hallway_covered_fraction=hallway_coverage(dataset.sessions, dataset.plan),
+        rooms_visited=room_coverage(dataset.sessions, dataset.plan),
+        total_walk_length_m=total_length,
+        walks=len(walks),
+        spins=len(dataset.srs_sessions()),
+    )

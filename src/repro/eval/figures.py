@@ -1,0 +1,114 @@
+"""ASCII figure rendering: CDF staircases and series plots in plain text.
+
+The paper's figures are matplotlib-style plots; offline we render the
+same data as terminal graphics so every benchmark's output is a complete,
+self-contained reproduction artifact (teed to the results file).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.eval.cdf import empirical_cdf
+
+_MARKS = "O*x+#@%&"
+
+
+def render_ascii_plot(
+    title: str,
+    series: Dict[str, Sequence[tuple]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Scatter/step plot of named (x, y) series on a character canvas."""
+    points = [
+        (float(x), float(y))
+        for values in series.values()
+        for x, y in values
+    ]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi - x_lo < 1e-12:
+        x_hi = x_lo + 1.0
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+
+    canvas = np.full((height, width), " ", dtype="<U1")
+    for s_idx, (name, values) in enumerate(series.items()):
+        mark = _MARKS[s_idx % len(_MARKS)]
+        for x, y in values:
+            col = int((float(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((float(y) - y_lo) / (y_hi - y_lo) * (height - 1))
+            canvas[height - 1 - row, col] = mark
+
+    lines = [title]
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    gutter = max(len(top_label), len(bottom_label))
+    for r in range(height):
+        label = top_label if r == 0 else (bottom_label if r == height - 1 else "")
+        lines.append(f"{label.rjust(gutter)} |" + "".join(canvas[r]))
+    axis = " " * gutter + " +" + "-" * width
+    lines.append(axis)
+    x_axis = f"{x_lo:.3g}".ljust(width // 2) + f"{x_hi:.3g}".rjust(width // 2)
+    lines.append(" " * (gutter + 2) + x_axis)
+    if x_label or y_label:
+        lines.append(" " * (gutter + 2) + f"x: {x_label}   y: {y_label}")
+    return "\n".join(lines)
+
+
+def render_cdf_plot(
+    title: str,
+    samples: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    unit: str = "",
+) -> str:
+    """ASCII staircase CDF plot of named sample sets (the Fig. 7/8 style)."""
+    series = {}
+    for name, values in samples.items():
+        xs, ps = empirical_cdf(values)
+        if xs.size == 0:
+            continue
+        # Densify each staircase so the plot reads as a curve.
+        dense = []
+        for x, p in zip(xs, ps):
+            dense.append((x, p))
+        series[name] = dense
+    if not series:
+        return f"{title}\n(no samples)"
+    return render_ascii_plot(
+        title, series, width=width, height=height,
+        x_label=f"value {unit}".strip(), y_label="CDF",
+    )
+
+
+def render_sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """One-line sparkline of a numeric series (8-level block glyphs)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    if width is not None and arr.size > width:
+        # Downsample by block means.
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array(
+            [arr[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+        )
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-12:
+        return "▄" * arr.size
+    glyphs = "▁▂▃▄▅▆▇█"
+    idx = ((arr - lo) / (hi - lo) * (len(glyphs) - 1)).astype(int)
+    return "".join(glyphs[i] for i in idx)

@@ -1,0 +1,80 @@
+"""Hallway shape evaluation (paper Section V.A, Table I).
+
+The reconstructed path skeleton is "overlaid onto the ground truth to
+achieve maximum cover area by moving and rotating" before measuring:
+
+    P = |S_gen ∩ S_true| / |S_gen|          (Eq. 3)
+    R = |S_gen ∩ S_true| / |S_true|         (Eq. 4)
+    F = 2 P R / (P + R)                     (Eq. 5)
+
+The paper also manually removes the parts of the skeleton inside rooms
+before scoring; we reproduce that by masking reconstructed cells that fall
+within ground-truth room rectangles (grown by a small margin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.skeleton import SkeletonResult
+from repro.geometry.alignment import AlignmentResult, align_masks
+from repro.geometry.polygon_ops import rasterize_polygons
+from repro.world.floorplan_model import FloorPlan
+
+
+@dataclass(frozen=True)
+class HallwayShapeScore:
+    """Table I row: hallway-shape precision, recall and F-measure."""
+
+    building: str
+    precision: float
+    recall: float
+    f_measure: float
+    alignment: AlignmentResult
+
+    def as_row(self) -> tuple:
+        return (
+            self.building,
+            f"{self.precision:.1%}",
+            f"{self.recall:.1%}",
+            f"{self.f_measure:.1%}",
+        )
+
+
+def _room_mask(plan: FloorPlan, skeleton: SkeletonResult, margin: float) -> np.ndarray:
+    """Cells of the skeleton grid covered by ground-truth rooms."""
+    polys = [room.polygon().scaled(1.0 + margin) for room in plan.rooms]
+    if not polys:
+        rows, cols = skeleton.skeleton.shape
+        return np.zeros((rows, cols), dtype=bool)
+    return rasterize_polygons(polys, skeleton.bounds, skeleton.cell_size)
+
+
+def evaluate_hallway_shape(
+    skeleton: SkeletonResult,
+    plan: FloorPlan,
+    cut_room_cells: bool = True,
+    room_margin: float = 0.05,
+) -> HallwayShapeScore:
+    """Score a reconstructed skeleton against a ground-truth floor plan.
+
+    Rasterizes the true hallway onto the skeleton's grid, removes skeleton
+    cells that belong to room interiors (the paper's manual cut), aligns
+    by rotation + translation search, and reports Eq. 3-5.
+    """
+    truth = rasterize_polygons(
+        plan.hallway_polygons(), skeleton.bounds, skeleton.cell_size
+    )
+    generated = skeleton.skeleton.copy()
+    if cut_room_cells:
+        generated &= ~_room_mask(plan, skeleton, room_margin)
+    alignment = align_masks(generated, truth)
+    return HallwayShapeScore(
+        building=plan.name,
+        precision=alignment.precision,
+        recall=alignment.recall,
+        f_measure=alignment.f_measure,
+        alignment=alignment,
+    )

@@ -1,0 +1,130 @@
+"""Trajectory matching accuracy (paper Fig. 7a).
+
+Ground truth for "should these two trajectories have been merged?" comes
+from the sessions' hidden true motions: two walks share a path when their
+ground-truth point sequences have a high LCSS overlap. A pairwise decision
+is then correct when
+
+- the aggregator merged a pair that truly overlaps *and* registered it
+  with a small residual (a merge with a wildly wrong transform is an
+  error, not a success), or
+- the aggregator declined a pair that truly does not overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.aggregation import AggregationResult, lcss_similarity
+from repro.world.walker import CaptureSession
+
+
+def _true_points(session: CaptureSession, interval: float = 1.0) -> np.ndarray:
+    motion = session.ground_truth
+    t0, t1 = float(motion.times[0]), float(motion.times[-1])
+    ts = np.arange(t0, t1 + 1e-9, interval)
+    xs = np.interp(ts, motion.times, motion.positions[:, 0])
+    ys = np.interp(ts, motion.times, motion.positions[:, 1])
+    return np.stack([xs, ys], axis=1)
+
+
+def ground_truth_overlap(
+    a: CaptureSession,
+    b: CaptureSession,
+    epsilon: float = 1.5,
+    min_s3: float = 0.45,
+) -> bool:
+    """True when the two sessions' true paths share a common sub-path."""
+    pts_a = _true_points(a)
+    pts_b = _true_points(b)
+    _, s3 = lcss_similarity(pts_a, pts_b, epsilon=epsilon, delta=10**6)
+    return s3 >= min_s3
+
+
+@dataclass(frozen=True)
+class MatchingAccuracyReport:
+    """Pairwise decision accuracy of an aggregation run."""
+
+    n_pairs: int
+    n_correct: int
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def accuracy(self) -> float:
+        return self.n_correct / self.n_pairs if self.n_pairs else 0.0
+
+
+def evaluate_matching_accuracy(
+    sessions: Sequence[CaptureSession],
+    result: AggregationResult,
+    epsilon: float = 1.5,
+    transform_tolerance: float = 2.5,
+) -> MatchingAccuracyReport:
+    """Score an aggregation's pairwise merge decisions against ground truth.
+
+    ``transform_tolerance`` (m) bounds the residual between a merged
+    pair's registered trajectories and the ground-truth relative placement:
+    merges with a larger registration error count as false positives even
+    when the pair truly overlaps.
+    """
+    should: dict = {}
+    for cand in result.candidates:
+        i, j = cand.index_a, cand.index_b
+        if (i, j) not in should:
+            should[(i, j)] = ground_truth_overlap(
+                sessions[i], sessions[j], epsilon=epsilon
+            )
+    tp = fp = tn = fn = 0
+    for cand in result.candidates:
+        key = (cand.index_a, cand.index_b)
+        truly_overlaps = should[key]
+        if cand.mergeable:
+            if truly_overlaps and _transform_residual(
+                sessions[cand.index_a], sessions[cand.index_b], cand
+            ) <= transform_tolerance:
+                tp += 1
+            else:
+                fp += 1
+        else:
+            if truly_overlaps:
+                fn += 1
+            else:
+                tn += 1
+    n_pairs = tp + fp + tn + fn
+    return MatchingAccuracyReport(
+        n_pairs=n_pairs,
+        n_correct=tp + tn,
+        true_positives=tp,
+        false_positives=fp,
+        true_negatives=tn,
+        false_negatives=fn,
+    )
+
+
+def _transform_residual(
+    a: CaptureSession, b: CaptureSession, candidate
+) -> float:
+    """Median registration error (m) of a merge's transform.
+
+    Applies the candidate transform to B's *device* trajectory and
+    measures how far each point lands from B's ground-truth path after
+    expressing both in A's ground-truth frame (A's device frame is assumed
+    approximately geo-aligned, as the paper's Task-1 annotation makes it).
+    """
+    t = candidate.transform
+    moved = t.apply_array(
+        np.array([[p.x, p.y] for p in b.device_trajectory.points])
+    )
+    truth_b = _true_points(b, interval=0.5)
+    # Median nearest-neighbour distance from registered points to truth.
+    dists = []
+    for x, y in moved[:: max(1, len(moved) // 20)]:
+        d = np.min(np.hypot(truth_b[:, 0] - x, truth_b[:, 1] - y))
+        dists.append(d)
+    return float(np.median(dists)) if dists else float("inf")

@@ -1,0 +1,78 @@
+"""Text rendering of evaluation results in the paper's shapes.
+
+Benchmarks print their tables/series through these helpers so every
+experiment's output looks uniform and diffs cleanly run-to-run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.eval.cdf import empirical_cdf
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Fixed-width text table with a title rule."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    rule = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title), fmt(list(headers)), rule]
+    lines += [fmt(row) for row in str_rows]
+    return "\n".join(lines)
+
+
+def render_cdf_series(
+    title: str,
+    series: Dict[str, Sequence[float]],
+    thresholds: Optional[Sequence[float]] = None,
+    unit: str = "",
+) -> str:
+    """Render named CDF series at selected thresholds, plus their means.
+
+    ``thresholds`` defaults to the deciles of the pooled samples, giving a
+    text rendering of the same staircase the paper plots.
+    """
+    pooled = [v for values in series.values() for v in values]
+    if not pooled:
+        return f"{title}\n(no samples)"
+    if thresholds is None:
+        xs, _ = empirical_cdf(pooled)
+        idx = [int(round(q * (len(xs) - 1))) for q in
+               (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)]
+        thresholds = sorted({float(xs[i]) for i in idx})
+    headers = [f"CDF @ {t:g}{unit}" for t in thresholds]
+    rows = []
+    for name, values in series.items():
+        from repro.eval.cdf import cdf_at, mean_of
+
+        row = [name] + [f"{cdf_at(values, t):.2f}" for t in thresholds]
+        row.append(f"{mean_of(values):.3g}{unit}")
+        rows.append(row)
+    return render_table(title, ["series"] + list(headers) + ["mean"], rows)
+
+
+def render_comparison(
+    title: str,
+    ours: Dict[str, float],
+    paper: Dict[str, float],
+    unit: str = "",
+) -> str:
+    """Side-by-side 'measured vs paper' table for EXPERIMENTS.md."""
+    keys = sorted(set(ours) | set(paper))
+    rows: list[Tuple[str, str, str]] = []
+    for key in keys:
+        measured = f"{ours[key]:.3g}{unit}" if key in ours else "-"
+        reported = f"{paper[key]:.3g}{unit}" if key in paper else "-"
+        rows.append((key, measured, reported))
+    return render_table(title, ["metric", "measured", "paper"], rows)

@@ -1,0 +1,101 @@
+"""Room layout and floor plan metrics (paper Section V.B-C, Fig. 8).
+
+- **room area error**: |generated area - true area| / true area;
+- **room aspect ratio error**: |generated AR - true AR| / true AR, with
+  aspect ratio defined as room length over width;
+- **room location error**: distance (m) between the placed room centre
+  and the ground-truth room centre.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.floorplan import FloorPlanResult
+from repro.core.room_layout import RoomLayout
+from repro.world.floorplan_model import FloorPlan, Room
+
+
+def room_area_error(layout: RoomLayout, room: Room) -> float:
+    """Relative area error of a reconstructed room, as a fraction."""
+    true_area = room.area()
+    if true_area <= 0:
+        raise ValueError("ground-truth room area must be positive")
+    return abs(layout.area() - true_area) / true_area
+
+
+def room_aspect_ratio_error(layout: RoomLayout, room: Room) -> float:
+    """Relative aspect-ratio error of a reconstructed room, as a fraction."""
+    true_ar = room.aspect_ratio()
+    return abs(layout.aspect_ratio() - true_ar) / true_ar
+
+
+def room_location_error(center_x: float, center_y: float, room: Room) -> float:
+    """Distance (m) between a placed room centre and the ground truth."""
+    return math.hypot(center_x - room.center.x, center_y - room.center.y)
+
+
+@dataclass
+class RoomErrorReport:
+    """Per-room errors for one reconstruction."""
+
+    building: str
+    area_errors: Dict[str, float] = field(default_factory=dict)
+    aspect_ratio_errors: Dict[str, float] = field(default_factory=dict)
+    location_errors: Dict[str, float] = field(default_factory=dict)
+
+    def mean_area_error(self) -> float:
+        return _mean(self.area_errors)
+
+    def mean_aspect_ratio_error(self) -> float:
+        return _mean(self.aspect_ratio_errors)
+
+    def mean_location_error(self) -> float:
+        return _mean(self.location_errors)
+
+    def max_location_error(self) -> float:
+        return max(self.location_errors.values()) if self.location_errors else 0.0
+
+
+def _mean(values: Dict[str, float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values.values()) / len(values)
+
+
+def evaluate_rooms(
+    result_layouts: Sequence[RoomLayout],
+    room_hints: Sequence[Optional[str]],
+    plan: FloorPlan,
+    floorplan: Optional[FloorPlanResult] = None,
+) -> RoomErrorReport:
+    """Score reconstructed rooms against their ground-truth counterparts.
+
+    ``room_hints`` carries the evaluation-only ground-truth association of
+    each layout with a room name (from the SRS sessions' annotations).
+    Location errors use the *placed* centres from ``floorplan`` when given
+    (Fig. 8c scores the assembled plan), falling back to the raw layout
+    centres otherwise.
+    """
+    report = RoomErrorReport(building=plan.name)
+    for layout, hint in zip(result_layouts, room_hints):
+        if hint is None:
+            continue
+        try:
+            room = plan.room_by_name(hint)
+        except KeyError:
+            continue
+        report.area_errors[hint] = room_area_error(layout, room)
+        report.aspect_ratio_errors[hint] = room_aspect_ratio_error(layout, room)
+        center = layout.center
+        if floorplan is not None:
+            try:
+                center = floorplan.room_by_name(hint).center
+            except KeyError:
+                pass
+        report.location_errors[hint] = room_location_error(
+            center.x, center.y, room
+        )
+    return report

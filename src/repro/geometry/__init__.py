@@ -1,0 +1,47 @@
+"""Geometry substrate for CrowdMap.
+
+Plain 2D computational-geometry building blocks used throughout the
+reconstruction pipeline: points, segments, polygons and rigid transforms
+(:mod:`repro.geometry.primitives`), rasterization and area/IoU operations
+(:mod:`repro.geometry.polygon_ops`), alpha-shape boundary extraction
+(:mod:`repro.geometry.alpha_shape`) and the skeleton-to-ground-truth
+alignment search used by the evaluation (:mod:`repro.geometry.alignment`).
+"""
+
+from repro.geometry.primitives import (
+    Point,
+    Segment,
+    Polygon,
+    BoundingBox,
+    Transform2D,
+    angle_difference,
+    wrap_angle,
+)
+from repro.geometry.polygon_ops import (
+    polygon_area,
+    rasterize_polygon,
+    mask_iou,
+    mask_precision_recall,
+    point_in_polygon,
+)
+from repro.geometry.alpha_shape import alpha_shape_mask, alpha_shape_edges
+from repro.geometry.alignment import align_masks, AlignmentResult
+
+__all__ = [
+    "Point",
+    "Segment",
+    "Polygon",
+    "BoundingBox",
+    "Transform2D",
+    "angle_difference",
+    "wrap_angle",
+    "polygon_area",
+    "rasterize_polygon",
+    "mask_iou",
+    "mask_precision_recall",
+    "point_in_polygon",
+    "alpha_shape_mask",
+    "alpha_shape_edges",
+    "align_masks",
+    "AlignmentResult",
+]

@@ -1,0 +1,150 @@
+"""Alpha-shape boundary extraction (Edelsbrunner et al., 1983).
+
+The floor-path skeleton reconstruction (paper Section III.B.II, Fig. 3b-c)
+marks the boundaries of the accessible-cell point cloud with an alpha shape:
+Delaunay-triangulate the points, keep every triangle whose circumradius is at
+most ``1/alpha``, and take the union of the kept triangles. We build the
+triangulation with :class:`scipy.spatial.Delaunay` and expose both the kept
+boundary edges and a rasterized mask of the shape.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+from scipy.spatial import Delaunay, QhullError
+
+from repro.geometry.primitives import BoundingBox, Point, Segment
+
+
+def _circumradii(points: np.ndarray, simplices: np.ndarray) -> np.ndarray:
+    """Circumradius of each Delaunay triangle (vectorized).
+
+    For a triangle with side lengths a, b, c and area A the circumradius is
+    ``a*b*c / (4*A)``; degenerate triangles get radius +inf.
+    """
+    pa = points[simplices[:, 0]]
+    pb = points[simplices[:, 1]]
+    pc = points[simplices[:, 2]]
+    a = np.linalg.norm(pb - pc, axis=1)
+    b = np.linalg.norm(pa - pc, axis=1)
+    c = np.linalg.norm(pa - pb, axis=1)
+    cross = (pb[:, 0] - pa[:, 0]) * (pc[:, 1] - pa[:, 1]) - (
+        pb[:, 1] - pa[:, 1]
+    ) * (pc[:, 0] - pa[:, 0])
+    area = np.abs(cross) / 2.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        radii = (a * b * c) / (4.0 * area)
+    radii[~np.isfinite(radii)] = np.inf
+    return radii
+
+
+def _kept_simplices(points: np.ndarray, alpha: float) -> Tuple[Delaunay, np.ndarray]:
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must be an (N, 2) array")
+    if len(points) < 3:
+        raise ValueError("alpha shape needs at least 3 points")
+    tri = Delaunay(points)
+    radii = _circumradii(points, tri.simplices)
+    keep = radii <= (1.0 / alpha)
+    return tri, keep
+
+
+def alpha_shape_edges(points: np.ndarray, alpha: float) -> List[Segment]:
+    """Boundary edges of the alpha shape of ``points``.
+
+    An edge is on the boundary when it belongs to exactly one kept triangle.
+    Returns an unordered list of :class:`Segment`.
+    """
+    try:
+        tri, keep = _kept_simplices(points, alpha)
+    except QhullError:
+        return []
+    edge_count: dict[Tuple[int, int], int] = {}
+    for simplex, kept in zip(tri.simplices, keep):
+        if not kept:
+            continue
+        for i in range(3):
+            u, v = simplex[i], simplex[(i + 1) % 3]
+            key = (min(u, v), max(u, v))
+            edge_count[key] = edge_count.get(key, 0) + 1
+    segments = []
+    for (u, v), count in edge_count.items():
+        if count == 1:
+            segments.append(
+                Segment(
+                    Point(float(points[u][0]), float(points[u][1])),
+                    Point(float(points[v][0]), float(points[v][1])),
+                )
+            )
+    return segments
+
+
+def alpha_shape_mask(
+    points: np.ndarray,
+    alpha: float,
+    bounds: BoundingBox,
+    cell_size: float,
+) -> np.ndarray:
+    """Rasterized union of the alpha shape's kept triangles.
+
+    Rasterizes each kept Delaunay triangle onto an occupancy mask over
+    ``bounds`` (row 0 = southern edge). Falls back to marking only the input
+    points when the triangulation is degenerate.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    cols = max(1, int(np.ceil(bounds.width / cell_size)))
+    rows = max(1, int(np.ceil(bounds.height / cell_size)))
+    mask = np.zeros((rows, cols), dtype=bool)
+
+    def mark_points() -> np.ndarray:
+        for x, y in points:
+            col = int((x - bounds.min_x) / cell_size)
+            row = int((y - bounds.min_y) / cell_size)
+            if 0 <= row < rows and 0 <= col < cols:
+                mask[row, col] = True
+        return mask
+
+    try:
+        tri, keep = _kept_simplices(points, alpha)
+    except (QhullError, ValueError):
+        return mark_points()
+
+    xs = bounds.min_x + (np.arange(cols) + 0.5) * cell_size
+    ys = bounds.min_y + (np.arange(rows) + 0.5) * cell_size
+
+    for simplex, kept in zip(tri.simplices, keep):
+        if not kept:
+            continue
+        verts = points[simplex]
+        min_x, min_y = verts.min(axis=0)
+        max_x, max_y = verts.max(axis=0)
+        c0 = np.searchsorted(xs, min_x - cell_size)
+        c1 = np.searchsorted(xs, max_x + cell_size)
+        r0 = np.searchsorted(ys, min_y - cell_size)
+        r1 = np.searchsorted(ys, max_y + cell_size)
+        if c0 >= c1 or r0 >= r1:
+            continue
+        gx, gy = np.meshgrid(xs[c0:c1], ys[r0:r1])
+        inside = _points_in_triangle(gx, gy, verts)
+        mask[r0:r1, c0:c1] |= inside
+    if not mask.any():
+        return mark_points()
+    return mask
+
+
+def _points_in_triangle(gx: np.ndarray, gy: np.ndarray, verts: np.ndarray) -> np.ndarray:
+    """Vectorized barycentric point-in-triangle test for grids of points."""
+    (x0, y0), (x1, y1), (x2, y2) = verts
+    denom = (y1 - y2) * (x0 - x2) + (x2 - x1) * (y0 - y2)
+    if abs(denom) < 1e-12:
+        return np.zeros_like(gx, dtype=bool)
+    l0 = ((y1 - y2) * (gx - x2) + (x2 - x1) * (gy - y2)) / denom
+    l1 = ((y2 - y0) * (gx - x2) + (x0 - x2) * (gy - y2)) / denom
+    l2 = 1.0 - l0 - l1
+    eps = -1e-9
+    return (l0 >= eps) & (l1 >= eps) & (l2 >= eps)

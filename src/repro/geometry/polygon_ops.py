@@ -1,0 +1,161 @@
+"""Polygon rasterization and mask-based set operations.
+
+CrowdMap evaluates hallway shape by overlaying the reconstructed skeleton on
+the ground-truth skeleton and measuring overlap area (paper Eq. 3-5). Exact
+polygon boolean operations are unnecessary for that: we rasterize both shapes
+onto a fine occupancy mask and compute areas cell-wise, which matches the
+paper's own occupancy-grid representation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.primitives import BoundingBox, Point, Polygon
+
+
+def polygon_area(polygon: Polygon) -> float:
+    """Absolute shoelace area of ``polygon`` in square metres."""
+    return polygon.area()
+
+
+def point_in_polygon(p: Point, polygon: Polygon) -> bool:
+    """Even-odd ray-casting point-in-polygon test (boundary counts as inside)."""
+    verts = polygon.vertices
+    inside = False
+    n = len(verts)
+    for i in range(n):
+        a, b = verts[i], verts[(i + 1) % n]
+        if Point(a.x, a.y).distance_to(p) < 1e-12:
+            return True
+        intersects = (a.y > p.y) != (b.y > p.y)
+        if intersects:
+            x_cross = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y)
+            if p.x < x_cross:
+                inside = not inside
+            elif abs(p.x - x_cross) < 1e-12:
+                return True
+    return inside
+
+
+def rasterize_polygon(
+    polygon: Polygon,
+    bounds: BoundingBox,
+    cell_size: float,
+) -> np.ndarray:
+    """Rasterize ``polygon`` into a boolean mask over ``bounds``.
+
+    The mask has shape ``(rows, cols)`` where row 0 is the *southern* edge
+    (min_y), matching the occupancy-grid convention used across the project.
+    A cell is set when its centre lies inside the polygon (even-odd rule),
+    computed with a vectorized scanline crossing count.
+    """
+    if cell_size <= 0:
+        raise ValueError("cell_size must be positive")
+    cols = max(1, int(np.ceil(bounds.width / cell_size)))
+    rows = max(1, int(np.ceil(bounds.height / cell_size)))
+    xs = bounds.min_x + (np.arange(cols) + 0.5) * cell_size
+    ys = bounds.min_y + (np.arange(rows) + 0.5) * cell_size
+    gx, gy = np.meshgrid(xs, ys)  # (rows, cols)
+
+    verts = np.array([[v.x, v.y] for v in polygon.vertices])
+    n = len(verts)
+    inside = np.zeros((rows, cols), dtype=bool)
+    for i in range(n):
+        ax, ay = verts[i]
+        bx, by = verts[(i + 1) % n]
+        crosses = (ay > gy) != (by > gy)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_cross = ax + (gy - ay) * (bx - ax) / (by - ay)
+        hit = crosses & (gx < x_cross)
+        inside ^= hit
+    return inside
+
+
+def rasterize_polygons(
+    polygons: Iterable[Polygon],
+    bounds: BoundingBox,
+    cell_size: float,
+) -> np.ndarray:
+    """Union rasterization of several polygons onto a shared mask."""
+    mask: np.ndarray | None = None
+    for poly in polygons:
+        raster = rasterize_polygon(poly, bounds, cell_size)
+        mask = raster if mask is None else (mask | raster)
+    if mask is None:
+        cols = max(1, int(np.ceil(bounds.width / cell_size)))
+        rows = max(1, int(np.ceil(bounds.height / cell_size)))
+        mask = np.zeros((rows, cols), dtype=bool)
+    return mask
+
+
+def mask_iou(a: np.ndarray, b: np.ndarray) -> float:
+    """Intersection-over-union of two boolean masks of identical shape."""
+    if a.shape != b.shape:
+        raise ValueError(f"mask shapes differ: {a.shape} vs {b.shape}")
+    union = np.count_nonzero(a | b)
+    if union == 0:
+        return 0.0
+    return np.count_nonzero(a & b) / union
+
+
+def mask_precision_recall(
+    generated: np.ndarray, truth: np.ndarray
+) -> Tuple[float, float, float]:
+    """Precision, recall and F-measure of a generated mask vs ground truth.
+
+    Implements the paper's hallway-shape metrics (Eq. 3-5): precision is
+    overlap area over generated area, recall is overlap area over true area,
+    F is their harmonic mean.
+    """
+    if generated.shape != truth.shape:
+        raise ValueError(f"mask shapes differ: {generated.shape} vs {truth.shape}")
+    overlap = np.count_nonzero(generated & truth)
+    gen_area = np.count_nonzero(generated)
+    true_area = np.count_nonzero(truth)
+    precision = overlap / gen_area if gen_area else 0.0
+    recall = overlap / true_area if true_area else 0.0
+    if precision + recall == 0.0:
+        f_measure = 0.0
+    else:
+        f_measure = 2.0 * precision * recall / (precision + recall)
+    return precision, recall, f_measure
+
+
+def mask_centroid(mask: np.ndarray, bounds: BoundingBox, cell_size: float) -> Point:
+    """World-coordinate centroid of the set cells of ``mask``."""
+    rows, cols = np.nonzero(mask)
+    if rows.size == 0:
+        return bounds.center
+    x = bounds.min_x + (cols.mean() + 0.5) * cell_size
+    y = bounds.min_y + (rows.mean() + 0.5) * cell_size
+    return Point(float(x), float(y))
+
+
+def convex_hull(points: Sequence[Point]) -> Polygon:
+    """Andrew's monotone-chain convex hull of at least 3 non-collinear points."""
+    pts = sorted(set((p.x, p.y) for p in points))
+    if len(pts) < 3:
+        raise ValueError("need at least 3 distinct points for a hull")
+
+    def half_hull(sequence: Sequence[Tuple[float, float]]):
+        hull: list[Tuple[float, float]] = []
+        for p in sequence:
+            while len(hull) >= 2:
+                ox, oy = hull[-2]
+                ax, ay = hull[-1]
+                if (ax - ox) * (p[1] - oy) - (ay - oy) * (p[0] - ox) <= 0:
+                    hull.pop()
+                else:
+                    break
+            hull.append(p)
+        return hull
+
+    lower = half_hull(pts)
+    upper = half_hull(list(reversed(pts)))
+    ring = lower[:-1] + upper[:-1]
+    if len(ring) < 3:
+        raise ValueError("points are collinear; hull is degenerate")
+    return Polygon([Point(x, y) for x, y in ring])

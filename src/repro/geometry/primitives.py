@@ -1,0 +1,349 @@
+"""Basic 2D geometric primitives.
+
+Everything in the CrowdMap pipeline lives in a right-handed metric floor
+coordinate system: x grows east, y grows north, angles are radians measured
+counter-clockwise from +x. These primitives are deliberately small immutable
+value types so they can be freely passed between the world simulator, the
+sensor models and the reconstruction code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+TWO_PI = 2.0 * math.pi
+
+
+def wrap_angle(theta: float) -> float:
+    """Wrap an angle in radians into ``(-pi, pi]``."""
+    wrapped = math.fmod(theta + math.pi, TWO_PI)
+    if wrapped <= 0.0:
+        wrapped += TWO_PI
+    return wrapped - math.pi
+
+
+def angle_difference(a: float, b: float) -> float:
+    """Signed smallest difference ``a - b`` wrapped into ``(-pi, pi]``."""
+    return wrap_angle(a - b)
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2D point (or vector) in metres."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def dot(self, other: "Point") -> float:
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Z-component of the 3D cross product (signed parallelogram area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def normalized(self) -> "Point":
+        n = self.norm()
+        if n == 0.0:
+            raise ValueError("cannot normalize the zero vector")
+        return Point(self.x / n, self.y / n)
+
+    def rotated(self, theta: float) -> "Point":
+        """Rotate counter-clockwise about the origin by ``theta`` radians."""
+        c, s = math.cos(theta), math.sin(theta)
+        return Point(c * self.x - s * self.y, s * self.x + c * self.y)
+
+    def heading(self) -> float:
+        """Angle of this vector from +x, in ``(-pi, pi]``."""
+        return math.atan2(self.y, self.x)
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.x, self.y], dtype=np.float64)
+
+    @staticmethod
+    def from_polar(radius: float, theta: float) -> "Point":
+        return Point(radius * math.cos(theta), radius * math.sin(theta))
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A directed line segment between two points."""
+
+    a: Point
+    b: Point
+
+    def length(self) -> float:
+        return self.a.distance_to(self.b)
+
+    def direction(self) -> Point:
+        return (self.b - self.a).normalized()
+
+    def heading(self) -> float:
+        return (self.b - self.a).heading()
+
+    def midpoint(self) -> Point:
+        return Point((self.a.x + self.b.x) / 2.0, (self.a.y + self.b.y) / 2.0)
+
+    def point_at(self, t: float) -> Point:
+        """Point at parameter ``t`` (0 at ``a``, 1 at ``b``)."""
+        return Point(
+            self.a.x + t * (self.b.x - self.a.x),
+            self.a.y + t * (self.b.y - self.a.y),
+        )
+
+    def distance_to_point(self, p: Point) -> float:
+        """Euclidean distance from ``p`` to the closest point on the segment."""
+        d = self.b - self.a
+        len_sq = d.dot(d)
+        if len_sq == 0.0:
+            return self.a.distance_to(p)
+        t = (p - self.a).dot(d) / len_sq
+        t = min(1.0, max(0.0, t))
+        return self.point_at(t).distance_to(p)
+
+    def intersects(self, other: "Segment") -> bool:
+        """True if the two closed segments intersect."""
+
+        def orient(p: Point, q: Point, r: Point) -> float:
+            return (q - p).cross(r - p)
+
+        def on_segment(p: Point, q: Point, r: Point) -> bool:
+            return (
+                min(p.x, r.x) <= q.x <= max(p.x, r.x)
+                and min(p.y, r.y) <= q.y <= max(p.y, r.y)
+            )
+
+        d1 = orient(other.a, other.b, self.a)
+        d2 = orient(other.a, other.b, self.b)
+        d3 = orient(self.a, self.b, other.a)
+        d4 = orient(self.a, self.b, other.b)
+        if ((d1 > 0 > d2) or (d1 < 0 < d2)) and ((d3 > 0 > d4) or (d3 < 0 < d4)):
+            return True
+        if d1 == 0 and on_segment(other.a, self.a, other.b):
+            return True
+        if d2 == 0 and on_segment(other.a, self.b, other.b):
+            return True
+        if d3 == 0 and on_segment(self.a, other.a, self.b):
+            return True
+        if d4 == 0 and on_segment(self.a, other.b, self.b):
+            return True
+        return False
+
+    def intersection(self, other: "Segment") -> Point | None:
+        """Intersection point of the two segments, or None if disjoint/parallel."""
+        r = self.b - self.a
+        s = other.b - other.a
+        denom = r.cross(s)
+        if denom == 0.0:
+            return None
+        qp = other.a - self.a
+        t = qp.cross(s) / denom
+        u = qp.cross(r) / denom
+        if 0.0 <= t <= 1.0 and 0.0 <= u <= 1.0:
+            return self.point_at(t)
+        return None
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned bounding box ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError("BoundingBox min must not exceed max")
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def area(self) -> float:
+        return self.width * self.height
+
+    def contains(self, p: Point) -> bool:
+        return self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        return BoundingBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    @staticmethod
+    def of_points(points: Iterable[Point]) -> "BoundingBox":
+        pts = list(points)
+        if not pts:
+            raise ValueError("cannot bound an empty point set")
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        return BoundingBox(min(xs), min(ys), max(xs), max(ys))
+
+
+class Polygon:
+    """A simple polygon given by its vertices in order (CW or CCW)."""
+
+    def __init__(self, vertices: Sequence[Point]):
+        if len(vertices) < 3:
+            raise ValueError("a polygon needs at least 3 vertices")
+        self._vertices: Tuple[Point, ...] = tuple(vertices)
+
+    @property
+    def vertices(self) -> Tuple[Point, ...]:
+        return self._vertices
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self._vertices)
+
+    def edges(self) -> List[Segment]:
+        verts = self._vertices
+        return [Segment(verts[i], verts[(i + 1) % len(verts)]) for i in range(len(verts))]
+
+    def signed_area(self) -> float:
+        """Shoelace area; positive for counter-clockwise winding."""
+        total = 0.0
+        verts = self._vertices
+        for i, v in enumerate(verts):
+            w = verts[(i + 1) % len(verts)]
+            total += v.cross(w)
+        return total / 2.0
+
+    def area(self) -> float:
+        return abs(self.signed_area())
+
+    def perimeter(self) -> float:
+        return sum(e.length() for e in self.edges())
+
+    def centroid(self) -> Point:
+        """Area centroid (falls back to vertex mean for degenerate polygons)."""
+        a = self.signed_area()
+        if abs(a) < 1e-12:
+            xs = sum(v.x for v in self._vertices) / len(self._vertices)
+            ys = sum(v.y for v in self._vertices) / len(self._vertices)
+            return Point(xs, ys)
+        cx = cy = 0.0
+        verts = self._vertices
+        for i, v in enumerate(verts):
+            w = verts[(i + 1) % len(verts)]
+            cross = v.cross(w)
+            cx += (v.x + w.x) * cross
+            cy += (v.y + w.y) * cross
+        return Point(cx / (6.0 * a), cy / (6.0 * a))
+
+    def bounding_box(self) -> BoundingBox:
+        return BoundingBox.of_points(self._vertices)
+
+    def contains(self, p: Point) -> bool:
+        from repro.geometry.polygon_ops import point_in_polygon
+
+        return point_in_polygon(p, self)
+
+    def translated(self, offset: Point) -> "Polygon":
+        return Polygon([v + offset for v in self._vertices])
+
+    def rotated(self, theta: float, about: Point | None = None) -> "Polygon":
+        pivot = about if about is not None else Point(0.0, 0.0)
+        return Polygon([(v - pivot).rotated(theta) + pivot for v in self._vertices])
+
+    def scaled(self, factor: float, about: Point | None = None) -> "Polygon":
+        pivot = about if about is not None else self.centroid()
+        return Polygon([(v - pivot) * factor + pivot for v in self._vertices])
+
+    @staticmethod
+    def rectangle(center: Point, width: float, height: float, theta: float = 0.0) -> "Polygon":
+        """Axis-aligned rectangle of ``width`` x ``height``, rotated by ``theta``."""
+        hw, hh = width / 2.0, height / 2.0
+        corners = [Point(-hw, -hh), Point(hw, -hh), Point(hw, hh), Point(-hw, hh)]
+        return Polygon([c.rotated(theta) + center for c in corners])
+
+    def __repr__(self) -> str:
+        return f"Polygon({len(self._vertices)} vertices, area={self.area():.2f})"
+
+
+@dataclass(frozen=True)
+class Transform2D:
+    """Rigid 2D transform: rotation by ``theta`` about origin, then translation."""
+
+    theta: float
+    tx: float
+    ty: float
+
+    def apply(self, p: Point) -> Point:
+        return p.rotated(self.theta) + Point(self.tx, self.ty)
+
+    def apply_array(self, xy: np.ndarray) -> np.ndarray:
+        """Apply to an (N, 2) array of points."""
+        c, s = math.cos(self.theta), math.sin(self.theta)
+        rot = np.array([[c, -s], [s, c]])
+        return xy @ rot.T + np.array([self.tx, self.ty])
+
+    def inverse(self) -> "Transform2D":
+        c, s = math.cos(self.theta), math.sin(self.theta)
+        # Inverse rotation applied to the negated translation.
+        inv_tx = -(c * self.tx + s * self.ty)
+        inv_ty = -(-s * self.tx + c * self.ty)
+        return Transform2D(-self.theta, inv_tx, inv_ty)
+
+    def compose(self, other: "Transform2D") -> "Transform2D":
+        """Return the transform equivalent to applying ``other`` then ``self``."""
+        moved = Point(other.tx, other.ty).rotated(self.theta)
+        return Transform2D(
+            wrap_angle(self.theta + other.theta),
+            self.tx + moved.x,
+            self.ty + moved.y,
+        )
+
+    @staticmethod
+    def identity() -> "Transform2D":
+        return Transform2D(0.0, 0.0, 0.0)

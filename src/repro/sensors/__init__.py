@@ -1,0 +1,41 @@
+"""Inertial sensing substrate for CrowdMap.
+
+Simulates the smartphone IMU (gyroscope, accelerometer, compass) and
+implements the client-side processing the paper relies on: step counting by
+accelerometer peak detection, heading estimation by gyro integration fused
+with compass corrections, and dead reckoning that turns both into the
+``(x_i, y_i, t_i)`` trajectory triples of the SWS micro-task.
+"""
+
+from repro.sensors.imu import ImuConfig, ImuSample, ImuSimulator, ImuTrace
+from repro.sensors.step_counter import count_steps, detect_step_times
+from repro.sensors.heading import HeadingEstimator, integrate_gyro
+from repro.sensors.dead_reckoning import dead_reckon, DeadReckoningConfig
+from repro.sensors.trajectory import Trajectory, TrajectoryPoint
+from repro.sensors.activity import (
+    FloorTransition,
+    TransitionKind,
+    detect_floor_transitions,
+    estimate_altitude,
+    floor_of_session,
+)
+
+__all__ = [
+    "ImuConfig",
+    "ImuSample",
+    "ImuSimulator",
+    "ImuTrace",
+    "count_steps",
+    "detect_step_times",
+    "HeadingEstimator",
+    "integrate_gyro",
+    "dead_reckon",
+    "DeadReckoningConfig",
+    "Trajectory",
+    "TrajectoryPoint",
+    "FloorTransition",
+    "TransitionKind",
+    "detect_floor_transitions",
+    "estimate_altitude",
+    "floor_of_session",
+]

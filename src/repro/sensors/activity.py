@@ -1,0 +1,146 @@
+"""Activity and floor-transition detection from inertial + barometric data.
+
+Paper Section VI ("Reconstruct Multi-Floors in Single Round"): multi-floor
+buildings decompose into per-floor reconstructions connected at stairs and
+elevators, with floors told apart by fingerprints (Skyloc) or by "the
+acceleration patterns to tell apart corridors and stairs or elevators".
+This module provides both signals:
+
+- :func:`estimate_altitude` converts the barometer channel to metres;
+- :func:`detect_floor_transitions` finds sustained altitude ramps and
+  labels them stairs (step impacts present) or elevator (smooth);
+- :func:`floor_of_session` assigns a session to a floor index from its
+  median altitude.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sensors.imu import (
+    GRAVITY,
+    PRESSURE_PER_METRE,
+    SEA_LEVEL_PRESSURE,
+    ImuTrace,
+)
+from repro.sensors.step_counter import detect_step_times
+
+#: Standard storey height used to map altitude to a floor index, metres.
+FLOOR_HEIGHT = 3.0
+
+
+class TransitionKind(enum.Enum):
+    """How a vertical transition was performed (steps present or not)."""
+
+    STAIRS = "stairs"
+    ELEVATOR = "elevator"
+
+
+@dataclass(frozen=True)
+class FloorTransition:
+    """One detected vertical movement episode."""
+
+    t_start: float
+    t_end: float
+    delta_floors: int
+    kind: TransitionKind
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+def estimate_altitude(trace: ImuTrace, smooth_window_s: float = 2.0) -> np.ndarray:
+    """Altitude (m, relative to sea level 0) from the barometer channel.
+
+    Pressure is smoothed with a moving average wide enough to suppress the
+    barometer's white noise (a few Pa ~ a quarter metre) before conversion.
+    """
+    if len(trace) == 0:
+        return np.empty(0)
+    times = trace.times()
+    pressure = trace.pressure()
+    if len(times) > 1:
+        dt = float(np.median(np.diff(times)))
+        window = max(1, int(round(smooth_window_s / dt)))
+        kernel = np.ones(window) / window
+        padded = np.pad(pressure, window // 2, mode="edge")
+        smoothed = np.convolve(padded, kernel, mode="same")
+        start = window // 2
+        pressure = smoothed[start : start + len(times)]
+    return (SEA_LEVEL_PRESSURE - pressure) / PRESSURE_PER_METRE
+
+
+def detect_floor_transitions(
+    trace: ImuTrace,
+    min_delta_m: float = 2.0,
+    window_s: float = 6.0,
+) -> List[FloorTransition]:
+    """Detect sustained altitude changes of at least ``min_delta_m``.
+
+    A sliding derivative over ``window_s`` marks climbing episodes; each
+    contiguous episode becomes one transition whose floor delta is the
+    altitude change rounded to whole storeys. Episodes with detected steps
+    are stairs; without, elevators.
+    """
+    if len(trace) < 10:
+        return []
+    times = trace.times()
+    altitude = estimate_altitude(trace)
+    dt = float(np.median(np.diff(times)))
+    half = max(1, int(round(window_s / 2.0 / dt)))
+    rate = np.zeros_like(altitude)
+    for i in range(len(altitude)):
+        lo = max(0, i - half)
+        hi = min(len(altitude) - 1, i + half)
+        span = times[hi] - times[lo]
+        if span > 0:
+            rate[i] = (altitude[hi] - altitude[lo]) / span
+    # Climbing when the sustained vertical rate exceeds ~0.15 m/s.
+    moving = np.abs(rate) > 0.15
+
+    transitions: List[FloorTransition] = []
+    step_times = np.array(detect_step_times(trace))
+    i = 0
+    n = len(moving)
+    while i < n:
+        if not moving[i]:
+            i += 1
+            continue
+        j = i
+        while j < n and moving[j]:
+            j += 1
+        t0, t1 = float(times[i]), float(times[min(j, n - 1)])
+        delta = float(altitude[min(j, n - 1)] - altitude[i])
+        if abs(delta) >= min_delta_m:
+            delta_floors = int(np.round(delta / FLOOR_HEIGHT))
+            if delta_floors != 0:
+                has_steps = bool(
+                    ((step_times >= t0) & (step_times <= t1)).sum() >= 3
+                ) if step_times.size else False
+                transitions.append(
+                    FloorTransition(
+                        t_start=t0,
+                        t_end=t1,
+                        delta_floors=delta_floors,
+                        kind=(TransitionKind.STAIRS if has_steps
+                              else TransitionKind.ELEVATOR),
+                    )
+                )
+        i = j
+    return transitions
+
+
+def floor_of_session(
+    trace: ImuTrace, ground_floor_altitude: float = 0.0
+) -> int:
+    """Floor index (0-based) of a single-floor session from its altitude."""
+    altitude = estimate_altitude(trace)
+    if altitude.size == 0:
+        return 0
+    median = float(np.median(altitude)) - ground_floor_altitude
+    return int(np.round(median / FLOOR_HEIGHT))

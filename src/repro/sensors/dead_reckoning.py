@@ -1,0 +1,74 @@
+"""Pedestrian dead reckoning: steps + headings -> local trajectory.
+
+This produces the trajectory of the SWS micro-task: each detected step
+advances the position by the stride length along the fused heading at the
+footfall instant, yielding the ``(x_i, y_i, t_i)`` triples (paper Section
+III.A). Stride-length error and heading drift accumulate exactly as they do
+on a real phone — which is why the pipeline later anchors these trajectories
+with video key-frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+import numpy as np
+
+from repro.sensors.heading import HeadingEstimator
+from repro.sensors.imu import ImuTrace
+from repro.sensors.step_counter import detect_step_times
+from repro.sensors.trajectory import Trajectory, TrajectoryPoint
+
+
+@dataclass(frozen=True)
+class DeadReckoningConfig:
+    """Parameters for trajectory reconstruction from an IMU trace."""
+
+    step_length: float = 0.7  # metres per step (uncalibrated adult average)
+    compass_gain: float = 0.02
+    step_threshold: float = 0.8  # m/s^2, see step_counter
+    min_step_interval: float = 0.3  # s
+
+
+def dead_reckon(
+    trace: ImuTrace,
+    config: DeadReckoningConfig | None = None,
+    origin: tuple = (0.0, 0.0),
+    initial_heading: float | None = None,
+    user_id: str = "",
+    trajectory_id: str = "",
+) -> Trajectory:
+    """Reconstruct a local-frame trajectory from an IMU trace.
+
+    The trajectory starts at ``origin`` at the trace's first timestamp and
+    adds one point per detected step. A final point is appended at the trace
+    end so stationary tails (the second "Stay" of Stay-Walk-Stay) are
+    represented.
+    """
+    config = config or DeadReckoningConfig()
+    estimator = HeadingEstimator(compass_gain=config.compass_gain)
+    if len(trace) == 0:
+        return Trajectory(points=[], user_id=user_id, trajectory_id=trajectory_id)
+    headings = estimator.estimate(trace, initial_heading=initial_heading)
+    times = trace.times()
+    step_times = detect_step_times(
+        trace,
+        threshold=config.step_threshold,
+        min_step_interval=config.min_step_interval,
+    )
+
+    x, y = float(origin[0]), float(origin[1])
+    t0 = float(times[0])
+    h0 = float(headings[0])
+    points = [TrajectoryPoint(x, y, t0, h0)]
+    for st in step_times:
+        heading = float(np.interp(st, times, headings))
+        x += config.step_length * math.cos(heading)
+        y += config.step_length * math.sin(heading)
+        points.append(TrajectoryPoint(x, y, float(st), heading))
+    t_end = float(times[-1])
+    if not step_times or t_end > step_times[-1] + 1e-9:
+        points.append(TrajectoryPoint(x, y, t_end, float(headings[-1])))
+    return Trajectory(points=points, user_id=user_id, trajectory_id=trajectory_id)

@@ -1,0 +1,67 @@
+"""Heading estimation: gyro integration fused with compass corrections.
+
+Paper Section III.A: "the direction change of each step Δω is calculated by
+jointly using compass, gyroscope and accelerometer [12]." Gyro integration
+is locally accurate but drifts with bias; the compass is absolutely
+referenced but noisy and disturbed indoors. The standard fusion — and ours —
+is a complementary filter: integrate the gyro at full rate and softly pull
+the estimate toward the compass with a small gain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sensors.imu import ImuTrace
+
+
+def integrate_gyro(trace: ImuTrace, initial_heading: float = 0.0) -> np.ndarray:
+    """Heading track from pure gyroscope integration (drifts with bias)."""
+    times = trace.times()
+    gyro = trace.gyro()
+    headings = np.empty(len(times))
+    headings[0] = initial_heading
+    if len(times) > 1:
+        dt = np.diff(times)
+        headings[1:] = initial_heading + np.cumsum(gyro[:-1] * dt)
+    return headings
+
+
+class HeadingEstimator:
+    """Complementary filter fusing gyro rate with compass absolute heading.
+
+    ``compass_gain`` is the fraction of the (unwrapped) gyro-vs-compass
+    disagreement corrected per sample; small values trust the gyro short
+    term while still bounding long-term drift.
+    """
+
+    def __init__(self, compass_gain: float = 0.02):
+        if not 0.0 <= compass_gain <= 1.0:
+            raise ValueError("compass_gain must be within [0, 1]")
+        self.compass_gain = compass_gain
+
+    def estimate(
+        self, trace: ImuTrace, initial_heading: Optional[float] = None
+    ) -> np.ndarray:
+        """Fused heading at every sample of ``trace`` (radians, unwrapped)."""
+        if len(trace) == 0:
+            return np.empty(0)
+        times = trace.times()
+        gyro = trace.gyro()
+        compass = np.unwrap(trace.compass())
+        heading = np.empty(len(times))
+        heading[0] = compass[0] if initial_heading is None else initial_heading
+        for i in range(1, len(times)):
+            dt = times[i] - times[i - 1]
+            predicted = heading[i - 1] + gyro[i - 1] * dt
+            # Pull toward the compass by the filter gain.
+            error = compass[i] - predicted
+            heading[i] = predicted + self.compass_gain * error
+        return heading
+
+    def heading_at(self, trace: ImuTrace, t: float) -> float:
+        """Fused heading interpolated at time ``t``."""
+        headings = self.estimate(trace)
+        return float(np.interp(t, trace.times(), headings))

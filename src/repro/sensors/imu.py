@@ -1,0 +1,201 @@
+"""Smartphone IMU simulation: gyroscope, accelerometer, compass.
+
+The paper's substrate is the phone's inertial stack sampled during SRS/SWS
+micro-tasks. Offline we synthesize those signals from a ground-truth motion
+description with the error sources that make dead reckoning drift in
+practice:
+
+- gyroscope: white noise + a slowly varying bias (drift grows with time);
+- accelerometer: gravity + per-step impact bumps + white noise, so step
+  counting sees a realistic periodic signal;
+- compass: the true heading corrupted by white noise and location-dependent
+  soft-iron disturbance (a smooth pseudo-random field), modelling indoor
+  magnetic interference near steel structure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+GRAVITY = 9.81
+
+
+@dataclass(frozen=True)
+class ImuConfig:
+    """Noise/bias parameters of a simulated phone IMU."""
+
+    sample_rate_hz: float = 50.0
+    gyro_noise_std: float = 0.01  # rad/s white noise
+    gyro_bias_std: float = 0.002  # rad/s constant bias magnitude
+    gyro_bias_walk_std: float = 0.0002  # rad/s random-walk increment
+    accel_noise_std: float = 0.25  # m/s^2 white noise
+    step_impact_amplitude: float = 2.4  # m/s^2 peak of a step bump
+    compass_noise_std: float = 0.08  # rad white noise
+    magnetic_disturbance_std: float = 0.08  # rad amplitude of the field
+    magnetic_disturbance_scale: float = 6.0  # metres, spatial period
+    pressure_noise_std: float = 3.0  # Pa white noise (phone barometer)
+    pressure_drift_std: float = 0.05  # Pa random-walk increment
+
+
+#: Standard sea-level pressure, Pa.
+SEA_LEVEL_PRESSURE = 101325.0
+
+#: Pressure falls ~12 Pa per metre of altitude near the ground.
+PRESSURE_PER_METRE = 12.0
+
+
+@dataclass(frozen=True)
+class ImuSample:
+    """One timestamped IMU reading."""
+
+    t: float
+    gyro_z: float  # yaw rate, rad/s
+    accel_magnitude: float  # |a|, m/s^2, gravity included
+    compass_heading: float  # rad, CCW from +x
+    pressure: float = SEA_LEVEL_PRESSURE  # Pa (barometer)
+
+
+@dataclass
+class ImuTrace:
+    """A full recording of IMU samples for one micro-task."""
+
+    samples: List[ImuSample]
+    config: ImuConfig = field(default_factory=ImuConfig)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def times(self) -> np.ndarray:
+        return np.array([s.t for s in self.samples])
+
+    def gyro(self) -> np.ndarray:
+        return np.array([s.gyro_z for s in self.samples])
+
+    def accel(self) -> np.ndarray:
+        return np.array([s.accel_magnitude for s in self.samples])
+
+    def compass(self) -> np.ndarray:
+        return np.array([s.compass_heading for s in self.samples])
+
+    def pressure(self) -> np.ndarray:
+        return np.array([s.pressure for s in self.samples])
+
+    def duration(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        return self.samples[-1].t - self.samples[0].t
+
+
+class ImuSimulator:
+    """Generates IMU traces from ground-truth motion.
+
+    The simulator owns the per-device bias state so that successive tasks
+    recorded by the same user share a bias realization (as a real phone
+    would), while different users get independent ones.
+    """
+
+    def __init__(self, config: Optional[ImuConfig] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.config = config or ImuConfig()
+        self._rng = rng or np.random.default_rng()
+        self._gyro_bias = float(self._rng.normal(0.0, self.config.gyro_bias_std))
+        # Random phases for the spatial magnetic disturbance field.
+        self._mag_phase = self._rng.uniform(0.0, 2 * math.pi, size=4)
+
+    def _magnetic_disturbance(self, x: float, y: float) -> float:
+        """Smooth location-dependent compass error (soft-iron model)."""
+        c = self.config
+        k = 2 * math.pi / c.magnetic_disturbance_scale
+        value = (
+            math.sin(k * x + self._mag_phase[0])
+            + math.cos(k * y + self._mag_phase[1])
+            + math.sin(k * (x + y) / 1.7 + self._mag_phase[2])
+        ) / 3.0
+        return c.magnetic_disturbance_std * value
+
+    def record(
+        self,
+        times: Sequence[float],
+        positions: np.ndarray,
+        headings: Sequence[float],
+        step_times: Sequence[float] = (),
+        altitudes: Optional[Sequence[float]] = None,
+    ) -> ImuTrace:
+        """Simulate a recording along a ground-truth motion.
+
+        ``times`` are ground-truth sample instants (the simulator resamples
+        to its own rate), ``positions`` the (N, 2) true positions, and
+        ``headings`` the true yaw at each instant. ``step_times`` are the
+        ground-truth footfall instants used to inject accelerometer bumps.
+        ``altitudes`` (m, optional; default 0) drive the barometer channel
+        used for floor disambiguation (paper Section VI / Skyloc).
+        """
+        times = np.asarray(times, dtype=np.float64)
+        positions = np.asarray(positions, dtype=np.float64)
+        headings_unwrapped = np.unwrap(np.asarray(headings, dtype=np.float64))
+        if len(times) != len(positions) or len(times) != len(headings_unwrapped):
+            raise ValueError("times, positions and headings must align")
+        if len(times) < 2:
+            raise ValueError("need at least two ground-truth samples")
+
+        c = self.config
+        dt = 1.0 / c.sample_rate_hz
+        sample_times = np.arange(times[0], times[-1] + 1e-9, dt)
+        true_heading = np.interp(sample_times, times, headings_unwrapped)
+        true_x = np.interp(sample_times, times, positions[:, 0])
+        true_y = np.interp(sample_times, times, positions[:, 1])
+        true_rate = np.gradient(true_heading, sample_times)
+
+        n = len(sample_times)
+        bias_walk = np.cumsum(self._rng.normal(0.0, c.gyro_bias_walk_std, n))
+        gyro = (
+            true_rate
+            + self._gyro_bias
+            + bias_walk
+            + self._rng.normal(0.0, c.gyro_noise_std, n)
+        )
+
+        accel = np.full(n, GRAVITY) + self._rng.normal(0.0, c.accel_noise_std, n)
+        for st in step_times:
+            # A half-sine impact bump ~0.25 s wide centred on the footfall.
+            window = np.abs(sample_times - st) < 0.125
+            phase = (sample_times[window] - st + 0.125) / 0.25 * math.pi
+            accel[window] += c.step_impact_amplitude * np.sin(phase)
+
+        disturbance = np.array(
+            [self._magnetic_disturbance(x, y) for x, y in zip(true_x, true_y)]
+        )
+        compass = (
+            true_heading
+            + disturbance
+            + self._rng.normal(0.0, c.compass_noise_std, n)
+        )
+
+        if altitudes is not None:
+            alt = np.interp(
+                sample_times, times, np.asarray(altitudes, dtype=np.float64)
+            )
+        else:
+            alt = np.zeros(n)
+        pressure = (
+            SEA_LEVEL_PRESSURE
+            - PRESSURE_PER_METRE * alt
+            + np.cumsum(self._rng.normal(0.0, c.pressure_drift_std, n))
+            + self._rng.normal(0.0, c.pressure_noise_std, n)
+        )
+
+        samples = [
+            ImuSample(
+                t=float(sample_times[i]),
+                gyro_z=float(gyro[i]),
+                accel_magnitude=float(accel[i]),
+                compass_heading=float(compass[i]),
+                pressure=float(pressure[i]),
+            )
+            for i in range(n)
+        ]
+        return ImuTrace(samples=samples, config=c)

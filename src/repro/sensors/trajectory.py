@@ -1,0 +1,173 @@
+"""User trajectories: the ``(x_i, y_i, t_i)`` triples of the SWS task.
+
+Paper Section III.A: "This movement can be described using a triple
+(x_i, y_i, t_i) ... a sequence of such triples ... is called the trajectory
+of the user." A :class:`Trajectory` is that sequence plus the key-frame
+anchors CrowdMap attaches along it for aggregation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One sample of a user trajectory in the user's local frame."""
+
+    x: float
+    y: float
+    t: float
+    heading: float = 0.0
+
+    def distance_to(self, other: "TrajectoryPoint") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass
+class Trajectory:
+    """A user trajectory with optional key-frame anchors.
+
+    ``keyframe_indices`` maps a key-frame id to the index of the trajectory
+    point nearest its capture time; the aggregation module uses these as
+    anchor points when merging trajectories from different users.
+    """
+
+    points: List[TrajectoryPoint]
+    user_id: str = ""
+    trajectory_id: str = ""
+    keyframe_indices: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, index: int) -> TrajectoryPoint:
+        return self.points[index]
+
+    def duration(self) -> float:
+        if len(self.points) < 2:
+            return 0.0
+        return self.points[-1].t - self.points[0].t
+
+    def length(self) -> float:
+        """Total path length in metres."""
+        return sum(
+            self.points[i].distance_to(self.points[i + 1])
+            for i in range(len(self.points) - 1)
+        )
+
+    def as_array(self) -> np.ndarray:
+        """(N, 2) array of xy coordinates."""
+        return np.array([[p.x, p.y] for p in self.points], dtype=np.float64)
+
+    def times(self) -> np.ndarray:
+        return np.array([p.t for p in self.points], dtype=np.float64)
+
+    def translated(self, dx: float, dy: float) -> "Trajectory":
+        return Trajectory(
+            points=[
+                TrajectoryPoint(p.x + dx, p.y + dy, p.t, p.heading)
+                for p in self.points
+            ],
+            user_id=self.user_id,
+            trajectory_id=self.trajectory_id,
+            keyframe_indices=dict(self.keyframe_indices),
+        )
+
+    def rotated(self, theta: float) -> "Trajectory":
+        """Rotate about the origin by ``theta`` radians (CCW)."""
+        c, s = math.cos(theta), math.sin(theta)
+        return Trajectory(
+            points=[
+                TrajectoryPoint(
+                    c * p.x - s * p.y, s * p.x + c * p.y, p.t, p.heading + theta
+                )
+                for p in self.points
+            ],
+            user_id=self.user_id,
+            trajectory_id=self.trajectory_id,
+            keyframe_indices=dict(self.keyframe_indices),
+        )
+
+    def transformed(self, theta: float, dx: float, dy: float) -> "Trajectory":
+        """Rigid transform: rotate by ``theta`` then translate."""
+        return self.rotated(theta).translated(dx, dy)
+
+    def resampled(self, interval: float) -> "Trajectory":
+        """Uniform-in-time linear resampling with period ``interval``.
+
+        Key-frame anchors are re-attached to the nearest resampled point by
+        capture time.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if len(self.points) < 2:
+            return Trajectory(
+                points=list(self.points),
+                user_id=self.user_id,
+                trajectory_id=self.trajectory_id,
+                keyframe_indices=dict(self.keyframe_indices),
+            )
+        times = self.times()
+        xs = np.array([p.x for p in self.points])
+        ys = np.array([p.y for p in self.points])
+        headings = np.unwrap(np.array([p.heading for p in self.points]))
+        new_times = np.arange(times[0], times[-1] + 1e-9, interval)
+        new_x = np.interp(new_times, times, xs)
+        new_y = np.interp(new_times, times, ys)
+        new_h = np.interp(new_times, times, headings)
+        new_points = [
+            TrajectoryPoint(float(x), float(y), float(t), float(h))
+            for x, y, t, h in zip(new_x, new_y, new_times, new_h)
+        ]
+        new_anchors: Dict[str, int] = {}
+        for kf_id, idx in self.keyframe_indices.items():
+            t_kf = self.points[idx].t
+            new_anchors[kf_id] = int(np.argmin(np.abs(new_times - t_kf)))
+        return Trajectory(
+            points=new_points,
+            user_id=self.user_id,
+            trajectory_id=self.trajectory_id,
+            keyframe_indices=new_anchors,
+        )
+
+    def nearest_index(self, t: float) -> int:
+        """Index of the trajectory point closest in time to ``t``."""
+        if not self.points:
+            raise ValueError("empty trajectory")
+        times = self.times()
+        return int(np.argmin(np.abs(times - t)))
+
+    def attach_keyframe(self, keyframe_id: str, t: float) -> None:
+        """Anchor a key-frame (by id) to the point nearest its capture time."""
+        self.keyframe_indices[keyframe_id] = self.nearest_index(t)
+
+    @staticmethod
+    def from_arrays(
+        xy: np.ndarray,
+        times: Optional[Sequence[float]] = None,
+        user_id: str = "",
+        trajectory_id: str = "",
+    ) -> "Trajectory":
+        """Build a trajectory from an (N, 2) array (unit-time steps by default)."""
+        n = len(xy)
+        ts = list(times) if times is not None else list(range(n))
+        if len(ts) != n:
+            raise ValueError("times must match the number of points")
+        points = []
+        for i in range(n):
+            if i + 1 < n:
+                dx, dy = xy[i + 1][0] - xy[i][0], xy[i + 1][1] - xy[i][1]
+                heading = math.atan2(dy, dx) if (dx or dy) else 0.0
+            elif points:
+                heading = points[-1].heading
+            else:
+                heading = 0.0
+            points.append(
+                TrajectoryPoint(float(xy[i][0]), float(xy[i][1]), float(ts[i]), heading)
+            )
+        return Trajectory(points=points, user_id=user_id, trajectory_id=trajectory_id)

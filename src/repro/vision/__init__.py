@@ -1,0 +1,70 @@
+"""Pure-numpy computer vision substrate for CrowdMap.
+
+The paper leans on off-the-shelf CV building blocks (SURF, HOG, color
+indexing, wavelet signatures, AutoStitch, LSD, Hough, Otsu). None of those
+libraries are available offline, so this package reimplements each one on
+top of numpy/scipy with the same interfaces the pipeline needs:
+
+- :mod:`repro.vision.filters` — convolution, Gaussian smoothing, Sobel.
+- :mod:`repro.vision.integral` — integral images and box sums.
+- :mod:`repro.vision.hog` — Histogram of Oriented Gradients descriptors.
+- :mod:`repro.vision.surf` — fast-Hessian interest points + 64-d descriptors.
+- :mod:`repro.vision.color_histogram` — Swain-Ballard color indexing.
+- :mod:`repro.vision.shape_matching` — edge-orientation shape signatures.
+- :mod:`repro.vision.wavelet` — Haar wavelet image-querying signatures.
+- :mod:`repro.vision.ncc` — normalized cross-correlation scores.
+- :mod:`repro.vision.matching` — mutual nearest-neighbour descriptor matching.
+- :mod:`repro.vision.homography` — DLT + RANSAC homography estimation.
+- :mod:`repro.vision.stitching` — cylindrical 360-degree panorama compositor.
+- :mod:`repro.vision.lsd` — gradient-grown line segment detector.
+- :mod:`repro.vision.hough` — Hough line transform + vanishing structure.
+- :mod:`repro.vision.otsu` — Otsu's threshold.
+"""
+
+from repro.vision.image import to_grayscale, resize_nearest, Frame
+from repro.vision.filters import convolve2d, gaussian_blur, sobel_gradients
+from repro.vision.integral import integral_image, box_sum
+from repro.vision.hog import hog_descriptor
+from repro.vision.surf import detect_and_describe, SurfFeature
+from repro.vision.color_histogram import color_histogram, histogram_intersection
+from repro.vision.shape_matching import shape_signature, shape_similarity
+from repro.vision.wavelet import wavelet_signature, wavelet_similarity
+from repro.vision.ncc import normalized_cross_correlation
+from repro.vision.matching import match_descriptors, MatchResult
+from repro.vision.homography import estimate_homography, ransac_homography
+from repro.vision.stitching import stitch_cylindrical, Panorama
+from repro.vision.lsd import detect_line_segments, LineSegment2D
+from repro.vision.hough import hough_lines, HoughLine
+from repro.vision.otsu import otsu_threshold
+
+__all__ = [
+    "to_grayscale",
+    "resize_nearest",
+    "Frame",
+    "convolve2d",
+    "gaussian_blur",
+    "sobel_gradients",
+    "integral_image",
+    "box_sum",
+    "hog_descriptor",
+    "detect_and_describe",
+    "SurfFeature",
+    "color_histogram",
+    "histogram_intersection",
+    "shape_signature",
+    "shape_similarity",
+    "wavelet_signature",
+    "wavelet_similarity",
+    "normalized_cross_correlation",
+    "match_descriptors",
+    "MatchResult",
+    "estimate_homography",
+    "ransac_homography",
+    "stitch_cylindrical",
+    "Panorama",
+    "detect_line_segments",
+    "LineSegment2D",
+    "hough_lines",
+    "HoughLine",
+    "otsu_threshold",
+]

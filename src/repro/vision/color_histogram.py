@@ -1,0 +1,99 @@
+"""Color indexing via histogram intersection (Swain & Ballard, IJCV 1991).
+
+First rung of CrowdMap's hierarchical key-frame comparison (paper Section
+III.B.I): a cheap whole-image color histogram rejects frame pairs whose
+color content clearly differs before SURF is attempted. Swain & Ballard's
+histogram-intersection measure is robust to small viewpoint changes and to
+distractors, which is exactly the filtering role it plays here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def color_histogram(image: np.ndarray, bins_per_channel: int = 8) -> np.ndarray:
+    """Normalized joint RGB histogram of an image.
+
+    Returns a flattened ``bins_per_channel**3`` vector summing to 1.
+    Grayscale input is treated as an (R=G=B) image.
+    """
+    if bins_per_channel < 2:
+        raise ValueError("bins_per_channel must be at least 2")
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim == 2:
+        arr = np.stack([arr] * 3, axis=-1)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ValueError(f"expected RGB image, got shape {arr.shape}")
+    if arr.max() > 1.5:
+        arr = arr / 255.0
+    quantized = np.clip(
+        (arr * bins_per_channel).astype(int), 0, bins_per_channel - 1
+    )
+    flat_index = (
+        quantized[:, :, 0] * bins_per_channel * bins_per_channel
+        + quantized[:, :, 1] * bins_per_channel
+        + quantized[:, :, 2]
+    ).ravel()
+    hist = np.bincount(flat_index, minlength=bins_per_channel**3).astype(np.float64)
+    total = hist.sum()
+    if total > 0:
+        hist /= total
+    return hist
+
+
+def histogram_intersection(hist_a: np.ndarray, hist_b: np.ndarray) -> float:
+    """Swain-Ballard intersection of two normalized histograms, in [0, 1]."""
+    if hist_a.shape != hist_b.shape:
+        raise ValueError("histograms must have identical shape")
+    return float(np.minimum(hist_a, hist_b).sum())
+
+
+def color_similarity(image_a: np.ndarray, image_b: np.ndarray,
+                     bins_per_channel: int = 8) -> float:
+    """Histogram-intersection similarity of two images, in [0, 1]."""
+    return histogram_intersection(
+        color_histogram(image_a, bins_per_channel),
+        color_histogram(image_b, bins_per_channel),
+    )
+
+
+def chromaticity_histogram(image: np.ndarray, bins: int = 8) -> np.ndarray:
+    """Illumination-invariant color signature: gray-world + chromaticity.
+
+    Crowdsourced captures span daylight to incandescent night lighting
+    (paper Section V.A), which shifts both exposure and color temperature.
+    Dividing each channel by its image mean (gray-world constancy) cancels
+    the global cast, and binning the (r, g) chromaticities discards the
+    remaining brightness axis — the same scene then hashes to nearly the
+    same histogram day or night.
+    """
+    if bins < 2:
+        raise ValueError("bins must be at least 2")
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim == 2:
+        arr = np.stack([arr] * 3, axis=-1)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ValueError(f"expected RGB image, got shape {arr.shape}")
+    if arr.max() > 1.5:
+        arr = arr / 255.0
+    means = arr.reshape(-1, 3).mean(axis=0)
+    means = np.where(means < 1e-6, 1.0, means)
+    balanced = arr / means[None, None, :]
+    total = balanced.sum(axis=2)
+    total = np.where(total < 1e-6, 1.0, total)
+    r = balanced[:, :, 0] / total
+    g = balanced[:, :, 1] / total
+    # Chromaticities concentrate near (1/3, 1/3); spread the useful range.
+    r_idx = np.clip(((r - 0.1) / 0.5 * bins).astype(int), 0, bins - 1)
+    g_idx = np.clip(((g - 0.1) / 0.5 * bins).astype(int), 0, bins - 1)
+    flat = (r_idx * bins + g_idx).ravel()
+    # Weight by luminance: chromaticity is noise-dominated in dark pixels,
+    # so letting bright pixels dominate makes the signature stable at night.
+    weights = arr.mean(axis=2).ravel()
+    hist = np.bincount(flat, weights=weights,
+                       minlength=bins * bins).astype(np.float64)
+    norm = hist.sum()
+    if norm > 0:
+        hist /= norm
+    return hist

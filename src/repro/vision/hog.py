@@ -1,0 +1,107 @@
+"""Histogram of Oriented Gradients descriptor (Dalal & Triggs, CVPR 2005).
+
+CrowdMap uses HOG during key-frame selection (paper Section III.B.I): a
+whole-frame HOG descriptor summarizes the scene's gradient structure, and
+extremely similar consecutive frames — whose HOG descriptors barely change —
+are pruned before the expensive SURF matching stage.
+
+This implementation follows the standard recipe: gradient orientation
+histograms over a grid of cells with soft orientation binning, followed by
+L2-hysteresis block normalization over 2x2 cell blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.filters import gradient_magnitude_orientation
+from repro.vision.image import to_grayscale
+
+
+def hog_descriptor(
+    image: np.ndarray,
+    cell_size: int = 8,
+    n_bins: int = 9,
+    block_size: int = 2,
+    eps: float = 1e-6,
+    clip: float = 0.2,
+) -> np.ndarray:
+    """Flattened HOG descriptor of ``image``.
+
+    Parameters follow Dalal & Triggs: unsigned gradients binned into
+    ``n_bins`` orientations per ``cell_size`` x ``cell_size`` cell, then
+    blocks of ``block_size`` x ``block_size`` cells are L2-normalized,
+    clipped at ``clip`` and renormalized (L2-Hys).
+    """
+    if cell_size < 2:
+        raise ValueError("cell_size must be at least 2")
+    gray = to_grayscale(image)
+    h, w = gray.shape
+    cells_y = h // cell_size
+    cells_x = w // cell_size
+    if cells_y == 0 or cells_x == 0:
+        raise ValueError(
+            f"image {gray.shape} too small for cell_size={cell_size}"
+        )
+    magnitude, orientation = gradient_magnitude_orientation(gray)
+    # Crop to a whole number of cells.
+    magnitude = magnitude[: cells_y * cell_size, : cells_x * cell_size]
+    orientation = orientation[: cells_y * cell_size, : cells_x * cell_size]
+
+    bin_width = np.pi / n_bins
+    # Soft assignment between the two nearest orientation bins.
+    scaled = orientation / bin_width - 0.5
+    lower_bin = np.floor(scaled).astype(int)
+    upper_frac = scaled - lower_bin
+    lower_frac = 1.0 - upper_frac
+    lower_bin_mod = np.mod(lower_bin, n_bins)
+    upper_bin_mod = np.mod(lower_bin + 1, n_bins)
+
+    hist = np.zeros((cells_y, cells_x, n_bins), dtype=np.float64)
+    mag_cells = magnitude.reshape(cells_y, cell_size, cells_x, cell_size)
+    lower_cells = lower_bin_mod.reshape(cells_y, cell_size, cells_x, cell_size)
+    upper_cells = upper_bin_mod.reshape(cells_y, cell_size, cells_x, cell_size)
+    lfrac_cells = lower_frac.reshape(cells_y, cell_size, cells_x, cell_size)
+    ufrac_cells = upper_frac.reshape(cells_y, cell_size, cells_x, cell_size)
+    for b in range(n_bins):
+        contrib = mag_cells * (
+            lfrac_cells * (lower_cells == b) + ufrac_cells * (upper_cells == b)
+        )
+        hist[:, :, b] = contrib.sum(axis=(1, 3))
+
+    blocks_y = cells_y - block_size + 1
+    blocks_x = cells_x - block_size + 1
+    if blocks_y <= 0 or blocks_x <= 0:
+        # Image too small for block normalization; normalize the cell grid.
+        vec = hist.ravel()
+        norm = np.sqrt(np.sum(vec**2) + eps**2)
+        return vec / norm
+
+    descriptor = np.empty(
+        (blocks_y, blocks_x, block_size * block_size * n_bins), dtype=np.float64
+    )
+    for by in range(blocks_y):
+        for bx in range(blocks_x):
+            block = hist[by : by + block_size, bx : bx + block_size, :].ravel()
+            norm = np.sqrt(np.sum(block**2) + eps**2)
+            block = block / norm
+            block = np.minimum(block, clip)
+            norm = np.sqrt(np.sum(block**2) + eps**2)
+            descriptor[by, bx, :] = block / norm
+    return descriptor.ravel()
+
+
+def hog_similarity(desc_a: np.ndarray, desc_b: np.ndarray) -> float:
+    """Normalized cross-correlation between two HOG descriptors, in [-1, 1].
+
+    This is the ``Scc`` score the paper thresholds to drop near-duplicate
+    frames during key-frame selection.
+    """
+    if desc_a.shape != desc_b.shape:
+        raise ValueError("HOG descriptors must have identical length")
+    a = desc_a - desc_a.mean()
+    b = desc_b - desc_b.mean()
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0.0:
+        return 1.0 if np.allclose(desc_a, desc_b) else 0.0
+    return float(np.dot(a, b) / denom)

@@ -1,0 +1,129 @@
+"""Planar homography estimation: normalized DLT with RANSAC.
+
+Panorama generation stitches overlapping key-frames; each pairwise
+registration needs the 3x3 projective transform that maps points of one
+frame into the other. We implement the standard recipe (Hartley & Zisserman):
+Hartley-normalize the correspondences, solve the DLT system by SVD, and wrap
+the solver in RANSAC to survive the outlier matches that mutual-NN SURF
+matching inevitably lets through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _normalization_transform(points: np.ndarray) -> np.ndarray:
+    """Similarity transform moving points to centroid 0 / mean dist sqrt(2)."""
+    centroid = points.mean(axis=0)
+    dists = np.linalg.norm(points - centroid, axis=1)
+    mean_dist = dists.mean()
+    scale = np.sqrt(2.0) / mean_dist if mean_dist > 1e-12 else 1.0
+    return np.array(
+        [
+            [scale, 0.0, -scale * centroid[0]],
+            [0.0, scale, -scale * centroid[1]],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+
+
+def _to_homogeneous(points: np.ndarray) -> np.ndarray:
+    return np.hstack([points, np.ones((len(points), 1))])
+
+
+def estimate_homography(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Least-squares homography H with ``dst ~ H @ src`` (normalized DLT).
+
+    ``src`` and ``dst`` are (N, 2) arrays with N >= 4 correspondences.
+    """
+    if len(src) < 4 or len(dst) < 4:
+        raise ValueError("homography needs at least 4 correspondences")
+    if src.shape != dst.shape:
+        raise ValueError("src and dst must have the same shape")
+    t_src = _normalization_transform(src)
+    t_dst = _normalization_transform(dst)
+    src_n = (_to_homogeneous(src) @ t_src.T)[:, :2]
+    dst_n = (_to_homogeneous(dst) @ t_dst.T)[:, :2]
+
+    n = len(src_n)
+    a = np.zeros((2 * n, 9))
+    for i in range(n):
+        x, y = src_n[i]
+        u, v = dst_n[i]
+        a[2 * i] = [-x, -y, -1, 0, 0, 0, u * x, u * y, u]
+        a[2 * i + 1] = [0, 0, 0, -x, -y, -1, v * x, v * y, v]
+    _, _, vt = np.linalg.svd(a)
+    h_norm = vt[-1].reshape(3, 3)
+    h = np.linalg.inv(t_dst) @ h_norm @ t_src
+    if abs(h[2, 2]) > 1e-12:
+        h = h / h[2, 2]
+    return h
+
+
+def apply_homography(h: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Apply H to (N, 2) points, returning (N, 2) dehomogenized results."""
+    homog = _to_homogeneous(points) @ h.T
+    w = homog[:, 2:3]
+    w = np.where(np.abs(w) < 1e-12, 1e-12, w)
+    return homog[:, :2] / w
+
+
+@dataclass(frozen=True)
+class RansacResult:
+    """Estimated homography plus its inlier support."""
+
+    homography: np.ndarray
+    inlier_mask: np.ndarray
+    n_inliers: int
+
+
+def ransac_homography(
+    src: np.ndarray,
+    dst: np.ndarray,
+    n_iterations: int = 300,
+    inlier_threshold: float = 3.0,
+    rng: Optional[np.random.Generator] = None,
+    min_inliers: int = 6,
+) -> Optional[RansacResult]:
+    """RANSAC-robust homography, or None when no model finds enough support.
+
+    Each iteration samples 4 correspondences, fits a homography and counts
+    reprojection inliers within ``inlier_threshold`` pixels; the best model
+    is refit on all of its inliers.
+    """
+    if len(src) < 4:
+        return None
+    rng = rng or np.random.default_rng(0)
+    n = len(src)
+    best_mask: Optional[np.ndarray] = None
+    best_count = 0
+    for _ in range(n_iterations):
+        sample = rng.choice(n, size=4, replace=False)
+        try:
+            h = estimate_homography(src[sample], dst[sample])
+        except np.linalg.LinAlgError:
+            continue
+        projected = apply_homography(h, src)
+        errors = np.linalg.norm(projected - dst, axis=1)
+        mask = errors < inlier_threshold
+        count = int(mask.sum())
+        if count > best_count:
+            best_count = count
+            best_mask = mask
+    if best_mask is None or best_count < max(4, min_inliers):
+        return None
+    refined = estimate_homography(src[best_mask], dst[best_mask])
+    projected = apply_homography(refined, src)
+    errors = np.linalg.norm(projected - dst, axis=1)
+    final_mask = errors < inlier_threshold
+    if int(final_mask.sum()) < max(4, min_inliers):
+        return None
+    return RansacResult(
+        homography=refined,
+        inlier_mask=final_mask,
+        n_inliers=int(final_mask.sum()),
+    )

@@ -1,0 +1,175 @@
+"""Hough line transform and vanishing-structure voting (Hough, 1959).
+
+After LSD finds line segments in the room panorama, the paper "applies the
+Hough Transform to the panorama to find the vanishing lines of these line
+segments" (Section III.C.II). We provide the classic rho-theta accumulator
+over edge pixels plus a segment-space variant that votes detected segments
+directly into the accumulator — the latter is what the layout generator
+uses to find the dominant vertical (wall-corner) directions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.vision.filters import sobel_gradients
+from repro.vision.image import to_grayscale
+from repro.vision.lsd import LineSegment2D
+
+
+@dataclass(frozen=True)
+class HoughLine:
+    """A line in normal form ``x*cos(theta) + y*sin(theta) = rho``."""
+
+    rho: float
+    theta: float
+    votes: float
+
+
+def hough_lines(
+    image: np.ndarray,
+    n_thetas: int = 180,
+    rho_resolution: float = 1.0,
+    magnitude_quantile: float = 0.8,
+    max_lines: int = 32,
+    suppression_radius: int = 2,
+) -> List[HoughLine]:
+    """Dominant lines of an image via the rho-theta Hough accumulator.
+
+    Edge pixels (gradient magnitude above the given quantile) vote for all
+    (rho, theta) pairs passing through them; local maxima of the accumulator
+    are returned strongest-first with a small suppression window so near-
+    duplicate lines collapse to one.
+    """
+    gray = to_grayscale(image)
+    if gray.max() > 1.5:
+        gray = gray / 255.0
+    gx, gy = sobel_gradients(gray)
+    magnitude = np.hypot(gx, gy)
+    positive = magnitude[magnitude > 0]
+    if positive.size == 0:
+        return []
+    threshold = np.quantile(positive, magnitude_quantile)
+    ys, xs = np.nonzero(magnitude >= max(threshold, 1e-9))
+    if ys.size == 0:
+        return []
+
+    h, w = gray.shape
+    diag = math.hypot(h, w)
+    n_rhos = int(2 * diag / rho_resolution) + 1
+    thetas = np.linspace(0.0, math.pi, n_thetas, endpoint=False)
+    cos_t = np.cos(thetas)
+    sin_t = np.sin(thetas)
+
+    accumulator = np.zeros((n_rhos, n_thetas), dtype=np.float64)
+    weights = magnitude[ys, xs]
+    rhos = xs[:, None] * cos_t[None, :] + ys[:, None] * sin_t[None, :]
+    rho_idx = np.round((rhos + diag) / rho_resolution).astype(int)
+    rho_idx = np.clip(rho_idx, 0, n_rhos - 1)
+    for t in range(n_thetas):
+        accumulator[:, t] = np.bincount(
+            rho_idx[:, t], weights=weights, minlength=n_rhos
+        )
+
+    return _extract_peaks(
+        accumulator, thetas, diag, rho_resolution, max_lines, suppression_radius
+    )
+
+
+def hough_from_segments(
+    segments: Sequence[LineSegment2D],
+    image_shape: tuple,
+    n_thetas: int = 180,
+    rho_resolution: float = 2.0,
+    max_lines: int = 16,
+    suppression_radius: int = 3,
+) -> List[HoughLine]:
+    """Hough voting in segment space: each segment votes with its strength.
+
+    A segment votes for the single (rho, theta) of its own supporting line,
+    weighted by ``strength * length``, so long confident segments dominate.
+    """
+    h, w = image_shape[:2]
+    diag = math.hypot(h, w)
+    n_rhos = int(2 * diag / rho_resolution) + 1
+    accumulator = np.zeros((n_rhos, n_thetas), dtype=np.float64)
+    thetas = np.linspace(0.0, math.pi, n_thetas, endpoint=False)
+    for seg in segments:
+        # Normal direction of the segment's line.
+        angle = seg.angle()
+        theta = (angle + math.pi / 2.0) % math.pi
+        mx, my = seg.midpoint()
+        rho = mx * math.cos(theta) + my * math.sin(theta)
+        t_idx = int(round(theta / math.pi * n_thetas)) % n_thetas
+        r_idx = int(round((rho + diag) / rho_resolution))
+        if 0 <= r_idx < n_rhos:
+            accumulator[r_idx, t_idx] += seg.strength * seg.length()
+    return _extract_peaks(
+        accumulator, thetas, diag, rho_resolution, max_lines, suppression_radius
+    )
+
+
+def _extract_peaks(
+    accumulator: np.ndarray,
+    thetas: np.ndarray,
+    diag: float,
+    rho_resolution: float,
+    max_lines: int,
+    suppression_radius: int,
+) -> List[HoughLine]:
+    acc = accumulator.copy()
+    n_rhos, n_thetas = acc.shape
+    lines: List[HoughLine] = []
+    for _ in range(max_lines):
+        peak = int(acc.argmax())
+        r_idx, t_idx = divmod(peak, n_thetas)
+        votes = float(acc[r_idx, t_idx])
+        if votes <= 0:
+            break
+        lines.append(
+            HoughLine(
+                rho=r_idx * rho_resolution - diag,
+                theta=float(thetas[t_idx]),
+                votes=votes,
+            )
+        )
+        r0, r1 = max(0, r_idx - suppression_radius), min(n_rhos, r_idx + suppression_radius + 1)
+        t0, t1 = max(0, t_idx - suppression_radius), min(n_thetas, t_idx + suppression_radius + 1)
+        acc[r0:r1, t0:t1] = 0.0
+        # Theta wraps around at pi (rho flips sign); suppress the wrap too.
+        if t_idx - suppression_radius < 0 or t_idx + suppression_radius >= n_thetas:
+            acc[:, : suppression_radius] *= (t_idx + suppression_radius < n_thetas)
+    return lines
+
+
+def dominant_vertical_columns(
+    segments: Sequence[LineSegment2D],
+    image_width: int,
+    tolerance: float = math.pi / 10,
+    bin_width: int = 4,
+) -> List[tuple]:
+    """Panorama columns with strong vertical line support, strongest first.
+
+    Room corners appear as long vertical lines in a cylindrical panorama;
+    this bins near-vertical segments by their column and returns
+    ``(column, support)`` pairs sorted by support. It is the segment-space
+    analogue of finding vanishing lines with the Hough transform.
+    """
+    n_bins = max(1, image_width // bin_width)
+    support = np.zeros(n_bins, dtype=np.float64)
+    for seg in segments:
+        if not seg.is_vertical(tolerance):
+            continue
+        mx, _ = seg.midpoint()
+        b = min(n_bins - 1, max(0, int(mx / image_width * n_bins)))
+        support[b] += seg.length() * seg.strength
+    ranked = [
+        (int((b + 0.5) * bin_width), float(support[b]))
+        for b in np.argsort(-support)
+        if support[b] > 0
+    ]
+    return ranked

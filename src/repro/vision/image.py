@@ -1,0 +1,89 @@
+"""Image containers and basic raster utilities.
+
+A frame is an ``(H, W, 3)`` float64 RGB array in ``[0, 1]``; grayscale
+images are ``(H, W)`` float64 in the same range. The :class:`Frame` type
+bundles pixels with the capture metadata the pipeline needs (timestamp and
+the camera heading reported by the inertial track at capture time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+# ITU-R BT.601 luma coefficients.
+_LUMA = np.array([0.299, 0.587, 0.114])
+
+
+def to_grayscale(image: np.ndarray) -> np.ndarray:
+    """Convert an RGB image to grayscale; pass grayscale through unchanged."""
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim == 2:
+        return arr
+    if arr.ndim == 3 and arr.shape[2] == 3:
+        return arr @ _LUMA
+    raise ValueError(f"expected (H, W) or (H, W, 3) image, got shape {arr.shape}")
+
+
+def resize_nearest(image: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Nearest-neighbour resize; preserves the channel axis if present."""
+    if height <= 0 or width <= 0:
+        raise ValueError("target dimensions must be positive")
+    src_h, src_w = image.shape[:2]
+    rows = np.minimum((np.arange(height) * src_h / height).astype(int), src_h - 1)
+    cols = np.minimum((np.arange(width) * src_w / width).astype(int), src_w - 1)
+    return image[np.ix_(rows, cols)]
+
+
+def clip01(image: np.ndarray) -> np.ndarray:
+    """Clamp pixel values into [0, 1]."""
+    return np.clip(image, 0.0, 1.0)
+
+
+@dataclass
+class Frame:
+    """A single video frame with its capture metadata.
+
+    ``heading`` is the camera yaw in radians (CCW from +x) as reported by the
+    device's fused inertial track at capture time — this is the ``Δω`` the
+    paper reads from the gyroscope during SRS/SWS micro-tasks. ``position``
+    is the dead-reckoned camera position in the user's local frame and is
+    *not* ground truth.
+    """
+
+    pixels: np.ndarray
+    timestamp: float
+    heading: float
+    position: Optional[Tuple[float, float]] = None
+    frame_index: int = 0
+    user_id: str = ""
+    _gray_cache: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+
+    @property
+    def height(self) -> int:
+        return int(self.pixels.shape[0])
+
+    @property
+    def width(self) -> int:
+        return int(self.pixels.shape[1])
+
+    def grayscale(self) -> np.ndarray:
+        """Cached grayscale view of the frame."""
+        if self._gray_cache is None:
+            self._gray_cache = to_grayscale(self.pixels)
+        return self._gray_cache
+
+    def downsampled(self, factor: int) -> "Frame":
+        """Frame with pixels decimated by an integer factor (metadata kept)."""
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        return Frame(
+            pixels=self.pixels[::factor, ::factor],
+            timestamp=self.timestamp,
+            heading=self.heading,
+            position=self.position,
+            frame_index=self.frame_index,
+            user_id=self.user_id,
+        )

@@ -1,0 +1,157 @@
+"""Line segment detection (after von Gioi et al., "LSD", IPOL 2012).
+
+Room layout generation (paper Section III.C.II, Fig. 5a) begins by
+detecting line segments in the room panorama. LSD's core idea is region
+growing on the level-line field: pixels whose gradient orientations agree
+within a tolerance are grouped into line-support regions, each approximated
+by a rectangle and validated by its density of aligned points. We implement
+that pipeline (greedy region growing, PCA rectangle fit, density
+validation) without the a-contrario NFA machinery — the fixed density test
+is sufficient at the panorama resolutions the pipeline uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.vision.filters import sobel_gradients
+from repro.vision.image import to_grayscale
+
+
+@dataclass(frozen=True)
+class LineSegment2D:
+    """A detected image-space line segment with its support strength."""
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+    strength: float  # total gradient magnitude of the support region
+
+    def length(self) -> float:
+        return math.hypot(self.x2 - self.x1, self.y2 - self.y1)
+
+    def angle(self) -> float:
+        """Orientation in ``[0, pi)``."""
+        return math.atan2(self.y2 - self.y1, self.x2 - self.x1) % math.pi
+
+    def midpoint(self) -> tuple:
+        return ((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+    def is_vertical(self, tolerance: float = math.pi / 8) -> bool:
+        """True when the segment is within ``tolerance`` of image-vertical."""
+        return abs(self.angle() - math.pi / 2.0) < tolerance
+
+
+def _angle_diff(a: np.ndarray, b: float) -> np.ndarray:
+    """Absolute difference of orientations on the half-circle [0, pi)."""
+    d = np.abs(a - b) % math.pi
+    return np.minimum(d, math.pi - d)
+
+
+def detect_line_segments(
+    image: np.ndarray,
+    magnitude_quantile: float = 0.7,
+    angle_tolerance: float = math.pi / 8,
+    min_region_size: int = 12,
+    min_length: float = 6.0,
+    min_density: float = 0.4,
+    max_segments: int = 400,
+) -> List[LineSegment2D]:
+    """Detect line segments by level-line region growing.
+
+    Pixels above the ``magnitude_quantile`` gradient-magnitude quantile are
+    seeds, visited in decreasing magnitude order (LSD's ordering). A region
+    grows through 8-connected neighbours whose level-line angle stays within
+    ``angle_tolerance`` of the region's running mean angle. Each region is
+    fit with a PCA line; it is kept when it has at least ``min_region_size``
+    pixels, spans ``min_length`` pixels and fills at least ``min_density``
+    of its bounding rectangle.
+    """
+    gray = to_grayscale(image)
+    if gray.max() > 1.5:
+        gray = gray / 255.0
+    gx, gy = sobel_gradients(gray)
+    magnitude = np.hypot(gx, gy)
+    # Level-line angle: orthogonal to the gradient, on the half circle.
+    level_angle = np.mod(np.arctan2(gy, gx) + math.pi / 2.0, math.pi)
+
+    h, w = gray.shape
+    positive = magnitude[magnitude > 0]
+    if positive.size == 0:
+        return []
+    threshold = np.quantile(positive, magnitude_quantile)
+    usable = magnitude >= max(threshold, 1e-9)
+    used = ~usable  # mark weak pixels as already consumed
+
+    seed_rows, seed_cols = np.nonzero(usable)
+    order = np.argsort(-magnitude[seed_rows, seed_cols])
+    seeds = list(zip(seed_rows[order], seed_cols[order]))
+
+    neighbours = [(-1, -1), (-1, 0), (-1, 1), (0, -1),
+                  (0, 1), (1, -1), (1, 0), (1, 1)]
+    segments: List[LineSegment2D] = []
+
+    for sy, sx in seeds:
+        if used[sy, sx]:
+            continue
+        region = [(sy, sx)]
+        used[sy, sx] = True
+        # Track mean region angle as a unit vector on the doubled circle so
+        # that angles near 0 and near pi average correctly.
+        angle0 = level_angle[sy, sx]
+        sum_cos = math.cos(2.0 * angle0)
+        sum_sin = math.sin(2.0 * angle0)
+        head = 0
+        while head < len(region):
+            cy, cx = region[head]
+            head += 1
+            mean_angle = 0.5 * math.atan2(sum_sin, sum_cos) % math.pi
+            for dy, dx in neighbours:
+                ny, nx = cy + dy, cx + dx
+                if not (0 <= ny < h and 0 <= nx < w) or used[ny, nx]:
+                    continue
+                if _angle_diff(np.array(level_angle[ny, nx]), mean_angle) \
+                        < angle_tolerance:
+                    used[ny, nx] = True
+                    region.append((ny, nx))
+                    sum_cos += math.cos(2.0 * level_angle[ny, nx])
+                    sum_sin += math.sin(2.0 * level_angle[ny, nx])
+        if len(region) < min_region_size:
+            continue
+        pts = np.array(region, dtype=np.float64)  # (n, 2) rows=(y, x)
+        weights = magnitude[pts[:, 0].astype(int), pts[:, 1].astype(int)]
+        centroid = np.average(pts, axis=0, weights=weights)
+        centered = pts - centroid
+        cov = (centered * weights[:, None]).T @ centered / weights.sum()
+        eigvals, eigvecs = np.linalg.eigh(cov)
+        principal = eigvecs[:, int(np.argmax(eigvals))]  # (dy, dx)
+        projections = centered @ principal
+        t_min, t_max = float(projections.min()), float(projections.max())
+        length = t_max - t_min
+        if length < min_length:
+            continue
+        # Density of support pixels within the fitted rectangle.
+        ortho = eigvecs[:, int(np.argmin(eigvals))]
+        widths = centered @ ortho
+        rect_width = max(1.0, float(widths.max() - widths.min()))
+        density = len(region) / (length * rect_width)
+        if density < min_density:
+            continue
+        p1 = centroid + t_min * principal
+        p2 = centroid + t_max * principal
+        segments.append(
+            LineSegment2D(
+                x1=float(p1[1]), y1=float(p1[0]),
+                x2=float(p2[1]), y2=float(p2[0]),
+                strength=float(weights.sum()),
+            )
+        )
+        if len(segments) >= max_segments:
+            break
+    segments.sort(key=lambda s: -s.strength)
+    return segments

@@ -1,0 +1,86 @@
+"""Mutual nearest-neighbour descriptor matching (paper Algorithm 1).
+
+Given two SURF descriptor sets {F1} and {F2}, the paper accepts a pair
+(f1, f2) when f2 is f1's nearest neighbour in {F2}, f1 is in turn f2's
+nearest neighbour back in {F1}, and their distance is under a threshold
+``hd``. The similarity of the two frames is then
+
+    S2(F1, F2) = |A| / |F1 ∪ F2|            (paper Eq. 1)
+
+where A is the set of accepted pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.vision.surf import SurfFeature, descriptor_matrix
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of matching two descriptor sets."""
+
+    pairs: Tuple[Tuple[int, int], ...]  # (index into F1, index into F2)
+    similarity: float  # S2 score, Eq. 1
+
+    @property
+    def n_matches(self) -> int:
+        return len(self.pairs)
+
+
+def _pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix between rows of ``a`` (N,D) and ``b`` (M,D)."""
+    # (x-y)^2 = x^2 + y^2 - 2xy, clamped against negative rounding error.
+    sq = (
+        np.sum(a * a, axis=1)[:, None]
+        + np.sum(b * b, axis=1)[None, :]
+        - 2.0 * (a @ b.T)
+    )
+    return np.sqrt(np.maximum(sq, 0.0))
+
+
+def match_descriptors(
+    features_a: Sequence[SurfFeature],
+    features_b: Sequence[SurfFeature],
+    distance_threshold: float = 0.35,
+) -> MatchResult:
+    """Mutual-NN matching of two SURF feature sets with S2 scoring.
+
+    ``distance_threshold`` is the paper's ``hd``: a mutual nearest-neighbour
+    pair only counts as a good match when its descriptor distance is below
+    it. The union size in Eq. 1 is ``|F1| + |F2| - |A|`` (matched pairs are
+    identified across the two sets).
+    """
+    if not features_a or not features_b:
+        return MatchResult(pairs=(), similarity=0.0)
+    mat_a = descriptor_matrix(features_a)
+    mat_b = descriptor_matrix(features_b)
+    distances = _pairwise_distances(mat_a, mat_b)
+    nn_ab = distances.argmin(axis=1)  # for each f1, nearest f2
+    nn_ba = distances.argmin(axis=0)  # for each f2, nearest f1
+
+    pairs: List[Tuple[int, int]] = []
+    for i, j in enumerate(nn_ab):
+        if nn_ba[j] == i and distances[i, j] < distance_threshold:
+            pairs.append((i, int(j)))
+
+    union = len(features_a) + len(features_b) - len(pairs)
+    similarity = len(pairs) / union if union > 0 else 0.0
+    return MatchResult(pairs=tuple(pairs), similarity=similarity)
+
+
+def matched_point_pairs(
+    features_a: Sequence[SurfFeature],
+    features_b: Sequence[SurfFeature],
+    result: MatchResult,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(N, 2) arrays of matched (x, y) image coordinates from both frames."""
+    if not result.pairs:
+        return np.zeros((0, 2)), np.zeros((0, 2))
+    pts_a = np.array([[features_a[i].x, features_a[i].y] for i, _ in result.pairs])
+    pts_b = np.array([[features_b[j].x, features_b[j].y] for _, j in result.pairs])
+    return pts_a, pts_b

@@ -1,0 +1,31 @@
+"""Normalized cross-correlation between images.
+
+The key-frame selection stage (paper Section III.B.I) quantifies the
+similarity of consecutive frames by "the normalized cross-correlation score
+Scc" after HOG filtering; frames whose score stays above a threshold are
+considered redundant and dropped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.image import to_grayscale
+
+
+def normalized_cross_correlation(image_a: np.ndarray, image_b: np.ndarray) -> float:
+    """Zero-mean NCC of two same-shaped images, in [-1, 1].
+
+    Perfectly correlated images score 1, uncorrelated ~0, inverted -1.
+    Two constant images score 1 if equal (both have zero variance).
+    """
+    a = to_grayscale(image_a).astype(np.float64)
+    b = to_grayscale(image_b).astype(np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"image shapes differ: {a.shape} vs {b.shape}")
+    a = a - a.mean()
+    b = b - b.mean()
+    denom = np.sqrt((a * a).sum() * (b * b).sum())
+    if denom == 0.0:
+        return 1.0 if np.allclose(a, b) else 0.0
+    return float((a * b).sum() / denom)

@@ -1,0 +1,153 @@
+"""SURF orientation assignment (full rotation invariance).
+
+The pipeline's default descriptors are upright (U-SURF): phones are held
+level during SRS/SWS, so in-plane rotation invariance is unnecessary and
+skipping it halves the cost — exactly the trade the original SURF paper
+recommends for that setting. This module supplies the full variant for
+callers that need it (e.g. matching frames from a tilted source): the
+dominant orientation is estimated from Haar responses in a circular
+neighbourhood with the classic sliding 60-degree window, and descriptors
+are computed on a rotated sampling grid.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.vision.image import to_grayscale
+from repro.vision.integral import box_sum_grid, integral_image
+from repro.vision.surf import SurfFeature, detect_and_describe
+
+
+def assign_orientation(
+    table: np.ndarray, x: float, y: float, scale: float
+) -> float:
+    """Dominant gradient orientation at a keypoint (radians).
+
+    Haar responses are sampled on a disc of radius ``6 * scale``, Gaussian
+    weighted, and scanned with a sliding 60-degree window; the window with
+    the largest summed response vector defines the orientation.
+    """
+    step = max(1, int(round(scale)))
+    haar = max(1, int(round(2 * scale)))
+    offsets = []
+    for dy in range(-6, 7):
+        for dx in range(-6, 7):
+            if dx * dx + dy * dy <= 36:
+                offsets.append((dy, dx))
+    arr = np.array(offsets)
+    sy = np.round(y + arr[:, 0] * step).astype(int)
+    sx = np.round(x + arr[:, 1] * step).astype(int)
+
+    left = box_sum_grid(table, sy, sx, -haar, -haar, haar, 0)
+    right = box_sum_grid(table, sy, sx, -haar, 0, haar, haar)
+    top = box_sum_grid(table, sy, sx, -haar, -haar, 0, haar)
+    bottom = box_sum_grid(table, sy, sx, 0, -haar, haar, haar)
+    dx = right - left
+    dy = bottom - top
+    weight = np.exp(-(arr[:, 0] ** 2 + arr[:, 1] ** 2) / (2 * 2.5**2))
+    dx = dx * weight
+    dy = dy * weight
+
+    angles = np.arctan2(dy, dx)
+    best_angle = 0.0
+    best_norm = -1.0
+    for window_start in np.linspace(-math.pi, math.pi, 36, endpoint=False):
+        diff = np.angle(np.exp(1j * (angles - window_start)))
+        in_window = (diff >= 0) & (diff < math.pi / 3.0)
+        if not in_window.any():
+            continue
+        sum_x = float(dx[in_window].sum())
+        sum_y = float(dy[in_window].sum())
+        norm = math.hypot(sum_x, sum_y)
+        if norm > best_norm:
+            best_norm = norm
+            best_angle = math.atan2(sum_y, sum_x)
+    return best_angle
+
+
+def _describe_rotated(
+    table: np.ndarray, x: float, y: float, scale: float, angle: float
+) -> np.ndarray:
+    """64-d descriptor on a sampling grid rotated by ``angle``."""
+    step = max(1, int(round(scale)))
+    haar = max(1, int(round(scale)))
+    grid = (np.arange(20) - 9.5) * step
+    gx, gy = np.meshgrid(grid, grid)
+    c, s = math.cos(angle), math.sin(angle)
+    rx = c * gx - s * gy
+    ry = s * gx + c * gy
+    sy = np.round(y + ry).astype(int)
+    sx = np.round(x + rx).astype(int)
+
+    left = box_sum_grid(table, sy, sx, -haar, -haar, haar, 0)
+    right = box_sum_grid(table, sy, sx, -haar, 0, haar, haar)
+    top = box_sum_grid(table, sy, sx, -haar, -haar, 0, haar)
+    bottom = box_sum_grid(table, sy, sx, 0, -haar, haar, haar)
+    raw_dx = right - left
+    raw_dy = bottom - top
+    # Rotate the responses into the keypoint's frame.
+    dx = c * raw_dx + s * raw_dy
+    dy = -s * raw_dx + c * raw_dy
+
+    sigma = 3.3 * scale
+    g = np.exp(-0.5 * (grid / sigma) ** 2)
+    weight = g[:, None] * g[None, :]
+    dx = dx * weight
+    dy = dy * weight
+
+    descriptor = np.empty(64)
+    idx = 0
+    for by in range(4):
+        for bx in range(4):
+            sub_dx = dx[by * 5 : by * 5 + 5, bx * 5 : bx * 5 + 5]
+            sub_dy = dy[by * 5 : by * 5 + 5, bx * 5 : bx * 5 + 5]
+            descriptor[idx : idx + 4] = (
+                sub_dx.sum(), sub_dy.sum(),
+                np.abs(sub_dx).sum(), np.abs(sub_dy).sum(),
+            )
+            idx += 4
+    norm = np.linalg.norm(descriptor)
+    if norm > 0:
+        descriptor /= norm
+    return descriptor
+
+
+def detect_and_describe_rotation_invariant(
+    image: np.ndarray,
+    threshold: float = 0.0001,
+    max_features: int = 200,
+) -> List[SurfFeature]:
+    """Full SURF: detection + orientation assignment + rotated descriptors.
+
+    Roughly 2x the cost of the upright variant; use only when the capture
+    cannot be assumed level.
+    """
+    upright = detect_and_describe(
+        image, threshold=threshold, max_features=max_features
+    )
+    if not upright:
+        return []
+    gray = to_grayscale(image)
+    if gray.max() > 1.5:
+        gray = gray / 255.0
+    std = gray.std()
+    if std > 1e-6:
+        gray = (gray - gray.mean()) / (4.0 * std) + 0.5
+    table = integral_image(gray)
+    rotated: List[SurfFeature] = []
+    for feature in upright:
+        angle = assign_orientation(table, feature.x, feature.y, feature.scale)
+        descriptor = _describe_rotated(
+            table, feature.x, feature.y, feature.scale, angle
+        )
+        rotated.append(
+            SurfFeature(
+                x=feature.x, y=feature.y, scale=feature.scale,
+                response=feature.response, descriptor=descriptor,
+            )
+        )
+    return rotated

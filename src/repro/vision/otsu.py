@@ -1,0 +1,47 @@
+"""Otsu's automatic threshold selection (Otsu, 1975).
+
+Step three of the floor-path skeleton reconstruction binarizes the
+occupancy-grid access probabilities with "a binarization technique [21]
+applied to automatically calculate an optimal threshold" — reference [21]
+is Otsu's method. The classic formulation maximizes between-class variance
+over all candidate thresholds of a histogram.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def otsu_threshold(values: np.ndarray, n_bins: int = 64) -> float:
+    """Otsu's optimal threshold for an array of non-negative values.
+
+    Builds an ``n_bins`` histogram over the value range and returns the bin
+    edge maximizing between-class variance. Degenerate inputs (constant
+    arrays) return the constant value itself so that ``values > threshold``
+    selects nothing, matching the "no signal" case.
+    """
+    flat = np.asarray(values, dtype=np.float64).ravel()
+    if flat.size == 0:
+        raise ValueError("cannot threshold an empty array")
+    vmin, vmax = float(flat.min()), float(flat.max())
+    if vmax - vmin < 1e-12:
+        return vmax
+    hist, edges = np.histogram(flat, bins=n_bins, range=(vmin, vmax))
+    hist = hist.astype(np.float64)
+    total = hist.sum()
+    probabilities = hist / total
+    centers = (edges[:-1] + edges[1:]) / 2.0
+
+    omega = np.cumsum(probabilities)  # class-0 probability up to each bin
+    mu = np.cumsum(probabilities * centers)  # class-0 mean mass
+    mu_total = mu[-1]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        sigma_between = (mu_total * omega - mu) ** 2 / (omega * (1.0 - omega))
+    sigma_between[~np.isfinite(sigma_between)] = -1.0
+    best = int(np.argmax(sigma_between))
+    return float(edges[best + 1])
+
+
+def binarize(values: np.ndarray, n_bins: int = 64) -> np.ndarray:
+    """Boolean mask of values strictly above the Otsu threshold."""
+    return values > otsu_threshold(values, n_bins=n_bins)

@@ -1,0 +1,63 @@
+"""Edge-orientation shape signatures (after Kato et al., IAPR 1992).
+
+Second rung of CrowdMap's hierarchical key-frame comparison. Kato's
+query-by-visual-example compares sketch-like abstractions of images; we
+capture the same notion with a spatial grid of edge-orientation histograms:
+the image is divided into coarse cells and each cell contributes a small
+histogram of its dominant edge directions, so two frames agree when their
+scene *structure* (wall edges, door frames, furniture outlines) lines up,
+regardless of absolute color.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.filters import gradient_magnitude_orientation
+from repro.vision.image import to_grayscale
+
+
+def shape_signature(
+    image: np.ndarray, grid: int = 4, n_bins: int = 8
+) -> np.ndarray:
+    """Grid-of-edge-orientation-histograms signature, L1-normalized per cell.
+
+    The image is split into ``grid`` x ``grid`` cells; each contributes an
+    ``n_bins`` histogram of gradient orientations weighted by magnitude.
+    """
+    if grid < 1:
+        raise ValueError("grid must be positive")
+    gray = to_grayscale(image)
+    h, w = gray.shape
+    if h < grid or w < grid:
+        raise ValueError(f"image {gray.shape} smaller than grid {grid}")
+    magnitude, orientation = gradient_magnitude_orientation(gray)
+    bin_idx = np.minimum((orientation / np.pi * n_bins).astype(int), n_bins - 1)
+
+    cell_h = h // grid
+    cell_w = w // grid
+    signature = np.zeros((grid, grid, n_bins), dtype=np.float64)
+    for gy in range(grid):
+        for gx in range(grid):
+            sl = (
+                slice(gy * cell_h, (gy + 1) * cell_h),
+                slice(gx * cell_w, (gx + 1) * cell_w),
+            )
+            cell_bins = bin_idx[sl].ravel()
+            cell_mag = magnitude[sl].ravel()
+            hist = np.bincount(cell_bins, weights=cell_mag, minlength=n_bins)
+            total = hist.sum()
+            if total > 0:
+                hist /= total
+            signature[gy, gx] = hist
+    return signature.ravel()
+
+
+def shape_similarity(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+    """Histogram-intersection similarity of two shape signatures, in [0, 1]."""
+    if sig_a.shape != sig_b.shape:
+        raise ValueError("signatures must have identical shape")
+    total = sig_a.sum()
+    if total == 0:
+        return 1.0 if sig_b.sum() == 0 else 0.0
+    return float(np.minimum(sig_a, sig_b).sum() / total)

@@ -1,0 +1,238 @@
+"""Cylindrical 360-degree panorama composition.
+
+The paper feeds overlapping SRS key-frames to AutoStitch. Offline we
+composite the panorama ourselves: each key-frame carries the camera heading
+recorded by the inertial track, so frames are warped onto a shared
+cylindrical canvas indexed by azimuth and feather-blended in their overlap
+regions. An optional NCC-based refinement nudges each frame's azimuth to
+sub-gyro accuracy, mirroring AutoStitch's bundle-adjustment role at the
+fidelity the layout generator needs (straight vertical structure and
+continuous 360-degree coverage).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.vision.image import Frame, to_grayscale
+
+TWO_PI = 2.0 * math.pi
+
+
+@dataclass
+class Panorama:
+    """A stitched 360-degree cylindrical panorama.
+
+    ``pixels`` is (H, W, 3); column ``c`` looks along azimuth
+    ``azimuth_of_column(c)``. ``coverage`` holds per-column blend weight so
+    callers can detect unfilled gaps.
+    """
+
+    pixels: np.ndarray
+    coverage: np.ndarray
+
+    @property
+    def height(self) -> int:
+        return int(self.pixels.shape[0])
+
+    @property
+    def width(self) -> int:
+        return int(self.pixels.shape[1])
+
+    def azimuth_of_column(self, column: int) -> float:
+        """World azimuth (radians, CCW from +x) at panorama column."""
+        return wrap_to_2pi(column / self.width * TWO_PI)
+
+    def column_of_azimuth(self, azimuth: float) -> int:
+        return int(wrap_to_2pi(azimuth) / TWO_PI * self.width) % self.width
+
+    def gap_fraction(self) -> float:
+        """Fraction of panorama columns with no contributing frame."""
+        column_cover = self.coverage.max(axis=0)
+        return float(np.count_nonzero(column_cover == 0) / self.width)
+
+    def grayscale(self) -> np.ndarray:
+        return to_grayscale(self.pixels)
+
+
+def wrap_to_2pi(theta: float) -> float:
+    """Wrap an angle into ``[0, 2*pi)``."""
+    wrapped = math.fmod(theta, TWO_PI)
+    if wrapped < 0:
+        wrapped += TWO_PI
+    return wrapped
+
+
+def _refine_offset(
+    canvas_gray: np.ndarray,
+    canvas_weight: np.ndarray,
+    frame_gray: np.ndarray,
+    col_start: int,
+    max_shift: int,
+) -> int:
+    """Column shift in [-max_shift, max_shift] maximizing overlap NCC."""
+    height, width = canvas_gray.shape
+    fw = frame_gray.shape[1]
+    best_shift, best_score = 0, -2.0
+    for shift in range(-max_shift, max_shift + 1):
+        cols = (np.arange(fw) + col_start + shift) % width
+        existing = canvas_weight[:, cols] > 0
+        if existing.sum() < 0.05 * existing.size:
+            continue
+        a = canvas_gray[:, cols][existing]
+        b = frame_gray[existing]
+        a = a - a.mean()
+        b = b - b.mean()
+        denom = np.sqrt((a * a).sum() * (b * b).sum())
+        score = float((a * b).sum() / denom) if denom > 0 else 0.0
+        if score > best_score:
+            best_score, best_shift = score, shift
+    return best_shift
+
+
+def stitch_cylindrical(
+    frames: Sequence[Frame],
+    horizontal_fov: float,
+    panorama_width: int = 720,
+    panorama_height: Optional[int] = None,
+    refine: bool = True,
+    max_refine_shift: int = 6,
+) -> Panorama:
+    """Composite frames onto a 360-degree cylindrical canvas.
+
+    Each frame occupies the azimuth window ``heading ± horizontal_fov/2``;
+    pixels are feather-blended (weight tapering toward the frame's left and
+    right edges) so seams in overlap regions stay smooth. With ``refine``,
+    every frame after the first is NCC-registered against the partially
+    built canvas within ``±max_refine_shift`` columns to absorb small gyro
+    heading errors.
+    """
+    if not frames:
+        raise ValueError("cannot stitch an empty frame list")
+    if not (0 < horizontal_fov < TWO_PI):
+        raise ValueError("horizontal_fov must be in (0, 2*pi)")
+    height = panorama_height or frames[0].height
+    canvas = np.zeros((height, panorama_width, 3), dtype=np.float64)
+    weight = np.zeros((height, panorama_width), dtype=np.float64)
+    canvas_gray = np.zeros((height, panorama_width), dtype=np.float64)
+
+    cols_per_radian = panorama_width / TWO_PI
+    ordered = sorted(frames, key=lambda f: f.timestamp)
+
+    for frame in ordered:
+        pix = frame.pixels
+        if pix.shape[0] != height:
+            from repro.vision.image import resize_nearest
+
+            new_w = max(1, int(round(pix.shape[1] * height / pix.shape[0])))
+            pix = resize_nearest(pix, height, new_w)
+        fh, fw = pix.shape[:2]
+        frame_cols = max(2, int(round(horizontal_fov * cols_per_radian)))
+        # Resample frame columns onto the canvas column pitch.
+        src_cols = np.minimum(
+            (np.arange(frame_cols) * fw / frame_cols).astype(int), fw - 1
+        )
+        resampled = pix[:, src_cols]
+        # Camera looks along `heading`; image left edge shows heading+fov/2
+        # (azimuth grows CCW while image x grows to the camera's right).
+        start_azimuth = frame.heading + horizontal_fov / 2.0
+        col_start = int(round(wrap_to_2pi(start_azimuth) * cols_per_radian))
+        # Column index grows with azimuth decreasing -> reverse the canvas
+        # direction: we lay frames onto columns (col_start - i) mod W. To
+        # keep the canvas left-to-right in *increasing* azimuth, flip frame.
+        flipped = resampled[:, ::-1]
+        gray = to_grayscale(flipped)
+        anchor = int(round(wrap_to_2pi(frame.heading - horizontal_fov / 2.0)
+                           * cols_per_radian))
+        if refine and weight.any():
+            shift = _refine_offset(canvas_gray, weight, gray, anchor,
+                                   max_refine_shift)
+        else:
+            shift = 0
+        cols = (np.arange(frame_cols) + anchor + shift) % panorama_width
+        # Feathering: triangular weight across the frame width.
+        ramp = 1.0 - np.abs(np.linspace(-1.0, 1.0, frame_cols))
+        ramp = np.maximum(ramp, 0.05)
+        canvas[:, cols] += flipped * ramp[None, :, None]
+        weight[:, cols] += ramp[None, :]
+        nz = weight[:, cols] > 0
+        blended = canvas[:, cols] / np.maximum(weight[:, cols], 1e-12)[:, :, None]
+        blended_gray = to_grayscale(blended)
+        canvas_gray[:, cols] = np.where(nz, blended_gray, canvas_gray[:, cols])
+
+    filled = weight > 0
+    result = np.zeros_like(canvas)
+    result[filled] = canvas[filled] / weight[filled][:, None]
+    return Panorama(pixels=result, coverage=weight)
+
+
+def select_panorama_frames(
+    frames: Sequence[Frame],
+    horizontal_fov: float,
+    min_overlap: float = 0.15,
+) -> List[Frame]:
+    """Pick key-frames satisfying the paper's panorama criteria (Fig. 4).
+
+    Greedy sweep over azimuth: starting from the frame with the smallest
+    heading, repeatedly choose the next frame whose view overlaps the
+    current one by at least ``min_overlap`` of the FOV while extending
+    coverage the furthest. Returns the selected subset (possibly all
+    frames); callers should check 360-degree closure via
+    :func:`covers_full_circle`.
+    """
+    if not frames:
+        return []
+    ordered = sorted(frames, key=lambda f: wrap_to_2pi(f.heading))
+    selected = [ordered[0]]
+    coverage_end = wrap_to_2pi(ordered[0].heading) + horizontal_fov / 2.0
+    total_sweep = horizontal_fov
+    idx = 1
+    n = len(ordered)
+    while total_sweep < TWO_PI and idx < 2 * n:
+        frame = ordered[idx % n]
+        center = wrap_to_2pi(frame.heading)
+        if idx >= n:
+            center += TWO_PI
+        left = center - horizontal_fov / 2.0
+        right = center + horizontal_fov / 2.0
+        overlap = coverage_end - left
+        if overlap >= min_overlap * horizontal_fov and right > coverage_end:
+            selected.append(frame)
+            total_sweep += right - coverage_end
+            coverage_end = right
+        idx += 1
+    return selected
+
+
+def covers_full_circle(
+    frames: Sequence[Frame], horizontal_fov: float, min_overlap: float = 0.0
+) -> bool:
+    """True when the frames' view windows jointly cover all 360 degrees.
+
+    Checks the paper's two panorama-candidate conditions: adjacent selected
+    key-frames overlap (by at least ``min_overlap`` of the FOV) and the
+    union of viewing angles covers the full circle.
+    """
+    if not frames:
+        return False
+    half = horizontal_fov / 2.0
+    intervals = sorted(
+        (wrap_to_2pi(f.heading) - half, wrap_to_2pi(f.heading) + half)
+        for f in frames
+    )
+    required_gap = -min_overlap * horizontal_fov
+    # Unroll the circle: append the first interval shifted by 2*pi.
+    first = intervals[0]
+    intervals.append((first[0] + TWO_PI, first[1] + TWO_PI))
+    reach = intervals[0][1]
+    for left, right in intervals[1:]:
+        if left - reach > required_gap + 1e-9:
+            return False
+        reach = max(reach, right)
+        if reach >= intervals[0][0] + TWO_PI:
+            return True
+    return reach >= intervals[0][0] + TWO_PI

@@ -1,0 +1,242 @@
+"""SURF-style interest points and descriptors (Bay et al., ECCV 2006).
+
+CrowdMap's precise key-frame matching stage (paper Algorithm 1) extracts
+SURF descriptors from both frames and mutually matches them. This module
+implements the same pipeline shape on integral images:
+
+- a fast-Hessian detector: box-filter approximations of the Hessian's
+  second-order derivatives at several filter sizes, with 3x3x3 non-maximum
+  suppression across space and scale;
+- an upright 64-dimensional descriptor: Haar-wavelet responses summed over a
+  4x4 grid of subregions around each keypoint (U-SURF — the phone is held
+  level during SRS/SWS capture, so in-plane rotation invariance is not
+  needed and skipping it roughly doubles speed, as in the original paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.vision.image import to_grayscale
+from repro.vision.integral import box_sum_grid, integral_image
+
+#: Box-filter sizes of the scale stack (SURF's first octave uses 9,15,21,27).
+DEFAULT_FILTER_SIZES = (9, 15, 21, 27)
+
+#: Weight balancing Dxy against Dxx*Dyy in the Hessian determinant.
+_DXY_WEIGHT = 0.9
+
+
+@dataclass(frozen=True)
+class SurfFeature:
+    """One detected interest point with its descriptor."""
+
+    x: float
+    y: float
+    scale: float
+    response: float
+    descriptor: np.ndarray
+
+    def distance_to(self, other: "SurfFeature") -> float:
+        """Euclidean distance between descriptors (the paper's ``d``)."""
+        return float(np.linalg.norm(self.descriptor - other.descriptor))
+
+
+def _hessian_response(table: np.ndarray, size: int) -> np.ndarray:
+    """Approximated Hessian determinant for one box-filter ``size``.
+
+    Uses the classic 3-lobe Dyy/Dxx and 4-lobe Dxy box layouts. ``size``
+    must be ``9 + 6k``; the lobe width is ``size // 3``.
+    """
+    h, w = table.shape[0] - 1, table.shape[1] - 1
+    lobe = size // 3
+    half = size // 2
+    ys = np.arange(h)[:, None]
+    xs = np.arange(w)[None, :]
+
+    # Dyy: three stacked lobes of height `lobe`, middle weighted -2; the
+    # filter is (2*lobe - 1) wide. whole - 3*middle realizes (+1, -2, +1).
+    wx1, wx2 = -(lobe - 1), lobe  # (2*lobe - 1) columns centred on x
+    whole = box_sum_grid(table, ys, xs, -half, wx1, half + 1, wx2)
+    middle = box_sum_grid(table, ys, xs, -(lobe // 2), wx1,
+                          lobe // 2 + 1, wx2)
+    dyy = whole - 3.0 * middle
+
+    # Dxx: transpose of the Dyy layout.
+    whole = box_sum_grid(table, ys, xs, wx1, -half, wx2, half + 1)
+    middle = box_sum_grid(table, ys, xs, wx1, -(lobe // 2),
+                          wx2, lobe // 2 + 1)
+    dxx = whole - 3.0 * middle
+
+    # Dxy: four lobe x lobe quadrants with alternating signs.
+    q = lobe
+    tl = box_sum_grid(table, ys, xs, -q, -q, 0, 0)
+    tr = box_sum_grid(table, ys, xs, -q, 1, 0, q + 1)
+    bl = box_sum_grid(table, ys, xs, 1, -q, q + 1, 0)
+    br = box_sum_grid(table, ys, xs, 1, 1, q + 1, q + 1)
+    dxy = tl + br - tr - bl
+
+    norm = 1.0 / (size * size)
+    dxx *= norm
+    dyy *= norm
+    dxy *= norm
+    response = dxx * dyy - (_DXY_WEIGHT * dxy) ** 2
+    # Box sums are clamped at the image border, which fabricates strong
+    # responses there; blank the border band the filter cannot fully cover.
+    margin = half + 1
+    response[:margin, :] = 0.0
+    response[-margin:, :] = 0.0
+    response[:, :margin] = 0.0
+    response[:, -margin:] = 0.0
+    return response
+
+
+def _non_max_suppression(
+    stack: np.ndarray, threshold: float
+) -> List[tuple]:
+    """3x3x3 maxima of a (scales, H, W) response stack above ``threshold``.
+
+    Vectorized: a point survives when it strictly exceeds all 26 neighbours
+    in the scale-space cube (ties are dropped, as in the reference SURF).
+    """
+    n_scales, h, w = stack.shape
+    if n_scales < 3 or h < 3 or w < 3:
+        return []
+    center = stack[1:-1, 1:-1, 1:-1]
+    is_max = center > threshold
+    for ds in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                if ds == 0 and dy == 0 and dx == 0:
+                    continue
+                neighbour = stack[
+                    1 + ds : n_scales - 1 + ds,
+                    1 + dy : h - 1 + dy,
+                    1 + dx : w - 1 + dx,
+                ]
+                is_max &= center > neighbour
+                if not is_max.any():
+                    return []
+    ss, ys, xs = np.nonzero(is_max)
+    values = center[ss, ys, xs]
+    return [
+        (int(s + 1), int(y + 1), int(x + 1), float(v))
+        for s, y, x, v in zip(ss, ys, xs, values)
+    ]
+
+
+def _haar_responses(
+    table: np.ndarray, ys: np.ndarray, xs: np.ndarray, size: int
+) -> tuple:
+    """Haar wavelet responses (dx, dy) of side ``2*size`` at sample points."""
+    left = box_sum_grid(table, ys, xs, -size, -size, size, 0)
+    right = box_sum_grid(table, ys, xs, -size, 0, size, size)
+    top = box_sum_grid(table, ys, xs, -size, -size, 0, size)
+    bottom = box_sum_grid(table, ys, xs, 0, -size, size, size)
+    return right - left, bottom - top
+
+
+def _describe_batch(
+    table: np.ndarray,
+    ys: np.ndarray,
+    xs: np.ndarray,
+    scales: np.ndarray,
+) -> np.ndarray:
+    """Upright 64-d SURF descriptors for K keypoints at once, (K, 64).
+
+    Keypoints are grouped by their integer sampling step so each group's
+    20x20 Haar-response grid is computed in a single vectorized pass.
+    """
+    k = len(ys)
+    descriptors = np.zeros((k, 64), dtype=np.float64)
+    steps = np.maximum(1, np.round(scales).astype(int))
+    grid = (np.arange(20) - 9.5)  # sample offsets in units of step
+    for step in np.unique(steps):
+        sel = np.nonzero(steps == step)[0]
+        offsets = grid * step
+        sy = np.round(ys[sel, None, None] + offsets[None, :, None]).astype(int)
+        sx = np.round(xs[sel, None, None] + offsets[None, None, :]).astype(int)
+        sy = np.broadcast_to(sy, (len(sel), 20, 20))
+        sx = np.broadcast_to(sx, (len(sel), 20, 20))
+        dx, dy = _haar_responses(table, sy, sx, int(step))
+        # Gaussian weighting centred on the keypoint (sigma = 3.3 * scale).
+        sigma = 3.3 * scales[sel]
+        gy = np.exp(-0.5 * (offsets[None, :] / sigma[:, None]) ** 2)
+        weight = gy[:, :, None] * gy[:, None, :]
+        dx = dx * weight
+        dy = dy * weight
+        # 4x4 subregions of 5x5 samples each.
+        dx_sub = dx.reshape(len(sel), 4, 5, 4, 5)
+        dy_sub = dy.reshape(len(sel), 4, 5, 4, 5)
+        parts = np.stack(
+            [
+                dx_sub.sum(axis=(2, 4)),
+                dy_sub.sum(axis=(2, 4)),
+                np.abs(dx_sub).sum(axis=(2, 4)),
+                np.abs(dy_sub).sum(axis=(2, 4)),
+            ],
+            axis=-1,
+        )  # (k, 4, 4, 4)
+        descriptors[sel] = parts.reshape(len(sel), 64)
+    norms = np.linalg.norm(descriptors, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return descriptors / norms
+
+
+def detect_and_describe(
+    image: np.ndarray,
+    threshold: float = 0.0001,
+    max_features: int = 200,
+    filter_sizes: Sequence[int] = DEFAULT_FILTER_SIZES,
+) -> List[SurfFeature]:
+    """Detect fast-Hessian interest points and compute their descriptors.
+
+    ``threshold`` is on the normalized Hessian determinant; raise it to keep
+    only stronger blobs. At most ``max_features`` strongest features are
+    described (sorted by response), which bounds matching cost.
+    """
+    gray = to_grayscale(image)
+    if gray.max() > 1.5:  # tolerate [0, 255] input
+        gray = gray / 255.0
+    # Contrast standardization: the Hessian determinant scales with the
+    # square of image contrast, so un-normalized night captures would lose
+    # most of their interest points to the fixed threshold.
+    std = gray.std()
+    if std > 1e-6:
+        gray = (gray - gray.mean()) / (4.0 * std) + 0.5
+    table = integral_image(gray)
+
+    stack = np.stack([_hessian_response(table, s) for s in filter_sizes])
+    raw_keypoints = _non_max_suppression(stack, threshold)
+    raw_keypoints.sort(key=lambda kp: -kp[3])
+    raw_keypoints = raw_keypoints[:max_features]
+    if not raw_keypoints:
+        return []
+
+    # SURF maps filter size L to scale sigma = 1.2 * L / 9.
+    ys = np.array([kp[1] for kp in raw_keypoints], dtype=np.float64)
+    xs = np.array([kp[2] for kp in raw_keypoints], dtype=np.float64)
+    scales = np.array(
+        [1.2 * filter_sizes[kp[0]] / 9.0 for kp in raw_keypoints]
+    )
+    descriptors = _describe_batch(table, ys, xs, scales)
+    return [
+        SurfFeature(
+            x=float(xs[i]),
+            y=float(ys[i]),
+            scale=float(scales[i]),
+            response=raw_keypoints[i][3],
+            descriptor=descriptors[i],
+        )
+        for i in range(len(raw_keypoints))
+    ]
+
+
+def descriptor_matrix(features: Sequence[SurfFeature]) -> np.ndarray:
+    """Stack feature descriptors into an (N, 64) matrix (empty-safe)."""
+    if not features:
+        return np.zeros((0, 64), dtype=np.float64)
+    return np.stack([f.descriptor for f in features])

@@ -1,0 +1,97 @@
+"""Haar-wavelet image-querying signatures (Jacobs et al., SIGGRAPH 1995).
+
+Third rung of CrowdMap's hierarchical key-frame comparison. "Fast
+Multiresolution Image Querying" decomposes each image with a standard 2D
+Haar wavelet transform, keeps only the sign and position of the largest-
+magnitude coefficients, and scores candidates by how many significant
+coefficients they share. We implement the same idea: a full 2D Haar
+transform on a power-of-two resample, truncation to the top-``m``
+coefficients, and a shared-coefficient similarity score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vision.image import resize_nearest, to_grayscale
+
+
+def haar_transform_2d(image: np.ndarray) -> np.ndarray:
+    """Full standard 2D Haar wavelet transform of a square power-of-2 image."""
+    h, w = image.shape
+    if h != w or h & (h - 1):
+        raise ValueError("haar_transform_2d needs a square power-of-two image")
+    data = image.astype(np.float64).copy()
+
+    def transform_rows(arr: np.ndarray) -> np.ndarray:
+        out = arr.copy()
+        size = arr.shape[1]
+        while size > 1:
+            half = size // 2
+            evens = out[:, 0:size:2].copy()
+            odds = out[:, 1:size:2].copy()
+            out[:, :half] = (evens + odds) / np.sqrt(2.0)
+            out[:, half:size] = (evens - odds) / np.sqrt(2.0)
+            size = half
+        return out
+
+    data = transform_rows(data)
+    data = transform_rows(data.T).T
+    return data
+
+
+@dataclass(frozen=True)
+class WaveletSignature:
+    """Truncated wavelet signature: overall brightness + top coefficients."""
+
+    mean: float
+    positions: np.ndarray  # flat indices of the kept coefficients
+    signs: np.ndarray  # +1/-1 per kept coefficient
+
+
+def wavelet_signature(
+    image: np.ndarray, size: int = 64, keep: int = 60
+) -> WaveletSignature:
+    """Jacobs-style truncated signature of ``image``.
+
+    The image is resampled to ``size`` x ``size``, Haar-transformed, and the
+    ``keep`` largest-magnitude non-DC coefficients are retained as
+    (position, sign) pairs.
+    """
+    if size & (size - 1):
+        raise ValueError("size must be a power of two")
+    gray = to_grayscale(image)
+    if gray.max() > 1.5:
+        gray = gray / 255.0
+    small = resize_nearest(gray, size, size)
+    coeffs = haar_transform_2d(small)
+    mean = float(coeffs[0, 0])
+    flat = coeffs.ravel().copy()
+    flat[0] = 0.0  # drop the DC term — brightness handled separately
+    order = np.argsort(-np.abs(flat))[:keep]
+    signs = np.sign(flat[order]).astype(np.int8)
+    nonzero = signs != 0
+    return WaveletSignature(
+        mean=mean, positions=order[nonzero], signs=signs[nonzero]
+    )
+
+
+def wavelet_similarity(sig_a: WaveletSignature, sig_b: WaveletSignature) -> float:
+    """Fraction of significant coefficients shared with matching sign, in [0, 1].
+
+    Score = |{(pos, sign)} common to both| / max(kept_a, kept_b), discounted
+    by large overall brightness differences (Jacobs et al. weight the DC term
+    separately; we fold it in as a multiplicative factor).
+    """
+    if sig_a.positions.size == 0 and sig_b.positions.size == 0:
+        return 1.0
+    set_a = {(int(p), int(s)) for p, s in zip(sig_a.positions, sig_a.signs)}
+    set_b = {(int(p), int(s)) for p, s in zip(sig_b.positions, sig_b.signs)}
+    denom = max(len(set_a), len(set_b))
+    if denom == 0:
+        return 1.0
+    shared = len(set_a & set_b) / denom
+    brightness_penalty = 1.0 / (1.0 + abs(sig_a.mean - sig_b.mean) / 25.0)
+    return shared * brightness_penalty

@@ -1,0 +1,46 @@
+"""Synthetic world substrate: buildings, rendering, and the simulated crowd.
+
+The paper's dataset — 301 sensor-rich videos shot by 25 volunteers across
+three college buildings — cannot be collected offline. This package
+synthesizes an equivalent: procedurally generated ground-truth buildings
+(:mod:`repro.world.buildings`), a textured 2.5D raycasting renderer that
+produces real RGB frames (:mod:`repro.world.renderer`), day/night lighting
+(:mod:`repro.world.lighting`), a walker that executes the paper's SRS and
+SWS micro-tasks (:mod:`repro.world.walker`), and a crowd generator that
+composes them into whole crowdsourced datasets (:mod:`repro.world.crowd`).
+"""
+
+from repro.world.floorplan_model import Door, FloorPlan, Room, Wall
+from repro.world.buildings import build_lab1, build_lab2, build_gym, BUILDING_BUILDERS
+from repro.world.textures import WallTexture, value_noise
+from repro.world.lighting import LightingCondition, DAYLIGHT, NIGHT
+from repro.world.renderer import Camera, Renderer
+from repro.world.walker import Walker, WalkerProfile, CaptureSession
+from repro.world.crowd import CrowdConfig, generate_crowd_dataset, CrowdDataset
+from repro.world.dataset_io import save_dataset, load_dataset
+
+__all__ = [
+    "Door",
+    "FloorPlan",
+    "Room",
+    "Wall",
+    "build_lab1",
+    "build_lab2",
+    "build_gym",
+    "BUILDING_BUILDERS",
+    "WallTexture",
+    "value_noise",
+    "LightingCondition",
+    "DAYLIGHT",
+    "NIGHT",
+    "Camera",
+    "Renderer",
+    "Walker",
+    "WalkerProfile",
+    "CaptureSession",
+    "CrowdConfig",
+    "generate_crowd_dataset",
+    "CrowdDataset",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,392 @@
+"""The evaluation buildings: Lab1, Lab2, Gym (paper) plus Office (extra).
+
+The paper evaluates on "three different buildings (Lab1 dataset, Lab2
+dataset and Gym dataset)". We generate procedural ground truths with the
+same character: Lab1 is a classic rectangular loop corridor ringed with
+offices, Lab2 a U-shaped corridor wing, and Gym a large open hall with a
+short corridor and sporadically placed rooms (the paper notes the Gym's
+"sporadic distribution of rooms" drives its worst-case room-location
+error).
+
+All coordinates are multiples of the model grid pitch (0.25 m); rooms are
+separated from corridors and from each other by one grid cell of solid
+wall, bridged by the door openings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.geometry.primitives import BoundingBox, Point
+from repro.world.floorplan_model import Door, FloorPlan, Room
+
+_WALL = 0.25  # wall thickness = one model cell
+
+
+def _room_row(
+    name_prefix: str,
+    x_start: float,
+    y_lo: float,
+    y_hi: float,
+    widths: List[float],
+    door_wall: str,
+) -> List[Room]:
+    """Lay out a west-to-east row of rooms sharing a corridor wall."""
+    rooms = []
+    x = x_start
+    depth = y_hi - y_lo
+    for i, width in enumerate(widths):
+        center = Point(x + width / 2.0, (y_lo + y_hi) / 2.0)
+        offset = width / 2.0 if door_wall in ("N", "S") else depth / 2.0
+        rooms.append(
+            Room(
+                name=f"{name_prefix}{i + 1}",
+                center=center,
+                width=width,
+                depth=depth,
+                door=Door(door_wall, offset),
+            )
+        )
+        x += width + _WALL
+    return rooms
+
+
+def _room_column(
+    name_prefix: str,
+    y_start: float,
+    x_lo: float,
+    x_hi: float,
+    depths: List[float],
+    door_wall: str,
+) -> List[Room]:
+    """Lay out a south-to-north column of rooms sharing a corridor wall."""
+    rooms = []
+    y = y_start
+    width = x_hi - x_lo
+    for i, depth in enumerate(depths):
+        center = Point((x_lo + x_hi) / 2.0, y + depth / 2.0)
+        offset = depth / 2.0 if door_wall in ("E", "W") else width / 2.0
+        rooms.append(
+            Room(
+                name=f"{name_prefix}{i + 1}",
+                center=center,
+                width=width,
+                depth=depth,
+                door=Door(door_wall, offset),
+            )
+        )
+        y += depth + _WALL
+    return rooms
+
+
+def _with_room_waypoints(
+    rooms: List[Room],
+    waypoints: Dict[str, Point],
+    edges: List[Tuple[str, str]],
+    corridor_attach: Dict[str, str],
+    corridor_clearance: float = 1.25,
+) -> None:
+    """Add door/centre waypoints per room and wire them into the graph.
+
+    ``corridor_attach`` maps room name -> corridor waypoint to connect the
+    room's door waypoint to.
+    """
+    for room in rooms:
+        door_wp = f"{room.name}_door"
+        center_wp = f"{room.name}_center"
+        outside = room.door_center() + room.door_outward_normal() * corridor_clearance
+        waypoints[door_wp] = outside
+        waypoints[center_wp] = room.center
+        edges.append((door_wp, center_wp))
+        attach = corridor_attach.get(room.name)
+        if attach is not None:
+            edges.append((door_wp, attach))
+
+
+def build_lab1(texture_seed: int = 101, wall_richness: float = 1.0) -> FloorPlan:
+    """Lab1: a 40 x 25 m rectangular loop corridor ringed by 12 offices."""
+    cw = 2.5  # corridor width
+    hallway = [
+        BoundingBox(0.0, 0.0, 40.0, cw),  # south
+        BoundingBox(0.0, 25.0 - cw, 40.0, 25.0),  # north
+        BoundingBox(0.0, 0.0, cw, 25.0),  # west
+        BoundingBox(40.0 - cw, 0.0, 40.0, 25.0),  # east
+    ]
+    south_rooms = _room_row(
+        "s", 2.75, 2.75, 8.75, [5.5, 5.25, 5.5, 5.25, 5.5, 5.0], door_wall="S"
+    )
+    north_rooms = _room_row(
+        "n", 2.75, 16.25, 22.25, [5.5, 5.25, 5.5, 5.25, 5.5, 5.0], door_wall="N"
+    )
+    rooms = south_rooms + north_rooms
+
+    mid = cw / 2.0
+    waypoints: Dict[str, Point] = {
+        "sw": Point(mid, mid),
+        "se": Point(40.0 - mid, mid),
+        "ne": Point(40.0 - mid, 25.0 - mid),
+        "nw": Point(mid, 25.0 - mid),
+        "w_mid": Point(mid, 12.5),
+        "e_mid": Point(40.0 - mid, 12.5),
+    }
+    edges: List[Tuple[str, str]] = [
+        ("sw", "w_mid"),
+        ("w_mid", "nw"),
+        ("se", "e_mid"),
+        ("e_mid", "ne"),
+    ]
+    # Chain south-corridor door waypoints between sw and se.
+    attach: Dict[str, str] = {}
+    prev = "sw"
+    for room in south_rooms:
+        attach[room.name] = prev
+        prev = f"{room.name}_door"
+    edges.append((prev, "se"))
+    prev = "nw"
+    for room in north_rooms:
+        attach[room.name] = prev
+        prev = f"{room.name}_door"
+    edges.append((prev, "ne"))
+    _with_room_waypoints(rooms, waypoints, edges, attach)
+
+    return FloorPlan(
+        name="Lab1",
+        hallway_rects=hallway,
+        rooms=rooms,
+        waypoints=waypoints,
+        waypoint_edges=edges,
+        texture_seed=texture_seed,
+        wall_richness=wall_richness,
+    )
+
+
+def build_lab2(texture_seed: int = 202, wall_richness: float = 1.0) -> FloorPlan:
+    """Lab2: a 35 x 20 m U-shaped corridor wing with 9 rooms."""
+    cw = 2.5
+    hallway = [
+        BoundingBox(0.0, 0.0, 35.0, cw),  # bottom
+        BoundingBox(0.0, 0.0, cw, 20.0),  # left
+        BoundingBox(35.0 - cw, 0.0, 35.0, 20.0),  # right
+    ]
+    bottom_rooms = _room_row(
+        "b", 2.75, 2.75, 8.75, [5.75, 5.75, 5.75, 5.75, 5.75], door_wall="S"
+    )
+    left_rooms = _room_column(
+        "l", 9.25, 2.75, 8.75, [5.0, 5.0], door_wall="W"
+    )
+    right_rooms = _room_column(
+        "r", 9.25, 26.25, 32.25, [5.0, 5.0], door_wall="E"
+    )
+    rooms = bottom_rooms + left_rooms + right_rooms
+
+    mid = cw / 2.0
+    waypoints: Dict[str, Point] = {
+        "sw": Point(mid, mid),
+        "se": Point(35.0 - mid, mid),
+        "nw": Point(mid, 20.0 - mid),
+        "ne": Point(35.0 - mid, 20.0 - mid),
+    }
+    edges: List[Tuple[str, str]] = []
+    attach: Dict[str, str] = {}
+    prev = "sw"
+    for room in bottom_rooms:
+        attach[room.name] = prev
+        prev = f"{room.name}_door"
+    edges.append((prev, "se"))
+    prev = "sw"
+    for room in left_rooms:
+        attach[room.name] = prev
+        prev = f"{room.name}_door"
+    edges.append((prev, "nw"))
+    prev = "se"
+    for room in right_rooms:
+        attach[room.name] = prev
+        prev = f"{room.name}_door"
+    edges.append((prev, "ne"))
+    _with_room_waypoints(rooms, waypoints, edges, attach)
+
+    return FloorPlan(
+        name="Lab2",
+        hallway_rects=hallway,
+        rooms=rooms,
+        waypoints=waypoints,
+        waypoint_edges=edges,
+        texture_seed=texture_seed,
+        wall_richness=wall_richness,
+    )
+
+
+def build_gym(texture_seed: int = 303, wall_richness: float = 1.0) -> FloorPlan:
+    """Gym: a 30 x 20 m open hall, a corridor stub, and 5 sporadic rooms."""
+    hallway = [
+        BoundingBox(0.0, 0.0, 30.0, 20.0),  # the open gym hall
+        BoundingBox(30.0, 7.5, 45.0, 10.5),  # corridor to the annex
+    ]
+    rooms = [
+        Room(  # locker room off the hall's south-east corner
+            name="locker",
+            center=Point(33.5, 3.5),
+            width=6.5,
+            depth=6.5,
+            door=Door("W", 3.25),
+        ),
+        Room(  # storage off the hall's north wall
+            name="storage",
+            center=Point(5.5, 23.0),
+            width=6.0,
+            depth=5.5,
+            door=Door("S", 3.0),
+        ),
+        Room(  # two offices north of the corridor
+            name="office1",
+            center=Point(34.75, 13.75),
+            width=5.5,
+            depth=6.0,
+            door=Door("S", 2.75),
+        ),
+        Room(
+            name="office2",
+            center=Point(41.25, 13.75),
+            width=5.5,
+            depth=6.0,
+            door=Door("S", 2.75),
+        ),
+        Room(  # equipment room south of the corridor
+            name="equipment",
+            center=Point(41.0, 4.0),
+            width=6.5,
+            depth=6.5,
+            door=Door("N", 3.25),
+        ),
+    ]
+
+    # The open hall gets a grid of interior waypoints: gym users wander
+    # across the whole floor (courts, equipment, bleachers), so the crowd's
+    # joint coverage spans the hall rather than hugging one diagonal.
+    waypoints: Dict[str, Point] = {
+        "hall_sw": Point(2.0, 2.0),
+        "hall_se": Point(28.0, 2.0),
+        "hall_ne": Point(28.0, 18.0),
+        "hall_nw": Point(2.0, 18.0),
+        "hall_east": Point(28.0, 9.0),
+        "corr_w": Point(31.0, 9.0),
+        "corr_mid": Point(37.5, 9.0),
+        "corr_e": Point(43.5, 9.0),
+    }
+    grid_xs = (6.0, 15.0, 24.0)
+    grid_ys = (5.0, 10.0, 15.0)
+    for gi, gx in enumerate(grid_xs):
+        for gj, gy in enumerate(grid_ys):
+            waypoints[f"hall_g{gi}{gj}"] = Point(gx, gy)
+    edges: List[Tuple[str, str]] = [
+        ("hall_se", "hall_east"),
+        ("hall_ne", "hall_east"),
+        ("hall_east", "corr_w"),
+        ("corr_w", "corr_mid"),
+        ("corr_mid", "corr_e"),
+        ("hall_sw", "hall_g00"),
+        ("hall_se", "hall_g20"),
+        ("hall_nw", "hall_g02"),
+        ("hall_ne", "hall_g22"),
+        ("hall_east", "hall_g21"),
+    ]
+    # 4-connect the interior grid.
+    for gi in range(len(grid_xs)):
+        for gj in range(len(grid_ys)):
+            if gi + 1 < len(grid_xs):
+                edges.append((f"hall_g{gi}{gj}", f"hall_g{gi + 1}{gj}"))
+            if gj + 1 < len(grid_ys):
+                edges.append((f"hall_g{gi}{gj}", f"hall_g{gi}{gj + 1}"))
+    attach = {
+        "locker": "hall_east",
+        "storage": "hall_nw",
+        "office1": "corr_mid",
+        "office2": "corr_e",
+        "equipment": "corr_mid",
+    }
+    _with_room_waypoints(rooms, waypoints, edges, attach)
+
+    return FloorPlan(
+        name="Gym",
+        hallway_rects=hallway,
+        rooms=rooms,
+        waypoints=waypoints,
+        waypoint_edges=edges,
+        texture_seed=texture_seed,
+        wall_richness=wall_richness,
+    )
+
+
+def build_office(texture_seed: int = 404, wall_richness: float = 1.0) -> FloorPlan:
+    """Office: a 30 x 24 m T-shaped corridor floor with 8 rooms.
+
+    Not part of the paper's evaluation set — a fourth building for
+    generalization checks (does the pipeline tuned on Lab1/Lab2/Gym work
+    on an unseen plan shape?).
+    """
+    cw = 2.5
+    hallway = [
+        BoundingBox(0.0, 10.75, 30.0, 10.75 + cw),  # the T's horizontal bar
+        BoundingBox(13.75, 0.0, 13.75 + cw, 10.75),  # the T's stem
+    ]
+    north_rooms = _room_row(
+        "n", 1.0, 13.5, 19.5, [6.5, 6.75, 6.5, 6.75], door_wall="S"
+    )
+    stem_west = _room_column(
+        "w", 0.5, 7.25, 13.5, [4.75, 4.75], door_wall="E"
+    )
+    stem_east = _room_column(
+        "e", 0.5, 16.5, 22.75, [4.75, 4.75], door_wall="W"
+    )
+    rooms = north_rooms + stem_west + stem_east
+
+    mid = cw / 2.0
+    waypoints: Dict[str, Point] = {
+        "bar_w": Point(1.5, 10.75 + mid),
+        "bar_e": Point(28.5, 10.75 + mid),
+        "junction": Point(15.0, 10.75 + mid),
+        "stem_s": Point(15.0, 1.5),
+        "stem_mid": Point(15.0, 6.0),
+    }
+    edges: List[Tuple[str, str]] = [
+        ("stem_s", "stem_mid"),
+        ("stem_mid", "junction"),
+        ("junction", "bar_w"),
+        ("junction", "bar_e"),
+    ]
+    attach: Dict[str, str] = {}
+    prev = "bar_w"
+    for room in north_rooms:
+        attach[room.name] = prev
+        prev = f"{room.name}_door"
+    edges.append((prev, "bar_e"))
+    prev = "stem_s"
+    for room in stem_west:
+        attach[room.name] = prev
+        prev = f"{room.name}_door"
+    edges.append((prev, "junction"))
+    prev = "stem_s"
+    for room in stem_east:
+        attach[room.name] = prev
+        prev = f"{room.name}_door"
+    edges.append((prev, "junction"))
+    _with_room_waypoints(rooms, waypoints, edges, attach)
+
+    return FloorPlan(
+        name="Office",
+        hallway_rects=hallway,
+        rooms=rooms,
+        waypoints=waypoints,
+        waypoint_edges=edges,
+        texture_seed=texture_seed,
+        wall_richness=wall_richness,
+    )
+
+
+#: Registry used by examples and benchmarks.
+BUILDING_BUILDERS: Dict[str, Callable[..., FloorPlan]] = {
+    "Lab1": build_lab1,
+    "Lab2": build_lab2,
+    "Gym": build_gym,
+    "Office": build_office,
+}

@@ -1,0 +1,208 @@
+"""Crowd simulation: many users, many sessions, one dataset.
+
+Composes :class:`~repro.world.walker.Walker` runs into the kind of dataset
+the paper collected — "61,243 key frames of three different buildings from
+301 sensor-rich video sequences successfully uploaded by 25 users. Some
+places were captured multiple times." Users walk randomized corridor routes
+(SWS) and spin inside rooms (SRS); sessions are captured under a day/night
+lighting mix.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.primitives import Point
+from repro.world.floorplan_model import FloorPlan
+from repro.world.lighting import DAYLIGHT, NIGHT, LightingCondition
+from repro.world.renderer import Camera, Renderer
+from repro.world.walker import CaptureSession, Walker, WalkerProfile
+
+
+@dataclass(frozen=True)
+class CrowdConfig:
+    """Shape of a simulated crowdsourcing campaign."""
+
+    n_users: int = 6
+    sws_per_user: int = 2
+    srs_rooms_per_user: int = 1
+    night_fraction: float = 0.0
+    min_route_length: float = 8.0  # metres, shortest acceptable SWS route
+    seed: int = 0
+    camera: Camera = field(default_factory=Camera)
+    #: When False, users start SWS tasks with unknown absolute heading —
+    #: trajectories then live in arbitrarily rotated local frames.
+    initial_heading_known: bool = True
+
+
+@dataclass
+class CrowdDataset:
+    """All sessions uploaded for one building."""
+
+    building: str
+    plan: FloorPlan
+    sessions: List[CaptureSession]
+    config: CrowdConfig
+
+    def sws_sessions(self) -> List[CaptureSession]:
+        return [s for s in self.sessions if s.task == "SWS"]
+
+    def srs_sessions(self) -> List[CaptureSession]:
+        return [s for s in self.sessions if s.task == "SRS"]
+
+    def srs_for_room(self, room_name: str) -> List[CaptureSession]:
+        return [s for s in self.srs_sessions() if s.room_name == room_name]
+
+    def total_frames(self) -> int:
+        return sum(s.n_frames for s in self.sessions)
+
+    def by_lighting(self, name: str) -> List[CaptureSession]:
+        return [s for s in self.sessions if s.lighting.name == name]
+
+
+def _corridor_waypoints(plan: FloorPlan) -> List[str]:
+    """Waypoints that lie in the hallway (everything but room centres)."""
+    return [name for name in plan.waypoints if not name.endswith("_center")]
+
+
+def _random_route(
+    plan: FloorPlan,
+    rng: np.random.Generator,
+    min_length: float,
+    start: Optional[str] = None,
+    max_tries: int = 30,
+    via_probability: float = 0.5,
+) -> List[Point]:
+    """A corridor route of at least ``min_length`` metres.
+
+    When ``start`` is given the route begins there (used by the coverage
+    rotation); the destination is always random. With ``via_probability``
+    the route detours through a random intermediate waypoint — real
+    contributors rarely take shortest paths, and the detours spread the
+    crowd's joint coverage across the whole floor.
+    """
+    import networkx as nx
+
+    names = _corridor_waypoints(plan)
+    best: Optional[List[Point]] = None
+    best_len = 0.0
+    for _ in range(max_tries):
+        if start is None:
+            a, b = rng.choice(names, size=2, replace=False)
+        else:
+            a = start
+            b = rng.choice([n for n in names if n != start])
+        try:
+            if rng.random() < via_probability and len(names) > 2:
+                via = rng.choice([n for n in names if n not in (a, b)])
+                route = (
+                    plan.route_between(str(a), str(via))
+                    + plan.route_between(str(via), str(b))[1:]
+                )
+            else:
+                route = plan.route_between(str(a), str(b))
+        except nx.NetworkXNoPath:
+            continue
+        length = sum(route[i].distance_to(route[i + 1]) for i in range(len(route) - 1))
+        if length >= min_length:
+            return route
+        if length > best_len:
+            best, best_len = route, length
+    if best is None or len(best) < 2:
+        raise RuntimeError(f"no usable route found in {plan.name}")
+    return best
+
+
+def make_profiles(n_users: int, rng: np.random.Generator) -> List[WalkerProfile]:
+    """Per-user gait variation around the population averages."""
+    profiles = []
+    for i in range(n_users):
+        profiles.append(
+            WalkerProfile(
+                user_id=f"user{i:02d}",
+                step_length=float(rng.uniform(0.62, 0.78)),
+                walking_speed=float(rng.uniform(1.0, 1.45)),
+                rotation_speed=math.radians(float(rng.uniform(32.0, 50.0))),
+                camera_yaw_jitter=math.radians(float(rng.uniform(0.6, 1.8))),
+            )
+        )
+    return profiles
+
+
+def generate_crowd_dataset(
+    plan: FloorPlan,
+    config: Optional[CrowdConfig] = None,
+    rooms: Optional[Sequence[str]] = None,
+) -> CrowdDataset:
+    """Simulate a full crowdsourcing campaign in ``plan``.
+
+    Every user walks ``sws_per_user`` random corridor routes and spins
+    (SRS) inside ``srs_rooms_per_user`` rooms, chosen round-robin so all of
+    ``rooms`` (default: every room) get covered when the crowd is large
+    enough. ``night_fraction`` of sessions are captured under night
+    lighting.
+    """
+    config = config or CrowdConfig()
+    rng = np.random.default_rng(config.seed)
+    renderer = Renderer(plan, config.camera)
+    profiles = make_profiles(config.n_users, rng)
+    room_names = list(rooms) if rooms is not None else [r.name for r in plan.rooms]
+
+    sessions: List[CaptureSession] = []
+    room_cursor = 0
+    start_cycle = list(_corridor_waypoints(plan))
+    rng.shuffle(start_cycle)
+    start_cursor = 0
+    for profile in profiles:
+        walker = Walker(
+            plan,
+            profile,
+            rng=np.random.default_rng(rng.integers(2**31)),
+            renderer=renderer,
+        )
+        for _ in range(config.sws_per_user):
+            lighting = _pick_lighting(rng, config.night_fraction)
+            # Rotate route start points through every corridor waypoint so
+            # the crowd's joint coverage reaches all corridor segments
+            # (real crowds do this naturally: users enter from everywhere).
+            start = start_cycle[start_cursor % len(start_cycle)]
+            start_cursor += 1
+            route = _random_route(
+                plan, rng, config.min_route_length, start=start
+            )
+            sessions.append(
+                walker.perform_sws(
+                    route,
+                    lighting=lighting,
+                    initial_heading_known=config.initial_heading_known,
+                )
+            )
+        for _ in range(config.srs_rooms_per_user):
+            if not room_names:
+                break
+            room = plan.room_by_name(room_names[room_cursor % len(room_names)])
+            room_cursor += 1
+            lighting = _pick_lighting(rng, config.night_fraction)
+            # Spin near the room centre, not exactly at it.
+            offset = Point(
+                float(rng.uniform(-0.4, 0.4)), float(rng.uniform(-0.4, 0.4))
+            )
+            sessions.append(
+                walker.perform_srs(
+                    room.center + offset,
+                    lighting=lighting,
+                    room_name=room.name,
+                    initial_heading_known=config.initial_heading_known,
+                )
+            )
+    return CrowdDataset(
+        building=plan.name, plan=plan, sessions=sessions, config=config
+    )
+
+
+def _pick_lighting(rng: np.random.Generator, night_fraction: float) -> LightingCondition:
+    return NIGHT if rng.random() < night_fraction else DAYLIGHT

@@ -1,0 +1,192 @@
+"""Crowd dataset persistence.
+
+Generating a crowd dataset renders thousands of frames; persisting the
+result lets benchmarks and notebooks reload it in seconds. The format is a
+single ``.npz`` bundle: frame stacks, IMU channels, trajectories and
+ground truth per session, plus a JSON manifest of the scalar metadata.
+
+Only the dataset's *contents* are stored — the ground-truth
+:class:`~repro.world.floorplan_model.FloorPlan` is procedural, so the
+manifest records the builder name and seed and the loader rebuilds it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+import numpy as np
+
+from repro.sensors.imu import ImuConfig, ImuSample, ImuTrace
+from repro.sensors.trajectory import Trajectory, TrajectoryPoint
+from repro.vision.image import Frame
+from repro.world.buildings import BUILDING_BUILDERS
+from repro.world.crowd import CrowdConfig, CrowdDataset
+from repro.world.lighting import DAYLIGHT, NIGHT, LightingCondition
+from repro.world.renderer import Camera
+from repro.world.walker import CaptureSession, GroundTruthMotion
+
+_FORMAT_VERSION = 2
+
+
+def _lighting_by_name(name: str) -> LightingCondition:
+    if name == "night":
+        return NIGHT
+    return DAYLIGHT
+
+
+def save_dataset(dataset: CrowdDataset, path: str) -> None:
+    """Serialize a crowd dataset to ``path`` (.npz)."""
+    arrays: Dict[str, np.ndarray] = {}
+    manifest: Dict[str, object] = {
+        "version": _FORMAT_VERSION,
+        "building": dataset.building,
+        "sessions": [],
+        "config": {
+            "n_users": dataset.config.n_users,
+            "sws_per_user": dataset.config.sws_per_user,
+            "srs_rooms_per_user": dataset.config.srs_rooms_per_user,
+            "night_fraction": dataset.config.night_fraction,
+            "seed": dataset.config.seed,
+            "camera_width": dataset.config.camera.width,
+            "camera_height": dataset.config.camera.height,
+        },
+    }
+    for k, session in enumerate(dataset.sessions):
+        prefix = f"s{k:04d}"
+        pixels = np.stack([f.pixels for f in session.frames]) if session.frames \
+            else np.zeros((0, 1, 1, 3))
+        arrays[f"{prefix}_pixels"] = (
+            np.clip(pixels * 255.0, 0, 255).astype(np.uint8)
+        )
+        arrays[f"{prefix}_frame_meta"] = np.array(
+            [
+                [f.timestamp, f.heading,
+                 f.position[0] if f.position else np.nan,
+                 f.position[1] if f.position else np.nan,
+                 float(f.frame_index)]
+                for f in session.frames
+            ]
+            if session.frames else np.zeros((0, 5))
+        )
+        imu = session.imu
+        arrays[f"{prefix}_imu"] = np.stack(
+            [imu.times(), imu.gyro(), imu.accel(), imu.compass(),
+             imu.pressure()]
+        ) if len(imu) else np.zeros((5, 0))
+        traj = session.device_trajectory
+        arrays[f"{prefix}_traj"] = np.array(
+            [[p.x, p.y, p.t, p.heading] for p in traj.points]
+        ) if len(traj) else np.zeros((0, 4))
+        gt = session.ground_truth
+        arrays[f"{prefix}_gt_times"] = gt.times
+        arrays[f"{prefix}_gt_pos"] = gt.positions
+        arrays[f"{prefix}_gt_head"] = gt.headings
+        arrays[f"{prefix}_gt_steps"] = np.array(gt.step_times)
+        if gt.altitudes is not None:
+            arrays[f"{prefix}_gt_alt"] = np.asarray(gt.altitudes)
+        manifest["sessions"].append(
+            {
+                "prefix": prefix,
+                "session_id": session.session_id,
+                "user_id": session.user_id,
+                "building": session.building,
+                "floor": session.floor,
+                "task": session.task,
+                "lighting": session.lighting.name,
+                "room_name": session.room_name,
+            }
+        )
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez_compressed(path, **arrays)
+
+
+def load_dataset(path: str) -> CrowdDataset:
+    """Load a dataset saved by :func:`save_dataset`."""
+    bundle = np.load(path)
+    manifest = json.loads(bytes(bundle["manifest"]).decode("utf-8"))
+    if manifest.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported dataset format version {manifest.get('version')}"
+        )
+    cfg_blob = manifest["config"]
+    config = CrowdConfig(
+        n_users=cfg_blob["n_users"],
+        sws_per_user=cfg_blob["sws_per_user"],
+        srs_rooms_per_user=cfg_blob["srs_rooms_per_user"],
+        night_fraction=cfg_blob["night_fraction"],
+        seed=cfg_blob["seed"],
+        camera=Camera(width=cfg_blob["camera_width"],
+                      height=cfg_blob["camera_height"]),
+    )
+    building = manifest["building"]
+    plan = BUILDING_BUILDERS[building]()
+
+    sessions: List[CaptureSession] = []
+    for meta in manifest["sessions"]:
+        prefix = meta["prefix"]
+        pixels = bundle[f"{prefix}_pixels"].astype(np.float64) / 255.0
+        frame_meta = bundle[f"{prefix}_frame_meta"]
+        frames = []
+        for i in range(len(frame_meta)):
+            t, heading, px, py, idx = frame_meta[i]
+            frames.append(
+                Frame(
+                    pixels=pixels[i],
+                    timestamp=float(t),
+                    heading=float(heading),
+                    position=None if np.isnan(px) else (float(px), float(py)),
+                    frame_index=int(idx),
+                    user_id=meta["user_id"],
+                )
+            )
+        imu_arr = bundle[f"{prefix}_imu"]
+        samples = [
+            ImuSample(
+                t=float(imu_arr[0, i]),
+                gyro_z=float(imu_arr[1, i]),
+                accel_magnitude=float(imu_arr[2, i]),
+                compass_heading=float(imu_arr[3, i]),
+                pressure=float(imu_arr[4, i]),
+            )
+            for i in range(imu_arr.shape[1])
+        ]
+        traj_arr = bundle[f"{prefix}_traj"]
+        trajectory = Trajectory(
+            points=[
+                TrajectoryPoint(float(x), float(y), float(t), float(h))
+                for x, y, t, h in traj_arr
+            ],
+            user_id=meta["user_id"],
+            trajectory_id=meta["session_id"],
+        )
+        alt_key = f"{prefix}_gt_alt"
+        motion = GroundTruthMotion(
+            times=bundle[f"{prefix}_gt_times"],
+            positions=bundle[f"{prefix}_gt_pos"],
+            headings=bundle[f"{prefix}_gt_head"],
+            step_times=list(bundle[f"{prefix}_gt_steps"]),
+            altitudes=bundle[alt_key] if alt_key in bundle else None,
+        )
+        sessions.append(
+            CaptureSession(
+                session_id=meta["session_id"],
+                user_id=meta["user_id"],
+                building=meta["building"],
+                floor=meta["floor"],
+                task=meta["task"],
+                frames=frames,
+                imu=ImuTrace(samples=samples, config=ImuConfig()),
+                lighting=_lighting_by_name(meta["lighting"]),
+                device_trajectory=trajectory,
+                ground_truth=motion,
+                room_name=meta["room_name"],
+            )
+        )
+    return CrowdDataset(
+        building=building, plan=plan, sessions=sessions, config=config
+    )

@@ -1,0 +1,418 @@
+"""Ground-truth floor plan model.
+
+A building floor is a union of axis-aligned spaces: hallway rectangles plus
+rectangular rooms, connected by door openings. From that declarative
+description the model derives everything the rest of the system needs:
+
+- the walkable region (for the walker and for collision tests);
+- textured wall faces for the raycasting renderer, extracted from a fine
+  occupancy grid and merged into long segments;
+- ground-truth masks and polygons for the evaluation module;
+- a waypoint route graph for the simulated crowd.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.geometry.primitives import BoundingBox, Point, Polygon, Segment
+from repro.geometry.polygon_ops import rasterize_polygons
+from repro.world.textures import WallTexture
+
+#: Grid pitch used for walkability tests and wall extraction (metres).
+MODEL_CELL = 0.25
+
+#: Standard interior wall height (metres).
+WALL_HEIGHT = 2.7
+
+
+@dataclass(frozen=True)
+class Door:
+    """A door opening connecting a room to the hallway.
+
+    ``wall`` names the room wall holding the door ('N', 'S', 'E' or 'W');
+    ``offset`` is the door centre's distance along that wall from its
+    west/south end; ``width`` is the opening width in metres.
+    """
+
+    wall: str
+    offset: float
+    width: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.wall not in ("N", "S", "E", "W"):
+            raise ValueError(f"unknown wall {self.wall!r}")
+        if self.width <= 0:
+            raise ValueError("door width must be positive")
+
+
+@dataclass(frozen=True)
+class Room:
+    """An axis-aligned rectangular room."""
+
+    name: str
+    center: Point
+    width: float  # extent along x
+    depth: float  # extent along y
+    door: Door = field(default_factory=lambda: Door("S", 1.0))
+
+    def polygon(self) -> Polygon:
+        return Polygon.rectangle(self.center, self.width, self.depth)
+
+    def bounding_box(self) -> BoundingBox:
+        return BoundingBox(
+            self.center.x - self.width / 2.0,
+            self.center.y - self.depth / 2.0,
+            self.center.x + self.width / 2.0,
+            self.center.y + self.depth / 2.0,
+        )
+
+    def area(self) -> float:
+        return self.width * self.depth
+
+    def aspect_ratio(self) -> float:
+        """Length over width (always >= 1)."""
+        long_side = max(self.width, self.depth)
+        short_side = min(self.width, self.depth)
+        return long_side / short_side
+
+    def door_center(self) -> Point:
+        """World position of the door centre (on the room boundary)."""
+        bb = self.bounding_box()
+        if self.door.wall == "S":
+            return Point(bb.min_x + self.door.offset, bb.min_y)
+        if self.door.wall == "N":
+            return Point(bb.min_x + self.door.offset, bb.max_y)
+        if self.door.wall == "W":
+            return Point(bb.min_x, bb.min_y + self.door.offset)
+        return Point(bb.max_x, bb.min_y + self.door.offset)
+
+    def door_outward_normal(self) -> Point:
+        """Unit vector pointing out of the room through the door."""
+        return {
+            "S": Point(0.0, -1.0),
+            "N": Point(0.0, 1.0),
+            "W": Point(-1.0, 0.0),
+            "E": Point(1.0, 0.0),
+        }[self.door.wall]
+
+
+@dataclass(frozen=True)
+class Wall:
+    """A renderable wall face: a segment plus its texture."""
+
+    segment: Segment
+    texture: WallTexture
+    space_id: int  # -1 for hallway-facing, else index into rooms
+    #: True for the rendered (closed) door leaves across room openings.
+    is_door_leaf: bool = False
+
+    def length(self) -> float:
+        return self.segment.length()
+
+
+class FloorPlan:
+    """A complete single-floor ground truth.
+
+    ``hallway_rects`` are axis-aligned rectangles whose union forms the
+    hallway; rooms attach to the hallway (or to each other) through their
+    door openings. ``waypoints``/``waypoint_edges`` describe the corridor
+    route graph the simulated crowd walks on.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        hallway_rects: Sequence[BoundingBox],
+        rooms: Sequence[Room],
+        waypoints: Optional[Dict[str, Point]] = None,
+        waypoint_edges: Optional[Sequence[Tuple[str, str]]] = None,
+        texture_seed: int = 0,
+        wall_richness: float = 1.0,
+    ):
+        if not hallway_rects:
+            raise ValueError("a floor plan needs at least one hallway rect")
+        self.name = name
+        self.hallway_rects = list(hallway_rects)
+        self.rooms = list(rooms)
+        self.texture_seed = texture_seed
+        self.wall_richness = wall_richness
+        self._bounds = self._compute_bounds()
+        self._grid, self._space_grid = self._build_occupancy()
+        self.walls = self._extract_walls() + self._door_leaves()
+        self.waypoints = dict(waypoints or {})
+        self._route_graph = self._build_route_graph(waypoint_edges or [])
+
+    # ------------------------------------------------------------------
+    # Geometry and occupancy
+    # ------------------------------------------------------------------
+
+    def _compute_bounds(self) -> BoundingBox:
+        bounds = self.hallway_rects[0]
+        for rect in self.hallway_rects[1:]:
+            bounds = bounds.union(rect)
+        for room in self.rooms:
+            bounds = bounds.union(room.bounding_box())
+        return bounds.expanded(2.0 * MODEL_CELL)
+
+    @property
+    def bounds(self) -> BoundingBox:
+        return self._bounds
+
+    def _grid_shape(self) -> Tuple[int, int]:
+        rows = int(math.ceil(self._bounds.height / MODEL_CELL))
+        cols = int(math.ceil(self._bounds.width / MODEL_CELL))
+        return rows, cols
+
+    def _build_occupancy(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Walkable mask and per-cell space id (-2 solid, -1 hallway, i room)."""
+        rows, cols = self._grid_shape()
+        walkable = np.zeros((rows, cols), dtype=bool)
+        space = np.full((rows, cols), -2, dtype=np.int32)
+
+        def cells_in(bb: BoundingBox) -> Tuple[slice, slice]:
+            c0 = int((bb.min_x - self._bounds.min_x) / MODEL_CELL + 0.5)
+            c1 = int((bb.max_x - self._bounds.min_x) / MODEL_CELL + 0.5)
+            r0 = int((bb.min_y - self._bounds.min_y) / MODEL_CELL + 0.5)
+            r1 = int((bb.max_y - self._bounds.min_y) / MODEL_CELL + 0.5)
+            return slice(max(0, r0), min(rows, r1)), slice(max(0, c0), min(cols, c1))
+
+        for rect in self.hallway_rects:
+            rs, cs = cells_in(rect)
+            walkable[rs, cs] = True
+            space[rs, cs] = -1
+        for idx, room in enumerate(self.rooms):
+            rs, cs = cells_in(room.bounding_box())
+            walkable[rs, cs] = True
+            space[rs, cs] = idx
+        # Carve door openings: a strip through the room wall, extended
+        # outward along the door normal until it reaches already-walkable
+        # space (so walls up to 3 cells thick are bridged).
+        reach = 3 * MODEL_CELL
+        for idx, room in enumerate(self.rooms):
+            door_c = room.door_center()
+            normal = room.door_outward_normal()
+            half = room.door.width / 2.0
+            outer = door_c + normal * reach
+            min_x = min(door_c.x, outer.x)
+            max_x = max(door_c.x, outer.x)
+            min_y = min(door_c.y, outer.y)
+            max_y = max(door_c.y, outer.y)
+            if room.door.wall in ("N", "S"):
+                bb = BoundingBox(
+                    door_c.x - half, min_y - MODEL_CELL,
+                    door_c.x + half, max_y + MODEL_CELL,
+                )
+            else:
+                bb = BoundingBox(
+                    min_x - MODEL_CELL, door_c.y - half,
+                    max_x + MODEL_CELL, door_c.y + half,
+                )
+            rs, cs = cells_in(bb)
+            # Only carve solid cells; never punch through into unrelated
+            # walkable space's bookkeeping.
+            window = space[rs, cs]
+            carve = window == -2
+            walkable[rs, cs] |= carve
+            window[carve] = idx
+        return walkable, space
+
+    def is_walkable(self, p: Point) -> bool:
+        """True when ``p`` lies in walkable (hallway/room/door) space."""
+        r = int((p.y - self._bounds.min_y) / MODEL_CELL)
+        c = int((p.x - self._bounds.min_x) / MODEL_CELL)
+        rows, cols = self._grid.shape
+        if not (0 <= r < rows and 0 <= c < cols):
+            return False
+        return bool(self._grid[r, c])
+
+    def space_at(self, p: Point) -> int:
+        """Space id at ``p``: -1 hallway, room index, or -2 (solid/outside)."""
+        r = int((p.y - self._bounds.min_y) / MODEL_CELL)
+        c = int((p.x - self._bounds.min_x) / MODEL_CELL)
+        rows, cols = self._grid.shape
+        if not (0 <= r < rows and 0 <= c < cols):
+            return -2
+        return int(self._space_grid[r, c])
+
+    # ------------------------------------------------------------------
+    # Wall extraction
+    # ------------------------------------------------------------------
+
+    def _texture_for(self, space_id: int, face_key: int) -> WallTexture:
+        """Deterministic texture for a wall face of a given space."""
+        base_seed = self.texture_seed * 7919 + space_id * 271 + face_key * 31
+        if space_id == -1:
+            base = (0.78, 0.76, 0.72)  # hallway paint
+        else:
+            # Vary room paint slightly per room.
+            tint = (space_id * 37) % 5
+            palettes = [
+                (0.80, 0.78, 0.70),
+                (0.75, 0.78, 0.76),
+                (0.80, 0.74, 0.70),
+                (0.74, 0.76, 0.80),
+                (0.79, 0.77, 0.74),
+            ]
+            base = palettes[tint]
+        return WallTexture(
+            seed=base_seed, base_color=base, richness=self.wall_richness
+        )
+
+    def _extract_walls(self) -> List[Wall]:
+        """Merge grid boundary faces into long textured wall segments."""
+        walkable = self._grid
+        space = self._space_grid
+        rows, cols = walkable.shape
+        x0, y0 = self._bounds.min_x, self._bounds.min_y
+        walls: List[Wall] = []
+
+        padded = np.zeros((rows + 2, cols + 2), dtype=bool)
+        padded[1:-1, 1:-1] = walkable
+
+        # Vertical faces: walkable cell at (r, c) with solid at (r, c±1).
+        for direction, col_offset, face_x_offset in (("E", 1, 1.0), ("W", -1, 0.0)):
+            boundary = padded[1:-1, 1:-1] & ~padded[1:-1, 1 + col_offset : cols + 1 + col_offset]
+            for c in range(cols):
+                run_start = None
+                run_space = None
+                for r in range(rows + 1):
+                    here = boundary[r, c] if r < rows else False
+                    sp = int(space[r, c]) if r < rows else None
+                    if here and run_start is None:
+                        run_start, run_space = r, sp
+                    elif run_start is not None and (not here or sp != run_space):
+                        walls.append(
+                            self._make_wall_v(
+                                c + face_x_offset, run_start, r, run_space, x0, y0
+                            )
+                        )
+                        run_start, run_space = (r, sp) if here else (None, None)
+        # Horizontal faces: walkable cell at (r, c) with solid at (r±1, c).
+        for direction, row_offset, face_y_offset in (("N", 1, 1.0), ("S", -1, 0.0)):
+            boundary = padded[1:-1, 1:-1] & ~padded[1 + row_offset : rows + 1 + row_offset, 1:-1]
+            for r in range(rows):
+                run_start = None
+                run_space = None
+                for c in range(cols + 1):
+                    here = boundary[r, c] if c < cols else False
+                    sp = int(space[r, c]) if c < cols else None
+                    if here and run_start is None:
+                        run_start, run_space = c, sp
+                    elif run_start is not None and (not here or sp != run_space):
+                        walls.append(
+                            self._make_wall_h(
+                                r + face_y_offset, run_start, c, run_space, x0, y0
+                            )
+                        )
+                        run_start, run_space = (c, sp) if here else (None, None)
+        return walls
+
+    def _make_wall_v(
+        self, face_col: float, r_start: int, r_end: int, space_id: int,
+        x0: float, y0: float,
+    ) -> Wall:
+        x = x0 + face_col * MODEL_CELL
+        a = Point(x, y0 + r_start * MODEL_CELL)
+        b = Point(x, y0 + r_end * MODEL_CELL)
+        face_key = int(face_col) * 2
+        return Wall(Segment(a, b), self._texture_for(space_id, face_key), space_id)
+
+    def _make_wall_h(
+        self, face_row: float, c_start: int, c_end: int, space_id: int,
+        x0: float, y0: float,
+    ) -> Wall:
+        y = y0 + face_row * MODEL_CELL
+        a = Point(x0 + c_start * MODEL_CELL, y)
+        b = Point(x0 + c_end * MODEL_CELL, y)
+        face_key = int(face_row) * 2 + 1
+        return Wall(Segment(a, b), self._texture_for(space_id, face_key), space_id)
+
+    def _door_leaves(self) -> List[Wall]:
+        """Closed door leaves rendered across each room's door opening.
+
+        The occupancy grid stays carved (walkers pass through — they open
+        the door), but the renderer sees a closed door: rooms are visually
+        sealed, which keeps corridor vistas out of room panoramas exactly
+        as a closed door would in the paper's buildings. Wide openings
+        (door wider than 1.6 m, e.g. archways into alcoves) stay open.
+        """
+        leaves: List[Wall] = []
+        for idx, room in enumerate(self.rooms):
+            if room.door.width > 1.6:
+                continue
+            centre = room.door_center()
+            normal = room.door_outward_normal()
+            # Place the leaf mid-wall so both sides see it.
+            mid = centre + normal * (MODEL_CELL / 2.0)
+            tangent = Point(-normal.y, normal.x)
+            half = room.door.width / 2.0
+            a = mid + tangent * (-half)
+            b = mid + tangent * half
+            texture = WallTexture(
+                seed=self.texture_seed * 131 + idx * 17 + 5,
+                base_color=(0.5, 0.34, 0.22),
+                richness=0.0,
+                doors=((half, room.door.width),),
+            )
+            leaves.append(
+                Wall(Segment(a, b), texture, space_id=idx, is_door_leaf=True)
+            )
+        return leaves
+
+    # ------------------------------------------------------------------
+    # Route graph
+    # ------------------------------------------------------------------
+
+    def _build_route_graph(self, edges: Sequence[Tuple[str, str]]) -> nx.Graph:
+        graph = nx.Graph()
+        for name, point in self.waypoints.items():
+            graph.add_node(name, point=point)
+        for a, b in edges:
+            if a not in self.waypoints or b not in self.waypoints:
+                raise ValueError(f"edge references unknown waypoint: {a}-{b}")
+            dist = self.waypoints[a].distance_to(self.waypoints[b])
+            graph.add_edge(a, b, weight=dist)
+        return graph
+
+    @property
+    def route_graph(self) -> nx.Graph:
+        return self._route_graph
+
+    def route_between(self, start: str, end: str) -> List[Point]:
+        """Waypoint path (as points) between two named waypoints."""
+        names = nx.shortest_path(self._route_graph, start, end, weight="weight")
+        return [self.waypoints[n] for n in names]
+
+    # ------------------------------------------------------------------
+    # Ground-truth products for the evaluation
+    # ------------------------------------------------------------------
+
+    def hallway_polygons(self) -> List[Polygon]:
+        return [
+            Polygon.rectangle(rect.center, rect.width, rect.height)
+            for rect in self.hallway_rects
+        ]
+
+    def hallway_mask(self, cell_size: float, bounds: Optional[BoundingBox] = None) -> np.ndarray:
+        """Ground-truth hallway occupancy mask (row 0 = south)."""
+        return rasterize_polygons(
+            self.hallway_polygons(), bounds or self._bounds, cell_size
+        )
+
+    def room_by_name(self, name: str) -> Room:
+        for room in self.rooms:
+            if room.name == name:
+                return room
+        raise KeyError(f"no room named {name!r} in {self.name}")
+
+    def total_area(self) -> float:
+        """Upper bound on floor area: hallway rects + rooms (overlaps ignored)."""
+        return sum(r.area() for r in self.hallway_rects) + sum(
+            room.area() for room in self.rooms
+        )

@@ -1,0 +1,79 @@
+"""Day/night lighting conditions for the renderer.
+
+Paper Section V.A classifies uploads into a daylight group (sunlight,
+100-500 lux) and a night group (incandescent lamps, 75-200 lux) and studies
+aggregation robustness as the night fraction grows (Fig. 7b). A lighting
+condition scales overall brightness, tints the scene toward the source's
+color temperature, and raises sensor noise at low light — the three effects
+that actually perturb the CV pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LightingCondition:
+    """Photometric conditions of one capture session."""
+
+    name: str
+    lux: float
+    brightness: float  # global exposure scale
+    tint: Tuple[float, float, float]  # per-channel color cast
+    sensor_noise_std: float  # additive Gaussian noise in [0,1] pixel units
+    vignette: float = 0.0  # 0 = none, 1 = strong corner falloff
+
+    def apply(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Apply exposure, tint, vignette and sensor noise to an RGB image."""
+        out = image * self.brightness
+        out = out * np.asarray(self.tint)[None, None, :]
+        if self.vignette > 0.0:
+            h, w = out.shape[:2]
+            ys = np.linspace(-1.0, 1.0, h)[:, None]
+            xs = np.linspace(-1.0, 1.0, w)[None, :]
+            falloff = 1.0 - self.vignette * 0.35 * (xs**2 + ys**2)
+            out = out * falloff[:, :, None]
+        if self.sensor_noise_std > 0.0:
+            out = out + rng.normal(0.0, self.sensor_noise_std, out.shape)
+        return np.clip(out, 0.0, 1.0)
+
+
+#: Daylight group: sunlight, 100-500 lux (paper's classification).
+DAYLIGHT = LightingCondition(
+    name="daylight",
+    lux=300.0,
+    brightness=1.0,
+    tint=(1.0, 1.0, 1.0),
+    sensor_noise_std=0.012,
+    vignette=0.0,
+)
+
+#: Night group: incandescent lamps, 75-200 lux.
+NIGHT = LightingCondition(
+    name="night",
+    lux=120.0,
+    brightness=0.55,
+    tint=(1.0, 0.86, 0.7),
+    sensor_noise_std=0.035,
+    vignette=0.35,
+)
+
+
+def condition_for_lux(lux: float) -> LightingCondition:
+    """Interpolated lighting condition for an arbitrary illuminance level."""
+    lux = float(np.clip(lux, 20.0, 600.0))
+    # Map lux to [0, 1] between the night and day reference points.
+    t = float(np.clip((lux - NIGHT.lux) / (DAYLIGHT.lux - NIGHT.lux), 0.0, 1.0))
+    lerp = lambda a, b: a + t * (b - a)  # noqa: E731 - tiny local helper
+    return LightingCondition(
+        name=f"lux{int(lux)}",
+        lux=lux,
+        brightness=lerp(NIGHT.brightness, DAYLIGHT.brightness),
+        tint=tuple(lerp(n, d) for n, d in zip(NIGHT.tint, DAYLIGHT.tint)),
+        sensor_noise_std=lerp(NIGHT.sensor_noise_std, DAYLIGHT.sensor_noise_std),
+        vignette=lerp(NIGHT.vignette, DAYLIGHT.vignette),
+    )

@@ -1,0 +1,342 @@
+"""Procedural wall textures.
+
+Every wall face is painted procedurally from world coordinates, so the same
+wall looks identical from any viewpoint — which is what lets SURF features
+detected in one user's frame match another user's frame of the same wall.
+A texture is composed of:
+
+- a base paint color with slow horizontal variation;
+- a darker wainscot band and a trim stripe (long horizontal lines for the
+  line-segment detector);
+- posters/signs in pseudo-random slots, each with a high-frequency interior
+  pattern (blob structure for the fast-Hessian detector);
+- doors at explicit positions (dark panels with frames — the vertical lines
+  the room-layout stage keys on).
+
+``richness`` scales poster density and pattern contrast; near zero it
+produces the featureless walls that defeat SfM (paper Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+_UINT = np.uint64
+_MASK = np.uint64(0xFFFFFFFF)
+
+
+def _hash_ints(ix: np.ndarray, iy: np.ndarray, seed: int) -> np.ndarray:
+    """Deterministic integer hash to [0, 1), vectorized."""
+    h = (
+        ix.astype(_UINT) * _UINT(374761393)
+        + iy.astype(_UINT) * _UINT(668265263)
+        + _UINT(seed % (2**31)) * _UINT(2654435761)
+    ) & _MASK
+    h ^= h >> _UINT(13)
+    h = (h * _UINT(1274126177)) & _MASK
+    h ^= h >> _UINT(16)
+    return h.astype(np.float64) / float(2**32)
+
+
+def value_noise(u: np.ndarray, v: np.ndarray, scale: float, seed: int) -> np.ndarray:
+    """Smooth value noise in [0, 1) over (u, v) with feature size ``scale``."""
+    gu = np.asarray(u, dtype=np.float64) / scale
+    gv = np.asarray(v, dtype=np.float64) / scale
+    iu = np.floor(gu).astype(np.int64)
+    iv = np.floor(gv).astype(np.int64)
+    fu = gu - iu
+    fv = gv - iv
+    # Smoothstep interpolation between the four corner hashes.
+    su = fu * fu * (3.0 - 2.0 * fu)
+    sv = fv * fv * (3.0 - 2.0 * fv)
+    c00 = _hash_ints(iu, iv, seed)
+    c10 = _hash_ints(iu + 1, iv, seed)
+    c01 = _hash_ints(iu, iv + 1, seed)
+    c11 = _hash_ints(iu + 1, iv + 1, seed)
+    top = c00 + su * (c10 - c00)
+    bottom = c01 + su * (c11 - c01)
+    return top + sv * (bottom - top)
+
+
+# A palette of plausible poster/sign colors with a wide luminance spread,
+# so different posters stay distinguishable even in grayscale descriptors.
+_POSTER_COLORS = np.array(
+    [
+        [0.82, 0.25, 0.2],
+        [0.2, 0.45, 0.75],
+        [0.95, 0.75, 0.2],
+        [0.25, 0.6, 0.35],
+        [0.55, 0.3, 0.65],
+        [0.95, 0.95, 0.9],
+        [0.1, 0.1, 0.15],
+        [0.85, 0.5, 0.15],
+    ]
+)
+
+
+@dataclass(frozen=True)
+class WallTexture:
+    """Parameters of one wall face's procedural texture.
+
+    ``doors`` holds (u_center, width) pairs in metres along the wall;
+    ``richness`` in [0, 1] scales how much distinctive detail the wall has.
+    """
+
+    seed: int
+    base_color: Tuple[float, float, float] = (0.78, 0.76, 0.72)
+    richness: float = 1.0
+    doors: Tuple[Tuple[float, float], ...] = field(default_factory=tuple)
+    poster_slot_m: float = 1.8
+    wainscot_height: float = 1.0
+    wall_height: float = 2.7
+
+    def sample(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """RGB colors at wall coordinates (u along wall, v height), (N, 3).
+
+        ``u`` and ``v`` are same-shaped arrays in metres; v=0 at the floor.
+        """
+        u = np.asarray(u, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        n = u.size
+        shape = u.shape
+        uf = u.ravel()
+        vf = v.ravel()
+        rgb = np.empty((n, 3), dtype=np.float64)
+        rgb[:] = self.base_color
+
+        # Slow horizontal paint variation (keeps flat walls from being
+        # perfectly constant, which would destabilize NCC scores) plus a
+        # longer-wavelength tint drift so distant wall sections differ.
+        variation = (value_noise(uf, np.zeros_like(uf), 2.5, self.seed) - 0.5) * 0.08
+        drift = (value_noise(uf, np.zeros_like(uf), 9.0, self.seed + 3) - 0.5)
+        rgb += variation[:, None]
+        rgb[:, 0] += drift * 0.10
+        rgb[:, 2] -= drift * 0.08
+
+        # Wainscot band and trim stripe. Kept low-contrast: strong repeated
+        # horizontal structure would flood the feature detector with
+        # position-independent matches.
+        wainscot = vf < self.wainscot_height
+        rgb[wainscot] *= 0.93
+        trim = np.abs(vf - self.wainscot_height) < 0.025
+        rgb[trim] *= 0.8
+        base_strip = vf < 0.08
+        rgb[base_strip] = [0.22, 0.21, 0.19]
+
+        # Vertical accent elements (pilasters, utility doors, conduit,
+        # colored lockers) at pseudo-random positions. Verticals survive the
+        # grazing-angle foreshortening of corridor walls, so they are the
+        # landmarks that make one wall section distinguishable from another.
+        if self.richness > 0.0:
+            accent_slot_m = 2.6
+            aslot = np.floor(uf / accent_slot_m).astype(np.int64)
+            azeros = np.zeros_like(aslot)
+            a_rand = _hash_ints(aslot, azeros, self.seed + 71)
+            has_accent = a_rand < 0.5 * self.richness
+            a_center = (aslot + 0.5) * accent_slot_m + (
+                _hash_ints(aslot, azeros, self.seed + 73) - 0.5
+            ) * 1.2
+            a_half = 0.05 + _hash_ints(aslot, azeros, self.seed + 79) * 0.35
+            a_height = 1.4 + _hash_ints(aslot, azeros, self.seed + 83) * 1.3
+            a_inside = (
+                has_accent & (np.abs(uf - a_center) < a_half) & (vf < a_height)
+            )
+            if a_inside.any():
+                aslot_in = aslot[a_inside]
+                az_in = np.zeros_like(aslot_in)
+                color_idx = (
+                    _hash_ints(aslot_in, az_in, self.seed + 89)
+                    * len(_POSTER_COLORS)
+                ).astype(int) % len(_POSTER_COLORS)
+                accent_rgb = _POSTER_COLORS[color_idx] * (
+                    0.55 + 0.45 * _hash_ints(aslot_in, az_in, self.seed + 97)
+                )[:, None]
+                rgb[a_inside] = accent_rgb
+                a_edge = a_inside & (
+                    np.abs(np.abs(uf - a_center) - a_half) < 0.03
+                )
+                rgb[a_edge] = [0.15, 0.15, 0.17]
+
+        # Posters in pseudo-random slots, each with a per-slot pattern style
+        # so neighbouring posters look genuinely different.
+        if self.richness > 0.0:
+            slot = np.floor(uf / self.poster_slot_m).astype(np.int64)
+            zeros = np.zeros_like(slot)
+            slot_rand = _hash_ints(slot, zeros, self.seed + 7)
+            has_poster = slot_rand < 0.65 * self.richness
+            center = (slot + 0.5) * self.poster_slot_m + (
+                _hash_ints(slot, zeros, self.seed + 13) - 0.5
+            ) * 0.5
+            half_w = 0.3 + _hash_ints(slot, zeros, self.seed + 17) * 0.3
+            v_lo = 1.2 + _hash_ints(slot, zeros, self.seed + 19) * 0.25
+            v_hi = v_lo + 0.55 + _hash_ints(slot, zeros, self.seed + 23) * 0.4
+            inside = (
+                has_poster
+                & (np.abs(uf - center) < half_w)
+                & (vf > v_lo)
+                & (vf < v_hi)
+            )
+            if inside.any():
+                slot_in = slot[inside]
+                zeros_in = np.zeros_like(slot_in)
+                color_idx = (
+                    _hash_ints(slot_in, zeros_in, self.seed + 29)
+                    * len(_POSTER_COLORS)
+                ).astype(int) % len(_POSTER_COLORS)
+                poster_rgb = _POSTER_COLORS[color_idx].copy()
+                ui, vi = uf[inside], vf[inside]
+                style = (
+                    _hash_ints(slot_in, zeros_in, self.seed + 37) * 4
+                ).astype(int)
+                contrast = 0.45 + 0.45 * self.richness
+                # Style 0: blobby noise. 1: horizontal text lines.
+                # 2: vertical bars. 3: checker blocks.
+                pattern = np.where(
+                    style == 0,
+                    value_noise(ui, vi, 0.08, self.seed + 31),
+                    np.where(
+                        style == 1,
+                        (np.mod(vi * 9.0 + _hash_ints(slot_in, zeros_in,
+                                                      self.seed + 41), 1.0) < 0.45
+                         ).astype(float)
+                        * value_noise(ui, zeros_in.astype(float), 0.12,
+                                      self.seed + 43),
+                        np.where(
+                            style == 2,
+                            (np.mod(ui * 6.0, 1.0) < 0.5).astype(float),
+                            ((np.floor(ui * 5.0) + np.floor(vi * 5.0)) % 2),
+                        ),
+                    ),
+                )
+                poster_rgb = poster_rgb * (1.0 - contrast * (pattern[:, None] > 0.4))
+                rgb[inside] = poster_rgb
+                border = inside & (
+                    (np.abs(np.abs(uf - center) - half_w) < 0.025)
+                    | (np.abs(vf - v_lo) < 0.025)
+                    | (np.abs(vf - v_hi) < 0.025)
+                )
+                rgb[border] = [0.1, 0.1, 0.12]
+
+        # Large framed notice boards roughly every 7 m: a high-contrast
+        # landmark that makes each wall section identifiable at a distance.
+        if self.richness > 0.2:
+            board_slot_m = 7.0
+            bslot = np.floor(uf / board_slot_m).astype(np.int64)
+            bzeros = np.zeros_like(bslot)
+            b_rand = _hash_ints(bslot, bzeros, self.seed + 53)
+            has_board = b_rand < 0.6 * self.richness
+            b_center = (bslot + 0.5) * board_slot_m + (
+                _hash_ints(bslot, bzeros, self.seed + 59) - 0.5
+            ) * 2.0
+            b_half = 0.8
+            b_inside = (
+                has_board
+                & (np.abs(uf - b_center) < b_half)
+                & (vf > 1.1)
+                & (vf < 2.1)
+            )
+            if b_inside.any():
+                rgb[b_inside] = [0.35, 0.22, 0.12]  # cork board
+                # Pinned papers: bright rectangles at hashed grid cells.
+                pu = np.floor((uf[b_inside] - b_center[b_inside]) / 0.3)
+                pv = np.floor(vf[b_inside] / 0.28)
+                paper = _hash_ints(
+                    pu.astype(np.int64) + bslot[b_inside] * 17,
+                    pv.astype(np.int64),
+                    self.seed + 61,
+                )
+                lit = paper < 0.5
+                shade = 0.75 + 0.25 * _hash_ints(
+                    pu.astype(np.int64), pv.astype(np.int64), self.seed + 67
+                )
+                papers = np.stack([shade, shade, shade * 0.92], axis=1)
+                target = rgb[b_inside]
+                target[lit] = papers[lit]
+                rgb[b_inside] = target
+                b_border = b_inside & (
+                    (np.abs(np.abs(uf - b_center) - b_half) < 0.04)
+                    | (np.abs(vf - 1.1) < 0.04)
+                    | (np.abs(vf - 2.1) < 0.04)
+                )
+                rgb[b_border] = [0.2, 0.18, 0.15]
+
+        # Doors: painted last so they overwrite posters.
+        for door_u, door_w in self.doors:
+            half = door_w / 2.0
+            in_door = (np.abs(uf - door_u) < half) & (vf < 2.1)
+            rgb[in_door] = [0.42, 0.28, 0.18]
+            panel = in_door & (
+                value_noise(uf, vf, 0.3, self.seed + 41) > 0.5
+            )
+            rgb[panel] *= 0.92
+            frame = (np.abs(np.abs(uf - door_u) - half) < 0.04) & (vf < 2.15)
+            frame |= (np.abs(uf - door_u) < half + 0.04) & (
+                np.abs(vf - 2.1) < 0.05
+            )
+            rgb[frame] = [0.55, 0.5, 0.45]
+            knob = (
+                (np.abs(uf - (door_u + half - 0.12)) < 0.035)
+                & (np.abs(vf - 1.05) < 0.035)
+            )
+            rgb[knob] = [0.85, 0.8, 0.55]
+
+        return np.clip(rgb, 0.0, 1.0).reshape(shape + (3,))
+
+
+FLOOR_COLOR = np.array([0.55, 0.53, 0.5])
+CEILING_COLOR = np.array([0.9, 0.9, 0.88])
+
+
+def floor_color(x: np.ndarray, y: np.ndarray, seed: int = 97) -> np.ndarray:
+    """Floor RGB at world (x, y): low-contrast tiles, drift, and worn patches.
+
+    Deliberately muted periodic structure (faint grout) plus aperiodic
+    terrazzo drift and hashed scuff patches, so the floor contributes
+    location-dependent appearance rather than a repeating pattern.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    rgb = np.broadcast_to(FLOOR_COLOR, x.shape + (3,)).copy()
+    tile = 0.6
+    grout_x = np.abs(np.mod(x, tile)) < 0.025
+    grout_y = np.abs(np.mod(y, tile)) < 0.025
+    speckle = (value_noise(x, y, 0.15, seed) - 0.5) * 0.06
+    drift = (value_noise(x, y, 11.0, seed + 5) - 0.5)
+    rgb += speckle[..., None]
+    rgb[..., 0] += drift * 0.09
+    rgb[..., 1] += drift * 0.05
+    rgb[grout_x | grout_y] *= 0.93
+    # Worn/scuffed patches at hashed 2 m cells.
+    cell_x = np.floor(x / 2.0).astype(np.int64)
+    cell_y = np.floor(y / 2.0).astype(np.int64)
+    worn = _hash_ints(cell_x, cell_y, seed + 9) < 0.18
+    rgb[worn] *= 0.88
+    return np.clip(rgb, 0.0, 1.0)
+
+
+def ceiling_color(x: np.ndarray, y: np.ndarray, seed: int = 131) -> np.ndarray:
+    """Ceiling RGB at world (x, y): acoustic tiles with irregular fixtures."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    rgb = np.broadcast_to(CEILING_COLOR, x.shape + (3,)).copy()
+    tile = 1.2
+    grid_x = np.abs(np.mod(x, tile)) < 0.03
+    grid_y = np.abs(np.mod(y, tile)) < 0.03
+    rgb[grid_x | grid_y] *= 0.92
+    # Light fixtures at hash-selected tiles (irregular layout).
+    tile_x = np.floor(x / tile).astype(np.int64)
+    tile_y = np.floor(y / tile).astype(np.int64)
+    has_fixture = _hash_ints(tile_x, tile_y, seed + 3) < 0.18
+    fixture = (
+        has_fixture
+        & (np.abs(np.mod(x, tile) - tile / 2) < 0.35)
+        & (np.abs(np.mod(y, tile) - tile / 2) < 0.2)
+    )
+    rgb[fixture] = [1.0, 1.0, 0.97]
+    # Occasional stained/replaced tile.
+    stained = _hash_ints(tile_x, tile_y, seed + 11) < 0.08
+    rgb[stained & ~fixture] *= 0.9
+    return np.clip(rgb, 0.0, 1.0)

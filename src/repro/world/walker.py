@@ -1,0 +1,415 @@
+"""Simulated users executing the paper's data-collection micro-tasks.
+
+A :class:`Walker` owns one user's gait parameters and phone (IMU simulator
++ camera) and can perform the two micro-tasks of paper Section III.A:
+
+- **Stay-Rotate-Stay (SRS)**: stand at a point and spin in place while
+  recording, producing the overlapping frames the panorama stage stitches;
+- **Stay-Walk-Stay (SWS)**: walk a waypoint route while recording,
+  producing the video + IMU stream from which the trajectory
+  ``(x_i, y_i, t_i)`` is dead-reckoned.
+
+The resulting :class:`CaptureSession` carries exactly what the mobile
+front-end would upload (frames annotated with *device-estimated* pose, the
+raw IMU trace, and the Task-1 geo-spatial annotation) plus the hidden
+ground truth used only by the evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.primitives import Point, wrap_angle
+from repro.sensors.dead_reckoning import DeadReckoningConfig, dead_reckon
+from repro.sensors.heading import HeadingEstimator
+from repro.sensors.imu import ImuConfig, ImuSimulator, ImuTrace
+from repro.sensors.trajectory import Trajectory
+from repro.vision.image import Frame
+from repro.world.floorplan_model import FloorPlan
+from repro.world.lighting import DAYLIGHT, LightingCondition
+from repro.world.renderer import Camera, Renderer
+
+_GT_RATE = 20.0  # ground-truth motion sampling rate, Hz
+
+
+@dataclass(frozen=True)
+class WalkerProfile:
+    """One user's gait and capture habits."""
+
+    user_id: str
+    step_length: float = 0.7  # true stride, m (device assumes 0.7)
+    walking_speed: float = 1.2  # m/s
+    rotation_speed: float = math.radians(40.0)  # SRS spin rate, rad/s
+    stay_duration: float = 1.0  # the "Stay" phases, s
+    sws_frame_interval: float = 0.5  # s between captured frames
+    srs_frame_interval: float = 0.33
+    camera_yaw_jitter: float = math.radians(1.2)  # hand shake
+    position_sway: float = 0.04  # lateral sway amplitude, m
+    #: Std-dev of the error on each session's assumed start position. The
+    #: device only knows its start coarsely (Task-1 geo annotation + last
+    #: GPS fix), so dead-reckoned trajectories begin offset by this much.
+    origin_noise_std: float = 0.35
+
+
+@dataclass
+class GroundTruthMotion:
+    """True motion of one capture session (evaluation-only)."""
+
+    times: np.ndarray
+    positions: np.ndarray  # (N, 2)
+    headings: np.ndarray
+    step_times: List[float]
+    #: Altitude above the ground floor, metres (None = constant 0).
+    altitudes: Optional[np.ndarray] = None
+
+    def position_at(self, t: float) -> Point:
+        x = float(np.interp(t, self.times, self.positions[:, 0]))
+        y = float(np.interp(t, self.times, self.positions[:, 1]))
+        return Point(x, y)
+
+    def heading_at(self, t: float) -> float:
+        unwrapped = np.unwrap(self.headings)
+        return float(np.interp(t, self.times, unwrapped))
+
+
+@dataclass
+class CaptureSession:
+    """One uploaded sensor-rich video with its annotations."""
+
+    session_id: str
+    user_id: str
+    building: str
+    floor: int
+    task: str  # "SRS" or "SWS"
+    frames: List[Frame]
+    imu: ImuTrace
+    lighting: LightingCondition
+    device_trajectory: Trajectory
+    ground_truth: GroundTruthMotion
+    room_name: Optional[str] = None  # set for SRS sessions inside a room
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.frames)
+
+    def duration(self) -> float:
+        return self.imu.duration()
+
+
+class Walker:
+    """Executes micro-tasks for one user inside one building."""
+
+    def __init__(
+        self,
+        plan: FloorPlan,
+        profile: WalkerProfile,
+        camera: Optional[Camera] = None,
+        imu_config: Optional[ImuConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        renderer: Optional[Renderer] = None,
+        altitude: float = 0.0,
+    ):
+        self.plan = plan
+        self.profile = profile
+        #: Altitude (m) of the floor this walker is on; drives the
+        #: barometer channel used by multi-floor reconstruction.
+        self.altitude = altitude
+        self.rng = rng or np.random.default_rng()
+        self.renderer = renderer or Renderer(plan, camera)
+        self.imu_sim = ImuSimulator(config=imu_config, rng=self.rng)
+        self._session_counter = 0
+
+    def _next_session_id(self) -> str:
+        self._session_counter += 1
+        return f"{self.profile.user_id}-{self.plan.name}-{self._session_counter:03d}"
+
+    # ------------------------------------------------------------------
+    # Ground-truth motion synthesis
+    # ------------------------------------------------------------------
+
+    def _sws_motion(
+        self,
+        route: Sequence[Point],
+        pause_at: Optional[float] = None,
+        pause_s: float = 0.0,
+    ) -> GroundTruthMotion:
+        """Walk along a waypoint polyline with stay phases at both ends.
+
+        ``pause_at`` (fraction of the route, 0-1) inserts a ``pause_s``
+        standstill mid-walk — the behaviour real contributors exhibit
+        (answering a text) that the LCSS band parameter delta must absorb.
+        """
+        p = self.profile
+        if len(route) < 2:
+            raise ValueError("an SWS route needs at least two waypoints")
+        # Piecewise-constant-speed motion along the polyline.
+        leg_lengths = [route[i].distance_to(route[i + 1]) for i in range(len(route) - 1)]
+        total_len = sum(leg_lengths)
+        walk_time = total_len / p.walking_speed
+        pause_dist = (
+            None if pause_at is None else float(np.clip(pause_at, 0, 1)) * total_len
+        )
+        pause_start = (
+            None if pause_dist is None
+            else p.stay_duration + pause_dist / p.walking_speed
+        )
+        t_total = 2 * p.stay_duration + walk_time + (
+            pause_s if pause_at is not None else 0.0
+        )
+        times = np.arange(0.0, t_total + 1e-9, 1.0 / _GT_RATE)
+
+        positions = np.zeros((len(times), 2))
+        headings = np.zeros(len(times))
+        cum = np.concatenate([[0.0], np.cumsum(leg_lengths)])
+        for i, t in enumerate(times):
+            # Remove the paused interval from the effective walking clock.
+            if pause_start is not None and t > pause_start:
+                effective_t = max(pause_start, t - pause_s)
+            else:
+                effective_t = t
+            walked = np.clip(
+                (effective_t - p.stay_duration) * p.walking_speed, 0.0, total_len
+            )
+            leg = min(int(np.searchsorted(cum, walked, side="right")) - 1,
+                      len(leg_lengths) - 1)
+            leg_pos = walked - cum[leg]
+            a, b = route[leg], route[leg + 1]
+            frac = leg_pos / leg_lengths[leg] if leg_lengths[leg] > 0 else 0.0
+            x = a.x + frac * (b.x - a.x)
+            y = a.y + frac * (b.y - a.y)
+            # Lateral gait sway perpendicular to the leg direction.
+            heading = math.atan2(b.y - a.y, b.x - a.x)
+            sway = p.position_sway * math.sin(2.0 * math.pi * 1.8 * t)
+            x += sway * -math.sin(heading)
+            y += sway * math.cos(heading)
+            positions[i] = (x, y)
+            headings[i] = heading
+        # During the stay phases the user faces the first/last leg direction.
+        first_heading = math.atan2(route[1].y - route[0].y, route[1].x - route[0].x)
+        headings[times <= p.stay_duration] = first_heading
+        step_period = p.step_length / p.walking_speed
+        step_times = list(
+            np.arange(p.stay_duration + step_period / 2.0,
+                      p.stay_duration + walk_time
+                      + (pause_s if pause_at is not None else 0.0),
+                      step_period)
+        )
+        if pause_start is not None:
+            step_times = [
+                st for st in step_times
+                if not (pause_start <= st <= pause_start + pause_s)
+            ]
+        return GroundTruthMotion(times, positions, headings, step_times)
+
+    def _srs_motion(self, position: Point, total_angle: float,
+                    start_heading: float) -> GroundTruthMotion:
+        """Spin in place by ``total_angle`` radians (CCW if positive)."""
+        p = self.profile
+        spin_time = abs(total_angle) / p.rotation_speed
+        t_total = 2 * p.stay_duration + spin_time
+        times = np.arange(0.0, t_total + 1e-9, 1.0 / _GT_RATE)
+        headings = np.full(len(times), start_heading)
+        spinning = (times > p.stay_duration) & (times <= p.stay_duration + spin_time)
+        headings[spinning] = start_heading + (
+            (times[spinning] - p.stay_duration) / spin_time
+        ) * total_angle
+        headings[times > p.stay_duration + spin_time] = start_heading + total_angle
+        positions = np.tile([position.x, position.y], (len(times), 1))
+        # Tiny stance shuffle so the position is not perfectly constant.
+        positions += self.rng.normal(0.0, 0.01, positions.shape)
+        return GroundTruthMotion(times, positions, headings, [])
+
+    # ------------------------------------------------------------------
+    # Capture (render + IMU + device-side processing)
+    # ------------------------------------------------------------------
+
+    def _capture(
+        self,
+        motion: GroundTruthMotion,
+        task: str,
+        frame_interval: float,
+        lighting: LightingCondition,
+        room_name: Optional[str],
+        initial_heading_known: bool,
+    ) -> CaptureSession:
+        altitudes = motion.altitudes
+        if altitudes is None and self.altitude != 0.0:
+            altitudes = np.full(len(motion.times), self.altitude)
+        imu = self.imu_sim.record(
+            motion.times, motion.positions, motion.headings,
+            motion.step_times, altitudes=altitudes,
+        )
+        # Device-side processing, as the mobile front-end would do it: fused
+        # heading track and dead-reckoned trajectory in the local frame.
+        estimator = HeadingEstimator()
+        device_headings = estimator.estimate(
+            imu,
+            initial_heading=(motion.headings[0] if initial_heading_known else None),
+        )
+        imu_times = imu.times()
+        origin_err = self.rng.normal(0.0, self.profile.origin_noise_std, 2)
+        device_traj = dead_reckon(
+            imu,
+            DeadReckoningConfig(),
+            origin=(
+                motion.positions[0][0] + origin_err[0],
+                motion.positions[0][1] + origin_err[1],
+            ),
+            initial_heading=(motion.headings[0] if initial_heading_known else None),
+            user_id=self.profile.user_id,
+        )
+
+        session_id = self._next_session_id()
+        frames: List[Frame] = []
+        capture_times = np.arange(
+            motion.times[0], motion.times[-1] + 1e-9, frame_interval
+        )
+        for k, t in enumerate(capture_times):
+            true_pos = motion.position_at(float(t))
+            true_heading = motion.heading_at(float(t))
+            jitter = float(self.rng.normal(0.0, self.profile.camera_yaw_jitter))
+            pixels = self.renderer.render(
+                true_pos, true_heading + jitter, lighting=lighting, rng=self.rng
+            )
+            dev_heading = float(np.interp(t, imu_times, device_headings))
+            idx = device_traj.nearest_index(float(t)) if len(device_traj) else 0
+            dev_pos = (
+                (device_traj[idx].x, device_traj[idx].y) if len(device_traj) else None
+            )
+            frames.append(
+                Frame(
+                    pixels=pixels,
+                    timestamp=float(t),
+                    heading=dev_heading,
+                    position=dev_pos,
+                    frame_index=k,
+                    user_id=self.profile.user_id,
+                )
+            )
+        return CaptureSession(
+            session_id=session_id,
+            user_id=self.profile.user_id,
+            building=self.plan.name,
+            floor=1,
+            task=task,
+            frames=frames,
+            imu=imu,
+            lighting=lighting,
+            device_trajectory=device_traj,
+            ground_truth=motion,
+            room_name=room_name,
+        )
+
+    def perform_sws(
+        self,
+        route: Sequence[Point],
+        lighting: LightingCondition = DAYLIGHT,
+        initial_heading_known: bool = True,
+        pause_at: Optional[float] = None,
+        pause_s: float = 0.0,
+    ) -> CaptureSession:
+        """Record a Stay-Walk-Stay session along ``route``."""
+        motion = self._sws_motion(route, pause_at=pause_at, pause_s=pause_s)
+        return self._capture(
+            motion,
+            task="SWS",
+            frame_interval=self.profile.sws_frame_interval,
+            lighting=lighting,
+            room_name=None,
+            initial_heading_known=initial_heading_known,
+        )
+
+    def perform_srs(
+        self,
+        position: Point,
+        total_angle: float = 2.0 * math.pi + math.radians(20.0),
+        start_heading: Optional[float] = None,
+        lighting: LightingCondition = DAYLIGHT,
+        room_name: Optional[str] = None,
+        initial_heading_known: bool = True,
+    ) -> CaptureSession:
+        """Record a Stay-Rotate-Stay session spinning at ``position``.
+
+        The default ``total_angle`` slightly exceeds a full turn so that the
+        panorama's first and last frames overlap (360-degree closure).
+        """
+        if start_heading is None:
+            start_heading = float(self.rng.uniform(-math.pi, math.pi))
+        motion = self._srs_motion(position, total_angle, wrap_angle(start_heading))
+        return self._capture(
+            motion,
+            task="SRS",
+            frame_interval=self.profile.srs_frame_interval,
+            lighting=lighting,
+            room_name=room_name,
+            initial_heading_known=initial_heading_known,
+        )
+
+    def perform_stairs(
+        self,
+        position: Point,
+        delta_floors: int,
+        floor_height: float = 3.0,
+        climb_speed: float = 0.5,
+        lighting: LightingCondition = DAYLIGHT,
+    ) -> CaptureSession:
+        """Record a stair transition (no video - the phone is pocketed).
+
+        Produces the IMU-only session multi-floor reconstruction uses as a
+        reference point connecting floors: steps while climbing, plus a
+        barometric altitude ramp of ``delta_floors`` storeys starting at
+        this walker's current floor altitude.
+        """
+        if delta_floors == 0:
+            raise ValueError("a stair transition must change floors")
+        p = self.profile
+        climb_m = abs(delta_floors) * floor_height
+        climb_time = climb_m / climb_speed
+        t_total = 2 * p.stay_duration + climb_time
+        times = np.arange(0.0, t_total + 1e-9, 1.0 / _GT_RATE)
+        positions = np.tile([position.x, position.y], (len(times), 1))
+        positions += self.rng.normal(0.0, 0.05, positions.shape)
+        headings = np.zeros(len(times))
+        altitudes = np.full(len(times), self.altitude, dtype=np.float64)
+        climbing = (times > p.stay_duration) & (
+            times <= p.stay_duration + climb_time
+        )
+        ramp = (times[climbing] - p.stay_duration) / climb_time
+        altitudes[climbing] = self.altitude + ramp * delta_floors * floor_height
+        altitudes[times > p.stay_duration + climb_time] = (
+            self.altitude + delta_floors * floor_height
+        )
+        # Stair steps: slower cadence than level walking.
+        step_times = list(
+            np.arange(p.stay_duration + 0.3, p.stay_duration + climb_time, 0.5)
+        )
+        motion = GroundTruthMotion(
+            times, positions, headings, step_times, altitudes=altitudes
+        )
+        imu = self.imu_sim.record(
+            motion.times, motion.positions, motion.headings,
+            motion.step_times, altitudes=altitudes,
+        )
+        device_traj = dead_reckon(
+            imu, DeadReckoningConfig(),
+            origin=(position.x, position.y),
+            initial_heading=0.0,
+            user_id=self.profile.user_id,
+        )
+        return CaptureSession(
+            session_id=self._next_session_id(),
+            user_id=self.profile.user_id,
+            building=self.plan.name,
+            floor=-1,  # unknown until the backend classifies it
+            task="STAIRS",
+            frames=[],
+            imu=imu,
+            lighting=lighting,
+            device_trajectory=device_traj,
+            ground_truth=motion,
+        )

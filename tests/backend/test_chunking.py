@@ -1,0 +1,100 @@
+"""Tests for the chunked upload protocol."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.chunking import (
+    Chunk,
+    ChunkReassemblyError,
+    chunk_payload,
+    reassemble_chunks,
+)
+
+
+import numpy as np
+
+# Incompressible payload so chunking actually splits it.
+PAYLOAD = bytes(np.random.default_rng(0).integers(0, 256, 20000, dtype=np.uint8))
+
+
+class TestChunking:
+    def test_roundtrip(self):
+        chunks = chunk_payload("u1", PAYLOAD, chunk_size=1024)
+        assert len(chunks) > 1
+        assert reassemble_chunks(chunks) == PAYLOAD
+
+    def test_roundtrip_uncompressed(self):
+        chunks = chunk_payload("u1", PAYLOAD, chunk_size=4096, compress=False)
+        assert reassemble_chunks(chunks, compressed=False) == PAYLOAD
+
+    def test_single_chunk_for_small_payload(self):
+        chunks = chunk_payload("u1", b"tiny")
+        assert len(chunks) == 1
+        assert chunks[0].total == 1
+
+    def test_reordered_chunks_reassemble(self):
+        chunks = chunk_payload("u1", PAYLOAD, chunk_size=512)
+        assert reassemble_chunks(list(reversed(chunks))) == PAYLOAD
+
+    def test_duplicate_chunks_tolerated(self):
+        chunks = chunk_payload("u1", PAYLOAD, chunk_size=2048)
+        assert reassemble_chunks(chunks + [chunks[0]]) == PAYLOAD
+
+    def test_missing_chunk_detected(self):
+        chunks = chunk_payload("u1", PAYLOAD, chunk_size=512)
+        with pytest.raises(ChunkReassemblyError, match="missing"):
+            reassemble_chunks(chunks[:-1])
+
+    def test_corrupt_chunk_detected(self):
+        chunks = chunk_payload("u1", PAYLOAD, chunk_size=1024)
+        bad = Chunk(
+            upload_id=chunks[0].upload_id,
+            index=chunks[0].index,
+            total=chunks[0].total,
+            payload=b"garbage" + chunks[0].payload[7:],
+            crc32=chunks[0].crc32,
+        )
+        with pytest.raises(ChunkReassemblyError, match="CRC"):
+            reassemble_chunks([bad] + chunks[1:])
+
+    def test_conflicting_duplicates_detected(self):
+        chunks = chunk_payload("u1", PAYLOAD, chunk_size=1024)
+        other = b"x" * len(chunks[0].payload)
+        conflict = Chunk(
+            upload_id="u1", index=0, total=chunks[0].total,
+            payload=other, crc32=zlib.crc32(other),
+        )
+        with pytest.raises(ChunkReassemblyError, match="conflicting"):
+            reassemble_chunks(chunks + [conflict])
+
+    def test_mixed_upload_ids_rejected(self):
+        a = chunk_payload("a", b"data-a")
+        b = chunk_payload("b", b"data-b")
+        with pytest.raises(ChunkReassemblyError, match="mixed"):
+            reassemble_chunks(a + b)
+
+    def test_inconsistent_totals_rejected(self):
+        chunks = chunk_payload("u1", PAYLOAD, chunk_size=1024)
+        wrong = Chunk(
+            upload_id="u1", index=0, total=chunks[0].total + 5,
+            payload=chunks[0].payload, crc32=chunks[0].crc32,
+        )
+        with pytest.raises(ChunkReassemblyError, match="totals"):
+            reassemble_chunks([wrong] + chunks[1:])
+
+    def test_empty_chunk_list(self):
+        with pytest.raises(ChunkReassemblyError):
+            reassemble_chunks([])
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunk_payload("u1", b"data", chunk_size=0)
+
+    @given(st.binary(min_size=0, max_size=5000), st.integers(64, 2048))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, data, chunk_size):
+        chunks = chunk_payload("u", data, chunk_size=chunk_size)
+        assert reassemble_chunks(chunks) == data

@@ -1,0 +1,120 @@
+"""Tests for the in-memory document store."""
+
+import threading
+
+import pytest
+
+from repro.backend.datastore import DocumentStore
+
+
+@pytest.fixture()
+def store():
+    s = DocumentStore()
+    col = s.collection("sessions")
+    col.insert({"user": "a", "frames": 10, "building": "Lab1"})
+    col.insert({"user": "b", "frames": 25, "building": "Lab1"})
+    col.insert({"user": "a", "frames": 40, "building": "Gym"})
+    return s
+
+
+class TestCrud:
+    def test_insert_assigns_ids(self, store):
+        docs = store.find("sessions")
+        ids = [d.doc_id for d in docs]
+        assert len(set(ids)) == 3
+
+    def test_find_by_equality(self, store):
+        docs = store.find("sessions", {"user": "a"})
+        assert len(docs) == 2
+
+    def test_find_conjunction(self, store):
+        docs = store.find("sessions", {"user": "a", "building": "Gym"})
+        assert len(docs) == 1
+        assert docs[0]["frames"] == 40
+
+    def test_find_one_lowest_id(self, store):
+        doc = store.find_one("sessions", {"user": "a"})
+        assert doc["frames"] == 10
+
+    def test_find_one_missing(self, store):
+        assert store.find_one("sessions", {"user": "zz"}) is None
+
+    def test_update(self, store):
+        n = store.update("sessions", {"user": "a"}, {"processed": True})
+        assert n == 2
+        assert all(d.get("processed") for d in store.find("sessions", {"user": "a"}))
+
+    def test_delete(self, store):
+        assert store.delete("sessions", {"building": "Lab1"}) == 2
+        assert store.count("sessions") == 1
+
+    def test_count(self, store):
+        assert store.count("sessions") == 3
+        assert store.count("sessions", {"building": "Lab1"}) == 2
+
+    def test_collections_are_isolated(self, store):
+        store.insert("other", {"x": 1})
+        assert store.count("sessions") == 3
+        assert store.count("other") == 1
+        assert set(store.collection_names()) == {"sessions", "other"}
+
+
+class TestOperators:
+    def test_gt_lt(self, store):
+        assert store.count("sessions", {"frames": {"$gt": 10}}) == 2
+        assert store.count("sessions", {"frames": {"$lt": 25}}) == 1
+        assert store.count("sessions", {"frames": {"$gte": 25}}) == 2
+        assert store.count("sessions", {"frames": {"$lte": 10}}) == 1
+
+    def test_ne_in(self, store):
+        assert store.count("sessions", {"user": {"$ne": "a"}}) == 1
+        assert store.count("sessions", {"building": {"$in": ["Gym", "Lab2"]}}) == 1
+
+    def test_missing_field_with_gt(self, store):
+        assert store.count("sessions", {"nonexistent": {"$gt": 0}}) == 0
+
+    def test_unknown_operator(self, store):
+        with pytest.raises(ValueError):
+            store.find("sessions", {"frames": {"$regex": ".*"}})
+
+
+class TestIndexes:
+    def test_index_lookup_matches_scan(self, store):
+        col = store.collection("sessions")
+        before = store.find("sessions", {"user": "a"})
+        col.create_index("user")
+        after = store.find("sessions", {"user": "a"})
+        assert {d.doc_id for d in before} == {d.doc_id for d in after}
+
+    def test_index_tracks_updates(self, store):
+        col = store.collection("sessions")
+        col.create_index("user")
+        store.update("sessions", {"user": "b"}, {"user": "c"})
+        assert store.count("sessions", {"user": "c"}) == 1
+        assert store.count("sessions", {"user": "b"}) == 0
+
+    def test_index_tracks_deletes(self, store):
+        col = store.collection("sessions")
+        col.create_index("building")
+        store.delete("sessions", {"building": "Gym"})
+        assert store.count("sessions", {"building": "Gym"}) == 0
+
+
+class TestConcurrency:
+    def test_parallel_inserts(self):
+        store = DocumentStore()
+
+        def insert_many(tag):
+            for i in range(100):
+                store.insert("c", {"tag": tag, "i": i})
+
+        threads = [
+            threading.Thread(target=insert_many, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.count("c") == 400
+        ids = [d.doc_id for d in store.find("c")]
+        assert len(set(ids)) == 400

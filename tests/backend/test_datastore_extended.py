@@ -1,0 +1,75 @@
+"""Extended datastore tests: mixed workloads and operator composition."""
+
+import threading
+
+import pytest
+
+from repro.backend.datastore import DocumentStore
+
+
+class TestMixedWorkload:
+    def test_interleaved_insert_update_delete(self):
+        store = DocumentStore()
+        for i in range(50):
+            store.insert("c", {"i": i, "bucket": i % 5})
+        store.update("c", {"bucket": 2}, {"flag": True})
+        deleted = store.delete("c", {"bucket": {"$in": [0, 4]}})
+        assert deleted == 20
+        assert store.count("c") == 30
+        flagged = store.find("c", {"flag": True})
+        assert len(flagged) == 10
+        assert all(d["bucket"] == 2 for d in flagged)
+
+    def test_range_and_equality_combined(self):
+        store = DocumentStore()
+        for i in range(20):
+            store.insert("c", {"i": i, "kind": "a" if i < 10 else "b"})
+        docs = store.find("c", {"kind": "a", "i": {"$gte": 5, "$lt": 8}})
+        assert sorted(d["i"] for d in docs) == [5, 6, 7]
+
+    def test_update_then_query_with_index(self):
+        store = DocumentStore()
+        col = store.collection("c")
+        col.create_index("state")
+        ids = [store.insert("c", {"state": "new"}).doc_id for _ in range(5)]
+        store.update("c", {"state": "new"}, {"state": "done"})
+        assert store.count("c", {"state": "new"}) == 0
+        assert store.count("c", {"state": "done"}) == 5
+        del ids
+
+    def test_concurrent_readers_and_writers(self):
+        store = DocumentStore()
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            for i in range(300):
+                store.insert("c", {"i": i})
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    store.find("c", {"i": {"$lt": 100}})
+                except Exception as exc:  # noqa: BLE001 - test surface
+                    errors.append(exc)
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [threading.Thread(target=writer) for _ in range(2)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not errors
+        assert store.count("c") == 600
+
+    def test_document_get_helpers(self):
+        store = DocumentStore()
+        doc = store.insert("c", {"a": 1})
+        assert doc["a"] == 1
+        assert doc.get("missing", "fallback") == "fallback"
+        with pytest.raises(KeyError):
+            _ = doc["missing"]

@@ -1,0 +1,100 @@
+"""Backend integration: the full upload -> decode -> pipeline dataflow.
+
+Exercises the paper's deployment path end to end in-process: sessions are
+serialized like the mobile front-end would, streamed as shuffled chunks to
+the ingest server, decoded by the worker pool, and aggregated by the
+scheduled cascade — with telemetry observing every stage.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.backend import (
+    DocumentStore,
+    IngestServer,
+    SimulatedScheduler,
+    TaskQueue,
+    TelemetryRegistry,
+    WorkerPool,
+    chunk_payload,
+    payload_to_session,
+    session_to_payload,
+)
+from repro.core.config import CrowdMapConfig
+from repro.core.pipeline import CrowdMapPipeline
+
+
+@pytest.fixture(scope="module")
+def uploaded_backend(small_dataset):
+    telemetry = TelemetryRegistry()
+    store = DocumentStore()
+    queue = TaskQueue()
+    server = IngestServer(store, queue, telemetry=telemetry)
+    rng = random.Random(0)
+    sessions = small_dataset.sws_sessions()[:4]
+    for session in sessions:
+        blob = json.dumps(session_to_payload(session)).encode("utf-8")
+        upload_id = server.open_upload(
+            session.user_id,
+            {"building": session.building, "floor": session.floor},
+        )
+        chunks = chunk_payload(upload_id, blob, chunk_size=128 * 1024)
+        rng.shuffle(chunks)
+        for chunk in chunks:
+            server.receive_chunk(chunk)
+        server.finalize_upload(upload_id)
+    return telemetry, store, queue, server, sessions
+
+
+class TestUploadDataflow:
+    def test_all_uploads_stored(self, uploaded_backend):
+        _, store, _, server, sessions = uploaded_backend
+        assert store.count(IngestServer.RAW_COLLECTION) == len(sessions)
+        assert server.pending_uploads() == []
+
+    def test_telemetry_counts(self, uploaded_backend):
+        telemetry, _, _, _, sessions = uploaded_backend
+        scrape = telemetry.scrape()
+        assert "ingest_uploads_finalized 4" in scrape
+        assert "ingest_chunks_received" in scrape
+
+    def test_workers_decode_and_anchor(self, uploaded_backend):
+        telemetry, store, queue, _, sessions = uploaded_backend
+        config = CrowdMapConfig()
+        pipeline = CrowdMapPipeline(config)
+        anchored_out = {}
+
+        def process(payload):
+            doc = store.find_one(
+                IngestServer.RAW_COLLECTION,
+                {"upload_id": payload["upload_id"]},
+            )
+            decoded = payload_to_session(
+                json.loads(doc["payload"].decode("utf-8"))
+            )
+            anchored = pipeline.anchor_session(decoded)
+            anchored_out[decoded.session_id] = anchored
+            return len(anchored.keyframes)
+
+        pool = WorkerPool(queue, n_workers=2, telemetry=telemetry)
+        pool.register("process_upload", process)
+        with pool:
+            pool.drain(timeout=180.0)
+        assert len(anchored_out) == len(sessions)
+        assert all(len(a.keyframes) > 0 for a in anchored_out.values())
+        assert "worker_tasks_done 4" in telemetry.scrape()
+
+        # Scheduled cascade: one aggregation pass over the decoded corpus.
+        results = {}
+
+        def aggregate_job():
+            anchored = list(anchored_out.values())
+            results["agg"] = pipeline.aggregator.aggregate(anchored)
+
+        scheduler = SimulatedScheduler()
+        scheduler.add_job("aggregate", interval=30.0, callback=aggregate_job)
+        scheduler.advance(30.0)
+        assert "agg" in results
+        assert len(results["agg"].trajectories) == len(sessions)

@@ -1,0 +1,219 @@
+"""Tests for the task queue, scheduler and worker pool."""
+
+import threading
+import time
+
+import pytest
+
+from repro.backend.queue import TaskQueue, TaskState
+from repro.backend.scheduler import SimulatedScheduler
+from repro.backend.workers import WorkerPool, map_parallel
+
+
+class TestTaskQueue:
+    def test_submit_lease_ack(self):
+        q = TaskQueue()
+        task = q.submit("work", {"n": 1})
+        leased = q.lease()
+        assert leased.task_id == task.task_id
+        assert leased.state is TaskState.LEASED
+        q.ack(leased.task_id, result=42)
+        assert q.task(task.task_id).result == 42
+        assert q.all_settled()
+
+    def test_fifo_order(self):
+        q = TaskQueue()
+        ids = [q.submit("w", i).task_id for i in range(5)]
+        leased = [q.lease().task_id for _ in range(5)]
+        assert leased == ids
+
+    def test_nack_requeues(self):
+        q = TaskQueue(max_attempts=3)
+        q.submit("w", None)
+        t = q.lease()
+        q.nack(t.task_id, error="boom")
+        assert q.pending_count() == 1
+        t2 = q.lease()
+        assert t2.task_id == t.task_id
+        assert t2.attempts == 2
+
+    def test_dead_letter_after_max_attempts(self):
+        q = TaskQueue(max_attempts=2)
+        q.submit("w", None)
+        for _ in range(2):
+            t = q.lease()
+            q.nack(t.task_id, error="boom")
+        assert q.tasks_in_state(TaskState.DEAD)
+        assert q.lease() is None
+        assert q.all_settled()
+
+    def test_ack_requires_leased_state(self):
+        q = TaskQueue()
+        t = q.submit("w", None)
+        with pytest.raises(ValueError):
+            q.ack(t.task_id)
+
+    def test_unknown_task(self):
+        q = TaskQueue()
+        with pytest.raises(KeyError):
+            q.ack(999)
+
+    def test_lease_empty_returns_none(self):
+        assert TaskQueue().lease() is None
+
+    def test_invalid_max_attempts(self):
+        with pytest.raises(ValueError):
+            TaskQueue(max_attempts=0)
+
+
+class TestScheduler:
+    def test_job_fires_on_interval(self):
+        sched = SimulatedScheduler()
+        calls = []
+        sched.add_job("tick", interval=10.0, callback=lambda: calls.append(sched.now))
+        executed = sched.advance(35.0)
+        assert executed == 3
+        assert calls == [10.0, 20.0, 30.0]
+
+    def test_delay_controls_first_run(self):
+        sched = SimulatedScheduler()
+        calls = []
+        sched.add_job("t", interval=10.0, callback=lambda: calls.append(1), delay=1.0)
+        sched.advance(2.0)
+        assert calls == [1]
+
+    def test_failures_recorded_and_job_survives(self):
+        sched = SimulatedScheduler()
+
+        def boom():
+            raise RuntimeError("crash")
+
+        job = sched.add_job("bad", interval=1.0, callback=boom)
+        sched.advance(3.0)
+        assert job.failures == 3
+        assert job.runs == 3
+        assert "crash" in job.last_error
+
+    def test_max_failures_pauses(self):
+        sched = SimulatedScheduler()
+
+        def boom():
+            raise RuntimeError("crash")
+
+        job = sched.add_job("bad", interval=1.0, callback=boom, max_failures=2)
+        sched.advance(10.0)
+        assert job.failures == 2
+        assert job.paused
+
+    def test_pause_resume(self):
+        sched = SimulatedScheduler()
+        calls = []
+        job = sched.add_job("t", interval=1.0, callback=lambda: calls.append(1))
+        sched.advance(2.0)
+        sched.pause_job(job.job_id)
+        sched.advance(5.0)
+        assert len(calls) == 2
+        sched.resume_job(job.job_id)
+        sched.advance(2.0)
+        assert len(calls) == 4
+
+    def test_jobs_fire_in_time_order(self):
+        sched = SimulatedScheduler()
+        order = []
+        sched.add_job("slow", interval=3.0, callback=lambda: order.append("slow"))
+        sched.add_job("fast", interval=1.0, callback=lambda: order.append("fast"))
+        sched.advance(3.0)
+        assert order == ["fast", "fast", "slow", "fast"] or order == [
+            "fast", "fast", "fast", "slow",
+        ]
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            SimulatedScheduler().add_job("x", interval=0.0, callback=lambda: None)
+
+    def test_cannot_rewind(self):
+        with pytest.raises(ValueError):
+            SimulatedScheduler().advance(-1.0)
+
+    def test_remove_job(self):
+        sched = SimulatedScheduler()
+        calls = []
+        job = sched.add_job("t", interval=1.0, callback=lambda: calls.append(1))
+        sched.remove_job(job.job_id)
+        sched.advance(5.0)
+        assert calls == []
+
+
+class TestMapParallel:
+    def test_preserves_order(self):
+        result = map_parallel(lambda x: x * 2, list(range(20)), max_workers=4)
+        assert result == [x * 2 for x in range(20)]
+
+    def test_empty_input(self):
+        assert map_parallel(lambda x: x, []) == []
+
+    def test_single_worker_sequential(self):
+        result = map_parallel(lambda x: x + 1, [1, 2, 3], max_workers=1)
+        assert result == [2, 3, 4]
+
+    def test_exception_propagates(self):
+        def bad(x):
+            if x == 3:
+                raise ValueError("x=3")
+            return x
+
+        with pytest.raises(ValueError):
+            map_parallel(bad, [1, 2, 3, 4], max_workers=2)
+
+    def test_actually_parallel(self):
+        barrier = threading.Barrier(4, timeout=5.0)
+
+        def wait(x):
+            barrier.wait()  # deadlocks unless 4 run concurrently
+            return x
+
+        assert map_parallel(wait, [1, 2, 3, 4], max_workers=4) == [1, 2, 3, 4]
+
+
+class TestWorkerPool:
+    def test_processes_tasks(self):
+        q = TaskQueue()
+        pool = WorkerPool(q, n_workers=2)
+        pool.register("square", lambda n: n * n)
+        ids = [q.submit("square", n).task_id for n in range(8)]
+        with pool:
+            pool.drain(timeout=10.0)
+        assert [q.task(i).result for i in ids] == [n * n for n in range(8)]
+
+    def test_handler_error_nacks(self):
+        q = TaskQueue(max_attempts=2)
+
+        def bad(_):
+            raise RuntimeError("handler failure")
+
+        pool = WorkerPool(q, n_workers=1)
+        pool.register("bad", bad)
+        t = q.submit("bad", None)
+        with pool:
+            pool.drain(timeout=10.0)
+        final = q.task(t.task_id)
+        assert final.state is TaskState.DEAD
+        assert "handler failure" in final.last_error
+
+    def test_unregistered_kind_dead_letters(self):
+        q = TaskQueue(max_attempts=1)
+        pool = WorkerPool(q, n_workers=1)
+        t = q.submit("mystery", None)
+        with pool:
+            pool.drain(timeout=10.0)
+        assert q.task(t.task_id).state is TaskState.DEAD
+
+    def test_double_start_rejected(self):
+        pool = WorkerPool(TaskQueue(), n_workers=1)
+        with pool:
+            with pytest.raises(RuntimeError):
+                pool.start()
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            WorkerPool(TaskQueue(), n_workers=0)

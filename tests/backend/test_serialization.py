@@ -1,0 +1,80 @@
+"""Tests for the upload wire format and cloud-side decoding."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.backend.serialization import (
+    decode_array,
+    encode_array,
+    payload_to_session,
+    session_to_payload,
+)
+
+
+class TestArrayCodec:
+    def test_roundtrip_float(self):
+        arr = np.random.default_rng(0).random((7, 5))
+        assert np.array_equal(decode_array(encode_array(arr)), arr)
+
+    def test_roundtrip_uint8(self):
+        arr = np.random.default_rng(1).integers(0, 256, (4, 6, 3)).astype(np.uint8)
+        out = decode_array(encode_array(arr))
+        assert out.dtype == np.uint8
+        assert np.array_equal(out, arr)
+
+    def test_json_compatible(self):
+        blob = encode_array(np.arange(10.0))
+        restored = json.loads(json.dumps(blob))
+        assert np.array_equal(decode_array(restored), np.arange(10.0))
+
+
+class TestSessionCodec:
+    @pytest.fixture(scope="class")
+    def payload(self, sws_session):
+        return session_to_payload(sws_session)
+
+    def test_ground_truth_not_uploaded(self, payload):
+        text = json.dumps(payload)
+        assert "ground_truth" not in text
+
+    def test_payload_json_serializable(self, payload):
+        assert json.loads(json.dumps(payload))["task"] == "SWS"
+
+    def test_decode_reconstructs_frames(self, payload, sws_session):
+        decoded = payload_to_session(payload)
+        assert decoded.n_frames == sws_session.n_frames
+        # 8-bit quantization: pixels match within 1/255.
+        orig = sws_session.frames[0].pixels
+        rest = decoded.frames[0].pixels
+        assert np.abs(orig - rest).max() <= (1.0 / 255.0) + 1e-9
+
+    def test_decode_recovers_trajectory_scale(self, payload, sws_session):
+        decoded = payload_to_session(payload)
+        original = sws_session.device_trajectory
+        # The cloud re-runs dead reckoning on the same IMU bytes: lengths
+        # agree closely (identical algorithm, identical data).
+        assert decoded.device_trajectory.length() == pytest.approx(
+            original.length(), rel=0.05
+        )
+
+    def test_decode_annotates_frame_headings(self, payload, sws_session):
+        decoded = payload_to_session(payload)
+        for orig, rest in zip(sws_session.frames[:5], decoded.frames[:5]):
+            assert rest.heading == pytest.approx(orig.heading, abs=0.2)
+
+    def test_metadata_carried(self, payload):
+        decoded = payload_to_session(payload)
+        assert decoded.building == "Lab1"
+        assert decoded.floor == 1
+        assert decoded.task == "SWS"
+
+    def test_pipeline_accepts_decoded_session(self, payload):
+        from repro.core.config import CrowdMapConfig
+        from repro.core.pipeline import CrowdMapPipeline
+
+        decoded = payload_to_session(payload)
+        pipe = CrowdMapPipeline(CrowdMapConfig())
+        anchored = pipe.anchor_session(decoded)
+        assert anchored.keyframes

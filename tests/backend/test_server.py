@@ -1,0 +1,129 @@
+"""Tests for the ingest server (upload -> store -> queue flow)."""
+
+import pytest
+
+from repro.backend.chunking import Chunk, ChunkReassemblyError, chunk_payload
+from repro.backend.datastore import DocumentStore
+from repro.backend.queue import TaskQueue
+from repro.backend.server import (
+    IngestServer,
+    decode_session_payload,
+    encode_session_payload,
+)
+
+
+@pytest.fixture()
+def server():
+    return IngestServer(DocumentStore(), TaskQueue())
+
+
+META = {"building": "Lab1", "floor": 1}
+import numpy as np
+
+DATA = bytes(np.random.default_rng(1).integers(0, 256, 8000, dtype=np.uint8))
+
+
+def upload(server, data=DATA, meta=META, user="u1", chunk_size=1024):
+    upload_id = server.open_upload(user, meta)
+    for chunk in chunk_payload(upload_id, data, chunk_size=chunk_size):
+        ack = server.receive_chunk(chunk)
+        assert ack["status"] == "ok"
+    return upload_id
+
+
+class TestUploadFlow:
+    def test_full_flow_stores_and_enqueues(self, server):
+        upload_id = upload(server)
+        doc_id = server.finalize_upload(upload_id)
+        doc = server.store.find_one(IngestServer.RAW_COLLECTION, {"upload_id": upload_id})
+        assert doc.doc_id == doc_id
+        assert doc["payload"] == DATA
+        assert doc["building"] == "Lab1"
+        task = server.queue.lease()
+        assert task.kind == "process_upload"
+        assert task.payload == {"doc_id": doc_id, "upload_id": upload_id}
+
+    def test_out_of_order_chunks(self, server):
+        upload_id = server.open_upload("u1", META)
+        chunks = chunk_payload(upload_id, DATA, chunk_size=512)
+        for chunk in reversed(chunks):
+            server.receive_chunk(chunk)
+        doc_id = server.finalize_upload(upload_id)
+        doc = server.store.find_one(IngestServer.RAW_COLLECTION, {"upload_id": upload_id})
+        assert doc["payload"] == DATA
+
+    def test_missing_chunk_blocks_finalize(self, server):
+        upload_id = server.open_upload("u1", META)
+        chunks = chunk_payload(upload_id, DATA, chunk_size=512)
+        for chunk in chunks[:-1]:
+            server.receive_chunk(chunk)
+        with pytest.raises(ChunkReassemblyError, match="incomplete"):
+            server.finalize_upload(upload_id)
+        assert upload_id in server.pending_uploads()
+
+    def test_corrupt_chunk_requests_retry(self, server):
+        upload_id = server.open_upload("u1", META)
+        chunks = chunk_payload(upload_id, DATA, chunk_size=1024)
+        bad = Chunk(
+            upload_id=upload_id, index=0, total=chunks[0].total,
+            payload=chunks[0].payload, crc32=chunks[0].crc32 ^ 0xFF,
+        )
+        ack = server.receive_chunk(bad)
+        assert ack["status"] == "retry"
+
+    def test_metadata_required(self, server):
+        with pytest.raises(ValueError):
+            server.open_upload("u1", {"building": "Lab1"})  # no floor
+
+    def test_unknown_upload(self, server):
+        chunk = chunk_payload("nope", b"x")[0]
+        with pytest.raises(KeyError):
+            server.receive_chunk(chunk)
+        with pytest.raises(KeyError):
+            server.finalize_upload("nope")
+
+    def test_double_finalize_rejected(self, server):
+        upload_id = upload(server)
+        server.finalize_upload(upload_id)
+        chunk = chunk_payload(upload_id, b"more")[0]
+        with pytest.raises(ValueError):
+            server.receive_chunk(chunk)
+
+    def test_total_mismatch_rejected(self, server):
+        upload_id = server.open_upload("u1", META)
+        chunks = chunk_payload(upload_id, DATA, chunk_size=512)
+        server.receive_chunk(chunks[0])
+        wrong = Chunk(
+            upload_id=upload_id, index=1, total=chunks[0].total + 1,
+            payload=chunks[1].payload, crc32=chunks[1].crc32,
+        )
+        with pytest.raises(ValueError, match="mismatch"):
+            server.receive_chunk(wrong)
+
+    def test_server_without_queue(self):
+        server = IngestServer(DocumentStore())
+        upload_id = upload(server)
+        assert server.finalize_upload(upload_id) > 0
+
+    def test_multiple_concurrent_uploads(self, server):
+        id_a = server.open_upload("a", META)
+        id_b = server.open_upload("b", {"building": "Gym", "floor": 2})
+        chunks_a = chunk_payload(id_a, b"payload-a" * 100, chunk_size=256)
+        chunks_b = chunk_payload(id_b, b"payload-b" * 100, chunk_size=256)
+        for ca, cb in zip(chunks_a, chunks_b):
+            server.receive_chunk(cb)
+            server.receive_chunk(ca)
+        server.finalize_upload(id_a)
+        server.finalize_upload(id_b)
+        assert server.store.count(IngestServer.RAW_COLLECTION) == 2
+
+
+class TestPayloadCodec:
+    def test_roundtrip(self):
+        payload = {"frames": [[0.0, 1.0], [2.0, 3.0]], "user": "u1", "floor": 3}
+        assert decode_session_payload(encode_session_payload(payload)) == payload
+
+    def test_deterministic_encoding(self):
+        a = encode_session_payload({"b": 1, "a": 2})
+        b = encode_session_payload({"a": 2, "b": 1})
+        assert a == b

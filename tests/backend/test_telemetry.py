@@ -1,0 +1,111 @@
+"""Tests for the backend telemetry registry."""
+
+import threading
+import time
+
+import pytest
+
+from repro.backend.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    TelemetryRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("uploads")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter("x")
+
+        def bump():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("queue_depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value == 6
+
+
+class TestHistogram:
+    def test_observe_and_stats(self):
+        h = Histogram("latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(6.05)
+        assert h.mean() == pytest.approx(6.05 / 4)
+
+    def test_quantiles(self):
+        h = Histogram("latency", buckets=(1.0, 2.0, 4.0))
+        for v in [0.5] * 50 + [3.0] * 50:
+            h.observe(v)
+        assert h.quantile(0.25) == 1.0
+        assert h.quantile(0.9) == 4.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("x").quantile(1.5)
+
+    def test_empty_histogram(self):
+        h = Histogram("x")
+        assert h.mean() == 0.0
+        assert h.quantile(0.5) == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same(self):
+        reg = TelemetryRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict_rejected(self):
+        reg = TelemetryRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_timer_records(self):
+        reg = TelemetryRegistry()
+        with reg.timer("stage"):
+            time.sleep(0.01)
+        h = reg.histogram("stage")
+        assert h.count == 1
+        assert h.total >= 0.01
+
+    def test_timer_records_on_exception(self):
+        reg = TelemetryRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.timer("stage"):
+                raise RuntimeError("boom")
+        assert reg.histogram("stage").count == 1
+
+    def test_scrape_format(self):
+        reg = TelemetryRegistry()
+        reg.counter("uploads").inc(2)
+        reg.gauge("depth").set(7)
+        reg.histogram("lat").observe(0.2)
+        text = reg.scrape()
+        assert "uploads 2" in text
+        assert "depth 7" in text
+        assert "lat_count 1" in text

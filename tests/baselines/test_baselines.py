@@ -1,0 +1,171 @@
+"""Tests for the paper's comparators: single-image, inertial, Jigsaw, SfM."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.inertial_only import (
+    InertialRoomEstimator,
+    generate_room_wander,
+)
+from repro.baselines.jigsaw import JigsawRoomEstimator
+from repro.baselines.sfm import SfmSimulator
+from repro.baselines.single_image import SingleImageAggregator
+from repro.core.config import CrowdMapConfig
+from repro.core.pipeline import CrowdMapPipeline
+from repro.geometry.primitives import Point
+from repro.sensors.trajectory import Trajectory
+from repro.world.buildings import build_lab1
+from repro.world.floorplan_model import Door, Room
+from repro.world.renderer import Camera, Renderer
+from repro.world.walker import Walker, WalkerProfile
+
+
+ROOM = Room("r", Point(5.0, 5.0), 6.0, 4.5, door=Door("S", 3.0))
+
+
+class TestRoomWander:
+    def test_stays_inside_room(self):
+        rng = np.random.default_rng(0)
+        motion = generate_room_wander(ROOM, rng)
+        bb = ROOM.bounding_box()
+        assert (motion.positions[:, 0] >= bb.min_x - 1e-9).all()
+        assert (motion.positions[:, 0] <= bb.max_x + 1e-9).all()
+        assert (motion.positions[:, 1] >= bb.min_y - 1e-9).all()
+        assert (motion.positions[:, 1] <= bb.max_y + 1e-9).all()
+
+    def test_never_reaches_blocked_walls(self):
+        rng = np.random.default_rng(1)
+        motion = generate_room_wander(
+            ROOM, rng, base_margin=0.4, furniture_margin=1.2, furniture_walls=4
+        )
+        bb = ROOM.bounding_box()
+        span_x = motion.positions[:, 0].max() - motion.positions[:, 0].min()
+        assert span_x < ROOM.width - 2 * 0.4
+
+    def test_has_steps(self):
+        motion = generate_room_wander(ROOM, np.random.default_rng(2))
+        assert motion.step_times
+
+    def test_degenerate_tiny_room(self):
+        tiny = Room("t", Point(0, 0), 1.0, 1.0)
+        motion = generate_room_wander(tiny, np.random.default_rng(3))
+        assert len(motion.times) >= 1
+
+
+class TestInertialEstimator:
+    def test_underestimates_area_on_average(self):
+        errors = []
+        for seed in range(6):
+            estimator = InertialRoomEstimator(rng=np.random.default_rng(seed))
+            layout = estimator.estimate(ROOM)
+            errors.append(layout.area() - ROOM.area())
+        # Blocked edges mean the trace extent systematically undershoots.
+        assert np.mean(errors) < 0.0
+
+    def test_error_larger_than_room_noise_floor(self):
+        rel_errors = []
+        for seed in range(6):
+            estimator = InertialRoomEstimator(rng=np.random.default_rng(seed))
+            layout = estimator.estimate(ROOM)
+            rel_errors.append(abs(layout.area() - ROOM.area()) / ROOM.area())
+        assert np.mean(rel_errors) > 0.05  # clearly worse than CrowdMap's visual path
+
+    def test_layout_from_trace_rectangle(self):
+        pts = np.array([[x, y] for x in np.linspace(0, 4, 9)
+                        for y in np.linspace(0, 2, 5)])
+        trace = Trajectory.from_arrays(pts)
+        layout = InertialRoomEstimator.layout_from_trace(trace)
+        assert layout.width == pytest.approx(4.0, abs=0.3)
+        assert layout.depth == pytest.approx(2.0, abs=0.3)
+
+    def test_short_trace_rejected(self):
+        with pytest.raises(ValueError):
+            InertialRoomEstimator.layout_from_trace(
+                Trajectory.from_arrays(np.array([[0.0, 0.0]]))
+            )
+
+
+class TestJigsaw:
+    def test_door_wall_is_accurate(self):
+        estimator = JigsawRoomEstimator(rng=np.random.default_rng(4))
+        layout = estimator.estimate(ROOM)
+        bb = ROOM.bounding_box()
+        # Door is on the south wall: the layout's south extent should sit
+        # near the true wall even though the wander never reached it.
+        south = layout.center.y - layout.depth / 2.0
+        assert south == pytest.approx(bb.min_y, abs=0.4)
+
+    def test_better_than_pure_inertial_on_average(self):
+        jig_err, inert_err = [], []
+        for seed in range(5):
+            jig = JigsawRoomEstimator(rng=np.random.default_rng(seed))
+            inert = InertialRoomEstimator(rng=np.random.default_rng(seed))
+            jig_err.append(abs(jig.estimate(ROOM).area() - ROOM.area()))
+            inert_err.append(abs(inert.estimate(ROOM).area() - ROOM.area()))
+        assert np.mean(jig_err) <= np.mean(inert_err) + 1e-9
+
+
+class TestSingleImageAggregator:
+    @pytest.fixture(scope="class")
+    def anchored(self, small_dataset):
+        pipe = CrowdMapPipeline(CrowdMapConfig())
+        return [pipe.anchor_session(s) for s in small_dataset.sws_sessions()]
+
+    def test_merges_more_eagerly_than_sequence(self, anchored, config):
+        from repro.core.aggregation import SequenceAggregator
+
+        single = SingleImageAggregator(config).aggregate(anchored)
+        sequence = SequenceAggregator(config).aggregate(anchored)
+        assert len(single.merged_pairs()) >= len(sequence.merged_pairs())
+
+    def test_single_anchor_suffices(self, anchored, config):
+        aggregator = SingleImageAggregator(config)
+        cand = aggregator.score_pair(anchored[0], anchored[0])
+        assert cand.mergeable
+        assert cand.n_anchor_matches == 1
+
+    def test_result_structure(self, anchored, config):
+        result = SingleImageAggregator(config).aggregate(anchored)
+        assert len(result.trajectories) == len(anchored)
+        flat = sorted(i for comp in result.components for i in comp)
+        assert flat == list(range(len(anchored)))
+
+
+class TestSfm:
+    def make_spin_frames(self, richness, n=20, seed=0):
+        plan = build_lab1(wall_richness=richness)
+        walker = Walker(
+            plan, WalkerProfile(user_id="sfm"),
+            rng=np.random.default_rng(seed),
+            renderer=Renderer(plan, Camera()),
+        )
+        room = plan.rooms[0]
+        session = walker.perform_srs(room.center, room_name=room.name)
+        frames = session.frames[:n]
+        truth = [session.ground_truth.heading_at(f.timestamp) for f in frames]
+        return frames, truth
+
+    def test_rich_scene_tracks_rotation(self):
+        frames, truth = self.make_spin_frames(richness=1.0)
+        result = SfmSimulator().track(frames, truth)
+        assert result.registration_rate > 0.6
+        assert result.heading_rmse() < math.radians(25.0)
+
+    def test_featureless_scene_fails(self):
+        frames, truth = self.make_spin_frames(richness=0.0)
+        rich_frames, rich_truth = self.make_spin_frames(richness=1.0)
+        poor = SfmSimulator().track(frames, truth)
+        rich = SfmSimulator().track(rich_frames, rich_truth)
+        # Featureless walls: fewer registered transitions, larger error.
+        assert poor.registration_rate <= rich.registration_rate
+        assert poor.heading_rmse() >= rich.heading_rmse()
+
+    def test_empty_input(self):
+        result = SfmSimulator().track([], [])
+        assert result.registration_rate == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SfmSimulator().track([], [0.0])

@@ -1,0 +1,78 @@
+"""Extended SfM tests: track quality metrics and edge cases."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.sfm import SfmSimulator, SfmTrackResult
+from repro.vision.image import Frame
+
+
+class TestTrackResult:
+    def test_metrics_on_known_track(self):
+        truth = np.array([0.0, 0.1, 0.2, 0.3])
+        est = np.array([0.0, 0.1, 0.25, 0.2])
+        result = SfmTrackResult(
+            estimated_headings=est,
+            true_headings=truth,
+            registered=np.array([True, True, False]),
+        )
+        assert result.registration_rate == pytest.approx(2 / 3)
+        assert result.max_heading_error() == pytest.approx(0.1)
+        expected_rmse = math.sqrt(np.mean((est - truth) ** 2))
+        assert result.heading_rmse() == pytest.approx(expected_rmse)
+
+    def test_empty_track(self):
+        result = SfmTrackResult(
+            estimated_headings=np.empty(0),
+            true_headings=np.empty(0),
+            registered=np.empty(0, dtype=bool),
+        )
+        assert result.registration_rate == 0.0
+
+
+class TestSfmOnRenderedScenes:
+    def test_relative_yaw_sign(self, lab1_renderer):
+        """A small CCW camera rotation must yield a positive yaw increment."""
+        from repro.geometry.primitives import Point
+
+        sim = SfmSimulator(camera=lab1_renderer.camera)
+        pos = Point(10.0, 1.25)
+        a = Frame(
+            pixels=lab1_renderer.render(pos, 0.0,
+                                        rng=np.random.default_rng(0)),
+            timestamp=0.0, heading=0.0,
+        )
+        b = Frame(
+            pixels=lab1_renderer.render(pos, math.radians(6.0),
+                                        rng=np.random.default_rng(1)),
+            timestamp=1.0, heading=math.radians(6.0),
+        )
+        dyaw = sim._relative_yaw(a, b)
+        assert dyaw is not None
+        assert dyaw == pytest.approx(math.radians(6.0), abs=math.radians(2.5))
+
+    def test_identical_frames_zero_yaw(self, lab1_renderer):
+        from repro.geometry.primitives import Point
+
+        sim = SfmSimulator(camera=lab1_renderer.camera)
+        pixels = lab1_renderer.render(Point(10.0, 1.25), 0.0,
+                                      rng=np.random.default_rng(2))
+        frame = Frame(pixels=pixels, timestamp=0.0, heading=0.0)
+        dyaw = sim._relative_yaw(frame, frame)
+        assert dyaw == pytest.approx(0.0, abs=1e-6)
+
+    def test_unrelated_frames_unregistered(self, lab1_renderer):
+        from repro.geometry.primitives import Point
+
+        sim = SfmSimulator(camera=lab1_renderer.camera,
+                           min_inlier_matches=12)
+        a = Frame(
+            pixels=lab1_renderer.render(Point(10.0, 1.25), 0.0,
+                                        rng=np.random.default_rng(3)),
+            timestamp=0.0, heading=0.0,
+        )
+        blank = Frame(pixels=np.full_like(a.pixels, 0.5), timestamp=1.0,
+                      heading=0.0)
+        assert sim._relative_yaw(a, blank) is None

@@ -1,0 +1,61 @@
+"""Aggregation robustness to mid-walk pauses (the LCSS delta assumption).
+
+Paper: "Our aggregation algorithm is based on the assumption that the user
+does not abruptly increase her walking speed above a certain limit" — and
+the |i - j| < delta band absorbs moderate timing differences. These tests
+verify that a contributor who pauses mid-walk still merges with a
+non-pausing contributor on the same route, and that the band genuinely
+bounds how much desynchronization is tolerated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import SequenceAggregator
+from repro.core.config import CrowdMapConfig
+from repro.core.pipeline import CrowdMapPipeline
+from repro.world.walker import Walker, WalkerProfile
+
+
+@pytest.fixture(scope="module")
+def paused_pair(lab1_plan, lab1_renderer):
+    route = lab1_plan.route_between("sw", "se")
+    steady_walker = Walker(
+        lab1_plan, WalkerProfile(user_id="steady"),
+        rng=np.random.default_rng(0), renderer=lab1_renderer,
+    )
+    pausing_walker = Walker(
+        lab1_plan, WalkerProfile(user_id="pausing"),
+        rng=np.random.default_rng(1), renderer=lab1_renderer,
+    )
+    steady = steady_walker.perform_sws(route)
+    paused = pausing_walker.perform_sws(route, pause_at=0.5, pause_s=6.0)
+    pipe = CrowdMapPipeline(CrowdMapConfig())
+    return pipe.anchor_session(steady), pipe.anchor_session(paused)
+
+
+class TestPauseRobustness:
+    def test_paused_walk_still_merges(self, paused_pair, config):
+        steady, paused = paused_pair
+        aggregator = SequenceAggregator(config)
+        candidate = aggregator.score_pair(steady, paused)
+        assert candidate.mergeable, (
+            f"a 6 s pause broke the merge (S3={candidate.s3:.2f}, "
+            f"anchors={candidate.n_anchor_matches})"
+        )
+
+    def test_tiny_delta_band_breaks_the_merge(self, paused_pair):
+        """With delta ~ 1 the pause's index offset exceeds the band."""
+        steady, paused = paused_pair
+        config = CrowdMapConfig().with_overrides(lcss_delta=2)
+        candidate = SequenceAggregator(config).score_pair(steady, paused)
+        loose = CrowdMapConfig().with_overrides(lcss_delta=20)
+        loose_candidate = SequenceAggregator(loose).score_pair(steady, paused)
+        assert loose_candidate.s3 >= candidate.s3
+
+    def test_pause_preserves_route_shape(self, paused_pair):
+        steady, paused = paused_pair
+        # Both device trajectories should span a similar distance.
+        assert paused.trajectory.length() == pytest.approx(
+            steady.trajectory.length(), rel=0.25
+        )

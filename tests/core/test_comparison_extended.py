@@ -1,0 +1,109 @@
+"""Extended comparison-stage tests: lighting robustness and hierarchy order.
+
+These pin down the properties the Fig. 7b benchmark depends on: the S1
+signatures must tolerate the day/night photometric shift, and the
+hierarchy must resolve obviously-wrong pairs before SURF runs.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.comparison import KeyframeComparator
+from repro.core.config import CrowdMapConfig
+from repro.core.keyframes import select_keyframes
+from repro.geometry.primitives import Point
+from repro.vision.color_histogram import chromaticity_histogram, histogram_intersection
+from repro.vision.image import Frame
+from repro.world.lighting import DAYLIGHT, NIGHT
+
+
+def keyframe_at(renderer, x, y, heading, lighting, seed, config):
+    pixels = renderer.render(
+        Point(x, y), heading, lighting=lighting,
+        rng=np.random.default_rng(seed),
+    )
+    frame = Frame(pixels=pixels, timestamp=0.0, heading=heading)
+    [kf] = select_keyframes([frame], config, session_id=f"t{seed}")
+    return kf
+
+
+class TestChromaticityRobustness:
+    def test_day_night_same_scene_high_intersection(self, lab1_renderer):
+        day = lab1_renderer.render(Point(8, 1.25), 0.0, lighting=DAYLIGHT,
+                                   rng=np.random.default_rng(0))
+        night = lab1_renderer.render(Point(8, 1.25), 0.0, lighting=NIGHT,
+                                     rng=np.random.default_rng(1))
+        sim = histogram_intersection(
+            chromaticity_histogram(day), chromaticity_histogram(night)
+        )
+        # The raw RGB histogram would collapse here; chromaticity holds up.
+        assert sim > 0.3
+
+    def test_day_day_nearly_identical(self, lab1_renderer):
+        a = lab1_renderer.render(Point(8, 1.25), 0.0,
+                                 rng=np.random.default_rng(2))
+        b = lab1_renderer.render(Point(8.2, 1.25), 0.0,
+                                 rng=np.random.default_rng(3))
+        sim = histogram_intersection(
+            chromaticity_histogram(a), chromaticity_histogram(b)
+        )
+        assert sim > 0.9
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            chromaticity_histogram(np.zeros((4, 4, 3)), bins=1)
+
+    def test_grayscale_accepted(self):
+        hist = chromaticity_histogram(np.random.default_rng(4).random((8, 8)))
+        assert hist.sum() == pytest.approx(1.0)
+
+
+class TestLightingMatching:
+    def test_night_night_same_place_matches(self, lab1_renderer, config):
+        comparator = KeyframeComparator(config)
+        a = keyframe_at(lab1_renderer, 8.0, 1.25, 0.0, NIGHT, 10, config)
+        b = keyframe_at(lab1_renderer, 8.3, 1.3, 0.02, NIGHT, 11, config)
+        result = comparator.compare(a, b)
+        assert result.matched, f"night/night same place failed: S2={result.s2:.3f}"
+
+    def test_night_features_not_starved(self, lab1_renderer, config):
+        """Contrast standardization keeps SURF productive in the dark."""
+        a = keyframe_at(lab1_renderer, 8.0, 1.25, 0.0, NIGHT, 12, config)
+        b = keyframe_at(lab1_renderer, 8.0, 1.25, 0.0, DAYLIGHT, 13, config)
+        n_night = len(a.ensure_surf())
+        n_day = len(b.ensure_surf())
+        assert n_night > 0.5 * n_day
+
+    def test_day_night_cross_pairs_reach_surf(self, lab1_renderer, config):
+        """The S1 rung must not reject same-place pairs for lighting alone."""
+        comparator = KeyframeComparator(config)
+        day = keyframe_at(lab1_renderer, 8.0, 1.25, 0.0, DAYLIGHT, 14, config)
+        night = keyframe_at(lab1_renderer, 8.2, 1.25, 0.0, NIGHT, 15, config)
+        result = comparator.compare(day, night)
+        assert result.stage != "heading"
+        # Either it survives to SURF, or S1 rejected it; the pipeline's
+        # lighting tolerance (Fig. 7b) requires survival.
+        assert result.stage == "s2", (
+            f"cross-lighting pair killed at {result.stage}: s1={result.s1:.2f}"
+        )
+
+
+class TestHierarchyOrder:
+    def test_heading_gate_runs_first(self, lab1_renderer, config):
+        comparator = KeyframeComparator(config)
+        a = keyframe_at(lab1_renderer, 8.0, 1.25, 0.0, DAYLIGHT, 16, config)
+        b = keyframe_at(lab1_renderer, 8.0, 1.25, math.pi, DAYLIGHT, 17, config)
+        before = comparator.n_surf_comparisons
+        result = comparator.compare(a, b)
+        assert result.stage == "heading"
+        assert comparator.n_surf_comparisons == before  # SURF never ran
+
+    def test_s1_disabled_passes_everything_to_surf(self, lab1_renderer):
+        config = CrowdMapConfig().with_overrides(s1_threshold=0.0)
+        comparator = KeyframeComparator(config)
+        a = keyframe_at(lab1_renderer, 8.0, 1.25, 0.0, DAYLIGHT, 18, config)
+        b = keyframe_at(lab1_renderer, 30.0, 1.25, 0.0, DAYLIGHT, 19, config)
+        result = comparator.compare(a, b)
+        assert result.stage == "s2"

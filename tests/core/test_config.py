@@ -1,0 +1,39 @@
+"""Tests for the pipeline configuration object."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import CrowdMapConfig
+
+
+class TestConfig:
+    def test_frozen(self):
+        config = CrowdMapConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.s2_threshold = 0.5
+
+    def test_with_overrides(self):
+        config = CrowdMapConfig()
+        modified = config.with_overrides(s2_threshold=0.5, lcss_delta=3)
+        assert modified.s2_threshold == 0.5
+        assert modified.lcss_delta == 3
+        # Original untouched; other fields preserved.
+        assert config.s2_threshold != 0.5
+        assert modified.grid_cell_size == config.grid_cell_size
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(TypeError):
+            CrowdMapConfig().with_overrides(not_a_field=1)
+
+    def test_paper_thresholds_present(self):
+        """Every named threshold from the paper has a config knob."""
+        config = CrowdMapConfig()
+        assert config.keyframe_ncc_threshold > 0  # h_g
+        assert config.s1_threshold > 0  # h_s
+        assert config.surf_distance_threshold > 0  # h_d
+        assert config.s2_threshold > 0  # h_f
+        assert config.s3_threshold > 0  # h_l
+        assert config.lcss_epsilon > 0  # epsilon
+        assert config.lcss_delta > 0  # delta
+        assert config.alpha > 0  # h_alpha

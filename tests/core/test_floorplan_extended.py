@@ -1,0 +1,90 @@
+"""Extended floor-plan assembly tests: convergence and crowded layouts."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import CrowdMapConfig
+from repro.core.floorplan import FloorPlanAssembler
+from repro.core.room_layout import RoomLayout
+from repro.core.skeleton import reconstruct_skeleton
+from repro.geometry.primitives import BoundingBox, Point
+from repro.sensors.trajectory import Trajectory
+
+
+@pytest.fixture(scope="module")
+def corridor_skeleton():
+    trajectories = [
+        Trajectory.from_arrays(
+            np.array([[x, 2.0] for x in np.linspace(1, 29, 29)])
+        )
+        for _ in range(4)
+    ]
+    return reconstruct_skeleton(
+        trajectories, BoundingBox(0, 0, 30, 14), CrowdMapConfig()
+    )
+
+
+def room_at(x, y, w=4.0, d=4.0):
+    return RoomLayout(center=Point(x, y), width=w, depth=d,
+                      orientation=0.0, consistency=0.0)
+
+
+class TestForceDirectedConvergence:
+    def test_row_of_rooms_settles_without_overlap(self, corridor_skeleton):
+        assembler = FloorPlanAssembler()
+        # Five rooms anchored with heavy pairwise overlap along one row.
+        layouts = [room_at(6 + 2.5 * i, 6.5) for i in range(5)]
+        result = assembler.arrange(corridor_skeleton, layouts)
+        rooms = result.rooms
+        overlaps = 0
+        for i, a in enumerate(rooms):
+            for b in rooms[i + 1:]:
+                bb_a, bb_b = a.bounding_box(), b.bounding_box()
+                dx = min(bb_a.max_x, bb_b.max_x) - max(bb_a.min_x, bb_b.min_x)
+                dy = min(bb_a.max_y, bb_b.max_y) - max(bb_a.min_y, bb_b.min_y)
+                if dx > 1.0 and dy > 1.0:
+                    overlaps += 1
+        # The spring equilibrium trades a little residual overlap against
+        # anchor fidelity; what must not survive is *heavy* interpenetration.
+        assert overlaps == 0, f"{overlaps} room pairs still overlap heavily"
+
+    def test_anchors_not_abandoned(self, corridor_skeleton):
+        assembler = FloorPlanAssembler()
+        layouts = [room_at(6 + 2.5 * i, 6.5) for i in range(5)]
+        result = assembler.arrange(corridor_skeleton, layouts)
+        for placed, layout in zip(result.rooms, layouts):
+            drift = math.hypot(
+                placed.center.x - layout.center.x,
+                placed.center.y - layout.center.y,
+            )
+            assert drift < 8.0
+
+    def test_iteration_budget_respected(self, corridor_skeleton):
+        config = CrowdMapConfig().with_overrides(force_iterations=1)
+        assembler = FloorPlanAssembler(config)
+        layouts = [room_at(6.0, 6.5), room_at(6.5, 6.5)]
+        result = assembler.arrange(corridor_skeleton, layouts)
+        assert len(result.rooms) == 2  # terminates immediately, still valid
+
+    def test_empty_layout_list(self, corridor_skeleton):
+        result = FloorPlanAssembler().arrange(corridor_skeleton, [])
+        assert result.rooms == []
+        assert "#" in result.render_ascii()
+
+    def test_names_preserved_in_order(self, corridor_skeleton):
+        assembler = FloorPlanAssembler()
+        layouts = [room_at(5, 6.5), room_at(12, 6.5)]
+        result = assembler.arrange(
+            corridor_skeleton, layouts, names=["alpha", "beta"]
+        )
+        assert [r.name for r in result.rooms] == ["alpha", "beta"]
+
+    def test_rotated_room_bounding_box_used(self, corridor_skeleton):
+        assembler = FloorPlanAssembler()
+        tilted = RoomLayout(center=Point(10, 6.5), width=6.0, depth=2.0,
+                            orientation=math.pi / 4.0, consistency=0.0)
+        other = room_at(12.5, 6.5)
+        result = assembler.arrange(corridor_skeleton, [tilted, other])
+        assert len(result.rooms) == 2

@@ -1,0 +1,84 @@
+"""Tests for the incremental (streaming) reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CrowdMapConfig
+from repro.core.incremental import IncrementalCrowdMap
+from repro.core.pipeline import CrowdMapPipeline
+
+
+@pytest.fixture(scope="module")
+def incremental_config():
+    return CrowdMapConfig().with_overrides(layout_samples=400)
+
+
+class TestIncremental:
+    def test_empty_snapshot_is_none(self, incremental_config):
+        assert IncrementalCrowdMap(incremental_config).snapshot() is None
+
+    def test_sessions_accumulate(self, small_dataset, incremental_config):
+        inc = IncrementalCrowdMap(incremental_config)
+        for session in small_dataset.sessions:
+            inc.add_session(session)
+        assert inc.n_sws == len(small_dataset.sws_sessions())
+        assert inc.n_rooms >= 1
+
+    def test_pairwise_work_is_incremental(self, small_dataset, incremental_config):
+        inc = IncrementalCrowdMap(incremental_config)
+        sws = small_dataset.sws_sessions()
+        for session in sws:
+            inc.add_session(session)
+        n = len(sws)
+        assert inc.n_pair_scores == n * (n - 1) // 2
+
+    def test_snapshot_matches_batch_pipeline(self, small_dataset, incremental_config):
+        """Streaming all sessions must reproduce the batch skeleton."""
+        inc = IncrementalCrowdMap(incremental_config)
+        for session in small_dataset.sessions:
+            inc.add_session(session)
+        streamed = inc.snapshot()
+
+        batch = CrowdMapPipeline(incremental_config).run(small_dataset)
+        # Same pairs scored with the same config: identical merge decisions
+        # and, therefore, identical skeleton cells.
+        assert sorted(streamed.aggregation.merged_pairs()) == sorted(
+            batch.aggregation.merged_pairs()
+        )
+        assert np.array_equal(batch.skeleton.skeleton, streamed.skeleton.skeleton)
+
+    def test_snapshot_improves_with_more_data(self, small_dataset, incremental_config):
+        inc = IncrementalCrowdMap(incremental_config)
+        sws = small_dataset.sws_sessions()
+        inc.add_session(sws[0])
+        early = inc.snapshot()
+        for session in sws[1:]:
+            inc.add_session(session)
+        late = inc.snapshot()
+        assert late.skeleton.skeleton.sum() >= early.skeleton.skeleton.sum()
+
+    def test_stairs_sessions_ignored(self, lab1_plan, incremental_config):
+        from repro.world.walker import Walker, WalkerProfile
+
+        walker = Walker(lab1_plan, WalkerProfile(user_id="s"),
+                        rng=np.random.default_rng(5))
+        inc = IncrementalCrowdMap(incremental_config)
+        inc.add_session(walker.perform_stairs(lab1_plan.waypoints["sw"], 1))
+        assert inc.n_sws == 0
+        assert inc.snapshot() is None
+
+    def test_srs_best_layout_kept_per_cell(self, lab1_plan, lab1_renderer,
+                                            incremental_config):
+        from repro.world.walker import Walker, WalkerProfile
+
+        room = lab1_plan.room_by_name("s2")
+        inc = IncrementalCrowdMap(incremental_config)
+        for seed in (1, 2):
+            walker = Walker(lab1_plan, WalkerProfile(user_id=f"u{seed}"),
+                            rng=np.random.default_rng(seed),
+                            renderer=lab1_renderer)
+            inc.add_session(walker.perform_srs(room.center, room_name=room.name))
+        assert inc.n_rooms == 1  # both spins share the cell
+        cell = next(iter(inc._cells.values()))
+        assert len(cell.sessions) == 2
+        assert cell.layout is not None

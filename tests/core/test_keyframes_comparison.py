@@ -1,0 +1,131 @@
+"""Tests for key-frame selection and hierarchical comparison."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.comparison import KeyframeComparator
+from repro.core.config import CrowdMapConfig
+from repro.core.keyframes import (
+    KeyFrame,
+    keyframe_reduction_ratio,
+    select_keyframes,
+)
+from repro.geometry.primitives import Point
+
+
+@pytest.fixture(scope="module")
+def sws_keyframes(sws_session):
+    return select_keyframes(sws_session.frames, session_id="t")
+
+
+class TestSelection:
+    def test_selection_thins_sequence(self, sws_session, sws_keyframes):
+        assert 2 <= len(sws_keyframes) < sws_session.n_frames
+
+    def test_first_frame_kept(self, sws_session, sws_keyframes):
+        assert sws_keyframes[0].frame.frame_index == 0
+
+    def test_keyframes_time_ordered(self, sws_keyframes):
+        times = [kf.timestamp for kf in sws_keyframes]
+        assert times == sorted(times)
+
+    def test_ids_unique(self, sws_keyframes):
+        ids = [kf.keyframe_id for kf in sws_keyframes]
+        assert len(set(ids)) == len(ids)
+
+    def test_empty_input(self):
+        assert select_keyframes([]) == []
+
+    def test_stationary_frames_collapse(self, lab1_plan, lab1_renderer):
+        """Near-duplicate frames (standing still) collapse to few key-frames."""
+        from repro.vision.image import Frame
+
+        rng = np.random.default_rng(0)
+        pos, heading = Point(10.0, 1.25), 0.0
+        frames = [
+            Frame(
+                pixels=lab1_renderer.render(pos, heading, rng=rng),
+                timestamp=float(i),
+                heading=heading,
+                frame_index=i,
+            )
+            for i in range(10)
+        ]
+        kfs = select_keyframes(frames)
+        assert len(kfs) <= 3
+
+    def test_threshold_monotonicity(self, sws_session):
+        strict = select_keyframes(
+            sws_session.frames, CrowdMapConfig().with_overrides(
+                keyframe_ncc_threshold=0.3
+            )
+        )
+        loose = select_keyframes(
+            sws_session.frames, CrowdMapConfig().with_overrides(
+                keyframe_ncc_threshold=0.9
+            )
+        )
+        assert len(strict) <= len(loose)
+
+    def test_reduction_ratio(self):
+        assert keyframe_reduction_ratio(100, 25) == 0.75
+        assert keyframe_reduction_ratio(0, 0) == 0.0
+
+    def test_signature_caching(self, sws_keyframes):
+        kf = sws_keyframes[0]
+        kf.ensure_signatures()
+        color_first = kf.color
+        kf.ensure_signatures()
+        assert kf.color is color_first
+        surf_first = kf.ensure_surf()
+        assert kf.ensure_surf() is surf_first
+
+
+class TestComparator:
+    def test_heading_gate(self, sws_keyframes, config):
+        comparator = KeyframeComparator(config)
+        a = sws_keyframes[0]
+        flipped = KeyFrame(
+            frame=type(a.frame)(
+                pixels=a.frame.pixels,
+                timestamp=a.frame.timestamp,
+                heading=a.frame.heading + math.pi,
+            ),
+            keyframe_id="flipped",
+            hog=a.hog,
+        )
+        result = comparator.compare(a, flipped)
+        assert not result.matched
+        assert result.stage == "heading"
+        assert comparator.n_heading_rejects == 1
+
+    def test_self_comparison_matches(self, sws_keyframes, config):
+        comparator = KeyframeComparator(config)
+        a = sws_keyframes[0]
+        result = comparator.compare(a, a)
+        assert result.matched
+        assert result.s2 == pytest.approx(1.0)
+        assert result.stage == "s2"
+
+    def test_s1_scores_bounded(self, sws_keyframes, config):
+        comparator = KeyframeComparator(config)
+        for other in sws_keyframes[1:4]:
+            s1 = comparator.s1_score(sws_keyframes[0], other)
+            assert 0.0 <= s1 <= 1.0
+
+    def test_distant_frames_do_not_match(self, sws_keyframes, config):
+        comparator = KeyframeComparator(config)
+        # First and last key-frames of a 35 m walk view different places.
+        result = comparator.compare(sws_keyframes[0], sws_keyframes[-1])
+        assert not result.matched
+
+    def test_comparator_counts_surf_work(self, sws_keyframes, config):
+        comparator = KeyframeComparator(config)
+        comparator.compare(sws_keyframes[0], sws_keyframes[0])
+        assert comparator.n_surf_comparisons == 1
+
+    def test_bool_protocol(self, sws_keyframes, config):
+        comparator = KeyframeComparator(config)
+        assert bool(comparator.compare(sws_keyframes[0], sws_keyframes[0]))

@@ -1,0 +1,53 @@
+"""Extended key-frame selection tests: SRS coverage preservation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import CrowdMapConfig
+from repro.core.keyframes import select_keyframes
+from repro.vision.stitching import covers_full_circle
+from repro.world.renderer import DEFAULT_FOV
+
+
+class TestSrsSelection:
+    def test_selection_preserves_panorama_coverage(self, srs_session, config):
+        """Thinning a spin must never break the 360-degree Cover criterion."""
+        keyframes = select_keyframes(srs_session.frames, config,
+                                     session_id="s")
+        frames = [kf.frame for kf in keyframes]
+        assert covers_full_circle(frames, DEFAULT_FOV)
+
+    def test_spin_keeps_most_frames(self, srs_session, config):
+        """A spin's frames all differ (camera rotates): little thinning."""
+        keyframes = select_keyframes(srs_session.frames, config,
+                                     session_id="s")
+        assert len(keyframes) > 0.5 * srs_session.n_frames
+
+    def test_heading_spread_survives(self, srs_session, config):
+        keyframes = select_keyframes(srs_session.frames, config,
+                                     session_id="s")
+        headings = sorted(kf.heading % (2 * math.pi) for kf in keyframes)
+        gaps = np.diff(headings + [headings[0] + 2 * math.pi])
+        assert gaps.max() < DEFAULT_FOV
+
+
+class TestSwsSelection:
+    def test_anchor_spacing_reasonable(self, sws_session, config):
+        """Consecutive SWS key-frames should be metres apart, not cm."""
+        keyframes = select_keyframes(sws_session.frames, config,
+                                     session_id="w")
+        truth = sws_session.ground_truth
+        positions = [truth.position_at(kf.timestamp) for kf in keyframes]
+        spacings = [
+            positions[i].distance_to(positions[i + 1])
+            for i in range(len(positions) - 1)
+        ]
+        mid = [s for s in spacings if s > 1e-6]  # skip the stay phases
+        assert np.median(mid) > 0.4
+
+    def test_selection_deterministic(self, sws_session, config):
+        a = select_keyframes(sws_session.frames, config, session_id="x")
+        b = select_keyframes(sws_session.frames, config, session_id="x")
+        assert [kf.keyframe_id for kf in a] == [kf.keyframe_id for kf in b]

@@ -1,0 +1,75 @@
+"""Tests for visual localization on the reconstructed floor plan."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import CrowdMapConfig
+from repro.core.localization import VisualLocalizer
+from repro.core.pipeline import CrowdMapPipeline
+from repro.geometry.primitives import Point
+from repro.vision.image import Frame
+
+
+@pytest.fixture(scope="module")
+def localizer(small_dataset):
+    config = CrowdMapConfig().with_overrides(layout_samples=200)
+    result = CrowdMapPipeline(config).run(small_dataset)
+    return VisualLocalizer(result, config), result
+
+
+class TestLocalizer:
+    def test_database_indexed(self, localizer):
+        loc, result = localizer
+        assert len(loc) == sum(len(a.keyframes) for a in result.anchored)
+
+    def test_corpus_frame_localizes_to_itself(self, localizer, small_dataset):
+        """Re-querying a corpus frame must land near its capture point."""
+        loc, _ = localizer
+        session = small_dataset.sws_sessions()[0]
+        frame = session.frames[len(session.frames) // 2]
+        estimate = loc.localize(frame)
+        assert estimate.matched
+        truth = session.ground_truth.position_at(frame.timestamp)
+        error = math.hypot(
+            estimate.position.x - truth.x, estimate.position.y - truth.y
+        )
+        assert error < 5.0
+
+    def test_fresh_view_localizes(self, localizer, lab1_plan, lab1_renderer):
+        """A new capture at a visited spot localizes within a few metres."""
+        loc, _ = localizer
+        spot = Point(10.0, 1.25)
+        pixels = lab1_renderer.render(spot, 0.0, rng=np.random.default_rng(77))
+        query = Frame(pixels=pixels, timestamp=0.0, heading=0.0)
+        estimate = loc.localize(query)
+        if estimate.matched:  # coverage-dependent, but must be sane if found
+            error = math.hypot(
+                estimate.position.x - spot.x, estimate.position.y - spot.y
+            )
+            assert error < 8.0
+
+    def test_unmatched_query(self, localizer, lab1_renderer):
+        """A query showing nothing the corpus saw returns no estimate."""
+        loc, _ = localizer
+        pixels = np.zeros((lab1_renderer.camera.height,
+                           lab1_renderer.camera.width, 3))
+        query = Frame(pixels=pixels, timestamp=0.0, heading=0.0)
+        estimate = loc.localize(query)
+        assert not estimate.matched
+        assert estimate.confidence == 0.0
+
+    def test_sequence_smoothing(self, localizer, small_dataset):
+        loc, _ = localizer
+        session = small_dataset.sws_sessions()[0]
+        frames = session.frames[3:9]
+        estimates = loc.localize_sequence(frames)
+        assert len(estimates) == len(frames)
+        positions = [e.position for e in estimates if e.matched]
+        if len(positions) >= 3:
+            jumps = [
+                positions[i].distance_to(positions[i + 1])
+                for i in range(len(positions) - 1)
+            ]
+            assert max(jumps) < 15.0

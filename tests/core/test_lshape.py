@@ -1,0 +1,107 @@
+"""Tests for the L-shaped room extension (paper Section VI future work)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import CrowdMapConfig
+from repro.core.keyframes import select_keyframes
+from repro.core.panorama import PanoramaBuilder
+from repro.core.room_layout import LShapedLayout, RoomLayout, RoomLayoutEstimator
+from repro.geometry.primitives import BoundingBox, Point
+from repro.world.floorplan_model import Door, FloorPlan, Room
+from repro.world.walker import Walker, WalkerProfile
+
+
+def make_rect(a, b, c, d, theta=0.0):
+    return RoomLayout(
+        center=Point(0, 0), width=a + b, depth=c + d, orientation=theta,
+        consistency=0.0, wall_distances=(a, b, c, d),
+    )
+
+
+class TestLShapedGeometry:
+    def test_union_area_identical_rects(self):
+        rect = make_rect(2.0, 2.0, 1.5, 1.5)
+        lshape = LShapedLayout(
+            center=Point(0, 0), rect_a=rect, rect_b=rect,
+            orientation=0.0, consistency=0.0,
+        )
+        assert lshape.area() == pytest.approx(rect.area())
+        assert lshape.is_rectangular
+
+    def test_union_area_true_l(self):
+        # Core 4x3 plus an arm extending 3 m east over a 1 m band.
+        core = make_rect(2.0, 2.0, 1.5, 1.5)
+        arm = make_rect(5.0, 2.0, 0.5, 0.5)
+        lshape = LShapedLayout(
+            center=Point(0, 0), rect_a=core, rect_b=arm,
+            orientation=0.0, consistency=0.0,
+        )
+        # overlap = (min(2,5)+min(2,2)) x (min(1.5,.5)+min(1.5,.5)) = 4 x 1
+        expected = core.area() + arm.area() - 4.0
+        assert lshape.area() == pytest.approx(expected)
+        assert not lshape.is_rectangular
+
+    def test_aspect_ratio_of_bounding_box(self):
+        core = make_rect(2.0, 2.0, 1.0, 1.0)
+        arm = make_rect(6.0, 2.0, 0.5, 0.5)
+        lshape = LShapedLayout(
+            center=Point(0, 0), rect_a=core, rect_b=arm,
+            orientation=0.0, consistency=0.0,
+        )
+        assert lshape.aspect_ratio() == pytest.approx(8.0 / 2.0)
+
+
+@pytest.fixture(scope="module")
+def l_shaped_panorama():
+    """An SRS spin in an L-shaped space (room + wide-open side room)."""
+    hall = [BoundingBox(0, 0, 16, 2.5)]
+    room_a = Room("a", Point(4.5, 6.5), 7.0, 7.0, door=Door("S", 3.5))
+    room_b = Room("b", Point(10.25, 5.0), 4.0, 4.0,
+                  door=Door("W", 2.0, width=3.8))
+    plan = FloorPlan(
+        "LWorld", hall, [room_a, room_b],
+        waypoints={"w": Point(1, 1.25), "e": Point(15, 1.25)},
+        waypoint_edges=[("w", "e")],
+    )
+    walker = Walker(plan, WalkerProfile(user_id="u"),
+                    rng=np.random.default_rng(2))
+    spin = Point(5.0, 5.5)
+    srs = walker.perform_srs(spin, room_name="a")
+    keyframes = select_keyframes(srs.frames, session_id="l")
+    pano = PanoramaBuilder().build(keyframes, capture_position=spin)
+    return pano, room_a.area() + room_b.area()
+
+
+class TestLShapedEstimation:
+    def test_lshape_fit_runs_and_is_sane(self, l_shaped_panorama):
+        pano, true_union = l_shaped_panorama
+        config = CrowdMapConfig().with_overrides(layout_samples=1000)
+        estimator = RoomLayoutEstimator(config)
+        lshape = estimator.estimate_lshape(pano)
+        assert isinstance(lshape, LShapedLayout)
+        assert 0.3 * true_union < lshape.area() < 3.0 * true_union
+        assert np.isfinite(lshape.consistency)
+
+    def test_auto_keeps_rectangles_rectangular(self, srs_session, lab1_plan):
+        config = CrowdMapConfig().with_overrides(layout_samples=600)
+        keyframes = select_keyframes(srs_session.frames, config,
+                                     session_id="r")
+        room = lab1_plan.room_by_name("s1")
+        pano = PanoramaBuilder(config).build(
+            keyframes, capture_position=room.center
+        )
+        estimator = RoomLayoutEstimator(config)
+        chosen = estimator.estimate_auto(pano)
+        assert isinstance(chosen, RoomLayout), (
+            "a rectangular room must not be upgraded to an L"
+        )
+
+    def test_lshape_deterministic(self, l_shaped_panorama):
+        pano, _ = l_shaped_panorama
+        config = CrowdMapConfig().with_overrides(layout_samples=400)
+        a = RoomLayoutEstimator(config).estimate_lshape(pano)
+        b = RoomLayoutEstimator(config).estimate_lshape(pano)
+        assert a.area() == pytest.approx(b.area())

@@ -1,0 +1,97 @@
+"""Tests for multi-floor reconstruction (paper Section VI)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CrowdMapConfig
+from repro.core.multifloor import MultiFloorPipeline
+from repro.sensors.activity import FLOOR_HEIGHT
+from repro.world.renderer import Camera, Renderer
+from repro.world.walker import Walker, WalkerProfile
+
+
+@pytest.fixture(scope="module")
+def two_floor_sessions(lab1_plan):
+    """Sessions on two floors of Lab1 plus one stair transition."""
+    renderer = Renderer(lab1_plan, Camera(width=96, height=128))
+    sessions = []
+    for floor in (0, 1):
+        for i in range(2):
+            walker = Walker(
+                lab1_plan,
+                WalkerProfile(user_id=f"f{floor}u{i}"),
+                rng=np.random.default_rng(floor * 10 + i),
+                renderer=renderer,
+                altitude=floor * FLOOR_HEIGHT,
+            )
+            sessions.append(walker.perform_sws(lab1_plan.route_between("sw", "se")))
+            sessions.append(walker.perform_sws(lab1_plan.route_between("se", "ne")))
+    stair_walker = Walker(
+        lab1_plan, WalkerProfile(user_id="stairs"),
+        rng=np.random.default_rng(99), renderer=renderer,
+    )
+    sessions.append(
+        stair_walker.perform_stairs(lab1_plan.waypoints["ne"], delta_floors=1)
+    )
+    return sessions
+
+
+@pytest.fixture(scope="module")
+def multifloor_result(two_floor_sessions):
+    return MultiFloorPipeline(CrowdMapConfig()).run(two_floor_sessions)
+
+
+class TestClassification:
+    def test_sessions_split_by_floor(self, two_floor_sessions):
+        pipeline = MultiFloorPipeline(CrowdMapConfig())
+        classified = pipeline.classify_sessions(two_floor_sessions)
+        per_floor = classified["per_floor"]
+        assert set(per_floor) == {0, 1}
+        assert len(per_floor[0]) == 4
+        assert len(per_floor[1]) == 4
+
+    def test_transition_becomes_link(self, two_floor_sessions):
+        pipeline = MultiFloorPipeline(CrowdMapConfig())
+        classified = pipeline.classify_sessions(two_floor_sessions)
+        links = classified["links"]
+        assert len(links) == 1
+        assert (links[0].floor_from, links[0].floor_to) == (0, 1)
+        assert links[0].kind == "stairs"
+
+    def test_link_position_near_stairwell(self, two_floor_sessions, lab1_plan):
+        pipeline = MultiFloorPipeline(CrowdMapConfig())
+        links = pipeline.classify_sessions(two_floor_sessions)["links"]
+        stairwell = lab1_plan.waypoints["ne"]
+        assert links[0].position.distance_to(stairwell) < 2.0
+
+
+class TestMultiFloorRun:
+    def test_reconstructs_both_floors(self, multifloor_result):
+        assert multifloor_result.floor_indices() == [0, 1]
+        for result in multifloor_result.floors.values():
+            assert result.skeleton.skeleton.any()
+
+    def test_session_counts(self, multifloor_result):
+        assert multifloor_result.sessions_per_floor == {0: 4, 1: 4}
+
+    def test_links_between(self, multifloor_result):
+        assert len(multifloor_result.links_between(0, 1)) == 1
+        assert multifloor_result.links_between(1, 2) == []
+
+    def test_floors_reconstruct_same_corridors(self, multifloor_result):
+        """Both floors walked the same routes: similar skeleton areas."""
+        areas = [
+            r.skeleton.area() for r in multifloor_result.floors.values()
+        ]
+        assert abs(areas[0] - areas[1]) < 0.6 * max(areas)
+
+
+class TestRunSessions:
+    def test_equivalent_to_run(self, small_dataset):
+        from repro.core.pipeline import CrowdMapPipeline
+
+        config = CrowdMapConfig().with_overrides(layout_samples=300)
+        a = CrowdMapPipeline(config).run(small_dataset)
+        b = CrowdMapPipeline(config).run_sessions(small_dataset.sessions)
+        assert np.array_equal(a.skeleton.skeleton, b.skeleton.skeleton)
+        assert len(a.layouts) == len(b.layouts)

@@ -1,0 +1,123 @@
+"""Tests for navigation on the reconstructed map and energy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CrowdMapConfig
+from repro.core.navigation import NavigationPath, SkeletonNavigator, route_to_room
+from repro.core.skeleton import reconstruct_skeleton
+from repro.geometry.primitives import BoundingBox, Point
+from repro.sensors.energy import (
+    BATTERY_WH,
+    campaign_energy,
+    per_user_battery_cost,
+    session_energy,
+)
+from repro.sensors.trajectory import Trajectory
+
+
+@pytest.fixture(scope="module")
+def l_skeleton():
+    """An L-shaped corridor skeleton from clean synthetic trajectories."""
+    config = CrowdMapConfig()
+    legs = [
+        [[x, 2.0] for x in np.linspace(1, 18, 18)],
+        [[18.0, y] for y in np.linspace(2, 12, 11)],
+    ]
+    trajectories = [
+        Trajectory.from_arrays(np.array(leg)) for leg in legs
+    ] * 3
+    return reconstruct_skeleton(
+        trajectories, BoundingBox(0, 0, 22, 15), config
+    )
+
+
+class TestNavigator:
+    def test_straight_route(self, l_skeleton):
+        nav = SkeletonNavigator(l_skeleton)
+        path = nav.plan(Point(2, 2), Point(15, 2))
+        assert path.found
+        assert path.length == pytest.approx(13.0, abs=3.0)
+
+    def test_route_around_corner(self, l_skeleton):
+        nav = SkeletonNavigator(l_skeleton)
+        path = nav.plan(Point(2, 2), Point(18, 11))
+        assert path.found
+        # Must follow the L, not cut the diagonal through un-walked space.
+        assert path.length >= 23.0
+        for p in path.waypoints:
+            row, col = nav._cell_of(p)
+            assert l_skeleton.skeleton[row, col]
+
+    def test_unreachable_goal(self, l_skeleton):
+        nav = SkeletonNavigator(l_skeleton)
+        path = nav.plan(Point(2, 2), Point(2, 14))  # far off the skeleton
+        assert not path.found
+
+    def test_start_snaps_to_skeleton(self, l_skeleton):
+        nav = SkeletonNavigator(l_skeleton)
+        path = nav.plan(Point(2, 3.5), Point(10, 2))  # start slightly off
+        assert path.found
+
+    def test_same_cell_trivial_path(self, l_skeleton):
+        nav = SkeletonNavigator(l_skeleton)
+        path = nav.plan(Point(5, 2), Point(5.2, 2.1))
+        assert path.found
+        assert path.length < 1.5
+
+    def test_route_to_room(self, l_skeleton):
+        from repro.core.floorplan import FloorPlanAssembler
+        from repro.core.room_layout import RoomLayout
+
+        layout = RoomLayout(center=Point(10.0, 6.0), width=4.0, depth=3.0,
+                            orientation=0.0, consistency=0.0)
+        floorplan = FloorPlanAssembler().arrange(
+            l_skeleton, [layout], names=["target"]
+        )
+        path = route_to_room(floorplan, Point(2, 2), "target")
+        assert path.found
+
+    def test_empty_skeleton(self):
+        config = CrowdMapConfig()
+        empty = reconstruct_skeleton([], BoundingBox(0, 0, 5, 5), config)
+        nav = SkeletonNavigator(empty)
+        assert not nav.plan(Point(1, 1), Point(4, 4)).found
+
+
+class TestEnergy:
+    def test_sws_session_energy(self, sws_session):
+        report = session_energy(sws_session)
+        duration = sws_session.duration()
+        assert report.imu_joules == pytest.approx(0.030 * duration)
+        assert report.video_joules == pytest.approx(0.350 * duration)
+        assert report.total_joules == pytest.approx(0.380 * duration)
+
+    def test_imu_only_session(self, lab1_plan):
+        from repro.world.walker import Walker, WalkerProfile
+
+        walker = Walker(lab1_plan, WalkerProfile(user_id="s"),
+                        rng=np.random.default_rng(0))
+        stairs = walker.perform_stairs(lab1_plan.waypoints["sw"], 1)
+        report = session_energy(stairs)
+        assert report.video_joules == 0.0
+        assert report.imu_joules > 0.0
+
+    def test_campaign_sums(self, small_dataset):
+        total = campaign_energy(small_dataset.sessions)
+        parts = [session_energy(s) for s in small_dataset.sessions]
+        assert total.total_joules == pytest.approx(
+            sum(p.total_joules for p in parts)
+        )
+
+    def test_paper_claim_insignificant_cost(self, small_dataset):
+        """Several capture rounds stay well under 1% of a battery."""
+        costs = per_user_battery_cost(small_dataset.sessions)
+        assert costs
+        for user, fraction in costs.items():
+            assert fraction < 0.01, f"{user} spent {fraction:.2%} of battery"
+
+    def test_one_minute_video_figure(self):
+        # Sanity-check the paper's own figure: one minute of video+IMU
+        # costs (0.35 + 0.03) W * 60 s = 22.8 J ~ 0.06% of a battery.
+        joules = (0.35 + 0.03) * 60.0
+        assert joules / 3600.0 / BATTERY_WH < 0.001

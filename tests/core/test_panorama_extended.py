@@ -1,0 +1,74 @@
+"""Extended panorama tests: seam quality and heading-noise tolerance."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import CrowdMapConfig
+from repro.core.keyframes import select_keyframes
+from repro.core.panorama import PanoramaBuilder
+from repro.geometry.primitives import Point
+from repro.vision.image import Frame
+from repro.vision.stitching import stitch_cylindrical
+from repro.world.renderer import DEFAULT_FOV
+
+
+def spin_frames(renderer, position, n=24, heading_noise=0.0, seed=0):
+    """A synthetic SRS ring with controllable heading annotation error."""
+    rng = np.random.default_rng(seed)
+    frames = []
+    for k in range(n):
+        true_heading = k * 2 * math.pi / n
+        pixels = renderer.render(position, true_heading,
+                                 rng=np.random.default_rng(seed * 100 + k))
+        annotated = true_heading + rng.normal(0.0, heading_noise)
+        frames.append(
+            Frame(pixels=pixels, timestamp=float(k), heading=annotated,
+                  frame_index=k)
+        )
+    return frames
+
+
+class TestPanoramaSeams:
+    def test_clean_headings_give_smooth_panorama(self, lab1_renderer, lab1_plan):
+        room = lab1_plan.room_by_name("s3")
+        frames = spin_frames(lab1_renderer, room.center)
+        pano = stitch_cylindrical(frames, DEFAULT_FOV, panorama_width=720)
+        assert pano.gap_fraction() == 0.0
+        # Adjacent-column differences should stay modest away from noise.
+        gray = pano.grayscale()
+        col_diff = np.abs(np.diff(gray, axis=1)).mean()
+        assert col_diff < 0.08
+
+    def test_refinement_absorbs_heading_noise(self, lab1_renderer, lab1_plan):
+        room = lab1_plan.room_by_name("s3")
+        noisy = spin_frames(lab1_renderer, room.center,
+                            heading_noise=math.radians(2.0), seed=3)
+        refined = stitch_cylindrical(noisy, DEFAULT_FOV, panorama_width=720,
+                                     refine=True)
+        unrefined = stitch_cylindrical(noisy, DEFAULT_FOV, panorama_width=720,
+                                       refine=False)
+
+        def seam_energy(pano):
+            gray = pano.grayscale()
+            return float(np.abs(np.diff(gray, axis=1)).mean())
+
+        assert seam_energy(refined) <= seam_energy(unrefined) + 0.005
+
+    def test_full_pipeline_panorama_gap_free(self, srs_session, config):
+        keyframes = select_keyframes(srs_session.frames, config,
+                                     session_id="x")
+        pano = PanoramaBuilder(config).build(
+            keyframes, capture_position=Point(5.5, 5.75)
+        )
+        assert pano.panorama.gap_fraction() <= config.panorama_max_gap
+
+    def test_panorama_width_configurable(self, srs_session):
+        config = CrowdMapConfig().with_overrides(panorama_width=360)
+        keyframes = select_keyframes(srs_session.frames, config,
+                                     session_id="x")
+        pano = PanoramaBuilder(config).build(
+            keyframes, capture_position=Point(5.5, 5.75)
+        )
+        assert pano.width == 360

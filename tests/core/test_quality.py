@@ -1,0 +1,62 @@
+"""Tests for the ground-truth-free quality diagnostics."""
+
+import pytest
+
+from repro.core.config import CrowdMapConfig
+from repro.core.pipeline import CrowdMapPipeline
+from repro.core.quality import QualityReport, RoomDiagnostic, assess
+
+
+@pytest.fixture(scope="module")
+def assessed(small_dataset):
+    config = CrowdMapConfig().with_overrides(layout_samples=300)
+    result = CrowdMapPipeline(config).run(small_dataset)
+    return assess(result), result
+
+
+class TestQualityReport:
+    def test_counts_consistent(self, assessed, small_dataset):
+        report, result = assessed
+        assert report.n_trajectories == len(small_dataset.sws_sessions())
+        assert report.n_components >= 1
+        assert 0.0 < report.largest_component_fraction <= 1.0
+        assert report.skeleton_area_m2 == pytest.approx(result.skeleton.area())
+
+    def test_rooms_reported(self, assessed):
+        report, result = assessed
+        assert len(report.rooms) == len(result.layouts)
+        for room in report.rooms:
+            assert 0.0 <= room.panorama_gap <= 1.0
+
+    def test_weakest_rooms_ordering(self, assessed):
+        report, _ = assessed
+        weakest = report.weakest_rooms(k=2)
+        assert len(weakest) <= 2
+        if len(weakest) == 2:
+            assert weakest[0].consistency <= weakest[1].consistency
+
+    def test_summary_lines(self, assessed):
+        report, _ = assessed
+        lines = report.summary_lines()
+        assert any("trajectories" in line for line in lines)
+        assert any("skeleton" in line for line in lines)
+
+    def test_fragmentation_flag(self):
+        report = QualityReport(
+            n_trajectories=10, n_components=6,
+            largest_component_fraction=0.3, merged_pairs=2,
+            mean_anchors_per_merge=2.0, skeleton_components=3,
+            skeleton_area_m2=50.0,
+        )
+        assert report.is_fragmented
+        assert any("WARNING" in line for line in report.summary_lines())
+
+    def test_healthy_map_not_flagged(self):
+        report = QualityReport(
+            n_trajectories=10, n_components=2,
+            largest_component_fraction=0.9, merged_pairs=12,
+            mean_anchors_per_merge=4.0, skeleton_components=1,
+            skeleton_area_m2=200.0,
+            rooms=[RoomDiagnostic("a", 0.1, 0.0, 1)],
+        )
+        assert not report.is_fragmented

@@ -1,0 +1,97 @@
+"""Extended room-layout tests: profile prediction math and junction pairing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import CrowdMapConfig
+from repro.core.room_layout import RoomLayoutEstimator
+
+TWO_PI = 2.0 * math.pi
+
+
+class TestPredictProfile:
+    def azimuths(self, n=360):
+        return np.arange(n) / n * TWO_PI
+
+    def test_square_room_centered(self):
+        """Camera centred in a square room: profile between a and a*sqrt(2)."""
+        az = self.azimuths()
+        thetas = np.array([0.0])
+        dists = np.array([[2.0, 2.0, 2.0, 2.0]])
+        profile = RoomLayoutEstimator._predict_profile(az, thetas, dists)[0]
+        assert profile.min() == pytest.approx(2.0, abs=1e-6)
+        assert profile.max() == pytest.approx(2.0 * math.sqrt(2.0), rel=1e-3)
+
+    def test_cardinal_directions_hit_named_walls(self):
+        az = np.array([0.0, math.pi / 2.0, math.pi, 3 * math.pi / 2.0])
+        thetas = np.array([0.0])
+        dists = np.array([[1.0, 2.0, 3.0, 4.0]])  # +x, -x, +y, -y walls
+        profile = RoomLayoutEstimator._predict_profile(az, thetas, dists)[0]
+        assert profile[0] == pytest.approx(1.0)   # toward theta (+x)
+        assert profile[1] == pytest.approx(3.0)   # toward theta+90 (+y)
+        assert profile[2] == pytest.approx(2.0)   # toward theta+180 (-x)
+        assert profile[3] == pytest.approx(4.0)   # toward theta-90 (-y)
+
+    def test_rotation_shifts_profile(self):
+        az = self.azimuths()
+        dists = np.array([[1.0, 1.0, 3.0, 3.0]])
+        p0 = RoomLayoutEstimator._predict_profile(az, np.array([0.0]), dists)[0]
+        p45 = RoomLayoutEstimator._predict_profile(
+            az, np.array([math.pi / 4.0]), dists
+        )[0]
+        shift = int(round(math.pi / 4.0 / TWO_PI * len(az)))
+        assert np.allclose(np.roll(p0, shift), p45, rtol=1e-6)
+
+    def test_profile_positive_everywhere(self):
+        rng = np.random.default_rng(0)
+        az = self.azimuths(180)
+        thetas = rng.uniform(0, math.pi / 2, 32)
+        dists = rng.uniform(0.5, 10.0, (32, 4))
+        profiles = RoomLayoutEstimator._predict_profile(az, thetas, dists)
+        assert (profiles > 0).all()
+        assert np.isfinite(profiles).all()
+
+
+class TestEstimateFromSyntheticProfile:
+    """Drive the sampler with a hand-built panorama-free profile."""
+
+    def make_estimator(self, profile, monkeypatch):
+        config = CrowdMapConfig().with_overrides(layout_samples=1500)
+        estimator = RoomLayoutEstimator(config)
+        monkeypatch.setattr(
+            estimator, "boundary_profile", lambda pano: profile
+        )
+        monkeypatch.setattr(estimator, "detect_corners", lambda pano: [])
+        return estimator
+
+    def test_recovers_rectangle_dimensions(self, monkeypatch):
+        az = np.arange(720) / 720 * TWO_PI
+        true = RoomLayoutEstimator._predict_profile(
+            az, np.array([0.3]), np.array([[2.0, 3.0, 1.5, 2.5]])
+        )[0]
+        estimator = self.make_estimator(true, monkeypatch)
+
+        class FakePano:
+            capture_position = type("P", (), {"x": 0.0, "y": 0.0})()
+
+        layout = estimator.estimate(FakePano())
+        assert layout.width == pytest.approx(5.0, abs=0.4)
+        assert layout.depth == pytest.approx(4.0, abs=0.4)
+
+    def test_noisy_profile_still_recovers(self, monkeypatch):
+        rng = np.random.default_rng(1)
+        az = np.arange(720) / 720 * TWO_PI
+        true = RoomLayoutEstimator._predict_profile(
+            az, np.array([0.0]), np.array([[2.5, 2.5, 3.0, 3.0]])
+        )[0]
+        noisy = true * rng.lognormal(0.0, 0.05, len(true))
+        estimator = self.make_estimator(noisy, monkeypatch)
+
+        class FakePano:
+            capture_position = type("P", (), {"x": 0.0, "y": 0.0})()
+
+        layout = estimator.estimate(FakePano())
+        area_err = abs(layout.area() - 30.0) / 30.0
+        assert area_err < 0.2

@@ -1,0 +1,182 @@
+"""Tests for panorama building, room layout estimation and assembly."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import CrowdMapConfig
+from repro.core.floorplan import FloorPlanAssembler, PlacedRoom, _overlap_vector
+from repro.core.keyframes import select_keyframes
+from repro.core.panorama import PanoramaBuilder, PanoramaCoverageError
+from repro.core.room_layout import RoomLayout, RoomLayoutEstimator, _interpolate_circular
+from repro.core.skeleton import reconstruct_skeleton
+from repro.geometry.primitives import BoundingBox, Point
+from repro.sensors.trajectory import Trajectory
+
+
+@pytest.fixture(scope="module")
+def srs_keyframes(srs_session):
+    return select_keyframes(srs_session.frames, session_id="srs")
+
+
+@pytest.fixture(scope="module")
+def room_panorama(srs_keyframes, lab1_plan):
+    room = lab1_plan.room_by_name("s1")
+    builder = PanoramaBuilder()
+    return builder.build(srs_keyframes, capture_position=room.center,
+                         room_hint="s1")
+
+
+class TestPanoramaBuilder:
+    def test_full_spin_builds(self, room_panorama):
+        assert room_panorama.panorama.gap_fraction() <= 0.08
+        assert room_panorama.room_hint == "s1"
+
+    def test_partial_spin_rejected(self, srs_keyframes, lab1_plan):
+        builder = PanoramaBuilder()
+        # A quarter of the spin cannot cover 360 degrees.
+        partial = srs_keyframes[: max(2, len(srs_keyframes) // 4)]
+        with pytest.raises(PanoramaCoverageError):
+            builder.build(partial, capture_position=Point(0, 0))
+
+    def test_empty_keyframes_rejected(self):
+        with pytest.raises(PanoramaCoverageError):
+            PanoramaBuilder().build([], capture_position=Point(0, 0))
+
+    def test_coverage_check(self, srs_keyframes):
+        builder = PanoramaBuilder()
+        assert builder.check_coverage(srs_keyframes)
+        assert not builder.check_coverage(srs_keyframes[:3])
+
+
+class TestInterpolateCircular:
+    def test_no_nans_passthrough(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(_interpolate_circular(v), v)
+
+    def test_fills_gap(self):
+        v = np.array([1.0, np.nan, 3.0, 4.0])
+        filled = _interpolate_circular(v)
+        assert np.isfinite(filled).all()
+        assert filled[1] == pytest.approx(2.0)
+
+    def test_wraps_around(self):
+        v = np.array([np.nan, 2.0, 2.0, np.nan])
+        filled = _interpolate_circular(v)
+        assert np.isfinite(filled).all()
+
+    def test_all_nan_fallback(self):
+        filled = _interpolate_circular(np.full(5, np.nan))
+        assert np.isfinite(filled).all()
+
+
+class TestRoomLayout:
+    def test_profile_matches_geometry(self, room_panorama, lab1_plan):
+        estimator = RoomLayoutEstimator()
+        profile = estimator.boundary_profile(room_panorama)
+        room = lab1_plan.room_by_name("s1")
+        # Median distance should sit between the room's inradius-ish and
+        # circumradius-ish extents.
+        half_min = min(room.width, room.depth) / 2.0
+        assert half_min * 0.6 < np.median(profile) < half_min * 3.0
+
+    def test_estimate_dimensions(self, room_panorama, lab1_plan):
+        estimator = RoomLayoutEstimator()
+        layout = estimator.estimate(room_panorama)
+        room = lab1_plan.room_by_name("s1")
+        area_err = abs(layout.area() - room.area()) / room.area()
+        assert area_err < 0.35
+        ar_err = abs(layout.aspect_ratio() - room.aspect_ratio()) / room.aspect_ratio()
+        assert ar_err < 0.3
+
+    def test_estimate_deterministic(self, room_panorama):
+        config = CrowdMapConfig().with_overrides(layout_samples=500)
+        a = RoomLayoutEstimator(config).estimate(room_panorama)
+        b = RoomLayoutEstimator(config).estimate(room_panorama)
+        assert a.width == b.width and a.depth == b.depth
+
+    def test_detect_corners_returns_azimuths(self, room_panorama):
+        estimator = RoomLayoutEstimator()
+        corners = estimator.detect_corners(room_panorama)
+        for az in corners:
+            assert 0.0 <= az < 2 * math.pi + 1e-9
+
+    def test_layout_properties(self):
+        layout = RoomLayout(
+            center=Point(0, 0), width=6.0, depth=4.0, orientation=0.1,
+            consistency=0.0,
+        )
+        assert layout.area() == 24.0
+        assert layout.aspect_ratio() == 1.5
+
+
+class TestFloorPlanAssembly:
+    @pytest.fixture()
+    def skeleton(self):
+        trajectories = [
+            Trajectory.from_arrays(
+                np.array([[x, 2.0] for x in np.linspace(1, 19, 19)])
+            )
+            for _ in range(4)
+        ]
+        return reconstruct_skeleton(
+            trajectories, BoundingBox(0, 0, 20, 12), CrowdMapConfig()
+        )
+
+    def layout_at(self, x, y, w=4.0, d=4.0):
+        return RoomLayout(center=Point(x, y), width=w, depth=d,
+                          orientation=0.0, consistency=0.0)
+
+    def test_overlap_vector(self):
+        a = BoundingBox(0, 0, 4, 4)
+        b = BoundingBox(3, 0, 7, 4)
+        mtv = _overlap_vector(a, b)
+        assert mtv == (-1.0, 0.0)
+        assert _overlap_vector(a, BoundingBox(10, 10, 12, 12)) is None
+
+    def test_separates_overlapping_rooms(self, skeleton):
+        assembler = FloorPlanAssembler()
+        layouts = [self.layout_at(8.0, 7.0), self.layout_at(9.0, 7.0)]
+        result = assembler.arrange(skeleton, layouts, names=["a", "b"])
+        a, b = result.rooms
+        gap_x = abs(a.center.x - b.center.x)
+        gap_y = abs(a.center.y - b.center.y)
+        assert gap_x >= 3.5 or gap_y >= 3.5
+
+    def test_isolated_room_stays_anchored(self, skeleton):
+        assembler = FloorPlanAssembler()
+        layouts = [self.layout_at(5.0, 8.0)]
+        result = assembler.arrange(skeleton, layouts)
+        room = result.rooms[0]
+        assert math.hypot(room.center.x - 5.0, room.center.y - 8.0) < 0.5
+
+    def test_room_pushed_off_skeleton(self, skeleton):
+        assembler = FloorPlanAssembler()
+        # Anchored right on the corridor: must be nudged away.
+        layouts = [self.layout_at(10.0, 2.0)]
+        result = assembler.arrange(skeleton, layouts)
+        assert result.rooms[0].center.y != pytest.approx(2.0, abs=0.05)
+
+    def test_room_by_name(self, skeleton):
+        assembler = FloorPlanAssembler()
+        result = assembler.arrange(skeleton, [self.layout_at(5, 8)], names=["r"])
+        assert result.room_by_name("r").name == "r"
+        with pytest.raises(KeyError):
+            result.room_by_name("nope")
+
+    def test_render_ascii(self, skeleton):
+        assembler = FloorPlanAssembler()
+        result = assembler.arrange(skeleton, [self.layout_at(5, 8)], names=["r"])
+        art = result.render_ascii()
+        assert "#" in art  # hallway cells
+        assert "A" in art  # first room outline
+
+    def test_placed_room_bbox_orientation_aware(self):
+        layout = RoomLayout(center=Point(0, 0), width=4.0, depth=2.0,
+                            orientation=math.pi / 2.0, consistency=0.0)
+        room = PlacedRoom(layout=layout, center=Point(0, 0))
+        bb = room.bounding_box()
+        # Rotated 90 degrees: the bound swaps extents.
+        assert bb.width == pytest.approx(2.0, abs=0.01)
+        assert bb.height == pytest.approx(4.0, abs=0.01)

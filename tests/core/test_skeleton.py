@@ -1,0 +1,149 @@
+"""Tests for occupancy-grid floor path skeleton reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CrowdMapConfig
+from repro.core.skeleton import (
+    OccupancyGrid,
+    _binary_closing,
+    reconstruct_skeleton,
+)
+from repro.geometry.primitives import BoundingBox
+from repro.sensors.trajectory import Trajectory
+
+BOUNDS = BoundingBox(0.0, 0.0, 20.0, 10.0)
+
+
+def walk(points) -> Trajectory:
+    return Trajectory.from_arrays(np.asarray(points, dtype=float))
+
+
+class TestOccupancyGrid:
+    def test_dimensions(self):
+        grid = OccupancyGrid(BOUNDS, 0.5)
+        assert grid.rows == 20 and grid.cols == 40
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            OccupancyGrid(BOUNDS, 0.0)
+
+    def test_cell_roundtrip(self):
+        grid = OccupancyGrid(BOUNDS, 0.5)
+        row, col = grid.cell_of(3.3, 7.7)
+        center = grid.center_of(row, col)
+        assert abs(center.x - 3.3) <= 0.5
+        assert abs(center.y - 7.7) <= 0.5
+
+    def test_trajectory_marks_path(self):
+        grid = OccupancyGrid(BOUNDS, 0.5)
+        grid.add_trajectory(walk([[1, 5], [10, 5]]))
+        row, col = grid.cell_of(5.0, 5.0)
+        assert grid.counts[row, col] == 1
+
+    def test_each_trajectory_counts_once(self):
+        grid = OccupancyGrid(BOUNDS, 0.5)
+        # A trajectory crossing the same cell twice marks it once.
+        grid.add_trajectory(walk([[1, 5], [10, 5], [1, 5]]))
+        row, col = grid.cell_of(5.0, 5.0)
+        assert grid.counts[row, col] == 1
+
+    def test_multiple_trajectories_accumulate(self):
+        grid = OccupancyGrid(BOUNDS, 0.5)
+        for _ in range(3):
+            grid.add_trajectory(walk([[1, 5], [10, 5]]))
+        row, col = grid.cell_of(5.0, 5.0)
+        assert grid.counts[row, col] == 3
+
+    def test_splat_radius_widens(self):
+        narrow = OccupancyGrid(BOUNDS, 0.5)
+        narrow.add_trajectory(walk([[1, 5], [10, 5]]), splat_radius=0.0)
+        wide = OccupancyGrid(BOUNDS, 0.5)
+        wide.add_trajectory(walk([[1, 5], [10, 5]]), splat_radius=1.0)
+        assert wide.counts.sum() > narrow.counts.sum() * 2
+
+    def test_probabilities_normalized(self):
+        grid = OccupancyGrid(BOUNDS, 0.5)
+        grid.add_trajectory(walk([[1, 5], [10, 5]]))
+        grid.add_trajectory(walk([[1, 5], [5, 5]]))
+        probs = grid.probabilities()
+        assert probs.max() == 1.0
+        assert probs.min() == 0.0
+
+    def test_empty_probabilities(self):
+        grid = OccupancyGrid(BOUNDS, 0.5)
+        assert grid.probabilities().max() == 0.0
+
+    def test_out_of_bounds_samples_ignored(self):
+        grid = OccupancyGrid(BOUNDS, 0.5)
+        grid.add_trajectory(walk([[-5, -5], [30, 30]]))
+        assert np.isfinite(grid.counts).all()
+
+
+class TestBinaryClosing:
+    def test_bridges_small_gap(self):
+        mask = np.zeros((10, 20), dtype=bool)
+        mask[5, 2:9] = True
+        mask[5, 10:18] = True  # 1-cell gap at column 9
+        closed = _binary_closing(mask, radius=1)
+        assert closed[5, 9]
+
+    def test_zero_radius_identity(self):
+        mask = np.random.default_rng(0).random((8, 8)) > 0.5
+        assert np.array_equal(_binary_closing(mask, 0), mask)
+
+    def test_preserves_solid_regions(self):
+        mask = np.zeros((12, 12), dtype=bool)
+        mask[3:9, 3:9] = True
+        closed = _binary_closing(mask, radius=1)
+        assert closed[3:9, 3:9].all()
+
+
+class TestReconstructSkeleton:
+    def make_corridor_crowd(self, n=8, seed=0):
+        """Trajectories along an L-shaped corridor with noise + outliers."""
+        rng = np.random.default_rng(seed)
+        trajectories = []
+        for _ in range(n):
+            jitter = rng.normal(0, 0.2)
+            leg1 = [[x, 2.0 + jitter] for x in np.linspace(1, 15, 15)]
+            leg2 = [[15.0 + jitter, y] for y in np.linspace(2, 8, 7)]
+            trajectories.append(walk(leg1 + leg2))
+        # One bogus outlier trajectory far away.
+        trajectories.append(walk([[1, 9.5], [2, 9.5]]))
+        return trajectories
+
+    def test_reconstruction_covers_corridor(self):
+        config = CrowdMapConfig()
+        result = reconstruct_skeleton(self.make_corridor_crowd(), BOUNDS, config)
+        grid = result.grid
+        for x, y in [(5, 2), (10, 2), (15, 5)]:
+            row, col = grid.cell_of(x, y)
+            assert result.skeleton[row, col], f"corridor point ({x},{y}) missing"
+
+    def test_outlier_removed(self):
+        config = CrowdMapConfig()
+        result = reconstruct_skeleton(self.make_corridor_crowd(), BOUNDS, config)
+        row, col = result.grid.cell_of(1.5, 9.5)
+        assert not result.skeleton[row, col]
+
+    def test_intermediates_exposed(self):
+        result = reconstruct_skeleton(self.make_corridor_crowd(), BOUNDS)
+        assert result.probability.max() == 1.0
+        assert result.binarized.any()
+        assert result.alpha_mask.any()
+        assert result.skeleton.any()
+
+    def test_empty_input(self):
+        result = reconstruct_skeleton([], BOUNDS)
+        assert not result.skeleton.any()
+
+    def test_area_method(self):
+        result = reconstruct_skeleton(self.make_corridor_crowd(), BOUNDS)
+        assert result.area() == pytest.approx(
+            result.skeleton.sum() * result.cell_size**2
+        )
+
+    def test_single_short_trajectory(self):
+        result = reconstruct_skeleton([walk([[5, 5], [6, 5]])], BOUNDS)
+        assert result.skeleton.sum() >= 0  # must not crash

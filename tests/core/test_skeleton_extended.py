@@ -1,0 +1,115 @@
+"""Extended skeleton tests: property-based LCSS checks and failure injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import lcss_similarity
+from repro.core.config import CrowdMapConfig
+from repro.core.skeleton import reconstruct_skeleton
+from repro.geometry.primitives import BoundingBox
+from repro.sensors.trajectory import Trajectory
+
+
+def brute_force_lcss(a, b, epsilon):
+    """Reference unbanded LCSS for cross-checking the banded DP."""
+    n, m = len(a), len(b)
+    dp = np.zeros((n + 1, m + 1), dtype=int)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            dx = a[i - 1][0] - b[j - 1][0]
+            dy = a[i - 1][1] - b[j - 1][1]
+            if dx * dx + dy * dy <= epsilon * epsilon:
+                dp[i][j] = 1 + dp[i - 1][j - 1]
+            else:
+                dp[i][j] = max(dp[i - 1][j], dp[i][j - 1])
+    return int(dp[n][m])
+
+
+class TestLcssProperties:
+    @given(
+        st.lists(st.tuples(st.floats(-5, 5), st.floats(-5, 5)),
+                 min_size=1, max_size=12),
+        st.lists(st.tuples(st.floats(-5, 5), st.floats(-5, 5)),
+                 min_size=1, max_size=12),
+        st.floats(0.1, 3.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_unbanded_matches_brute_force(self, a, b, epsilon):
+        """With delta wide open, the banded DP equals the textbook LCSS."""
+        arr_a = np.array(a)
+        arr_b = np.array(b)
+        length, _ = lcss_similarity(arr_a, arr_b, epsilon, delta=100)
+        assert length == brute_force_lcss(arr_a, arr_b, epsilon)
+
+    @given(
+        st.lists(st.tuples(st.floats(-5, 5), st.floats(-5, 5)),
+                 min_size=2, max_size=15),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, a):
+        arr = np.array(a)
+        rng = np.random.default_rng(0)
+        other = arr + rng.normal(0, 0.5, arr.shape)
+        l_ab, _ = lcss_similarity(arr, other, 1.0, delta=100)
+        l_ba, _ = lcss_similarity(other, arr, 1.0, delta=100)
+        assert l_ab == l_ba
+
+    @given(st.integers(1, 20))
+    @settings(max_examples=20)
+    def test_self_similarity_is_one(self, n):
+        pts = np.array([[i * 0.9, (i % 3) * 0.4] for i in range(n)])
+        length, s3 = lcss_similarity(pts, pts, 0.1, delta=5)
+        assert length == n and s3 == 1.0
+
+
+BOUNDS = BoundingBox(0, 0, 24, 12)
+
+
+def corridor_walks(n, noise, rng):
+    walks = []
+    for _ in range(n):
+        jitter = rng.normal(0, noise, 20)
+        pts = np.stack([np.linspace(1, 22, 20), 3.0 + jitter], axis=1)
+        walks.append(Trajectory.from_arrays(pts))
+    return walks
+
+
+class TestSkeletonFailureInjection:
+    def test_survives_heavy_outlier_contamination(self):
+        """A quarter of garbage trajectories must not derail the corridor."""
+        rng = np.random.default_rng(0)
+        good = corridor_walks(9, 0.15, rng)
+        garbage = [
+            Trajectory.from_arrays(rng.uniform(0, 24, (6, 2)))
+            for _ in range(3)
+        ]
+        result = reconstruct_skeleton(good + garbage, BOUNDS, CrowdMapConfig())
+        grid = result.grid
+        row, col = grid.cell_of(12.0, 3.0)
+        assert result.skeleton[row, col], "corridor core lost to outliers"
+
+    def test_duplicate_trajectories_idempotent_shape(self):
+        rng = np.random.default_rng(1)
+        walks = corridor_walks(4, 0.1, rng)
+        once = reconstruct_skeleton(walks, BOUNDS, CrowdMapConfig())
+        tripled = reconstruct_skeleton(walks * 3, BOUNDS, CrowdMapConfig())
+        # More copies of identical data must not change the shape much.
+        overlap = np.count_nonzero(once.skeleton & tripled.skeleton)
+        union = np.count_nonzero(once.skeleton | tripled.skeleton)
+        assert union > 0 and overlap / union > 0.8
+
+    def test_zero_length_trajectories_ignored(self):
+        rng = np.random.default_rng(2)
+        walks = corridor_walks(4, 0.1, rng)
+        stubs = [Trajectory(points=[]) for _ in range(3)]
+        result = reconstruct_skeleton(walks + stubs, BOUNDS, CrowdMapConfig())
+        assert result.skeleton.any()
+
+    def test_nonfinite_free_output(self):
+        rng = np.random.default_rng(3)
+        result = reconstruct_skeleton(
+            corridor_walks(3, 0.2, rng), BOUNDS, CrowdMapConfig()
+        )
+        assert np.isfinite(result.probability).all()

@@ -1,0 +1,52 @@
+"""Tests for the crowd coverage analysis."""
+
+import pytest
+
+from repro.eval.coverage import coverage_report, hallway_coverage, room_coverage
+
+
+class TestCoverage:
+    def test_report_structure(self, small_dataset):
+        report = coverage_report(small_dataset)
+        assert 0.0 < report.hallway_covered_fraction <= 1.0
+        assert report.walks == len(small_dataset.sws_sessions())
+        assert report.spins == len(small_dataset.srs_sessions())
+        assert report.total_walk_length_m > 10.0
+
+    def test_rooms_visited_matches_srs(self, small_dataset):
+        report = coverage_report(small_dataset)
+        spun = {s.room_name for s in small_dataset.srs_sessions()}
+        for name, visited in report.rooms_visited.items():
+            assert visited == (name in spun)
+
+    def test_rooms_fraction(self, small_dataset, lab1_plan):
+        report = coverage_report(small_dataset)
+        expected = len(
+            {s.room_name for s in small_dataset.srs_sessions()}
+        ) / len(lab1_plan.rooms)
+        assert report.rooms_visited_fraction == pytest.approx(expected)
+
+    def test_empty_sessions(self, lab1_plan):
+        assert hallway_coverage([], lab1_plan) == 0.0
+        assert not any(room_coverage([], lab1_plan).values())
+
+    def test_reach_monotonicity(self, small_dataset, lab1_plan):
+        tight = hallway_coverage(small_dataset.sessions, lab1_plan, reach_m=0.3)
+        loose = hallway_coverage(small_dataset.sessions, lab1_plan, reach_m=2.0)
+        assert loose >= tight
+
+    def test_coverage_bounds_recall(self, small_dataset, lab1_plan):
+        """Reconstruction recall cannot exceed the physical coverage much.
+
+        (The splat radius plus alpha fill can slightly exceed the walked
+        band, hence the tolerance.)
+        """
+        from repro.core import CrowdMapConfig, CrowdMapPipeline
+        from repro.eval import evaluate_hallway_shape
+
+        coverage = hallway_coverage(small_dataset.sessions, lab1_plan,
+                                    reach_m=1.5)
+        pipe = CrowdMapPipeline(CrowdMapConfig())
+        _, _, skeleton = pipe.build_pathway(small_dataset.sws_sessions())
+        score = evaluate_hallway_shape(skeleton, lab1_plan)
+        assert score.recall <= coverage + 0.15

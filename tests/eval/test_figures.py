@@ -1,0 +1,67 @@
+"""Tests for ASCII figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import render_ascii_plot, render_cdf_plot, render_sparkline
+
+
+class TestAsciiPlot:
+    def test_plots_series_markers(self):
+        text = render_ascii_plot(
+            "demo",
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            width=20, height=8,
+        )
+        assert "demo" in text
+        assert "O=a" in text and "*=b" in text
+        assert "O" in text and "*" in text
+
+    def test_empty(self):
+        assert "(no data)" in render_ascii_plot("t", {"a": []})
+
+    def test_constant_series(self):
+        text = render_ascii_plot("t", {"a": [(0, 5), (1, 5)]}, width=10, height=4)
+        assert "O" in text
+
+    def test_axis_labels(self):
+        text = render_ascii_plot(
+            "t", {"a": [(0, 0), (2, 4)]}, x_label="metres", y_label="CDF"
+        )
+        assert "x: metres" in text and "y: CDF" in text
+
+    def test_extents_rendered(self):
+        text = render_ascii_plot("t", {"a": [(0.0, 0.0), (10.0, 1.0)]})
+        assert "10" in text
+
+
+class TestCdfPlot:
+    def test_renders_staircase(self):
+        rng = np.random.default_rng(0)
+        text = render_cdf_plot(
+            "errors", {"visual": rng.random(40), "inertial": rng.random(40) * 2}
+        )
+        assert "errors" in text
+        assert "O=visual" in text
+
+    def test_empty_samples(self):
+        assert "(no samples)" in render_cdf_plot("t", {"a": []})
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(render_sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_ramp(self):
+        line = render_sparkline(range(8))
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_constant(self):
+        assert render_sparkline([2, 2, 2]) == "▄▄▄"
+
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+    def test_downsampling(self):
+        line = render_sparkline(range(100), width=10)
+        assert len(line) == 10

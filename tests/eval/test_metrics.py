@@ -1,0 +1,155 @@
+"""Tests for the evaluation metrics, CDF helpers and report rendering."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import CrowdMapConfig
+from repro.core.room_layout import RoomLayout
+from repro.core.skeleton import reconstruct_skeleton
+from repro.eval.cdf import cdf_at, empirical_cdf, mean_of, percentile_of
+from repro.eval.hallway_metrics import evaluate_hallway_shape
+from repro.eval.report import render_cdf_series, render_comparison, render_table
+from repro.eval.room_metrics import (
+    evaluate_rooms,
+    room_area_error,
+    room_aspect_ratio_error,
+    room_location_error,
+)
+from repro.geometry.primitives import Point
+from repro.sensors.trajectory import Trajectory
+
+
+class TestCdf:
+    def test_empirical_cdf(self):
+        xs, ps = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(ps) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        xs, ps = empirical_cdf([])
+        assert xs.size == 0 and ps.size == 0
+        assert cdf_at([], 1.0) == 0.0
+        assert mean_of([]) == 0.0
+
+    def test_cdf_at(self):
+        values = [1, 2, 3, 4]
+        assert cdf_at(values, 2.5) == 0.5
+        assert cdf_at(values, 4.0) == 1.0
+        assert cdf_at(values, 0.0) == 0.0
+
+    def test_percentile(self):
+        assert percentile_of(range(101), 90) == pytest.approx(90.0)
+        assert percentile_of([], 50) == 0.0
+
+
+class TestRoomMetrics:
+    def room(self, width=6.0, depth=4.0):
+        from repro.world.floorplan_model import Room
+
+        return Room("r", Point(10.0, 10.0), width, depth)
+
+    def layout(self, width, depth, cx=10.0, cy=10.0):
+        return RoomLayout(center=Point(cx, cy), width=width, depth=depth,
+                          orientation=0.0, consistency=0.0)
+
+    def test_area_error(self):
+        assert room_area_error(self.layout(6.0, 4.0), self.room()) == 0.0
+        assert room_area_error(self.layout(6.0, 2.0), self.room()) == pytest.approx(0.5)
+
+    def test_aspect_ratio_error(self):
+        assert room_aspect_ratio_error(self.layout(6.0, 4.0), self.room()) == 0.0
+        # Swapping axes does not change the AR convention (long/short).
+        assert room_aspect_ratio_error(self.layout(4.0, 6.0), self.room()) == 0.0
+
+    def test_location_error(self):
+        assert room_location_error(13.0, 14.0, self.room()) == 5.0
+
+    def test_evaluate_rooms_report(self):
+        layouts = [self.layout(6.3, 4.1, cx=11.0)]
+        from repro.world.buildings import build_lab1
+
+        plan = build_lab1()
+        true_room = plan.rooms[0]
+        layouts = [
+            RoomLayout(center=true_room.center, width=true_room.width + 0.5,
+                       depth=true_room.depth, orientation=0.0, consistency=0.0)
+        ]
+        report = evaluate_rooms(layouts, [true_room.name], plan)
+        assert true_room.name in report.area_errors
+        assert report.mean_area_error() > 0
+        assert report.mean_location_error() == 0.0
+
+    def test_evaluate_rooms_skips_unknown_hints(self):
+        from repro.world.buildings import build_lab1
+
+        plan = build_lab1()
+        report = evaluate_rooms([self.layout(5, 5)], ["not-a-room"], plan)
+        assert not report.area_errors
+
+    def test_evaluate_rooms_none_hint(self):
+        from repro.world.buildings import build_lab1
+
+        plan = build_lab1()
+        report = evaluate_rooms([self.layout(5, 5)], [None], plan)
+        assert not report.area_errors
+
+
+class TestHallwayMetrics:
+    def test_perfect_reconstruction_scores_high(self, lab1_plan):
+        """Feeding ground-truth corridor centerlines should score well."""
+        config = CrowdMapConfig().with_overrides(trajectory_splat_radius=1.1)
+        trajectories = []
+        for start, end in [("sw", "se"), ("se", "ne"), ("ne", "nw"), ("nw", "sw")]:
+            route = lab1_plan.route_between(start, end)
+            pts = []
+            for a, b in zip(route[:-1], route[1:]):
+                n = max(2, int(a.distance_to(b)))
+                pts.extend(
+                    [
+                        (a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))
+                        for t in np.linspace(0, 1, n)
+                    ]
+                )
+            trajectories.append(Trajectory.from_arrays(np.array(pts)))
+        skeleton = reconstruct_skeleton(
+            trajectories * 3, lab1_plan.bounds, config
+        )
+        score = evaluate_hallway_shape(skeleton, lab1_plan)
+        assert score.recall > 0.6
+        assert score.precision > 0.6
+        assert score.f_measure > 0.6
+
+    def test_as_row_formatting(self, lab1_plan):
+        config = CrowdMapConfig()
+        skeleton = reconstruct_skeleton([], lab1_plan.bounds, config)
+        score = evaluate_hallway_shape(skeleton, lab1_plan)
+        row = score.as_row()
+        assert row[0] == "Lab1"
+        assert row[1].endswith("%")
+
+
+class TestReports:
+    def test_render_table(self):
+        text = render_table("T", ["a", "bb"], [[1, 2], ["xxx", 4]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 6
+
+    def test_render_cdf_series(self):
+        text = render_cdf_series(
+            "errors", {"visual": [0.1, 0.2], "inertial": [0.3, 0.5]},
+            thresholds=[0.25], unit="%",
+        )
+        assert "visual" in text and "inertial" in text
+        assert "CDF @ 0.25%" in text
+
+    def test_render_cdf_series_empty(self):
+        assert "(no samples)" in render_cdf_series("t", {"a": []})
+
+    def test_render_comparison(self):
+        text = render_comparison("cmp", {"p": 0.9}, {"p": 0.88, "r": 0.93})
+        assert "measured" in text and "paper" in text
+        assert "0.9" in text and "0.88" in text

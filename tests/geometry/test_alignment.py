@@ -1,0 +1,72 @@
+"""Tests for the skeleton-to-ground-truth alignment search."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.alignment import _rotate_mask, _shift_mask, align_masks
+
+
+def l_shape() -> np.ndarray:
+    mask = np.zeros((40, 40), dtype=bool)
+    mask[5:10, 5:30] = True  # horizontal bar
+    mask[5:30, 5:10] = True  # vertical bar
+    return mask
+
+
+class TestShiftRotate:
+    def test_shift_moves_content(self):
+        m = np.zeros((10, 10), dtype=bool)
+        m[2, 3] = True
+        s = _shift_mask(m, 4, -1)
+        assert s[6, 2]
+        assert s.sum() == 1
+
+    def test_shift_drops_out_of_frame(self):
+        m = np.zeros((5, 5), dtype=bool)
+        m[4, 4] = True
+        s = _shift_mask(m, 3, 3)
+        assert s.sum() == 0
+
+    def test_rotate_identity(self):
+        m = l_shape()
+        assert np.array_equal(_rotate_mask(m, 0), m)
+        assert np.array_equal(_rotate_mask(m, 360), m)
+
+    def test_rotate_90_preserves_count_roughly(self):
+        m = l_shape()
+        r = _rotate_mask(m, 90)
+        assert r.sum() == pytest.approx(m.sum(), rel=0.05)
+
+
+class TestAlignMasks:
+    def test_identical_masks_score_one(self):
+        m = l_shape()
+        result = align_masks(m, m)
+        assert result.f_measure == pytest.approx(1.0)
+        assert result.precision == pytest.approx(1.0)
+        assert result.recall == pytest.approx(1.0)
+
+    def test_translated_mask_recovered(self):
+        truth = l_shape()
+        moved = _shift_mask(truth, 3, -4)
+        result = align_masks(moved, truth)
+        assert result.f_measure > 0.95
+
+    def test_rotated_mask_recovered(self):
+        truth = l_shape()
+        rotated = _rotate_mask(truth, 90)
+        result = align_masks(rotated, truth)
+        assert result.f_measure > 0.9
+        assert result.rotation_deg in (90.0, 270.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            align_masks(np.zeros((4, 4), bool), np.zeros((5, 5), bool))
+
+    def test_partial_overlap_scores_between(self):
+        truth = l_shape()
+        half = truth.copy()
+        half[:, 20:] = False
+        result = align_masks(half, truth)
+        assert 0.2 < result.f_measure < 1.0
+        assert result.precision > result.recall  # generated under-covers

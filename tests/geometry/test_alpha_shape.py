@@ -1,0 +1,74 @@
+"""Tests for alpha-shape boundary extraction."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.alpha_shape import alpha_shape_edges, alpha_shape_mask
+from repro.geometry.primitives import BoundingBox
+
+
+def dense_square(n: int = 12) -> np.ndarray:
+    xs, ys = np.meshgrid(np.linspace(0, 4, n), np.linspace(0, 4, n))
+    return np.stack([xs.ravel(), ys.ravel()], axis=1)
+
+
+BOUNDS = BoundingBox(-0.5, -0.5, 4.5, 4.5)
+
+
+class TestAlphaShapeMask:
+    def test_square_recovered(self):
+        mask = alpha_shape_mask(dense_square(), alpha=1.0, bounds=BOUNDS, cell_size=0.1)
+        area = mask.sum() * 0.01
+        assert area == pytest.approx(16.0, rel=0.08)
+
+    def test_tiny_alpha_keeps_little(self):
+        # 1/alpha smaller than the point spacing's circumradii kills all
+        # triangles; the fallback marks just the input points.
+        points = dense_square(6)
+        mask = alpha_shape_mask(points, alpha=50.0, bounds=BOUNDS, cell_size=0.1)
+        assert mask.sum() <= len(points)
+
+    def test_two_clusters_stay_separate(self):
+        a = dense_square(6)
+        b = dense_square(6) + np.array([20.0, 0.0])
+        points = np.vstack([a, b])
+        bounds = BoundingBox(-1, -1, 25, 5)
+        mask = alpha_shape_mask(points, alpha=0.8, bounds=bounds, cell_size=0.25)
+        # The gap between clusters (x in [5, 19]) must stay empty.
+        gap_cols = slice(int(6 / 0.25), int(18 / 0.25))
+        assert mask[:, gap_cols].sum() == 0
+
+    def test_degenerate_collinear_points(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [3.0, 0.0]])
+        mask = alpha_shape_mask(points, alpha=1.0, bounds=BOUNDS, cell_size=0.5)
+        # Falls back to marking input points rather than crashing.
+        assert mask.sum() >= 1
+
+    def test_requires_positive_alpha(self):
+        with pytest.raises(ValueError):
+            alpha_shape_mask(dense_square(), alpha=0.0, bounds=BOUNDS, cell_size=0.1)
+
+
+class TestAlphaShapeEdges:
+    def test_boundary_edge_count_square(self):
+        edges = alpha_shape_edges(dense_square(), alpha=1.0)
+        assert len(edges) > 0
+        # All boundary edges of a filled square lie on its perimeter.
+        for seg in edges:
+            for p in (seg.a, seg.b):
+                on_perimeter = (
+                    abs(p.x) < 1e-9
+                    or abs(p.x - 4.0) < 1e-9
+                    or abs(p.y) < 1e-9
+                    or abs(p.y - 4.0) < 1e-9
+                )
+                assert on_perimeter
+
+    def test_total_boundary_length(self):
+        edges = alpha_shape_edges(dense_square(), alpha=1.0)
+        total = sum(e.length() for e in edges)
+        assert total == pytest.approx(16.0, rel=0.1)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            alpha_shape_edges(np.array([[0.0, 0.0], [1.0, 1.0]]), alpha=1.0)

@@ -1,0 +1,170 @@
+"""Tests for rasterization and mask-based polygon operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.polygon_ops import (
+    convex_hull,
+    mask_centroid,
+    mask_iou,
+    mask_precision_recall,
+    point_in_polygon,
+    rasterize_polygon,
+    rasterize_polygons,
+)
+from repro.geometry.primitives import BoundingBox, Point, Polygon
+
+
+BOUNDS = BoundingBox(-1.0, -1.0, 6.0, 6.0)
+
+
+class TestRasterize:
+    def test_area_matches_polygon(self):
+        rect = Polygon.rectangle(Point(2, 2), 3, 2)
+        mask = rasterize_polygon(rect, BOUNDS, 0.05)
+        assert mask.sum() * 0.05**2 == pytest.approx(6.0, rel=0.02)
+
+    def test_row_zero_is_south(self):
+        # A polygon hugging the southern edge must fill low row indices.
+        rect = Polygon.rectangle(Point(2, -0.5), 2, 1)
+        mask = rasterize_polygon(rect, BOUNDS, 0.1)
+        rows = np.nonzero(mask)[0]
+        assert rows.min() <= 2
+
+    def test_invalid_cell_size(self):
+        rect = Polygon.rectangle(Point(0, 0), 1, 1)
+        with pytest.raises(ValueError):
+            rasterize_polygon(rect, BOUNDS, 0.0)
+
+    def test_triangle_half_area(self):
+        tri = Polygon([Point(0, 0), Point(4, 0), Point(0, 4)])
+        mask = rasterize_polygon(tri, BOUNDS, 0.05)
+        assert mask.sum() * 0.05**2 == pytest.approx(8.0, rel=0.03)
+
+    def test_union_rasterization(self):
+        a = Polygon.rectangle(Point(1, 1), 2, 2)
+        b = Polygon.rectangle(Point(4, 4), 2, 2)
+        mask = rasterize_polygons([a, b], BOUNDS, 0.1)
+        assert mask.sum() * 0.01 == pytest.approx(8.0, rel=0.05)
+
+    def test_empty_polygon_list(self):
+        mask = rasterize_polygons([], BOUNDS, 0.5)
+        assert mask.sum() == 0
+
+    def test_overlapping_union_not_double_counted(self):
+        a = Polygon.rectangle(Point(2, 2), 2, 2)
+        mask = rasterize_polygons([a, a], BOUNDS, 0.1)
+        assert mask.sum() * 0.01 == pytest.approx(4.0, rel=0.05)
+
+
+class TestMaskMetrics:
+    def test_iou_identical(self):
+        m = np.zeros((10, 10), dtype=bool)
+        m[2:5, 3:7] = True
+        assert mask_iou(m, m) == 1.0
+
+    def test_iou_disjoint(self):
+        a = np.zeros((10, 10), dtype=bool)
+        b = np.zeros((10, 10), dtype=bool)
+        a[0, 0] = True
+        b[5, 5] = True
+        assert mask_iou(a, b) == 0.0
+
+    def test_iou_empty(self):
+        a = np.zeros((4, 4), dtype=bool)
+        assert mask_iou(a, a) == 0.0
+
+    def test_iou_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mask_iou(np.zeros((2, 2), bool), np.zeros((3, 3), bool))
+
+    def test_precision_recall_perfect(self):
+        m = np.zeros((8, 8), dtype=bool)
+        m[1:4, 1:4] = True
+        p, r, f = mask_precision_recall(m, m)
+        assert (p, r, f) == (1.0, 1.0, 1.0)
+
+    def test_precision_recall_overgenerated(self):
+        truth = np.zeros((10, 10), dtype=bool)
+        truth[0:5, :] = True
+        generated = np.ones((10, 10), dtype=bool)
+        p, r, f = mask_precision_recall(generated, truth)
+        assert p == pytest.approx(0.5)
+        assert r == 1.0
+        assert f == pytest.approx(2 * 0.5 / 1.5)
+
+    def test_precision_recall_empty_generated(self):
+        truth = np.ones((4, 4), dtype=bool)
+        p, r, f = mask_precision_recall(np.zeros((4, 4), bool), truth)
+        assert (p, r, f) == (0.0, 0.0, 0.0)
+
+    def test_mask_centroid(self):
+        m = np.zeros((10, 10), dtype=bool)
+        m[4, 4] = True
+        bounds = BoundingBox(0, 0, 10, 10)
+        c = mask_centroid(m, bounds, 1.0)
+        assert (c.x, c.y) == pytest.approx((4.5, 4.5))
+
+
+class TestPointInPolygon:
+    def test_inside_outside(self):
+        rect = Polygon.rectangle(Point(0, 0), 2, 2)
+        assert point_in_polygon(Point(0, 0), rect)
+        assert not point_in_polygon(Point(3, 0), rect)
+
+    def test_concave_polygon(self):
+        # A "C" shape: the notch is outside.
+        poly = Polygon(
+            [
+                Point(0, 0),
+                Point(4, 0),
+                Point(4, 1),
+                Point(1, 1),
+                Point(1, 3),
+                Point(4, 3),
+                Point(4, 4),
+                Point(0, 4),
+            ]
+        )
+        assert point_in_polygon(Point(0.5, 2.0), poly)
+        assert not point_in_polygon(Point(2.5, 2.0), poly)
+
+
+class TestConvexHull:
+    def test_square_hull(self):
+        pts = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1), Point(0.5, 0.5)]
+        hull = convex_hull(pts)
+        assert hull.area() == pytest.approx(1.0)
+        assert len(hull) == 4
+
+    def test_collinear_raises(self):
+        with pytest.raises(ValueError):
+            convex_hull([Point(0, 0), Point(1, 1), Point(2, 2)])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            convex_hull([Point(0, 0), Point(1, 1)])
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-10, 10), st.floats(-10, 10)),
+            min_size=4,
+            max_size=30,
+            unique=True,
+        )
+    )
+    @settings(max_examples=40)
+    def test_hull_contains_all_points(self, coords):
+        pts = [Point(x, y) for x, y in coords]
+        try:
+            hull = convex_hull(pts)
+        except ValueError:
+            return  # collinear draws are legitimately rejected
+        for p in pts:
+            inside = point_in_polygon(p, hull)
+            near_boundary = min(
+                e.distance_to_point(p) for e in hull.edges()
+            ) < 1e-6
+            assert inside or near_boundary

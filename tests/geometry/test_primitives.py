@@ -1,0 +1,255 @@
+"""Unit and property tests for the geometric primitives."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.primitives import (
+    BoundingBox,
+    Point,
+    Polygon,
+    Segment,
+    Transform2D,
+    angle_difference,
+    wrap_angle,
+)
+
+finite = st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False)
+angles = st.floats(-10.0, 10.0, allow_nan=False)
+
+
+class TestAngles:
+    def test_wrap_angle_identity_in_range(self):
+        assert wrap_angle(1.0) == pytest.approx(1.0)
+        assert wrap_angle(-3.0) == pytest.approx(-3.0)
+
+    def test_wrap_angle_wraps_past_pi(self):
+        assert wrap_angle(math.pi + 0.5) == pytest.approx(-math.pi + 0.5)
+
+    def test_wrap_angle_pi_maps_to_pi(self):
+        assert wrap_angle(math.pi) == pytest.approx(math.pi)
+        assert wrap_angle(-math.pi) == pytest.approx(math.pi)
+
+    @given(angles)
+    def test_wrap_angle_range(self, theta):
+        wrapped = wrap_angle(theta)
+        assert -math.pi < wrapped <= math.pi + 1e-12
+
+    @given(angles)
+    def test_wrap_preserves_direction(self, theta):
+        wrapped = wrap_angle(theta)
+        assert math.cos(wrapped) == pytest.approx(math.cos(theta), abs=1e-9)
+        assert math.sin(wrapped) == pytest.approx(math.sin(theta), abs=1e-9)
+
+    def test_angle_difference_signed(self):
+        assert angle_difference(0.2, 0.1) == pytest.approx(0.1)
+        assert angle_difference(0.1, 0.2) == pytest.approx(-0.1)
+
+    def test_angle_difference_across_wrap(self):
+        assert angle_difference(math.pi - 0.05, -math.pi + 0.05) == pytest.approx(
+            -0.1
+        )
+
+
+class TestPoint:
+    def test_arithmetic(self):
+        p = Point(1.0, 2.0) + Point(3.0, -1.0)
+        assert (p.x, p.y) == (4.0, 1.0)
+        q = Point(1.0, 2.0) - Point(3.0, -1.0)
+        assert (q.x, q.y) == (-2.0, 3.0)
+        r = 2.0 * Point(1.0, 2.0)
+        assert (r.x, r.y) == (2.0, 4.0)
+
+    def test_dot_and_cross(self):
+        assert Point(1, 0).dot(Point(0, 1)) == 0.0
+        assert Point(1, 0).cross(Point(0, 1)) == 1.0
+        assert Point(0, 1).cross(Point(1, 0)) == -1.0
+
+    def test_norm_distance(self):
+        assert Point(3, 4).norm() == 5.0
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_normalized_raises_on_zero(self):
+        with pytest.raises(ValueError):
+            Point(0.0, 0.0).normalized()
+
+    def test_rotated_quarter_turn(self):
+        p = Point(1.0, 0.0).rotated(math.pi / 2.0)
+        assert p.x == pytest.approx(0.0, abs=1e-12)
+        assert p.y == pytest.approx(1.0)
+
+    def test_heading(self):
+        assert Point(0.0, 1.0).heading() == pytest.approx(math.pi / 2.0)
+
+    def test_from_polar_roundtrip(self):
+        p = Point.from_polar(2.0, 0.7)
+        assert p.norm() == pytest.approx(2.0)
+        assert p.heading() == pytest.approx(0.7)
+
+    @given(finite, finite, angles)
+    def test_rotation_preserves_norm(self, x, y, theta):
+        p = Point(x, y)
+        assert p.rotated(theta).norm() == pytest.approx(p.norm(), abs=1e-6)
+
+
+class TestSegment:
+    def test_length_direction(self):
+        s = Segment(Point(0, 0), Point(3, 4))
+        assert s.length() == 5.0
+        d = s.direction()
+        assert (d.x, d.y) == pytest.approx((0.6, 0.8))
+
+    def test_midpoint_and_point_at(self):
+        s = Segment(Point(0, 0), Point(2, 2))
+        assert tuple(s.midpoint()) == (1.0, 1.0)
+        assert tuple(s.point_at(0.25)) == (0.5, 0.5)
+
+    def test_distance_to_point(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.distance_to_point(Point(5, 3)) == 3.0
+        # Beyond the endpoint the distance is to the endpoint.
+        assert s.distance_to_point(Point(13, 4)) == 5.0
+
+    def test_intersects_crossing(self):
+        a = Segment(Point(0, 0), Point(2, 2))
+        b = Segment(Point(0, 2), Point(2, 0))
+        assert a.intersects(b)
+        p = a.intersection(b)
+        assert (p.x, p.y) == pytest.approx((1.0, 1.0))
+
+    def test_disjoint_segments(self):
+        a = Segment(Point(0, 0), Point(1, 0))
+        b = Segment(Point(0, 1), Point(1, 1))
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_parallel_touching_endpoint(self):
+        a = Segment(Point(0, 0), Point(1, 0))
+        b = Segment(Point(1, 0), Point(2, 0))
+        assert a.intersects(b)
+
+    def test_degenerate_distance(self):
+        s = Segment(Point(1, 1), Point(1, 1))
+        assert s.distance_to_point(Point(4, 5)) == 5.0
+
+
+class TestBoundingBox:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1, 0, 0, 1)
+
+    def test_dimensions(self):
+        bb = BoundingBox(0, 0, 4, 2)
+        assert bb.width == 4 and bb.height == 2
+        assert bb.area() == 8
+        assert tuple(bb.center) == (2.0, 1.0)
+
+    def test_contains(self):
+        bb = BoundingBox(0, 0, 1, 1)
+        assert bb.contains(Point(0.5, 0.5))
+        assert bb.contains(Point(0, 0))  # boundary
+        assert not bb.contains(Point(1.5, 0.5))
+
+    def test_expand_union(self):
+        bb = BoundingBox(0, 0, 1, 1).expanded(1)
+        assert bb.min_x == -1 and bb.max_y == 2
+        u = BoundingBox(0, 0, 1, 1).union(BoundingBox(2, -1, 3, 0.5))
+        assert (u.min_x, u.min_y, u.max_x, u.max_y) == (0, -1, 3, 1)
+
+    def test_of_points(self):
+        bb = BoundingBox.of_points([Point(1, 5), Point(-2, 3)])
+        assert (bb.min_x, bb.min_y, bb.max_x, bb.max_y) == (-2, 3, 1, 5)
+        with pytest.raises(ValueError):
+            BoundingBox.of_points([])
+
+
+class TestPolygon:
+    def test_requires_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_rectangle_area_perimeter(self):
+        rect = Polygon.rectangle(Point(0, 0), 4, 2)
+        assert rect.area() == pytest.approx(8.0)
+        assert rect.perimeter() == pytest.approx(12.0)
+
+    def test_signed_area_winding(self):
+        ccw = Polygon([Point(0, 0), Point(1, 0), Point(1, 1)])
+        cw = Polygon([Point(0, 0), Point(1, 1), Point(1, 0)])
+        assert ccw.signed_area() > 0
+        assert cw.signed_area() < 0
+        assert ccw.area() == cw.area()
+
+    def test_centroid_of_rectangle(self):
+        rect = Polygon.rectangle(Point(3, -2), 2, 2)
+        c = rect.centroid()
+        assert (c.x, c.y) == pytest.approx((3.0, -2.0))
+
+    def test_contains(self):
+        rect = Polygon.rectangle(Point(0, 0), 2, 2)
+        assert rect.contains(Point(0.5, 0.5))
+        assert not rect.contains(Point(2, 2))
+
+    def test_translate_rotate_scale_preserve_area(self):
+        rect = Polygon.rectangle(Point(0, 0), 3, 2)
+        assert rect.translated(Point(5, 5)).area() == pytest.approx(6.0)
+        assert rect.rotated(0.7).area() == pytest.approx(6.0)
+        assert rect.scaled(2.0).area() == pytest.approx(24.0)
+
+    def test_rotated_rectangle_bounding_box_grows(self):
+        rect = Polygon.rectangle(Point(0, 0), 2, 1, theta=math.pi / 4)
+        bb = rect.bounding_box()
+        assert bb.width > 2 * math.cos(math.pi / 4)
+
+    @given(st.floats(0.5, 50), st.floats(0.5, 50), angles)
+    @settings(max_examples=30)
+    def test_rectangle_area_invariant_under_rotation(self, w, h, theta):
+        rect = Polygon.rectangle(Point(0, 0), w, h, theta=theta)
+        assert rect.area() == pytest.approx(w * h, rel=1e-9)
+
+
+class TestTransform2D:
+    def test_identity(self):
+        t = Transform2D.identity()
+        p = t.apply(Point(3, 4))
+        assert (p.x, p.y) == (3, 4)
+
+    def test_apply_rotation_translation(self):
+        t = Transform2D(theta=math.pi / 2.0, tx=1.0, ty=0.0)
+        p = t.apply(Point(1.0, 0.0))
+        assert p.x == pytest.approx(1.0, abs=1e-12)
+        assert p.y == pytest.approx(1.0)
+
+    def test_apply_array_matches_apply(self):
+        t = Transform2D(theta=0.3, tx=-2.0, ty=4.0)
+        pts = np.array([[1.0, 2.0], [-3.0, 0.5]])
+        moved = t.apply_array(pts)
+        for row, src in zip(moved, pts):
+            p = t.apply(Point(*src))
+            assert row[0] == pytest.approx(p.x)
+            assert row[1] == pytest.approx(p.y)
+
+    @given(angles, finite, finite, finite, finite)
+    @settings(max_examples=50)
+    def test_inverse_roundtrip(self, theta, tx, ty, x, y):
+        t = Transform2D(theta, tx, ty)
+        p = Point(x, y)
+        q = t.inverse().apply(t.apply(p))
+        assert q.x == pytest.approx(x, abs=1e-6)
+        assert q.y == pytest.approx(y, abs=1e-6)
+
+    @given(angles, finite, finite, angles, finite, finite)
+    @settings(max_examples=50)
+    def test_compose_matches_sequential_application(
+        self, t1, x1, y1, t2, x2, y2
+    ):
+        a = Transform2D(t1, x1, y1)
+        b = Transform2D(t2, x2, y2)
+        p = Point(0.5, -0.25)
+        combined = a.compose(b).apply(p)
+        sequential = a.apply(b.apply(p))
+        assert combined.x == pytest.approx(sequential.x, abs=1e-6)
+        assert combined.y == pytest.approx(sequential.y, abs=1e-6)

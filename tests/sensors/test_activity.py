@@ -1,0 +1,128 @@
+"""Tests for barometric altitude, floor detection and transitions."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.activity import (
+    FLOOR_HEIGHT,
+    TransitionKind,
+    detect_floor_transitions,
+    estimate_altitude,
+    floor_of_session,
+)
+from repro.sensors.imu import ImuSimulator, ImuTrace
+
+
+def level_trace(altitude: float, duration=8.0, seed=0):
+    sim = ImuSimulator(rng=np.random.default_rng(seed))
+    times = np.linspace(0, duration, int(duration * 20) + 1)
+    positions = np.zeros((len(times), 2))
+    headings = np.zeros(len(times))
+    return sim.record(times, positions, headings,
+                      altitudes=np.full(len(times), altitude))
+
+
+def climb_trace(delta_m: float, duration=14.0, seed=1, with_steps=True):
+    sim = ImuSimulator(rng=np.random.default_rng(seed))
+    times = np.linspace(0, duration, int(duration * 20) + 1)
+    positions = np.zeros((len(times), 2))
+    headings = np.zeros(len(times))
+    altitudes = np.interp(times, [0, 2, duration - 2, duration],
+                          [0, 0, delta_m, delta_m])
+    step_times = list(np.arange(2.3, duration - 2, 0.5)) if with_steps else []
+    return sim.record(times, positions, headings, step_times,
+                      altitudes=altitudes)
+
+
+class TestAltitude:
+    def test_level_altitude(self):
+        alt = estimate_altitude(level_trace(6.0))
+        assert np.median(alt) == pytest.approx(6.0, abs=0.6)
+
+    def test_empty_trace(self):
+        assert estimate_altitude(ImuTrace(samples=[])).size == 0
+
+    def test_smoothing_reduces_noise(self):
+        trace = level_trace(0.0)
+        raw_std = trace.pressure().std()
+        alt_std = estimate_altitude(trace).std() * 12.0  # back to Pa
+        assert alt_std < raw_std
+
+
+class TestFloorOfSession:
+    def test_ground_floor(self):
+        assert floor_of_session(level_trace(0.0)) == 0
+
+    def test_upper_floors(self):
+        assert floor_of_session(level_trace(FLOOR_HEIGHT)) == 1
+        assert floor_of_session(level_trace(2 * FLOOR_HEIGHT, seed=3)) == 2
+
+    def test_basement(self):
+        assert floor_of_session(level_trace(-FLOOR_HEIGHT, seed=4)) == -1
+
+    def test_reference_altitude(self):
+        trace = level_trace(FLOOR_HEIGHT + 5.0, seed=5)
+        assert floor_of_session(trace, ground_floor_altitude=5.0) == 1
+
+
+class TestTransitions:
+    def test_single_flight_up(self):
+        trace = climb_trace(FLOOR_HEIGHT)
+        transitions = detect_floor_transitions(trace)
+        assert len(transitions) == 1
+        assert transitions[0].delta_floors == 1
+        assert transitions[0].kind is TransitionKind.STAIRS
+
+    def test_down_two_floors(self):
+        trace = climb_trace(-2 * FLOOR_HEIGHT, duration=20.0, seed=6)
+        transitions = detect_floor_transitions(trace)
+        assert len(transitions) == 1
+        assert transitions[0].delta_floors == -2
+
+    def test_elevator_has_no_steps(self):
+        trace = climb_trace(FLOOR_HEIGHT, with_steps=False, seed=7)
+        transitions = detect_floor_transitions(trace)
+        assert len(transitions) == 1
+        assert transitions[0].kind is TransitionKind.ELEVATOR
+
+    def test_level_walk_no_transitions(self):
+        assert detect_floor_transitions(level_trace(0.0, seed=8)) == []
+
+    def test_small_bump_ignored(self):
+        trace = climb_trace(1.0, duration=8.0, seed=9)  # a ramp, not a floor
+        assert detect_floor_transitions(trace, min_delta_m=2.0) == []
+
+    def test_short_trace(self):
+        assert detect_floor_transitions(ImuTrace(samples=[])) == []
+
+
+class TestWalkerIntegration:
+    def test_perform_stairs_session(self, lab1_plan):
+        from repro.world.walker import Walker, WalkerProfile
+
+        walker = Walker(lab1_plan, WalkerProfile(user_id="s"),
+                        rng=np.random.default_rng(10))
+        session = walker.perform_stairs(lab1_plan.waypoints["sw"],
+                                        delta_floors=1)
+        assert session.task == "STAIRS"
+        assert session.frames == []
+        transitions = detect_floor_transitions(session.imu)
+        assert len(transitions) == 1
+        assert transitions[0].delta_floors == 1
+
+    def test_stairs_requires_nonzero_delta(self, lab1_plan):
+        from repro.world.walker import Walker, WalkerProfile
+
+        walker = Walker(lab1_plan, WalkerProfile(user_id="s"),
+                        rng=np.random.default_rng(11))
+        with pytest.raises(ValueError):
+            walker.perform_stairs(lab1_plan.waypoints["sw"], delta_floors=0)
+
+    def test_walker_altitude_sets_floor(self, lab1_plan, lab1_renderer):
+        from repro.world.walker import Walker, WalkerProfile
+
+        walker = Walker(lab1_plan, WalkerProfile(user_id="u"),
+                        rng=np.random.default_rng(12),
+                        renderer=lab1_renderer, altitude=FLOOR_HEIGHT)
+        session = walker.perform_srs(lab1_plan.rooms[0].center)
+        assert floor_of_session(session.imu) == 1

@@ -1,0 +1,38 @@
+"""Direct unit tests for the energy model (complements the core tests)."""
+
+import pytest
+
+from repro.sensors.energy import (
+    BATTERY_WH,
+    IMU_POWER_W,
+    VIDEO_POWER_W,
+    EnergyReport,
+    campaign_energy,
+)
+
+
+class TestEnergyReport:
+    def test_totals(self):
+        report = EnergyReport(duration_s=60.0, imu_joules=1.8,
+                              video_joules=21.0)
+        assert report.total_joules == pytest.approx(22.8)
+        assert report.total_wh == pytest.approx(22.8 / 3600.0)
+        assert report.battery_fraction == pytest.approx(
+            22.8 / 3600.0 / BATTERY_WH
+        )
+
+    def test_addition(self):
+        a = EnergyReport(10.0, 1.0, 2.0)
+        b = EnergyReport(5.0, 0.5, 1.0)
+        c = a + b
+        assert c.duration_s == 15.0
+        assert c.total_joules == pytest.approx(4.5)
+
+    def test_paper_power_figures(self):
+        assert IMU_POWER_W == pytest.approx(0.030)
+        assert VIDEO_POWER_W == pytest.approx(0.350)
+
+    def test_empty_campaign(self):
+        total = campaign_energy([])
+        assert total.total_joules == 0.0
+        assert total.battery_fraction == 0.0

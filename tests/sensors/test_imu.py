@@ -1,0 +1,101 @@
+"""Tests for the IMU simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sensors.imu import GRAVITY, ImuConfig, ImuSimulator, ImuTrace
+
+
+def straight_walk(duration=10.0, speed=1.0):
+    times = np.linspace(0.0, duration, int(duration * 20) + 1)
+    positions = np.stack([times * speed, np.zeros_like(times)], axis=1)
+    headings = np.zeros_like(times)
+    return times, positions, headings
+
+
+class TestImuSimulator:
+    def test_sample_rate(self):
+        sim = ImuSimulator(rng=np.random.default_rng(0))
+        times, pos, head = straight_walk(5.0)
+        trace = sim.record(times, pos, head)
+        assert len(trace) == pytest.approx(5.0 * trace.config.sample_rate_hz, abs=2)
+        dt = np.diff(trace.times())
+        assert np.allclose(dt, 1.0 / trace.config.sample_rate_hz)
+
+    def test_accel_centered_on_gravity(self):
+        sim = ImuSimulator(rng=np.random.default_rng(1))
+        times, pos, head = straight_walk()
+        trace = sim.record(times, pos, head)
+        assert trace.accel().mean() == pytest.approx(GRAVITY, abs=0.1)
+
+    def test_step_impacts_visible(self):
+        sim = ImuSimulator(rng=np.random.default_rng(2))
+        times, pos, head = straight_walk()
+        quiet = sim.record(times, pos, head, step_times=[])
+        sim2 = ImuSimulator(rng=np.random.default_rng(2))
+        stepping = sim2.record(times, pos, head, step_times=list(np.arange(0.5, 9.5, 0.6)))
+        assert stepping.accel().max() > quiet.accel().max() + 1.0
+
+    def test_gyro_tracks_rotation(self):
+        sim = ImuSimulator(
+            ImuConfig(gyro_noise_std=0.0, gyro_bias_std=0.0, gyro_bias_walk_std=0.0),
+            rng=np.random.default_rng(3),
+        )
+        times = np.linspace(0, 10, 201)
+        headings = times * 0.2  # constant 0.2 rad/s
+        positions = np.zeros((len(times), 2))
+        trace = sim.record(times, positions, headings)
+        assert trace.gyro().mean() == pytest.approx(0.2, abs=0.01)
+
+    def test_bias_makes_gyro_systematically_wrong(self):
+        config = ImuConfig(gyro_noise_std=0.0, gyro_bias_std=0.05,
+                           gyro_bias_walk_std=0.0)
+        sim = ImuSimulator(config, rng=np.random.default_rng(4))
+        times, pos, head = straight_walk()
+        trace = sim.record(times, pos, head)
+        assert abs(trace.gyro().mean()) > 0.005
+
+    def test_compass_noisy_but_unbiased_on_average(self):
+        sim = ImuSimulator(rng=np.random.default_rng(5))
+        times, pos, head = straight_walk(20.0)
+        trace = sim.record(times, pos, head)
+        # Disturbance field averages near zero along a long straight walk.
+        assert abs(trace.compass().mean()) < 0.2
+
+    def test_input_validation(self):
+        sim = ImuSimulator(rng=np.random.default_rng(6))
+        with pytest.raises(ValueError):
+            sim.record([0.0], np.zeros((1, 2)), [0.0])
+        with pytest.raises(ValueError):
+            sim.record([0.0, 1.0], np.zeros((3, 2)), [0.0, 0.0])
+
+    def test_trace_duration(self):
+        sim = ImuSimulator(rng=np.random.default_rng(7))
+        times, pos, head = straight_walk(8.0)
+        trace = sim.record(times, pos, head)
+        assert trace.duration() == pytest.approx(8.0, abs=0.05)
+
+    def test_empty_trace_duration(self):
+        assert ImuTrace(samples=[]).duration() == 0.0
+
+    def test_same_device_shares_bias_across_recordings(self):
+        config = ImuConfig(gyro_noise_std=0.0, gyro_bias_walk_std=0.0,
+                           gyro_bias_std=0.05)
+        sim = ImuSimulator(config, rng=np.random.default_rng(8))
+        times, pos, head = straight_walk()
+        t1 = sim.record(times, pos, head)
+        t2 = sim.record(times, pos, head)
+        assert t1.gyro().mean() == pytest.approx(t2.gyro().mean(), abs=1e-6)
+
+    def test_magnetic_disturbance_is_location_dependent(self):
+        sim = ImuSimulator(
+            ImuConfig(compass_noise_std=0.0, magnetic_disturbance_std=0.3),
+            rng=np.random.default_rng(9),
+        )
+        a = sim._magnetic_disturbance(0.0, 0.0)
+        b = sim._magnetic_disturbance(3.0, 3.0)
+        assert a != b
+        # Deterministic per device and location.
+        assert sim._magnetic_disturbance(0.0, 0.0) == a

@@ -1,0 +1,148 @@
+"""Tests for step counting, heading fusion and dead reckoning."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sensors.dead_reckoning import DeadReckoningConfig, dead_reckon
+from repro.sensors.heading import HeadingEstimator, integrate_gyro
+from repro.sensors.imu import ImuConfig, ImuSimulator
+from repro.sensors.step_counter import (
+    count_steps,
+    detect_step_times,
+    estimate_walking_distance,
+)
+
+
+def recorded_walk(n_steps=14, duration=10.0, seed=0, heading_rate=0.0,
+                  config=None):
+    rng = np.random.default_rng(seed)
+    sim = ImuSimulator(config=config, rng=rng)
+    times = np.linspace(0.0, duration, int(duration * 20) + 1)
+    headings = times * heading_rate
+    xs = np.cumsum(np.cos(headings)) * (duration / len(times))
+    ys = np.cumsum(np.sin(headings)) * (duration / len(times))
+    positions = np.stack([xs, ys], axis=1)
+    step_times = list(np.linspace(0.4, duration - 0.4, n_steps))
+    return sim.record(times, positions, headings, step_times), step_times
+
+
+class TestStepCounter:
+    def test_counts_exact_steps(self):
+        trace, steps = recorded_walk(n_steps=14)
+        assert count_steps(trace) == 14
+
+    def test_no_steps_when_stationary(self):
+        sim = ImuSimulator(rng=np.random.default_rng(1))
+        times = np.linspace(0, 5, 101)
+        trace = sim.record(times, np.zeros((101, 2)), np.zeros(101))
+        assert count_steps(trace) <= 1  # noise may fake at most a blip
+
+    def test_detected_times_near_truth(self):
+        trace, truth = recorded_walk(n_steps=10, seed=2)
+        detected = detect_step_times(trace)
+        assert len(detected) == 10
+        for est, true in zip(detected, truth):
+            assert est == pytest.approx(true, abs=0.15)
+
+    def test_refractory_period(self):
+        trace, _ = recorded_walk(n_steps=12, seed=3)
+        detected = detect_step_times(trace, min_step_interval=0.3)
+        assert all(b - a >= 0.3 for a, b in zip(detected, detected[1:]))
+
+    def test_walking_distance(self):
+        trace, _ = recorded_walk(n_steps=10, seed=4)
+        assert estimate_walking_distance(trace, step_length=0.7) == pytest.approx(7.0)
+
+    def test_short_trace(self):
+        from repro.sensors.imu import ImuTrace
+
+        assert detect_step_times(ImuTrace(samples=[])) == []
+
+
+class TestHeading:
+    def test_integrate_gyro_clean(self):
+        config = ImuConfig(gyro_noise_std=0.0, gyro_bias_std=0.0,
+                           gyro_bias_walk_std=0.0)
+        trace, _ = recorded_walk(heading_rate=0.1, config=config, seed=5)
+        headings = integrate_gyro(trace, initial_heading=0.0)
+        true_final = 0.1 * trace.duration()
+        assert headings[-1] == pytest.approx(true_final, abs=0.05)
+
+    def test_gyro_only_drifts_with_bias(self):
+        config = ImuConfig(gyro_noise_std=0.0, gyro_bias_std=0.08,
+                           gyro_bias_walk_std=0.0)
+        trace, _ = recorded_walk(duration=30.0, config=config, seed=6)
+        gyro_only = integrate_gyro(trace, initial_heading=0.0)
+        fused = HeadingEstimator(compass_gain=0.05).estimate(
+            trace, initial_heading=0.0
+        )
+        # Fusion must bound the drift that pure integration accumulates.
+        assert abs(gyro_only[-1]) > abs(fused[-1])
+        assert abs(fused[-1]) < 0.35
+
+    def test_fused_tracks_rotation(self):
+        trace, _ = recorded_walk(heading_rate=0.15, seed=7)
+        fused = HeadingEstimator().estimate(trace, initial_heading=0.0)
+        assert fused[-1] == pytest.approx(0.15 * trace.duration(), abs=0.3)
+
+    def test_gain_validation(self):
+        with pytest.raises(ValueError):
+            HeadingEstimator(compass_gain=1.5)
+
+    def test_heading_at_interpolates(self):
+        trace, _ = recorded_walk(seed=8)
+        estimator = HeadingEstimator()
+        mid = estimator.heading_at(trace, trace.duration() / 2.0)
+        assert np.isfinite(mid)
+
+    def test_empty_trace(self):
+        from repro.sensors.imu import ImuTrace
+
+        assert HeadingEstimator().estimate(ImuTrace(samples=[])).size == 0
+
+
+class TestDeadReckoning:
+    def test_straight_walk_endpoint(self):
+        trace, _ = recorded_walk(n_steps=14, seed=9)
+        traj = dead_reckon(trace, DeadReckoningConfig(step_length=0.7))
+        end = traj.points[-1]
+        # 14 steps x 0.7 m along +x with modest drift.
+        assert end.x == pytest.approx(9.8, abs=1.0)
+        assert abs(end.y) < 1.5
+
+    def test_origin_offset_respected(self):
+        trace, _ = recorded_walk(seed=10)
+        traj = dead_reckon(trace, origin=(5.0, -2.0))
+        assert traj.points[0].x == 5.0
+        assert traj.points[0].y == -2.0
+
+    def test_point_count_matches_steps_plus_endpoints(self):
+        trace, _ = recorded_walk(n_steps=10, seed=11)
+        traj = dead_reckon(trace)
+        # Start point + one per detected step (+ trailing stay point).
+        assert len(traj) >= 11
+
+    def test_stationary_trace_single_position(self):
+        sim = ImuSimulator(rng=np.random.default_rng(12))
+        times = np.linspace(0, 4, 81)
+        trace = sim.record(times, np.zeros((81, 2)), np.zeros(81))
+        traj = dead_reckon(trace)
+        assert traj.length() < 1.0
+
+    def test_empty_trace(self):
+        from repro.sensors.imu import ImuTrace
+
+        traj = dead_reckon(ImuTrace(samples=[]))
+        assert len(traj) == 0
+
+    def test_turning_walk_curves(self):
+        config = ImuConfig(gyro_noise_std=0.001, gyro_bias_std=0.0,
+                           gyro_bias_walk_std=0.0, compass_noise_std=0.01,
+                           magnetic_disturbance_std=0.0)
+        trace, _ = recorded_walk(heading_rate=math.pi / 20.0, config=config,
+                                 duration=10.0, seed=13)
+        traj = dead_reckon(trace)
+        end_heading = traj.points[-1].heading
+        assert end_heading == pytest.approx(math.pi / 2.0, abs=0.4)

@@ -1,0 +1,125 @@
+"""Tests for the Trajectory type."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensors.trajectory import Trajectory, TrajectoryPoint
+
+
+def line_trajectory(n=5, dx=1.0):
+    return Trajectory.from_arrays(
+        np.array([[i * dx, 0.0] for i in range(n)]), trajectory_id="t"
+    )
+
+
+class TestTrajectoryBasics:
+    def test_from_arrays_headings(self):
+        traj = line_trajectory()
+        assert traj[0].heading == pytest.approx(0.0)
+        up = Trajectory.from_arrays(np.array([[0, 0], [0, 1], [0, 2]]))
+        assert up[0].heading == pytest.approx(math.pi / 2)
+
+    def test_from_arrays_validates_times(self):
+        with pytest.raises(ValueError):
+            Trajectory.from_arrays(np.zeros((3, 2)), times=[0.0, 1.0])
+
+    def test_length_and_duration(self):
+        traj = line_trajectory(5)
+        assert traj.length() == pytest.approx(4.0)
+        assert traj.duration() == pytest.approx(4.0)
+
+    def test_as_array_roundtrip(self):
+        traj = line_trajectory(4)
+        arr = traj.as_array()
+        assert arr.shape == (4, 2)
+        assert arr[2, 0] == 2.0
+
+    def test_empty_duration(self):
+        assert Trajectory(points=[]).duration() == 0.0
+
+
+class TestTransforms:
+    def test_translation(self):
+        moved = line_trajectory().translated(3.0, -1.0)
+        assert moved[0].x == 3.0 and moved[0].y == -1.0
+        assert moved.length() == pytest.approx(4.0)
+
+    def test_rotation_about_origin(self):
+        rotated = line_trajectory().rotated(math.pi / 2.0)
+        assert rotated[1].x == pytest.approx(0.0, abs=1e-12)
+        assert rotated[1].y == pytest.approx(1.0)
+
+    def test_transformed_combines(self):
+        traj = line_trajectory()
+        combined = traj.transformed(math.pi / 2.0, 1.0, 1.0)
+        manual = traj.rotated(math.pi / 2.0).translated(1.0, 1.0)
+        for a, b in zip(combined.points, manual.points):
+            assert a.x == pytest.approx(b.x)
+            assert a.y == pytest.approx(b.y)
+
+    @given(
+        st.floats(-math.pi, math.pi),
+        st.floats(-100, 100),
+        st.floats(-100, 100),
+    )
+    @settings(max_examples=40)
+    def test_rigid_transform_preserves_length(self, theta, dx, dy):
+        traj = line_trajectory(6, dx=0.7)
+        moved = traj.transformed(theta, dx, dy)
+        assert moved.length() == pytest.approx(traj.length(), abs=1e-9)
+
+
+class TestResample:
+    def test_resample_interval(self):
+        traj = line_trajectory(11)  # times 0..10
+        res = traj.resampled(0.5)
+        times = res.times()
+        assert np.allclose(np.diff(times), 0.5)
+        assert len(res) == 21
+
+    def test_resample_preserves_endpoints(self):
+        traj = line_trajectory(6)
+        res = traj.resampled(1.0)
+        assert res[0].x == traj[0].x
+        assert res[-1].x == pytest.approx(traj[-1].x)
+
+    def test_resample_reattaches_keyframes(self):
+        traj = line_trajectory(11)
+        traj.attach_keyframe("kf1", t=3.2)
+        res = traj.resampled(0.5)
+        idx = res.keyframe_indices["kf1"]
+        assert res[idx].t == pytest.approx(3.0, abs=0.3)
+
+    def test_resample_invalid_interval(self):
+        with pytest.raises(ValueError):
+            line_trajectory().resampled(0.0)
+
+    def test_resample_single_point(self):
+        traj = Trajectory(points=[TrajectoryPoint(1, 2, 0.0)])
+        assert len(traj.resampled(0.5)) == 1
+
+
+class TestAnchors:
+    def test_nearest_index(self):
+        traj = line_trajectory(5)
+        assert traj.nearest_index(2.3) == 2
+        assert traj.nearest_index(100.0) == 4
+
+    def test_nearest_index_empty(self):
+        with pytest.raises(ValueError):
+            Trajectory(points=[]).nearest_index(0.0)
+
+    def test_attach_keyframe(self):
+        traj = line_trajectory(5)
+        traj.attach_keyframe("a", 1.4)
+        assert traj.keyframe_indices["a"] == 1
+
+    def test_transform_preserves_anchors(self):
+        traj = line_trajectory(5)
+        traj.attach_keyframe("a", 2.0)
+        moved = traj.translated(1.0, 1.0)
+        assert moved.keyframe_indices == {"a": 2}

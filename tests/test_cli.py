@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.building == "Lab1"
+        assert args.users == 5
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "out.npz", "--building", "Gym", "--users", "2"]
+        )
+        assert args.output == "out.npz"
+        assert args.building == "Gym"
+
+    def test_unknown_building_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--building", "Atlantis"])
+
+
+class TestCommands:
+    def test_buildings_lists_all(self, capsys):
+        assert main(["buildings"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Lab1", "Lab2", "Gym"):
+            assert name in out
+
+    def test_generate_and_reconstruct_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "tiny.npz"
+        code = main(
+            [
+                "generate", str(path), "--users", "2",
+                "--sws-per-user", "2", "--srs-per-user", "1",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        assert path.exists()
+        code = main(["reconstruct", str(path), "--layout-samples", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hallway F-measure" in out

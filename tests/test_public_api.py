@@ -1,0 +1,58 @@
+"""Public API surface checks: everything __all__ promises exists and docs."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.vision",
+    "repro.sensors",
+    "repro.world",
+    "repro.backend",
+    "repro.baselines",
+    "repro.eval",
+    "repro.geometry",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+class TestPublicApi:
+    def test_all_exports_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+        for name in package.__all__:
+            assert hasattr(package, name), (
+                f"{package_name}.__all__ promises {name!r} but it is missing"
+            )
+
+    def test_package_docstring(self, package_name):
+        package = importlib.import_module(package_name)
+        assert package.__doc__ and len(package.__doc__.strip()) > 40
+
+    def test_public_classes_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            obj = getattr(package, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{package_name}.{name} is undocumented"
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_quickstart_snippet_imports():
+    """The README quickstart's imports must work verbatim."""
+    from repro import CrowdMapConfig, CrowdMapPipeline  # noqa: F401
+    from repro.world import (  # noqa: F401
+        CrowdConfig,
+        build_lab1,
+        generate_crowd_dataset,
+    )

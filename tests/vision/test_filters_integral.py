@@ -1,0 +1,146 @@
+"""Tests for filtering primitives and integral images."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.vision.filters import (
+    convolve2d,
+    gaussian_blur,
+    gaussian_kernel_1d,
+    gradient_magnitude_orientation,
+    sobel_gradients,
+)
+from repro.vision.integral import box_sum, box_sum_grid, integral_image
+
+
+class TestConvolve:
+    def test_identity_kernel(self):
+        img = np.random.default_rng(0).random((8, 9))
+        kernel = np.zeros((3, 3))
+        kernel[1, 1] = 1.0
+        assert np.allclose(convolve2d(img, kernel), img)
+
+    def test_box_kernel_averages(self):
+        img = np.ones((6, 6))
+        kernel = np.full((3, 3), 1.0 / 9.0)
+        out = convolve2d(img, kernel)
+        assert np.allclose(out, 1.0)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            convolve2d(np.ones((3, 3, 3)), np.ones((3, 3)))
+
+    def test_shift_kernel(self):
+        img = np.zeros((5, 5))
+        img[2, 2] = 1.0
+        kernel = np.zeros((3, 3))
+        # True convolution: out(y, x) = sum k(i, j) img(y - (i - c), ...),
+        # so a kernel tap above centre moves the impulse up.
+        kernel[0, 1] = 1.0
+        out = convolve2d(img, kernel)
+        assert out[1, 2] == pytest.approx(1.0)
+
+
+class TestGaussian:
+    def test_kernel_normalized(self):
+        k = gaussian_kernel_1d(1.5)
+        assert k.sum() == pytest.approx(1.0)
+        assert k[len(k) // 2] == k.max()
+
+    def test_kernel_symmetric(self):
+        k = gaussian_kernel_1d(2.0)
+        assert np.allclose(k, k[::-1])
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel_1d(0.0)
+
+    def test_blur_preserves_mean(self):
+        img = np.random.default_rng(1).random((20, 30))
+        out = gaussian_blur(img, 2.0)
+        assert out.mean() == pytest.approx(img.mean(), abs=0.01)
+
+    def test_blur_reduces_variance(self):
+        img = np.random.default_rng(2).random((30, 30))
+        out = gaussian_blur(img, 2.0)
+        assert out.std() < img.std()
+
+    def test_blur_constant_is_constant(self):
+        out = gaussian_blur(np.full((10, 10), 0.7), 1.0)
+        assert np.allclose(out, 0.7)
+
+
+class TestSobel:
+    def test_vertical_edge_responds_in_gx(self):
+        img = np.zeros((10, 10))
+        img[:, 5:] = 1.0
+        gx, gy = sobel_gradients(img)
+        assert np.abs(gx[:, 4:6]).max() > 0
+        assert np.abs(gy).max() == pytest.approx(0.0, abs=1e-12)
+
+    def test_horizontal_edge_responds_in_gy(self):
+        img = np.zeros((10, 10))
+        img[5:, :] = 1.0
+        gx, gy = sobel_gradients(img)
+        assert np.abs(gy[4:6, :]).max() > 0
+        assert np.abs(gx).max() == pytest.approx(0.0, abs=1e-12)
+
+    def test_ramp_gradient_constant(self):
+        img = np.tile(np.arange(10, dtype=float), (10, 1))
+        gx, _ = sobel_gradients(img)
+        # Sobel scales the unit ramp by 8 in the interior.
+        assert np.allclose(gx[2:-2, 2:-2], 8.0)
+
+    def test_orientation_range(self):
+        img = np.random.default_rng(3).random((16, 16))
+        _, orientation = gradient_magnitude_orientation(img)
+        assert (orientation >= 0).all() and (orientation < np.pi).all()
+
+
+class TestIntegral:
+    def test_simple_sums(self):
+        img = np.arange(12, dtype=float).reshape(3, 4)
+        table = integral_image(img)
+        assert box_sum(table, 0, 0, 3, 4) == img.sum()
+        assert box_sum(table, 1, 1, 3, 3) == img[1:3, 1:3].sum()
+
+    def test_clamping(self):
+        img = np.ones((4, 4))
+        table = integral_image(img)
+        assert box_sum(table, -5, -5, 10, 10) == 16.0
+        assert box_sum(table, 3, 3, 2, 2) == 0.0  # inverted window
+
+    def test_rejects_rgb(self):
+        with pytest.raises(ValueError):
+            integral_image(np.ones((3, 3, 3)))
+
+    @given(
+        arrays(np.float64, (7, 9), elements=st.floats(0, 1)),
+        st.integers(-2, 8),
+        st.integers(-2, 10),
+        st.integers(-2, 8),
+        st.integers(-2, 10),
+    )
+    @settings(max_examples=60)
+    def test_box_sum_matches_direct(self, img, y1, x1, y2, x2):
+        table = integral_image(img)
+        yy1, yy2 = np.clip(y1, 0, 7), np.clip(y2, 0, 7)
+        xx1, xx2 = np.clip(x1, 0, 9), np.clip(x2, 0, 9)
+        expected = img[yy1:yy2, xx1:xx2].sum() if (yy2 > yy1 and xx2 > xx1) else 0.0
+        assert box_sum(table, y1, x1, y2, x2) == pytest.approx(expected)
+
+    def test_box_sum_grid_matches_scalar(self):
+        img = np.random.default_rng(4).random((12, 15))
+        table = integral_image(img)
+        ys = np.array([[2, 5], [7, 9]])
+        xs = np.array([[3, 3], [10, 1]])
+        grid = box_sum_grid(table, ys, xs, -1, -2, 2, 3)
+        for i in range(2):
+            for j in range(2):
+                expected = box_sum(
+                    table, ys[i, j] - 1, xs[i, j] - 2, ys[i, j] + 2, xs[i, j] + 3
+                )
+                assert grid[i, j] == pytest.approx(expected)

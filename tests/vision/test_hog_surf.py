@@ -1,0 +1,150 @@
+"""Tests for the HOG descriptor and the SURF-style feature pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.vision.filters import gaussian_blur
+from repro.vision.hog import hog_descriptor, hog_similarity
+from repro.vision.matching import match_descriptors, matched_point_pairs
+from repro.vision.surf import (
+    DEFAULT_FILTER_SIZES,
+    SurfFeature,
+    descriptor_matrix,
+    detect_and_describe,
+)
+
+
+def textured(seed: int, shape=(80, 120)) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return gaussian_blur(rng.random(shape), 2.0)
+
+
+class TestHog:
+    def test_descriptor_shape(self):
+        img = np.random.default_rng(0).random((64, 64))
+        desc = hog_descriptor(img, cell_size=8, n_bins=9, block_size=2)
+        cells = 64 // 8
+        blocks = cells - 1
+        assert desc.shape == (blocks * blocks * 4 * 9,)
+
+    def test_identical_images_similarity_one(self):
+        img = np.random.default_rng(1).random((48, 48))
+        d = hog_descriptor(img)
+        assert hog_similarity(d, d) == pytest.approx(1.0)
+
+    def test_different_images_lower_similarity(self):
+        a = hog_descriptor(textured(0))
+        b = hog_descriptor(textured(9))
+        assert hog_similarity(a, b) < 0.95
+
+    def test_blocks_are_normalized(self):
+        img = np.random.default_rng(2).random((64, 64))
+        desc = hog_descriptor(img, cell_size=8, block_size=2, clip=0.2)
+        assert desc.max() <= 0.2 / 0.19  # clip then renorm can exceed clip slightly
+        assert desc.min() >= 0.0
+
+    def test_brightness_invariance(self):
+        img = textured(3)
+        a = hog_descriptor(img)
+        b = hog_descriptor(np.clip(img * 0.5, 0, 1))
+        assert hog_similarity(a, b) > 0.98
+
+    def test_too_small_image_raises(self):
+        with pytest.raises(ValueError):
+            hog_descriptor(np.ones((4, 4)), cell_size=8)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            hog_similarity(np.ones(8), np.ones(9))
+
+
+class TestSurfDetector:
+    def test_detects_blob(self):
+        img = np.full((60, 60), 0.5)
+        yy, xx = np.mgrid[0:60, 0:60]
+        img += 0.5 * np.exp(-((yy - 30) ** 2 + (xx - 30) ** 2) / (2 * 4.0**2))
+        feats = detect_and_describe(img, threshold=1e-4)
+        assert feats, "no features on a strong blob"
+        best = max(feats, key=lambda f: f.response)
+        assert abs(best.x - 30) <= 3 and abs(best.y - 30) <= 3
+
+    def test_flat_image_has_no_features(self):
+        assert detect_and_describe(np.full((60, 60), 0.7)) == []
+
+    def test_max_features_cap(self):
+        feats = detect_and_describe(textured(5), max_features=10)
+        assert len(feats) <= 10
+
+    def test_descriptors_unit_norm(self):
+        feats = detect_and_describe(textured(6))
+        assert feats
+        for f in feats[:20]:
+            assert np.linalg.norm(f.descriptor) == pytest.approx(1.0, abs=1e-9)
+
+    def test_features_sorted_by_response(self):
+        feats = detect_and_describe(textured(7))
+        responses = [f.response for f in feats]
+        assert responses == sorted(responses, reverse=True)
+
+    def test_scales_follow_filter_sizes(self):
+        feats = detect_and_describe(textured(8))
+        valid_scales = {1.2 * s / 9.0 for s in DEFAULT_FILTER_SIZES}
+        assert {f.scale for f in feats} <= valid_scales
+
+    def test_accepts_rgb_and_255_range(self):
+        rgb255 = (np.stack([textured(9)] * 3, axis=-1) * 255).astype(float)
+        feats = detect_and_describe(rgb255)
+        assert feats
+
+
+class TestMatching:
+    def test_shifted_scene_matches_with_correct_offset(self):
+        base = textured(10, shape=(90, 200))
+        a = base[:, :150]
+        b = base[:, 25:175]
+        fa = detect_and_describe(a)
+        fb = detect_and_describe(b)
+        result = match_descriptors(fa, fb, distance_threshold=0.3)
+        assert result.n_matches >= 10
+        pa, pb = matched_point_pairs(fa, fb, result)
+        dx = np.median(pa[:, 0] - pb[:, 0])
+        assert dx == pytest.approx(25.0, abs=2.0)
+
+    def test_s2_formula(self):
+        base = textured(11, shape=(90, 200))
+        fa = detect_and_describe(base)
+        result = match_descriptors(fa, fa, distance_threshold=0.3)
+        # Self-match: every feature matches itself.
+        assert result.n_matches == len(fa)
+        assert result.similarity == pytest.approx(1.0)
+
+    def test_empty_feature_sets(self):
+        result = match_descriptors([], [])
+        assert result.n_matches == 0 and result.similarity == 0.0
+
+    def test_mutual_requirement(self):
+        # Features with asymmetric nearest neighbours must not pair twice.
+        mk = lambda d: SurfFeature(0, 0, 1.2, 1.0, np.asarray(d, float))
+        fa = [mk([1, 0, 0]), mk([0.9, 0.1, 0])]
+        fb = [mk([1, 0, 0])]
+        result = match_descriptors(fa, fb, distance_threshold=0.5)
+        assert result.n_matches == 1
+
+    def test_distance_threshold_enforced(self):
+        mk = lambda d: SurfFeature(0, 0, 1.2, 1.0, np.asarray(d, float))
+        fa = [mk([1.0, 0.0])]
+        fb = [mk([0.0, 1.0])]
+        result = match_descriptors(fa, fb, distance_threshold=0.5)
+        assert result.n_matches == 0
+
+    def test_descriptor_matrix_empty(self):
+        assert descriptor_matrix([]).shape == (0, 64)
+
+    def test_unrelated_scenes_score_below_same_scene(self):
+        a = textured(12, shape=(90, 150))
+        b = textured(99, shape=(90, 150))
+        fa = detect_and_describe(a)
+        fb = detect_and_describe(b)
+        unrelated = match_descriptors(fa, fb, distance_threshold=0.2).similarity
+        same = match_descriptors(fa, fa, distance_threshold=0.2).similarity
+        assert unrelated < same

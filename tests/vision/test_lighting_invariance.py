@@ -1,0 +1,77 @@
+"""Cross-cutting invariance tests for the vision substrate.
+
+These pin the photometric properties the pipeline depends on: SURF's
+contrast standardization, HOG's brightness invariance and the shape
+signature's color independence, each checked against explicit image
+transformations rather than rendered scenes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.vision.filters import gaussian_blur
+from repro.vision.hog import hog_descriptor, hog_similarity
+from repro.vision.matching import match_descriptors
+from repro.vision.shape_matching import shape_signature, shape_similarity
+from repro.vision.surf import detect_and_describe
+from repro.vision.wavelet import wavelet_signature, wavelet_similarity
+
+
+@pytest.fixture(scope="module")
+def scene():
+    rng = np.random.default_rng(42)
+    base = gaussian_blur(rng.random((90, 140)), 1.5)
+    return np.clip(base, 0, 1)
+
+
+class TestSurfPhotometricInvariance:
+    def test_feature_count_stable_under_darkening(self, scene):
+        bright = detect_and_describe(scene)
+        dark = detect_and_describe(scene * 0.4)
+        assert len(dark) >= 0.8 * len(bright)
+
+    def test_descriptors_match_across_exposure(self, scene):
+        bright = detect_and_describe(scene)
+        dark = detect_and_describe(np.clip(scene * 0.5 + 0.05, 0, 1))
+        result = match_descriptors(bright, dark, distance_threshold=0.25)
+        assert result.similarity > 0.5
+
+    def test_gamma_shift_tolerated(self, scene):
+        a = detect_and_describe(scene)
+        b = detect_and_describe(scene**1.4)
+        result = match_descriptors(a, b, distance_threshold=0.25)
+        assert result.similarity > 0.3
+
+
+class TestHogInvariance:
+    def test_scale_invariant(self, scene):
+        a = hog_descriptor(scene)
+        b = hog_descriptor(np.clip(scene * 0.6, 0, 1))
+        assert hog_similarity(a, b) > 0.95
+
+    def test_offset_invariant(self, scene):
+        a = hog_descriptor(scene)
+        b = hog_descriptor(np.clip(scene + 0.2, 0, 1))
+        assert hog_similarity(a, b) > 0.8
+
+
+class TestSignatureInvariance:
+    def test_shape_signature_exposure_invariant(self, scene):
+        rgb = np.stack([scene] * 3, axis=-1)
+        a = shape_signature(rgb)
+        b = shape_signature(np.clip(rgb * 0.5, 0, 1))
+        assert shape_similarity(a, b) > 0.9
+
+    def test_wavelet_signs_survive_scaling(self, scene):
+        a = wavelet_signature(scene)
+        b = wavelet_signature(np.clip(scene * 0.7, 0, 1))
+        # Coefficient *positions and signs* are scale-invariant; only the
+        # brightness penalty reduces the score.
+        assert wavelet_similarity(a, b) > 0.5
+
+    def test_wavelet_detects_content_change(self, scene):
+        rng = np.random.default_rng(7)
+        other = gaussian_blur(rng.random(scene.shape), 1.5)
+        a = wavelet_signature(scene)
+        b = wavelet_signature(other)
+        assert wavelet_similarity(a, b) < 0.5

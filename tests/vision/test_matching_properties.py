@@ -1,0 +1,94 @@
+"""Property tests for descriptor matching and homography algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vision.homography import apply_homography, estimate_homography
+from repro.vision.matching import match_descriptors
+from repro.vision.surf import SurfFeature
+
+
+def features_from(matrix):
+    return [
+        SurfFeature(x=float(i), y=0.0, scale=1.2, response=1.0,
+                    descriptor=np.asarray(row, dtype=float))
+        for i, row in enumerate(matrix)
+    ]
+
+
+descriptor_sets = st.lists(
+    st.lists(st.floats(-1, 1), min_size=4, max_size=4),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestMatchingProperties:
+    @given(descriptor_sets, descriptor_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_similarity_symmetric(self, a, b):
+        fa, fb = features_from(a), features_from(b)
+        ab = match_descriptors(fa, fb, distance_threshold=0.5).similarity
+        ba = match_descriptors(fb, fa, distance_threshold=0.5).similarity
+        assert ab == pytest.approx(ba)
+
+    @given(descriptor_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_similarity_bounded(self, a):
+        fa = features_from(a)
+        rng = np.random.default_rng(0)
+        fb = features_from(rng.uniform(-1, 1, (5, 4)))
+        s = match_descriptors(fa, fb, distance_threshold=0.5).similarity
+        assert 0.0 <= s <= 1.0
+
+    @given(descriptor_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_self_match_is_perfect(self, a):
+        # Mutual-NN between (near-)duplicate descriptors is ambiguous by
+        # construction, so quantize and deduplicate to enforce separation.
+        unique = [
+            list(row)
+            for row in {tuple(round(v, 2) for v in r) for r in a}
+        ]
+        fa = features_from(unique)
+        result = match_descriptors(fa, fa, distance_threshold=1e-6)
+        assert result.n_matches == len(fa)
+        assert result.similarity == pytest.approx(1.0)
+
+    def test_threshold_monotone_in_matches(self):
+        rng = np.random.default_rng(1)
+        fa = features_from(rng.uniform(-1, 1, (20, 4)))
+        fb = features_from(rng.uniform(-1, 1, (20, 4)))
+        loose = match_descriptors(fa, fb, distance_threshold=2.0).n_matches
+        tight = match_descriptors(fa, fb, distance_threshold=0.2).n_matches
+        assert loose >= tight
+
+
+class TestHomographyProperties:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)),
+            min_size=6, max_size=12, unique=True,
+        ),
+        st.floats(-0.5, 0.5),
+        st.floats(-20, 20),
+        st.floats(-20, 20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_similarity_transform_recovered(self, pts, theta, tx, ty):
+        src = np.array(pts, dtype=float)
+        # Skip near-degenerate (collinear) draws.
+        if np.linalg.matrix_rank(src - src.mean(axis=0)) < 2:
+            return
+        c, s = np.cos(theta), np.sin(theta)
+        dst = src @ np.array([[c, s], [-s, c]]) + np.array([tx, ty])
+        h = estimate_homography(src, dst)
+        back = apply_homography(h, src)
+        assert np.allclose(back, dst, atol=1e-4)
+
+    def test_identity_homography(self):
+        src = np.array([[0, 0], [1, 0], [1, 1], [0, 1], [0.3, 0.7]], float)
+        h = estimate_homography(src, src)
+        assert np.allclose(h, np.eye(3), atol=1e-8)

@@ -1,0 +1,75 @@
+"""Tests for rotation-invariant SURF."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.vision.filters import gaussian_blur
+from repro.vision.integral import integral_image
+from repro.vision.matching import match_descriptors
+from repro.vision.orientation import (
+    assign_orientation,
+    detect_and_describe_rotation_invariant,
+)
+
+
+def rotate_image_90(image: np.ndarray) -> np.ndarray:
+    return np.rot90(image).copy()
+
+
+@pytest.fixture(scope="module")
+def textured():
+    rng = np.random.default_rng(5)
+    return np.clip(gaussian_blur(rng.random((120, 120)), 1.5), 0, 1)
+
+
+class TestOrientationAssignment:
+    def test_gradient_direction_recovered(self):
+        # A strong horizontal ramp: gradient points along +x.
+        img = np.tile(np.linspace(0, 1, 64), (64, 1))
+        table = integral_image(img)
+        angle = assign_orientation(table, 32.0, 32.0, 1.2)
+        assert abs(math.degrees(angle)) < 25.0
+
+    def test_vertical_ramp(self):
+        img = np.tile(np.linspace(0, 1, 64)[:, None], (1, 64))
+        table = integral_image(img)
+        angle = assign_orientation(table, 32.0, 32.0, 1.2)
+        assert abs(math.degrees(angle) - 90.0) < 25.0
+
+
+class TestRotationInvariantMatching:
+    def test_self_match(self, textured):
+        feats = detect_and_describe_rotation_invariant(textured)
+        assert feats
+        result = match_descriptors(feats, feats, distance_threshold=0.3)
+        assert result.similarity == pytest.approx(1.0)
+
+    def test_90_degree_rotation_matches_better_than_upright(self, textured):
+        from repro.vision.surf import detect_and_describe
+
+        rotated = rotate_image_90(textured)
+
+        upright_a = detect_and_describe(textured)
+        upright_b = detect_and_describe(rotated)
+        upright_score = match_descriptors(
+            upright_a, upright_b, distance_threshold=0.3
+        ).similarity
+
+        rot_a = detect_and_describe_rotation_invariant(textured)
+        rot_b = detect_and_describe_rotation_invariant(rotated)
+        rot_score = match_descriptors(
+            rot_a, rot_b, distance_threshold=0.3
+        ).similarity
+        assert rot_score > upright_score
+
+    def test_empty_image(self):
+        feats = detect_and_describe_rotation_invariant(np.full((60, 60), 0.5))
+        assert feats == []
+
+    def test_descriptors_unit_norm(self, textured):
+        feats = detect_and_describe_rotation_invariant(textured,
+                                                       max_features=20)
+        for f in feats:
+            assert np.linalg.norm(f.descriptor) == pytest.approx(1.0, abs=1e-9)

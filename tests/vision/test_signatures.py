@@ -1,0 +1,168 @@
+"""Tests for color, shape, wavelet signatures and NCC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.vision.color_histogram import (
+    color_histogram,
+    color_similarity,
+    histogram_intersection,
+)
+from repro.vision.ncc import normalized_cross_correlation
+from repro.vision.shape_matching import shape_signature, shape_similarity
+from repro.vision.wavelet import (
+    haar_transform_2d,
+    wavelet_signature,
+    wavelet_similarity,
+)
+
+
+def rgb(seed: int, shape=(32, 48)) -> np.ndarray:
+    return np.random.default_rng(seed).random(shape + (3,))
+
+
+class TestColorHistogram:
+    def test_sums_to_one(self):
+        hist = color_histogram(rgb(0))
+        assert hist.sum() == pytest.approx(1.0)
+        assert hist.shape == (8 * 8 * 8,)
+
+    def test_grayscale_input(self):
+        hist = color_histogram(np.random.default_rng(1).random((16, 16)))
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_255_range_input(self):
+        img = (rgb(2) * 255).astype(float)
+        assert color_histogram(img).sum() == pytest.approx(1.0)
+
+    def test_pure_color_single_bin(self):
+        img = np.zeros((8, 8, 3))
+        img[..., 0] = 0.99
+        hist = color_histogram(img, bins_per_channel=4)
+        assert np.count_nonzero(hist) == 1
+
+    def test_self_intersection_is_one(self):
+        h = color_histogram(rgb(3))
+        assert histogram_intersection(h, h) == pytest.approx(1.0)
+
+    def test_intersection_symmetric(self):
+        a = color_histogram(rgb(4))
+        b = color_histogram(rgb(5))
+        assert histogram_intersection(a, b) == pytest.approx(
+            histogram_intersection(b, a)
+        )
+
+    def test_disjoint_colors_zero(self):
+        red = np.zeros((8, 8, 3))
+        red[..., 0] = 0.9
+        blue = np.zeros((8, 8, 3))
+        blue[..., 2] = 0.9
+        assert color_similarity(red, blue, bins_per_channel=4) == 0.0
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            color_histogram(rgb(6), bins_per_channel=1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            histogram_intersection(np.ones(4), np.ones(8))
+
+
+class TestShapeSignature:
+    def test_self_similarity_one(self):
+        sig = shape_signature(rgb(7))
+        assert shape_similarity(sig, sig) == pytest.approx(1.0)
+
+    def test_signature_shape(self):
+        sig = shape_signature(rgb(8), grid=4, n_bins=8)
+        assert sig.shape == (4 * 4 * 8,)
+
+    def test_vertical_vs_horizontal_edges_differ(self):
+        v = np.zeros((32, 32))
+        v[:, ::4] = 1.0
+        h = np.zeros((32, 32))
+        h[::4, :] = 1.0
+        sim = shape_similarity(shape_signature(v), shape_signature(h))
+        assert sim < 0.3
+
+    def test_color_invariance(self):
+        base = rgb(9)
+        tinted = np.clip(base * np.array([1.0, 0.7, 0.7]), 0, 1)
+        sim = shape_similarity(shape_signature(base), shape_signature(tinted))
+        assert sim > 0.9
+
+    def test_too_small_image(self):
+        with pytest.raises(ValueError):
+            shape_signature(np.ones((2, 2)), grid=4)
+
+
+class TestWavelet:
+    def test_haar_requires_power_of_two_square(self):
+        with pytest.raises(ValueError):
+            haar_transform_2d(np.ones((8, 12)))
+        with pytest.raises(ValueError):
+            haar_transform_2d(np.ones((12, 12)))
+
+    def test_haar_energy_preserved(self):
+        img = np.random.default_rng(10).random((16, 16))
+        coeffs = haar_transform_2d(img)
+        assert np.sum(coeffs**2) == pytest.approx(np.sum(img**2))
+
+    def test_haar_dc_is_scaled_mean(self):
+        img = np.random.default_rng(11).random((8, 8))
+        coeffs = haar_transform_2d(img)
+        assert coeffs[0, 0] == pytest.approx(img.sum() / 8.0)
+
+    def test_constant_image_only_dc(self):
+        coeffs = haar_transform_2d(np.full((8, 8), 0.5))
+        assert abs(coeffs[0, 0]) > 0
+        coeffs[0, 0] = 0.0
+        assert np.allclose(coeffs, 0.0, atol=1e-12)
+
+    def test_self_similarity(self):
+        sig = wavelet_signature(rgb(12))
+        assert wavelet_similarity(sig, sig) == pytest.approx(1.0)
+
+    def test_keep_limits_signature(self):
+        sig = wavelet_signature(rgb(13), keep=20)
+        assert len(sig.positions) <= 20
+
+    def test_different_images_differ(self):
+        a = wavelet_signature(rgb(14))
+        b = wavelet_signature(rgb(15))
+        assert wavelet_similarity(a, b) < 0.8
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            wavelet_signature(rgb(16), size=48)
+
+
+class TestNcc:
+    def test_identical(self):
+        img = rgb(17)
+        assert normalized_cross_correlation(img, img) == pytest.approx(1.0)
+
+    def test_inverted(self):
+        img = np.random.default_rng(18).random((16, 16))
+        assert normalized_cross_correlation(img, 1.0 - img) == pytest.approx(-1.0)
+
+    def test_constant_images(self):
+        a = np.full((8, 8), 0.3)
+        assert normalized_cross_correlation(a, a) == 1.0
+        b = np.full((8, 8), 0.9)
+        # Both zero-variance after mean removal and equal residuals.
+        assert normalized_cross_correlation(a, b) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_cross_correlation(np.ones((4, 4)), np.ones((5, 5)))
+
+    @given(arrays(np.float64, (12, 12), elements=st.floats(0, 1)))
+    @settings(max_examples=30)
+    def test_range(self, img):
+        other = np.random.default_rng(0).random((12, 12))
+        value = normalized_cross_correlation(img, other)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9

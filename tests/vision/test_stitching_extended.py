@@ -1,0 +1,88 @@
+"""Extended stitching tests: content correctness of the composited canvas."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.vision.image import Frame
+from repro.vision.stitching import Panorama, stitch_cylindrical
+
+
+FOV = math.radians(60.0)
+
+
+def colour_frame(heading, colour, t):
+    pixels = np.zeros((16, 24, 3))
+    pixels[:, :] = colour
+    return Frame(pixels=pixels, timestamp=t, heading=heading)
+
+
+class TestStitchContent:
+    def test_columns_carry_the_right_frame(self):
+        """Each azimuth's canvas content must come from the frame facing it."""
+        frames = [
+            colour_frame(0.0, (1.0, 0.0, 0.0), 0.0),
+            colour_frame(math.pi / 2.0, (0.0, 1.0, 0.0), 1.0),
+            colour_frame(math.pi, (0.0, 0.0, 1.0), 2.0),
+            colour_frame(3 * math.pi / 2.0, (1.0, 1.0, 0.0), 3.0),
+        ]
+        pano = stitch_cylindrical(frames, math.radians(100.0),
+                                  panorama_width=360, refine=False)
+        # The column looking along azimuth 0 must be dominated by red.
+        col = pano.column_of_azimuth(0.0)
+        pixel = pano.pixels[8, col]
+        assert pixel[0] > pixel[2]
+        # Azimuth pi -> blue dominates.
+        col = pano.column_of_azimuth(math.pi)
+        pixel = pano.pixels[8, col]
+        assert pixel[2] > pixel[0]
+
+    def test_feathering_blends_overlaps(self):
+        frames = [
+            colour_frame(0.0, (1.0, 0.0, 0.0), 0.0),
+            colour_frame(math.radians(40.0), (0.0, 0.0, 1.0), 1.0),
+        ]
+        pano = stitch_cylindrical(frames, FOV, panorama_width=360,
+                                  refine=False)
+        # Mid-overlap column is a mixture, not either pure colour.
+        col = pano.column_of_azimuth(math.radians(20.0))
+        pixel = pano.pixels[8, col]
+        assert 0.1 < pixel[0] < 0.95
+        assert 0.1 < pixel[2] < 0.95
+
+    def test_coverage_tracks_contributions(self):
+        frames = [colour_frame(0.0, (0.5, 0.5, 0.5), 0.0)]
+        pano = stitch_cylindrical(frames, FOV, panorama_width=360,
+                                  refine=False)
+        covered_cols = (pano.coverage.max(axis=0) > 0).sum()
+        expected = int(round(FOV / (2 * math.pi) * 360))
+        assert covered_cols == pytest.approx(expected, abs=3)
+
+    def test_invalid_fov_rejected(self):
+        with pytest.raises(ValueError):
+            stitch_cylindrical([colour_frame(0, (1, 0, 0), 0)], 0.0)
+
+    def test_mixed_frame_heights_resampled(self):
+        small = Frame(pixels=np.ones((8, 12, 3)) * 0.3, timestamp=0.0,
+                      heading=0.0)
+        tall = Frame(pixels=np.ones((16, 24, 3)) * 0.7, timestamp=1.0,
+                     heading=math.pi)
+        pano = stitch_cylindrical([small, tall], FOV, panorama_width=180,
+                                  panorama_height=16, refine=False)
+        assert pano.pixels.shape == (16, 180, 3)
+
+
+class TestPanoramaType:
+    def test_gap_fraction_empty(self):
+        pano = Panorama(
+            pixels=np.zeros((4, 10, 3)), coverage=np.zeros((4, 10))
+        )
+        assert pano.gap_fraction() == 1.0
+
+    def test_azimuth_wraps(self):
+        pano = Panorama(
+            pixels=np.zeros((4, 360, 3)), coverage=np.zeros((4, 360))
+        )
+        assert pano.column_of_azimuth(2 * math.pi + 0.1) == \
+            pano.column_of_azimuth(0.1)

@@ -1,0 +1,223 @@
+"""Tests for homography, stitching, LSD, Hough and Otsu."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.vision.homography import (
+    apply_homography,
+    estimate_homography,
+    ransac_homography,
+)
+from repro.vision.hough import dominant_vertical_columns, hough_from_segments, hough_lines
+from repro.vision.image import Frame
+from repro.vision.lsd import LineSegment2D, detect_line_segments
+from repro.vision.otsu import binarize, otsu_threshold
+from repro.vision.stitching import (
+    covers_full_circle,
+    select_panorama_frames,
+    stitch_cylindrical,
+    wrap_to_2pi,
+)
+
+
+class TestHomography:
+    def synthetic_pairs(self, h, n=20, seed=0):
+        rng = np.random.default_rng(seed)
+        src = rng.uniform(0, 100, (n, 2))
+        dst = apply_homography(h, src)
+        return src, dst
+
+    def test_exact_recovery(self):
+        h_true = np.array([[1.1, 0.05, 3.0], [-0.02, 0.95, -2.0], [1e-4, -5e-5, 1.0]])
+        src, dst = self.synthetic_pairs(h_true)
+        h_est = estimate_homography(src, dst)
+        assert np.allclose(h_est, h_true, atol=1e-6)
+
+    def test_translation_homography(self):
+        src = np.array([[0, 0], [10, 0], [10, 10], [0, 10]], float)
+        dst = src + np.array([5.0, -3.0])
+        h = estimate_homography(src, dst)
+        moved = apply_homography(h, src)
+        assert np.allclose(moved, dst, atol=1e-9)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            estimate_homography(np.zeros((3, 2)), np.zeros((3, 2)))
+
+    def test_ransac_with_outliers(self):
+        h_true = np.array([[1.0, 0.0, 10.0], [0.0, 1.0, -4.0], [0.0, 0.0, 1.0]])
+        src, dst = self.synthetic_pairs(h_true, n=40, seed=1)
+        rng = np.random.default_rng(2)
+        dst_noisy = dst.copy()
+        outliers = rng.choice(40, size=12, replace=False)
+        dst_noisy[outliers] += rng.uniform(30, 80, (12, 2))
+        result = ransac_homography(src, dst_noisy, rng=rng)
+        assert result is not None
+        assert result.n_inliers >= 25
+        assert np.allclose(result.homography, h_true, atol=1e-3)
+
+    def test_ransac_insufficient_data(self):
+        assert ransac_homography(np.zeros((3, 2)), np.zeros((3, 2))) is None
+
+    def test_ransac_pure_noise_returns_none(self):
+        rng = np.random.default_rng(3)
+        src = rng.uniform(0, 100, (12, 2))
+        dst = rng.uniform(0, 100, (12, 2))
+        result = ransac_homography(src, dst, rng=rng, min_inliers=8)
+        assert result is None or result.n_inliers < 12
+
+
+def make_frame(pixels, heading, t=0.0):
+    return Frame(pixels=pixels, timestamp=t, heading=heading)
+
+
+class TestStitching:
+    FOV = math.radians(60.0)
+
+    def ring_frames(self, n=8, noise=0):
+        rng = np.random.default_rng(4)
+        frames = []
+        for k in range(n):
+            heading = k * 2 * math.pi / n
+            pixels = np.full((24, 32, 3), 0.2 + 0.6 * k / n)
+            pixels += rng.normal(0, 0.01, pixels.shape) * noise
+            frames.append(make_frame(np.clip(pixels, 0, 1), heading, t=float(k)))
+        return frames
+
+    def test_wrap_to_2pi(self):
+        assert wrap_to_2pi(-0.1) == pytest.approx(2 * math.pi - 0.1)
+        assert wrap_to_2pi(2 * math.pi + 0.3) == pytest.approx(0.3)
+
+    def test_full_circle_coverage_check(self):
+        assert covers_full_circle(self.ring_frames(8), self.FOV)
+        assert not covers_full_circle(self.ring_frames(8)[:3], self.FOV)
+
+    def test_coverage_requires_overlap(self):
+        # 6 frames x 60 degrees exactly tile the circle with zero overlap:
+        # fine at min_overlap=0, insufficient at min_overlap=0.2.
+        frames = [
+            make_frame(np.zeros((8, 8, 3)), k * math.pi / 3) for k in range(6)
+        ]
+        assert covers_full_circle(frames, self.FOV, min_overlap=0.0)
+        assert not covers_full_circle(frames, self.FOV, min_overlap=0.2)
+
+    def test_stitch_full_ring_has_no_gap(self):
+        pano = stitch_cylindrical(
+            self.ring_frames(10), self.FOV, panorama_width=360, refine=False
+        )
+        assert pano.gap_fraction() == 0.0
+        assert pano.pixels.shape == (24, 360, 3)
+
+    def test_stitch_partial_ring_leaves_gap(self):
+        pano = stitch_cylindrical(
+            self.ring_frames(10)[:4], self.FOV, panorama_width=360, refine=False
+        )
+        assert pano.gap_fraction() > 0.2
+
+    def test_stitch_empty_raises(self):
+        with pytest.raises(ValueError):
+            stitch_cylindrical([], self.FOV)
+
+    def test_azimuth_column_roundtrip(self):
+        pano = stitch_cylindrical(
+            self.ring_frames(8), self.FOV, panorama_width=360, refine=False
+        )
+        for az in (0.3, 2.0, 5.1):
+            col = pano.column_of_azimuth(az)
+            assert pano.azimuth_of_column(col) == pytest.approx(az, abs=0.05)
+
+    def test_select_panorama_frames_thins_dense_ring(self):
+        frames = self.ring_frames(36)
+        selected = select_panorama_frames(frames, self.FOV, min_overlap=0.15)
+        assert 5 <= len(selected) < 36
+        assert covers_full_circle(selected, self.FOV)
+
+
+class TestLsd:
+    def test_detects_vertical_line(self):
+        img = np.full((60, 80), 0.8)
+        img[:, 40] = 0.1
+        segments = detect_line_segments(img)
+        assert any(s.is_vertical() and abs(s.midpoint()[0] - 40) < 2 for s in segments)
+
+    def test_detects_horizontal_line(self):
+        img = np.full((60, 80), 0.8)
+        img[30, :] = 0.1
+        segments = detect_line_segments(img)
+        horizontals = [s for s in segments if abs(s.angle()) < 0.2 or abs(s.angle() - math.pi) < 0.2]
+        assert horizontals
+
+    def test_blank_image_no_segments(self):
+        assert detect_line_segments(np.full((40, 40), 0.5)) == []
+
+    def test_min_length_respected(self):
+        img = np.full((60, 80), 0.8)
+        img[10:14, 20] = 0.1  # 4-pixel stub
+        segments = detect_line_segments(img, min_length=10.0)
+        assert all(s.length() >= 10.0 for s in segments)
+
+    def test_segment_properties(self):
+        seg = LineSegment2D(0, 0, 3, 4, strength=1.0)
+        assert seg.length() == 5.0
+        assert seg.midpoint() == (1.5, 2.0)
+        assert not seg.is_vertical()
+        assert LineSegment2D(0, 0, 0, 5, 1.0).is_vertical()
+
+
+class TestHough:
+    def test_single_vertical_line(self):
+        img = np.full((50, 50), 0.9)
+        img[:, 25] = 0.0
+        lines = hough_lines(img, max_lines=3)
+        assert lines
+        best = lines[0]
+        # A vertical image line has normal theta ~ 0 and rho ~ x.
+        assert min(best.theta, math.pi - best.theta) < 0.1
+        assert abs(abs(best.rho) - 25) < 3
+
+    def test_blank_image(self):
+        assert hough_lines(np.full((30, 30), 0.5)) == []
+
+    def test_from_segments_votes(self):
+        segments = [
+            LineSegment2D(10, 0, 10, 40, strength=5.0),
+            LineSegment2D(10.5, 5, 10.5, 35, strength=4.0),
+            LineSegment2D(0, 20, 40, 20, strength=1.0),
+        ]
+        lines = hough_from_segments(segments, (50, 50), max_lines=2)
+        assert lines
+        assert lines[0].votes >= lines[-1].votes
+
+    def test_dominant_vertical_columns(self):
+        segments = [
+            LineSegment2D(100, 0, 100, 50, strength=3.0),
+            LineSegment2D(101, 0, 101, 45, strength=2.0),
+            LineSegment2D(300, 10, 300, 30, strength=1.0),
+            LineSegment2D(0, 10, 50, 12, strength=9.0),  # horizontal: ignored
+        ]
+        ranked = dominant_vertical_columns(segments, image_width=400)
+        assert ranked
+        assert abs(ranked[0][0] - 100) <= 4
+
+
+class TestOtsu:
+    def test_bimodal_split(self):
+        values = np.concatenate([np.full(50, 0.1), np.full(50, 0.9)])
+        t = otsu_threshold(values)
+        assert 0.1 < t < 0.9
+
+    def test_constant_input(self):
+        t = otsu_threshold(np.full(20, 0.4))
+        assert t == pytest.approx(0.4)
+        assert not binarize(np.full(20, 0.4)).any()
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            otsu_threshold(np.array([]))
+
+    def test_binarize_selects_upper_mode(self):
+        values = np.concatenate([np.full(80, 0.1), np.full(20, 0.95)])
+        mask = binarize(values)
+        assert mask.sum() == 20

@@ -1,0 +1,128 @@
+"""Validation of the three procedural evaluation buildings."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.world.buildings import BUILDING_BUILDERS, build_gym, build_lab1, build_lab2
+from repro.world.renderer import Renderer
+
+
+@pytest.fixture(scope="module", params=["Lab1", "Lab2", "Gym"])
+def plan(request):
+    return BUILDING_BUILDERS[request.param]()
+
+
+class TestAllBuildings:
+    def test_route_graph_connected(self, plan):
+        assert nx.is_connected(plan.route_graph)
+
+    def test_all_waypoints_walkable(self, plan):
+        for name, point in plan.waypoints.items():
+            assert plan.is_walkable(point), f"{plan.name}:{name} not walkable"
+
+    def test_room_centers_walkable(self, plan):
+        for room in plan.rooms:
+            assert plan.is_walkable(room.center), f"{plan.name}:{room.name}"
+
+    def test_every_room_has_waypoints(self, plan):
+        for room in plan.rooms:
+            assert f"{room.name}_door" in plan.waypoints
+            assert f"{room.name}_center" in plan.waypoints
+
+    def test_door_to_center_path_walkable(self, plan):
+        for room in plan.rooms:
+            start = plan.waypoints[f"{room.name}_door"]
+            end = room.center
+            for t in np.linspace(0, 1, 60):
+                p = Point(
+                    start.x + t * (end.x - start.x),
+                    start.y + t * (end.y - start.y),
+                )
+                assert plan.is_walkable(p), f"{plan.name}:{room.name} blocked at {p}"
+
+    def test_rooms_do_not_overlap(self, plan):
+        for i, a in enumerate(plan.rooms):
+            for b in plan.rooms[i + 1 :]:
+                bb_a, bb_b = a.bounding_box(), b.bounding_box()
+                dx = min(bb_a.max_x, bb_b.max_x) - max(bb_a.min_x, bb_b.min_x)
+                dy = min(bb_a.max_y, bb_b.max_y) - max(bb_a.min_y, bb_b.min_y)
+                assert dx <= 0 or dy <= 0, f"{a.name} overlaps {b.name}"
+
+    def test_world_is_closed_for_rays(self, plan):
+        renderer = Renderer(plan)
+        angles = np.linspace(0, 2 * math.pi, 37)
+        probes = [plan.waypoints[n] for n in list(plan.waypoints)[:6]]
+        for origin in probes:
+            distances, idx, _ = renderer.cast_rays(origin, angles)
+            assert np.isfinite(distances).all()
+
+    def test_routes_exist_between_all_corridor_waypoints(self, plan):
+        from repro.world.crowd import _corridor_waypoints
+
+        names = _corridor_waypoints(plan)
+        for target in names[1:4]:
+            route = plan.route_between(names[0], target)
+            assert len(route) >= 2
+
+
+class TestSpecificBuildings:
+    def test_lab1_dimensions(self):
+        plan = build_lab1()
+        assert len(plan.rooms) == 12
+        assert plan.bounds.width == pytest.approx(41.0, abs=0.5)
+
+    def test_lab2_room_count(self):
+        plan = build_lab2()
+        assert len(plan.rooms) == 9
+
+    def test_gym_has_sporadic_rooms(self):
+        plan = build_gym()
+        assert len(plan.rooms) == 5
+        # The gym hall dominates the hallway area.
+        areas = [r.width * r.height for r in plan.hallway_rects]
+        assert max(areas) > 0.8 * 30 * 20
+
+    def test_builders_accept_richness(self):
+        plan = build_lab1(wall_richness=0.1)
+        assert all(
+            w.texture.richness == 0.1
+            for w in plan.walls
+            if not w.is_door_leaf
+        )
+
+    def test_texture_seed_changes_walls(self):
+        a = build_lab1(texture_seed=1)
+        b = build_lab1(texture_seed=2)
+        seeds_a = {w.texture.seed for w in a.walls}
+        seeds_b = {w.texture.seed for w in b.walls}
+        assert seeds_a != seeds_b
+
+
+class TestOfficeBuilding:
+    def test_office_valid(self):
+        import networkx as nx
+
+        from repro.world.buildings import build_office
+
+        plan = build_office()
+        assert len(plan.rooms) == 8
+        assert nx.is_connected(plan.route_graph)
+        for name, point in plan.waypoints.items():
+            assert plan.is_walkable(point), name
+
+    def test_office_crowd_generates(self):
+        from repro.world.buildings import build_office
+        from repro.world.crowd import CrowdConfig, generate_crowd_dataset
+        from repro.world.renderer import Camera
+
+        plan = build_office()
+        dataset = generate_crowd_dataset(
+            plan,
+            CrowdConfig(n_users=1, sws_per_user=1, srs_rooms_per_user=1,
+                        seed=3, camera=Camera(width=48, height=64)),
+        )
+        assert dataset.total_frames() > 0

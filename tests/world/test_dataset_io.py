@@ -1,0 +1,89 @@
+"""Tests for crowd-dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.world.dataset_io import load_dataset, save_dataset
+
+
+@pytest.fixture(scope="module")
+def roundtripped(small_dataset, tmp_path_factory):
+    path = tmp_path_factory.mktemp("ds") / "lab1.npz"
+    save_dataset(small_dataset, str(path))
+    return load_dataset(str(path)), path
+
+
+class TestDatasetIo:
+    def test_session_count_preserved(self, small_dataset, roundtripped):
+        loaded, _ = roundtripped
+        assert len(loaded.sessions) == len(small_dataset.sessions)
+        assert loaded.building == small_dataset.building
+
+    def test_frames_quantized_roundtrip(self, small_dataset, roundtripped):
+        loaded, _ = roundtripped
+        orig = small_dataset.sessions[0].frames[0]
+        rest = loaded.sessions[0].frames[0]
+        assert rest.pixels.shape == orig.pixels.shape
+        assert np.abs(rest.pixels - orig.pixels).max() <= 1.0 / 255.0 + 1e-9
+        assert rest.timestamp == orig.timestamp
+        assert rest.heading == pytest.approx(orig.heading)
+
+    def test_imu_roundtrip(self, small_dataset, roundtripped):
+        loaded, _ = roundtripped
+        orig = small_dataset.sessions[0].imu
+        rest = loaded.sessions[0].imu
+        assert len(rest) == len(orig)
+        assert np.allclose(rest.gyro(), orig.gyro())
+        assert np.allclose(rest.pressure(), orig.pressure())
+
+    def test_trajectory_roundtrip(self, small_dataset, roundtripped):
+        loaded, _ = roundtripped
+        orig = small_dataset.sessions[0].device_trajectory
+        rest = loaded.sessions[0].device_trajectory
+        assert len(rest) == len(orig)
+        assert rest.length() == pytest.approx(orig.length())
+
+    def test_ground_truth_roundtrip(self, small_dataset, roundtripped):
+        loaded, _ = roundtripped
+        orig = small_dataset.sessions[0].ground_truth
+        rest = loaded.sessions[0].ground_truth
+        assert np.allclose(rest.positions, orig.positions)
+        assert len(rest.step_times) == len(orig.step_times)
+
+    def test_metadata_roundtrip(self, small_dataset, roundtripped):
+        loaded, _ = roundtripped
+        for orig, rest in zip(small_dataset.sessions, loaded.sessions):
+            assert rest.session_id == orig.session_id
+            assert rest.task == orig.task
+            assert rest.room_name == orig.room_name
+            assert rest.lighting.name == orig.lighting.name
+
+    def test_plan_rebuilt(self, roundtripped):
+        loaded, _ = roundtripped
+        assert loaded.plan.name == "Lab1"
+        assert len(loaded.plan.rooms) == 12
+
+    def test_config_roundtrip(self, small_dataset, roundtripped):
+        loaded, _ = roundtripped
+        assert loaded.config.seed == small_dataset.config.seed
+        assert loaded.config.n_users == small_dataset.config.n_users
+
+    def test_pipeline_runs_on_loaded_dataset(self, roundtripped):
+        from repro.core import CrowdMapConfig, CrowdMapPipeline
+
+        loaded, _ = roundtripped
+        config = CrowdMapConfig().with_overrides(layout_samples=200)
+        pipe = CrowdMapPipeline(config)
+        anchored, agg, skel = pipe.build_pathway(loaded.sws_sessions()[:4])
+        assert skel.skeleton.any()
+
+    def test_bad_version_rejected(self, tmp_path):
+        import json
+
+        import numpy as np
+
+        path = tmp_path / "bad.npz"
+        manifest = json.dumps({"version": 999}).encode()
+        np.savez(path, manifest=np.frombuffer(manifest, dtype=np.uint8))
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(str(path))

@@ -1,0 +1,157 @@
+"""Tests for the ground-truth floor plan model."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import BoundingBox, Point
+from repro.world.floorplan_model import Door, FloorPlan, Room
+
+
+@pytest.fixture(scope="module")
+def simple_plan():
+    """One corridor with one room attached to its north wall."""
+    hallway = [BoundingBox(0.0, 0.0, 12.0, 2.5)]
+    room = Room(
+        name="r1",
+        center=Point(4.0, 5.75),
+        width=5.0,
+        depth=5.5,
+        door=Door("S", 2.5),
+    )
+    waypoints = {
+        "w": Point(1.0, 1.25),
+        "e": Point(11.0, 1.25),
+        "r1_door": Point(4.0, 1.25),
+        "r1_center": room.center,
+    }
+    edges = [("w", "r1_door"), ("r1_door", "e"), ("r1_door", "r1_center")]
+    return FloorPlan(
+        name="simple",
+        hallway_rects=hallway,
+        rooms=[room],
+        waypoints=waypoints,
+        waypoint_edges=edges,
+    )
+
+
+class TestDoorRoom:
+    def test_door_validation(self):
+        with pytest.raises(ValueError):
+            Door("X", 1.0)
+        with pytest.raises(ValueError):
+            Door("N", 1.0, width=0.0)
+
+    def test_room_geometry(self):
+        room = Room("r", Point(2, 3), 4.0, 2.0)
+        assert room.area() == 8.0
+        assert room.aspect_ratio() == 2.0
+        bb = room.bounding_box()
+        assert (bb.min_x, bb.max_y) == (0.0, 4.0)
+
+    def test_door_center_per_wall(self):
+        room = Room("r", Point(0, 0), 4.0, 2.0, door=Door("S", 2.0))
+        assert tuple(room.door_center()) == (0.0, -1.0)
+        room_n = Room("r", Point(0, 0), 4.0, 2.0, door=Door("N", 1.0))
+        assert tuple(room_n.door_center()) == (-1.0, 1.0)
+        room_e = Room("r", Point(0, 0), 4.0, 2.0, door=Door("E", 1.0))
+        assert tuple(room_e.door_center()) == (2.0, 0.0)
+
+    def test_door_normal(self):
+        room = Room("r", Point(0, 0), 2, 2, door=Door("W", 1.0))
+        n = room.door_outward_normal()
+        assert (n.x, n.y) == (-1.0, 0.0)
+
+
+class TestWalkability:
+    def test_hallway_walkable(self, simple_plan):
+        assert simple_plan.is_walkable(Point(6.0, 1.25))
+
+    def test_room_walkable(self, simple_plan):
+        assert simple_plan.is_walkable(Point(4.0, 5.75))
+
+    def test_outside_solid(self, simple_plan):
+        assert not simple_plan.is_walkable(Point(10.0, 5.0))
+        assert not simple_plan.is_walkable(Point(-5.0, -5.0))
+
+    def test_door_opening_connects(self, simple_plan):
+        # Walking straight from the door waypoint into the room must stay
+        # walkable the whole way (the carved opening bridges the wall).
+        start = simple_plan.waypoints["r1_door"]
+        end = simple_plan.waypoints["r1_center"]
+        for t in np.linspace(0, 1, 50):
+            p = Point(start.x + t * (end.x - start.x), start.y + t * (end.y - start.y))
+            assert simple_plan.is_walkable(p), f"blocked at {p}"
+
+    def test_space_ids(self, simple_plan):
+        assert simple_plan.space_at(Point(6.0, 1.25)) == -1  # hallway
+        assert simple_plan.space_at(Point(4.0, 5.75)) == 0  # room index
+        assert simple_plan.space_at(Point(10.0, 6.0)) == -2  # solid
+
+
+class TestWalls:
+    def test_walls_exist(self, simple_plan):
+        assert len(simple_plan.walls) >= 8
+
+    def test_rays_always_hit_a_wall(self, simple_plan):
+        """The wall set must close every walkable region."""
+        from repro.world.renderer import Renderer
+
+        renderer = Renderer(simple_plan)
+        for origin in (Point(6.0, 1.25), Point(4.0, 5.75)):
+            angles = np.linspace(0, 2 * math.pi, 73)
+            distances, idx, _ = renderer.cast_rays(origin, angles)
+            assert np.isfinite(distances).all(), "a ray escaped the model"
+            assert (idx >= 0).all()
+
+    def test_wall_textures_differ_between_spaces(self, simple_plan):
+        hall_seeds = {w.texture.seed for w in simple_plan.walls if w.space_id == -1}
+        room_seeds = {w.texture.seed for w in simple_plan.walls if w.space_id == 0}
+        assert hall_seeds and room_seeds
+        assert hall_seeds.isdisjoint(room_seeds)
+
+    def test_walls_axis_aligned(self, simple_plan):
+        for wall in simple_plan.walls:
+            seg = wall.segment
+            assert seg.a.x == seg.b.x or seg.a.y == seg.b.y
+
+
+class TestMasksAndRoutes:
+    def test_hallway_mask_area(self, simple_plan):
+        mask = simple_plan.hallway_mask(0.25)
+        area = mask.sum() * 0.25**2
+        assert area == pytest.approx(12.0 * 2.5, rel=0.05)
+
+    def test_route_between(self, simple_plan):
+        route = simple_plan.route_between("w", "e")
+        assert len(route) == 3
+        assert route[0].distance_to(simple_plan.waypoints["w"]) == 0.0
+
+    def test_route_graph_weights(self, simple_plan):
+        g = simple_plan.route_graph
+        assert nx.is_connected(g)
+        assert g["w"]["r1_door"]["weight"] == pytest.approx(3.0)
+
+    def test_unknown_waypoint_edge_rejected(self):
+        with pytest.raises(ValueError):
+            FloorPlan(
+                name="bad",
+                hallway_rects=[BoundingBox(0, 0, 5, 2)],
+                rooms=[],
+                waypoints={"a": Point(1, 1)},
+                waypoint_edges=[("a", "missing")],
+            )
+
+    def test_room_by_name(self, simple_plan):
+        assert simple_plan.room_by_name("r1").name == "r1"
+        with pytest.raises(KeyError):
+            simple_plan.room_by_name("nope")
+
+    def test_requires_hallway(self):
+        with pytest.raises(ValueError):
+            FloorPlan(name="empty", hallway_rects=[], rooms=[])
+
+    def test_total_area(self, simple_plan):
+        assert simple_plan.total_area() == pytest.approx(12 * 2.5 + 5 * 5.5)

@@ -1,0 +1,97 @@
+"""Extended renderer tests: geometry fidelity of the raycast projection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.world.floorplan_model import WALL_HEIGHT
+from repro.world.renderer import Camera, Renderer
+
+
+class TestCameraModel:
+    def test_focal_from_fov(self):
+        cam = Camera(width=160, fov=math.radians(54.4))
+        expected = 80.0 / math.tan(math.radians(27.2))
+        assert cam.focal_px == pytest.approx(expected)
+
+    def test_column_offsets_symmetric(self):
+        cam = Camera(width=21)
+        offsets = cam.column_offsets()
+        assert offsets[10] == pytest.approx(0.0, abs=1e-9)
+        assert offsets[0] == pytest.approx(-offsets[-1])
+
+    def test_left_column_looks_left(self):
+        offsets = Camera().column_offsets()
+        # Azimuth grows CCW: column 0 (image left) has positive offset.
+        assert offsets[0] > 0 > offsets[-1]
+
+    def test_offsets_bounded_by_half_fov(self):
+        cam = Camera()
+        offsets = cam.column_offsets()
+        assert np.abs(offsets).max() <= cam.fov / 2.0 + 1e-9
+
+
+class TestProjectionGeometry:
+    def test_ceiling_junction_row_matches_pinhole_model(self):
+        """The ceiling-wall transition row must satisfy the projection."""
+        from repro.world.buildings import build_lab1
+
+        plan = build_lab1(wall_richness=0.0)  # plain walls: clean junction
+        cam = Camera(width=120, height=192)
+        renderer = Renderer(plan, cam)
+        distance = 2.2
+        frame = renderer.render(Point(10.0, distance), -math.pi / 2.0)
+        horizon = (cam.height - 1) / 2.0
+        expected_top = horizon - cam.focal_px * (
+            WALL_HEIGHT - cam.eye_height
+        ) / distance
+        center_col = frame[:, cam.width // 2, :].mean(axis=1)
+        # Strongest vertical transition in the upper half = the junction.
+        upper = np.abs(np.diff(center_col[: int(horizon)]))
+        junction_row = int(np.argmax(upper))
+        assert abs(junction_row - expected_top) < 8
+
+    def test_distance_attenuation_darkens_far_walls(self):
+        """The same plain wall patch renders darker from farther away."""
+        from repro.world.buildings import build_lab1
+
+        plan = build_lab1(wall_richness=0.0)
+        cam = Camera(width=120, height=192)
+        renderer = Renderer(plan, cam)
+        near = renderer.render(Point(10.0, 1.2), -math.pi / 2.0)
+        far = renderer.render(Point(10.0, 2.4), -math.pi / 2.0)
+        # Rows just above the horizon show upper wall paint in both views.
+        band = slice(70, 90)
+        assert near[band].mean() > far[band].mean() + 0.01
+
+    def test_cast_rays_u_coordinate(self, lab1_plan):
+        renderer = Renderer(lab1_plan)
+        d1, idx1, u1 = renderer.cast_rays(
+            Point(10.0, 1.25), np.array([-math.pi / 2.0])
+        )
+        d2, idx2, u2 = renderer.cast_rays(
+            Point(11.0, 1.25), np.array([-math.pi / 2.0])
+        )
+        if idx1[0] == idx2[0]:  # same wall segment hit
+            assert abs(abs(u2[0] - u1[0]) - 1.0) < 0.05
+
+    def test_door_leaf_blocks_sightline(self, lab1_plan):
+        """Rays aimed at a room door must stop at the leaf, not pass through."""
+        renderer = Renderer(lab1_plan)
+        room = lab1_plan.room_by_name("s1")
+        door = room.door_center()
+        # From inside the corridor, looking straight at the door.
+        origin = Point(door.x, 1.25)
+        angle = math.atan2(door.y - origin.y, door.x - origin.x)
+        distances, idx, _ = renderer.cast_rays(origin, np.array([angle]))
+        to_door = origin.distance_to(door)
+        assert distances[0] <= to_door + 0.6
+
+    def test_render_various_resolutions(self, lab1_plan):
+        for w, h in ((32, 24), (64, 96), (160, 192)):
+            renderer = Renderer(lab1_plan, Camera(width=w, height=h))
+            frame = renderer.render(Point(5.0, 1.25), 0.0)
+            assert frame.shape == (h, w, 3)
+            assert np.isfinite(frame).all()

@@ -1,0 +1,160 @@
+"""Tests for textures, lighting and the raycasting renderer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import Point
+from repro.world.lighting import DAYLIGHT, NIGHT, condition_for_lux
+from repro.world.renderer import Camera, Renderer
+from repro.world.textures import (
+    WallTexture,
+    ceiling_color,
+    floor_color,
+    value_noise,
+)
+
+
+class TestValueNoise:
+    def test_deterministic(self):
+        u = np.linspace(0, 10, 50)
+        v = np.zeros(50)
+        a = value_noise(u, v, 1.0, seed=3)
+        b = value_noise(u, v, 1.0, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_field(self):
+        u = np.linspace(0, 10, 50)
+        v = np.zeros(50)
+        assert not np.allclose(value_noise(u, v, 1.0, 1), value_noise(u, v, 1.0, 2))
+
+    def test_range(self):
+        u, v = np.meshgrid(np.linspace(0, 5, 30), np.linspace(0, 5, 30))
+        n = value_noise(u, v, 0.7, seed=5)
+        assert n.min() >= 0.0 and n.max() <= 1.0
+
+    def test_smoothness(self):
+        u = np.linspace(0, 1, 200)
+        n = value_noise(u, np.zeros_like(u), 5.0, seed=7)
+        assert np.abs(np.diff(n)).max() < 0.05
+
+
+class TestWallTexture:
+    def test_sample_shape_and_range(self):
+        tex = WallTexture(seed=1)
+        u, v = np.meshgrid(np.linspace(0, 8, 40), np.linspace(0, 2.7, 30))
+        rgb = tex.sample(u, v)
+        assert rgb.shape == (30, 40, 3)
+        assert rgb.min() >= 0.0 and rgb.max() <= 1.0
+
+    def test_deterministic(self):
+        tex = WallTexture(seed=2)
+        u = np.linspace(0, 5, 100)
+        v = np.full(100, 1.5)
+        assert np.array_equal(tex.sample(u, v), tex.sample(u, v))
+
+    def test_richness_zero_removes_detail(self):
+        flat = WallTexture(seed=3, richness=0.0)
+        rich = WallTexture(seed=3, richness=1.0)
+        u, v = np.meshgrid(np.linspace(0, 12, 120), np.linspace(0.2, 2.5, 60))
+        var_flat = flat.sample(u, v).std()
+        var_rich = rich.sample(u, v).std()
+        assert var_rich > var_flat
+
+    def test_door_painted(self):
+        tex = WallTexture(seed=4, doors=((2.0, 0.9),))
+        u = np.array([2.0, 6.0])
+        v = np.array([1.0, 1.0])
+        rgb = tex.sample(u, v)
+        # Door brown vs wall beige: red channel dominates green strongly.
+        assert rgb[0, 0] - rgb[0, 2] > 0.15
+        assert abs(rgb[1, 0] - rgb[1, 2]) < 0.2
+
+
+class TestFloorCeiling:
+    def test_floor_range_and_shape(self):
+        x, y = np.meshgrid(np.linspace(0, 10, 30), np.linspace(0, 10, 30))
+        rgb = floor_color(x, y)
+        assert rgb.shape == (30, 30, 3)
+        assert rgb.min() >= 0 and rgb.max() <= 1
+
+    def test_ceiling_fixtures_bright(self):
+        x, y = np.meshgrid(np.linspace(0, 30, 300), np.linspace(0, 30, 300))
+        rgb = ceiling_color(x, y)
+        assert rgb.max() > 0.95  # some fixture pixel
+
+
+class TestLighting:
+    def test_daylight_brighter_than_night(self):
+        rng = np.random.default_rng(0)
+        img = np.full((20, 20, 3), 0.5)
+        day = DAYLIGHT.apply(img, rng)
+        night = NIGHT.apply(img, np.random.default_rng(0))
+        assert day.mean() > night.mean()
+
+    def test_night_is_warm(self):
+        img = np.full((20, 20, 3), 0.5)
+        night = NIGHT.apply(img, np.random.default_rng(1))
+        assert night[..., 0].mean() > night[..., 2].mean()
+
+    def test_condition_for_lux_interpolates(self):
+        mid = condition_for_lux(210.0)
+        assert NIGHT.brightness < mid.brightness < DAYLIGHT.brightness
+
+    def test_condition_for_lux_clamps(self):
+        assert condition_for_lux(5000.0).brightness == pytest.approx(
+            DAYLIGHT.brightness
+        )
+
+    def test_output_clipped(self):
+        img = np.full((10, 10, 3), 0.99)
+        out = DAYLIGHT.apply(img, np.random.default_rng(2))
+        assert out.max() <= 1.0 and out.min() >= 0.0
+
+
+class TestRenderer:
+    def test_frame_shape(self, lab1_plan):
+        cam = Camera(width=64, height=48)
+        renderer = Renderer(lab1_plan, cam)
+        frame = renderer.render(Point(5.0, 1.25), 0.0)
+        assert frame.shape == (48, 64, 3)
+        assert frame.min() >= 0.0 and frame.max() <= 1.0
+
+    def test_nearer_wall_fills_more_of_the_frame(self, lab1_plan):
+        renderer = Renderer(lab1_plan, Camera(width=64, height=64))
+        # Look straight at the south wall from two distances. From 0.7 m
+        # the wall band extends past the frame top (no ceiling visible);
+        # from 2.2 m the bright ceiling band appears at the top.
+        near = renderer.render(Point(10.0, 0.7), -math.pi / 2.0)
+        far = renderer.render(Point(10.0, 2.2), -math.pi / 2.0)
+        near_top = near[:4].mean()
+        far_top = far[:4].mean()
+        assert far_top > near_top + 0.1
+
+    def test_day_night_rendering_differs(self, lab1_plan):
+        renderer = Renderer(lab1_plan)
+        p = Point(5.0, 1.25)
+        day = renderer.render(p, 0.0, lighting=DAYLIGHT)
+        night = renderer.render(p, 0.0, lighting=NIGHT)
+        assert day.mean() > night.mean() + 0.1
+
+    def test_deterministic_given_rng(self, lab1_plan):
+        renderer = Renderer(lab1_plan)
+        a = renderer.render(Point(5, 1.25), 0.2, rng=np.random.default_rng(5))
+        b = renderer.render(Point(5, 1.25), 0.2, rng=np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_cast_rays_hits_expected_wall(self, lab1_plan):
+        renderer = Renderer(lab1_plan)
+        # From the south corridor looking south: wall at y=0.
+        distances, idx, u = renderer.cast_rays(
+            Point(10.0, 1.25), np.array([-math.pi / 2.0])
+        )
+        assert distances[0] == pytest.approx(1.25, abs=0.05)
+
+    def test_view_rotation_changes_image(self, lab1_plan):
+        renderer = Renderer(lab1_plan)
+        a = renderer.render(Point(5, 1.25), 0.0)
+        b = renderer.render(Point(5, 1.25), math.pi / 2.0)
+        assert np.abs(a - b).mean() > 0.02

@@ -1,0 +1,93 @@
+"""Extended texture tests: the structures the CV pipeline keys on."""
+
+import numpy as np
+import pytest
+
+from repro.world.textures import (
+    WallTexture,
+    ceiling_color,
+    floor_color,
+    value_noise,
+)
+
+
+class TestPosterStructure:
+    def sample_band(self, tex, u_lo, u_hi, v_lo=1.3, v_hi=1.9, n=400):
+        u, v = np.meshgrid(np.linspace(u_lo, u_hi, n),
+                           np.linspace(v_lo, v_hi, 60))
+        return tex.sample(u, v)
+
+    def test_poster_region_has_higher_variance_than_plain_wall(self):
+        tex = WallTexture(seed=9, richness=1.0)
+        rich = self.sample_band(tex, 0.0, 20.0)
+        plain = self.sample_band(WallTexture(seed=9, richness=0.0), 0.0, 20.0)
+        assert rich.std() > 2.0 * plain.std()
+
+    def test_different_walls_show_different_content(self):
+        a = self.sample_band(WallTexture(seed=1), 0.0, 10.0)
+        b = self.sample_band(WallTexture(seed=2), 0.0, 10.0)
+        assert np.abs(a - b).mean() > 0.02
+
+    def test_same_wall_sections_differ(self):
+        """Position along one wall must be distinguishable (anchor signal)."""
+        tex = WallTexture(seed=3)
+        a = self.sample_band(tex, 0.0, 8.0)
+        b = self.sample_band(tex, 20.0, 28.0)
+        assert np.abs(a - b).mean() > 0.02
+
+    def test_vertical_accents_present_below_posters(self):
+        """The accent elements live in the low band grazing rays see."""
+        tex = WallTexture(seed=11, richness=1.0)
+        u, v = np.meshgrid(np.linspace(0, 40, 1200), np.linspace(0.3, 0.9, 30))
+        band = tex.sample(u, v)
+        column_means = band.mean(axis=(0, 2))
+        # Accents create abrupt horizontal color changes along u.
+        assert np.abs(np.diff(column_means)).max() > 0.1
+
+    def test_doors_override_posters(self):
+        tex = WallTexture(seed=5, doors=((3.0, 0.95),))
+        u = np.full(50, 3.0)
+        v = np.linspace(0.3, 1.9, 50)
+        rgb = tex.sample(u, v)
+        # Door brown: red clearly above blue throughout the leaf.
+        assert (rgb[:, 0] > rgb[:, 2] + 0.1).mean() > 0.8
+
+
+class TestFloorCeilingStructure:
+    def test_floor_drift_varies_with_position(self):
+        x = np.linspace(0, 40, 400)
+        y = np.full_like(x, 5.0)
+        rgb = floor_color(x, y)
+        assert rgb[:, 0].std() > 0.01  # red channel carries the drift
+
+    def test_ceiling_fixture_layout_aperiodic(self):
+        """Fixture occurrence must not repeat with a short period."""
+        x = np.linspace(0.6, 48.0, 40)  # one sample per 1.2 m tile
+        y = np.full_like(x, 0.6)
+        rgb = ceiling_color(x, y)
+        bright = rgb.mean(axis=1) > 0.95
+        if bright.any():
+            gaps = np.diff(np.nonzero(bright)[0])
+            assert len(set(gaps.tolist())) != 1 or len(gaps) < 2
+
+    def test_seed_changes_floor(self):
+        x, y = np.meshgrid(np.linspace(0, 10, 50), np.linspace(0, 10, 50))
+        a = floor_color(x, y, seed=1)
+        b = floor_color(x, y, seed=2)
+        assert not np.allclose(a, b)
+
+
+class TestValueNoiseProperties:
+    def test_interpolation_continuity(self):
+        """No jumps at integer lattice boundaries."""
+        u = np.array([0.999, 1.001]) * 2.0  # straddle a lattice line (scale 2)
+        v = np.zeros(2)
+        n = value_noise(u, v, 2.0, seed=3)
+        assert abs(n[1] - n[0]) < 0.05
+
+    def test_scale_controls_feature_size(self):
+        u = np.linspace(0, 10, 500)
+        v = np.zeros_like(u)
+        fine = value_noise(u, v, 0.2, seed=4)
+        coarse = value_noise(u, v, 5.0, seed=4)
+        assert np.abs(np.diff(fine)).mean() > np.abs(np.diff(coarse)).mean()

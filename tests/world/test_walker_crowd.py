@@ -1,0 +1,121 @@
+"""Tests for the walker (SRS/SWS micro-tasks) and the crowd generator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import Point, wrap_angle
+from repro.world.crowd import CrowdConfig, generate_crowd_dataset, make_profiles
+from repro.world.renderer import Camera
+from repro.world.walker import Walker, WalkerProfile
+
+
+class TestSws:
+    def test_session_fields(self, sws_session, lab1_plan):
+        assert sws_session.task == "SWS"
+        assert sws_session.building == "Lab1"
+        assert sws_session.n_frames > 10
+        assert sws_session.duration() > 5.0
+
+    def test_frames_monotonic_time(self, sws_session):
+        times = [f.timestamp for f in sws_session.frames]
+        assert times == sorted(times)
+
+    def test_device_trajectory_tracks_truth(self, sws_session):
+        traj = sws_session.device_trajectory
+        truth = sws_session.ground_truth
+        end_err = math.hypot(
+            traj.points[-1].x - truth.positions[-1][0],
+            traj.points[-1].y - truth.positions[-1][1],
+        )
+        # Dead reckoning drifts, but stays within a few metres over ~35 m.
+        assert end_err < 6.0
+
+    def test_frames_have_device_pose(self, sws_session):
+        for frame in sws_session.frames:
+            assert frame.position is not None
+            assert np.isfinite(frame.heading)
+
+    def test_ground_truth_motion_stays_walkable(self, sws_session, lab1_plan):
+        truth = sws_session.ground_truth
+        for x, y in truth.positions[:: len(truth.positions) // 30]:
+            assert lab1_plan.is_walkable(Point(float(x), float(y)))
+
+    def test_route_too_short_raises(self, lab1_plan):
+        walker = Walker(lab1_plan, WalkerProfile(user_id="u"),
+                        rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            walker.perform_sws([Point(1, 1)])
+
+
+class TestSrs:
+    def test_headings_sweep_full_circle(self, srs_session):
+        truth = srs_session.ground_truth
+        swept = truth.headings.max() - truth.headings.min()
+        assert swept >= 2 * math.pi
+
+    def test_stationary(self, srs_session):
+        truth = srs_session.ground_truth
+        spread = truth.positions.std(axis=0)
+        assert (spread < 0.1).all()
+
+    def test_room_annotation(self, srs_session):
+        assert srs_session.room_name == "s1"
+        assert srs_session.task == "SRS"
+
+    def test_frame_headings_cover_circle(self, srs_session):
+        headings = sorted(
+            (f.heading % (2 * math.pi)) for f in srs_session.frames
+        )
+        gaps = np.diff(headings + [headings[0] + 2 * math.pi])
+        # Device-estimated headings still cover the circle densely.
+        assert gaps.max() < math.radians(40.0)
+
+    def test_session_ids_unique(self, lab1_plan, lab1_renderer):
+        walker = Walker(lab1_plan, WalkerProfile(user_id="u"),
+                        rng=np.random.default_rng(1), renderer=lab1_renderer)
+        a = walker.perform_srs(lab1_plan.rooms[0].center)
+        b = walker.perform_srs(lab1_plan.rooms[0].center)
+        assert a.session_id != b.session_id
+
+
+class TestCrowd:
+    def test_dataset_composition(self, small_dataset):
+        cfg = small_dataset.config
+        assert len(small_dataset.sws_sessions()) == cfg.n_users * cfg.sws_per_user
+        assert len(small_dataset.srs_sessions()) == cfg.n_users * cfg.srs_rooms_per_user
+        assert small_dataset.total_frames() > 100
+
+    def test_srs_rooms_round_robin(self, small_dataset, lab1_plan):
+        covered = {s.room_name for s in small_dataset.srs_sessions()}
+        assert len(covered) == len(small_dataset.srs_sessions())
+
+    def test_profiles_vary(self):
+        profiles = make_profiles(6, np.random.default_rng(0))
+        lengths = {p.step_length for p in profiles}
+        assert len(lengths) == 6
+
+    def test_night_fraction(self, lab1_plan):
+        ds = generate_crowd_dataset(
+            lab1_plan,
+            CrowdConfig(
+                n_users=2, sws_per_user=1, srs_rooms_per_user=0,
+                night_fraction=1.0, seed=3,
+                camera=Camera(width=48, height=64),
+            ),
+        )
+        assert all(s.lighting.name == "night" for s in ds.sessions)
+
+    def test_deterministic_with_seed(self, lab1_plan):
+        cfg = CrowdConfig(n_users=1, sws_per_user=1, srs_rooms_per_user=0,
+                          seed=9, camera=Camera(width=32, height=32))
+        a = generate_crowd_dataset(lab1_plan, cfg)
+        b = generate_crowd_dataset(lab1_plan, cfg)
+        assert np.array_equal(
+            a.sessions[0].frames[0].pixels, b.sessions[0].frames[0].pixels
+        )
+
+    def test_by_lighting_filter(self, small_dataset):
+        day = small_dataset.by_lighting("daylight")
+        assert len(day) == len(small_dataset.sessions)
