@@ -11,7 +11,6 @@ Not a paper table — these quantify the load-bearing design decisions:
 4. occupancy-grid cell size: hallway F-measure across grid resolutions.
 """
 
-import numpy as np
 
 from repro.core.aggregation import SequenceAggregator, calibrate_drift
 from repro.core.comparison import KeyframeComparator

@@ -15,7 +15,12 @@ from repro.eval.cdf import empirical_cdf, mean_of, percentile_of
 from repro.eval.report import render_table
 
 from benchmarks._shared import tee_print as print  # noqa: A004
-from benchmarks._shared import dataset_for, experiment_config, print_banner
+from benchmarks._shared import (
+    SMOKE_MODE,
+    dataset_for,
+    experiment_config,
+    print_banner,
+)
 
 
 def run_fig7c():
@@ -91,7 +96,45 @@ def test_fig7c_matching_latency(benchmark):
         )
     )
 
+    _dump_timing_json(pair_latencies, trajectory_latencies, comparator)
+
+    if SMOKE_MODE:
+        # The CI smoke job only guards against pipeline exceptions; the
+        # timings above are uploaded as an artifact, not asserted on
+        # (shared runners are far too noisy for latency bounds).
+        return
     assert mean_of(pair_latencies) < 0.8, "per-pair latency must beat the paper's testbed"
     assert percentile_of(trajectory_latencies, 90) < 30.0
     # The cheap stages must be resolving a meaningful share of the work.
     assert comparator.n_surf_comparisons < total
+
+
+def _dump_timing_json(pair_latencies, trajectory_latencies, comparator):
+    """Persist the run's timings for the CI artifact upload."""
+    import json
+    import os
+
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    payload = {
+        "smoke_mode": SMOKE_MODE,
+        "n_pair_comparisons": len(pair_latencies),
+        "pair_latency_seconds": {
+            "mean": mean_of(pair_latencies),
+            "p50": percentile_of(pair_latencies, 50),
+            "p90": percentile_of(pair_latencies, 90),
+            "p99": percentile_of(pair_latencies, 99),
+        },
+        "trajectory_latency_seconds": {
+            "mean": mean_of(trajectory_latencies),
+            "p50": percentile_of(trajectory_latencies, 50),
+            "p90": percentile_of(trajectory_latencies, 90),
+        },
+        "hierarchy": {
+            "heading_rejects": comparator.n_heading_rejects,
+            "s1_rejects": comparator.n_s1_rejects,
+            "surf_comparisons": comparator.n_surf_comparisons,
+        },
+    }
+    with open(os.path.join(results_dir, "fig7c_latency.json"), "w") as fh:
+        json.dump(payload, fh, indent=2)

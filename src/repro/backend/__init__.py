@@ -13,14 +13,23 @@ trajectory aggregation. This package reproduces that dataflow in-process:
 - :mod:`repro.backend.workers` — a worker pool running pipeline stages in
   parallel (threads), standing in for the Spark job;
 - :mod:`repro.backend.server` — the ingest server tying upload, reassembly
-  and storage together.
+  and storage together;
+- :mod:`repro.backend.faults` — seeded fault injection (chaos testing the
+  above: corrupt chunks, truncated IMU streams, flaky handlers).
 """
 
 from repro.backend.chunking import chunk_payload, reassemble_chunks, Chunk
 from repro.backend.datastore import DocumentStore, Document
-from repro.backend.queue import TaskQueue, Task, TaskState
+from repro.backend.faults import (
+    FaultDecision,
+    FaultInjectionError,
+    FaultInjector,
+    FlakyHandler,
+    SlowHandler,
+)
+from repro.backend.queue import TaskQueue, Task, TaskState, RetryPolicy
 from repro.backend.scheduler import SimulatedScheduler, ScheduledJob
-from repro.backend.workers import WorkerPool, map_parallel
+from repro.backend.workers import WorkerPool, map_parallel, map_with_failures
 from repro.backend.server import IngestServer, UploadSession
 from repro.backend.telemetry import TelemetryRegistry, default_registry
 from repro.backend.serialization import (
@@ -38,10 +47,17 @@ __all__ = [
     "TaskQueue",
     "Task",
     "TaskState",
+    "RetryPolicy",
+    "FaultDecision",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FlakyHandler",
+    "SlowHandler",
     "SimulatedScheduler",
     "ScheduledJob",
     "WorkerPool",
     "map_parallel",
+    "map_with_failures",
     "IngestServer",
     "UploadSession",
     "TelemetryRegistry",

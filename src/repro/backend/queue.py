@@ -1,19 +1,32 @@
-"""Task queue with acknowledgement and retry semantics.
+"""Task queue with acknowledgement, retry-with-backoff and dead-letter semantics.
 
 Connects the ingest path to the processing pipeline: uploads become tasks,
 workers lease them, and failed leases are retried up to a bound before
 landing in a dead-letter list — the behaviour a production cloud pipeline
 needs when a pipeline stage crashes mid-document.
+
+Retries are governed by a :class:`RetryPolicy`: each failed attempt
+schedules the task ``backoff_base * backoff_factor**(attempt-1)`` seconds
+into the future (capped at ``backoff_max``, optionally jittered with a
+seeded RNG so tests replay exactly), and a task that exhausts its attempts
+is dead-lettered rather than dropped. Every transition lands in telemetry
+(``tasks_retried`` / ``tasks_dead_lettered``) and on the task itself
+(``attempt_errors``), so an operator can reconstruct the attempt trail of
+any upload.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import random
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.backend.telemetry import TelemetryRegistry, default_registry
 
 
 class TaskState(enum.Enum):
@@ -23,6 +36,46 @@ class TaskState(enum.Enum):
     LEASED = "leased"
     DONE = "done"
     DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed tasks are retried before dead-lettering.
+
+    ``max_attempts`` bounds total tries (first attempt included). With
+    ``backoff_base == 0`` retries are immediate, preserving the seed
+    behaviour; otherwise attempt ``k``'s retry is delayed exponentially
+    and jittered by up to ``jitter`` of itself (symmetric, seeded).
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """Backoff delay after the ``attempt``-th failure (1-based)."""
+        if self.backoff_base <= 0.0:
+            return 0.0
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+        )
+        if self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
 
 
 @dataclass
@@ -36,15 +89,33 @@ class Task:
     attempts: int = 0
     last_error: Optional[str] = None
     result: Any = None
+    #: Earliest clock time this task may be leased again (backoff gate).
+    not_before: float = 0.0
+    #: Error message of every failed attempt, in order.
+    attempt_errors: List[str] = field(default_factory=list)
 
 
 class TaskQueue:
-    """FIFO queue with lease/ack/nack and bounded retries."""
+    """FIFO queue with lease/ack/nack, bounded retries and backoff.
 
-    def __init__(self, max_attempts: int = 3):
-        if max_attempts < 1:
-            raise ValueError("max_attempts must be at least 1")
-        self.max_attempts = max_attempts
+    ``clock`` is injectable (monotonic seconds) so tests can drive the
+    backoff schedule without sleeping.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        retry_policy: Optional[RetryPolicy] = None,
+        telemetry: Optional[TelemetryRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if retry_policy is None:
+            retry_policy = RetryPolicy(max_attempts=max_attempts)
+        self.retry_policy = retry_policy
+        self.max_attempts = retry_policy.max_attempts
+        self.telemetry = telemetry or default_registry
+        self._clock = clock
+        self._jitter_rng = random.Random(retry_policy.seed)
         self._pending: Deque[int] = deque()
         self._tasks: Dict[int, Task] = {}
         self._counter = itertools.count(1)
@@ -59,16 +130,39 @@ class TaskQueue:
             return task
 
     def lease(self, timeout: Optional[float] = None) -> Optional[Task]:
-        """Take the next pending task, blocking up to ``timeout`` seconds."""
+        """Take the next *ready* pending task, blocking up to ``timeout``.
+
+        A task still inside its backoff window is skipped (it stays
+        queued); FIFO order holds among ready tasks.
+        """
         with self._lock:
-            if not self._pending and timeout:
-                self._lock.wait(timeout)
-            if not self._pending:
-                return None
-            task = self._tasks[self._pending.popleft()]
-            task.state = TaskState.LEASED
-            task.attempts += 1
-            return task
+            deadline = None if not timeout else time.monotonic() + timeout
+            while True:
+                now = self._clock()
+                for idx, task_id in enumerate(self._pending):
+                    task = self._tasks[task_id]
+                    if task.not_before <= now:
+                        del self._pending[idx]
+                        task.state = TaskState.LEASED
+                        task.attempts += 1
+                        return task
+                if deadline is None:
+                    return None
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                # Sleep until a submit/nack notifies us or the earliest
+                # backoff window could open, whichever comes first.
+                waits = [remaining]
+                if self._pending:
+                    waits.append(
+                        max(
+                            0.001,
+                            min(self._tasks[i].not_before
+                                for i in self._pending) - now,
+                        )
+                    )
+                self._lock.wait(min(waits))
 
     def ack(self, task_id: int, result: Any = None) -> None:
         with self._lock:
@@ -78,16 +172,37 @@ class TaskQueue:
             self._lock.notify_all()
 
     def nack(self, task_id: int, error: str = "") -> None:
-        """Report a failed lease; requeues or dead-letters the task."""
+        """Report a failed lease; requeues (with backoff) or dead-letters."""
         with self._lock:
             task = self._require(task_id, TaskState.LEASED)
             task.last_error = error
+            task.attempt_errors.append(error)
             if task.attempts >= self.max_attempts:
                 task.state = TaskState.DEAD
+                self.telemetry.counter(
+                    "tasks_dead_lettered", "tasks that exhausted their retries"
+                ).inc()
             else:
                 task.state = TaskState.PENDING
+                task.not_before = self._clock() + self.retry_policy.delay_for(
+                    task.attempts, self._jitter_rng
+                )
                 self._pending.append(task.task_id)
+                self.telemetry.counter(
+                    "tasks_retried", "failed attempts that were requeued"
+                ).inc()
             self._lock.notify_all()
+
+    def retry_dead(self, task_id: int) -> Task:
+        """Resurrect a dead-lettered task with a fresh attempt budget."""
+        with self._lock:
+            task = self._require(task_id, TaskState.DEAD)
+            task.state = TaskState.PENDING
+            task.attempts = 0
+            task.not_before = 0.0
+            self._pending.append(task.task_id)
+            self._lock.notify()
+            return task
 
     def _require(self, task_id: int, expected: TaskState) -> Task:
         task = self._tasks.get(task_id)
@@ -107,9 +222,28 @@ class TaskQueue:
         with self._lock:
             return [t for t in self._tasks.values() if t.state is state]
 
+    def dead_letters(self) -> List[Task]:
+        """Every task that exhausted its retries (the dead-letter list)."""
+        return self.tasks_in_state(TaskState.DEAD)
+
     def pending_count(self) -> int:
         with self._lock:
             return len(self._pending)
+
+    def next_ready_in(self) -> Optional[float]:
+        """Seconds until the earliest pending task becomes leasable.
+
+        0.0 when one is ready now; None when nothing is pending. Lets a
+        draining worker sleep exactly as long as the backoff requires.
+        """
+        with self._lock:
+            if not self._pending:
+                return None
+            now = self._clock()
+            return max(
+                0.0,
+                min(self._tasks[i].not_before for i in self._pending) - now,
+            )
 
     def all_settled(self) -> bool:
         """True when nothing is pending or leased."""

@@ -10,7 +10,7 @@ Jobs that raise are recorded, not fatal, and can be bounded by
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 

@@ -116,11 +116,22 @@ class IngestServer:
                 raise KeyError(f"unknown upload {upload_id!r}")
             if not session.is_complete():
                 have = sorted(session.chunks)
+                self.telemetry.counter(
+                    "ingest_finalize_failures",
+                    "finalize attempts rejected (incomplete or corrupt)",
+                ).inc()
                 raise ChunkReassemblyError(
                     f"upload {upload_id} incomplete: have {len(have)} of "
                     f"{session.expected_total}"
                 )
-            data = reassemble_chunks(list(session.chunks.values()))
+            try:
+                data = reassemble_chunks(list(session.chunks.values()))
+            except ChunkReassemblyError:
+                self.telemetry.counter(
+                    "ingest_finalize_failures",
+                    "finalize attempts rejected (incomplete or corrupt)",
+                ).inc()
+                raise
             doc = self.store.insert(
                 self.RAW_COLLECTION,
                 {
@@ -146,6 +157,26 @@ class IngestServer:
                     {"doc_id": doc.doc_id, "upload_id": upload_id},
                 )
             return doc.doc_id
+
+    def abandon_upload(self, upload_id: str) -> bool:
+        """Discard an in-flight upload (client vanished mid-transfer).
+
+        Dropped uploads are the crowdsourcing norm, not an error: the
+        server frees the partial chunk buffer, counts the drop, and the
+        caller may reopen a fresh upload later. Returns False when the
+        id is unknown or already finalized (finalized uploads are data,
+        not garbage).
+        """
+        with self._lock:
+            session = self._sessions.get(upload_id)
+            if session is None or session.completed:
+                return False
+            del self._sessions[upload_id]
+            self.telemetry.counter(
+                "ingest_uploads_abandoned",
+                "in-flight uploads dropped before finalize",
+            ).inc()
+            return True
 
     def pending_uploads(self) -> List[str]:
         with self._lock:

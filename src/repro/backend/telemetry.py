@@ -13,8 +13,7 @@ import bisect
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 _DEFAULT_BUCKETS = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0
@@ -154,6 +153,25 @@ class TelemetryRegistry:
             yield
         finally:
             histogram.observe(time.perf_counter() - start)
+
+    def value(self, name: str) -> float:
+        """Current value of a counter/gauge (0.0 when never registered).
+
+        Chaos tests assert exact fault counts through this without having
+        to pre-register every metric they might read.
+        """
+        with self._lock:
+            metric = self._metrics.get(name)
+        if isinstance(metric, (Counter, Gauge)):
+            return metric.value
+        if isinstance(metric, Histogram):
+            return float(metric.count)
+        return 0.0
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation for the process-wide registry)."""
+        with self._lock:
+            self._metrics.clear()
 
     def scrape(self) -> str:
         """Plain-text dump of every metric, stable-ordered."""

@@ -6,13 +6,20 @@ drains a :class:`~repro.backend.queue.TaskQueue` through per-kind handlers,
 plus a convenience :func:`map_parallel` for embarrassingly parallel stages
 (trajectory pair scoring, per-room layout generation). Threads are the
 right tool offline: numpy releases the GIL in its inner loops.
+
+Failure semantics: a handler exception nacks the task, which the queue
+retries with backoff until it dead-letters; :func:`map_parallel` defaults
+to fail-fast (``on_error="raise"``) but can shed bad items
+(``on_error="skip"``) so one corrupt session cannot abort a whole
+embarrassingly parallel stage.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.backend.queue import Task, TaskQueue
 from repro.backend.telemetry import TelemetryRegistry, default_registry
@@ -20,23 +27,84 @@ from repro.backend.telemetry import TelemetryRegistry, default_registry
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Internal marker for items dropped by ``on_error="skip"``.
+_SKIPPED = object()
+
 
 def map_parallel(
     function: Callable[[T], R],
     items: Sequence[T],
     max_workers: int = 4,
+    on_error: str = "raise",
+    telemetry: Optional[TelemetryRegistry] = None,
 ) -> List[R]:
     """Apply ``function`` to every item in parallel, preserving order.
 
-    Exceptions propagate to the caller (after all futures settle), matching
-    the fail-fast behaviour of a Spark job with a failing partition.
+    With ``on_error="raise"`` exceptions propagate to the caller,
+    matching the fail-fast behaviour of a Spark job with a failing
+    partition. With ``on_error="skip"`` the failing items are dropped
+    from the result (survivor order preserved) and counted in the
+    ``map_parallel_items_skipped`` telemetry counter — the mode the
+    pipeline's fault-tolerant stages use to shed corrupt sessions.
     """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
     if not items:
         return []
+
+    registry = telemetry or default_registry
+
+    def call(item: T):
+        if on_error == "raise":
+            return function(item)
+        try:
+            return function(item)
+        except Exception:  # noqa: BLE001 - skip mode sheds bad items
+            registry.counter(
+                "map_parallel_items_skipped",
+                "items dropped by map_parallel(on_error='skip')",
+            ).inc()
+            return _SKIPPED
+
     if max_workers <= 1 or len(items) == 1:
-        return [function(item) for item in items]
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(function, items))
+        raw = [call(item) for item in items]
+    else:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            raw = list(pool.map(call, items))
+    return [r for r in raw if r is not _SKIPPED]
+
+
+def map_with_failures(
+    function: Callable[[T], R],
+    items: Sequence[T],
+    max_workers: int = 4,
+) -> Tuple[List[Tuple[int, R]], List[Tuple[int, Exception]]]:
+    """Like ``map_parallel(on_error="skip")`` but the failures come back.
+
+    Returns ``(successes, failures)`` where each entry is paired with the
+    item's original index, so callers that must *report* which items were
+    quarantined (rather than silently shedding them) can reconstruct
+    both streams in input order.
+    """
+    if not items:
+        return [], []
+
+    def call(indexed: Tuple[int, T]):
+        idx, item = indexed
+        try:
+            return idx, function(item), None
+        except Exception as exc:  # noqa: BLE001 - caller handles the report
+            return idx, None, exc
+
+    indexed_items = list(enumerate(items))
+    if max_workers <= 1 or len(items) == 1:
+        raw = [call(pair) for pair in indexed_items]
+    else:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            raw = list(pool.map(call, indexed_items))
+    successes = [(idx, result) for idx, result, exc in raw if exc is None]
+    failures = [(idx, exc) for idx, _, exc in raw if exc is not None]
+    return successes, failures
 
 
 class WorkerPool:
@@ -71,9 +139,17 @@ class WorkerPool:
                 result = handler(task.payload)
         except Exception as exc:  # noqa: BLE001 - worker must survive bad tasks
             self.telemetry.counter("worker_task_failures").inc()
+            self.telemetry.counter(
+                f"worker_{task.kind}_failures",
+                "failed handler attempts for this task kind",
+            ).inc()
             self.queue.nack(task.task_id, error=f"{type(exc).__name__}: {exc}")
         else:
             self.telemetry.counter("worker_tasks_done").inc()
+            self.telemetry.histogram(
+                "task_attempts_to_success",
+                "attempts a task needed before acking",
+            ).observe(task.attempts)
             self.queue.ack(task.task_id, result=result)
 
     def _worker_loop(self) -> None:
@@ -101,8 +177,6 @@ class WorkerPool:
 
     def drain(self, poll_interval: float = 0.01, timeout: float = 30.0) -> None:
         """Block until every submitted task settles (done or dead)."""
-        import time
-
         deadline = time.monotonic() + timeout
         while not self.queue.all_settled():
             if time.monotonic() > deadline:

@@ -11,7 +11,6 @@ CrowdMap's full-visual method, as it does in the paper's Fig. 8 narrative.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 import numpy as np

@@ -19,7 +19,6 @@ the same Δω information the panorama stage already relies on.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 

@@ -9,7 +9,7 @@ which paper stage it controls so ablations can sweep them meaningfully.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Tuple
 
 
@@ -106,6 +106,13 @@ class CrowdMapConfig:
     force_iterations: int = 120
     #: Convergence threshold on the maximum room displacement per step, m.
     force_tolerance: float = 1e-3
+
+    # ---- fault tolerance ----------------------------------------------
+    #: What the pipeline does when one session or panorama group fails:
+    #: "quarantine" records a StageFailure and keeps reconstructing from
+    #: the healthy remainder (crowdsourced inputs are unreliable by
+    #: nature); "raise" restores strict fail-fast behaviour for debugging.
+    pipeline_on_error: str = "quarantine"
 
     # ---- misc ----------------------------------------------------------
     #: Workers for parallel stages (Spark stand-in).

@@ -29,6 +29,22 @@ from repro.vision.surf import SurfFeature, detect_and_describe
 from repro.vision.wavelet import WaveletSignature, wavelet_signature
 
 
+class KeyframeSelectionError(ValueError):
+    """A session's frames cannot yield key-frames (corrupt or empty pixels).
+
+    Crowdsourced uploads arrive damaged — dropped chunks, codec bit-rot —
+    and NaN pixels would otherwise flow silently into every downstream
+    signature. Raising here gives the pipeline a clean per-session
+    quarantine point instead of a poisoned reconstruction.
+    """
+
+    def __init__(self, message: str, session_id: str = "",
+                 frame_index: Optional[int] = None):
+        super().__init__(message)
+        self.session_id = session_id
+        self.frame_index = frame_index
+
+
 @dataclass
 class KeyFrame:
     """A selected key-frame with its cached comparison signatures."""
@@ -84,6 +100,11 @@ def select_keyframes(
     ``keyframe_ncc_threshold`` (``h_g``) — i.e. the camera has moved
     noticeably since the last key-frame. The last frame is also kept so
     sequences never lose their endpoint.
+
+    Raises :class:`KeyframeSelectionError` when a frame carries corrupt
+    pixel data (empty or non-finite) — NaNs would silently zero every
+    downstream similarity, so corrupt sessions must fail loudly enough
+    for the pipeline to quarantine them.
     """
     config = config or CrowdMapConfig()
     if not frames:
@@ -91,6 +112,19 @@ def select_keyframes(
     keyframes: List[KeyFrame] = []
     last_hog: Optional[np.ndarray] = None
     for i, frame in enumerate(frames):
+        pixels = frame.pixels
+        if pixels is None or pixels.size == 0:
+            raise KeyframeSelectionError(
+                f"session {session_id or '<unknown>'}: frame "
+                f"{frame.frame_index} has no pixel data",
+                session_id=session_id, frame_index=frame.frame_index,
+            )
+        if not np.all(np.isfinite(pixels)):
+            raise KeyframeSelectionError(
+                f"session {session_id or '<unknown>'}: frame "
+                f"{frame.frame_index} has non-finite pixels (corrupt upload)",
+                session_id=session_id, frame_index=frame.frame_index,
+            )
         smoothed = gaussian_blur(to_grayscale(frame.pixels), config.hog_blur_sigma)
         hog = hog_descriptor(smoothed, cell_size=config.hog_cell_size)
         is_last = i == len(frames) - 1

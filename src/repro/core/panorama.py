@@ -10,6 +10,7 @@ composites them into a cylindrical panorama (AutoStitch's role).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -44,7 +45,18 @@ class RoomPanorama:
 
 
 class PanoramaCoverageError(ValueError):
-    """The candidate key-frames cannot form a full 360-degree panorama."""
+    """The candidate key-frames cannot form a full 360-degree panorama.
+
+    Carries enough context (candidate count, room hint) for the
+    pipeline's quarantine report to say *which* group failed and why,
+    without the caller having to re-derive it.
+    """
+
+    def __init__(self, message: str, n_keyframes: int = 0,
+                 room_hint: Optional[str] = None):
+        super().__init__(message)
+        self.n_keyframes = n_keyframes
+        self.room_hint = room_hint
 
 
 class PanoramaBuilder:
@@ -80,10 +92,22 @@ class PanoramaBuilder:
         columns empty.
         """
         if not keyframes:
-            raise PanoramaCoverageError("no key-frames supplied")
+            raise PanoramaCoverageError(
+                "no key-frames supplied", room_hint=room_hint
+            )
+        bad_headings = [
+            kf for kf in keyframes if not math.isfinite(kf.heading)
+        ]
+        if bad_headings:
+            raise PanoramaCoverageError(
+                f"{len(bad_headings)} key-frame(s) carry non-finite headings "
+                "(corrupt inertial stream)",
+                n_keyframes=len(keyframes), room_hint=room_hint,
+            )
         if not self.check_coverage(keyframes):
             raise PanoramaCoverageError(
-                "key-frames do not cover 360 degrees with sufficient overlap"
+                "key-frames do not cover 360 degrees with sufficient overlap",
+                n_keyframes=len(keyframes), room_hint=room_hint,
             )
         frames = [kf.frame for kf in keyframes]
         selected = select_panorama_frames(
@@ -105,7 +129,8 @@ class PanoramaBuilder:
         gap = panorama.gap_fraction()
         if gap > self.config.panorama_max_gap:
             raise PanoramaCoverageError(
-                f"stitched panorama has {gap:.0%} uncovered columns"
+                f"stitched panorama has {gap:.0%} uncovered columns",
+                n_keyframes=len(keyframes), room_hint=room_hint,
             )
         session_ids = sorted({kf.frame.user_id for kf in keyframes if kf.frame.user_id})
         return RoomPanorama(

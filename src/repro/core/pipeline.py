@@ -12,6 +12,17 @@ Mirrors the paper's three backend sub-processes:
 The pipeline is deterministic given the dataset and config, parallelizes
 its embarrassingly parallel stages through the worker substrate, and
 reports per-stage wall-clock timings (the paper's Fig. 7c latency data).
+
+Failure semantics: crowdsourced uploads are unreliable, so the pipeline
+*degrades* instead of dying (``config.pipeline_on_error="quarantine"``,
+the default). A session whose key-frame selection fails, or a panorama
+group that cannot be stitched, is quarantined into
+:attr:`ReconstructionResult.failures` — with telemetry counters
+(``sessions_quarantined``, ``panorama_groups_quarantined``) — while the
+healthy remainder still produces a floor plan. The paper's premise is
+that quality grows with trajectory quantity (Fig. 7a); one corrupt
+upload must never zero it. Set ``pipeline_on_error="raise"`` to restore
+strict fail-fast behaviour.
 """
 
 from __future__ import annotations
@@ -21,7 +32,8 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.backend.workers import map_parallel
+from repro.backend.telemetry import TelemetryRegistry, default_registry
+from repro.backend.workers import map_parallel, map_with_failures
 from repro.core.aggregation import (
     AggregationResult,
     AnchoredTrajectory,
@@ -40,6 +52,16 @@ from repro.world.crowd import CrowdDataset
 from repro.world.walker import CaptureSession
 
 
+@dataclass(frozen=True)
+class StageFailure:
+    """One quarantined item: which stage rejected what, and why."""
+
+    stage: str      # "keyframes" (per SWS session) or "panorama" (per group)
+    item_id: str    # session id, or "+"-joined session ids of a group
+    error_type: str
+    message: str
+
+
 @dataclass
 class ReconstructionResult:
     """Everything the pipeline produces for one building."""
@@ -51,6 +73,15 @@ class ReconstructionResult:
     floorplan: FloorPlanResult
     timings: Dict[str, float] = field(default_factory=dict)
     anchored: List[AnchoredTrajectory] = field(default_factory=list)
+    #: Items quarantined by graceful degradation (empty on a clean run).
+    failures: List[StageFailure] = field(default_factory=list)
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.failures)
+
+    def failures_for_stage(self, stage: str) -> List[StageFailure]:
+        return [f for f in self.failures if f.stage == stage]
 
     def layout_for_room(self, room_hint: str) -> Optional[RoomLayout]:
         for pano, layout in zip(self.panoramas, self.layouts):
@@ -62,13 +93,27 @@ class ReconstructionResult:
 class CrowdMapPipeline:
     """Orchestrates the full reconstruction for one building's dataset."""
 
-    def __init__(self, config: Optional[CrowdMapConfig] = None):
+    def __init__(
+        self,
+        config: Optional[CrowdMapConfig] = None,
+        telemetry: Optional[TelemetryRegistry] = None,
+    ):
         self.config = config or CrowdMapConfig()
+        if self.config.pipeline_on_error not in ("quarantine", "raise"):
+            raise ValueError(
+                "pipeline_on_error must be 'quarantine' or 'raise', got "
+                f"{self.config.pipeline_on_error!r}"
+            )
+        self.telemetry = telemetry or default_registry
         self.comparator = KeyframeComparator(self.config)
         self.aggregator = SequenceAggregator(self.config, self.comparator)
         self.panorama_builder = PanoramaBuilder(self.config)
         self.layout_estimator = RoomLayoutEstimator(self.config)
         self.assembler = FloorPlanAssembler(self.config)
+
+    @property
+    def _quarantine(self) -> bool:
+        return self.config.pipeline_on_error == "quarantine"
 
     # ------------------------------------------------------------------
     # Stage 1: pathway
@@ -87,12 +132,35 @@ class CrowdMapPipeline:
 
     def build_pathway(
         self, sessions: List[CaptureSession]
-    ) -> Tuple[List[AnchoredTrajectory], AggregationResult, SkeletonResult]:
-        anchored = map_parallel(
-            self.anchor_session, sessions, max_workers=self.config.n_workers
-        )
+    ) -> Tuple[List[AnchoredTrajectory], AggregationResult, SkeletonResult,
+               List[StageFailure]]:
+        if self._quarantine:
+            successes, errors = map_with_failures(
+                self.anchor_session, sessions, max_workers=self.config.n_workers
+            )
+            anchored = [result for _, result in successes]
+            failures = []
+            for idx, exc in errors:
+                session = sessions[idx]
+                failures.append(
+                    StageFailure(
+                        stage="keyframes",
+                        item_id=session.session_id,
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                    )
+                )
+                self.telemetry.counter(
+                    "sessions_quarantined",
+                    "SWS sessions quarantined by graceful degradation",
+                ).inc()
+        else:
+            anchored = map_parallel(
+                self.anchor_session, sessions, max_workers=self.config.n_workers
+            )
+            failures = []
         aggregation = self.aggregator.aggregate(anchored)
-        if self.config.drift_calibration_iterations > 0:
+        if anchored and self.config.drift_calibration_iterations > 0:
             trajectories = calibrate_drift(
                 anchored, aggregation,
                 iterations=self.config.drift_calibration_iterations,
@@ -101,7 +169,7 @@ class CrowdMapPipeline:
             trajectories = aggregation.trajectories
         bounds = _trajectory_bounds(aggregation, margin=2.0)
         skeleton = reconstruct_skeleton(trajectories, bounds, self.config)
-        return anchored, aggregation, skeleton
+        return anchored, aggregation, skeleton, failures
 
     # ------------------------------------------------------------------
     # Stage 2: rooms
@@ -135,7 +203,12 @@ class CrowdMapPipeline:
     def build_room(
         self, group: List[CaptureSession]
     ) -> Optional[Tuple[RoomPanorama, RoomLayout]]:
-        """Panorama + layout for one SRS cell group (None if not stitchable).
+        """Panorama + layout for one SRS cell group.
+
+        Raises :class:`PanoramaCoverageError` when neither any single
+        session nor the pooled fallback can cover the circle; in
+        quarantine mode :meth:`build_rooms` turns that into a
+        :class:`StageFailure` instead of aborting the building.
 
         When several users spun in the same cell, each session is stitched
         and fitted on its own and the most surface-consistent layout wins:
@@ -150,16 +223,19 @@ class CrowdMapPipeline:
 
         best: Optional[Tuple[RoomPanorama, RoomLayout]] = None
         for session in group:
-            session_keyframes = select_keyframes(
-                session.frames, self.config, session_id=session.session_id
-            )
-            capture = self._srs_capture_position(session)
             try:
+                session_keyframes = select_keyframes(
+                    session.frames, self.config, session_id=session.session_id
+                )
+                capture = self._srs_capture_position(session)
                 pano = self.panorama_builder.build(
                     session_keyframes, capture_position=capture,
                     room_hint=room_hint,
                 )
-            except PanoramaCoverageError:
+            except (PanoramaCoverageError, ValueError):
+                # A corrupt or under-covering session must not disqualify
+                # its healthier cell-mates; the pooled fallback (or the
+                # group-level quarantine) handles the all-bad case.
                 continue
             layout = self.layout_estimator.estimate(pano)
             if best is None or layout.consistency > best[1].consistency:
@@ -170,30 +246,52 @@ class CrowdMapPipeline:
         # Fallback: pool every session's key-frames into one panorama.
         keyframes: List[KeyFrame] = []
         for session in group:
-            keyframes.extend(
-                select_keyframes(session.frames, self.config,
-                                 session_id=session.session_id)
-            )
+            try:
+                keyframes.extend(
+                    select_keyframes(session.frames, self.config,
+                                     session_id=session.session_id)
+                )
+            except ValueError:
+                continue
         positions = [self._srs_capture_position(s) for s in group]
         capture = Point(
             sum(p.x for p in positions) / len(positions),
             sum(p.y for p in positions) / len(positions),
         )
-        try:
-            pano = self.panorama_builder.build(
-                keyframes, capture_position=capture, room_hint=room_hint
-            )
-        except PanoramaCoverageError:
-            return None
+        pano = self.panorama_builder.build(
+            keyframes, capture_position=capture, room_hint=room_hint
+        )
         return pano, self.layout_estimator.estimate(pano)
 
     def build_rooms(
         self, sessions: List[CaptureSession]
-    ) -> Tuple[List[RoomPanorama], List[RoomLayout]]:
+    ) -> Tuple[List[RoomPanorama], List[RoomLayout], List[StageFailure]]:
         groups = self.group_srs_sessions(sessions)
-        results = map_parallel(
-            self.build_room, groups, max_workers=self.config.n_workers
-        )
+        if self._quarantine:
+            successes, errors = map_with_failures(
+                self.build_room, groups, max_workers=self.config.n_workers
+            )
+            results = [result for _, result in successes]
+            failures = []
+            for idx, exc in errors:
+                group_id = "+".join(s.session_id for s in groups[idx])
+                failures.append(
+                    StageFailure(
+                        stage="panorama",
+                        item_id=group_id,
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                    )
+                )
+                self.telemetry.counter(
+                    "panorama_groups_quarantined",
+                    "SRS panorama groups quarantined by graceful degradation",
+                ).inc()
+        else:
+            results = map_parallel(
+                self.build_room, groups, max_workers=self.config.n_workers
+            )
+            failures = []
         panoramas, layouts = [], []
         for result in results:
             if result is None:
@@ -201,7 +299,7 @@ class CrowdMapPipeline:
             pano, layout = result
             panoramas.append(pano)
             layouts.append(layout)
-        return panoramas, layouts
+        return panoramas, layouts, failures
 
     # ------------------------------------------------------------------
     # Full run
@@ -221,13 +319,16 @@ class CrowdMapPipeline:
         sws = [s for s in sessions if s.task == "SWS"]
         srs = [s for s in sessions if s.task == "SRS"]
         timings: Dict[str, float] = {}
+        failures: List[StageFailure] = []
 
         t0 = time.perf_counter()
-        anchored, aggregation, skeleton = self.build_pathway(sws)
+        anchored, aggregation, skeleton, pathway_failures = self.build_pathway(sws)
+        failures.extend(pathway_failures)
         timings["pathway"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        panoramas, layouts = self.build_rooms(srs)
+        panoramas, layouts, room_failures = self.build_rooms(srs)
+        failures.extend(room_failures)
         timings["rooms"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
@@ -244,6 +345,7 @@ class CrowdMapPipeline:
             floorplan=floorplan,
             timings=timings,
             anchored=anchored,
+            failures=failures,
         )
 
 

@@ -16,7 +16,7 @@ wing"). These diagnostics read only the reconstruction itself:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 

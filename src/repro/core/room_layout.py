@@ -445,7 +445,6 @@ class RoomLayoutEstimator:
         azimuths = np.arange(c) / c * TWO_PI
         base = self.estimate(pano)
         theta0 = base.orientation
-        dists0 = np.array(base.wall_distances)
 
         # Per-wall wedge statistics: the profile values within +-45 deg of
         # each wall normal. The core rectangle samples near each wedge's

@@ -17,12 +17,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
 from repro.sensors.imu import (
-    GRAVITY,
     PRESSURE_PER_METRE,
     SEA_LEVEL_PRESSURE,
     ImuTrace,

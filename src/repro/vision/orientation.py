@@ -13,7 +13,7 @@ are computed on a rotated sampling grid.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

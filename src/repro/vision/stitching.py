@@ -138,12 +138,9 @@ def stitch_cylindrical(
         )
         resampled = pix[:, src_cols]
         # Camera looks along `heading`; image left edge shows heading+fov/2
-        # (azimuth grows CCW while image x grows to the camera's right).
-        start_azimuth = frame.heading + horizontal_fov / 2.0
-        col_start = int(round(wrap_to_2pi(start_azimuth) * cols_per_radian))
-        # Column index grows with azimuth decreasing -> reverse the canvas
-        # direction: we lay frames onto columns (col_start - i) mod W. To
-        # keep the canvas left-to-right in *increasing* azimuth, flip frame.
+        # (azimuth grows CCW while image x grows to the camera's right), so
+        # the frame is flipped to lay onto the canvas in increasing azimuth,
+        # anchored at the azimuth of its *right* edge (heading - fov/2).
         flipped = resampled[:, ::-1]
         gray = to_grayscale(flipped)
         anchor = int(round(wrap_to_2pi(frame.heading - horizontal_fov / 2.0)

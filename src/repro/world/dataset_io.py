@@ -14,10 +14,11 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.backend.telemetry import default_registry
 from repro.sensors.imu import ImuConfig, ImuSample, ImuTrace
 from repro.sensors.trajectory import Trajectory, TrajectoryPoint
 from repro.vision.image import Frame
@@ -105,8 +106,23 @@ def save_dataset(dataset: CrowdDataset, path: str) -> None:
     np.savez_compressed(path, **arrays)
 
 
-def load_dataset(path: str) -> CrowdDataset:
-    """Load a dataset saved by :func:`save_dataset`."""
+def load_dataset(
+    path: str,
+    on_error: str = "raise",
+    failures_out: Optional[List[Tuple[str, str]]] = None,
+) -> CrowdDataset:
+    """Load a dataset saved by :func:`save_dataset`.
+
+    ``on_error`` controls per-session resilience: ``"raise"`` keeps the
+    historical fail-fast behaviour, while ``"skip"`` drops sessions whose
+    arrays are missing or corrupt (a partially written or bit-rotted
+    bundle), records them in the ``dataset_sessions_skipped`` telemetry
+    counter and — when ``failures_out`` is supplied — appends
+    ``(session_id, reason)`` pairs to it. Manifest-level corruption
+    always raises: without the manifest there is no dataset to salvage.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
     bundle = np.load(path)
     manifest = json.loads(bytes(bundle["manifest"]).decode("utf-8"))
     if manifest.get("version") != _FORMAT_VERSION:
@@ -128,65 +144,90 @@ def load_dataset(path: str) -> CrowdDataset:
 
     sessions: List[CaptureSession] = []
     for meta in manifest["sessions"]:
-        prefix = meta["prefix"]
-        pixels = bundle[f"{prefix}_pixels"].astype(np.float64) / 255.0
-        frame_meta = bundle[f"{prefix}_frame_meta"]
-        frames = []
-        for i in range(len(frame_meta)):
-            t, heading, px, py, idx = frame_meta[i]
-            frames.append(
-                Frame(
-                    pixels=pixels[i],
-                    timestamp=float(t),
-                    heading=float(heading),
-                    position=None if np.isnan(px) else (float(px), float(py)),
-                    frame_index=int(idx),
-                    user_id=meta["user_id"],
+        try:
+            sessions.append(_load_session(bundle, meta))
+        except Exception as exc:  # noqa: BLE001 - skip mode sheds bad sessions
+            if on_error == "raise":
+                raise
+            default_registry.counter(
+                "dataset_sessions_skipped",
+                "sessions dropped while loading a damaged dataset bundle",
+            ).inc()
+            if failures_out is not None:
+                failures_out.append(
+                    (meta.get("session_id", meta.get("prefix", "?")),
+                     f"{type(exc).__name__}: {exc}")
                 )
-            )
-        imu_arr = bundle[f"{prefix}_imu"]
-        samples = [
-            ImuSample(
-                t=float(imu_arr[0, i]),
-                gyro_z=float(imu_arr[1, i]),
-                accel_magnitude=float(imu_arr[2, i]),
-                compass_heading=float(imu_arr[3, i]),
-                pressure=float(imu_arr[4, i]),
-            )
-            for i in range(imu_arr.shape[1])
-        ]
-        traj_arr = bundle[f"{prefix}_traj"]
-        trajectory = Trajectory(
-            points=[
-                TrajectoryPoint(float(x), float(y), float(t), float(h))
-                for x, y, t, h in traj_arr
-            ],
-            user_id=meta["user_id"],
-            trajectory_id=meta["session_id"],
-        )
-        alt_key = f"{prefix}_gt_alt"
-        motion = GroundTruthMotion(
-            times=bundle[f"{prefix}_gt_times"],
-            positions=bundle[f"{prefix}_gt_pos"],
-            headings=bundle[f"{prefix}_gt_head"],
-            step_times=list(bundle[f"{prefix}_gt_steps"]),
-            altitudes=bundle[alt_key] if alt_key in bundle else None,
-        )
-        sessions.append(
-            CaptureSession(
-                session_id=meta["session_id"],
-                user_id=meta["user_id"],
-                building=meta["building"],
-                floor=meta["floor"],
-                task=meta["task"],
-                frames=frames,
-                imu=ImuTrace(samples=samples, config=ImuConfig()),
-                lighting=_lighting_by_name(meta["lighting"]),
-                device_trajectory=trajectory,
-                ground_truth=motion,
-                room_name=meta["room_name"],
-            )
-        )
     return CrowdDataset(
         building=building, plan=plan, sessions=sessions, config=config
+    )
+
+
+def _load_session(bundle, meta: Dict[str, object]) -> CaptureSession:
+    """Decode one session's arrays from the bundle (raises on corruption)."""
+    prefix = meta["prefix"]
+    pixels = bundle[f"{prefix}_pixels"].astype(np.float64) / 255.0
+    frame_meta = bundle[f"{prefix}_frame_meta"]
+    if frame_meta.ndim != 2 or (len(frame_meta) and frame_meta.shape[1] != 5):
+        raise ValueError(f"{prefix}: malformed frame metadata array")
+    if len(frame_meta) != len(pixels):
+        raise ValueError(
+            f"{prefix}: {len(pixels)} frame stacks but "
+            f"{len(frame_meta)} metadata rows"
+        )
+    frames = []
+    for i in range(len(frame_meta)):
+        t, heading, px, py, idx = frame_meta[i]
+        frames.append(
+            Frame(
+                pixels=pixels[i],
+                timestamp=float(t),
+                heading=float(heading),
+                position=None if np.isnan(px) else (float(px), float(py)),
+                frame_index=int(idx),
+                user_id=meta["user_id"],
+            )
+        )
+    imu_arr = bundle[f"{prefix}_imu"]
+    if imu_arr.ndim != 2 or imu_arr.shape[0] != 5:
+        raise ValueError(f"{prefix}: malformed IMU array")
+    samples = [
+        ImuSample(
+            t=float(imu_arr[0, i]),
+            gyro_z=float(imu_arr[1, i]),
+            accel_magnitude=float(imu_arr[2, i]),
+            compass_heading=float(imu_arr[3, i]),
+            pressure=float(imu_arr[4, i]),
+        )
+        for i in range(imu_arr.shape[1])
+    ]
+    traj_arr = bundle[f"{prefix}_traj"]
+    trajectory = Trajectory(
+        points=[
+            TrajectoryPoint(float(x), float(y), float(t), float(h))
+            for x, y, t, h in traj_arr
+        ],
+        user_id=meta["user_id"],
+        trajectory_id=meta["session_id"],
+    )
+    alt_key = f"{prefix}_gt_alt"
+    motion = GroundTruthMotion(
+        times=bundle[f"{prefix}_gt_times"],
+        positions=bundle[f"{prefix}_gt_pos"],
+        headings=bundle[f"{prefix}_gt_head"],
+        step_times=list(bundle[f"{prefix}_gt_steps"]),
+        altitudes=bundle[alt_key] if alt_key in bundle else None,
+    )
+    return CaptureSession(
+        session_id=meta["session_id"],
+        user_id=meta["user_id"],
+        building=meta["building"],
+        floor=meta["floor"],
+        task=meta["task"],
+        frames=frames,
+        imu=ImuTrace(samples=samples, config=ImuConfig()),
+        lighting=_lighting_by_name(meta["lighting"]),
+        device_trajectory=trajectory,
+        ground_truth=motion,
+        room_name=meta["room_name"],
     )

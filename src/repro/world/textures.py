@@ -20,7 +20,7 @@ produces the featureless walls that defeat SfM (paper Fig. 9).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -31,11 +31,11 @@ class TestMixedWorkload:
         store = DocumentStore()
         col = store.collection("c")
         col.create_index("state")
-        ids = [store.insert("c", {"state": "new"}).doc_id for _ in range(5)]
+        for _ in range(5):
+            store.insert("c", {"state": "new"})
         store.update("c", {"state": "new"}, {"state": "done"})
         assert store.count("c", {"state": "new"}) == 0
         assert store.count("c", {"state": "done"}) == 5
-        del ids
 
     def test_concurrent_readers_and_writers(self):
         store = DocumentStore()

@@ -1,7 +1,6 @@
 """Tests for the task queue, scheduler and worker pool."""
 
 import threading
-import time
 
 import pytest
 

@@ -48,7 +48,7 @@ class TestUploadFlow:
         chunks = chunk_payload(upload_id, DATA, chunk_size=512)
         for chunk in reversed(chunks):
             server.receive_chunk(chunk)
-        doc_id = server.finalize_upload(upload_id)
+        server.finalize_upload(upload_id)
         doc = server.store.find_one(IngestServer.RAW_COLLECTION, {"upload_id": upload_id})
         assert doc["payload"] == DATA
 

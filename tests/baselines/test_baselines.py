@@ -40,7 +40,6 @@ class TestRoomWander:
         motion = generate_room_wander(
             ROOM, rng, base_margin=0.4, furniture_margin=1.2, furniture_walls=4
         )
-        bb = ROOM.bounding_box()
         span_x = motion.positions[:, 0].max() - motion.positions[:, 0].min()
         assert span_x < ROOM.width - 2 * 0.4
 

@@ -3,9 +3,7 @@
 import math
 
 import numpy as np
-import pytest
 
-from repro.core.config import CrowdMapConfig
 from repro.core.keyframes import select_keyframes
 from repro.vision.stitching import covers_full_circle
 from repro.world.renderer import DEFAULT_FOV

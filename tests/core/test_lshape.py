@@ -1,6 +1,5 @@
 """Tests for the L-shaped room extension (paper Section VI future work)."""
 
-import math
 
 import numpy as np
 import pytest

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import CrowdMapConfig
-from repro.core.navigation import NavigationPath, SkeletonNavigator, route_to_room
+from repro.core.navigation import SkeletonNavigator, route_to_room
 from repro.core.skeleton import reconstruct_skeleton
 from repro.geometry.primitives import BoundingBox, Point
 from repro.sensors.energy import (

@@ -1,7 +1,6 @@
 """Extended skeleton tests: property-based LCSS checks and failure injection."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -47,6 +47,6 @@ class TestCoverage:
         coverage = hallway_coverage(small_dataset.sessions, lab1_plan,
                                     reach_m=1.5)
         pipe = CrowdMapPipeline(CrowdMapConfig())
-        _, _, skeleton = pipe.build_pathway(small_dataset.sws_sessions())
+        _, _, skeleton, _ = pipe.build_pathway(small_dataset.sws_sessions())
         score = evaluate_hallway_shape(skeleton, lab1_plan)
         assert score.recall <= coverage + 0.15

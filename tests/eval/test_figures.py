@@ -1,7 +1,6 @@
 """Tests for ASCII figure rendering."""
 
 import numpy as np
-import pytest
 
 from repro.eval.figures import render_ascii_plot, render_cdf_plot, render_sparkline
 

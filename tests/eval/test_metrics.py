@@ -1,6 +1,5 @@
 """Tests for the evaluation metrics, CDF helpers and report rendering."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tests for the IMU simulator."""
 
-import math
 
 import numpy as np
 import pytest

@@ -124,14 +124,18 @@ class TestMatching:
 
     def test_mutual_requirement(self):
         # Features with asymmetric nearest neighbours must not pair twice.
-        mk = lambda d: SurfFeature(0, 0, 1.2, 1.0, np.asarray(d, float))
+        def mk(d):
+            return SurfFeature(0, 0, 1.2, 1.0, np.asarray(d, float))
+
         fa = [mk([1, 0, 0]), mk([0.9, 0.1, 0])]
         fb = [mk([1, 0, 0])]
         result = match_descriptors(fa, fb, distance_threshold=0.5)
         assert result.n_matches == 1
 
     def test_distance_threshold_enforced(self):
-        mk = lambda d: SurfFeature(0, 0, 1.2, 1.0, np.asarray(d, float))
+        def mk(d):
+            return SurfFeature(0, 0, 1.2, 1.0, np.asarray(d, float))
+
         fa = [mk([1.0, 0.0])]
         fb = [mk([0.0, 1.0])]
         result = match_descriptors(fa, fb, distance_threshold=0.5)

@@ -6,6 +6,14 @@ import pytest
 from repro.world.dataset_io import load_dataset, save_dataset
 
 
+def _drop_arrays(src_path, dst_path, *keys):
+    """Rewrite a dataset bundle without ``keys`` (simulated bit-rot)."""
+    bundle = np.load(src_path)
+    kept = {k: bundle[k] for k in bundle.files if k not in keys}
+    np.savez(dst_path, **kept)
+    return dst_path
+
+
 @pytest.fixture(scope="module")
 def roundtripped(small_dataset, tmp_path_factory):
     path = tmp_path_factory.mktemp("ds") / "lab1.npz"
@@ -74,8 +82,35 @@ class TestDatasetIo:
         loaded, _ = roundtripped
         config = CrowdMapConfig().with_overrides(layout_samples=200)
         pipe = CrowdMapPipeline(config)
-        anchored, agg, skel = pipe.build_pathway(loaded.sws_sessions()[:4])
+        anchored, agg, skel, _ = pipe.build_pathway(loaded.sws_sessions()[:4])
         assert skel.skeleton.any()
+
+    def test_damaged_bundle_raise_mode(self, roundtripped, tmp_path):
+        _, path = roundtripped
+        damaged = _drop_arrays(path, tmp_path / "damaged_raise.npz",
+                               "s0001_imu")
+        with pytest.raises(KeyError):
+            load_dataset(str(damaged))
+
+    def test_damaged_bundle_skip_mode(self, small_dataset, roundtripped,
+                                      tmp_path):
+        _, path = roundtripped
+        damaged = _drop_arrays(path, tmp_path / "damaged_skip.npz",
+                               "s0001_imu")
+        failures = []
+        loaded = load_dataset(str(damaged), on_error="skip",
+                              failures_out=failures)
+        assert len(loaded.sessions) == len(small_dataset.sessions) - 1
+        (session_id, reason), = failures
+        assert session_id == small_dataset.sessions[1].session_id
+        assert "KeyError" in reason
+        # The survivors are intact.
+        assert all(s.n_frames for s in loaded.sessions)
+
+    def test_invalid_on_error_rejected(self, roundtripped):
+        _, path = roundtripped
+        with pytest.raises(ValueError):
+            load_dataset(str(path), on_error="ignore")
 
     def test_bad_version_rejected(self, tmp_path):
         import json

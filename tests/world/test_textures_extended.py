@@ -1,7 +1,6 @@
 """Extended texture tests: the structures the CV pipeline keys on."""
 
 import numpy as np
-import pytest
 
 from repro.world.textures import (
     WallTexture,

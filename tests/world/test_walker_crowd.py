@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.geometry.primitives import Point, wrap_angle
+from repro.geometry.primitives import Point
 from repro.world.crowd import CrowdConfig, generate_crowd_dataset, make_profiles
 from repro.world.renderer import Camera
 from repro.world.walker import Walker, WalkerProfile
