@@ -1,0 +1,53 @@
+"""crowdlint: repo-native static analysis for the CrowdMap reproduction.
+
+Generic linters cannot express the invariants this codebase depends on —
+deterministic seeded RNG threading, injectable clocks, the quarantine
+failure-reporting contract from the fault-tolerance layer, float-equality
+hygiene in geometry code, and statically-valid ``CrowdMapConfig`` field
+references in sweeps and ablations. ``repro.analysis`` encodes them as
+AST rules (pure stdlib ``ast``, no third-party dependency) and runs as a
+CI gate next to ruff and mypy:
+
+    python -m repro.analysis src
+
+Rules
+-----
+========  ==============================================================
+CM001     no unseeded ``np.random.default_rng()`` / module-level
+          ``np.random.*`` in library code — thread an explicit
+          ``Generator`` (reproducibility of Fig. 7a depends on it)
+CM002     no wall-clock reads (``time.time``, ``datetime.now``) in
+          algorithmic modules; monotonic ``perf_counter`` is fine
+CM003     no ``except Exception`` that swallows the error without
+          recording it (the PR-1 quarantine invariant)
+CM004     no ``==``/``!=`` against float literals
+CM005     ``CrowdMapConfig`` field references in ``with_overrides`` and
+          constructor calls must name a real dataclass field
+========  ==============================================================
+
+A finding is suppressed by an inline pragma **with a reason**::
+
+    denom == 0.0  # crowdlint: allow[CM004] exact parallel test on cross product
+
+A pragma without a reason is itself an error (CM000).
+"""
+
+from repro.analysis.engine import (
+    Finding,
+    ModuleContext,
+    Rule,
+    format_findings,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "format_findings",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,79 @@
+"""CLI entry point: ``python -m repro.analysis [paths...]``.
+
+Exits 0 when the tree is clean, 1 when there are findings, 2 on usage
+errors — the contract the ``static-analysis`` CI job relies on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import format_findings, lint_paths
+from repro.analysis.rules import ALL_RULES
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="crowdlint: repo-native static analysis (rules CM001-CM005)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as a JSON array instead of text",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+
+    rules = list(ALL_RULES)
+    if args.select:
+        wanted = {r.strip().upper() for r in args.select.split(",") if r.strip()}
+        unknown = wanted - {r.rule_id for r in ALL_RULES}
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        rules = [r for r in ALL_RULES if r.rule_id in wanted]
+
+    try:
+        findings = lint_paths(args.paths, rules=rules)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.as_json:
+        payload: List[dict] = [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in findings
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_findings(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,246 @@
+"""The crowdlint engine: file discovery, pragma allowlist, rule driving.
+
+The engine is deliberately small: a :class:`ModuleContext` parses one file
+and pre-computes what every rule needs (the AST, import aliases, pragma
+lines), rules yield :class:`Finding` objects, and :func:`lint_paths` wires
+discovery + suppression together. Everything is pure stdlib so the linter
+itself can never be the reason the dependency surface grows.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: ``# crowdlint: allow[CM001,CM004] reason text`` — the reason is mandatory;
+#: an empty reason is reported as CM000 instead of suppressing anything.
+_PRAGMA_RE = re.compile(
+    r"#\s*crowdlint:\s*allow\[(?P<rules>[A-Za-z0-9_,\s]+)\]\s*(?:--\s*)?(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """A parsed ``crowdlint: allow[...]`` comment on one physical line."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+
+class Rule:
+    """Base class for crowdlint rules.
+
+    Subclasses set :attr:`rule_id` / :attr:`title` and implement
+    :meth:`check`, yielding findings for one module. Rules must not mutate
+    the context.
+    """
+
+    rule_id: str = "CM000"
+    title: str = ""
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: "ModuleContext", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class ModuleContext:
+    """One parsed source file plus the lookups rules share.
+
+    ``import_aliases`` maps local names to the dotted module they are bound
+    to (``np`` -> ``numpy``, ``dt`` -> ``datetime``); ``from_imports`` maps
+    local names to fully-qualified origins (``default_rng`` ->
+    ``numpy.random.default_rng``). Both let rules resolve a call like
+    ``np.random.default_rng()`` to its canonical dotted path regardless of
+    how the module spelled the import.
+    """
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        self.pragmas: Dict[int, Pragma] = {}
+        self.malformed_pragmas: List[Pragma] = []
+        self._parse_pragmas()
+        self.import_aliases: Dict[str, str] = {}
+        self.from_imports: Dict[str, str] = {}
+        self._collect_imports()
+
+    # -- pragmas -------------------------------------------------------
+
+    def _parse_pragmas(self) -> None:
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _PRAGMA_RE.search(text)
+            if match is None:
+                continue
+            rules = tuple(
+                r.strip().upper() for r in match.group("rules").split(",") if r.strip()
+            )
+            pragma = Pragma(line=lineno, rules=rules, reason=match.group("reason").strip())
+            if pragma.reason:
+                self.pragmas[lineno] = pragma
+            else:
+                self.malformed_pragmas.append(pragma)
+
+    def allowed(self, rule_id: str, line: int) -> bool:
+        """True when a well-formed pragma on ``line`` covers ``rule_id``."""
+        pragma = self.pragmas.get(line)
+        return pragma is not None and rule_id in pragma.rules
+
+    # -- import resolution ---------------------------------------------
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.import_aliases[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        self.import_aliases[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve_call_name(self, func: ast.expr) -> Optional[str]:
+        """Canonical dotted path of a call target, or None if not static.
+
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+        under ``import numpy as np``; a bare ``default_rng`` resolves via
+        ``from numpy.random import default_rng``. Attribute chains rooted
+        at anything other than an imported module (e.g. ``self.rng.normal``)
+        resolve to None, which rules treat as "not a module-level call".
+        """
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+        else:
+            return None
+        parts.reverse()
+        root = parts[0]
+        if root in self.from_imports:
+            return ".".join([self.from_imports[root]] + parts[1:])
+        if root in self.import_aliases:
+            return ".".join([self.import_aliases[root]] + parts[1:])
+        return None
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for candidate in candidates:
+            if any(part.startswith(".") for part in candidate.parts):
+                continue
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                yield candidate
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one source string; the unit every test fixture goes through."""
+    if rules is None:
+        from repro.analysis.rules import ALL_RULES
+
+        rules = ALL_RULES
+    try:
+        ctx = ModuleContext(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="CM000",
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"syntax error prevents analysis: {exc.msg}",
+            )
+        ]
+    findings: List[Finding] = []
+    for pragma in ctx.malformed_pragmas:
+        findings.append(
+            Finding(
+                rule="CM000",
+                path=path,
+                line=pragma.line,
+                col=0,
+                message=(
+                    "allow pragma is missing a reason — write "
+                    "'# crowdlint: allow[%s] <why this is safe>'"
+                    % ",".join(pragma.rules)
+                ),
+            )
+        )
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if not ctx.allowed(finding.rule, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: List[Finding] = []
+    for file_path in _iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, path=str(file_path), rules=rules))
+    return findings
+
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    """Human-readable report, one ``path:line:col: RULE message`` per line."""
+    if not findings:
+        return "crowdlint: no findings"
+    lines = [str(f) for f in findings]
+    lines.append(f"crowdlint: {len(findings)} finding(s)")
+    return "\n".join(lines)

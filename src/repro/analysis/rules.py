@@ -1,0 +1,276 @@
+"""The crowdlint rule set (CM001–CM005).
+
+Each rule encodes one repo invariant that a generic linter cannot check.
+See the package docstring for the one-line summary of each; the classes
+below document the precise detection logic and its deliberate blind spots.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+#: Module-level numpy RNG entry points that draw from (or mutate) the
+#: hidden global state. Calling any of these makes a run order-dependent.
+_NP_GLOBAL_RNG_FNS = {
+    "seed", "random", "rand", "randn", "randint", "random_sample",
+    "random_integers", "normal", "uniform", "choice", "shuffle",
+    "permutation", "standard_normal", "beta", "binomial", "poisson",
+    "exponential", "gamma", "bytes",
+}
+
+#: Wall-clock reads. Monotonic clocks (``perf_counter``, ``monotonic``)
+#: are fine: they measure durations, not calendar time, and cannot leak
+#: nondeterminism into artifacts.
+_WALL_CLOCK_FNS = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+class UnseededRngRule(Rule):
+    """CM001: library code must thread an explicit, seeded Generator.
+
+    Flags ``np.random.default_rng()`` with no seed argument, any
+    module-level ``np.random.<draw>()`` call (global-state RNG), and
+    unseeded ``np.random.RandomState()``. Calls on a *local* generator
+    object (``rng.normal(...)``, ``self.rng.choice(...)``) do not resolve
+    to the numpy module and are never flagged — threading a generator is
+    exactly the pattern this rule exists to enforce.
+    """
+
+    rule_id = "CM001"
+    title = "unseeded / global numpy RNG"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.resolve_call_name(node.func)
+            if name is None:
+                continue
+            if name in ("numpy.random.default_rng", "numpy.random.RandomState"):
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx, node,
+                        f"unseeded {name.split('.')[-1]}() — pass a seed or "
+                        "thread an explicit np.random.Generator",
+                    )
+            elif (
+                name.startswith("numpy.random.")
+                and name.rsplit(".", 1)[-1] in _NP_GLOBAL_RNG_FNS
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"module-level {name}() uses numpy's hidden global RNG "
+                    "state — thread an explicit np.random.Generator",
+                )
+
+
+class WallClockRule(Rule):
+    """CM002: algorithmic modules must not read the wall clock.
+
+    Calendar time in library code makes outputs depend on when they ran;
+    anything that needs a timestamp must accept an injectable clock.
+    Monotonic timers are allowed (duration telemetry), and modules with a
+    legitimate need (backend telemetry export) allowlist the call site
+    with a reason.
+    """
+
+    rule_id = "CM002"
+    title = "wall-clock read in algorithmic code"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.resolve_call_name(node.func)
+            if name in _WALL_CLOCK_FNS:
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() reads the wall clock — inject a clock "
+                    "callable instead (monotonic perf_counter is allowed)",
+                )
+
+
+class SwallowedExceptionRule(Rule):
+    """CM003: ``except Exception`` must record what it caught.
+
+    The quarantine invariant from the fault-tolerance layer: shedding a
+    bad input is fine, *losing the evidence* is not. A broad handler
+    passes when it re-raises, or binds the exception and actually uses
+    the bound name (stores it in a failure report, formats it into
+    telemetry). A broad handler that does neither is flagged.
+    """
+
+    rule_id = "CM003"
+    title = "except Exception swallows the error"
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True  # bare except:
+        if isinstance(handler.type, ast.Name) and handler.type.id in self._BROAD:
+            return True
+        if isinstance(handler.type, ast.Tuple):
+            return any(
+                isinstance(el, ast.Name) and el.id in self._BROAD
+                for el in handler.type.elts
+            )
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler) or not self._is_broad(node):
+                continue
+            reraises = any(isinstance(n, ast.Raise) for sub in node.body
+                           for n in ast.walk(sub))
+            uses_name = False
+            if node.name is not None:
+                uses_name = any(
+                    isinstance(n, ast.Name) and n.id == node.name
+                    for sub in node.body
+                    for n in ast.walk(sub)
+                )
+            if not reraises and not uses_name:
+                yield self.finding(
+                    ctx, node,
+                    "broad except swallows the error without recording it — "
+                    "re-raise, store the exception in a failure report, or "
+                    "allowlist with a reason",
+                )
+
+
+class FloatEqualityRule(Rule):
+    """CM004: no ``==`` / ``!=`` against float literals.
+
+    Float equality is only ever correct for exact sentinel values, and
+    those deserve an explicit pragma saying so. The rule flags any
+    comparison where one side is a float constant; integer-literal
+    comparisons (``d1 == 0`` on a cross product) are deliberately not
+    flagged — they are usually exactness tests on small-integer-valued
+    expressions and flagging them drowns the signal.
+    """
+
+    rule_id = "CM004"
+    title = "float literal equality comparison"
+
+    @staticmethod
+    def _is_float_literal(node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        # -1.0 parses as UnaryOp(USub, Constant(1.0)).
+        return (
+            isinstance(node, ast.UnaryOp)
+            and isinstance(node.op, (ast.USub, ast.UAdd))
+            and isinstance(node.operand, ast.Constant)
+            and isinstance(node.operand.value, float)
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._is_float_literal(left) or self._is_float_literal(right):
+                    yield self.finding(
+                        ctx, node,
+                        "float equality comparison — use an epsilon "
+                        "(math.isclose / np.isclose), an inequality on a "
+                        "non-negative quantity, or allowlist an exact "
+                        "sentinel with a reason",
+                    )
+                    break
+
+
+class ConfigFieldRule(Rule):
+    """CM005: config field references must name real dataclass fields.
+
+    Sweeps, ablations and CLI glue refer to ``CrowdMapConfig`` thresholds
+    by keyword — ``config.with_overrides(lcss_epsilon=...)`` — and a typo
+    there silently sweeps nothing. The rule resolves the real field set by
+    importing the dataclass and validates every keyword on
+    ``.with_overrides(...)`` calls, ``CrowdMapConfig(...)`` constructor
+    calls, and string literals in ``getattr``/``setattr``/``hasattr``
+    whose target is named like a config.
+    """
+
+    rule_id = "CM005"
+    title = "unknown CrowdMapConfig field"
+
+    def __init__(self) -> None:
+        self._fields: Optional[Set[str]] = None
+
+    def _config_fields(self) -> Set[str]:
+        if self._fields is None:
+            import dataclasses
+
+            from repro.core.config import CrowdMapConfig
+
+            self._fields = {f.name for f in dataclasses.fields(CrowdMapConfig)}
+        return self._fields
+
+    @staticmethod
+    def _is_config_name(node: ast.expr) -> bool:
+        """Heuristic: does this expression look like a CrowdMapConfig?"""
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        return name is not None and (name in ("config", "cfg") or name.endswith("_config"))
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        fields = self._config_fields()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            keywords: List[Tuple[str, ast.AST]] = []
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "with_overrides":
+                keywords = [(kw.arg, kw) for kw in node.keywords if kw.arg is not None]
+            elif (
+                isinstance(node.func, ast.Name) and node.func.id == "CrowdMapConfig"
+            ) or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "CrowdMapConfig"
+            ):
+                keywords = [(kw.arg, kw) for kw in node.keywords if kw.arg is not None]
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id in ("getattr", "setattr", "hasattr")
+                and len(node.args) >= 2
+                and self._is_config_name(node.args[0])
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+            ):
+                keywords = [(node.args[1].value, node.args[1])]
+            for field_name, anchor in keywords:
+                if field_name not in fields:
+                    yield self.finding(
+                        ctx, anchor,
+                        f"'{field_name}' is not a CrowdMapConfig field — "
+                        "known fields include "
+                        + ", ".join(sorted(fields)[:4]) + ", ...",
+                    )
+
+
+ALL_RULES: Sequence[Rule] = (
+    UnseededRngRule(),
+    WallClockRule(),
+    SwallowedExceptionRule(),
+    FloatEqualityRule(),
+    ConfigFieldRule(),
+)

@@ -19,6 +19,7 @@ The four modules of paper Fig. 1, layered over the substrates:
 :mod:`repro.core.pipeline` wires everything into the end-to-end system.
 """
 
+from repro.core.contracts import ContractError, shaped
 from repro.core.config import CrowdMapConfig
 from repro.core.keyframes import KeyFrame, select_keyframes
 from repro.core.comparison import KeyframeComparator, ComparisonResult
@@ -40,6 +41,8 @@ from repro.core.navigation import SkeletonNavigator, NavigationPath, route_to_ro
 from repro.core.quality import QualityReport, assess as assess_quality
 
 __all__ = [
+    "ContractError",
+    "shaped",
     "CrowdMapConfig",
     "KeyFrame",
     "select_keyframes",

@@ -1,0 +1,266 @@
+"""Array shape/dtype contracts for the numerical kernels.
+
+CrowdInside and Walk2Map both report that silent sensor/shape mismatches
+are the dominant failure mode when fusing heterogeneous trajectory data;
+in a pure-numpy stack a transposed point array or a broadcast (N, 1)
+column usually *runs* and quietly corrupts the reconstruction. The
+``@shaped`` decorator makes the contract explicit at the function
+boundary and checkable at runtime::
+
+    @shaped(src="(N,2) float64", dst="(N,2) float64", out="(3,3)")
+    def estimate_homography(src, dst): ...
+
+Spec grammar
+------------
+A spec is ``"(dim,dim,...) [dtype] [label...]"``:
+
+- a dim is an integer (exact), an identifier (a symbol bound on first
+  use and required to match everywhere it reappears — across *all*
+  arguments of one call, so ``(N,2)``/``(N,2)`` enforces equal lengths),
+  or ``?`` (unconstrained);
+- an optional dtype token (``float64``, ``bool``, ...) asserts the exact
+  numpy dtype;
+- any remaining tokens are a human label (``homography``,
+  ``descriptors``) and are ignored by the checker;
+- alternatives are separated by ``|``: ``"(H,W)|(H,W,3)"`` accepts a
+  grayscale or an RGB image (symbols still bind across alternatives).
+
+``out=...`` declares the return-value contract. Parameters whose value
+is None are skipped (optional arrays).
+
+Modes
+-----
+The checker runs in one of three modes — ``off`` (the wrapper forwards
+immediately; one global read of cost), ``warn`` (violations are
+``warnings.warn``-ed), ``strict`` (violations raise
+:class:`ContractError`). The initial mode comes from the
+``CROWDMAP_CONTRACTS`` environment variable (default ``off``);
+``tests/conftest.py`` switches to ``strict`` so the whole suite runs
+with contracts enforced, and the CI ``static-analysis`` job exports
+``CROWDMAP_CONTRACTS=strict`` explicitly.
+
+Unknown parameter names in a ``@shaped`` declaration raise at import
+time — a typo in a contract can never silently disable it.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+import re
+import warnings
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+__all__ = ["ContractError", "ContractWarning", "shaped", "set_mode", "get_mode"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+OFF, WARN, STRICT = "off", "warn", "strict"
+_VALID_MODES = (OFF, WARN, STRICT)
+
+
+class ContractError(TypeError, ValueError):
+    """An array violated its declared shape/dtype contract.
+
+    Subclasses both ``TypeError`` and ``ValueError``: the kernels raised
+    ``ValueError`` for shape mismatches before contracts existed, and a
+    contract firing ahead of the legacy check must stay catchable by
+    callers (and tests) written against either type.
+    """
+
+
+class ContractWarning(UserWarning):
+    """A contract violation reported in ``warn`` mode."""
+
+
+def _initial_mode() -> str:
+    raw = os.environ.get("CROWDMAP_CONTRACTS", OFF).strip().lower()
+    if raw in ("", "0", "false", "no"):
+        return OFF
+    if raw in ("1", "true", "yes", "on"):
+        return STRICT
+    if raw not in _VALID_MODES:
+        raise ValueError(
+            f"CROWDMAP_CONTRACTS={raw!r}: expected one of {_VALID_MODES}"
+        )
+    return raw
+
+
+_mode = _initial_mode()
+
+
+def set_mode(mode: str) -> None:
+    """Switch contract checking globally: 'off', 'warn' or 'strict'."""
+    global _mode
+    if mode not in _VALID_MODES:
+        raise ValueError(f"mode must be one of {_VALID_MODES}, got {mode!r}")
+    _mode = mode
+
+
+def get_mode() -> str:
+    """The current contract-checking mode."""
+    return _mode
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing
+# ---------------------------------------------------------------------------
+
+_SHAPE_RE = re.compile(r"^\((?P<dims>[^)]*)\)(?P<rest>.*)$")
+
+#: One parsed alternative: dims are int (exact), str (symbol) or None (?).
+_Alternative = Tuple[Tuple[Optional[object], ...], Optional[np.dtype]]
+
+
+@functools.lru_cache(maxsize=None)
+def _parse_spec(spec: str) -> Tuple[_Alternative, ...]:
+    alternatives: List[_Alternative] = []
+    for alt in spec.split("|"):
+        alt = alt.strip()
+        match = _SHAPE_RE.match(alt)
+        if match is None:
+            raise ValueError(
+                f"bad contract spec {spec!r}: each alternative must start "
+                "with a parenthesized shape like '(N,2)'"
+            )
+        dims: List[Optional[object]] = []
+        dims_text = match.group("dims").strip()
+        if dims_text:
+            tokens = [t.strip() for t in dims_text.split(",")]
+            if tokens and tokens[-1] == "":
+                tokens.pop()  # "(D,)" — tuple-style trailing comma
+            for token in tokens:
+                if token == "?":
+                    dims.append(None)
+                elif re.fullmatch(r"\d+", token):
+                    dims.append(int(token))
+                elif re.fullmatch(r"[A-Za-z_]\w*", token):
+                    dims.append(token)
+                else:
+                    raise ValueError(
+                        f"bad contract spec {spec!r}: dim token {token!r} is "
+                        "not an int, identifier or '?'"
+                    )
+        dtype: Optional[np.dtype] = None
+        rest = match.group("rest").split()
+        if rest:
+            try:
+                dtype = np.dtype(rest[0])
+            except TypeError:
+                dtype = None  # a human label, not a dtype
+        alternatives.append((tuple(dims), dtype))
+    return tuple(alternatives)
+
+
+def _check_value(
+    value: Any,
+    spec: str,
+    bindings: Dict[str, int],
+    func_name: str,
+    where: str,
+) -> Optional[str]:
+    """Return an error message if ``value`` violates ``spec``, else None.
+
+    Successful symbol bindings are committed to ``bindings`` so later
+    arguments of the same call must agree.
+    """
+    if not isinstance(value, np.ndarray):
+        return (
+            f"{func_name}: {where} must be a numpy array per contract "
+            f"{spec!r}, got {type(value).__name__}"
+        )
+    failures: List[str] = []
+    for dims, dtype in _parse_spec(spec):
+        if value.ndim != len(dims):
+            failures.append(f"rank {len(dims)} != {value.ndim}")
+            continue
+        trial = dict(bindings)
+        ok = True
+        for dim, actual in zip(dims, value.shape):
+            if dim is None:
+                continue
+            if isinstance(dim, int):
+                if actual != dim:
+                    failures.append(f"dim {dim} != {actual}")
+                    ok = False
+                    break
+            else:  # symbol
+                bound = trial.get(dim)
+                if bound is None:
+                    trial[dim] = actual
+                elif bound != actual:
+                    failures.append(f"{dim}={bound} but got {actual}")
+                    ok = False
+                    break
+        if not ok:
+            continue
+        if dtype is not None and value.dtype != dtype:
+            failures.append(f"dtype {dtype} != {value.dtype}")
+            continue
+        bindings.clear()
+        bindings.update(trial)
+        return None
+    bound_note = f" (bound: {bindings})" if bindings else ""
+    return (
+        f"{func_name}: {where} violates contract {spec!r}: got shape "
+        f"{value.shape} dtype {value.dtype} [{'; '.join(failures)}]{bound_note}"
+    )
+
+
+def _report(message: str) -> None:
+    if _mode == STRICT:
+        raise ContractError(message)
+    warnings.warn(message, ContractWarning, stacklevel=3)
+
+
+def shaped(out: Optional[str] = None, **param_specs: str) -> Callable[[F], F]:
+    """Declare array shape/dtype contracts on a function's boundary.
+
+    ``param_specs`` maps parameter names to spec strings; ``out`` is the
+    return-value spec. See the module docstring for the grammar.
+    """
+    for spec in list(param_specs.values()) + ([out] if out else []):
+        _parse_spec(spec)  # fail at import time on a malformed spec
+
+    def decorate(func: F) -> F:
+        signature = inspect.signature(func)
+        unknown = set(param_specs) - set(signature.parameters)
+        if unknown:
+            raise TypeError(
+                f"@shaped on {func.__qualname__}: unknown parameter(s) "
+                f"{sorted(unknown)} — contract names must match the signature"
+            )
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if _mode == OFF:
+                return func(*args, **kwargs)
+            bound = signature.bind(*args, **kwargs)
+            bindings: Dict[str, int] = {}
+            for name, spec in param_specs.items():
+                if name not in bound.arguments:
+                    continue
+                value = bound.arguments[name]
+                if value is None:
+                    continue
+                error = _check_value(
+                    value, spec, bindings, func.__qualname__, f"argument '{name}'"
+                )
+                if error is not None:
+                    _report(error)
+            result = func(*args, **kwargs)
+            if out is not None and result is not None:
+                error = _check_value(
+                    result, out, bindings, func.__qualname__, "return value"
+                )
+                if error is not None:
+                    _report(error)
+            return result
+
+        wrapper.__crowdmap_contracts__ = dict(param_specs, **({"return": out} if out else {}))  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -15,6 +15,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.core.contracts import shaped
 from repro.geometry.polygon_ops import mask_precision_recall
 
 
@@ -93,6 +94,7 @@ def _centroid_shift(moving: np.ndarray, fixed: np.ndarray) -> Tuple[int, int]:
     return dr, dc
 
 
+@shaped(generated="(H,W)", truth="(H,W)")
 def align_masks(
     generated: np.ndarray,
     truth: np.ndarray,

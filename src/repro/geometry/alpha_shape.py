@@ -15,6 +15,7 @@ from typing import List, Tuple
 import numpy as np
 from scipy.spatial import Delaunay, QhullError
 
+from repro.core.contracts import shaped
 from repro.geometry.primitives import BoundingBox, Point, Segment
 
 
@@ -53,6 +54,7 @@ def _kept_simplices(points: np.ndarray, alpha: float) -> Tuple[Delaunay, np.ndar
     return tri, keep
 
 
+@shaped(points="(N,2)")
 def alpha_shape_edges(points: np.ndarray, alpha: float) -> List[Segment]:
     """Boundary edges of the alpha shape of ``points``.
 
@@ -83,6 +85,7 @@ def alpha_shape_edges(points: np.ndarray, alpha: float) -> List[Segment]:
     return segments
 
 
+@shaped(points="(N,2)", out="(?,?) bool")
 def alpha_shape_mask(
     points: np.ndarray,
     alpha: float,

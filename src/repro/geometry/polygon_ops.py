@@ -117,7 +117,7 @@ def mask_precision_recall(
     true_area = np.count_nonzero(truth)
     precision = overlap / gen_area if gen_area else 0.0
     recall = overlap / true_area if true_area else 0.0
-    if precision + recall == 0.0:
+    if precision + recall <= 0.0:
         f_measure = 0.0
     else:
         f_measure = 2.0 * precision * recall / (precision + recall)
@@ -140,7 +140,7 @@ def convex_hull(points: Sequence[Point]) -> Polygon:
     if len(pts) < 3:
         raise ValueError("need at least 3 distinct points for a hull")
 
-    def half_hull(sequence: Sequence[Tuple[float, float]]):
+    def half_hull(sequence: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
         hull: list[Tuple[float, float]] = []
         for p in sequence:
             while len(hull) >= 2:

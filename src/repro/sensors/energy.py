@@ -11,7 +11,10 @@ and whole campaigns with those figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Dict, Iterable
+
+if TYPE_CHECKING:  # sensors must not import world at runtime (layering)
+    from repro.world.walker import CaptureSession
 
 #: Power draw of the sampled inertial stack, watts (paper: ~30 mW).
 IMU_POWER_W = 0.030
@@ -52,7 +55,7 @@ class EnergyReport:
         )
 
 
-def session_energy(session) -> EnergyReport:
+def session_energy(session: "CaptureSession") -> EnergyReport:
     """Energy cost of one capture session.
 
     The IMU samples for the session's whole duration; the camera records
@@ -68,7 +71,7 @@ def session_energy(session) -> EnergyReport:
     )
 
 
-def campaign_energy(sessions: Iterable) -> EnergyReport:
+def campaign_energy(sessions: Iterable["CaptureSession"]) -> EnergyReport:
     """Total energy across a campaign's sessions."""
     total = EnergyReport(0.0, 0.0, 0.0)
     for session in sessions:
@@ -76,14 +79,14 @@ def campaign_energy(sessions: Iterable) -> EnergyReport:
     return total
 
 
-def per_user_battery_cost(sessions: Iterable) -> dict:
+def per_user_battery_cost(sessions: Iterable["CaptureSession"]) -> Dict[str, float]:
     """Battery fraction spent per contributing user.
 
     The paper's claim to check: "several rounds of data collecting tasks
     should not constitute significant power consumption for an user" —
     i.e. these fractions stay well below a percent.
     """
-    by_user: dict = {}
+    by_user: Dict[str, EnergyReport] = {}
     for session in sessions:
         report = session_energy(session)
         if session.user_id in by_user:

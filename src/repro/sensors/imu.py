@@ -101,7 +101,9 @@ class ImuSimulator:
     def __init__(self, config: Optional[ImuConfig] = None,
                  rng: Optional[np.random.Generator] = None):
         self.config = config or ImuConfig()
-        self._rng = rng or np.random.default_rng()
+        # Seeded fallback (CM001): an unseeded simulator would give every
+        # run a different bias realization and break reproducibility.
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self._gyro_bias = float(self._rng.normal(0.0, self.config.gyro_bias_std))
         # Random phases for the spatial magnetic disturbance field.
         self._mag_phase = self._rng.uniform(0.0, 2 * math.pi, size=4)

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.contracts import shaped
 
+
+@shaped(image="(H,W)|(H,W,3)", out="(?,) float64")
 def color_histogram(image: np.ndarray, bins_per_channel: int = 8) -> np.ndarray:
     """Normalized joint RGB histogram of an image.
 
@@ -42,6 +45,7 @@ def color_histogram(image: np.ndarray, bins_per_channel: int = 8) -> np.ndarray:
     return hist
 
 
+@shaped(hist_a="(B,)", hist_b="(B,)")
 def histogram_intersection(hist_a: np.ndarray, hist_b: np.ndarray) -> float:
     """Swain-Ballard intersection of two normalized histograms, in [0, 1]."""
     if hist_a.shape != hist_b.shape:
@@ -58,6 +62,7 @@ def color_similarity(image_a: np.ndarray, image_b: np.ndarray,
     )
 
 
+@shaped(image="(H,W)|(H,W,3)", out="(?,) float64")
 def chromaticity_histogram(image: np.ndarray, bins: int = 8) -> np.ndarray:
     """Illumination-invariant color signature: gray-world + chromaticity.
 

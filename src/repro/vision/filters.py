@@ -12,11 +12,14 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.core.contracts import shaped
+
 
 def _reflect_pad(image: np.ndarray, pad_h: int, pad_w: int) -> np.ndarray:
     return np.pad(image, ((pad_h, pad_h), (pad_w, pad_w)), mode="reflect")
 
 
+@shaped(image="(H,W)", kernel="(?,?)", out="(H,W) float64")
 def convolve2d(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
     """Dense 2D convolution with reflect padding (same-size output)."""
     if image.ndim != 2 or kernel.ndim != 2:
@@ -59,6 +62,7 @@ def gaussian_kernel_1d(sigma: float, truncate: float = 3.0) -> np.ndarray:
     return kernel / kernel.sum()
 
 
+@shaped(image="(H,W)", out="(H,W) float64")
 def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
     """Separable Gaussian blur of a grayscale image."""
     if image.ndim != 2:
@@ -66,6 +70,7 @@ def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
     return _convolve_separable(image.astype(np.float64), gaussian_kernel_1d(sigma))
 
 
+@shaped(image="(H,W)")
 def sobel_gradients(image: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Horizontal and vertical Sobel derivatives ``(gx, gy)``.
 

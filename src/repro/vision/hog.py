@@ -14,10 +14,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.contracts import shaped
 from repro.vision.filters import gradient_magnitude_orientation
 from repro.vision.image import to_grayscale
 
 
+@shaped(image="(H,W)|(H,W,3)", out="(D,) float64 descriptor")
 def hog_descriptor(
     image: np.ndarray,
     cell_size: int = 8,
@@ -91,6 +93,7 @@ def hog_descriptor(
     return descriptor.ravel()
 
 
+@shaped(desc_a="(D,) descriptor", desc_b="(D,) descriptor")
 def hog_similarity(desc_a: np.ndarray, desc_b: np.ndarray) -> float:
     """Normalized cross-correlation between two HOG descriptors, in [-1, 1].
 
@@ -102,6 +105,6 @@ def hog_similarity(desc_a: np.ndarray, desc_b: np.ndarray) -> float:
     a = desc_a - desc_a.mean()
     b = desc_b - desc_b.mean()
     denom = np.linalg.norm(a) * np.linalg.norm(b)
-    if denom == 0.0:
+    if denom <= 0.0:
         return 1.0 if np.allclose(desc_a, desc_b) else 0.0
     return float(np.dot(a, b) / denom)

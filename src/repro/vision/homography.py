@@ -15,6 +15,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.contracts import shaped
+
 
 def _normalization_transform(points: np.ndarray) -> np.ndarray:
     """Similarity transform moving points to centroid 0 / mean dist sqrt(2)."""
@@ -35,6 +37,7 @@ def _to_homogeneous(points: np.ndarray) -> np.ndarray:
     return np.hstack([points, np.ones((len(points), 1))])
 
 
+@shaped(src="(N,2)", dst="(N,2)", out="(3,3) float64 homography")
 def estimate_homography(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
     """Least-squares homography H with ``dst ~ H @ src`` (normalized DLT).
 
@@ -64,6 +67,7 @@ def estimate_homography(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
     return h
 
 
+@shaped(h="(3,3) homography", points="(N,2)", out="(N,2)")
 def apply_homography(h: np.ndarray, points: np.ndarray) -> np.ndarray:
     """Apply H to (N, 2) points, returning (N, 2) dehomogenized results."""
     homog = _to_homogeneous(points) @ h.T
@@ -81,6 +85,7 @@ class RansacResult:
     n_inliers: int
 
 
+@shaped(src="(N,2)", dst="(N,2)")
 def ransac_homography(
     src: np.ndarray,
     dst: np.ndarray,

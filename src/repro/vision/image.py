@@ -13,10 +13,13 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.contracts import shaped
+
 # ITU-R BT.601 luma coefficients.
 _LUMA = np.array([0.299, 0.587, 0.114])
 
 
+@shaped(out="(H,W) float64")
 def to_grayscale(image: np.ndarray) -> np.ndarray:
     """Convert an RGB image to grayscale; pass grayscale through unchanged."""
     arr = np.asarray(image, dtype=np.float64)

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.contracts import shaped
 
+
+@shaped(image="(H,W)", out="(?,?) float64")
 def integral_image(image: np.ndarray) -> np.ndarray:
     """Zero-padded cumulative-sum table of a grayscale image."""
     if image.ndim != 2:

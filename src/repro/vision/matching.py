@@ -17,6 +17,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.contracts import shaped
 from repro.vision.surf import SurfFeature, descriptor_matrix
 
 
@@ -32,6 +33,7 @@ class MatchResult:
         return len(self.pairs)
 
 
+@shaped(a="(N,D)", b="(M,D)", out="(N,M) float64")
 def _pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Euclidean distance matrix between rows of ``a`` (N,D) and ``b`` (M,D)."""
     # (x-y)^2 = x^2 + y^2 - 2xy, clamped against negative rounding error.

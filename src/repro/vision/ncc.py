@@ -10,9 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.contracts import shaped
 from repro.vision.image import to_grayscale
 
 
+@shaped(image_a="(H,W)|(H,W,3)", image_b="(H,W)|(H,W,3)")
 def normalized_cross_correlation(image_a: np.ndarray, image_b: np.ndarray) -> float:
     """Zero-mean NCC of two same-shaped images, in [-1, 1].
 
@@ -26,6 +28,6 @@ def normalized_cross_correlation(image_a: np.ndarray, image_b: np.ndarray) -> fl
     a = a - a.mean()
     b = b - b.mean()
     denom = np.sqrt((a * a).sum() * (b * b).sum())
-    if denom == 0.0:
+    if denom <= 0.0:
         return 1.0 if np.allclose(a, b) else 0.0
     return float((a * b).sum() / denom)

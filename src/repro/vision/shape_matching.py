@@ -13,10 +13,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.contracts import shaped
 from repro.vision.filters import gradient_magnitude_orientation
 from repro.vision.image import to_grayscale
 
 
+@shaped(image="(H,W)|(H,W,3)", out="(?,) float64")
 def shape_signature(
     image: np.ndarray, grid: int = 4, n_bins: int = 8
 ) -> np.ndarray:
@@ -53,6 +55,7 @@ def shape_signature(
     return signature.ravel()
 
 
+@shaped(sig_a="(D,)", sig_b="(D,)")
 def shape_similarity(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
     """Histogram-intersection similarity of two shape signatures, in [0, 1]."""
     if sig_a.shape != sig_b.shape:

@@ -20,6 +20,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.core.contracts import shaped
 from repro.vision.image import to_grayscale
 from repro.vision.integral import box_sum_grid, integral_image
 
@@ -235,8 +236,13 @@ def detect_and_describe(
     ]
 
 
+@shaped(out="(N,D) float64 descriptors")
 def descriptor_matrix(features: Sequence[SurfFeature]) -> np.ndarray:
-    """Stack feature descriptors into an (N, 64) matrix (empty-safe)."""
+    """Stack feature descriptors into an (N, D) matrix (empty-safe).
+
+    D is 64 for real SURF features; the contract keeps it symbolic so the
+    matcher also works on truncated descriptors in tests.
+    """
     if not features:
         return np.zeros((0, 64), dtype=np.float64)
     return np.stack([f.descriptor for f in features])

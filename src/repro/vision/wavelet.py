@@ -15,9 +15,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.contracts import shaped
 from repro.vision.image import resize_nearest, to_grayscale
 
 
+@shaped(image="(S,S)", out="(S,S) float64")
 def haar_transform_2d(image: np.ndarray) -> np.ndarray:
     """Full standard 2D Haar wavelet transform of a square power-of-2 image."""
     h, w = image.shape

@@ -103,9 +103,16 @@ class Renderer:
         lighting: LightingCondition = DAYLIGHT,
         rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
-        """Render one RGB frame from ``position`` looking along ``heading``."""
+        """Render one RGB frame from ``position`` looking along ``heading``.
+
+        ``rng`` drives the lighting/texture noise. Omitting it falls back
+        to a generator seeded with 0 — the repo-wide CM001 convention —
+        which makes repeated renders of the same pose *identical* (the
+        per-frame noise realization is also the same every call). Pass the
+        capture session's generator to get independent noise per frame.
+        """
         cam = self.camera
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else np.random.default_rng(0)
         h, w = cam.height, cam.width
         offsets = cam.column_offsets()
         angles = heading + offsets

@@ -119,7 +119,10 @@ class Walker:
         #: Altitude (m) of the floor this walker is on; drives the
         #: barometer channel used by multi-floor reconstruction.
         self.altitude = altitude
-        self.rng = rng or np.random.default_rng()
+        #: Omitting ``rng`` falls back to the fixed seed 0 (CM001): two
+        #: Walkers built without a generator produce identical sessions.
+        #: Pass a seeded Generator to get independent realizations.
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         self.renderer = renderer or Renderer(plan, camera)
         self.imu_sim = ImuSimulator(config=imu_config, rng=self.rng)
         self._session_counter = 0
@@ -238,7 +241,7 @@ class Walker:
         initial_heading_known: bool,
     ) -> CaptureSession:
         altitudes = motion.altitudes
-        if altitudes is None and self.altitude != 0.0:
+        if altitudes is None and abs(self.altitude) > 0.0:
             altitudes = np.full(len(motion.times), self.altitude)
         imu = self.imu_sim.record(
             motion.times, motion.positions, motion.headings,

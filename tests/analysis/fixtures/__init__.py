@@ -1,0 +1,8 @@
+"""Crowdlint test fixtures.
+
+One module per rule, in violating and clean variants. Violating lines
+carry a trailing ``# [expect CMxxx]`` marker comment; the tests lint each
+file and assert the findings match the markers exactly (rule id and line
+number). These modules are linted as *text* — never imported by tests —
+so the violating variants are safe to keep around.
+"""

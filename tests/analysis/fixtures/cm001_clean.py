@@ -1,0 +1,17 @@
+"""Crowdlint fixture: CM001-clean RNG handling (seeded, threaded)."""
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def make_rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def jitter(
+    values: Sequence[float], rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    # The repo-wide convention: a seeded fallback, never an unseeded one.
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return np.asarray(values, dtype=np.float64) + rng.normal(0.0, 1e-3, len(values))

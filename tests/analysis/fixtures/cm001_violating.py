@@ -1,0 +1,10 @@
+"""Crowdlint fixture: CM001 violations (unseeded / global numpy RNG)."""
+
+import numpy as np
+from numpy.random import default_rng
+
+rng_a = np.random.default_rng()  # [expect CM001]
+rng_b = default_rng()  # [expect CM001]
+legacy = np.random.RandomState()  # [expect CM001]
+noise = np.random.normal(0.0, 1.0, size=8)  # [expect CM001]
+np.random.seed(1234)  # [expect CM001]

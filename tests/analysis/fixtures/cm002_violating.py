@@ -1,0 +1,11 @@
+"""Crowdlint fixture: CM002 violations (wall-clock reads)."""
+
+import time
+from datetime import date, datetime
+
+
+def stamp_result(result: dict) -> dict:
+    result["created_at"] = time.time()  # [expect CM002]
+    result["day"] = datetime.now().isoformat()  # [expect CM002]
+    result["date"] = date.today().isoformat()  # [expect CM002]
+    return result

@@ -1,0 +1,24 @@
+"""Crowdlint fixture: CM003 violations (swallowed broad exceptions)."""
+
+from typing import Callable, Optional
+
+
+def swallow(fn: Callable[[], float]) -> Optional[float]:
+    try:
+        return fn()
+    except Exception:  # [expect CM003]
+        return None
+
+
+def swallow_bound_but_unused(fn: Callable[[], float]) -> Optional[float]:
+    try:
+        return fn()
+    except Exception as exc:  # [expect CM003]
+        return None
+
+
+def swallow_bare(fn: Callable[[], float]) -> Optional[float]:
+    try:
+        return fn()
+    except:  # [expect CM003]
+        return None

@@ -1,0 +1,15 @@
+"""Crowdlint fixture: CM004-clean comparisons."""
+
+import math
+
+
+def classify(x: float, n: int) -> str:
+    if x <= 0.0:  # inequality on a non-negative quantity: allowed
+        return "non-positive"
+    if math.isclose(x, 1.5):
+        return "near-grid"
+    if n == 0:  # integer equality is exact and deliberately not flagged
+        return "empty"
+    if x == 2.0:  # crowdlint: allow[CM004] exact sentinel written by our own encoder
+        return "sentinel"
+    return "other"

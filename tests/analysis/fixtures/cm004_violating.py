@@ -1,0 +1,13 @@
+"""Crowdlint fixture: CM004 violations (float-literal equality)."""
+
+
+def classify(x: float, y: float) -> str:
+    if x == 0.0:  # [expect CM004]
+        return "zero"
+    if y != 1.5:  # [expect CM004]
+        return "off-grid"
+    if x == -2.0:  # [expect CM004]
+        return "negative sentinel"
+    if 0.0 == y:  # [expect CM004]
+        return "literal on the left"
+    return "other"

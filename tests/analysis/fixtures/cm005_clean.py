@@ -1,0 +1,18 @@
+"""Crowdlint fixture: CM005-clean CrowdMapConfig field references."""
+
+from typing import List
+
+from repro.core.config import CrowdMapConfig
+
+
+def sweep(config: CrowdMapConfig) -> List[CrowdMapConfig]:
+    variants = [
+        config.with_overrides(lcss_epsilon=0.5),
+        CrowdMapConfig(grid_cell_size=0.25, n_workers=1),
+    ]
+    if hasattr(config, "alpha"):
+        variants.append(config)
+    # getattr on a non-config name is out of the rule's scope by design.
+    if getattr(sweep, "not_a_config_field", None):
+        variants.append(config)
+    return variants

@@ -1,0 +1,15 @@
+"""Crowdlint fixture: CM005 violations (unknown CrowdMapConfig fields)."""
+
+from typing import List
+
+from repro.core.config import CrowdMapConfig
+
+
+def sweep(config: CrowdMapConfig) -> List[CrowdMapConfig]:
+    variants = [
+        config.with_overrides(lcss_epsilonn=0.5),  # [expect CM005]
+        CrowdMapConfig(keyfram_interval=3),  # [expect CM005]
+    ]
+    if hasattr(config, "otsu_binz"):  # [expect CM005]
+        variants.append(config)
+    return variants

@@ -1,0 +1,172 @@
+"""Crowdlint (repro.analysis) behaviour tests.
+
+The fixture modules under ``fixtures/`` are linted as text; every
+violating line carries a trailing ``# [expect CMxxx]`` marker and the
+tests assert the findings match those markers *exactly* — same rule id,
+same line — so a rule that drifts (over- or under-reporting) fails here
+before it ever gates CI.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.__main__ import main
+from repro.analysis.engine import format_findings
+from repro.analysis.rules import ALL_RULES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_MARKER_RE = re.compile(r"#\s*\[expect (CM\d{3})\]")
+
+
+def expected_markers(path: Path):
+    """(rule, line) pairs from the fixture's ``# [expect CMxxx]`` comments."""
+    pairs = []
+    for lineno, text in enumerate(path.read_text().splitlines(), start=1):
+        for match in _MARKER_RE.finditer(text):
+            pairs.append((match.group(1), lineno))
+    return sorted(pairs)
+
+
+def lint_fixture(path: Path):
+    return lint_source(path.read_text(), path=str(path))
+
+
+class TestFixtures:
+    @pytest.mark.parametrize(
+        "name", ["cm001", "cm002", "cm003", "cm004", "cm005"]
+    )
+    def test_violating_fixture_matches_markers(self, name):
+        path = FIXTURES / f"{name}_violating.py"
+        expected = expected_markers(path)
+        assert expected, f"{path} has no [expect ...] markers"
+        found = sorted((f.rule, f.line) for f in lint_fixture(path))
+        assert found == expected
+
+    @pytest.mark.parametrize(
+        "name", ["cm001", "cm002", "cm003", "cm004", "cm005"]
+    )
+    def test_clean_fixture_has_no_findings(self, name):
+        path = FIXTURES / f"{name}_clean.py"
+        findings = lint_fixture(path)
+        assert findings == [], format_findings(findings)
+
+    def test_findings_carry_path_and_location(self):
+        path = FIXTURES / "cm001_violating.py"
+        finding = lint_fixture(path)[0]
+        assert finding.path == str(path)
+        assert finding.location == f"{path}:{finding.line}"
+        assert str(finding).startswith(f"{path}:{finding.line}:")
+        assert " CM001 " in str(finding)
+
+
+class TestPragmas:
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  "
+            "# crowdlint: allow[CM004] wrong rule id\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["CM001"]
+
+    def test_pragma_without_reason_reports_cm000_and_keeps_finding(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # crowdlint: allow[CM001]\n"
+        )
+        rules = sorted(f.rule for f in lint_source(source))
+        assert rules == ["CM000", "CM001"]
+
+    def test_pragma_with_reason_suppresses(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  "
+            "# crowdlint: allow[CM001] entropy source for a one-off demo\n"
+        )
+        assert lint_source(source) == []
+
+    def test_pragma_covers_multiple_rules(self):
+        source = (
+            "import time\n"
+            "def f(x):\n"
+            "    return x == 1.0 and time.time()  "
+            "# crowdlint: allow[CM002, CM004] fixture exercising both rules\n"
+        )
+        assert lint_source(source) == []
+
+    def test_syntax_error_reports_cm000(self):
+        findings = lint_source("def broken(:\n    pass\n")
+        assert [f.rule for f in findings] == ["CM000"]
+        assert "syntax error" in findings[0].message
+
+
+class TestImportResolution:
+    def test_aliased_numpy_random_module_is_resolved(self):
+        source = "import numpy.random as npr\nx = npr.normal(0.0, 1.0)\n"
+        assert [f.rule for f in lint_source(source)] == ["CM001"]
+
+    def test_local_generator_calls_are_not_flagged(self):
+        source = (
+            "import numpy as np\n"
+            "def f(rng):\n"
+            "    return rng.normal(0.0, 1.0) + np.mean([1, 2])\n"
+        )
+        assert lint_source(source) == []
+
+    def test_datetime_alias_is_resolved(self):
+        source = "from datetime import datetime as dt\nx = dt.now()\n"
+        assert [f.rule for f in lint_source(source)] == ["CM002"]
+
+
+class TestRepoIsClean:
+    def test_src_tree_has_no_findings(self):
+        """The gate CI enforces: the shipped tree must lint clean."""
+        findings = lint_paths([str(REPO_ROOT / "src")])
+        assert findings == [], format_findings(findings)
+
+
+class TestCli:
+    def test_exit_1_on_violating_fixture(self, capsys):
+        assert main([str(FIXTURES / "cm001_violating.py")]) == 1
+        out = capsys.readouterr().out
+        assert "CM001" in out and "finding(s)" in out
+
+    def test_exit_0_on_clean_fixture(self, capsys):
+        assert main([str(FIXTURES / "cm001_clean.py")]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_exit_1_on_fixture_directory(self):
+        assert main([str(FIXTURES)]) == 1
+
+    def test_select_limits_rules(self, capsys):
+        assert main(["--select", "CM004", str(FIXTURES / "cm001_violating.py")]) == 0
+        assert main(["--select", "CM004", str(FIXTURES / "cm004_violating.py")]) == 1
+
+    def test_select_unknown_rule_is_usage_error(self, capsys):
+        assert main(["--select", "CM999", str(FIXTURES)]) == 2
+        assert "CM999" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main([str(FIXTURES / "no_such_file.py")]) == 2
+
+    def test_json_output_is_parseable(self, capsys):
+        assert main(["--json", str(FIXTURES / "cm004_violating.py")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["rule"] for entry in payload} == {"CM004"}
+        assert all(
+            set(entry) == {"rule", "path", "line", "col", "message"}
+            for entry in payload
+        )
+
+    def test_list_rules_prints_table(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.rule_id in out

@@ -10,11 +10,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core import contracts
 from repro.core.config import CrowdMapConfig
 from repro.world.buildings import build_gym, build_lab1, build_lab2
 from repro.world.crowd import CrowdConfig, generate_crowd_dataset
 from repro.world.renderer import Camera, Renderer
 from repro.world.walker import Walker, WalkerProfile
+
+# The whole suite runs with array contracts enforced: a @shaped violation
+# anywhere in the stack is a test failure, not a warning. Tests that exercise
+# the other modes save/restore via contracts.set_mode themselves.
+contracts.set_mode("strict")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,174 @@
+"""Unit tests for the @shaped array-contract decorator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import contracts
+from repro.core.contracts import ContractError, ContractWarning, shaped
+from repro.vision.homography import estimate_homography
+
+
+@pytest.fixture(autouse=True)
+def _strict_mode():
+    """Contracts strict for every test here; restore the suite's mode after."""
+    previous = contracts.get_mode()
+    contracts.set_mode("strict")
+    yield
+    contracts.set_mode(previous)
+
+
+@shaped(points="(N,2)", weights="(N,)", out="(2,)")
+def weighted_mean(points, weights=None):
+    if weights is None:
+        return points.mean(axis=0)
+    return (points * weights[:, None]).sum(axis=0) / weights.sum()
+
+
+class TestChecking:
+    def test_matching_arrays_pass_through(self):
+        points = np.zeros((4, 2))
+        assert weighted_mean(points).shape == (2,)
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(ContractError, match="points"):
+            weighted_mean(np.zeros((4, 2, 1)))
+
+    def test_fixed_dim_mismatch_raises(self):
+        with pytest.raises(ContractError, match="dim 2"):
+            weighted_mean(np.zeros((4, 3)))
+
+    def test_symbol_binds_across_arguments(self):
+        weighted_mean(np.zeros((3, 2)), np.ones(3))  # N=3 agrees: fine
+        with pytest.raises(ContractError, match="N=3"):
+            weighted_mean(np.zeros((3, 2)), np.ones(4))
+
+    def test_symbol_binds_within_one_argument(self):
+        @shaped(image="(S,S)")
+        def square_only(image):
+            return image
+
+        square_only(np.zeros((5, 5)))
+        with pytest.raises(ContractError):
+            square_only(np.zeros((5, 6)))
+
+    def test_none_valued_parameter_is_skipped(self):
+        assert weighted_mean(np.zeros((4, 2)), None).shape == (2,)
+
+    def test_non_array_rejected(self):
+        with pytest.raises(ContractError, match="numpy array"):
+            weighted_mean([[0.0, 0.0], [1.0, 1.0]])
+
+    def test_out_contract_checked(self):
+        @shaped(out="(3,3)")
+        def bad_matrix():
+            return np.zeros((2, 2))
+
+        with pytest.raises(ContractError, match="return value"):
+            bad_matrix()
+
+    def test_wildcard_dim_unconstrained(self):
+        @shaped(x="(?,2)")
+        def f(x):
+            return x
+
+        f(np.zeros((1, 2)))
+        f(np.zeros((99, 2)))
+
+    def test_dtype_token_enforced(self):
+        @shaped(x="(N,) float64")
+        def f(x):
+            return x
+
+        f(np.zeros(3, dtype=np.float64))
+        with pytest.raises(ContractError, match="dtype"):
+            f(np.zeros(3, dtype=np.float32))
+
+    def test_trailing_comma_vector_spec(self):
+        @shaped(x="(D,)")
+        def f(x):
+            return x
+
+        f(np.zeros(7))
+        with pytest.raises(ContractError):
+            f(np.zeros((7, 1)))
+
+    def test_alternatives_accept_either_shape(self):
+        @shaped(image="(H,W)|(H,W,3)")
+        def f(image):
+            return image
+
+        f(np.zeros((4, 6)))
+        f(np.zeros((4, 6, 3)))
+        with pytest.raises(ContractError):
+            f(np.zeros((4, 6, 4)))
+
+    def test_label_tokens_are_ignored(self):
+        @shaped(h="(3,3) float64 homography")
+        def f(h):
+            return h
+
+        f(np.eye(3))
+
+
+class TestDeclaration:
+    def test_unknown_parameter_raises_at_decoration_time(self):
+        with pytest.raises(TypeError, match="unknown parameter"):
+
+            @shaped(typo="(N,2)")
+            def f(points):
+                return points
+
+    def test_malformed_spec_raises_at_decoration_time(self):
+        with pytest.raises(ValueError, match="contract spec"):
+
+            @shaped(x="N,2")  # missing parentheses
+            def f(x):
+                return x
+
+    def test_contracts_metadata_exposed(self):
+        assert weighted_mean.__crowdmap_contracts__ == {
+            "points": "(N,2)",
+            "weights": "(N,)",
+            "return": "(2,)",
+        }
+
+
+class TestModes:
+    def test_off_mode_skips_checks(self):
+        contracts.set_mode("off")
+        # Violating call passes through untouched.
+        assert weighted_mean(np.zeros((4, 3))).shape == (3,)
+
+    def test_warn_mode_warns_and_continues(self):
+        contracts.set_mode("warn")
+        with pytest.warns(ContractWarning, match="violates contract"):
+            result = weighted_mean(np.zeros((4, 3)))
+        assert result.shape == (3,)
+
+    def test_set_mode_rejects_unknown(self):
+        with pytest.raises(ValueError, match="mode"):
+            contracts.set_mode("loud")
+
+    def test_get_mode_reflects_set_mode(self):
+        contracts.set_mode("warn")
+        assert contracts.get_mode() == "warn"
+
+
+class TestErrorHierarchy:
+    def test_contract_error_catchable_as_legacy_types(self):
+        # Kernels raised ValueError for shape mismatches before contracts
+        # existed; ContractError must stay catchable by those callers.
+        assert issubclass(ContractError, ValueError)
+        assert issubclass(ContractError, TypeError)
+
+
+class TestRealKernels:
+    def test_homography_contract_enforced(self):
+        with pytest.raises(ContractError, match="src"):
+            estimate_homography(np.zeros((4, 3)), np.zeros((4, 2)))
+
+    def test_homography_point_count_must_agree(self):
+        with pytest.raises((ContractError, ValueError)):
+            estimate_homography(np.zeros((5, 2)), np.zeros((4, 2)))

@@ -1,0 +1,110 @@
+"""End-to-end determinism: same seed in, bit-identical floor plan out.
+
+This is the invariant crowdlint rule CM001 exists to protect. The test
+runs the full pipeline twice on independently generated (same-seed)
+datasets and asserts every artifact — occupancy grid, skeleton, room
+placements — agrees bit-for-bit, not approximately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CrowdMapConfig
+from repro.core.pipeline import CrowdMapPipeline
+from repro.world.buildings import build_lab1
+from repro.world.crowd import CrowdConfig, generate_crowd_dataset
+from repro.world.walker import Walker, WalkerProfile
+
+
+def _trajectory_array(trajectory):
+    return np.array([[p.x, p.y, p.t, p.heading] for p in trajectory.points])
+
+
+def _run_pipeline(seed: int = 11):
+    plan = build_lab1()
+    dataset = generate_crowd_dataset(
+        plan,
+        CrowdConfig(n_users=2, sws_per_user=1, srs_rooms_per_user=1, seed=seed),
+    )
+    return CrowdMapPipeline(CrowdMapConfig()).run(dataset)
+
+
+@pytest.fixture(scope="module")
+def twin_runs():
+    return _run_pipeline(), _run_pipeline()
+
+
+class TestPipelineDeterminism:
+    def test_skeleton_bit_identical(self, twin_runs):
+        a, b = twin_runs
+        assert np.array_equal(a.skeleton.probability, b.skeleton.probability)
+        assert np.array_equal(a.skeleton.binarized, b.skeleton.binarized)
+        assert np.array_equal(a.skeleton.alpha_mask, b.skeleton.alpha_mask)
+        assert np.array_equal(a.skeleton.skeleton, b.skeleton.skeleton)
+
+    def test_aggregated_trajectories_bit_identical(self, twin_runs):
+        a, b = twin_runs
+        assert len(a.aggregation.trajectories) == len(b.aggregation.trajectories)
+        for ta, tb in zip(a.aggregation.trajectories, b.aggregation.trajectories):
+            assert np.array_equal(_trajectory_array(ta), _trajectory_array(tb))
+
+    def test_room_placements_bit_identical(self, twin_runs):
+        a, b = twin_runs
+        assert len(a.floorplan.rooms) == len(b.floorplan.rooms)
+        for ra, rb in zip(a.floorplan.rooms, b.floorplan.rooms):
+            assert ra.name == rb.name
+            # Exact equality on purpose: "close enough" placements would
+            # mean nondeterminism crept in somewhere upstream.
+            assert (ra.center.x, ra.center.y) == (rb.center.x, rb.center.y)
+            assert (ra.layout.width, ra.layout.depth, ra.layout.orientation) == (
+                rb.layout.width,
+                rb.layout.depth,
+                rb.layout.orientation,
+            )
+
+    def test_panoramas_bit_identical(self, twin_runs):
+        a, b = twin_runs
+        assert [p.room_hint for p in a.panoramas] == [p.room_hint for p in b.panoramas]
+        for pa, pb in zip(a.panoramas, b.panoramas):
+            assert np.array_equal(pa.panorama.pixels, pb.panorama.pixels)
+
+    def test_ascii_rendering_identical(self, twin_runs):
+        a, b = twin_runs
+        assert a.floorplan.render_ascii() == b.floorplan.render_ascii()
+
+
+class TestWalkerDeterminism:
+    def test_same_seed_same_capture(self):
+        plan = build_lab1()
+        route = plan.route_between("sw", "se")
+        sessions = []
+        for _ in range(2):
+            walker = Walker(
+                plan,
+                WalkerProfile(user_id="twin"),
+                rng=np.random.default_rng(5),
+            )
+            sessions.append(walker.perform_sws(route))
+        first, second = sessions
+        assert np.array_equal(
+            _trajectory_array(first.device_trajectory),
+            _trajectory_array(second.device_trajectory),
+        )
+        assert np.array_equal(first.imu.accel(), second.imu.accel())
+        assert np.array_equal(first.imu.gyro(), second.imu.gyro())
+
+    def test_default_rng_fallback_is_seeded(self):
+        """Omitting rng must give the documented seed-0 generator, i.e. two
+        default-constructed walkers behave identically (the CM001 fix)."""
+        plan = build_lab1()
+        route = plan.route_between("sw", "se")
+        captures = [
+            Walker(plan, WalkerProfile(user_id="twin")).perform_sws(route)
+            for _ in range(2)
+        ]
+        assert np.array_equal(
+            _trajectory_array(captures[0].device_trajectory),
+            _trajectory_array(captures[1].device_trajectory),
+        )
