@@ -23,7 +23,14 @@ CM003     no ``except Exception`` that swallows the error without
 CM004     no ``==``/``!=`` against float literals
 CM005     ``CrowdMapConfig`` field references in ``with_overrides`` and
           constructor calls must name a real dataclass field
+CM006     *(advisory)* no element-wise array loops in ``repro.vision``
+          kernels — the hot path stays vectorized; genuinely sequential
+          loops carry an ``allow[CM006]`` pragma with the reason
 ========  ==============================================================
+
+Severities: every rule is an **error** (fails the CLI with exit 1)
+except CM006, which is **advisory** — reported, counted, but never a
+build failure, because "could this loop vectorize?" is a judgement call.
 
 A finding is suppressed by an inline pragma **with a reason**::
 

@@ -1,7 +1,9 @@
 """CLI entry point: ``python -m repro.analysis [paths...]``.
 
-Exits 0 when the tree is clean, 1 when there are findings, 2 on usage
-errors — the contract the ``static-analysis`` CI job relies on.
+Exits 0 when the tree is clean, 1 when there are *error*-severity
+findings, 2 on usage errors — the contract the ``static-analysis`` CI
+job relies on. Advisory findings (CM006) are printed but never change
+the exit code.
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ from repro.analysis.rules import ALL_RULES
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="crowdlint: repo-native static analysis (rules CM001-CM005)",
+        description="crowdlint: repo-native static analysis (rules CM001-CM006)",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
@@ -66,13 +68,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "line": f.line,
                 "col": f.col,
                 "message": f.message,
+                "severity": f.severity,
             }
             for f in findings
         ]
         print(json.dumps(payload, indent=2))
     else:
         print(format_findings(findings))
-    return 1 if findings else 0
+    return 1 if any(f.severity == "error" for f in findings) else 0
 
 
 if __name__ == "__main__":

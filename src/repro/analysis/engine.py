@@ -22,6 +22,11 @@ _PRAGMA_RE = re.compile(
 )
 
 
+#: Finding severities. ``error`` findings fail the CLI (exit 1);
+#: ``advisory`` findings are reported but never gate a build.
+SEVERITIES = ("error", "advisory")
+
+
 @dataclass(frozen=True)
 class Finding:
     """One rule violation at a source location."""
@@ -31,13 +36,18 @@ class Finding:
     line: int
     col: int
     message: str
+    severity: str = "error"
 
     @property
     def location(self) -> str:
         return f"{self.path}:{self.line}"
 
     def __str__(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        tag = "" if self.severity == "error" else f" [{self.severity}]"
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule}{tag} "
+            f"{self.message}"
+        )
 
 
 @dataclass(frozen=True)
@@ -59,6 +69,7 @@ class Rule:
 
     rule_id: str = "CM000"
     title: str = ""
+    severity: str = "error"
 
     def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
         raise NotImplementedError
@@ -70,6 +81,7 @@ class Rule:
             line=getattr(node, "lineno", 0),
             col=getattr(node, "col_offset", 0),
             message=message,
+            severity=self.severity,
         )
 
 
@@ -242,5 +254,9 @@ def format_findings(findings: Sequence[Finding]) -> str:
     if not findings:
         return "crowdlint: no findings"
     lines = [str(f) for f in findings]
-    lines.append(f"crowdlint: {len(findings)} finding(s)")
+    advisory = sum(1 for f in findings if f.severity == "advisory")
+    summary = f"crowdlint: {len(findings)} finding(s)"
+    if advisory:
+        summary += f" ({len(findings) - advisory} error, {advisory} advisory)"
+    lines.append(summary)
     return "\n".join(lines)

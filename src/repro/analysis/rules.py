@@ -1,4 +1,4 @@
-"""The crowdlint rule set (CM001–CM005).
+"""The crowdlint rule set (CM001–CM006).
 
 Each rule encodes one repo invariant that a generic linter cannot check.
 See the package docstring for the one-line summary of each; the classes
@@ -267,10 +267,68 @@ class ConfigFieldRule(Rule):
                     )
 
 
+class ElementwiseLoopRule(Rule):
+    """CM006: per-element array loops in the vision hot path.
+
+    The vision kernels dominate the pipeline's runtime and the perf work
+    keeps them vectorized; a ``for`` loop whose body subscripts an array
+    with its own loop variable is the classic element-wise pattern numpy
+    replaces wholesale, and it tends to creep back in during bug fixes.
+    The rule only examines modules in a ``vision`` directory and is
+    **advisory**: it reports but never fails the build, because some
+    loops are genuinely sequential (LSD's region growing, per-tap kernel
+    accumulation) — those carry an ``allow[CM006]`` pragma whose reason
+    documents why the loop must stay.
+
+    Deliberate blind spots: comprehensions (typically packaging results,
+    not per-pixel math) and loops that never index with their loop
+    variable (chunk iteration, retries).
+    """
+
+    rule_id = "CM006"
+    title = "element-wise array loop in vision kernel"
+    severity = "advisory"
+
+    _PATH_DIR = "vision"
+
+    @staticmethod
+    def _target_names(target: ast.expr) -> Set[str]:
+        return {
+            node.id for node in ast.walk(target) if isinstance(node, ast.Name)
+        }
+
+    def _loop_indexes_with_target(self, loop: ast.For) -> bool:
+        names = self._target_names(loop.target)
+        if not names:
+            return False
+        for stmt in loop.body:
+            for inner in ast.walk(stmt):
+                if not isinstance(inner, ast.Subscript):
+                    continue
+                for ref in ast.walk(inner.slice):
+                    if isinstance(ref, ast.Name) and ref.id in names:
+                        return True
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        parts = ctx.path.replace("\\", "/").split("/")
+        if self._PATH_DIR not in parts:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For) and self._loop_indexes_with_target(node):
+                yield self.finding(
+                    ctx, node,
+                    "loop subscripts with its own loop variable — vectorize "
+                    "with array expressions, or allowlist with the reason "
+                    "the loop is genuinely sequential",
+                )
+
+
 ALL_RULES: Sequence[Rule] = (
     UnseededRngRule(),
     WallClockRule(),
     SwallowedExceptionRule(),
     FloatEqualityRule(),
     ConfigFieldRule(),
+    ElementwiseLoopRule(),
 )

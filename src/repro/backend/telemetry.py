@@ -20,7 +20,26 @@ _DEFAULT_BUCKETS = (
 )
 
 
-class Counter:
+class _Picklable:
+    """Drop the (unpicklable) lock on pickle; rebuild it on unpickle.
+
+    The process worker backend ships job callables to worker processes;
+    anything they close over — including metrics and registries — must
+    survive a pickle round-trip. Worker-side mutations stay worker-local
+    (processes do not share memory); the parent aggregates results.
+    """
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+class Counter(_Picklable):
     """Monotonically increasing counter."""
 
     def __init__(self, name: str, help_text: str = ""):
@@ -40,7 +59,7 @@ class Counter:
         return self._value
 
 
-class Gauge:
+class Gauge(_Picklable):
     """A value that can go up and down (queue depth, workers busy)."""
 
     def __init__(self, name: str, help_text: str = ""):
@@ -66,7 +85,7 @@ class Gauge:
         return self._value
 
 
-class Histogram:
+class Histogram(_Picklable):
     """Cumulative-bucket histogram (Prometheus-style) plus sum/count."""
 
     def __init__(self, name: str, help_text: str = "",
@@ -114,7 +133,7 @@ class Histogram:
         return self.buckets[-1]
 
 
-class TelemetryRegistry:
+class TelemetryRegistry(_Picklable):
     """Named metric registry with a text scrape."""
 
     def __init__(self) -> None:

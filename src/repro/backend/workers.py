@@ -1,24 +1,41 @@
 """Worker pool for parallel pipeline stages (Spark stand-in).
 
 The paper "leverage[s] PySpark with MLlib ... to accelerate the process of
-user trajectories aggregation". The equivalent here is a thread pool that
-drains a :class:`~repro.backend.queue.TaskQueue` through per-kind handlers,
-plus a convenience :func:`map_parallel` for embarrassingly parallel stages
-(trajectory pair scoring, per-room layout generation). Threads are the
-right tool offline: numpy releases the GIL in its inner loops.
+user trajectories aggregation". The equivalent here is a pluggable-backend
+:func:`map_parallel` for embarrassingly parallel stages (trajectory pair
+scoring, per-room layout generation) plus a thread pool that drains a
+:class:`~repro.backend.queue.TaskQueue` through per-kind handlers.
 
-Failure semantics: a handler exception nacks the task, which the queue
-retries with backoff until it dead-letters; :func:`map_parallel` defaults
-to fail-fast (``on_error="raise"``) but can shed bad items
-(``on_error="skip"``) so one corrupt session cannot abort a whole
-embarrassingly parallel stage.
+Three map backends:
+
+- ``"serial"`` — plain loop in the calling thread. With the vectorized
+  kernels most stages are memory-bound numpy; on small fan-outs this
+  beats both pools.
+- ``"thread"`` — a thread pool. Only pays off where numpy actually
+  releases the GIL for long stretches.
+- ``"process"`` — a process pool with *chunked* submission: items are
+  grouped into ``workers * 4`` chunks so the callable is pickled once
+  per chunk, not once per item. Exceptions are pickle-round-trip
+  checked worker-side; ones that cannot cross the process boundary
+  come back as :class:`WorkerTransportError` carrying the original
+  type name and message.
+
+Failure semantics are backend-independent: a queue handler exception
+nacks the task, which the queue retries with backoff until it
+dead-letters; :func:`map_parallel` defaults to fail-fast
+(``on_error="raise"``) but can shed bad items (``on_error="skip"``), and
+:func:`map_with_failures` reports every failure with its input index so
+the pipeline can quarantine exactly the sessions that broke — under any
+backend.
 """
 
 from __future__ import annotations
 
+import math
+import pickle
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.backend.queue import Task, TaskQueue
@@ -27,8 +44,93 @@ from repro.backend.telemetry import TelemetryRegistry, default_registry
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: Internal marker for items dropped by ``on_error="skip"``.
-_SKIPPED = object()
+#: Valid values for the ``backend`` argument / ``worker_backend`` config.
+MAP_BACKENDS = ("serial", "thread", "process")
+
+#: Target chunks per worker for the process backend — enough chunks that
+#: an uneven item-cost distribution still balances, few enough that the
+#: per-chunk pickle of the callable is amortized over many items.
+_CHUNKS_PER_WORKER = 4
+
+
+class WorkerTransportError(RuntimeError):
+    """Stands in for a worker exception that could not be pickled back.
+
+    Carries the original exception's type name and message so quarantine
+    reports stay meaningful even when the original object cannot cross
+    the process boundary.
+    """
+
+    def __init__(self, exc_type: str, message: str):
+        # args must mirror the constructor signature so the stand-in
+        # itself survives the pickle trip it exists to make possible.
+        super().__init__(exc_type, message)
+        self.exc_type = exc_type
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.exc_type}: {self.message}"
+
+
+def _portable_exception(exc: Exception) -> Exception:
+    """The exception itself if it survives pickling, else a stand-in."""
+    try:
+        roundtripped = pickle.loads(pickle.dumps(exc))
+        if isinstance(roundtripped, Exception):
+            return exc
+    except Exception:  # noqa: BLE001  # crowdlint: allow[CM003] any pickle failure means "not portable"; the returned WorkerTransportError preserves the original error's type and message
+        pass
+    return WorkerTransportError(type(exc).__name__, str(exc))
+
+
+def _run_chunk(
+    function: Callable[[T], R], chunk: Sequence[T]
+) -> List[Tuple[bool, Any]]:
+    """Apply ``function`` to a chunk, capturing per-item success/failure.
+
+    Module-level so the process backend can pickle it; the ``(ok, value)``
+    encoding keeps result and exception streams in input order without
+    raising across the pool boundary.
+    """
+    out: List[Tuple[bool, Any]] = []
+    for item in chunk:
+        try:
+            out.append((True, function(item)))
+        except Exception as exc:  # noqa: BLE001  # crowdlint: allow[CM003] the (ok, exc) encoding defers the raise/skip/quarantine decision to the caller, which re-raises under on_error="raise"
+            out.append((False, _portable_exception(exc)))
+    return out
+
+
+def _execute(
+    function: Callable[[T], R],
+    items: Sequence[T],
+    max_workers: int,
+    backend: str,
+) -> List[Tuple[bool, Any]]:
+    """Run ``function`` over ``items`` on the chosen backend.
+
+    Returns ``(ok, value_or_exception)`` per item, in input order — the
+    shared core of :func:`map_parallel` and :func:`map_with_failures`.
+    """
+    if backend not in MAP_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {MAP_BACKENDS}, got {backend!r}"
+        )
+    n = len(items)
+    if backend == "serial" or max_workers <= 1 or n == 1:
+        return _run_chunk(function, items)
+    if backend == "thread":
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            nested = pool.map(lambda item: _run_chunk(function, (item,)), items)
+            return [pair for chunk in nested for pair in chunk]
+    # Process backend: chunk to amortize pickling of the callable and of
+    # per-item overhead across the pool boundary.
+    chunk_size = max(1, math.ceil(n / (max_workers * _CHUNKS_PER_WORKER)))
+    chunks = [items[i : i + chunk_size] for i in range(0, n, chunk_size)]
+    workers = min(max_workers, len(chunks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        nested = pool.map(_run_chunk, [function] * len(chunks), chunks)
+        return [pair for chunk in nested for pair in chunk]
 
 
 def map_parallel(
@@ -37,6 +139,7 @@ def map_parallel(
     max_workers: int = 4,
     on_error: str = "raise",
     telemetry: Optional[TelemetryRegistry] = None,
+    backend: str = "thread",
 ) -> List[R]:
     """Apply ``function`` to every item in parallel, preserving order.
 
@@ -46,6 +149,11 @@ def map_parallel(
     from the result (survivor order preserved) and counted in the
     ``map_parallel_items_skipped`` telemetry counter — the mode the
     pipeline's fault-tolerant stages use to shed corrupt sessions.
+
+    ``backend`` selects serial, thread-pool or chunked process-pool
+    execution (see module docstring); semantics are identical across
+    backends, modulo process-unpicklable exceptions surfacing as
+    :class:`WorkerTransportError`.
     """
     if on_error not in ("raise", "skip"):
         raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
@@ -53,57 +161,44 @@ def map_parallel(
         return []
 
     registry = telemetry or default_registry
-
-    def call(item: T):
-        if on_error == "raise":
-            return function(item)
-        try:
-            return function(item)
-        except Exception:  # noqa: BLE001  # crowdlint: allow[CM003] skip mode's documented contract is to shed; map_with_failures is the recording variant and the skip counter below keeps the tally
+    results: List[R] = []
+    for ok, value in _execute(function, items, max_workers, backend):
+        if ok:
+            results.append(value)
+        elif on_error == "raise":
+            raise value
+        else:
             registry.counter(
                 "map_parallel_items_skipped",
                 "items dropped by map_parallel(on_error='skip')",
             ).inc()
-            return _SKIPPED
-
-    if max_workers <= 1 or len(items) == 1:
-        raw = [call(item) for item in items]
-    else:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            raw = list(pool.map(call, items))
-    return [r for r in raw if r is not _SKIPPED]
+    return results
 
 
 def map_with_failures(
     function: Callable[[T], R],
     items: Sequence[T],
     max_workers: int = 4,
+    backend: str = "thread",
 ) -> Tuple[List[Tuple[int, R]], List[Tuple[int, Exception]]]:
     """Like ``map_parallel(on_error="skip")`` but the failures come back.
 
     Returns ``(successes, failures)`` where each entry is paired with the
     item's original index, so callers that must *report* which items were
     quarantined (rather than silently shedding them) can reconstruct
-    both streams in input order.
+    both streams in input order. ``backend`` behaves as in
+    :func:`map_parallel`; quarantine semantics are preserved under all
+    three.
     """
     if not items:
         return [], []
-
-    def call(indexed: Tuple[int, T]):
-        idx, item = indexed
-        try:
-            return idx, function(item), None
-        except Exception as exc:  # noqa: BLE001 - caller handles the report
-            return idx, None, exc
-
-    indexed_items = list(enumerate(items))
-    if max_workers <= 1 or len(items) == 1:
-        raw = [call(pair) for pair in indexed_items]
-    else:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            raw = list(pool.map(call, indexed_items))
-    successes = [(idx, result) for idx, result, exc in raw if exc is None]
-    failures = [(idx, exc) for idx, _, exc in raw if exc is not None]
+    successes: List[Tuple[int, R]] = []
+    failures: List[Tuple[int, Exception]] = []
+    for idx, (ok, value) in enumerate(_execute(function, items, max_workers, backend)):
+        if ok:
+            successes.append((idx, value))
+        else:
+            failures.append((idx, value))
     return successes, failures
 
 

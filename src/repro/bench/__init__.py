@@ -1,0 +1,258 @@
+"""Repeatable performance harness for the hot paths (``python -m repro.bench``).
+
+Two layers of benchmark:
+
+- **kernel** micro-benchmarks time the vectorized vision primitives (HOG,
+  Gaussian blur, 2-D convolution, SURF detection, descriptor matching,
+  LSD) on seeded synthetic rasters;
+- **pipeline** benchmarks time :class:`~repro.core.pipeline.CrowdMapPipeline`
+  end-to-end on a generated crowd dataset, both cache-cold and — to show
+  what the content-addressed cache buys incremental re-runs — cache-warm.
+
+Every timing is also reported *normalized* by a calibration measurement
+(a fixed 256x256 matmul timed on the same machine, same process), so the
+committed ``BENCH_baseline.json`` remains comparable across machines of
+different speeds: CI regression checks compare normalized values, not raw
+seconds.
+
+Only monotonic ``time.perf_counter`` is read (crowdlint CM002: library
+code must not read the wall clock), so reports carry no timestamps —
+provenance lives in git history.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Benchmarks below this cost get several timed repeats; the expensive
+#: pipeline runs get one (their internal fan-out already averages noise).
+_KERNEL_REPEATS = 5
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark's timing, raw and calibration-normalized."""
+
+    name: str
+    seconds: float
+    normalized: float  # seconds / calibration_seconds
+    repeats: int
+
+    def to_json(self) -> dict:
+        return {
+            "seconds": round(self.seconds, 6),
+            "normalized": round(self.normalized, 3),
+            "repeats": self.repeats,
+        }
+
+
+def calibrate(repeats: int = 7) -> float:
+    """Median time of a fixed 256x256 float64 matmul on this machine.
+
+    The unit every benchmark is normalized into: a machine twice as fast
+    runs both the calibration and the benchmarks twice as fast, keeping
+    the normalized ratio stable across hardware.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((256, 256))
+    b = rng.standard_normal((256, 256))
+    a @ b  # warm-up (thread pools, allocator)
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        a @ b
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def _time(fn: Callable[[], object], repeats: int) -> float:
+    """Median of ``repeats`` timed calls (median resists scheduler noise)."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+# ----------------------------------------------------------------------
+# Kernel workloads (seeded, self-contained)
+# ----------------------------------------------------------------------
+
+
+def _synthetic_image(size: int = 128, channels: int = 3) -> np.ndarray:
+    """A seeded raster with edge/blob structure so detectors find work."""
+    rng = np.random.default_rng(42)
+    yy, xx = np.mgrid[0:size, 0:size]
+    base = (
+        0.5
+        + 0.25 * np.sin(xx / 7.0)
+        + 0.25 * np.cos(yy / 11.0)
+        + 0.1 * rng.standard_normal((size, size))
+    )
+    base = np.clip(base, 0.0, 1.0)
+    if channels == 1:
+        return base
+    return np.stack([base, np.roll(base, 3, axis=0), np.roll(base, 3, axis=1)], axis=-1)
+
+
+def _kernel_benches() -> List[Tuple[str, Callable[[], object], int]]:
+    from repro.vision.filters import convolve2d, gaussian_blur
+    from repro.vision.hog import hog_descriptor
+    from repro.vision.image import to_grayscale
+    from repro.vision.lsd import detect_line_segments
+    from repro.vision.matching import match_descriptors
+    from repro.vision.surf import detect_and_describe
+
+    image = _synthetic_image(128)
+    gray = to_grayscale(image)
+    rng = np.random.default_rng(7)
+    kernel5 = rng.standard_normal((5, 5))
+    features = detect_and_describe(image, max_features=150)
+
+    return [
+        ("hog_descriptor_128", lambda: hog_descriptor(gray), _KERNEL_REPEATS),
+        ("gaussian_blur_128", lambda: gaussian_blur(gray, 2.0), _KERNEL_REPEATS),
+        ("convolve2d_5x5_128", lambda: convolve2d(gray, kernel5), _KERNEL_REPEATS),
+        ("surf_detect_128", lambda: detect_and_describe(image), _KERNEL_REPEATS),
+        (
+            "match_descriptors_150",
+            lambda: match_descriptors(features, features),
+            _KERNEL_REPEATS,
+        ),
+        ("lsd_128", lambda: detect_line_segments(image), 3),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Pipeline workloads
+# ----------------------------------------------------------------------
+
+
+def _bench_dataset(profile: str):
+    from repro.world.buildings import build_lab1
+    from repro.world.crowd import CrowdConfig, generate_crowd_dataset
+
+    if profile == "full":
+        crowd = CrowdConfig(
+            n_users=3, sws_per_user=2, srs_rooms_per_user=1, seed=11
+        )
+    else:
+        crowd = CrowdConfig(
+            n_users=2, sws_per_user=1, srs_rooms_per_user=1, seed=11
+        )
+    return generate_crowd_dataset(build_lab1(), crowd)
+
+
+def _pipeline_benches(profile: str) -> List[Tuple[str, Callable[[], object], int]]:
+    from repro.backend.cache import ResultCache, set_cache
+    from repro.core.config import CrowdMapConfig
+    from repro.core.pipeline import CrowdMapPipeline
+
+    dataset = _bench_dataset(profile)
+    config = CrowdMapConfig()
+    suffix = "full" if profile == "full" else "quick"
+
+    def run_cold():
+        # Fresh cache: this measures the pipeline itself, not memoization.
+        set_cache(ResultCache(mode="memory"))
+        return CrowdMapPipeline(config).run(dataset)
+
+    def run_warm():
+        # Deliberately *not* resetting the cache: the previous bench run
+        # populated it, so this measures an incremental re-run.
+        return CrowdMapPipeline(config).run(dataset)
+
+    return [
+        (f"pipeline_lab1_{suffix}", run_cold, 1),
+        (f"pipeline_lab1_{suffix}_cached_rerun", run_warm, 1),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Suite driver + baseline comparison
+# ----------------------------------------------------------------------
+
+
+def run_suite(
+    profile: str = "quick",
+    include: Optional[List[str]] = None,
+    log: Callable[[str], None] = lambda line: None,
+) -> dict:
+    """Run the benchmark suite and return the JSON-ready report dict."""
+    if profile not in ("quick", "full"):
+        raise ValueError(f"profile must be 'quick' or 'full', got {profile!r}")
+    calibration = calibrate()
+    log(f"calibration: {calibration * 1e3:.3f} ms (256x256 matmul)")
+    benches = _kernel_benches() + _pipeline_benches(profile)
+    results: Dict[str, BenchResult] = {}
+    for name, fn, repeats in benches:
+        if include and name not in include:
+            continue
+        seconds = _time(fn, repeats)
+        result = BenchResult(
+            name=name,
+            seconds=seconds,
+            normalized=seconds / calibration,
+            repeats=repeats,
+        )
+        results[name] = result
+        log(
+            f"{name:40s} {seconds * 1e3:10.2f} ms   "
+            f"(normalized {result.normalized:9.1f}, n={repeats})"
+        )
+    return {
+        "schema": SCHEMA_VERSION,
+        "profile": profile,
+        "calibration_seconds": round(calibration, 8),
+        "benchmarks": {name: r.to_json() for name, r in results.items()},
+    }
+
+
+def compare_to_baseline(
+    report: dict, baseline: dict, tolerance: float = 0.25
+) -> List[str]:
+    """Normalized-time regressions beyond ``tolerance``, human-readable.
+
+    Only benchmarks present in both reports are compared; an empty list
+    means the run is within budget.
+    """
+    problems: List[str] = []
+    base_marks = baseline.get("benchmarks", {})
+    for name, current in report.get("benchmarks", {}).items():
+        base = base_marks.get(name)
+        if base is None:
+            continue
+        allowed = base["normalized"] * (1.0 + tolerance)
+        if current["normalized"] > allowed:
+            problems.append(
+                f"{name}: normalized {current['normalized']:.1f} exceeds "
+                f"baseline {base['normalized']:.1f} "
+                f"(+{(current['normalized'] / base['normalized'] - 1) * 100:.0f}%, "
+                f"tolerance {tolerance * 100:.0f}%)"
+            )
+    return problems
+
+
+def load_report(path: str) -> dict:
+    with open(path) as fh:
+        report = json.load(fh)
+    if report.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema {report.get('schema')!r} != {SCHEMA_VERSION}"
+        )
+    return report
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

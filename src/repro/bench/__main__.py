@@ -1,0 +1,92 @@
+"""CLI for the performance harness.
+
+Usage:
+
+    python -m repro.bench                         # quick suite to stdout
+    python -m repro.bench --profile full          # adds the larger dataset
+    python -m repro.bench --output bench.json     # write the JSON report
+    python -m repro.bench --check BENCH_baseline.json --tolerance 0.25
+    python -m repro.bench --update-baseline BENCH_baseline.json
+
+``--check`` exits 1 when any benchmark's *normalized* time regresses past
+the tolerance versus the baseline file — the CI gate. ``--update-baseline``
+rewrites the baseline with this run's numbers while preserving the
+baseline's ``pre_pr`` record (the frozen pre-optimization measurements the
+speedup claims are made against).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import (
+    compare_to_baseline,
+    load_report,
+    run_suite,
+    write_report,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="CrowdMap performance harness",
+    )
+    parser.add_argument(
+        "--profile", choices=("quick", "full"), default="quick",
+        help="quick: kernels + small pipeline; full: larger pipeline too",
+    )
+    parser.add_argument(
+        "--only", action="append", default=None, metavar="NAME",
+        help="run only the named benchmark (repeatable)",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE",
+        help="compare against a baseline JSON and exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional slowdown for --check (default 0.25)",
+    )
+    parser.add_argument(
+        "--update-baseline", metavar="BASELINE",
+        help="rewrite the baseline with this run (keeps its pre_pr record)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_suite(profile=args.profile, include=args.only, log=print)
+
+    if args.output:
+        write_report(report, args.output)
+        print(f"report written to {args.output}")
+
+    if args.update_baseline:
+        try:
+            previous = load_report(args.update_baseline)
+        except (OSError, ValueError):
+            previous = {}
+        if "pre_pr" in previous:
+            report["pre_pr"] = previous["pre_pr"]
+        write_report(report, args.update_baseline)
+        print(f"baseline updated: {args.update_baseline}")
+
+    if args.check:
+        baseline = load_report(args.check)
+        problems = compare_to_baseline(
+            report, baseline, tolerance=args.tolerance
+        )
+        if problems:
+            print(f"\nFAIL: {len(problems)} regression(s) vs {args.check}:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print(f"\nOK: within {args.tolerance * 100:.0f}% of {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

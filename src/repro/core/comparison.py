@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.backend.cache import config_fingerprint, frame_digest, get_cache
 from repro.core.config import CrowdMapConfig
 from repro.core.keyframes import KeyFrame
 from repro.geometry.primitives import angle_difference
@@ -71,14 +72,36 @@ class KeyframeComparator:
         return score / total if total > 0 else 0.0
 
     def s2_score(self, a: KeyFrame, b: KeyFrame) -> float:
-        """SURF mutual-NN similarity (Eq. 1)."""
+        """SURF mutual-NN similarity (Eq. 1).
+
+        Scores are content-addressed on the *pair* of frame digests plus
+        the SURF thresholds: the anchored-frame half of every incremental
+        comparison repeats across pipeline re-runs, so a cached pair skips
+        both descriptor extraction and matching.
+        """
         self.n_surf_comparisons += 1
-        result = match_descriptors(
-            a.ensure_surf(),
-            b.ensure_surf(),
-            distance_threshold=self.config.surf_distance_threshold,
+        key = (
+            frame_digest(a.frame)
+            + frame_digest(b.frame)
+            + config_fingerprint(
+                self.config,
+                (
+                    "surf_response_threshold",
+                    "surf_max_features",
+                    "surf_distance_threshold",
+                ),
+            )
         )
-        return result.similarity
+
+        def compute() -> float:
+            result = match_descriptors(
+                a.ensure_surf(),
+                b.ensure_surf(),
+                distance_threshold=self.config.surf_distance_threshold,
+            )
+            return result.similarity
+
+        return get_cache().get_or_compute("s2_score", key, compute)
 
     def compare(self, a: KeyFrame, b: KeyFrame) -> ComparisonResult:
         """Full hierarchical comparison of two key-frames."""

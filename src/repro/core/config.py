@@ -117,6 +117,11 @@ class CrowdMapConfig:
     # ---- misc ----------------------------------------------------------
     #: Workers for parallel stages (Spark stand-in).
     n_workers: int = 4
+    #: Execution backend for the parallel map stages: "serial" (plain
+    #: loop — fastest for the vectorized, memory-bound kernels at small
+    #: fan-out), "thread" or "process" (chunked ProcessPoolExecutor; the
+    #: only option that sidesteps the GIL for Python-heavy stages).
+    worker_backend: str = "serial"
     #: RNG seed for the stochastic stages (layout sampling).
     seed: int = 0
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 from repro.backend.workers import map_parallel
@@ -38,6 +39,21 @@ from repro.core.pipeline import ReconstructionResult, _trajectory_bounds
 from repro.core.room_layout import RoomLayout, RoomLayoutEstimator
 from repro.core.skeleton import reconstruct_skeleton
 from repro.geometry.primitives import Point
+
+
+def _score_pair_job(
+    aggregator: SequenceAggregator,
+    newcomer: AnchoredTrajectory,
+    new_index: int,
+    indexed: Tuple[int, AnchoredTrajectory],
+) -> MergeCandidate:
+    """Score one (existing, newcomer) pair.
+
+    Module-level (bound via :func:`functools.partial`) so the job pickles
+    under the process worker backend — a closure or lambda would not.
+    """
+    i, anchored = indexed
+    return aggregator.score_pair(anchored, newcomer, i, new_index)
 
 
 @dataclass
@@ -95,13 +111,12 @@ class IncrementalCrowdMap:
         new_index = len(self._anchored)
         self._anchored.append(newcomer)
         # Score only the new session against the existing corpus.
-        pairs = list(range(new_index))
+        pairs = list(enumerate(self._anchored[:new_index]))
         scored = map_parallel(
-            lambda i: self.aggregator.score_pair(
-                self._anchored[i], newcomer, i, new_index
-            ),
+            partial(_score_pair_job, self.aggregator, newcomer, new_index),
             pairs,
             max_workers=self.config.n_workers,
+            backend=self.config.worker_backend,
         )
         for candidate in scored:
             self._candidates[(candidate.index_a, candidate.index_b)] = candidate
@@ -111,8 +126,7 @@ class IncrementalCrowdMap:
         traj = session.device_trajectory
         if len(traj) == 0:
             return (0, 0)
-        x = sum(p.x for p in traj.points) / len(traj)
-        y = sum(p.y for p in traj.points) / len(traj)
+        x, y = traj.as_array().mean(axis=0)
         return (int(x // 2.5), int(y // 2.5))
 
     def _add_srs(self, session) -> None:
@@ -126,10 +140,8 @@ class IncrementalCrowdMap:
         )
         traj = session.device_trajectory
         if len(traj):
-            capture = Point(
-                sum(p.x for p in traj.points) / len(traj),
-                sum(p.y for p in traj.points) / len(traj),
-            )
+            mean_x, mean_y = traj.as_array().mean(axis=0)
+            capture = Point(float(mean_x), float(mean_y))
         else:
             capture = Point(0.0, 0.0)
         hints = Counter(s.room_name for s in cell.sessions if s.room_name)

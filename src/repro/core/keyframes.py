@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.backend.cache import config_fingerprint, frame_digest, get_cache
 from repro.core.config import CrowdMapConfig
 from repro.vision.color_histogram import chromaticity_histogram
 from repro.vision.filters import gaussian_blur
@@ -67,25 +68,95 @@ class KeyFrame:
         return self.frame.heading
 
     def ensure_signatures(self) -> None:
-        """Compute the cheap S1 signatures if not already cached."""
-        if self.color is None:
-            # Illumination-invariant variant: uploads span day and night
-            # lighting, so the S1 color rung must not key on exposure.
-            self.color = chromaticity_histogram(self.frame.pixels)
-        if self.shape is None:
-            self.shape = shape_signature(self.frame.pixels)
-        if self.wavelet is None:
-            self.wavelet = wavelet_signature(self.frame.pixels)
+        """Compute the cheap S1 signatures if not already cached.
+
+        Signatures are memoized per key-frame instance *and* in the
+        content-addressed cache, so a frame whose pixels were already
+        signed — in this run or (disk mode) an earlier one — pays only a
+        digest.
+        """
+        if self.color is None or self.shape is None or self.wavelet is None:
+            pixels = self.frame.pixels
+            self.color, self.shape, self.wavelet = get_cache().get_or_compute(
+                "s1_signatures",
+                frame_digest(self.frame),
+                lambda: (
+                    # Illumination-invariant variant: uploads span day and
+                    # night lighting, so the S1 color rung must not key on
+                    # exposure.
+                    chromaticity_histogram(pixels),
+                    shape_signature(pixels),
+                    wavelet_signature(pixels),
+                ),
+            )
 
     def ensure_surf(self) -> List[SurfFeature]:
         """Compute (and cache) the frame's SURF features."""
         if self.surf is None:
-            self.surf = detect_and_describe(
-                self.frame.pixels,
-                threshold=self._config.surf_response_threshold,
-                max_features=self._config.surf_max_features,
+            key = frame_digest(self.frame) + config_fingerprint(
+                self._config,
+                ("surf_response_threshold", "surf_max_features"),
+            )
+            self.surf = get_cache().get_or_compute(
+                "surf",
+                key,
+                lambda: detect_and_describe(
+                    self.frame.pixels,
+                    threshold=self._config.surf_response_threshold,
+                    max_features=self._config.surf_max_features,
+                ),
             )
         return self.surf
+
+
+def _frame_hog(frame: Frame, config: CrowdMapConfig) -> np.ndarray:
+    """Blur + HOG for one frame, memoized by pixel content and HOG knobs.
+
+    This runs for *every* frame of every session (it is what key-frame
+    selection thins with), so on incremental re-runs the cache turns the
+    dominant per-frame cost into a digest lookup.
+    """
+    key = frame_digest(frame) + config_fingerprint(
+        config, ("hog_blur_sigma", "hog_cell_size")
+    )
+
+    def compute() -> np.ndarray:
+        smoothed = gaussian_blur(to_grayscale(frame.pixels), config.hog_blur_sigma)
+        return hog_descriptor(smoothed, cell_size=config.hog_cell_size)
+
+    return get_cache().get_or_compute("hog", key, compute)
+
+
+def _frame_hogs(
+    frames: Sequence[Frame], config: CrowdMapConfig
+) -> List[np.ndarray]:
+    """Blur + HOG for a whole frame sequence, cache-aware.
+
+    The config fingerprint is computed once for the sequence and misses
+    are filled frame by frame: the frame kernels are memory-bound at
+    video resolutions, so stacking frames (``hog_descriptor_stack``)
+    measures *slower* end-to-end than the per-frame chain whose working
+    set stays inside the cache hierarchy. Hits, telemetry counts and
+    stored values are exactly those of :func:`_frame_hog`.
+    """
+    cache = get_cache()
+    fingerprint = config_fingerprint(
+        config, ("hog_blur_sigma", "hog_cell_size")
+    )
+    keys = [frame_digest(frame) + fingerprint for frame in frames]
+    hogs: List[Optional[np.ndarray]] = [None] * len(frames)
+    for i, frame in enumerate(frames):
+        hit, value = cache.lookup("hog", keys[i])
+        if hit:
+            hogs[i] = value
+            continue
+        smoothed = gaussian_blur(
+            to_grayscale(frame.pixels), config.hog_blur_sigma
+        )
+        hog = hog_descriptor(smoothed, cell_size=config.hog_cell_size)
+        hogs[i] = hog
+        cache.store("hog", keys[i], hog)
+    return hogs
 
 
 def select_keyframes(
@@ -109,9 +180,7 @@ def select_keyframes(
     config = config or CrowdMapConfig()
     if not frames:
         return []
-    keyframes: List[KeyFrame] = []
-    last_hog: Optional[np.ndarray] = None
-    for i, frame in enumerate(frames):
+    for frame in frames:
         pixels = frame.pixels
         if pixels is None or pixels.size == 0:
             raise KeyframeSelectionError(
@@ -125,8 +194,13 @@ def select_keyframes(
                 f"{frame.frame_index} has non-finite pixels (corrupt upload)",
                 session_id=session_id, frame_index=frame.frame_index,
             )
-        smoothed = gaussian_blur(to_grayscale(frame.pixels), config.hog_blur_sigma)
-        hog = hog_descriptor(smoothed, cell_size=config.hog_cell_size)
+    # Every frame's HOG is needed (selection compares each against the
+    # last kept key-frame), so compute the whole sequence in one batch.
+    hogs = _frame_hogs(frames, config)
+    keyframes: List[KeyFrame] = []
+    last_hog: Optional[np.ndarray] = None
+    for i, frame in enumerate(frames):
+        hog = hogs[i]
         is_last = i == len(frames) - 1
         if last_hog is None:
             keep = True

@@ -32,8 +32,10 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.backend.telemetry import TelemetryRegistry, default_registry
-from repro.backend.workers import map_parallel, map_with_failures
+from repro.backend.workers import MAP_BACKENDS, map_parallel, map_with_failures
 from repro.core.aggregation import (
     AggregationResult,
     AnchoredTrajectory,
@@ -104,6 +106,11 @@ class CrowdMapPipeline:
                 "pipeline_on_error must be 'quarantine' or 'raise', got "
                 f"{self.config.pipeline_on_error!r}"
             )
+        if self.config.worker_backend not in MAP_BACKENDS:
+            raise ValueError(
+                f"worker_backend must be one of {MAP_BACKENDS}, got "
+                f"{self.config.worker_backend!r}"
+            )
         self.telemetry = telemetry or default_registry
         self.comparator = KeyframeComparator(self.config)
         self.aggregator = SequenceAggregator(self.config, self.comparator)
@@ -136,7 +143,9 @@ class CrowdMapPipeline:
                List[StageFailure]]:
         if self._quarantine:
             successes, errors = map_with_failures(
-                self.anchor_session, sessions, max_workers=self.config.n_workers
+                self.anchor_session, sessions,
+                max_workers=self.config.n_workers,
+                backend=self.config.worker_backend,
             )
             anchored = [result for _, result in successes]
             failures = []
@@ -156,7 +165,9 @@ class CrowdMapPipeline:
                 ).inc()
         else:
             anchored = map_parallel(
-                self.anchor_session, sessions, max_workers=self.config.n_workers
+                self.anchor_session, sessions,
+                max_workers=self.config.n_workers,
+                backend=self.config.worker_backend,
             )
             failures = []
         aggregation = self.aggregator.aggregate(anchored)
@@ -180,9 +191,8 @@ class CrowdMapPipeline:
         traj = session.device_trajectory
         if len(traj) == 0:
             return Point(0.0, 0.0)
-        xs = sum(p.x for p in traj.points) / len(traj)
-        ys = sum(p.y for p in traj.points) / len(traj)
-        return Point(xs, ys)
+        mean_x, mean_y = traj.as_array().mean(axis=0)
+        return Point(float(mean_x), float(mean_y))
 
     def group_srs_sessions(
         self, sessions: List[CaptureSession], cell_size: float = 2.5
@@ -253,11 +263,11 @@ class CrowdMapPipeline:
                 )
             except ValueError:
                 continue
-        positions = [self._srs_capture_position(s) for s in group]
-        capture = Point(
-            sum(p.x for p in positions) / len(positions),
-            sum(p.y for p in positions) / len(positions),
+        positions = np.array(
+            [[p.x, p.y] for p in (self._srs_capture_position(s) for s in group)]
         )
+        mean_x, mean_y = positions.mean(axis=0)
+        capture = Point(float(mean_x), float(mean_y))
         pano = self.panorama_builder.build(
             keyframes, capture_position=capture, room_hint=room_hint
         )
@@ -269,7 +279,9 @@ class CrowdMapPipeline:
         groups = self.group_srs_sessions(sessions)
         if self._quarantine:
             successes, errors = map_with_failures(
-                self.build_room, groups, max_workers=self.config.n_workers
+                self.build_room, groups,
+                max_workers=self.config.n_workers,
+                backend=self.config.worker_backend,
             )
             results = [result for _, result in successes]
             failures = []
@@ -289,7 +301,9 @@ class CrowdMapPipeline:
                 ).inc()
         else:
             results = map_parallel(
-                self.build_room, groups, max_workers=self.config.n_workers
+                self.build_room, groups,
+                max_workers=self.config.n_workers,
+                backend=self.config.worker_backend,
             )
             failures = []
         panoramas, layouts = [], []
@@ -351,14 +365,15 @@ class CrowdMapPipeline:
 
 def _trajectory_bounds(aggregation: AggregationResult, margin: float) -> BoundingBox:
     """Joint bounding box of all aggregated trajectories."""
-    xs: List[float] = []
-    ys: List[float] = []
-    for traj in aggregation.trajectories:
-        for p in traj.points:
-            xs.append(p.x)
-            ys.append(p.y)
-    if not xs:
+    arrays = [
+        traj.as_array() for traj in aggregation.trajectories if len(traj) > 0
+    ]
+    if not arrays:
         return BoundingBox(0.0, 0.0, 1.0, 1.0)
+    points = np.concatenate(arrays, axis=0)
+    min_x, min_y = points.min(axis=0)
+    max_x, max_y = points.max(axis=0)
     return BoundingBox(
-        min(xs) - margin, min(ys) - margin, max(xs) + margin, max(ys) + margin
+        float(min_x) - margin, float(min_y) - margin,
+        float(max_x) + margin, float(max_y) + margin,
     )

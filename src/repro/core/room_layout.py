@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.core.config import CrowdMapConfig
 from repro.core.panorama import RoomPanorama
@@ -180,34 +181,30 @@ class RoomLayoutEstimator:
         # to the panorama-wide median, which rejects the systematic
         # impostors (a wainscot line reads 3x too far; a light fixture
         # reads too near) without assuming either junction is visible.
+        # One whole-band comparison + nonzero per band (instead of one per
+        # column) finds every strong transition; the distances for all
+        # candidates are then computed in one vectorized expression and
+        # grouped per column as plain Python floats for the pairing pass.
         floor_cands: List[List[float]] = [[] for _ in range(w)]
         ceil_cands: List[List[float]] = [[] for _ in range(w)]
         if floor_band.shape[0] > 2:
             peaks = floor_band.max(axis=0)
-            for col in range(w):
-                peak = peaks[col]
-                if peak <= 1e-3:
-                    continue
-                strong = np.nonzero(floor_band[:, col] > 0.45 * peak)[0]
-                for s_row in strong:
-                    row = lo + s_row
-                    if row < h - 5:
-                        floor_cands[col].append(
-                            eye * focal / max(row - horizon, 1.0)
-                        )
+            strong = floor_band > (0.45 * peaks)[None, :]
+            rows, cols = np.nonzero(strong & (peaks > 1e-3)[None, :])
+            rows = rows + lo
+            keep = rows < h - 5
+            dist = eye * focal / np.maximum(rows[keep] - horizon, 1.0)
+            for col, d in zip(cols[keep].tolist(), dist.tolist()):
+                floor_cands[col].append(d)
         if ceil_band.shape[0] > 2:
             peaks = ceil_band.max(axis=0)
-            for col in range(w):
-                peak = peaks[col]
-                if peak <= 1e-3:
-                    continue
-                strong = np.nonzero(ceil_band[:, col] > 0.45 * peak)[0]
-                for s_row in strong:
-                    row = 2 + s_row
-                    if row > 4:
-                        ceil_cands[col].append(
-                            head * focal / max(horizon - row, 1.0)
-                        )
+            strong = ceil_band > (0.45 * peaks)[None, :]
+            rows, cols = np.nonzero(strong & (peaks > 1e-3)[None, :])
+            rows = rows + 2
+            keep = rows > 4
+            dist = head * focal / np.maximum(horizon - rows[keep], 1.0)
+            for col, d in zip(cols[keep].tolist(), dist.tolist()):
+                ceil_cands[col].append(d)
 
         distances = np.full(w, np.nan)
         tolerance = math.log(1.3)
@@ -240,11 +237,10 @@ class RoomLayoutEstimator:
             scale = float(np.median(finite))
             distances[distances > 3.5 * scale] = np.nan
         distances = _interpolate_circular(distances)
-        # Median filter (window 5) over the circular profile.
+        # Median filter (window 5) over the circular profile, all columns
+        # at once through a windowed view.
         padded = np.concatenate([distances[-2:], distances, distances[:2]])
-        filtered = np.empty_like(distances)
-        for i in range(len(distances)):
-            filtered[i] = np.median(padded[i : i + 5])
+        filtered = np.median(sliding_window_view(padded, 5), axis=1)
         return np.clip(filtered, 0.3, 40.0)
 
     def detect_corners(self, pano: RoomPanorama, max_corners: int = 8) -> List[float]:
@@ -278,14 +274,25 @@ class RoomLayoutEstimator:
         theta+pi/2, theta-pi/2. A ray along azimuth az exits the rectangle
         at ``min over walls with cos(az - normal) > 0 of
         wall_dist / cos(az - normal)``.
+
+        The (K, 4, C) cosine grid is expanded via the angle-addition
+        identity ``cos(az - n) = cos(az)cos(n) + sin(az)sin(n)``: one
+        cos/sin pair per candidate (the four normals' terms are sign/swap
+        permutations of it) and per azimuth, then multiply-adds — instead
+        of K*4*C transcendental evaluations, which dominated this
+        function's cost.
         """
-        normals = np.stack(
-            [theta, theta + math.pi, theta + math.pi / 2.0, theta - math.pi / 2.0],
-            axis=1,
-        )  # (K, 4)
-        cosines = np.cos(azimuths[None, None, :] - normals[:, :, None])  # (K,4,C)
-        with np.errstate(divide="ignore"):
-            t = np.where(cosines > 1e-6, dists[:, :, None] / cosines, np.inf)
+        cos_az = np.cos(azimuths)  # (C,)
+        sin_az = np.sin(azimuths)
+        cos_t = np.cos(theta)  # (K,)
+        sin_t = np.sin(theta)
+        # (cos, sin) of theta, theta+pi, theta+pi/2, theta-pi/2.
+        cos_n = np.stack([cos_t, -cos_t, -sin_t, sin_t], axis=1)  # (K, 4)
+        sin_n = np.stack([sin_t, -sin_t, cos_t, -cos_t], axis=1)
+        cosines = cos_n[:, :, None] * cos_az[None, None, :]  # (K, 4, C)
+        cosines += sin_n[:, :, None] * sin_az[None, None, :]
+        t = np.full(cosines.shape, np.inf)
+        np.divide(dists[:, :, None], cosines, out=t, where=cosines > 1e-6)
         return t.min(axis=1)  # (K, C)
 
     def _sample_candidates(

@@ -4,6 +4,12 @@ Implemented with :func:`scipy.ndimage.convolve`-free numpy code so the
 dependency surface stays minimal and behaviour is easy to audit. All filters
 use reflect padding, which avoids the dark borders that zero padding would
 inject into gradient histograms.
+
+The dense and separable convolutions run on stride-trick windowed views
+(:func:`numpy.lib.stride_tricks.sliding_window_view` + ``einsum``/``@``)
+so a k-tap kernel costs one BLAS-shaped contraction instead of k
+interpreter-dispatched array ops; a per-tap accumulation path remains for
+kernels large enough that the windowed view's memory traffic would lose.
 """
 
 from __future__ import annotations
@@ -11,8 +17,14 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.core.contracts import shaped
+
+#: Kernels up to this many taps use the windowed-view contraction; above
+#: it the per-tap accumulation path wins on memory traffic (the windowed
+#: view reads H*W*k_h*k_w elements, the tap loop only H*W per tap).
+_WINDOWED_MAX_TAPS = 169
 
 
 def _reflect_pad(image: np.ndarray, pad_h: int, pad_w: int) -> np.ndarray:
@@ -26,29 +38,48 @@ def convolve2d(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
         raise ValueError("convolve2d expects 2D image and kernel")
     kh, kw = kernel.shape
     pad_h, pad_w = kh // 2, kw // 2
-    padded = _reflect_pad(image, pad_h, pad_w)
-    flipped = kernel[::-1, ::-1]
+    padded = _reflect_pad(np.asarray(image, dtype=np.float64), pad_h, pad_w)
+    flipped = np.ascontiguousarray(kernel[::-1, ::-1], dtype=np.float64)
     h, w = image.shape
-    out = np.zeros_like(image, dtype=np.float64)
-    for i in range(kh):
-        for j in range(kw):
+    if kh * kw <= _WINDOWED_MAX_TAPS:
+        windows = sliding_window_view(padded, (kh, kw))
+        return np.einsum("hwij,ij->hw", windows, flipped, optimize=True)
+    out = np.zeros((h, w), dtype=np.float64)
+    for i in range(kh):  # crowdlint: allow[CM006] loop is over kernel taps, not pixels; each tap is a full-array multiply-add
+        for j in range(kw):  # crowdlint: allow[CM006] loop is over kernel taps, not pixels; each tap is a full-array multiply-add
             out += flipped[i, j] * padded[i : i + h, j : j + w]
     return out
 
 
 def _convolve_separable(image: np.ndarray, kernel_1d: np.ndarray) -> np.ndarray:
-    """Convolve with a separable symmetric 1D kernel along both axes."""
+    """Convolve with a separable symmetric 1D kernel along both axes.
+
+    Accepts a single ``(H, W)`` image or an ``(N, H, W)`` stack; the
+    stacked result is bit-identical to filtering each frame alone (the
+    contraction runs over the same contiguous last axis either way).
+    """
     k = kernel_1d.size
     pad = k // 2
-    h, w = image.shape
-    padded = np.pad(image, ((0, 0), (pad, pad)), mode="reflect")
-    tmp = np.zeros_like(image, dtype=np.float64)
-    for j in range(k):
-        tmp += kernel_1d[j] * padded[:, j : j + w]
-    padded = np.pad(tmp, ((pad, pad), (0, 0)), mode="reflect")
-    out = np.zeros_like(image, dtype=np.float64)
-    for i in range(k):
-        out += kernel_1d[i] * padded[i : i + h, :]
+    h, w = image.shape[-2], image.shape[-1]
+    kernel = np.ascontiguousarray(kernel_1d, dtype=np.float64)
+    img = np.asarray(image, dtype=np.float64)
+    lead = [(0, 0)] * (img.ndim - 2)
+    if k <= _WINDOWED_MAX_TAPS:
+        padded = np.pad(img, lead + [(0, 0), (pad, pad)], mode="reflect")
+        tmp = sliding_window_view(padded, k, axis=-1) @ kernel
+        padded = np.pad(tmp, lead + [(pad, pad), (0, 0)], mode="reflect")
+        # Windowing rows along the row axis keeps the contraction on the
+        # last axis (contiguous reads) by windowing the transpose instead.
+        out = sliding_window_view(padded.swapaxes(-1, -2), k, axis=-1) @ kernel
+        return np.ascontiguousarray(out.swapaxes(-1, -2))
+    padded = np.pad(img, lead + [(0, 0), (pad, pad)], mode="reflect")
+    tmp = np.zeros_like(img, dtype=np.float64)
+    for j in range(k):  # crowdlint: allow[CM006] loop is over kernel taps, not pixels; chosen when windowed views would thrash memory
+        tmp += kernel[j] * padded[..., :, j : j + w]
+    padded = np.pad(tmp, lead + [(pad, pad), (0, 0)], mode="reflect")
+    out = np.zeros_like(img, dtype=np.float64)
+    for i in range(k):  # crowdlint: allow[CM006] loop is over kernel taps, not pixels; chosen when windowed views would thrash memory
+        out += kernel[i] * padded[..., i : i + h, :]
     return out
 
 
@@ -70,36 +101,62 @@ def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
     return _convolve_separable(image.astype(np.float64), gaussian_kernel_1d(sigma))
 
 
-@shaped(image="(H,W)")
+@shaped(images="(N,H,W)", out="(N,H,W) float64")
+def gaussian_blur_stack(images: np.ndarray, sigma: float) -> np.ndarray:
+    """Separable Gaussian blur of a stack of grayscale images at once.
+
+    Bit-identical to :func:`gaussian_blur` applied per frame; batching the
+    frame axis amortizes padding and dispatch over the whole stack.
+    """
+    if images.ndim != 3:
+        raise ValueError("gaussian_blur_stack expects an (N, H, W) stack")
+    return _convolve_separable(images.astype(np.float64), gaussian_kernel_1d(sigma))
+
+
+@shaped(image="(H,W)|(N,H,W)")
 def sobel_gradients(image: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Horizontal and vertical Sobel derivatives ``(gx, gy)``.
 
     ``gx`` responds to vertical edges (intensity change along columns),
-    ``gy`` to horizontal edges.
+    ``gy`` to horizontal edges. An ``(N, H, W)`` stack is differentiated
+    per frame in one pass.
     """
-    if image.ndim != 2:
-        raise ValueError("sobel_gradients expects a grayscale image")
+    if image.ndim not in (2, 3):
+        raise ValueError("sobel_gradients expects a grayscale image or stack")
     img = image.astype(np.float64)
-    padded = _reflect_pad(img, 1, 1)
-    h, w = img.shape
+    lead = [(0, 0)] * (img.ndim - 2)
+    padded = np.pad(img, lead + [(1, 1), (1, 1)], mode="reflect")
+    h, w = img.shape[-2], img.shape[-1]
     # Separable Sobel: smooth [1 2 1] across, differentiate [-1 0 1] along.
+    # Accumulated in place (with 2*t written as t += t, the same exact
+    # doubling) to halve the temporary allocations on this per-frame path.
     p = padded
-    gx = (
-        (p[0:h, 2 : w + 2] - p[0:h, 0:w])
-        + 2.0 * (p[1 : h + 1, 2 : w + 2] - p[1 : h + 1, 0:w])
-        + (p[2 : h + 2, 2 : w + 2] - p[2 : h + 2, 0:w])
-    )
-    gy = (
-        (p[2 : h + 2, 0:w] - p[0:h, 0:w])
-        + 2.0 * (p[2 : h + 2, 1 : w + 1] - p[0:h, 1 : w + 1])
-        + (p[2 : h + 2, 2 : w + 2] - p[0:h, 2 : w + 2])
-    )
+    gx = p[..., 0:h, 2 : w + 2] - p[..., 0:h, 0:w]
+    t = p[..., 1 : h + 1, 2 : w + 2] - p[..., 1 : h + 1, 0:w]
+    t += t
+    gx += t
+    np.subtract(p[..., 2 : h + 2, 2 : w + 2], p[..., 2 : h + 2, 0:w], out=t)
+    gx += t
+    gy = p[..., 2 : h + 2, 0:w] - p[..., 0:h, 0:w]
+    np.subtract(p[..., 2 : h + 2, 1 : w + 1], p[..., 0:h, 1 : w + 1], out=t)
+    t += t
+    gy += t
+    np.subtract(p[..., 2 : h + 2, 2 : w + 2], p[..., 0:h, 2 : w + 2], out=t)
+    gy += t
     return gx, gy
 
 
 def gradient_magnitude_orientation(image: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Gradient magnitude and orientation (radians in ``[0, pi)``)."""
     gx, gy = sobel_gradients(image)
-    magnitude = np.hypot(gx, gy)
-    orientation = np.mod(np.arctan2(gy, gx), np.pi)
+    # sqrt(gx^2+gy^2) instead of hypot: Sobel responses on unit-range
+    # images cannot overflow, so hypot's scaling pass only costs time.
+    magnitude = np.sqrt(gx * gx + gy * gy)
+    # Fold [-pi, pi] -> [0, pi) without np.mod's general divide path.
+    # For x in (-pi, 0) this is the same `x + pi` that mod performs
+    # (floor(x/pi) == -1), so results match bit for bit; the one input
+    # mod treats specially, x == pi exactly, is mapped to 0.0 below.
+    orientation = np.arctan2(gy, gx)
+    np.add(orientation, np.pi, out=orientation, where=orientation < 0.0)
+    orientation[orientation == np.pi] = 0.0
     return magnitude, orientation

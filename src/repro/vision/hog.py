@@ -12,11 +12,26 @@ L2-hysteresis block normalization over 2x2 cell blocks.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.core.contracts import shaped
 from repro.vision.filters import gradient_magnitude_orientation
 from repro.vision.image import to_grayscale
+
+
+@lru_cache(maxsize=16)
+def _cell_base_grid(
+    cells_y: int, cells_x: int, cell_size: int, n_bins: int
+) -> np.ndarray:
+    """Per-pixel flat (cell * n_bins) offsets; fixed for a given geometry."""
+    cell_row = np.arange(cells_y * cell_size) // cell_size
+    cell_col = np.arange(cells_x * cell_size) // cell_size
+    grid = (cell_row[:, None] * cells_x + cell_col[None, :]) * n_bins
+    grid.setflags(write=False)
+    return grid
 
 
 @shaped(image="(H,W)|(H,W,3)", out="(D,) float64 descriptor")
@@ -35,20 +50,52 @@ def hog_descriptor(
     blocks of ``block_size`` x ``block_size`` cells are L2-normalized,
     clipped at ``clip`` and renormalized (L2-Hys).
     """
+    gray = to_grayscale(image)
+    return np.ascontiguousarray(
+        hog_descriptor_stack(
+            gray[None, :, :],
+            cell_size=cell_size,
+            n_bins=n_bins,
+            block_size=block_size,
+            eps=eps,
+            clip=clip,
+        )[0]
+    )
+
+
+@shaped(images="(N,H,W)", out="(N,D) float64 descriptors")
+def hog_descriptor_stack(
+    images: np.ndarray,
+    cell_size: int = 8,
+    n_bins: int = 9,
+    block_size: int = 2,
+    eps: float = 1e-6,
+    clip: float = 0.2,
+) -> np.ndarray:
+    """HOG descriptors for a whole ``(N, H, W)`` grayscale stack at once.
+
+    One vectorized pass over the frame axis: gradients, soft binning and
+    block normalization all batch, and the per-frame histograms come from
+    a single ``bincount`` whose flat slot index is offset per frame. Each
+    row is bit-identical to :func:`hog_descriptor` on that frame alone —
+    per-frame slot ranges are disjoint and scanned in the same order, and
+    every other step is elementwise or a last-axis reduction.
+    """
     if cell_size < 2:
         raise ValueError("cell_size must be at least 2")
-    gray = to_grayscale(image)
-    h, w = gray.shape
+    if images.ndim != 3:
+        raise ValueError("hog_descriptor_stack expects an (N, H, W) stack")
+    n, h, w = images.shape
     cells_y = h // cell_size
     cells_x = w // cell_size
     if cells_y == 0 or cells_x == 0:
         raise ValueError(
-            f"image {gray.shape} too small for cell_size={cell_size}"
+            f"images {images.shape[1:]} too small for cell_size={cell_size}"
         )
-    magnitude, orientation = gradient_magnitude_orientation(gray)
+    magnitude, orientation = gradient_magnitude_orientation(images)
     # Crop to a whole number of cells.
-    magnitude = magnitude[: cells_y * cell_size, : cells_x * cell_size]
-    orientation = orientation[: cells_y * cell_size, : cells_x * cell_size]
+    magnitude = magnitude[:, : cells_y * cell_size, : cells_x * cell_size]
+    orientation = orientation[:, : cells_y * cell_size, : cells_x * cell_size]
 
     bin_width = np.pi / n_bins
     # Soft assignment between the two nearest orientation bins.
@@ -56,41 +103,58 @@ def hog_descriptor(
     lower_bin = np.floor(scaled).astype(int)
     upper_frac = scaled - lower_bin
     lower_frac = 1.0 - upper_frac
-    lower_bin_mod = np.mod(lower_bin, n_bins)
-    upper_bin_mod = np.mod(lower_bin + 1, n_bins)
+    # Orientation lies in [0, pi), so lower_bin is in [-1, n_bins - 1]
+    # and upper_bin in [0, n_bins]: the wrap is a single conditional
+    # add/subtract, not a general modulo.
+    lower_bin_mod = np.where(lower_bin < 0, lower_bin + n_bins, lower_bin)
+    upper_bin = lower_bin + 1
+    upper_bin_mod = np.where(upper_bin == n_bins, 0, upper_bin)
 
-    hist = np.zeros((cells_y, cells_x, n_bins), dtype=np.float64)
-    mag_cells = magnitude.reshape(cells_y, cell_size, cells_x, cell_size)
-    lower_cells = lower_bin_mod.reshape(cells_y, cell_size, cells_x, cell_size)
-    upper_cells = upper_bin_mod.reshape(cells_y, cell_size, cells_x, cell_size)
-    lfrac_cells = lower_frac.reshape(cells_y, cell_size, cells_x, cell_size)
-    ufrac_cells = upper_frac.reshape(cells_y, cell_size, cells_x, cell_size)
-    for b in range(n_bins):
-        contrib = mag_cells * (
-            lfrac_cells * (lower_cells == b) + ufrac_cells * (upper_cells == b)
-        )
-        hist[:, :, b] = contrib.sum(axis=(1, 3))
+    # Histogram every (frame, cell, bin) triple in two bincount passes:
+    # each pixel scatters its magnitude into flat index
+    # frame * n_slots + cell_index * n_bins + bin.
+    cell_base = _cell_base_grid(cells_y, cells_x, cell_size, n_bins)
+    n_slots = cells_y * cells_x * n_bins
+    frame_base = (np.arange(n) * n_slots)[:, None, None]
+    hist = np.bincount(
+        (frame_base + cell_base + lower_bin_mod).ravel(),
+        weights=(magnitude * lower_frac).ravel(),
+        minlength=n * n_slots,
+    )
+    hist += np.bincount(
+        (frame_base + cell_base + upper_bin_mod).ravel(),
+        weights=(magnitude * upper_frac).ravel(),
+        minlength=n * n_slots,
+    )
+    hist = hist.reshape(n, cells_y, cells_x, n_bins)
 
     blocks_y = cells_y - block_size + 1
     blocks_x = cells_x - block_size + 1
     if blocks_y <= 0 or blocks_x <= 0:
-        # Image too small for block normalization; normalize the cell grid.
-        vec = hist.ravel()
-        norm = np.sqrt(np.sum(vec**2) + eps**2)
-        return vec / norm
+        # Images too small for block normalization; normalize the cell grid.
+        vecs = hist.reshape(n, -1)
+        norms = np.sqrt(
+            np.einsum("nd,nd->n", vecs, vecs) + eps**2
+        )
+        return vecs / norms[:, None]
 
-    descriptor = np.empty(
-        (blocks_y, blocks_x, block_size * block_size * n_bins), dtype=np.float64
+    # All blocks at once: window the cell grid, flatten each block in the
+    # same (cell_y, cell_x, bin) order the per-block loop used, then apply
+    # L2-Hys across the trailing axis.
+    windows = sliding_window_view(
+        hist, (block_size, block_size), axis=(1, 2)
     )
-    for by in range(blocks_y):
-        for bx in range(blocks_x):
-            block = hist[by : by + block_size, bx : bx + block_size, :].ravel()
-            norm = np.sqrt(np.sum(block**2) + eps**2)
-            block = block / norm
-            block = np.minimum(block, clip)
-            norm = np.sqrt(np.sum(block**2) + eps**2)
-            descriptor[by, bx, :] = block / norm
-    return descriptor.ravel()
+    blocks = windows.transpose(0, 1, 2, 4, 5, 3).reshape(
+        n, blocks_y, blocks_x, block_size * block_size * n_bins
+    )
+    norms = np.sqrt(np.einsum("nyxd,nyxd->nyx", blocks, blocks) + eps**2)
+    descriptor = blocks / norms[:, :, :, None]
+    np.minimum(descriptor, clip, out=descriptor)
+    norms = np.sqrt(
+        np.einsum("nyxd,nyxd->nyx", descriptor, descriptor) + eps**2
+    )
+    descriptor /= norms[:, :, :, None]
+    return descriptor.reshape(n, -1)
 
 
 @shaped(desc_a="(D,) descriptor", desc_b="(D,) descriptor")

@@ -53,12 +53,23 @@ def estimate_homography(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
     dst_n = (_to_homogeneous(dst) @ t_dst.T)[:, :2]
 
     n = len(src_n)
+    x, y = src_n[:, 0], src_n[:, 1]
+    u, v = dst_n[:, 0], dst_n[:, 1]
+    # DLT design matrix, both row families filled by strided column
+    # assignment instead of a per-correspondence loop.
     a = np.zeros((2 * n, 9))
-    for i in range(n):
-        x, y = src_n[i]
-        u, v = dst_n[i]
-        a[2 * i] = [-x, -y, -1, 0, 0, 0, u * x, u * y, u]
-        a[2 * i + 1] = [0, 0, 0, -x, -y, -1, v * x, v * y, v]
+    a[0::2, 0] = -x
+    a[0::2, 1] = -y
+    a[0::2, 2] = -1.0
+    a[0::2, 6] = u * x
+    a[0::2, 7] = u * y
+    a[0::2, 8] = u
+    a[1::2, 3] = -x
+    a[1::2, 4] = -y
+    a[1::2, 5] = -1.0
+    a[1::2, 6] = v * x
+    a[1::2, 7] = v * y
+    a[1::2, 8] = v
     _, _, vt = np.linalg.svd(a)
     h_norm = vt[-1].reshape(3, 3)
     h = np.linalg.inv(t_dst) @ h_norm @ t_src

@@ -65,15 +65,20 @@ def hough_lines(
     cos_t = np.cos(thetas)
     sin_t = np.sin(thetas)
 
-    accumulator = np.zeros((n_rhos, n_thetas), dtype=np.float64)
     weights = magnitude[ys, xs]
     rhos = xs[:, None] * cos_t[None, :] + ys[:, None] * sin_t[None, :]
     rho_idx = np.round((rhos + diag) / rho_resolution).astype(int)
     rho_idx = np.clip(rho_idx, 0, n_rhos - 1)
-    for t in range(n_thetas):
-        accumulator[:, t] = np.bincount(
-            rho_idx[:, t], weights=weights, minlength=n_rhos
-        )
+    # One bincount over (theta, rho) flat slots instead of a per-theta
+    # loop; each slot still accumulates its votes in point order, so the
+    # accumulator matches the per-column version bit for bit.
+    slots = rho_idx + (np.arange(n_thetas) * n_rhos)[None, :]
+    accumulator = np.bincount(
+        slots.ravel(),
+        weights=np.broadcast_to(weights[:, None], slots.shape).ravel(),
+        minlength=n_rhos * n_thetas,
+    ).reshape(-1, n_rhos).T
+    accumulator = np.ascontiguousarray(accumulator)
 
     return _extract_peaks(
         accumulator, thetas, diag, rho_resolution, max_lines, suppression_radius

@@ -30,6 +30,24 @@ def to_grayscale(image: np.ndarray) -> np.ndarray:
     raise ValueError(f"expected (H, W) or (H, W, 3) image, got shape {arr.shape}")
 
 
+@shaped(out="(N,H,W) float64")
+def to_grayscale_stack(images: np.ndarray) -> np.ndarray:
+    """Convert an ``(N, H, W, 3)`` frame stack to ``(N, H, W)`` grayscale.
+
+    Grayscale stacks pass through unchanged. The luma matmul runs over the
+    same contiguous channel axis as :func:`to_grayscale`, so each frame's
+    result is bit-identical to converting it alone.
+    """
+    arr = np.asarray(images, dtype=np.float64)
+    if arr.ndim == 3:
+        return arr
+    if arr.ndim == 4 and arr.shape[3] == 3:
+        return arr @ _LUMA
+    raise ValueError(
+        f"expected (N, H, W) or (N, H, W, 3) stack, got shape {arr.shape}"
+    )
+
+
 def resize_nearest(image: np.ndarray, height: int, width: int) -> np.ndarray:
     """Nearest-neighbour resize; preserves the channel axis if present."""
     if height <= 0 or width <= 0:

@@ -54,10 +54,60 @@ def box_sum_grid(
 
     ``ys``/``xs`` are broadcastable integer arrays of window anchor points.
     Out-of-bounds coordinates are clamped, matching :func:`box_sum`.
+
+    Corners are fetched through flat indices into the raveled table —
+    one integer gather per corner instead of tuple advanced indexing —
+    which roughly halves the per-call cost for the descriptor-sized
+    anchor grids SURF uses. The values gathered are identical.
     """
     h, w = table.shape[0] - 1, table.shape[1] - 1
-    y1 = np.clip(ys + dy1, 0, h)
-    y2 = np.clip(ys + dy2, 0, h)
+    row = w + 1
+    y1 = np.clip(ys + dy1, 0, h) * row
+    y2 = np.clip(ys + dy2, 0, h) * row
     x1 = np.clip(xs + dx1, 0, w)
     x2 = np.clip(xs + dx2, 0, w)
-    return table[y2, x2] - table[y1, x2] - table[y2, x1] + table[y1, x1]
+    flat = table.ravel()
+    return flat[y2 + x2] - flat[y1 + x2] - flat[y2 + x1] + flat[y1 + x1]
+
+
+class DenseBoxSums:
+    """Box sums anchored at *every* pixel, served by slicing alone.
+
+    :func:`box_sum_grid` with full ``arange`` anchor grids spends its time
+    gathering 4 fancy-indexed corner arrays per call. Anchored at every
+    pixel, the clamped corner lookup ``table[clip(i + d, 0, h)]`` is just a
+    shifted read of the table with edge replication — so padding the table
+    once by ``margin`` with ``mode="edge"`` turns every subsequent box sum
+    into four contiguous slice views and three subtractions. The fast-
+    Hessian detector evaluates 10 box layouts per filter size on the same
+    table; this class amortizes the single pad across all of them.
+
+    Results are bit-identical to ``box_sum_grid(table, arange(h)[:, None],
+    arange(w)[None, :], ...)`` — same corner values combined in the same
+    order.
+    """
+
+    def __init__(self, table: np.ndarray, margin: int):
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        self.h = table.shape[0] - 1
+        self.w = table.shape[1] - 1
+        self.margin = margin
+        self._padded = np.pad(table, margin, mode="edge")
+
+    def _corner(self, dy: int, dx: int) -> np.ndarray:
+        """View of ``table[clip(arange(h) + dy), clip(arange(w) + dx)]``."""
+        if max(abs(dy), abs(dx)) > self.margin:
+            raise ValueError(
+                f"offset ({dy}, {dx}) exceeds padding margin {self.margin}"
+            )
+        y0 = self.margin + dy
+        x0 = self.margin + dx
+        return self._padded[y0 : y0 + self.h, x0 : x0 + self.w]
+
+    def box(self, dy1: int, dx1: int, dy2: int, dx2: int) -> np.ndarray:
+        """Sums of ``[y+dy1, y+dy2) x [x+dx1, x+dx2)`` for every pixel."""
+        out = self._corner(dy2, dx2) - self._corner(dy1, dx2)
+        out -= self._corner(dy2, dx1)
+        out += self._corner(dy1, dx1)
+        return out

@@ -65,10 +65,13 @@ def match_descriptors(
     nn_ab = distances.argmin(axis=1)  # for each f1, nearest f2
     nn_ba = distances.argmin(axis=0)  # for each f2, nearest f1
 
-    pairs: List[Tuple[int, int]] = []
-    for i, j in enumerate(nn_ab):
-        if nn_ba[j] == i and distances[i, j] < distance_threshold:
-            pairs.append((i, int(j)))
+    # Mutual agreement in one shot: f1_i survives when its nearest f2's
+    # nearest f1 points back at i and the pair distance clears h_d.
+    rows = np.arange(nn_ab.size)
+    mutual = np.flatnonzero(
+        (nn_ba[nn_ab] == rows) & (distances[rows, nn_ab] < distance_threshold)
+    )
+    pairs: List[Tuple[int, int]] = [(int(i), int(nn_ab[i])) for i in mutual]
 
     union = len(features_a) + len(features_b) - len(pairs)
     similarity = len(pairs) / union if union > 0 else 0.0

@@ -99,17 +99,20 @@ def _describe_rotated(
     dx = dx * weight
     dy = dy * weight
 
-    descriptor = np.empty(64)
-    idx = 0
-    for by in range(4):
-        for bx in range(4):
-            sub_dx = dx[by * 5 : by * 5 + 5, bx * 5 : bx * 5 + 5]
-            sub_dy = dy[by * 5 : by * 5 + 5, bx * 5 : bx * 5 + 5]
-            descriptor[idx : idx + 4] = (
-                sub_dx.sum(), sub_dy.sum(),
-                np.abs(sub_dx).sum(), np.abs(sub_dy).sum(),
-            )
-            idx += 4
+    # 4x4 subregions of 5x5 samples, all reduced at once (same block
+    # layout as repro.vision.surf._describe_batch).
+    dx_sub = dx.reshape(4, 5, 4, 5)
+    dy_sub = dy.reshape(4, 5, 4, 5)
+    parts = np.stack(
+        [
+            dx_sub.sum(axis=(1, 3)),
+            dy_sub.sum(axis=(1, 3)),
+            np.abs(dx_sub).sum(axis=(1, 3)),
+            np.abs(dy_sub).sum(axis=(1, 3)),
+        ],
+        axis=-1,
+    )  # (4, 4, 4): block row, block col, (dx, dy, |dx|, |dy|)
+    descriptor = parts.reshape(64)
     norm = np.linalg.norm(descriptor)
     if norm > 0:
         descriptor /= norm

@@ -38,20 +38,22 @@ def shape_signature(
 
     cell_h = h // grid
     cell_w = w // grid
-    signature = np.zeros((grid, grid, n_bins), dtype=np.float64)
-    for gy in range(grid):
-        for gx in range(grid):
-            sl = (
-                slice(gy * cell_h, (gy + 1) * cell_h),
-                slice(gx * cell_w, (gx + 1) * cell_w),
-            )
-            cell_bins = bin_idx[sl].ravel()
-            cell_mag = magnitude[sl].ravel()
-            hist = np.bincount(cell_bins, weights=cell_mag, minlength=n_bins)
-            total = hist.sum()
-            if total > 0:
-                hist /= total
-            signature[gy, gx] = hist
+    # All cells in one bincount: each pixel scatters its magnitude into
+    # flat slot (cell_y * grid + cell_x) * n_bins + bin. The global
+    # row-major scan visits any one cell's pixels in that cell's own
+    # row-major order, so every slot accumulates in the same order the
+    # per-cell loop used — bit-identical histograms.
+    ch, cw = cell_h * grid, cell_w * grid
+    cell_row = np.arange(ch) // cell_h
+    cell_col = np.arange(cw) // cell_w
+    base = (cell_row[:, None] * grid + cell_col[None, :]) * n_bins
+    signature = np.bincount(
+        (base + bin_idx[:ch, :cw]).ravel(),
+        weights=magnitude[:ch, :cw].ravel(),
+        minlength=grid * grid * n_bins,
+    ).reshape(grid, grid, n_bins)
+    totals = signature.sum(axis=2)
+    signature /= np.where(totals > 0, totals, 1.0)[:, :, None]
     return signature.ravel()
 
 

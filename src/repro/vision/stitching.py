@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.vision.image import Frame, to_grayscale
 
@@ -74,24 +75,47 @@ def _refine_offset(
     col_start: int,
     max_shift: int,
 ) -> int:
-    """Column shift in [-max_shift, max_shift] maximizing overlap NCC."""
+    """Column shift in [-max_shift, max_shift] maximizing overlap NCC.
+
+    All candidate shifts are scored in one pass: the canvas band the
+    shifts jointly touch is gathered once, every shift's window is a
+    stride-tricks view into it, and the per-shift masked NCC comes from
+    masked sums (sum, sum of squares, cross sum) instead of boolean
+    gathers — the same statistic the per-shift loop computed, without
+    materializing the overlap pixels per shift.
+    """
     height, width = canvas_gray.shape
     fw = frame_gray.shape[1]
-    best_shift, best_score = 0, -2.0
-    for shift in range(-max_shift, max_shift + 1):
-        cols = (np.arange(fw) + col_start + shift) % width
-        existing = canvas_weight[:, cols] > 0
-        if existing.sum() < 0.05 * existing.size:
-            continue
-        a = canvas_gray[:, cols][existing]
-        b = frame_gray[existing]
-        a = a - a.mean()
-        b = b - b.mean()
-        denom = np.sqrt((a * a).sum() * (b * b).sum())
-        score = float((a * b).sum() / denom) if denom > 0 else 0.0
-        if score > best_score:
-            best_score, best_shift = score, shift
-    return best_shift
+    n_shifts = 2 * max_shift + 1
+    ext_cols = (np.arange(fw + 2 * max_shift) + col_start - max_shift) % width
+    gray_ext = canvas_gray[:, ext_cols]
+    mask_ext = (canvas_weight[:, ext_cols] > 0).astype(np.float64)
+    # (height, n_shifts, fw): window j is the overlap at shift j - max_shift.
+    windows = sliding_window_view(gray_ext, fw, axis=1)
+    masks = sliding_window_view(mask_ext, fw, axis=1)
+
+    n = masks.sum(axis=(0, 2))  # overlap pixel count per shift
+    valid = n >= 0.05 * (height * fw)
+    if not valid.any():
+        return 0
+    masked = windows * masks
+    sum_a = masked.sum(axis=(0, 2))
+    sum_aa = (masked * windows).sum(axis=(0, 2))
+    sum_b = np.einsum("hw,hsw->s", frame_gray, masks)
+    sum_bb = np.einsum("hw,hsw->s", frame_gray * frame_gray, masks)
+    sum_ab = np.einsum("hw,hsw->s", frame_gray, masked)
+    counts = np.maximum(n, 1.0)
+    cov = sum_ab - sum_a * sum_b / counts
+    var_a = np.maximum(sum_aa - sum_a * sum_a / counts, 0.0)
+    var_b = np.maximum(sum_bb - sum_b * sum_b / counts, 0.0)
+    denom = np.sqrt(var_a * var_b)
+    scores = np.divide(
+        cov, denom, out=np.zeros(n_shifts), where=denom > 0
+    )
+    scores[~valid] = -np.inf
+    # argmax takes the first maximum, matching the loop's low-to-high
+    # shift order on ties.
+    return int(np.argmax(scores)) - max_shift
 
 
 def stitch_cylindrical(
@@ -150,16 +174,30 @@ def stitch_cylindrical(
                                    max_refine_shift)
         else:
             shift = 0
-        cols = (np.arange(frame_cols) + anchor + shift) % panorama_width
         # Feathering: triangular weight across the frame width.
         ramp = 1.0 - np.abs(np.linspace(-1.0, 1.0, frame_cols))
         ramp = np.maximum(ramp, 0.05)
-        canvas[:, cols] += flipped * ramp[None, :, None]
-        weight[:, cols] += ramp[None, :]
-        nz = weight[:, cols] > 0
-        blended = canvas[:, cols] / np.maximum(weight[:, cols], 1e-12)[:, :, None]
-        blended_gray = to_grayscale(blended)
-        canvas_gray[:, cols] = np.where(nz, blended_gray, canvas_gray[:, cols])
+        # The destination columns are a contiguous run modulo the canvas
+        # width, so the blend works on plain slices (one segment, or two
+        # when the run wraps past column 0) instead of fancy gathers.
+        start = (anchor + shift) % panorama_width
+        first_len = min(frame_cols, panorama_width - start)
+        segments = [(start, 0, first_len)]
+        if first_len < frame_cols:
+            segments.append((0, first_len, frame_cols - first_len))
+        for dst, src, length in segments:
+            sl = slice(dst, dst + length)
+            fr = slice(src, src + length)
+            canvas[:, sl] += flipped[:, fr] * ramp[None, fr, None]
+            weight[:, sl] += ramp[None, fr]
+            weight_cols = weight[:, sl]
+            blended = (
+                canvas[:, sl] / np.maximum(weight_cols, 1e-12)[:, :, None]
+            )
+            blended_gray = to_grayscale(blended)
+            canvas_gray[:, sl] = np.where(
+                weight_cols > 0, blended_gray, canvas_gray[:, sl]
+            )
 
     filled = weight > 0
     result = np.zeros_like(canvas)

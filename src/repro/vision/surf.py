@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.contracts import shaped
 from repro.vision.image import to_grayscale
-from repro.vision.integral import box_sum_grid, integral_image
+from repro.vision.integral import DenseBoxSums, integral_image
 
 #: Box-filter sizes of the scale stack (SURF's first octave uses 9,15,21,27).
 DEFAULT_FILTER_SIZES = (9, 15, 21, 27)
@@ -52,39 +52,41 @@ def _hessian_response(table: np.ndarray, size: int) -> np.ndarray:
     Uses the classic 3-lobe Dyy/Dxx and 4-lobe Dxy box layouts. ``size``
     must be ``9 + 6k``; the lobe width is ``size // 3``.
     """
-    h, w = table.shape[0] - 1, table.shape[1] - 1
     lobe = size // 3
     half = size // 2
-    ys = np.arange(h)[:, None]
-    xs = np.arange(w)[None, :]
+    # Every box below is anchored at every pixel; the padded dense view
+    # serves them all through slicing (no fancy-index gathers).
+    dense = DenseBoxSums(table, margin=half + 1)
 
     # Dyy: three stacked lobes of height `lobe`, middle weighted -2; the
     # filter is (2*lobe - 1) wide. whole - 3*middle realizes (+1, -2, +1).
     wx1, wx2 = -(lobe - 1), lobe  # (2*lobe - 1) columns centred on x
-    whole = box_sum_grid(table, ys, xs, -half, wx1, half + 1, wx2)
-    middle = box_sum_grid(table, ys, xs, -(lobe // 2), wx1,
-                          lobe // 2 + 1, wx2)
-    dyy = whole - 3.0 * middle
+    dyy = dense.box(-half, wx1, half + 1, wx2)
+    middle = dense.box(-(lobe // 2), wx1, lobe // 2 + 1, wx2)
+    middle *= 3.0
+    dyy -= middle  # whole - 3*middle, accumulated in place
 
     # Dxx: transpose of the Dyy layout.
-    whole = box_sum_grid(table, ys, xs, wx1, -half, wx2, half + 1)
-    middle = box_sum_grid(table, ys, xs, wx1, -(lobe // 2),
-                          wx2, lobe // 2 + 1)
-    dxx = whole - 3.0 * middle
+    dxx = dense.box(wx1, -half, wx2, half + 1)
+    middle = dense.box(wx1, -(lobe // 2), wx2, lobe // 2 + 1)
+    middle *= 3.0
+    dxx -= middle
 
     # Dxy: four lobe x lobe quadrants with alternating signs.
     q = lobe
-    tl = box_sum_grid(table, ys, xs, -q, -q, 0, 0)
-    tr = box_sum_grid(table, ys, xs, -q, 1, 0, q + 1)
-    bl = box_sum_grid(table, ys, xs, 1, -q, q + 1, 0)
-    br = box_sum_grid(table, ys, xs, 1, 1, q + 1, q + 1)
-    dxy = tl + br - tr - bl
+    dxy = dense.box(-q, -q, 0, 0)  # top-left
+    dxy += dense.box(1, 1, q + 1, q + 1)  # bottom-right
+    dxy -= dense.box(-q, 1, 0, q + 1)  # top-right
+    dxy -= dense.box(1, -q, q + 1, 0)  # bottom-left
 
     norm = 1.0 / (size * size)
     dxx *= norm
     dyy *= norm
     dxy *= norm
-    response = dxx * dyy - (_DXY_WEIGHT * dxy) ** 2
+    response = dxx * dyy
+    dxy *= _DXY_WEIGHT
+    dxy *= dxy
+    response -= dxy
     # Box sums are clamped at the image border, which fabricates strong
     # responses there; blank the border band the filter cannot fully cover.
     margin = half + 1
@@ -97,20 +99,23 @@ def _hessian_response(table: np.ndarray, size: int) -> np.ndarray:
 
 def _non_max_suppression(
     stack: np.ndarray, threshold: float
-) -> List[tuple]:
+) -> tuple:
     """3x3x3 maxima of a (scales, H, W) response stack above ``threshold``.
 
     Vectorized: a point survives when it strictly exceeds all 26 neighbours
     in the scale-space cube (ties are dropped, as in the reference SURF).
+    Returns ``(scale_idx, ys, xs, values)`` integer/float arrays in
+    row-major scan order.
     """
+    empty = (np.array([], dtype=int),) * 3 + (np.array([]),)
     n_scales, h, w = stack.shape
     if n_scales < 3 or h < 3 or w < 3:
-        return []
+        return empty
     center = stack[1:-1, 1:-1, 1:-1]
     is_max = center > threshold
-    for ds in (-1, 0, 1):
-        for dy in (-1, 0, 1):
-            for dx in (-1, 0, 1):
+    for ds in (-1, 0, 1):  # crowdlint: allow[CM006] loop is over the 26 stencil offsets; each compare is a full-array slice op
+        for dy in (-1, 0, 1):  # crowdlint: allow[CM006] loop is over the 26 stencil offsets; each compare is a full-array slice op
+            for dx in (-1, 0, 1):  # crowdlint: allow[CM006] loop is over the 26 stencil offsets; each compare is a full-array slice op
                 if ds == 0 and dy == 0 and dx == 0:
                     continue
                 neighbour = stack[
@@ -120,23 +125,44 @@ def _non_max_suppression(
                 ]
                 is_max &= center > neighbour
                 if not is_max.any():
-                    return []
+                    return empty
     ss, ys, xs = np.nonzero(is_max)
     values = center[ss, ys, xs]
-    return [
-        (int(s + 1), int(y + 1), int(x + 1), float(v))
-        for s, y, x, v in zip(ss, ys, xs, values)
-    ]
+    return ss + 1, ys + 1, xs + 1, values
 
 
 def _haar_responses(
     table: np.ndarray, ys: np.ndarray, xs: np.ndarray, size: int
 ) -> tuple:
-    """Haar wavelet responses (dx, dy) of side ``2*size`` at sample points."""
-    left = box_sum_grid(table, ys, xs, -size, -size, size, 0)
-    right = box_sum_grid(table, ys, xs, -size, 0, size, size)
-    top = box_sum_grid(table, ys, xs, -size, -size, 0, size)
-    bottom = box_sum_grid(table, ys, xs, 0, -size, size, size)
+    """Haar wavelet responses (dx, dy) of side ``2*size`` at sample points.
+
+    The four half-boxes (left/right/top/bottom) share their integral-table
+    corners: all sixteen lie on the 3x3 grid ``(y, x) +- size``. Gathering
+    the eight distinct corners once and combining them with the same
+    grouping :func:`~repro.vision.integral.box_sum_grid` uses halves the
+    gather traffic of four independent box-sum calls, bit-identically.
+    """
+    h, w = table.shape[0] - 1, table.shape[1] - 1
+    stride = w + 1
+    flat = table.ravel()
+    ym = np.clip(ys - size, 0, h) * stride
+    y0 = np.clip(ys, 0, h) * stride
+    yp = np.clip(ys + size, 0, h) * stride
+    xm = np.clip(xs - size, 0, w)
+    x0 = np.clip(xs, 0, w)
+    xp = np.clip(xs + size, 0, w)
+    t_mm = flat[ym + xm]
+    t_m0 = flat[ym + x0]
+    t_mp = flat[ym + xp]
+    t_0m = flat[y0 + xm]
+    t_0p = flat[y0 + xp]
+    t_pm = flat[yp + xm]
+    t_p0 = flat[yp + x0]
+    t_pp = flat[yp + xp]
+    left = t_p0 - t_m0 - t_pm + t_mm
+    right = t_pp - t_mp - t_p0 + t_m0
+    top = t_0p - t_mp - t_0m + t_mm
+    bottom = t_pp - t_0p - t_pm + t_0m
     return right - left, bottom - top
 
 
@@ -211,28 +237,27 @@ def detect_and_describe(
     table = integral_image(gray)
 
     stack = np.stack([_hessian_response(table, s) for s in filter_sizes])
-    raw_keypoints = _non_max_suppression(stack, threshold)
-    raw_keypoints.sort(key=lambda kp: -kp[3])
-    raw_keypoints = raw_keypoints[:max_features]
-    if not raw_keypoints:
+    ss, ys_i, xs_i, values = _non_max_suppression(stack, threshold)
+    if ss.size == 0:
         return []
-
+    # Strongest first; stable sort keeps scan order on ties, matching the
+    # list-sort behaviour this replaced.
+    order = np.argsort(-values, kind="stable")[:max_features]
+    ss, values = ss[order], values[order]
+    ys = ys_i[order].astype(np.float64)
+    xs = xs_i[order].astype(np.float64)
     # SURF maps filter size L to scale sigma = 1.2 * L / 9.
-    ys = np.array([kp[1] for kp in raw_keypoints], dtype=np.float64)
-    xs = np.array([kp[2] for kp in raw_keypoints], dtype=np.float64)
-    scales = np.array(
-        [1.2 * filter_sizes[kp[0]] / 9.0 for kp in raw_keypoints]
-    )
+    scales = 1.2 * np.asarray(filter_sizes, dtype=np.float64)[ss] / 9.0
     descriptors = _describe_batch(table, ys, xs, scales)
     return [
         SurfFeature(
             x=float(xs[i]),
             y=float(ys[i]),
             scale=float(scales[i]),
-            response=raw_keypoints[i][3],
+            response=float(values[i]),
             descriptor=descriptors[i],
         )
-        for i in range(len(raw_keypoints))
+        for i in range(ss.size)
     ]
 
 

@@ -1,0 +1,27 @@
+"""Fixture: loops CM006 must not flag, plus a pragma'd sequential loop."""
+
+import numpy as np
+
+
+def chunked_means(chunks):
+    # Iterates chunks without indexing by the loop variable: clean.
+    out = []
+    for chunk in chunks:
+        out.append(float(np.mean(chunk)))
+    return out
+
+
+def retries(attempts):
+    # range() loop with no subscripts at all: clean.
+    for attempt in range(attempts):
+        if attempt > 2:
+            return attempt
+    return 0
+
+
+def region_grow(seeds, used):
+    region = []
+    for seed in seeds:  # crowdlint: allow[CM006] region growing is sequential: each acceptance changes the next test
+        if not used[seed]:
+            region.append(seed)
+    return region

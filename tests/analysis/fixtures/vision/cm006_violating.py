@@ -1,0 +1,19 @@
+"""Fixture: element-wise loops CM006 flags in vision-path modules."""
+
+import numpy as np
+
+
+def per_pixel_sum(image):
+    total = 0.0
+    h, w = image.shape
+    for i in range(h):  # [expect CM006]
+        for j in range(w):  # [expect CM006]
+            total += image[i, j]
+    return total
+
+
+def per_element_scale(values, factors):
+    out = np.empty_like(values)
+    for k, factor in enumerate(values):  # [expect CM006]
+        out[k] = factor * factors[k]
+    return out

@@ -161,12 +161,52 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert {entry["rule"] for entry in payload} == {"CM004"}
         assert all(
-            set(entry) == {"rule", "path", "line", "col", "message"}
+            set(entry) == {"rule", "path", "line", "col", "message", "severity"}
             for entry in payload
         )
+        assert {entry["severity"] for entry in payload} == {"error"}
 
     def test_list_rules_prints_table(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule in ALL_RULES:
             assert rule.rule_id in out
+
+
+class TestCm006:
+    """CM006 is path-scoped to vision modules and advisory-severity."""
+
+    VISION = FIXTURES / "vision"
+
+    def test_violating_fixture_matches_markers(self):
+        path = self.VISION / "cm006_violating.py"
+        expected = expected_markers(path)
+        assert expected, f"{path} has no [expect ...] markers"
+        found = sorted((f.rule, f.line) for f in lint_fixture(path))
+        assert found == expected
+
+    def test_clean_fixture_has_no_findings(self):
+        path = self.VISION / "cm006_clean.py"
+        findings = lint_fixture(path)
+        assert findings == [], format_findings(findings)
+
+    def test_findings_are_advisory(self):
+        findings = lint_fixture(self.VISION / "cm006_violating.py")
+        assert findings and {f.severity for f in findings} == {"advisory"}
+        assert "[advisory]" in str(findings[0])
+
+    def test_rule_only_applies_under_a_vision_directory(self):
+        source = (self.VISION / "cm006_violating.py").read_text()
+        assert lint_source(source, path="somewhere/else/kernels.py") == []
+        # "vision" must be a full directory component, not a substring.
+        assert lint_source(source, path="src/revisions/kernels.py") == []
+
+    def test_cli_exits_zero_on_advisory_only_findings(self, capsys):
+        assert main([str(self.VISION / "cm006_violating.py")]) == 0
+        out = capsys.readouterr().out
+        assert "CM006" in out and "advisory" in out
+
+    def test_format_findings_counts_severities(self):
+        findings = lint_fixture(self.VISION / "cm006_violating.py")
+        report = format_findings(findings)
+        assert f"{len(findings)} finding(s) (0 error" in report

@@ -66,6 +66,77 @@ class TestMatchingProperties:
         assert loose >= tight
 
 
+def _reference_match_pairs(fa, fb, threshold):
+    """The pre-vectorization mutual-NN loop, kept as the oracle.
+
+    Walks every f1, finds its nearest f2 by explicit distance scan, then
+    verifies the reverse nearest neighbour — exactly the definition in
+    paper Algorithm 1, with ties broken by lowest index (argmin order).
+    """
+    pairs = []
+    for i, f1 in enumerate(fa):
+        best_j, best_d = -1, np.inf
+        for j, f2 in enumerate(fb):
+            d = float(np.linalg.norm(f1.descriptor - f2.descriptor))
+            if d < best_d:
+                best_j, best_d = j, d
+        back_i, back_d = -1, np.inf
+        for k, f1b in enumerate(fa):
+            d = float(np.linalg.norm(fb[best_j].descriptor - f1b.descriptor))
+            if d < back_d:
+                back_i, back_d = k, d
+        if back_i == i and best_d < threshold:
+            pairs.append((i, best_j))
+    return pairs
+
+
+# Components on a dyadic grid (k/32): squares, dot products and their
+# sums are all exact in float64, so the matcher's (x²+y²-2xy) expansion
+# and the oracle's norm(a-b) agree bit for bit and ties are true ties —
+# the test then checks tie-breaking logic, not summation-order rounding.
+dyadic_sets = st.lists(
+    st.lists(
+        st.integers(-32, 32).map(lambda k: k / 32.0), min_size=4, max_size=4
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestVectorizedAgainstReferenceLoop:
+    """The vectorized matcher must reproduce the reference loop's pairs
+    exactly — same indices, same order — not just the same similarity."""
+
+    @given(dyadic_sets, dyadic_sets, st.floats(0.05, 1.5))
+    @settings(max_examples=50, deadline=None)
+    def test_pairs_identical_on_random_sets(self, a, b, threshold):
+        fa, fb = features_from(a), features_from(b)
+        result = match_descriptors(fa, fb, distance_threshold=threshold)
+        assert list(result.pairs) == _reference_match_pairs(fa, fb, threshold)
+
+    def test_pairs_identical_with_duplicate_descriptors(self):
+        # Duplicates force argmin tie-breaks; both paths must break ties
+        # the same way (lowest index wins).
+        rows = [[0.1, 0.2, 0.3, 0.4]] * 3 + [[0.9, 0.1, 0.0, 0.2]]
+        fa = features_from(rows)
+        fb = features_from(rows[::-1])
+        result = match_descriptors(fa, fb, distance_threshold=0.5)
+        assert list(result.pairs) == _reference_match_pairs(fa, fb, 0.5)
+
+    def test_pairs_identical_on_larger_seeded_sets(self):
+        rng = np.random.default_rng(3)
+        fa = features_from(rng.uniform(-1, 1, (40, 8)))
+        fb = features_from(rng.uniform(-1, 1, (35, 8)))
+        for threshold in (0.3, 0.8, 2.0):
+            result = match_descriptors(fa, fb, distance_threshold=threshold)
+            expected = _reference_match_pairs(fa, fb, threshold)
+            assert list(result.pairs) == expected
+            union = len(fa) + len(fb) - len(expected)
+            assert result.similarity == pytest.approx(
+                len(expected) / union if union else 0.0
+            )
+
+
 class TestHomographyProperties:
     @given(
         st.lists(
