@@ -26,11 +26,16 @@ CM005     ``CrowdMapConfig`` field references in ``with_overrides`` and
 CM006     *(advisory)* no element-wise array loops in ``repro.vision``
           kernels — the hot path stays vectorized; genuinely sequential
           loops carry an ``allow[CM006]`` pragma with the reason
+CM007     *(advisory)* no real-time waits (``time.sleep``,
+          ``asyncio.sleep``) in ``repro.serving`` — the serving layer
+          runs entirely on the virtual clock, which is what makes its
+          SLO reports bit-reproducible per seed
 ========  ==============================================================
 
 Severities: every rule is an **error** (fails the CLI with exit 1)
-except CM006, which is **advisory** — reported, counted, but never a
-build failure, because "could this loop vectorize?" is a judgement call.
+except CM006 and CM007, which are **advisory** — reported, counted, but
+never a build failure, because "could this loop vectorize?" and "is this
+wait ever legitimate?" are judgement calls.
 
 A finding is suppressed by an inline pragma **with a reason**::
 

@@ -324,6 +324,45 @@ class ElementwiseLoopRule(Rule):
                 )
 
 
+class RealTimeWaitRule(Rule):
+    """CM007: no real-time waits inside ``repro/serving/``.
+
+    The serving layer's whole determinism story is that *everything* runs
+    on the virtual clock (the event loop and ``SimulatedScheduler``): the
+    same seed reproduces the same SLO report on any machine. One
+    ``time.sleep`` (or an asyncio sleep against the real loop) couples
+    results to host timing and silently breaks that. The rule is
+    **advisory** like CM006 — a deliberately-blocking test harness is
+    conceivable — but any such call needs an ``allow[CM007]`` pragma
+    explaining itself.
+
+    Wall-clock *reads* are already CM002; this rule is about *waits*.
+    """
+
+    rule_id = "CM007"
+    title = "real-time wait in the serving layer"
+    severity = "advisory"
+
+    _PATH_DIR = "serving"
+    _WAIT_FNS = {"time.sleep", "asyncio.sleep"}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        parts = ctx.path.replace("\\", "/").split("/")
+        if self._PATH_DIR not in parts:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.resolve_call_name(node.func)
+            if name in self._WAIT_FNS:
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() waits on real time — the serving layer runs "
+                    "entirely on the virtual clock (EventLoop.schedule / "
+                    "SimulatedScheduler); model delays as scheduled events",
+                )
+
+
 ALL_RULES: Sequence[Rule] = (
     UnseededRngRule(),
     WallClockRule(),
@@ -331,4 +370,5 @@ ALL_RULES: Sequence[Rule] = (
     FloatEqualityRule(),
     ConfigFieldRule(),
     ElementwiseLoopRule(),
+    RealTimeWaitRule(),
 )

@@ -13,11 +13,12 @@ import itertools
 import json
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.backend.chunking import Chunk, ChunkReassemblyError, reassemble_chunks
 from repro.backend.datastore import DocumentStore
 from repro.backend.queue import TaskQueue
+from repro.backend.scheduler import ScheduledJob, SimulatedScheduler
 from repro.backend.telemetry import TelemetryRegistry, default_registry
 
 
@@ -31,6 +32,8 @@ class UploadSession:
     chunks: Dict[int, Chunk] = field(default_factory=dict)
     expected_total: Optional[int] = None
     completed: bool = False
+    opened_at: float = 0.0
+    last_activity: float = 0.0
 
     def is_complete(self) -> bool:
         return (
@@ -54,10 +57,16 @@ class IngestServer:
         store: DocumentStore,
         queue: Optional[TaskQueue] = None,
         telemetry: Optional[TelemetryRegistry] = None,
+        clock: Optional[Callable[[], float]] = None,
     ):
         self.store = store
         self.queue = queue
         self.telemetry = telemetry or default_registry
+        # Injectable clock (crowdlint CM002: no wall-clock reads here).
+        # Without one, every session timestamps as 0.0 and TTL expiry is
+        # inert until attach_ttl_sweep adopts a scheduler's virtual clock.
+        self._clock: Callable[[], float] = clock or (lambda: 0.0)
+        self._clock_injected = clock is not None
         self._sessions: Dict[str, UploadSession] = {}
         self._counter = itertools.count(1)
         self._lock = threading.RLock()
@@ -70,8 +79,13 @@ class IngestServer:
             raise ValueError("metadata must include 'building' and 'floor'")
         with self._lock:
             upload_id = f"up-{next(self._counter):06d}"
+            now = self._clock()
             self._sessions[upload_id] = UploadSession(
-                upload_id=upload_id, user_id=user_id, metadata=metadata
+                upload_id=upload_id,
+                user_id=user_id,
+                metadata=metadata,
+                opened_at=now,
+                last_activity=now,
             )
             return upload_id
 
@@ -89,6 +103,7 @@ class IngestServer:
                     "chunks that failed their CRC check",
                 ).inc()
                 return {"status": "retry", "index": chunk.index, "reason": "crc"}
+            session.last_activity = self._clock()
             if session.expected_total is None:
                 session.expected_total = chunk.total
             elif session.expected_total != chunk.total:
@@ -181,6 +196,53 @@ class IngestServer:
     def pending_uploads(self) -> List[str]:
         with self._lock:
             return [uid for uid, s in self._sessions.items() if not s.completed]
+
+    def expire_stale(self, ttl: float, now: Optional[float] = None) -> List[str]:
+        """Abandon pending uploads idle for ``ttl`` seconds or longer.
+
+        Clients that vanish mid-transfer leave their chunk buffers behind;
+        without a sweep those accumulate forever. Returns the upload ids
+        expired, and counts them in ``ingest_uploads_expired`` (on top of
+        the ``ingest_uploads_abandoned`` count every abandon records).
+        """
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            stale = [
+                uid
+                for uid, session in self._sessions.items()
+                if not session.completed and now - session.last_activity >= ttl
+            ]
+        expired = [uid for uid in stale if self.abandon_upload(uid)]
+        if expired:
+            self.telemetry.counter(
+                "ingest_uploads_expired",
+                "pending uploads expired by the TTL sweep",
+            ).inc(len(expired))
+        return expired
+
+    def attach_ttl_sweep(
+        self,
+        scheduler: SimulatedScheduler,
+        ttl: float,
+        interval: Optional[float] = None,
+    ) -> ScheduledJob:
+        """Register the periodic TTL sweep on ``scheduler``.
+
+        If the server was constructed without an injected clock, it
+        adopts the scheduler's virtual clock so new sessions timestamp
+        consistently with the sweep that will judge them.
+        """
+        if not self._clock_injected:
+            self._clock = lambda: scheduler.now
+            self._clock_injected = True
+        return scheduler.add_job(
+            "upload_ttl_sweep",
+            interval if interval is not None else ttl,
+            lambda: self.expire_stale(ttl, now=scheduler.now),
+        )
 
 
 def encode_session_payload(payload: Dict[str, Any]) -> bytes:

@@ -86,7 +86,14 @@ class Gauge(_Picklable):
 
 
 class Histogram(_Picklable):
-    """Cumulative-bucket histogram (Prometheus-style) plus sum/count."""
+    """Cumulative-bucket histogram (Prometheus-style) plus sum/count.
+
+    Besides the buckets, every observation is retained verbatim so
+    :meth:`percentile` can report *exact* sample quantiles — the serving
+    SLO tracker promises p99 numbers, and a bucket-boundary approximation
+    would round an SLO violation away (or invent one). Observation
+    volumes here are bounded by simulation length, so retention is cheap.
+    """
 
     def __init__(self, name: str, help_text: str = "",
                  buckets: Tuple[float, ...] = _DEFAULT_BUCKETS):
@@ -96,6 +103,7 @@ class Histogram(_Picklable):
         self._counts = [0] * (len(self.buckets) + 1)  # last = +inf
         self._sum = 0.0
         self._count = 0
+        self._samples: List[float] = []
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -104,6 +112,7 @@ class Histogram(_Picklable):
             self._counts[idx] += 1
             self._sum += value
             self._count += 1
+            self._samples.append(value)
 
     @property
     def count(self) -> int:
@@ -115,6 +124,35 @@ class Histogram(_Picklable):
 
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-th percentile of the raw samples, ``q`` in [0, 100].
+
+        Linear interpolation between closest ranks — the same definition
+        as ``numpy.percentile``'s default method, so SLO reports agree
+        with any offline analysis of the same latencies.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+        rank = (q / 100.0) * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        """Count, mean and the standard latency percentiles (p50/p95/p99)."""
+        return {
+            "count": float(self._count),
+            "mean": self.mean(),
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
 
     def quantile(self, q: float) -> float:
         """Approximate quantile from the bucket boundaries."""

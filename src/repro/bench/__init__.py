@@ -1,10 +1,12 @@
 """Repeatable performance harness for the hot paths (``python -m repro.bench``).
 
-Two layers of benchmark:
+Three layers of benchmark:
 
 - **kernel** micro-benchmarks time the vectorized vision primitives (HOG,
   Gaussian blur, 2-D convolution, SURF detection, descriptor matching,
   LSD) on seeded synthetic rasters;
+- **serving** benchmarks time the map-serving layer's virtual-clock
+  router on stub shards (per-request orchestration overhead);
 - **pipeline** benchmarks time :class:`~repro.core.pipeline.CrowdMapPipeline`
   end-to-end on a generated crowd dataset, both cache-cold and — to show
   what the content-addressed cache buys incremental re-runs — cache-warm.
@@ -178,6 +180,40 @@ def _pipeline_benches(profile: str) -> List[Tuple[str, Callable[[], object], int
 
 
 # ----------------------------------------------------------------------
+# Serving workloads
+# ----------------------------------------------------------------------
+
+
+def _serving_benches() -> List[Tuple[str, Callable[[], object], int]]:
+    """Throughput of the serving layer's virtual-clock machinery.
+
+    Stub snapshots + modeled service times: the benchmark measures the
+    router/event-loop overhead per request (admission, dispatch, hedging,
+    telemetry), not reconstruction or handler cost.
+    """
+    from repro.serving import (
+        LoadProfile,
+        ServingConfig,
+        ShardManager,
+        run_serving_simulation,
+    )
+
+    def run_throughput():
+        manager = ShardManager(n_replicas=2)
+        for building in ("Lab1", "Lab2", "Gym"):
+            manager.shard_for(building, 1).publish_stub(0.0)
+        report = run_serving_simulation(
+            manager,
+            config=ServingConfig(seed=0),
+            profile=LoadProfile(duration=60.0, qps=120.0, seed=0),
+        )
+        assert report["requests"]["offered"] > 6000
+        return report
+
+    return [("serving_throughput", run_throughput, 3)]
+
+
+# ----------------------------------------------------------------------
 # Suite driver + baseline comparison
 # ----------------------------------------------------------------------
 
@@ -192,7 +228,9 @@ def run_suite(
         raise ValueError(f"profile must be 'quick' or 'full', got {profile!r}")
     calibration = calibrate()
     log(f"calibration: {calibration * 1e3:.3f} ms (256x256 matmul)")
-    benches = _kernel_benches() + _pipeline_benches(profile)
+    benches = (
+        _kernel_benches() + _serving_benches() + _pipeline_benches(profile)
+    )
     results: Dict[str, BenchResult] = {}
     for name, fn, repeats in benches:
         if include and name not in include:

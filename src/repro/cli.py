@@ -6,7 +6,10 @@ Commands:
                   the ASCII floor plan and quality metrics;
 - ``generate``    simulate a crowd dataset and save it to a .npz bundle;
 - ``reconstruct`` load a saved dataset, run the pipeline, report metrics;
-- ``buildings``   list the available procedural buildings.
+- ``buildings``   list the available procedural buildings;
+- ``serve-sim``   build shards from simulated crowds, then drive seeded
+                  open-loop traffic through the serving layer and print
+                  the SLO report (deterministic per seed).
 """
 
 from __future__ import annotations
@@ -49,6 +52,38 @@ def _add_buildings(subparsers) -> None:
     subparsers.add_parser("buildings", help="list procedural buildings")
 
 
+def _add_serve_sim(subparsers) -> None:
+    p = subparsers.add_parser(
+        "serve-sim",
+        help="simulate the sharded map-serving layer under seeded load",
+    )
+    p.add_argument("--building", action="append", default=None,
+                   choices=["Lab1", "Lab2", "Gym", "Office"],
+                   help="shard source building (repeatable; default: Lab1)")
+    p.add_argument("--users", type=int, default=2,
+                   help="simulated crowd size per building (default 2)")
+    p.add_argument("--layout-samples", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0,
+                   help="seeds the crowd, the traffic and the router")
+    p.add_argument("--duration", type=float, default=30.0,
+                   help="virtual seconds of traffic (default 30)")
+    p.add_argument("--qps", type=float, default=50.0,
+                   help="mean Poisson arrival rate (default 50)")
+    p.add_argument("--replicas", type=int, default=2,
+                   help="serving replicas per shard (default 2)")
+    p.add_argument("--queue-capacity", type=int, default=32,
+                   help="per-shard admission queue bound (default 32)")
+    p.add_argument("--slo-p99", type=float, default=1.0,
+                   help="p99 latency target in virtual seconds (default 1.0)")
+    p.add_argument("--refresh-interval", type=float, default=5.0,
+                   help="scheduler refresh-and-publish period (default 5)")
+    p.add_argument("--stub", action="store_true",
+                   help="skip reconstruction; serve stub snapshots "
+                        "(routing/SLO smoke mode)")
+    p.add_argument("--execute", choices=["model", "real"], default="model",
+                   help="'real' also runs each admitted query's handler")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -60,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generate(subparsers)
     _add_reconstruct(subparsers)
     _add_buildings(subparsers)
+    _add_serve_sim(subparsers)
     return parser
 
 
@@ -151,6 +187,141 @@ def cmd_reconstruct(args) -> int:
     return 0
 
 
+def _real_payload_factory(manager, frames_by_key):
+    """Seeded real-query payloads: frames to locate, rooms to route to."""
+    import numpy as np
+
+    from repro.geometry.primitives import Point
+    from repro.serving import LocateQuery, RouteQuery
+
+    rooms = {}
+    starts = {}
+    for shard in manager.shards():
+        result = shard.current().result
+        rooms[shard.key] = [r.name for r in result.floorplan.rooms if r.name]
+        sk = result.skeleton
+        rr, cc = np.nonzero(sk.skeleton)
+        starts[shard.key] = [
+            Point(sk.bounds.min_x + (c + 0.5) * sk.cell_size,
+                  sk.bounds.min_y + (r + 0.5) * sk.cell_size)
+            for r, c in zip(rr.tolist()[::7], cc.tolist()[::7])
+        ]
+        if not rooms[shard.key] or not starts[shard.key]:
+            raise SystemExit(
+                f"shard {shard.key.building}/{shard.key.floor} reconstructed "
+                "no rooms/skeleton to query; increase --users"
+            )
+
+    def payload_for(kind, key, rng):
+        if kind == "locate":
+            frames = frames_by_key[key]
+            return LocateQuery(frame=frames[int(rng.integers(len(frames)))])
+        if kind == "route":
+            return RouteQuery(
+                start=starts[key][int(rng.integers(len(starts[key])))],
+                room_name=rooms[key][int(rng.integers(len(rooms[key])))],
+            )
+        return None
+
+    return payload_for
+
+
+def cmd_serve_sim(args) -> int:
+    from repro.backend.scheduler import SimulatedScheduler
+    from repro.core import CrowdMapConfig
+    from repro.serving import (
+        LoadProfile,
+        ServingConfig,
+        ShardManager,
+        render_report,
+        run_serving_simulation,
+    )
+
+    if args.stub and args.execute == "real":
+        print("--stub serves no reconstructions, so --execute real has "
+              "nothing to run handlers against", file=sys.stderr)
+        return 2
+    buildings = args.building or ["Lab1"]
+    config = CrowdMapConfig().with_overrides(layout_samples=args.layout_samples)
+    manager = ShardManager(config=config, n_replicas=args.replicas)
+    scheduler = SimulatedScheduler()
+    extra_events = []
+    frames_by_key = {}
+    payload_for = None
+
+    if args.stub:
+        for name in buildings:
+            manager.shard_for(name, 1).publish_stub(0.0)
+        print(f"serving {len(buildings)} stub shard(s) (no reconstruction)")
+    else:
+        from repro.world import CrowdConfig, generate_crowd_dataset
+        from repro.world.buildings import BUILDING_BUILDERS
+
+        for name in buildings:
+            plan = BUILDING_BUILDERS[name]()
+            print(f"Simulating {args.users} users in {plan.name} ...")
+            dataset = generate_crowd_dataset(
+                plan, CrowdConfig(n_users=args.users, seed=args.seed)
+            )
+            sessions = [
+                s for s in dataset.sessions if s.task in ("SWS", "SRS")
+            ]
+            # Hold the last session back and land it mid-traffic: the
+            # scheduler's refresh job publishes the next version while
+            # requests are in flight (versioned serving, live).
+            held_back = sessions[-1] if len(sessions) > 1 else None
+            ingested = sessions[:-1] if held_back else sessions
+            for session in ingested:
+                manager.ingest_session(session)
+            shard = manager.shard_for(
+                sessions[0].building, sessions[0].floor
+            )
+            frames_by_key[shard.key] = [
+                frame
+                for session in ingested if session.task == "SWS"
+                for frame in session.frames[::5]
+            ]
+            print(f"  shard {shard.key.building}/{shard.key.floor}: "
+                  f"{shard.sessions_ingested} sessions")
+            if held_back is not None:
+                extra_events.append(
+                    (args.duration / 2.0,
+                     lambda s=held_back: manager.ingest_session(s))
+                )
+        print("Publishing initial snapshots ...")
+        manager.refresh_all(0.0)
+        if args.execute == "real":
+            payload_for = _real_payload_factory(manager, frames_by_key)
+
+    manager.attach_refresh_job(scheduler, args.refresh_interval)
+    profile = LoadProfile(
+        duration=args.duration, qps=args.qps, seed=args.seed
+    )
+    serving = ServingConfig(
+        queue_capacity=args.queue_capacity,
+        slo_p99=args.slo_p99,
+        seed=args.seed,
+    )
+    print(f"Driving ~{args.qps:g} qps for {args.duration:g} virtual seconds "
+          f"across {len(manager.keys())} shard(s) ...")
+    report = run_serving_simulation(
+        manager,
+        config=serving,
+        profile=profile,
+        scheduler=scheduler,
+        scheduler_tick=min(1.0, args.refresh_interval),
+        execute=args.execute,
+        extra_events=extra_events,
+        payload_for=payload_for,
+    )
+    print(render_report(report))
+    verdict = "met" if report["slo"]["met"] else "VIOLATED"
+    print(f"\nSLO p99 <= {report['slo']['p99_target']:g}s: {verdict} "
+          f"(observed {report['slo']['p99_observed']:g}s, "
+          f"shed rate {report['requests']['shed_rate']:.1%})")
+    return 0
+
+
 def cmd_buildings(_args) -> int:
     from repro.world.buildings import BUILDING_BUILDERS
 
@@ -168,6 +339,7 @@ _COMMANDS = {
     "generate": cmd_generate,
     "reconstruct": cmd_reconstruct,
     "buildings": cmd_buildings,
+    "serve-sim": cmd_serve_sim,
 }
 
 

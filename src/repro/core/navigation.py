@@ -137,11 +137,20 @@ class SkeletonNavigator:
 
 
 def route_to_room(
-    floorplan: FloorPlanResult, start: Point, room_name: str
+    floorplan: FloorPlanResult,
+    start: Point,
+    room_name: str,
+    navigator: Optional[SkeletonNavigator] = None,
 ) -> NavigationPath:
-    """Plan from ``start`` to the named placed room's nearest edge point."""
+    """Plan from ``start`` to the named placed room's nearest edge point.
+
+    ``navigator`` lets callers that answer many routing queries against
+    the same skeleton (the serving layer) reuse one planner instead of
+    rebuilding it per request.
+    """
     room = floorplan.room_by_name(room_name)
-    navigator = SkeletonNavigator(floorplan.skeleton)
+    if navigator is None:
+        navigator = SkeletonNavigator(floorplan.skeleton)
     # Aim for the point on the room's bounding box closest to the skeleton
     # (a stand-in for its door, which the reconstruction does not know).
     bb = room.bounding_box()

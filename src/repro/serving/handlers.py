@@ -1,0 +1,93 @@
+"""Query handlers: what the serving layer actually answers.
+
+Three queries cover the paper's downstream story ("localization and
+navigation" are the opening motivation for having floor plans at all):
+
+- ``get_floorplan`` — the map itself, as a JSON-ready summary plus the
+  ASCII rendering clients can display;
+- ``locate`` — wraps :class:`~repro.core.localization.VisualLocalizer`:
+  one query frame in, a position estimate on the reconstructed map out;
+- ``route`` — wraps :mod:`repro.core.navigation`: plan a path from a
+  point to a named room over the reconstructed skeleton.
+
+Handlers are stateless; all per-version state (the localization index,
+the A* planner) lives on the :class:`~repro.serving.snapshot.MapSnapshot`
+so it is built once per published version and shared across replicas and
+requests. Every handler takes the snapshot explicitly — the router pins
+one version per request, and nothing here can accidentally read a newer
+one mid-request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import CrowdMapConfig
+from repro.core.localization import LocalizationEstimate
+from repro.core.navigation import NavigationPath, route_to_room
+from repro.geometry.primitives import Point
+from repro.serving.snapshot import MapSnapshot
+from repro.vision.image import Frame
+
+
+@dataclass(frozen=True)
+class LocateQuery:
+    """Payload of a ``locate`` request: one captured frame."""
+
+    frame: Frame
+
+
+@dataclass(frozen=True)
+class RouteQuery:
+    """Payload of a ``route`` request: start point and destination room."""
+
+    start: Point
+    room_name: str
+
+
+class QueryHandlers:
+    """Executes serving queries against one pinned snapshot."""
+
+    KINDS = ("get_floorplan", "locate", "route")
+
+    def __init__(self, config: Optional[CrowdMapConfig] = None):
+        self.config = config or CrowdMapConfig()
+
+    def handle(self, kind: str, snapshot: MapSnapshot, payload: object):
+        """Dispatch by request kind (the router's single entry point)."""
+        if kind == "get_floorplan":
+            return self.get_floorplan(snapshot)
+        if kind == "locate":
+            if not isinstance(payload, LocateQuery):
+                raise TypeError("locate requires a LocateQuery payload")
+            return self.locate(snapshot, payload)
+        if kind == "route":
+            if not isinstance(payload, RouteQuery):
+                raise TypeError("route requires a RouteQuery payload")
+            return self.route(snapshot, payload)
+        raise ValueError(f"unknown query kind {kind!r}")
+
+    def get_floorplan(self, snapshot: MapSnapshot) -> Dict[str, object]:
+        """The published map: version metadata plus a renderable view."""
+        view = snapshot.summary()
+        if snapshot.result is not None:
+            view["ascii"] = snapshot.result.floorplan.render_ascii(max_width=80)
+        return view
+
+    def locate(
+        self, snapshot: MapSnapshot, query: LocateQuery
+    ) -> LocalizationEstimate:
+        """Visual localization of one query frame on the pinned version."""
+        return snapshot.localizer().localize(query.frame)
+
+    def route(self, snapshot: MapSnapshot, query: RouteQuery) -> NavigationPath:
+        """Path from ``query.start`` to the named room on the pinned version."""
+        if snapshot.result is None:
+            raise ValueError("stub snapshot has no skeleton")
+        return route_to_room(
+            snapshot.result.floorplan,
+            query.start,
+            query.room_name,
+            navigator=snapshot.navigator(),
+        )

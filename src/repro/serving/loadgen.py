@@ -1,0 +1,257 @@
+"""Open-loop load generation and SLO tracking for the serving layer.
+
+The generator is *open-loop* on purpose: arrivals are a Poisson process
+(seeded exponential inter-arrival times) that does not slow down when the
+system saturates — exactly the regime where closed-loop benchmarks lie
+about tail latency, and the regime admission control exists for. All
+randomness is drawn up front from one seeded generator, so a profile +
+seed names one exact request sequence forever.
+
+The SLO tracker turns the router's outcomes and telemetry into a
+JSON-ready report: p50/p95/p99 virtual-clock latency (exact sample
+percentiles via :meth:`repro.backend.telemetry.Histogram.percentile`),
+shed rate by reason, hedge accounting, per-shard QPS, and the verdict on
+the configured p99 SLO. Two runs of the same configuration produce
+bit-identical reports — the acceptance test diffs the serialized JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend.scheduler import SimulatedScheduler
+from repro.backend.telemetry import TelemetryRegistry
+from repro.serving.router import (
+    EventLoop,
+    Request,
+    RequestRouter,
+    ServingConfig,
+)
+from repro.serving.shards import ShardKey, ShardManager
+
+#: Report layout version (bump on incompatible changes).
+REPORT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """One traffic scenario: how much, of what, for how long."""
+
+    duration: float = 30.0         # virtual seconds of arrivals
+    qps: float = 50.0              # mean arrival rate (Poisson)
+    seed: int = 0
+    #: Query mix; weights need not sum to 1 (normalized internally).
+    mix: Dict[str, float] = field(
+        default_factory=lambda: {
+            "get_floorplan": 0.6,
+            "locate": 0.25,
+            "route": 0.15,
+        }
+    )
+
+
+#: Builds a request payload: ``payload_for(kind, shard_key, rng)``.
+PayloadFactory = Callable[[str, ShardKey, np.random.Generator], object]
+
+
+def generate_arrivals(
+    profile: LoadProfile,
+    shard_keys: Sequence[ShardKey],
+    payload_for: Optional[PayloadFactory] = None,
+) -> List[Request]:
+    """The full request sequence for one profile (deterministic per seed).
+
+    ``payload_for`` supplies real query payloads (a frame to locate, a
+    route destination) drawn from the same seeded generator, so ``real``
+    execution stays deterministic; without it payloads are ``None``,
+    which modeled execution never reads.
+    """
+    if not shard_keys:
+        raise ValueError("need at least one shard to aim traffic at")
+    if profile.qps <= 0:
+        raise ValueError("qps must be positive")
+    rng = np.random.default_rng(profile.seed)
+    kinds = sorted(profile.mix)
+    weights = np.array([profile.mix[k] for k in kinds], dtype=float)
+    weights /= weights.sum()
+    requests: List[Request] = []
+    t = 0.0
+    request_id = 0
+    while True:
+        t += float(rng.exponential(1.0 / profile.qps))
+        if t >= profile.duration:
+            break
+        kind = kinds[int(rng.choice(len(kinds), p=weights))]
+        shard = shard_keys[int(rng.integers(len(shard_keys)))]
+        payload = payload_for(kind, shard, rng) if payload_for else None
+        requests.append(
+            Request(
+                request_id=request_id, kind=kind, shard_key=shard,
+                arrival=t, payload=payload,
+            )
+        )
+        request_id += 1
+    return requests
+
+
+class SLOTracker:
+    """Aggregates one simulation's outcomes into the SLO report."""
+
+    def __init__(
+        self,
+        router: RequestRouter,
+        profile: LoadProfile,
+        config: ServingConfig,
+        telemetry: TelemetryRegistry,
+    ):
+        self.router = router
+        self.profile = profile
+        self.config = config
+        self.telemetry = telemetry
+
+    @staticmethod
+    def _round_summary(summary: Dict[str, float]) -> Dict[str, float]:
+        return {k: round(v, 6) for k, v in sorted(summary.items())}
+
+    def report(self) -> dict:
+        outcomes = self.router.outcomes
+        offered = len(outcomes)
+        admitted = sum(1 for o in outcomes if o.admitted)
+        completed = sum(1 for o in outcomes if o.latency is not None)
+        shed = offered - admitted
+        shed_by_reason: Dict[str, int] = {}
+        for outcome in outcomes:
+            if outcome.shed_reason:
+                shed_by_reason[outcome.shed_reason] = (
+                    shed_by_reason.get(outcome.shed_reason, 0) + 1
+                )
+        versions: Dict[str, int] = {}
+        for outcome in outcomes:
+            if outcome.version is not None:
+                versions[str(outcome.version)] = (
+                    versions.get(str(outcome.version), 0) + 1
+                )
+        overall = self.telemetry.histogram("serving_latency")
+        by_kind = {
+            kind: self._round_summary(
+                self.telemetry.histogram(f"serving_latency_{kind}").summary()
+            )
+            for kind in sorted(self.profile.mix)
+            if self.telemetry.value(f"serving_latency_{kind}") > 0
+        }
+        per_shard = {}
+        for key in self.router.manager.keys():
+            count = self.telemetry.value(
+                f"serving_shard_{key.building}_{key.floor}_requests"
+            )
+            per_shard[f"{key.building}/{key.floor}"] = {
+                "offered": int(count),
+                "qps": round(count / self.profile.duration, 6),
+            }
+        p99 = overall.percentile(99.0)
+        return {
+            "schema": REPORT_SCHEMA,
+            "profile": {
+                "duration": self.profile.duration,
+                "qps": self.profile.qps,
+                "seed": self.profile.seed,
+                "mix": dict(sorted(self.profile.mix.items())),
+            },
+            "requests": {
+                "offered": offered,
+                "admitted": admitted,
+                "completed": completed,
+                "shed": shed,
+                "shed_rate": round(shed / offered, 6) if offered else 0.0,
+                "shed_by_reason": dict(sorted(shed_by_reason.items())),
+            },
+            "latency": {
+                "overall": self._round_summary(overall.summary()),
+                "by_kind": by_kind,
+            },
+            "hedging": {
+                "launched": int(self.telemetry.value("serving_hedges")),
+                "wasted": int(self.telemetry.value("serving_hedges_wasted")),
+                "skipped": int(self.telemetry.value("serving_hedges_skipped")),
+                "won": sum(1 for o in outcomes if o.hedge_won),
+            },
+            "per_shard": dict(sorted(per_shard.items())),
+            "versions_served": dict(sorted(versions.items())),
+            "slo": {
+                "p99_target": self.config.slo_p99,
+                "p99_observed": round(p99, 6),
+                "met": bool(p99 <= self.config.slo_p99),
+            },
+        }
+
+
+def run_serving_simulation(
+    manager: ShardManager,
+    config: Optional[ServingConfig] = None,
+    profile: Optional[LoadProfile] = None,
+    scheduler: Optional[SimulatedScheduler] = None,
+    scheduler_tick: float = 1.0,
+    execute: str = "model",
+    telemetry: Optional[TelemetryRegistry] = None,
+    extra_events: Optional[Sequence[Tuple[float, Callable[[], None]]]] = None,
+    payload_for: Optional[PayloadFactory] = None,
+) -> dict:
+    """Drive one full load simulation and return the SLO report.
+
+    ``extra_events`` are (virtual time, callback) pairs injected into the
+    same event loop — how a scenario scripts mid-traffic happenings like
+    a burst of new uploads landing on a shard.
+
+    Every shard must have a published snapshot before traffic starts
+    (otherwise its requests shed as ``no_snapshot`` — which is itself a
+    scenario worth simulating, so it is not an error). When a
+    ``scheduler`` is given, its virtual clock is pumped in lockstep with
+    the event loop every ``scheduler_tick`` virtual seconds, so periodic
+    jobs (shard refresh, upload TTL sweeps) fire mid-traffic exactly
+    where their intervals say they should.
+    """
+    config = config or ServingConfig()
+    profile = profile or LoadProfile()
+    if execute == "real" and payload_for is None:
+        needy = [
+            k for k, w in profile.mix.items()
+            if k != "get_floorplan" and w > 0
+        ]
+        if needy:
+            raise ValueError(
+                f"execute='real' with {sorted(needy)} in the mix needs a "
+                "payload_for factory (locate wants a frame, route wants a "
+                "start + destination); modeled execution does not"
+            )
+    # A fresh registry per simulation keeps repeated runs bit-identical
+    # (the process-wide default registry accumulates across runs).
+    telemetry = telemetry or TelemetryRegistry()
+    loop = EventLoop()
+    router = RequestRouter(
+        manager, config=config, loop=loop, telemetry=telemetry, execute=execute
+    )
+    for request in generate_arrivals(profile, manager.keys(), payload_for):
+        loop.schedule(request.arrival, lambda r=request: router.submit(r))
+    if scheduler is not None:
+        if scheduler_tick <= 0:
+            raise ValueError("scheduler_tick must be positive")
+        tick_time = scheduler_tick
+        while tick_time <= profile.duration:
+            loop.schedule(
+                tick_time,
+                lambda: scheduler.advance(max(0.0, loop.now - scheduler.now)),
+            )
+            tick_time += scheduler_tick
+    for when, callback in extra_events or ():
+        loop.schedule(when, callback)
+    loop.run()
+    return SLOTracker(router, profile, config, telemetry).report()
+
+
+def render_report(report: dict) -> str:
+    """Canonical serialization (what determinism is asserted against)."""
+    return json.dumps(report, indent=2, sort_keys=True)

@@ -1,0 +1,385 @@
+"""Request routing over a deterministic virtual-clock event loop.
+
+The router is where "millions of users" becomes an engineering problem:
+requests arrive faster than replicas drain them, stragglers happen, and
+the system must *choose* what to drop. Everything runs on a simulated
+event loop — same discipline as
+:class:`~repro.backend.scheduler.SimulatedScheduler` — so the behaviour
+under a given seed is bit-for-bit reproducible: latency percentiles,
+shed counts and hedge wins are properties of the configuration, not of
+the machine the simulation happened to run on.
+
+Mechanisms, each deliberately the textbook version:
+
+- **admission control / bounded queues** — each shard has one FIFO of
+  capacity ``queue_capacity``; a request arriving to a full queue is
+  *shed* immediately (fast failure) instead of waiting out an SLO it can
+  no longer meet. Bounding the queue is what bounds admitted latency.
+- **load shedding** — shed decisions are counted per reason
+  (``overload``, ``no_snapshot``) so the SLO report can distinguish
+  "we were saturated" from "the shard had nothing published yet".
+- **hedged reads** — a dispatched request that has not completed within
+  ``hedge_delay`` is duplicated onto a second idle replica; the first
+  completion wins and the loser is accounted as wasted work (it still
+  occupies its replica until it finishes, exactly like a real hedge).
+
+Service times come from a seeded model (per-kind base cost x per-replica
+speed x lognormal jitter, with rare ``slow_factor`` spikes standing in
+for GC pauses and page faults) rather than from executing the handler,
+so simulated latency is hardware-independent; set ``execute="real"`` to
+*also* run each admitted request's query handler against the pinned
+snapshot and return its answer in the outcome.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.backend.telemetry import TelemetryRegistry, default_registry
+from repro.serving.handlers import QueryHandlers
+from repro.serving.shards import MapShard, ShardKey, ShardManager
+from repro.serving.snapshot import MapSnapshot
+
+
+class EventLoop:
+    """A minimal discrete-event simulator: (time, seq)-ordered callbacks."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+        self._seq = itertools.count()
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._cancelled: set = set()
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> int:
+        """Run ``callback`` at ``now + delay``; returns a cancellation handle."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        seq = next(self._seq)
+        heapq.heappush(self._heap, (self._now + delay, seq, callback))
+        return seq
+
+    def cancel(self, handle: int) -> None:
+        self._cancelled.add(handle)
+
+    def run_until(self, deadline: float) -> int:
+        """Fire every event with time <= deadline, in (time, seq) order."""
+        executed = 0
+        while self._heap and self._heap[0][0] <= deadline:
+            when, seq, callback = heapq.heappop(self._heap)
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            self._now = max(self._now, when)
+            callback()
+            executed += 1
+        self._now = max(self._now, deadline)
+        return executed
+
+    def run(self) -> int:
+        """Drain the event heap completely (the simulation's natural end)."""
+        executed = 0
+        while self._heap:
+            when, seq, callback = heapq.heappop(self._heap)
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            self._now = max(self._now, when)
+            callback()
+            executed += 1
+        return executed
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Router knobs; every default is overridable per scenario."""
+
+    queue_capacity: int = 32       # per-shard admission bound
+    replica_concurrency: int = 1   # in-flight requests per replica
+    hedge_delay: float = 0.15      # duplicate a straggler after this long
+    slo_p99: float = 1.0           # the latency promise (virtual seconds)
+    seed: int = 0
+    #: Modeled service cost per query kind (virtual seconds).
+    service_time_base: Dict[str, float] = field(
+        default_factory=lambda: {
+            "get_floorplan": 0.004,
+            "locate": 0.060,
+            "route": 0.020,
+        }
+    )
+    jitter_sigma: float = 0.25     # lognormal sigma on every service time
+    slow_prob: float = 0.02        # probability of a straggler spike
+    slow_factor: float = 10.0      # spike multiplier (what hedging beats)
+    replica_speed_spread: float = 0.10  # replica speed factors in [1, 1+spread]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client query aimed at a shard."""
+
+    request_id: int
+    kind: str                      # "get_floorplan" | "locate" | "route"
+    shard_key: ShardKey
+    arrival: float                 # virtual-clock arrival time
+    payload: object = None         # handler arguments for execute="real"
+
+
+@dataclass
+class RequestOutcome:
+    """What happened to one request, for the SLO tracker."""
+
+    request: Request
+    admitted: bool
+    shed_reason: Optional[str] = None
+    latency: Optional[float] = None      # completion - arrival (admitted only)
+    replica: Optional[int] = None        # replica whose attempt won
+    hedged: bool = False                 # a hedge attempt was launched
+    hedge_won: bool = False              # ... and it beat the primary
+    version: Optional[int] = None        # snapshot version served
+    result: object = None                # handler answer under execute="real"
+
+
+class _Replica:
+    __slots__ = ("index", "speed", "in_flight")
+
+    def __init__(self, index: int, speed: float):
+        self.index = index
+        self.speed = speed
+        self.in_flight = 0
+
+
+class _Pending:
+    """Router-internal state of one admitted request."""
+
+    __slots__ = (
+        "request", "outcome", "snapshot", "done", "hedged", "attempts",
+        "hedge_handle",
+    )
+
+    def __init__(self, request: Request, outcome: RequestOutcome):
+        self.request = request
+        self.outcome = outcome
+        self.snapshot: Optional[MapSnapshot] = None
+        self.done = False
+        self.hedged = False
+        self.attempts: List[int] = []        # replica indexes tried
+        self.hedge_handle: Optional[int] = None
+
+
+class _ShardServing:
+    """Per-shard serving state: the bounded queue and the replica set."""
+
+    __slots__ = ("shard", "queue", "replicas")
+
+    def __init__(self, shard: MapShard, replicas: List[_Replica]):
+        self.shard = shard
+        self.queue: Deque[_Pending] = deque()
+        self.replicas = replicas
+
+
+class RequestRouter:
+    """Admits, queues, dispatches and hedges requests across shard replicas."""
+
+    def __init__(
+        self,
+        manager: ShardManager,
+        config: Optional[ServingConfig] = None,
+        loop: Optional[EventLoop] = None,
+        telemetry: Optional[TelemetryRegistry] = None,
+        handlers: Optional[QueryHandlers] = None,
+        execute: str = "model",
+    ):
+        if execute not in ("model", "real"):
+            raise ValueError("execute must be 'model' or 'real'")
+        self.manager = manager
+        self.config = config or ServingConfig()
+        self.loop = loop or EventLoop()
+        self.telemetry = telemetry or default_registry
+        self.handlers = handlers or QueryHandlers()
+        self.execute = execute
+        self.outcomes: List[RequestOutcome] = []
+        self._rng = np.random.default_rng(self.config.seed)
+        self._states: Dict[ShardKey, _ShardServing] = {}
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def submit(self, request: Request) -> RequestOutcome:
+        """Admission decision at the current virtual time.
+
+        Returns the outcome record immediately; for admitted requests its
+        latency/replica fields are filled in when the completion event
+        fires.
+        """
+        self.telemetry.counter("serving_requests_total", "requests offered").inc()
+        self._shard_counter(request.shard_key).inc()
+        shard = self.manager.get(request.shard_key)
+        snapshot = shard.current() if shard is not None else None
+        if snapshot is None:
+            return self._shed(request, "no_snapshot")
+        state = self._state_for(shard)
+        if len(state.queue) >= self.config.queue_capacity:
+            return self._shed(request, "overload")
+        outcome = RequestOutcome(request=request, admitted=True)
+        self.outcomes.append(outcome)
+        self.telemetry.counter(
+            "serving_requests_admitted", "requests past admission control"
+        ).inc()
+        pending = _Pending(request, outcome)
+        state.queue.append(pending)
+        self._dispatch(state)
+        return outcome
+
+    def _shed(self, request: Request, reason: str) -> RequestOutcome:
+        outcome = RequestOutcome(request=request, admitted=False, shed_reason=reason)
+        self.outcomes.append(outcome)
+        self.telemetry.counter(
+            "serving_requests_shed", "requests rejected by admission control"
+        ).inc()
+        self.telemetry.counter(
+            f"serving_requests_shed_{reason}", f"requests shed: {reason}"
+        ).inc()
+        return outcome
+
+    def _state_for(self, shard: MapShard) -> _ShardServing:
+        state = self._states.get(shard.key)
+        if state is None:
+            replicas = [
+                _Replica(
+                    index=i,
+                    speed=1.0
+                    + self.config.replica_speed_spread * float(self._rng.random()),
+                )
+                for i in range(len(shard.replicas))
+            ]
+            state = _ShardServing(shard, replicas)
+            self._states[shard.key] = state
+        return state
+
+    def _shard_counter(self, key: ShardKey):
+        return self.telemetry.counter(
+            f"serving_shard_{key.building}_{key.floor}_requests",
+            "requests offered to this shard",
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch, hedging, completion
+    # ------------------------------------------------------------------
+
+    def _idle_replica(
+        self, state: _ShardServing, exclude: List[int]
+    ) -> Optional[_Replica]:
+        """Least-loaded replica with spare concurrency (ties: lowest index)."""
+        best: Optional[_Replica] = None
+        for replica in state.replicas:
+            if replica.in_flight >= self.config.replica_concurrency:
+                continue
+            if replica.index in exclude:
+                continue
+            if best is None or replica.in_flight < best.in_flight:
+                best = replica
+        return best
+
+    def _dispatch(self, state: _ShardServing) -> None:
+        while state.queue:
+            replica = self._idle_replica(state, exclude=[])
+            if replica is None:
+                return
+            pending = state.queue.popleft()
+            # Pin the snapshot the moment processing starts: the whole
+            # request is answered from this one immutable version even if
+            # a refresh publishes mid-flight (no torn reads).
+            pending.snapshot = state.shard.replicas[replica.index].current()
+            self._start_attempt(state, pending, replica, primary=True)
+
+    def _start_attempt(
+        self,
+        state: _ShardServing,
+        pending: _Pending,
+        replica: _Replica,
+        primary: bool,
+    ) -> None:
+        replica.in_flight += 1
+        pending.attempts.append(replica.index)
+        service = self._service_time(pending.request.kind, replica)
+        self.loop.schedule(
+            service, lambda: self._complete(state, pending, replica)
+        )
+        if primary:
+            pending.hedge_handle = self.loop.schedule(
+                self.config.hedge_delay, lambda: self._maybe_hedge(state, pending)
+            )
+
+    def _service_time(self, kind: str, replica: _Replica) -> float:
+        base = self.config.service_time_base[kind]
+        jitter = 1.0
+        if self.config.jitter_sigma > 0:
+            jitter = float(self._rng.lognormal(0.0, self.config.jitter_sigma))
+        slow = 1.0
+        if self.config.slow_prob > 0 and self._rng.random() < self.config.slow_prob:
+            slow = self.config.slow_factor
+        return base * replica.speed * jitter * slow
+
+    def _maybe_hedge(self, state: _ShardServing, pending: _Pending) -> None:
+        if pending.done:
+            return
+        replica = self._idle_replica(state, exclude=pending.attempts)
+        if replica is None:
+            # Every other replica is busy; duplicating onto the one already
+            # serving us would only double its work.
+            self.telemetry.counter(
+                "serving_hedges_skipped", "hedge wanted but no idle replica"
+            ).inc()
+            return
+        pending.hedged = True
+        self.telemetry.counter(
+            "serving_hedges", "straggler requests duplicated to a second replica"
+        ).inc()
+        self._start_attempt(state, pending, replica, primary=False)
+
+    def _complete(
+        self, state: _ShardServing, pending: _Pending, replica: _Replica
+    ) -> None:
+        replica.in_flight -= 1
+        if pending.done:
+            # The other attempt already won; this one was wasted work that
+            # nevertheless occupied the replica until now.
+            self.telemetry.counter(
+                "serving_hedges_wasted", "losing hedge attempts (burned capacity)"
+            ).inc()
+            self._dispatch(state)
+            return
+        pending.done = True
+        if pending.hedge_handle is not None:
+            self.loop.cancel(pending.hedge_handle)
+            pending.hedge_handle = None
+        outcome = pending.outcome
+        outcome.latency = self.loop.now - pending.request.arrival
+        outcome.replica = replica.index
+        outcome.hedged = pending.hedged
+        outcome.hedge_won = pending.hedged and replica.index == pending.attempts[-1]
+        snapshot = pending.snapshot
+        if snapshot is not None:
+            outcome.version = snapshot.version
+            if self.execute == "real" and not snapshot.is_stub:
+                outcome.result = self.handlers.handle(
+                    pending.request.kind, snapshot, pending.request.payload
+                )
+        self.telemetry.histogram(
+            "serving_latency", "admitted-request latency (virtual seconds)"
+        ).observe(outcome.latency)
+        self.telemetry.histogram(
+            f"serving_latency_{pending.request.kind}",
+            "per-kind latency (virtual seconds)",
+        ).observe(outcome.latency)
+        self._dispatch(state)

@@ -1,0 +1,14 @@
+"""Fixture: real-time waits CM007 flags in serving-path modules."""
+
+import asyncio
+import time
+
+
+def wait_for_replica(delay):
+    time.sleep(delay)  # [expect CM007]
+    return True
+
+
+async def backoff(delay):
+    await asyncio.sleep(delay)  # [expect CM007]
+    return delay * 2

@@ -210,3 +210,42 @@ class TestCm006:
         findings = lint_fixture(self.VISION / "cm006_violating.py")
         report = format_findings(findings)
         assert f"{len(findings)} finding(s) (0 error" in report
+
+
+class TestCm007:
+    """CM007 is path-scoped to serving modules and advisory-severity."""
+
+    SERVING = FIXTURES / "serving"
+
+    def test_violating_fixture_matches_markers(self):
+        path = self.SERVING / "cm007_violating.py"
+        expected = expected_markers(path)
+        assert expected, f"{path} has no [expect ...] markers"
+        found = sorted((f.rule, f.line) for f in lint_fixture(path))
+        assert found == expected
+
+    def test_clean_fixture_has_no_findings(self):
+        path = self.SERVING / "cm007_clean.py"
+        findings = lint_fixture(path)
+        assert findings == [], format_findings(findings)
+
+    def test_findings_are_advisory(self):
+        findings = lint_fixture(self.SERVING / "cm007_violating.py")
+        assert findings and {f.severity for f in findings} == {"advisory"}
+        assert "[advisory]" in str(findings[0])
+
+    def test_rule_only_applies_under_a_serving_directory(self):
+        source = (self.SERVING / "cm007_violating.py").read_text()
+        assert lint_source(source, path="somewhere/else/router.py") == []
+        # "serving" must be a full directory component, not a substring.
+        assert lint_source(source, path="src/observing/router.py") == []
+
+    def test_aliased_sleep_is_resolved(self):
+        source = "from time import sleep\nsleep(0.1)\n"
+        findings = lint_source(source, path="src/repro/serving/x.py")
+        assert [f.rule for f in findings] == ["CM007"]
+
+    def test_cli_exits_zero_on_advisory_only_findings(self, capsys):
+        assert main([str(self.SERVING / "cm007_violating.py")]) == 0
+        out = capsys.readouterr().out
+        assert "CM007" in out and "advisory" in out

@@ -5,11 +5,13 @@ import pytest
 from repro.backend.chunking import Chunk, ChunkReassemblyError, chunk_payload
 from repro.backend.datastore import DocumentStore
 from repro.backend.queue import TaskQueue
+from repro.backend.scheduler import SimulatedScheduler
 from repro.backend.server import (
     IngestServer,
     decode_session_payload,
     encode_session_payload,
 )
+from repro.backend.telemetry import TelemetryRegistry
 
 
 @pytest.fixture()
@@ -116,6 +118,82 @@ class TestUploadFlow:
         server.finalize_upload(id_a)
         server.finalize_upload(id_b)
         assert server.store.count(IngestServer.RAW_COLLECTION) == 2
+
+
+class TestUploadTtl:
+    def make_server(self, clock=None, telemetry=None):
+        return IngestServer(
+            DocumentStore(), TaskQueue(),
+            telemetry=telemetry or TelemetryRegistry(), clock=clock,
+        )
+
+    def test_expire_stale_abandons_idle_uploads(self):
+        clock = {"now": 0.0}
+        telemetry = TelemetryRegistry()
+        server = self.make_server(
+            clock=lambda: clock["now"], telemetry=telemetry
+        )
+        stale_id = server.open_upload("u1", META)
+        clock["now"] = 100.0
+        fresh_id = server.open_upload("u2", META)
+        expired = server.expire_stale(ttl=60.0, now=clock["now"])
+        assert expired == [stale_id]
+        assert server.pending_uploads() == [fresh_id]
+        assert telemetry.value("ingest_uploads_expired") == 1
+        assert telemetry.value("ingest_uploads_abandoned") == 1
+
+    def test_chunk_activity_refreshes_ttl(self):
+        clock = {"now": 0.0}
+        server = self.make_server(clock=lambda: clock["now"])
+        upload_id = server.open_upload("u1", META)
+        chunks = chunk_payload(upload_id, DATA, chunk_size=4096)
+        clock["now"] = 50.0
+        server.receive_chunk(chunks[0])  # keeps the session alive
+        assert server.expire_stale(ttl=60.0, now=90.0) == []
+        assert server.expire_stale(ttl=60.0, now=110.0) == [upload_id]
+
+    def test_finalized_uploads_never_expire(self):
+        server = self.make_server()
+        upload_id = upload(server)
+        server.finalize_upload(upload_id)
+        assert server.expire_stale(ttl=1.0, now=1e9) == []
+
+    def test_ttl_must_be_positive(self):
+        with pytest.raises(ValueError):
+            self.make_server().expire_stale(ttl=0.0)
+
+    def test_sweep_job_expires_on_schedule(self):
+        """attach_ttl_sweep + SimulatedScheduler: the integration path."""
+        telemetry = TelemetryRegistry()
+        server = self.make_server(telemetry=telemetry)
+        scheduler = SimulatedScheduler()
+        job = server.attach_ttl_sweep(scheduler, ttl=30.0, interval=10.0)
+        assert job.name == "upload_ttl_sweep"
+        # The server adopted the scheduler clock, so sessions opened at
+        # different virtual times age independently.
+        early = server.open_upload("u1", META)
+        scheduler.advance(25.0)  # sweeps at 10 and 20: early still fresh
+        assert server.pending_uploads() == [early]
+        late = server.open_upload("u2", META)
+        scheduler.advance(10.0)  # sweep at 30: early is now 30s idle
+        assert server.pending_uploads() == [late]
+        scheduler.advance(30.0)  # sweep at 60: late expires too
+        assert server.pending_uploads() == []
+        assert telemetry.value("ingest_uploads_expired") == 2
+
+    def test_injected_clock_wins_over_scheduler(self):
+        clock = {"now": 500.0}
+        server = self.make_server(clock=lambda: clock["now"])
+        scheduler = SimulatedScheduler()
+        server.attach_ttl_sweep(scheduler, ttl=30.0)
+        upload_id = server.open_upload("u1", META)
+        # Session stamped from the injected clock (500), not scheduler (0):
+        # sweeps judge it against their own `now`, so it is already stale
+        # relative to the scheduler clock ... unless expire_stale is given
+        # the matching now.
+        assert server.expire_stale(ttl=30.0, now=clock["now"]) == []
+        clock["now"] = 540.0
+        assert server.expire_stale(ttl=30.0, now=clock["now"]) == [upload_id]
 
 
 class TestPayloadCodec:

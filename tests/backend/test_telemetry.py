@@ -3,6 +3,7 @@
 import threading
 import time
 
+import numpy as np
 import pytest
 
 from repro.backend.telemetry import (
@@ -72,6 +73,51 @@ class TestHistogram:
         h = Histogram("x")
         assert h.mean() == 0.0
         assert h.quantile(0.5) == 0.0
+        assert h.percentile(99.0) == 0.0
+        assert h.summary() == {
+            "count": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_percentile_matches_numpy(self):
+        """percentile() is exact (sample-based), unlike quantile()."""
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(mean=-2.0, sigma=0.7, size=500)
+        h = Histogram("latency")
+        for v in values:
+            h.observe(float(v))
+        for q in (0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0):
+            assert h.percentile(q) == pytest.approx(
+                float(np.percentile(values, q)), rel=1e-12
+            )
+
+    def test_percentile_interpolates_between_ranks(self):
+        h = Histogram("x")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        # numpy-default linear interpolation: rank 1.5 -> 2.5.
+        assert h.percentile(50.0) == pytest.approx(2.5)
+        assert h.percentile(0.0) == 1.0
+        assert h.percentile(100.0) == 4.0
+
+    def test_percentile_validation(self):
+        h = Histogram("x")
+        with pytest.raises(ValueError):
+            h.percentile(-1.0)
+        with pytest.raises(ValueError):
+            h.percentile(100.5)
+
+    def test_summary_reports_sample_statistics(self):
+        rng = np.random.default_rng(3)
+        values = rng.exponential(scale=0.1, size=200)
+        h = Histogram("latency")
+        for v in values:
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 200.0
+        assert s["mean"] == pytest.approx(float(np.mean(values)))
+        assert s["p50"] == pytest.approx(float(np.percentile(values, 50)))
+        assert s["p95"] == pytest.approx(float(np.percentile(values, 95)))
+        assert s["p99"] == pytest.approx(float(np.percentile(values, 99)))
 
 
 class TestRegistry:

@@ -47,6 +47,45 @@ class TestIncremental:
         )
         assert np.array_equal(batch.skeleton.skeleton, streamed.skeleton.skeleton)
 
+    def test_snapshot_matches_batch_full_floorplan(
+        self, small_dataset, incremental_config
+    ):
+        """Equivalence beyond the skeleton: the full served artifacts.
+
+        The serving layer (repro.serving) publishes incremental snapshots
+        as the batch result's stand-in, so the rendered floor plan, room
+        placements and localization answers must all agree — not just the
+        hallway cells.
+        """
+        from repro.core.localization import VisualLocalizer
+
+        inc = IncrementalCrowdMap(incremental_config)
+        for session in small_dataset.sessions:
+            inc.add_session(session)
+        streamed = inc.snapshot()
+        batch = CrowdMapPipeline(incremental_config).run(small_dataset)
+
+        assert streamed.floorplan.render_ascii() == batch.floorplan.render_ascii()
+
+        streamed_rooms = {
+            r.name: r.bounding_box() for r in streamed.floorplan.rooms
+        }
+        batch_rooms = {
+            r.name: r.bounding_box() for r in batch.floorplan.rooms
+        }
+        assert streamed_rooms == batch_rooms
+
+        loc_streamed = VisualLocalizer(streamed, incremental_config)
+        loc_batch = VisualLocalizer(batch, incremental_config)
+        assert len(loc_streamed) == len(loc_batch)
+        query = small_dataset.sws_sessions()[0].frames[3]
+        a = loc_streamed.localize(query)
+        b = loc_batch.localize(query)
+        assert a.matched and b.matched
+        assert a.position.x == pytest.approx(b.position.x)
+        assert a.position.y == pytest.approx(b.position.y)
+        assert a.confidence == pytest.approx(b.confidence)
+
     def test_snapshot_improves_with_more_data(self, small_dataset, incremental_config):
         inc = IncrementalCrowdMap(incremental_config)
         sws = small_dataset.sws_sessions()

@@ -1,0 +1,193 @@
+"""End-to-end serving tests: real snapshots, real query handlers.
+
+These build one real reconstruction (from the shared ``small_dataset``
+fixture) and serve it, so they cover the full stack the unit tests stub
+out: shard ingest -> incremental snapshot -> publish -> query handlers ->
+router execution, plus a scheduler-driven refresh landing mid-traffic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.scheduler import SimulatedScheduler
+from repro.core.config import CrowdMapConfig
+from repro.core.localization import VisualLocalizer
+from repro.geometry.primitives import Point
+from repro.serving import (
+    LoadProfile,
+    LocateQuery,
+    QueryHandlers,
+    Request,
+    RouteQuery,
+    ServingConfig,
+    ShardManager,
+    run_serving_simulation,
+)
+
+
+@pytest.fixture(scope="module")
+def serving_config():
+    return CrowdMapConfig().with_overrides(layout_samples=400)
+
+
+@pytest.fixture(scope="module")
+def manager(small_dataset, serving_config):
+    """A shard manager serving the small Lab1 dataset (published once)."""
+    manager = ShardManager(config=serving_config, n_replicas=2)
+    for session in small_dataset.sessions:
+        if session.task in ("SWS", "SRS"):
+            manager.ingest_session(session)
+    published = manager.refresh_all(now=0.0)
+    assert len(published) == 1
+    return manager
+
+
+@pytest.fixture(scope="module")
+def snapshot(manager):
+    return manager.shards()[0].current()
+
+
+@pytest.fixture(scope="module")
+def handlers(serving_config):
+    return QueryHandlers(serving_config)
+
+
+class TestQueryHandlers:
+    def test_get_floorplan_view(self, handlers, snapshot):
+        view = handlers.get_floorplan(snapshot)
+        assert view["version"] == 1
+        assert view["building"] == "Lab1"
+        assert view["stub"] is False
+        assert view["rooms"]  # the dataset includes SRS room spins
+        assert "#" in view["ascii"]  # rendered hallway cells
+
+    def test_locate_matches_direct_localizer(
+        self, handlers, snapshot, small_dataset, serving_config
+    ):
+        query = small_dataset.sws_sessions()[0].frames[3]
+        served = handlers.locate(snapshot, LocateQuery(frame=query))
+        direct = VisualLocalizer(snapshot.result, serving_config).localize(query)
+        assert served.matched and direct.matched
+        assert served.position.x == pytest.approx(direct.position.x)
+        assert served.position.y == pytest.approx(direct.position.y)
+        assert served.confidence == pytest.approx(direct.confidence)
+
+    def test_localizer_index_is_built_once_and_shared(self, snapshot):
+        assert snapshot.localizer() is snapshot.localizer()
+        assert snapshot.navigator() is snapshot.navigator()
+
+    def test_route_to_reconstructed_room(self, handlers, snapshot):
+        room_name = snapshot.summary()["rooms"][0]
+        path = handlers.route(
+            snapshot,
+            RouteQuery(start=_skeleton_start(snapshot), room_name=room_name),
+        )
+        assert path.found
+        assert path.length > 0
+
+    def test_handle_dispatch_and_payload_validation(self, handlers, snapshot):
+        assert handlers.handle("get_floorplan", snapshot, None)["version"] == 1
+        with pytest.raises(TypeError):
+            handlers.handle("locate", snapshot, "not a query")
+        with pytest.raises(TypeError):
+            handlers.handle("route", snapshot, None)
+        with pytest.raises(ValueError):
+            handlers.handle("teleport", snapshot, None)
+
+
+class TestServedSimulation:
+    def test_execute_real_returns_handler_answers(self, manager):
+        config = ServingConfig(seed=0)
+        profile = LoadProfile(
+            duration=2.0, qps=10.0, seed=0,
+            mix={"get_floorplan": 1.0, "locate": 0.0, "route": 0.0},
+        )
+        from repro.backend.telemetry import TelemetryRegistry
+        from repro.serving.router import EventLoop, RequestRouter
+
+        loop = EventLoop()
+        router = RequestRouter(
+            manager, config=config, loop=loop,
+            telemetry=TelemetryRegistry(), execute="real",
+        )
+        outcome = router.submit(
+            Request(
+                request_id=0, kind="get_floorplan",
+                shard_key=manager.keys()[0], arrival=0.0,
+            )
+        )
+        loop.run()
+        assert outcome.result is not None
+        assert outcome.result["version"] == snapshot_version(outcome)
+        assert outcome.result["building"] == "Lab1"
+
+    def test_execute_real_full_mix_with_payload_factory(
+        self, manager, small_dataset
+    ):
+        """Every admitted locate/route runs its real handler end to end."""
+        frames = [
+            f for s in small_dataset.sws_sessions() for f in s.frames[::5]
+        ]
+        key = manager.keys()[0]
+        rooms = manager.get(key).current().summary()["rooms"]
+
+        def payload_for(kind, shard_key, rng):
+            if kind == "locate":
+                return LocateQuery(frame=frames[int(rng.integers(len(frames)))])
+            if kind == "route":
+                return RouteQuery(
+                    start=_skeleton_start(manager.get(shard_key).current()),
+                    room_name=rooms[int(rng.integers(len(rooms)))],
+                )
+            return None
+
+        report = run_serving_simulation(
+            manager, ServingConfig(seed=0),
+            LoadProfile(duration=3.0, qps=8.0, seed=0),
+            execute="real", payload_for=payload_for,
+        )
+        assert report["requests"]["admitted"] > 0
+        assert report["requests"]["completed"] == report["requests"]["admitted"]
+
+    def test_refresh_mid_traffic_serves_two_versions(
+        self, small_dataset, serving_config
+    ):
+        """The versioned-serving story end to end: v2 publishes live."""
+        sessions = [
+            s for s in small_dataset.sessions if s.task in ("SWS", "SRS")
+        ]
+        manager = ShardManager(config=serving_config, n_replicas=2)
+        for session in sessions[:-1]:
+            manager.ingest_session(session)
+        manager.refresh_all(now=0.0)
+        scheduler = SimulatedScheduler()
+        manager.attach_refresh_job(scheduler, interval=2.0)
+        config = ServingConfig(seed=0)
+        profile = LoadProfile(duration=20.0, qps=40.0, seed=0)
+        report = run_serving_simulation(
+            manager, config, profile,
+            scheduler=scheduler, scheduler_tick=1.0,
+            extra_events=[
+                (10.0, lambda: manager.ingest_session(sessions[-1]))
+            ],
+        )
+        assert set(report["versions_served"]) == {"1", "2"}
+        assert report["versions_served"]["1"] > 0
+        assert report["versions_served"]["2"] > 0
+        shard = manager.shards()[0]
+        assert shard.current().version == 2
+        # Both replicas converged to the same published snapshot object.
+        assert shard.replicas[0].current() is shard.replicas[1].current()
+
+
+def snapshot_version(outcome):
+    return outcome.version
+
+
+def _skeleton_start(snapshot):
+    sk = snapshot.result.skeleton
+    rows, cols = np.nonzero(sk.skeleton)
+    return Point(
+        sk.bounds.min_x + (cols[0] + 0.5) * sk.cell_size,
+        sk.bounds.min_y + (rows[0] + 0.5) * sk.cell_size,
+    )

@@ -1,0 +1,259 @@
+"""Tests for the virtual-clock event loop and the request router."""
+
+import pytest
+
+from repro.backend.telemetry import TelemetryRegistry
+from repro.serving.router import (
+    EventLoop,
+    Request,
+    RequestRouter,
+    ServingConfig,
+)
+from repro.serving.shards import ShardKey, ShardManager
+
+KEY = ShardKey("Lab1", 1)
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(2.0, lambda: fired.append("late"))
+        loop.schedule(1.0, lambda: fired.append("early"))
+        loop.run()
+        assert fired == ["early", "late"]
+        assert loop.now == 2.0
+
+    def test_ties_fire_in_schedule_order(self):
+        loop = EventLoop()
+        fired = []
+        for tag in ("a", "b", "c"):
+            loop.schedule(1.0, lambda t=tag: fired.append(t))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_cancel_suppresses_event(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule(1.0, lambda: fired.append("no"))
+        loop.schedule(2.0, lambda: fired.append("yes"))
+        loop.cancel(handle)
+        loop.run()
+        assert fired == ["yes"]
+
+    def test_run_until_stops_at_deadline(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(5.0, lambda: fired.append(5))
+        assert loop.run_until(2.0) == 1
+        assert fired == [1]
+        assert loop.now == 2.0
+        loop.run()
+        assert fired == [1, 5]
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain():
+            fired.append(loop.now)
+            if len(fired) < 3:
+                loop.schedule(1.0, chain)
+
+        loop.schedule(1.0, chain)
+        loop.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().schedule(-0.1, lambda: None)
+
+
+def make_router(n_replicas=2, telemetry=None, **overrides):
+    """A router over one stub shard (no reconstruction needed)."""
+    manager = ShardManager(n_replicas=n_replicas)
+    manager.shard_for(*KEY).publish_stub(0.0)
+    defaults = dict(jitter_sigma=0.0, slow_prob=0.0, replica_speed_spread=0.0)
+    defaults.update(overrides)
+    config = ServingConfig(**defaults)
+    router = RequestRouter(
+        manager, config=config, telemetry=telemetry or TelemetryRegistry()
+    )
+    return router
+
+
+def req(request_id, kind="get_floorplan", key=KEY, arrival=0.0):
+    return Request(request_id=request_id, kind=kind, shard_key=key, arrival=arrival)
+
+
+class TestAdmission:
+    def test_unknown_shard_sheds_no_snapshot(self):
+        router = make_router()
+        outcome = router.submit(req(0, key=ShardKey("Nowhere", 9)))
+        assert not outcome.admitted
+        assert outcome.shed_reason == "no_snapshot"
+
+    def test_unpublished_shard_sheds_no_snapshot(self):
+        router = make_router()
+        router.manager.shard_for("Lab2", 1)  # exists but never published
+        outcome = router.submit(req(0, key=ShardKey("Lab2", 1)))
+        assert outcome.shed_reason == "no_snapshot"
+
+    def test_full_queue_sheds_overload(self):
+        router = make_router(n_replicas=1, queue_capacity=3)
+        outcomes = [router.submit(req(i)) for i in range(10)]
+        admitted = [o for o in outcomes if o.admitted]
+        shed = [o for o in outcomes if not o.admitted]
+        # 1 dispatched immediately + 3 queued; the rest shed.
+        assert len(admitted) == 4
+        assert len(shed) == 6
+        assert {o.shed_reason for o in shed} == {"overload"}
+
+    def test_shed_telemetry_counts_reasons(self):
+        telemetry = TelemetryRegistry()
+        router = make_router(n_replicas=1, queue_capacity=1, telemetry=telemetry)
+        for i in range(5):
+            router.submit(req(i))
+        assert telemetry.value("serving_requests_total") == 5
+        assert telemetry.value("serving_requests_shed_overload") == 3
+        assert telemetry.value("serving_requests_admitted") == 2
+
+
+class TestDispatch:
+    def test_fifo_latencies_on_single_replica(self):
+        router = make_router(
+            n_replicas=1,
+            queue_capacity=8,
+            service_time_base={"get_floorplan": 0.1, "locate": 1.0, "route": 1.0},
+            hedge_delay=100.0,
+        )
+        outcomes = [router.submit(req(i)) for i in range(4)]
+        router.loop.run()
+        latencies = [round(o.latency, 6) for o in outcomes]
+        assert latencies == [0.1, 0.2, 0.3, 0.4]
+
+    def test_two_replicas_halve_the_backlog(self):
+        router = make_router(
+            n_replicas=2,
+            queue_capacity=8,
+            service_time_base={"get_floorplan": 0.1, "locate": 1.0, "route": 1.0},
+            hedge_delay=100.0,
+        )
+        outcomes = [router.submit(req(i)) for i in range(4)]
+        router.loop.run()
+        latencies = sorted(round(o.latency, 6) for o in outcomes)
+        assert latencies == [0.1, 0.1, 0.2, 0.2]
+
+    def test_completion_frees_capacity_for_queued_work(self):
+        router = make_router(n_replicas=1, queue_capacity=2)
+        outcomes = [router.submit(req(i)) for i in range(3)]
+        router.loop.run()
+        assert all(o.latency is not None for o in outcomes)
+
+    def test_requests_record_served_version(self):
+        router = make_router()
+        outcome = router.submit(req(0))
+        router.loop.run()
+        assert outcome.version == 1
+
+    def test_version_pinned_at_dispatch_not_completion(self):
+        router = make_router(
+            n_replicas=1,
+            service_time_base={"get_floorplan": 1.0, "locate": 1.0, "route": 1.0},
+            hedge_delay=100.0,
+        )
+        outcome = router.submit(req(0))
+        shard = router.manager.get(KEY)
+        # Publish v2 while the request is still being served from v1.
+        router.loop.schedule(0.5, lambda: shard.publish_stub(router.loop.now))
+        router.loop.run()
+        assert outcome.version == 1
+        assert shard.current().version == 2
+
+
+class _ScriptedRouter(RequestRouter):
+    """Service times come from a script: one value per attempt started."""
+
+    def __init__(self, *args, script=(), **kwargs):
+        super().__init__(*args, **kwargs)
+        self._script = list(script)
+
+    def _service_time(self, kind, replica):
+        return self._script.pop(0)
+
+
+def make_scripted(script, n_replicas=2, hedge_delay=0.2):
+    manager = ShardManager(n_replicas=n_replicas)
+    manager.shard_for(*KEY).publish_stub(0.0)
+    config = ServingConfig(
+        jitter_sigma=0.0, slow_prob=0.0, replica_speed_spread=0.0,
+        hedge_delay=hedge_delay,
+    )
+    return _ScriptedRouter(
+        manager, config=config, telemetry=TelemetryRegistry(), script=script
+    )
+
+
+class TestHedging:
+    def test_hedge_beats_straggling_primary(self):
+        # Primary would take 2.0s; the hedge (launched at 0.2) takes 0.1s.
+        router = make_scripted([2.0, 0.1])
+        outcome = router.submit(req(0))
+        router.loop.run()
+        assert outcome.hedged and outcome.hedge_won
+        assert outcome.latency == pytest.approx(0.3)
+        assert outcome.replica == 1
+        assert router.telemetry.value("serving_hedges") == 1
+        # The abandoned primary still burned its replica until t=2.0.
+        assert router.telemetry.value("serving_hedges_wasted") == 1
+
+    def test_fast_primary_cancels_hedge_timer(self):
+        router = make_scripted([0.05])
+        outcome = router.submit(req(0))
+        router.loop.run()
+        assert not outcome.hedged
+        assert outcome.latency == pytest.approx(0.05)
+        assert router.telemetry.value("serving_hedges") == 0
+
+    def test_slow_hedge_loses_to_primary(self):
+        # Hedge fires at 0.2 but takes 1.0s; primary finishes first at 0.5.
+        router = make_scripted([0.5, 1.0])
+        outcome = router.submit(req(0))
+        router.loop.run()
+        assert outcome.hedged and not outcome.hedge_won
+        assert outcome.replica == 0
+        assert outcome.latency == pytest.approx(0.5)
+
+    def test_no_idle_replica_skips_hedge(self):
+        router = make_scripted([2.0, 2.0], n_replicas=2)
+        a = router.submit(req(0))
+        b = router.submit(req(1))
+        router.loop.run()
+        assert not a.hedged and not b.hedged
+        assert router.telemetry.value("serving_hedges_skipped") == 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcomes(self):
+        def run():
+            router = make_router(
+                jitter_sigma=0.3, slow_prob=0.1, replica_speed_spread=0.1, seed=5
+            )
+            outcomes = [
+                router.submit(req(i, kind=("locate" if i % 3 else "route")))
+                for i in range(40)
+            ]
+            router.loop.run()
+            return [
+                (o.request.request_id, o.admitted, o.shed_reason,
+                 o.latency, o.replica, o.hedged)
+                for o in outcomes
+            ]
+
+        assert run() == run()
+
+    def test_execute_mode_validated(self):
+        manager = ShardManager()
+        with pytest.raises(ValueError):
+            RequestRouter(manager, execute="live")

@@ -1,0 +1,91 @@
+"""Tests for versioned copy-on-publish snapshots."""
+
+import pytest
+
+from repro.serving.shards import ShardKey
+from repro.serving.snapshot import MapSnapshot, VersionedSnapshotStore
+
+KEY = ShardKey("Lab1", 1)
+
+
+def stub(version, published_at=0.0):
+    return MapSnapshot(
+        version=version, shard_key=KEY, result=None, published_at=published_at
+    )
+
+
+class TestVersionedSnapshotStore:
+    def test_empty_store_has_no_current(self):
+        assert VersionedSnapshotStore(KEY).current() is None
+
+    def test_publish_assigns_sequential_versions(self):
+        store = VersionedSnapshotStore(KEY)
+        first = store.publish(None, now=1.0)
+        second = store.publish(None, now=2.0)
+        assert (first.version, second.version) == (1, 2)
+        assert store.current() is second
+
+    def test_reader_pinned_to_old_version_is_untouched(self):
+        """The no-torn-reads contract: publish swaps, never mutates."""
+        store = VersionedSnapshotStore(KEY)
+        v1 = store.publish(None, now=1.0)
+        reader_view = store.current()
+        v2 = store.publish(None, now=2.0)
+        assert reader_view is v1
+        assert reader_view.version == 1
+        assert store.current() is v2
+
+    def test_retention_evicts_oldest(self):
+        store = VersionedSnapshotStore(KEY, retain=2)
+        store.publish(None, now=1.0)
+        store.publish(None, now=2.0)
+        store.publish(None, now=3.0)
+        assert store.get(1) is None
+        assert store.get(2) is not None
+        assert store.get(3) is store.current()
+        assert store.history() == [(2, 2.0), (3, 3.0)]
+
+    def test_install_shares_externally_built_snapshot(self):
+        store_a = VersionedSnapshotStore(KEY)
+        store_b = VersionedSnapshotStore(KEY)
+        snapshot = stub(1, published_at=5.0)
+        store_a.install(snapshot)
+        store_b.install(snapshot)
+        assert store_a.current() is snapshot
+        assert store_b.current() is snapshot
+
+    def test_install_rejects_non_monotonic_version(self):
+        store = VersionedSnapshotStore(KEY)
+        store.install(stub(3))
+        with pytest.raises(ValueError):
+            store.install(stub(3))
+        with pytest.raises(ValueError):
+            store.install(stub(2))
+
+    def test_publish_continues_after_install(self):
+        store = VersionedSnapshotStore(KEY)
+        store.install(stub(7))
+        assert store.publish(None, now=1.0).version == 8
+
+    def test_retain_must_be_positive(self):
+        with pytest.raises(ValueError):
+            VersionedSnapshotStore(KEY, retain=0)
+
+
+class TestMapSnapshotStub:
+    def test_stub_flags_and_summary(self):
+        snapshot = stub(2, published_at=4.5)
+        assert snapshot.is_stub
+        summary = snapshot.summary()
+        assert summary["version"] == 2
+        assert summary["building"] == "Lab1"
+        assert summary["floor"] == 1
+        assert summary["stub"] is True
+        assert "rooms" not in summary
+
+    def test_stub_refuses_query_indexes(self):
+        snapshot = stub(1)
+        with pytest.raises(ValueError):
+            snapshot.localizer()
+        with pytest.raises(ValueError):
+            snapshot.navigator()
