@@ -1,0 +1,103 @@
+"""Frame-batch planning: group same-shape frames for batched kernels.
+
+The vision kernels carry batch axes (``hog_descriptor_stack``,
+``integral_image_stack``, ``surf_detect_batch``) that amortize numpy
+dispatch overhead across frames — but they require every frame in a
+batch to share one shape, and crowdsourced uploads mix resolutions
+freely. The planner closes that gap: given the shapes of a frame
+sequence it emits :class:`FrameBatch` groups of same-shape frames,
+capped at a configurable batch size so the stacked working set stays
+inside the cache hierarchy, with the original indices preserved so
+results scatter back into sequence order.
+
+Plans are deterministic: groups are keyed by first appearance and each
+group's indices stay in input order, so batched execution visits frames
+in a reproducible order regardless of how shapes interleave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.backend.telemetry import TelemetryRegistry, default_registry
+
+#: Default frames per batch; chosen so a batch of video-resolution
+#: float64 grayscale frames stays within a few tens of megabytes.
+DEFAULT_BATCH_SIZE = 16
+
+
+@dataclass(frozen=True)
+class FrameBatch:
+    """One batch of same-shape frames: which inputs, and their shape."""
+
+    indices: Tuple[int, ...]
+    shape: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+def plan_batches(
+    shapes: Sequence[Tuple[int, ...]],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    telemetry: Optional[TelemetryRegistry] = None,
+) -> List[FrameBatch]:
+    """Group frame indices by shape into batches of at most ``batch_size``.
+
+    ``shapes[i]`` is the array shape of frame ``i``. Batches preserve the
+    input order within each shape group, and groups are emitted in order
+    of first appearance; the concatenation of all batch indices is a
+    permutation of ``range(len(shapes))``.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    groups: Dict[Tuple[int, ...], List[int]] = {}
+    for index, shape in enumerate(shapes):
+        groups.setdefault(tuple(shape), []).append(index)
+    batches: List[FrameBatch] = []
+    for shape, indices in groups.items():
+        for start in range(0, len(indices), batch_size):
+            batches.append(
+                FrameBatch(
+                    indices=tuple(indices[start : start + batch_size]),
+                    shape=shape,
+                )
+            )
+    registry = telemetry or default_registry
+    registry.counter(
+        "batch_plans", "frame-batch plans computed"
+    ).inc()
+    registry.counter(
+        "batch_groups", "same-shape frame batches emitted"
+    ).inc(float(len(batches)))
+    registry.counter(
+        "batch_frames", "frames routed through batched kernels"
+    ).inc(float(len(shapes)))
+    registry.counter(
+        "batch_singleton_frames",
+        "frames that ended up alone in their batch (no batching win)",
+    ).inc(float(sum(1 for b in batches if len(b) == 1)))
+    return batches
+
+
+def scatter_results(
+    batches: Sequence[FrameBatch],
+    per_batch_results: Sequence[Sequence],
+    n_items: int,
+) -> list:
+    """Reassemble per-batch result lists into input order.
+
+    ``per_batch_results[k]`` must hold one result per index of
+    ``batches[k]``, in the same order.
+    """
+    out: list = [None] * n_items
+    for batch, results in zip(batches, per_batch_results):
+        if len(results) != len(batch.indices):
+            raise ValueError(
+                f"batch produced {len(results)} results for "
+                f"{len(batch.indices)} inputs"
+            )
+        for index, result in zip(batch.indices, results):
+            out[index] = result
+    return out

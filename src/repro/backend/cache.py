@@ -56,14 +56,20 @@ def array_digest(arr: np.ndarray) -> str:
     SHA-1, not a fancier hash: this is content addressing, not a
     security boundary, and on current CPUs (SHA extensions) it digests a
     frame in less than half blake2b's time — the digest is on the
-    per-frame hot path. The array is fed to the hash through the buffer
-    protocol, so a contiguous array is hashed without copying.
+    per-frame hot path. C-contiguous arrays — including read-only
+    shared-memory views — are fed to the hash as a flat ``memoryview``
+    of their existing buffer, so the digest is zero-copy; only
+    non-contiguous inputs (slices, Fortran-order arrays) pay one
+    contiguous copy first. The digest depends on dtype, shape and
+    element order alone, so a strided view and its contiguous copy — or
+    an array and its shared-memory twin — always hash identically.
     """
-    contiguous = np.ascontiguousarray(arr)
+    if not arr.flags.c_contiguous:
+        arr = np.ascontiguousarray(arr)
     h = hashlib.sha1()
-    h.update(str(contiguous.dtype).encode())
-    h.update(repr(contiguous.shape).encode())
-    h.update(contiguous)
+    h.update(str(arr.dtype).encode())
+    h.update(repr(arr.shape).encode())
+    h.update(memoryview(arr).cast("B"))
     return h.hexdigest()
 
 

@@ -1,0 +1,538 @@
+"""Zero-copy shared-memory frame arena for the process worker backend.
+
+The paper's Spark cluster keeps frame data on the executors; our process
+backend instead round-tripped every frame through pickle — ~190 MB of
+pixel bytes per quick-profile pipeline run serialized into the executor
+queue and parsed back on the other side. This module removes that copy:
+
+- :class:`ShmArena` owns a set of ``multiprocessing.shared_memory``
+  segments and copies large arrays into them **once**, returning
+  :class:`ShmArray` views;
+- :class:`ShmArray` is an ``ndarray`` subclass whose ``__reduce__``
+  pickles as a tiny :class:`ShmHandle` (segment name + offset + dtype +
+  shape) instead of the array bytes, so any object graph containing one
+  — frames, sessions, key-frames — crosses the process boundary at
+  handle cost with **no call-site changes**;
+- workers rebuild handles into read-only views of the same physical
+  pages (attaching each segment at most once per process); in the
+  parent, a rebuilt handle short-circuits to the original array.
+
+Lifecycle is lease-counted and crash-safe:
+
+- every live view of a segment holds a *lease* (dropped by a
+  ``weakref.finalize`` when the view is garbage collected);
+- :meth:`ShmArena.close` unlinks every segment name immediately — the
+  kernel frees the pages when the last mapping dies — and closes the
+  local mapping as soon as its lease count reaches zero;
+- the creating process keeps the stdlib ``resource_tracker``
+  registration, so segments are reclaimed even if the process is
+  SIGKILLed before ``close``; *attaching* processes suppress the
+  tracker's (unconditional) re-registration to avoid double-unlink
+  races;
+- :func:`sweep_orphans` removes leftover ``/dev/shm`` entries by name
+  prefix — the belt-and-braces path for worker crashes — and
+  :func:`audit_dev_shm` lets tests assert that nothing leaked.
+
+When shared memory is unavailable (``CROWDMAP_SHM=off``, or a platform
+without it) the arena degrades transparently: :meth:`ShmArena.share`
+returns its input unchanged and the worker backend falls back to plain
+pickle transport with identical results.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import copy
+import dataclasses
+import os
+import secrets
+import threading
+import weakref
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.backend.telemetry import default_registry
+
+#: ``CROWDMAP_SHM`` values: "auto" probes the platform, "on"/"off" force.
+SHM_MODES = ("auto", "on", "off")
+
+#: Arrays below this many bytes ride the normal pickle path — a handle
+#: round-trip (plus segment bookkeeping) costs more than pickling them.
+DEFAULT_MIN_BYTES = 65536
+
+#: Default size of a freshly created segment; large arrays get a segment
+#: sized to fit. Big segments amortize the per-segment syscall + tracker
+#: cost over many frames.
+DEFAULT_SEGMENT_BYTES = 32 * 1024 * 1024
+
+#: Alignment of arrays inside a segment (cache-line friendly).
+_ALIGN = 128
+
+_DEV_SHM = "/dev/shm"
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """Picklable reference to an array stored in a shared-memory segment."""
+
+    segment: str
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+class _Segment:
+    """Per-process bookkeeping for one mapped segment."""
+
+    __slots__ = ("mem", "leases", "owner", "closing")
+
+    def __init__(self, mem, owner: bool):
+        self.mem = mem
+        self.leases = 0
+        self.owner = owner
+        self.closing = False
+
+
+#: name -> _Segment for every segment this process has created or attached.
+_SEGMENTS: Dict[str, _Segment] = {}
+#: (segment, offset) -> original array, so rebuilding a handle in the
+#: process that shared it returns the original without touching the copy.
+_LOCAL_ORIGINALS: Dict[Tuple[str, int], np.ndarray] = {}
+_REGISTRY_LOCK = threading.RLock()
+
+#: Live arenas, closed by the atexit hook on interpreter shutdown.
+_LIVE_ARENAS: "weakref.WeakSet[ShmArena]" = weakref.WeakSet()
+
+#: Types that cannot contain an ndarray — the share walker skips them
+#: without memo bookkeeping (session graphs are mostly float scalars).
+_ATOMIC_TYPES = (type(None), bool, int, float, complex, str, bytes)
+
+#: type -> tuple of dataclass fields, or None for non-dataclasses.
+#: ``dataclasses.fields`` rebuilds its tuple per call; the walker visits
+#: thousands of identical trajectory-point instances per share.
+_FIELDS_BY_TYPE: Dict[type, Optional[Tuple[Any, ...]]] = {}
+_FIELDS_UNKNOWN = object()
+
+
+@contextlib.contextmanager
+def _suppressed_tracker():
+    """Temporarily no-op ``resource_tracker.register``.
+
+    ``SharedMemory.__init__`` registers the segment with the resource
+    tracker on *attach* as well as on create (CPython 3.8-3.12). The
+    creating process's registration is the crash-safety net we want; a
+    second registration from an attaching process would make the tracker
+    attempt a second unlink at shutdown and warn about it.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda name, rtype: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+def _shm_module():
+    from multiprocessing import shared_memory
+
+    return shared_memory
+
+
+_available: Optional[bool] = None
+
+
+def shm_available() -> bool:
+    """Whether this platform supports POSIX shared memory (probed once)."""
+    global _available
+    if _available is None:
+        try:
+            shared_memory = _shm_module()
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+            _available = True
+        except Exception:  # noqa: BLE001  # crowdlint: allow[CM003] any failure to create a probe segment means "fall back to pickle", whatever its type
+            _available = False
+    return _available
+
+
+def shm_enabled(override: Optional[bool] = None) -> bool:
+    """Resolve the ``CROWDMAP_SHM`` gate (+ availability probe)."""
+    if override is not None:
+        return override and shm_available()
+    mode = os.environ.get("CROWDMAP_SHM", "auto").strip().lower() or "auto"
+    if mode not in SHM_MODES:
+        raise ValueError(f"CROWDMAP_SHM must be one of {SHM_MODES}, got {mode!r}")
+    if mode == "off":
+        return False
+    return shm_available()
+
+
+def _release_lease(name: str) -> None:
+    """Finalizer for one array view: drop its lease, close if last out."""
+    with _REGISTRY_LOCK:
+        entry = _SEGMENTS.get(name)
+        if entry is None:
+            return
+        entry.leases -= 1
+        if entry.leases <= 0 and entry.closing:
+            try:
+                entry.mem.close()
+            except OSError:
+                pass
+            del _SEGMENTS[name]
+
+
+class ShmArray(np.ndarray):
+    """ndarray view backed by a shared-memory segment.
+
+    Carries the :class:`ShmHandle` it was built from (or that its arena
+    assigned), and pickles as that handle. Any *derived* array — a slice,
+    a transpose, the result of an ufunc — is an ordinary array again
+    (``__array_finalize__`` clears the handle): only the exact shared
+    buffer may ship by reference, anything else must ship by value.
+    """
+
+    crowdmap_handle: Optional[ShmHandle]
+
+    def __array_finalize__(self, obj) -> None:
+        # Never inherit: a view with a stale handle would rebuild as the
+        # *full* original array on the far side — silent corruption.
+        self.crowdmap_handle = None
+
+    def __reduce__(self):
+        handle = getattr(self, "crowdmap_handle", None)
+        if handle is not None:
+            with _REGISTRY_LOCK:
+                entry = _SEGMENTS.get(handle.segment)
+                # A closing segment is already unlinked: this process can
+                # still read it, but a receiver could no longer attach.
+                alive = entry is not None and not entry.closing
+            if alive:
+                default_registry.counter(
+                    "shm_bytes_copy_avoided",
+                    "array bytes that crossed a process boundary as a handle",
+                ).inc(float(handle.nbytes))
+                return (_rebuild_shm_array, (handle,))
+        # Segment gone (arena closed) or handle never set: fall back to
+        # the regular by-value ndarray pickle.
+        return super().__reduce__()
+
+
+def _wrap_view(
+    buffer, handle: ShmHandle, writeable: bool = False
+) -> ShmArray:
+    arr = np.ndarray(
+        handle.shape, dtype=np.dtype(handle.dtype),
+        buffer=buffer, offset=handle.offset,
+    ).view(ShmArray)
+    arr.flags.writeable = writeable
+    arr.crowdmap_handle = handle
+    return arr
+
+
+def _rebuild_shm_array(handle: ShmHandle) -> np.ndarray:
+    """Resolve a handle to an array in this process.
+
+    Resolution order: the original array (if this process shared it —
+    includes fork children, which inherit the registry), an
+    already-mapped segment, a fresh attach. Each live view holds one
+    lease on its segment.
+    """
+    key = (handle.segment, handle.offset)
+    with _REGISTRY_LOCK:
+        original = _LOCAL_ORIGINALS.get(key)
+        if original is not None:
+            return original
+        entry = _SEGMENTS.get(handle.segment)
+        if entry is None:
+            shared_memory = _shm_module()
+            with _suppressed_tracker():
+                mem = shared_memory.SharedMemory(name=handle.segment)
+            entry = _Segment(mem, owner=False)
+            _SEGMENTS[handle.segment] = entry
+            default_registry.counter(
+                "shm_segments_attached",
+                "segments mapped by a non-creating process",
+            ).inc()
+        view = _wrap_view(entry.mem.buf, handle)
+        entry.leases += 1
+    weakref.finalize(view, _release_lease, handle.segment)
+    default_registry.counter(
+        "shm_handles_rebuilt", "handles resolved back into array views"
+    ).inc()
+    return view
+
+
+class ShmArena:
+    """Bump allocator over named shared-memory segments.
+
+    One arena per parallel stage: the parent shares the stage's inputs
+    into it, runs the pool, and closes it — :meth:`close` unlinks every
+    segment so nothing outlives the stage in ``/dev/shm``, while leases
+    keep already-built views (e.g. arrays inside returned results) valid
+    until they are garbage collected.
+    """
+
+    def __init__(
+        self,
+        prefix: Optional[str] = None,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        min_bytes: int = DEFAULT_MIN_BYTES,
+        enabled: Optional[bool] = None,
+    ):
+        if segment_bytes < _ALIGN:
+            raise ValueError("segment_bytes too small")
+        self.prefix = prefix or f"cmshm{os.getpid():x}x{secrets.token_hex(4)}"
+        self.segment_bytes = segment_bytes
+        self.min_bytes = min_bytes
+        self.enabled = shm_enabled(enabled)
+        self._names: List[str] = []
+        self._current: Optional[_Segment] = None
+        self._current_name = ""
+        self._cursor = 0
+        self._capacity = 0
+        self._seq = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        if self.enabled:
+            _LIVE_ARENAS.add(self)
+
+    # -- allocation ----------------------------------------------------
+
+    def _new_segment(self, min_size: int) -> None:
+        shared_memory = _shm_module()
+        size = max(self.segment_bytes, min_size)
+        name = f"{self.prefix}n{self._seq}"
+        self._seq += 1
+        # Registration (create side) is deliberately kept: it is the
+        # crash-safety net that reclaims the segment if this process dies
+        # before close() runs.
+        mem = shared_memory.SharedMemory(name=name, create=True, size=size)
+        entry = _Segment(mem, owner=True)
+        with _REGISTRY_LOCK:
+            _SEGMENTS[name] = entry
+        self._names.append(name)
+        self._current = entry
+        self._current_name = name
+        self._cursor = 0
+        self._capacity = mem.size  # may be rounded up by the kernel
+        default_registry.counter(
+            "shm_segments_created", "arena segments created"
+        ).inc()
+        default_registry.counter(
+            "shm_segment_bytes_reserved", "total bytes of created segments"
+        ).inc(float(size))
+
+    def share_array(self, arr: np.ndarray) -> np.ndarray:
+        """Copy ``arr`` into the arena once; return a handle-carrying view.
+
+        Pass-through cases: arenas disabled, arrays below ``min_bytes``,
+        and arrays that already carry a live handle (already shared).
+        """
+        if not self.enabled or self._closed:
+            return arr
+        if getattr(arr, "crowdmap_handle", None) is not None:
+            return arr
+        nbytes = arr.nbytes
+        if nbytes < self.min_bytes:
+            return arr
+        with self._lock:
+            if self._current is None or self._cursor + nbytes > self._capacity:
+                self._new_segment(nbytes)
+            assert self._current is not None
+            offset = self._cursor
+            self._cursor += -(-nbytes // _ALIGN) * _ALIGN  # round up
+            entry = self._current
+            name = self._current_name
+        handle = ShmHandle(
+            segment=name, offset=offset,
+            shape=tuple(arr.shape), dtype=arr.dtype.str,
+        )
+        dest = np.ndarray(
+            handle.shape, dtype=arr.dtype, buffer=entry.mem.buf, offset=offset
+        )
+        np.copyto(dest, arr)
+        view = _wrap_view(entry.mem.buf, handle)
+        with _REGISTRY_LOCK:
+            entry.leases += 1
+            _LOCAL_ORIGINALS[(name, offset)] = np.asarray(arr)
+        weakref.finalize(view, _release_lease, name)
+        default_registry.counter(
+            "shm_arrays_shared", "arrays copied into an arena"
+        ).inc()
+        default_registry.counter(
+            "shm_bytes_shared", "array bytes copied into arenas"
+        ).inc(float(nbytes))
+        return view
+
+    def share(self, obj: Any, _memo: Optional[Dict[int, Any]] = None) -> Any:
+        """Recursively replace large arrays in ``obj`` with arena views.
+
+        Walks lists, tuples, dicts and dataclass instances (the shapes
+        session/frame containers actually take); anything else is left
+        untouched. Shared sub-objects and cycles are preserved via an
+        id-memo. Containers are only rebuilt when something inside them
+        actually changed, so a disabled arena returns ``obj`` itself.
+        """
+        if not self.enabled or self._closed:
+            return obj
+        if isinstance(obj, _ATOMIC_TYPES):
+            return obj
+        if _memo is None:
+            _memo = {}
+        oid = id(obj)
+        if oid in _memo:
+            return _memo[oid]
+        if isinstance(obj, np.ndarray):
+            shared = self.share_array(obj)
+            _memo[oid] = shared
+            return shared
+        if isinstance(obj, list):
+            walked = [self.share(item, _memo) for item in obj]
+            out = walked if any(a is not b for a, b in zip(walked, obj)) else obj
+            _memo[oid] = out
+            return out
+        if isinstance(obj, tuple):
+            walked_t = tuple(self.share(item, _memo) for item in obj)
+            out = walked_t if any(a is not b for a, b in zip(walked_t, obj)) else obj
+            _memo[oid] = out
+            return out
+        if isinstance(obj, dict):
+            walked_d = {k: self.share(v, _memo) for k, v in obj.items()}
+            changed = any(walked_d[k] is not v for k, v in obj.items())
+            out = walked_d if changed else obj
+            _memo[oid] = out
+            return out
+        cls = type(obj)
+        fields = _FIELDS_BY_TYPE.get(cls, _FIELDS_UNKNOWN)
+        if fields is _FIELDS_UNKNOWN:
+            fields = (
+                tuple(dataclasses.fields(obj))
+                if dataclasses.is_dataclass(obj) and not isinstance(obj, type)
+                else None
+            )
+            _FIELDS_BY_TYPE[cls] = fields
+        if fields is not None:
+            _memo[oid] = obj  # provisional (cycle guard)
+            replacements = {}
+            for f in fields:
+                value = getattr(obj, f.name, None)
+                walked_v = self.share(value, _memo)
+                if walked_v is not value:
+                    replacements[f.name] = walked_v
+            if not replacements:
+                return obj
+            clone = copy.copy(obj)
+            for field_name, value in replacements.items():
+                object.__setattr__(clone, field_name, value)
+            _memo[oid] = clone
+            return clone
+        _memo[oid] = obj
+        return obj
+
+    # -- lifecycle -----------------------------------------------------
+
+    def active_segments(self) -> List[str]:
+        """Names of this arena's segments still mapped in this process."""
+        with _REGISTRY_LOCK:
+            return [name for name in self._names if name in _SEGMENTS]
+
+    def close(self) -> None:
+        """Unlink every segment; close mappings as their leases drain.
+
+        Idempotent. After close, pickling a view of this arena falls back
+        to by-value (the handle no longer resolves for new attachers),
+        and existing views stay readable until garbage collected.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._current = None
+        with _REGISTRY_LOCK:
+            for name in self._names:
+                entry = _SEGMENTS.get(name)
+                if entry is None:
+                    continue
+                try:
+                    entry.mem.unlink()
+                    default_registry.counter(
+                        "shm_segments_unlinked", "segments unlinked at arena close"
+                    ).inc()
+                except (FileNotFoundError, OSError):
+                    pass
+                if entry.leases <= 0:
+                    try:
+                        entry.mem.close()
+                    except OSError:
+                        pass
+                    del _SEGMENTS[name]
+                else:
+                    entry.closing = True
+            stale = [key for key in _LOCAL_ORIGINALS if key[0] in set(self._names)]
+            for key in stale:
+                del _LOCAL_ORIGINALS[key]
+        sweep_orphans(self.prefix)
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def audit_dev_shm(prefix: str = "cmshm") -> List[str]:
+    """``/dev/shm`` entries matching ``prefix`` (leak detection for tests)."""
+    try:
+        entries = os.listdir(_DEV_SHM)
+    except OSError:
+        return []
+    return sorted(e for e in entries if e.startswith(prefix))
+
+
+def sweep_orphans(prefix: str) -> int:
+    """Unlink stray ``/dev/shm`` segments left by crashed processes.
+
+    Only touches names under ``prefix`` (arena prefixes embed the
+    creating pid plus a random token, so one arena's sweep cannot reap
+    another's live segments). Returns the number of entries removed.
+    """
+    removed = 0
+    for name in audit_dev_shm(prefix):
+        with _REGISTRY_LOCK:
+            if name in _SEGMENTS:
+                continue  # still mapped here: not an orphan
+        try:
+            os.unlink(os.path.join(_DEV_SHM, name))
+            removed += 1
+        except OSError:
+            continue
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(f"/{name}", "shared_memory")
+        except Exception:  # noqa: BLE001  # crowdlint: allow[CM003] the tracker may not know this orphan; best-effort dedup of its shutdown pass
+            pass
+    if removed:
+        default_registry.counter(
+            "shm_segments_swept", "orphaned segments removed by prefix sweep"
+        ).inc(removed)
+    return removed
+
+
+@atexit.register
+def _close_live_arenas() -> None:
+    for arena in list(_LIVE_ARENAS):
+        try:
+            arena.close()
+        except Exception:  # noqa: BLE001  # crowdlint: allow[CM003] interpreter teardown: cleanup must not raise past atexit
+            pass

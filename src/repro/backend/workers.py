@@ -20,6 +20,17 @@ Three map backends:
   come back as :class:`WorkerTransportError` carrying the original
   type name and message.
 
+The process backend additionally supports zero-copy **transport**
+(``transport="auto"|"shm"|"pickle"``): under ``shm`` (or ``auto`` with
+shared memory available) the items are walked through a per-call
+:class:`~repro.backend.shm.ShmArena` before submission, so every large
+array crosses the pool boundary as a segment handle instead of pickled
+bytes. The arena is closed — and its segments unlinked — before the
+call returns, win or lose. Results stream back in input order through
+an optional ``consume`` callback, which lets a caller overlap its own
+follow-up work (e.g. SURF extraction for finished sessions) with the
+chunks still executing.
+
 Failure semantics are backend-independent: a queue handler exception
 nacks the task, which the queue retries with backoff until it
 dead-letters; :func:`map_parallel` defaults to fail-fast
@@ -46,6 +57,12 @@ R = TypeVar("R")
 
 #: Valid values for the ``backend`` argument / ``worker_backend`` config.
 MAP_BACKENDS = ("serial", "thread", "process")
+
+#: Valid values for the ``transport`` argument / ``worker_transport``
+#: config. "auto" means shared memory when the platform has it, pickle
+#: otherwise; serial and thread backends have no boundary to transport
+#: across and ignore it.
+MAP_TRANSPORTS = ("auto", "shm", "pickle")
 
 #: Target chunks per worker for the process backend — enough chunks that
 #: an uneven item-cost distribution still balances, few enough that the
@@ -101,11 +118,18 @@ def _run_chunk(
     return out
 
 
+#: Per-item streaming callback: ``consume(index, ok, value)`` fires in
+#: input order as results land, while later chunks may still be running.
+ConsumeFn = Callable[[int, bool, Any], None]
+
+
 def _execute(
     function: Callable[[T], R],
     items: Sequence[T],
     max_workers: int,
     backend: str,
+    transport: str = "auto",
+    consume: Optional[ConsumeFn] = None,
 ) -> List[Tuple[bool, Any]]:
     """Run ``function`` over ``items`` on the chosen backend.
 
@@ -116,21 +140,64 @@ def _execute(
         raise ValueError(
             f"backend must be one of {MAP_BACKENDS}, got {backend!r}"
         )
+    if transport not in MAP_TRANSPORTS:
+        raise ValueError(
+            f"transport must be one of {MAP_TRANSPORTS}, got {transport!r}"
+        )
+
+    def emit(start: int, pairs: List[Tuple[bool, Any]]) -> None:
+        if consume is not None:
+            for offset, (ok, value) in enumerate(pairs):
+                consume(start + offset, ok, value)
+
     n = len(items)
     if backend == "serial" or max_workers <= 1 or n == 1:
-        return _run_chunk(function, items)
+        out: List[Tuple[bool, Any]] = []
+        for idx, item in enumerate(items):
+            pair = _run_chunk(function, (item,))
+            emit(idx, pair)
+            out.extend(pair)
+        return out
     if backend == "thread":
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            nested = pool.map(lambda item: _run_chunk(function, (item,)), items)
-            return [pair for chunk in nested for pair in chunk]
+            results: List[Tuple[bool, Any]] = []
+            for idx, chunk in enumerate(
+                pool.map(lambda item: _run_chunk(function, (item,)), items)
+            ):
+                emit(idx, chunk)
+                results.extend(chunk)
+            return results
     # Process backend: chunk to amortize pickling of the callable and of
-    # per-item overhead across the pool boundary.
-    chunk_size = max(1, math.ceil(n / (max_workers * _CHUNKS_PER_WORKER)))
-    chunks = [items[i : i + chunk_size] for i in range(0, n, chunk_size)]
-    workers = min(max_workers, len(chunks))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        nested = pool.map(_run_chunk, [function] * len(chunks), chunks)
-        return [pair for chunk in nested for pair in chunk]
+    # per-item overhead across the pool boundary. Under shm transport the
+    # items are shared into an arena first, so their large arrays cross
+    # the boundary as handles; the arena is torn down before returning,
+    # which also guarantees no segment outlives the call.
+    from repro.backend.shm import ShmArena, shm_enabled
+
+    use_shm = transport == "shm" or (transport == "auto" and shm_enabled())
+    arena: Optional[ShmArena] = None
+    send: Sequence[Any] = items
+    try:
+        if use_shm:
+            arena = ShmArena()
+            if arena.enabled:
+                with default_registry.timer("shm_share_seconds"):
+                    memo: Dict[int, Any] = {}
+                    send = [arena.share(item, memo) for item in items]
+        chunk_size = max(1, math.ceil(n / (max_workers * _CHUNKS_PER_WORKER)))
+        chunks = [send[i : i + chunk_size] for i in range(0, n, chunk_size)]
+        workers = min(max_workers, len(chunks))
+        results = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for chunk_pairs in pool.map(
+                _run_chunk, [function] * len(chunks), chunks
+            ):
+                emit(len(results), chunk_pairs)
+                results.extend(chunk_pairs)
+        return results
+    finally:
+        if arena is not None:
+            arena.close()
 
 
 def map_parallel(
@@ -140,6 +207,8 @@ def map_parallel(
     on_error: str = "raise",
     telemetry: Optional[TelemetryRegistry] = None,
     backend: str = "thread",
+    transport: str = "auto",
+    consume: Optional[ConsumeFn] = None,
 ) -> List[R]:
     """Apply ``function`` to every item in parallel, preserving order.
 
@@ -153,7 +222,11 @@ def map_parallel(
     ``backend`` selects serial, thread-pool or chunked process-pool
     execution (see module docstring); semantics are identical across
     backends, modulo process-unpicklable exceptions surfacing as
-    :class:`WorkerTransportError`.
+    :class:`WorkerTransportError`. ``transport`` picks the process-pool
+    wire format (shared-memory handles vs pickled bytes) and ``consume``
+    streams ``(index, ok, value)`` triples back in input order as they
+    complete — both are no-ops for serial/thread execution apart from
+    the streaming calls themselves.
     """
     if on_error not in ("raise", "skip"):
         raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
@@ -162,7 +235,9 @@ def map_parallel(
 
     registry = telemetry or default_registry
     results: List[R] = []
-    for ok, value in _execute(function, items, max_workers, backend):
+    for ok, value in _execute(
+        function, items, max_workers, backend, transport, consume
+    ):
         if ok:
             results.append(value)
         elif on_error == "raise":
@@ -180,21 +255,25 @@ def map_with_failures(
     items: Sequence[T],
     max_workers: int = 4,
     backend: str = "thread",
+    transport: str = "auto",
+    consume: Optional[ConsumeFn] = None,
 ) -> Tuple[List[Tuple[int, R]], List[Tuple[int, Exception]]]:
     """Like ``map_parallel(on_error="skip")`` but the failures come back.
 
     Returns ``(successes, failures)`` where each entry is paired with the
     item's original index, so callers that must *report* which items were
     quarantined (rather than silently shedding them) can reconstruct
-    both streams in input order. ``backend`` behaves as in
-    :func:`map_parallel`; quarantine semantics are preserved under all
-    three.
+    both streams in input order. ``backend``, ``transport`` and
+    ``consume`` behave as in :func:`map_parallel`; quarantine semantics
+    are preserved under all three backends and both transports.
     """
     if not items:
         return [], []
     successes: List[Tuple[int, R]] = []
     failures: List[Tuple[int, Exception]] = []
-    for idx, (ok, value) in enumerate(_execute(function, items, max_workers, backend)):
+    for idx, (ok, value) in enumerate(
+        _execute(function, items, max_workers, backend, transport, consume)
+    ):
         if ok:
             successes.append((idx, value))
         else:

@@ -154,29 +154,90 @@ def _bench_dataset(profile: str):
     return generate_crowd_dataset(build_lab1(), crowd)
 
 
+def _session_id(session) -> str:
+    """Top-level no-op worker task (picklable) for transport benchmarks."""
+    return session.session_id
+
+
 def _pipeline_benches(profile: str) -> List[Tuple[str, Callable[[], object], int]]:
     from repro.backend.cache import ResultCache, set_cache
     from repro.core.config import CrowdMapConfig
     from repro.core.pipeline import CrowdMapPipeline
+    from repro.backend.workers import map_parallel
 
-    dataset = _bench_dataset(profile)
-    config = CrowdMapConfig()
-    suffix = "full" if profile == "full" else "quick"
+    quick_dataset = _bench_dataset("quick")
 
-    def run_cold():
-        # Fresh cache: this measures the pipeline itself, not memoization.
-        set_cache(ResultCache(mode="memory"))
-        return CrowdMapPipeline(config).run(dataset)
+    def cold_runner(dataset, config):
+        def run_cold():
+            # Fresh cache: measures the pipeline itself, not memoization.
+            set_cache(ResultCache(mode="memory"))
+            return CrowdMapPipeline(config).run(dataset)
 
-    def run_warm():
-        # Deliberately *not* resetting the cache: the previous bench run
-        # populated it, so this measures an incremental re-run.
-        return CrowdMapPipeline(config).run(dataset)
+        return run_cold
 
-    return [
-        (f"pipeline_lab1_{suffix}", run_cold, 1),
-        (f"pipeline_lab1_{suffix}_cached_rerun", run_warm, 1),
+    def warm_runner(dataset, config):
+        def run_warm():
+            # Deliberately *not* resetting the cache: the previous bench
+            # run populated it, so this measures an incremental re-run.
+            return CrowdMapPipeline(config).run(dataset)
+
+        return run_warm
+
+    serial = CrowdMapConfig()
+    benches: List[Tuple[str, Callable[[], object], int]] = [
+        ("pipeline_lab1_quick", cold_runner(quick_dataset, serial), 1),
+        ("pipeline_lab1_quick_cached_rerun", warm_runner(quick_dataset, serial), 1),
+        # Same cold run fanned out over the process backend: "parallel"
+        # ships frames as shared-memory handles (zero-copy transport),
+        # "parallel_pickle" forces the serialized fallback — their gap is
+        # what the shm arena buys end-to-end.
+        (
+            "pipeline_lab1_parallel",
+            cold_runner(
+                quick_dataset,
+                CrowdMapConfig(worker_backend="process", worker_transport="shm"),
+            ),
+            1,
+        ),
+        (
+            "pipeline_lab1_parallel_pickle",
+            cold_runner(
+                quick_dataset,
+                CrowdMapConfig(worker_backend="process", worker_transport="pickle"),
+            ),
+            1,
+        ),
+        # Transport in isolation: fan the quick dataset's sessions out to
+        # process workers that do no work, so the timing is purely
+        # executor + frame transport (the paper's Spark shuffle analog).
+        (
+            "frames_transport_shm",
+            lambda: map_parallel(
+                _session_id, quick_dataset.sessions,
+                max_workers=4, backend="process", transport="shm",
+            ),
+            3,
+        ),
+        (
+            "frames_transport_pickle",
+            lambda: map_parallel(
+                _session_id, quick_dataset.sessions,
+                max_workers=4, backend="process", transport="pickle",
+            ),
+            3,
+        ),
     ]
+    if profile == "full":
+        full_dataset = _bench_dataset("full")
+        benches += [
+            ("pipeline_lab1_full", cold_runner(full_dataset, serial), 1),
+            (
+                "pipeline_lab1_full_cached_rerun",
+                warm_runner(full_dataset, serial),
+                1,
+            ),
+        ]
+    return benches
 
 
 # ----------------------------------------------------------------------

@@ -10,9 +10,9 @@ Usage:
 
 ``--check`` exits 1 when any benchmark's *normalized* time regresses past
 the tolerance versus the baseline file — the CI gate. ``--update-baseline``
-rewrites the baseline with this run's numbers while preserving the
-baseline's ``pre_pr`` record (the frozen pre-optimization measurements the
-speedup claims are made against).
+rewrites the baseline with this run's numbers while preserving every
+``pre_pr*`` record (the frozen pre-optimization measurements the speedup
+claims are made against — one block per optimization PR).
 """
 
 from __future__ import annotations
@@ -54,7 +54,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--update-baseline", metavar="BASELINE",
-        help="rewrite the baseline with this run (keeps its pre_pr record)",
+        help="rewrite the baseline with this run (keeps its pre_pr* records)",
     )
     args = parser.parse_args(argv)
 
@@ -69,8 +69,9 @@ def main(argv=None) -> int:
             previous = load_report(args.update_baseline)
         except (OSError, ValueError):
             previous = {}
-        if "pre_pr" in previous:
-            report["pre_pr"] = previous["pre_pr"]
+        for key in previous:
+            if key.startswith("pre_pr"):
+                report[key] = previous[key]
         write_report(report, args.update_baseline)
         print(f"baseline updated: {args.update_baseline}")
 

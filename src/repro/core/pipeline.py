@@ -35,7 +35,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.backend.telemetry import TelemetryRegistry, default_registry
-from repro.backend.workers import MAP_BACKENDS, map_parallel, map_with_failures
+from repro.backend.workers import (
+    MAP_BACKENDS,
+    MAP_TRANSPORTS,
+    map_parallel,
+    map_with_failures,
+)
 from repro.core.aggregation import (
     AggregationResult,
     AnchoredTrajectory,
@@ -45,7 +50,7 @@ from repro.core.aggregation import (
 from repro.core.comparison import KeyframeComparator
 from repro.core.config import CrowdMapConfig
 from repro.core.floorplan import FloorPlanAssembler, FloorPlanResult
-from repro.core.keyframes import KeyFrame, select_keyframes
+from repro.core.keyframes import KeyFrame, prefetch_surf, select_keyframes
 from repro.core.panorama import PanoramaBuilder, PanoramaCoverageError, RoomPanorama
 from repro.core.room_layout import RoomLayout, RoomLayoutEstimator
 from repro.core.skeleton import SkeletonResult, reconstruct_skeleton
@@ -111,6 +116,11 @@ class CrowdMapPipeline:
                 f"worker_backend must be one of {MAP_BACKENDS}, got "
                 f"{self.config.worker_backend!r}"
             )
+        if self.config.worker_transport not in MAP_TRANSPORTS:
+            raise ValueError(
+                f"worker_transport must be one of {MAP_TRANSPORTS}, got "
+                f"{self.config.worker_transport!r}"
+            )
         self.telemetry = telemetry or default_registry
         self.comparator = KeyframeComparator(self.config)
         self.aggregator = SequenceAggregator(self.config, self.comparator)
@@ -141,11 +151,23 @@ class CrowdMapPipeline:
         self, sessions: List[CaptureSession]
     ) -> Tuple[List[AnchoredTrajectory], AggregationResult, SkeletonResult,
                List[StageFailure]]:
+        # Stage-level pipelining: as each session's key-frame selection
+        # streams back from the worker map, SURF runs on its key-frames
+        # (batched by shape) while later sessions are still being
+        # selected — so by the time aggregation compares key-frames,
+        # their features are already in the cache.
+        consume = None
+        if self.config.surf_prefetch:
+            def consume(index: int, ok: bool, value) -> None:
+                if ok and value is not None:
+                    prefetch_surf(value.keyframes, self.config)
         if self._quarantine:
             successes, errors = map_with_failures(
                 self.anchor_session, sessions,
                 max_workers=self.config.n_workers,
                 backend=self.config.worker_backend,
+                transport=self.config.worker_transport,
+                consume=consume,
             )
             anchored = [result for _, result in successes]
             failures = []
@@ -168,6 +190,8 @@ class CrowdMapPipeline:
                 self.anchor_session, sessions,
                 max_workers=self.config.n_workers,
                 backend=self.config.worker_backend,
+                transport=self.config.worker_transport,
+                consume=consume,
             )
             failures = []
         aggregation = self.aggregator.aggregate(anchored)
@@ -282,6 +306,7 @@ class CrowdMapPipeline:
                 self.build_room, groups,
                 max_workers=self.config.n_workers,
                 backend=self.config.worker_backend,
+                transport=self.config.worker_transport,
             )
             results = [result for _, result in successes]
             failures = []
@@ -304,6 +329,7 @@ class CrowdMapPipeline:
                 self.build_room, groups,
                 max_workers=self.config.n_workers,
                 backend=self.config.worker_backend,
+                transport=self.config.worker_transport,
             )
             failures = []
         panoramas, layouts = [], []

@@ -9,8 +9,11 @@ distractors, which is exactly the filtering role it plays here.
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 import numpy as np
 
+from repro.backend.batching import plan_batches, scatter_results
 from repro.core.contracts import shaped
 
 
@@ -102,3 +105,72 @@ def chromaticity_histogram(image: np.ndarray, bins: int = 8) -> np.ndarray:
     if norm > 0:
         hist /= norm
     return hist
+
+
+def chromaticity_histogram_batch(
+    images: Sequence[np.ndarray],
+    bins: int = 8,
+    batch_size: int = 16,
+) -> List[np.ndarray]:
+    """Chromaticity signatures for a mixed-shape sequence, batched by shape.
+
+    Same-shape frames stack and share one pass through the elementwise
+    chromaticity math and a single offset ``bincount``; results come back
+    in input order. Each histogram is bit-identical to
+    :func:`chromaticity_histogram` on that image alone: elementwise steps
+    and the per-frame-disjoint ``bincount`` are exact per lane, and the
+    order-sensitive reductions (the channel means and the final
+    normalization) deliberately stay per-frame loops so their summation
+    order matches the single-image path.
+    """
+    if bins < 2:
+        raise ValueError("bins must be at least 2")
+    arrays = []
+    for image in images:
+        arr = np.asarray(image, dtype=np.float64)
+        if arr.ndim == 2:
+            arr = np.stack([arr] * 3, axis=-1)
+        if arr.ndim != 3 or arr.shape[2] != 3:
+            raise ValueError(f"expected RGB image, got shape {arr.shape}")
+        arrays.append(arr)
+    batches = plan_batches([a.shape for a in arrays], batch_size=batch_size)
+    per_batch: List[List[np.ndarray]] = []
+    for batch in batches:
+        stack = np.stack([arrays[i] for i in batch.indices])
+        n = stack.shape[0]
+        # max is order-insensitive, so the rescale *decision* vectorizes;
+        # the division itself runs on the selected lanes (elementwise, so
+        # exact per lane).
+        needs_rescale = stack.reshape(n, -1).max(axis=1) > 1.5
+        if needs_rescale.any():
+            stack = stack.copy()
+            stack[needs_rescale] = stack[needs_rescale] / 255.0
+        # Channel means are long reductions whose summation order must
+        # match the per-image call — keep them per frame.
+        means = np.stack(
+            [lane.reshape(-1, 3).mean(axis=0) for lane in stack]
+        )
+        means = np.where(means < 1e-6, 1.0, means)
+        balanced = stack / means[:, None, None, :]
+        total = balanced.sum(axis=3)
+        total = np.where(total < 1e-6, 1.0, total)
+        r = balanced[:, :, :, 0] / total
+        g = balanced[:, :, :, 1] / total
+        r_idx = np.clip(((r - 0.1) / 0.5 * bins).astype(int), 0, bins - 1)
+        g_idx = np.clip(((g - 0.1) / 0.5 * bins).astype(int), 0, bins - 1)
+        n_slots = bins * bins
+        frame_base = (np.arange(n) * n_slots)[:, None, None]
+        flat = (frame_base + r_idx * bins + g_idx).ravel()
+        weights = stack.mean(axis=3).ravel()
+        hists = np.bincount(
+            flat, weights=weights, minlength=n * n_slots
+        ).astype(np.float64).reshape(n, n_slots)
+        results = []
+        for row in hists:
+            hist = row.copy()
+            norm = hist.sum()
+            if norm > 0:
+                hist /= norm
+            results.append(hist)
+        per_batch.append(results)
+    return scatter_results(batches, per_batch, len(arrays))

@@ -13,13 +13,15 @@ L2-hysteresis block normalization over 2x2 cell blocks.
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import List, Sequence
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.backend.batching import plan_batches, scatter_results
 from repro.core.contracts import shaped
 from repro.vision.filters import gradient_magnitude_orientation
-from repro.vision.image import to_grayscale
+from repro.vision.image import to_grayscale, to_grayscale_stack
 
 
 @lru_cache(maxsize=16)
@@ -155,6 +157,38 @@ def hog_descriptor_stack(
     )
     descriptor /= norms[:, :, :, None]
     return descriptor.reshape(n, -1)
+
+
+def hog_descriptors_batch(
+    images: Sequence[np.ndarray],
+    cell_size: int = 8,
+    n_bins: int = 9,
+    block_size: int = 2,
+    eps: float = 1e-6,
+    clip: float = 0.2,
+    batch_size: int = 16,
+) -> List[np.ndarray]:
+    """HOG descriptors for a mixed-shape image sequence, batched by shape.
+
+    Same-shape frames are grouped by the frame-batch planner, stacked and
+    pushed through :func:`hog_descriptor_stack` in one vectorized pass;
+    results come back in input order. Each descriptor is bit-identical to
+    :func:`hog_descriptor` on that image alone — grayscale conversion and
+    the stacked HOG are both exact per lane.
+    """
+    arrays = [np.asarray(image) for image in images]
+    batches = plan_batches([a.shape for a in arrays], batch_size=batch_size)
+    per_batch: List[List[np.ndarray]] = []
+    for batch in batches:
+        grays = to_grayscale_stack(
+            np.stack([arrays[i] for i in batch.indices])
+        )
+        stack = hog_descriptor_stack(
+            grays, cell_size=cell_size, n_bins=n_bins,
+            block_size=block_size, eps=eps, clip=clip,
+        )
+        per_batch.append([np.ascontiguousarray(row) for row in stack])
+    return scatter_results(batches, per_batch, len(arrays))
 
 
 @shaped(desc_a="(D,) descriptor", desc_b="(D,) descriptor")

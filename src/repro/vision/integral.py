@@ -25,6 +25,25 @@ def integral_image(image: np.ndarray) -> np.ndarray:
     return table
 
 
+@shaped(images="(N,H,W)", out="(N,?,?) float64")
+def integral_image_stack(images: np.ndarray) -> np.ndarray:
+    """Integral tables for a whole ``(N, H, W)`` stack at once.
+
+    The cumulative sums run along the last two axes, so each frame's
+    lane is the exact sequence of additions :func:`integral_image`
+    performs on that frame alone — row ``i`` of the stack is
+    bit-identical to ``integral_image(images[i])``.
+    """
+    if images.ndim != 3:
+        raise ValueError("integral_image_stack expects an (N, H, W) stack")
+    n, h, w = images.shape
+    tables = np.zeros((n, h + 1, w + 1), dtype=np.float64)
+    tables[:, 1:, 1:] = (
+        images.astype(np.float64).cumsum(axis=1).cumsum(axis=2)
+    )
+    return tables
+
+
 def box_sum(table: np.ndarray, y1: int, x1: int, y2: int, x2: int) -> float:
     """Sum of pixels in the half-open window ``[y1, y2) x [x1, x2)``.
 
@@ -85,25 +104,33 @@ class DenseBoxSums:
     Results are bit-identical to ``box_sum_grid(table, arange(h)[:, None],
     arange(w)[None, :], ...)`` — same corner values combined in the same
     order.
+
+    Accepts a single ``(H+1, W+1)`` table or an ``(N, H+1, W+1)`` stack
+    of tables: leading axes are carried through untouched (padding and
+    corner slices act on the last two axes only), so each lane of a
+    stacked box sum is bit-identical to the 2-D call on that lane.
     """
 
     def __init__(self, table: np.ndarray, margin: int):
         if margin < 0:
             raise ValueError("margin must be non-negative")
-        self.h = table.shape[0] - 1
-        self.w = table.shape[1] - 1
+        if table.ndim < 2:
+            raise ValueError("DenseBoxSums expects at least a 2-D table")
+        self.h = table.shape[-2] - 1
+        self.w = table.shape[-1] - 1
         self.margin = margin
-        self._padded = np.pad(table, margin, mode="edge")
+        pad = [(0, 0)] * (table.ndim - 2) + [(margin, margin)] * 2
+        self._padded = np.pad(table, pad, mode="edge")
 
     def _corner(self, dy: int, dx: int) -> np.ndarray:
-        """View of ``table[clip(arange(h) + dy), clip(arange(w) + dx)]``."""
+        """View of ``table[..., clip(arange(h) + dy), clip(arange(w) + dx)]``."""
         if max(abs(dy), abs(dx)) > self.margin:
             raise ValueError(
                 f"offset ({dy}, {dx}) exceeds padding margin {self.margin}"
             )
         y0 = self.margin + dy
         x0 = self.margin + dx
-        return self._padded[y0 : y0 + self.h, x0 : x0 + self.w]
+        return self._padded[..., y0 : y0 + self.h, x0 : x0 + self.w]
 
     def box(self, dy1: int, dx1: int, dy2: int, dx2: int) -> np.ndarray:
         """Sums of ``[y+dy1, y+dy2) x [x+dx1, x+dx2)`` for every pixel."""

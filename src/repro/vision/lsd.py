@@ -93,6 +93,22 @@ def detect_line_segments(
         return []
     threshold = np.quantile(positive, magnitude_quantile)
     usable = magnitude >= max(threshold, 1e-9)
+    # Early rejection of undersized support components: a region grows
+    # only through usable pixels, so every region is a subset of one
+    # 8-connected component of ``usable`` — components smaller than
+    # ``min_region_size`` can therefore never survive the size check
+    # below. Discarding them up front skips their seed visits and
+    # growth work without changing any kept segment (small components
+    # cannot interact with other components' growth either).
+    from scipy.ndimage import label
+
+    components, n_components = label(usable, structure=np.ones((3, 3), bool))
+    if n_components:
+        sizes = np.bincount(components.ravel())
+        doomed = sizes < min_region_size
+        doomed[0] = False
+        if doomed.any():
+            usable &= ~doomed[components]
     used = ~usable  # mark weak pixels as already consumed
 
     seed_rows, seed_cols = np.nonzero(usable)
@@ -128,10 +144,17 @@ def detect_line_segments(
         sum_cos = math.cos(2.0 * angle0)
         sum_sin = math.sin(2.0 * angle0)
         head = 0
+        # The mean angle only moves when a pixel is accepted, so it is
+        # recomputed lazily (stale flag) instead of once per popped
+        # pixel — the value each acceptance test sees is unchanged.
+        mean_angle = 0.5 * math.atan2(sum_sin, sum_cos) % pi
+        stale = False
         while head < len(region):
             ci = region[head]
             head += 1
-            mean_angle = 0.5 * math.atan2(sum_sin, sum_cos) % pi
+            if stale:
+                mean_angle = 0.5 * math.atan2(sum_sin, sum_cos) % pi
+                stale = False
             for off in neighbours:
                 ni = ci + off
                 if used_flat[ni]:
@@ -145,6 +168,7 @@ def detect_line_segments(
                     region.append(ni)
                     sum_cos += math.cos(2.0 * angle)
                     sum_sin += math.sin(2.0 * angle)
+                    stale = True
         if len(region) < min_region_size:
             continue
         flat = np.array(region)

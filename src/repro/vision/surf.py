@@ -16,13 +16,13 @@ implements the same pipeline shape on integral images:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.contracts import shaped
-from repro.vision.image import to_grayscale
-from repro.vision.integral import DenseBoxSums, integral_image
+from repro.vision.image import to_grayscale_stack
+from repro.vision.integral import DenseBoxSums, integral_image_stack
 
 #: Box-filter sizes of the scale stack (SURF's first octave uses 9,15,21,27).
 DEFAULT_FILTER_SIZES = (9, 15, 21, 27)
@@ -50,7 +50,10 @@ def _hessian_response(table: np.ndarray, size: int) -> np.ndarray:
     """Approximated Hessian determinant for one box-filter ``size``.
 
     Uses the classic 3-lobe Dyy/Dxx and 4-lobe Dxy box layouts. ``size``
-    must be ``9 + 6k``; the lobe width is ``size // 3``.
+    must be ``9 + 6k``; the lobe width is ``size // 3``. ``table`` may be
+    a single integral table or an ``(N, H+1, W+1)`` stack; every step is
+    a slice combination or elementwise op, so each lane of a stacked
+    response is bit-identical to the 2-D call on that lane.
     """
     lobe = size // 3
     half = size // 2
@@ -90,10 +93,10 @@ def _hessian_response(table: np.ndarray, size: int) -> np.ndarray:
     # Box sums are clamped at the image border, which fabricates strong
     # responses there; blank the border band the filter cannot fully cover.
     margin = half + 1
-    response[:margin, :] = 0.0
-    response[-margin:, :] = 0.0
-    response[:, :margin] = 0.0
-    response[:, -margin:] = 0.0
+    response[..., :margin, :] = 0.0
+    response[..., -margin:, :] = 0.0
+    response[..., :, :margin] = 0.0
+    response[..., :, -margin:] = 0.0
     return response
 
 
@@ -213,30 +216,36 @@ def _describe_batch(
     return descriptors / norms
 
 
-def detect_and_describe(
-    image: np.ndarray,
-    threshold: float = 0.0001,
-    max_features: int = 200,
-    filter_sizes: Sequence[int] = DEFAULT_FILTER_SIZES,
-) -> List[SurfFeature]:
-    """Detect fast-Hessian interest points and compute their descriptors.
+def _standardize_grays(grays: np.ndarray) -> np.ndarray:
+    """Per-frame range + contrast standardization of an (N, H, W) stack.
 
-    ``threshold`` is on the normalized Hessian determinant; raise it to keep
-    only stronger blobs. At most ``max_features`` strongest features are
-    described (sorted by response), which bounds matching cost.
+    The decisions ([0, 255] rescale, contrast standardization) depend on
+    per-frame scalars, so they run frame by frame over the stack — the
+    exact scalar sequence the single-frame path computes.
     """
-    gray = to_grayscale(image)
-    if gray.max() > 1.5:  # tolerate [0, 255] input
-        gray = gray / 255.0
-    # Contrast standardization: the Hessian determinant scales with the
-    # square of image contrast, so un-normalized night captures would lose
-    # most of their interest points to the fixed threshold.
-    std = gray.std()
-    if std > 1e-6:
-        gray = (gray - gray.mean()) / (4.0 * std) + 0.5
-    table = integral_image(gray)
+    out = np.empty_like(grays, dtype=np.float64)
+    for i in range(grays.shape[0]):  # crowdlint: allow[CM006] per-frame scalar decisions (rescale, contrast) must run in single-frame order to stay bit-identical
+        gray = grays[i]
+        if gray.max() > 1.5:  # tolerate [0, 255] input
+            gray = gray / 255.0
+        # Contrast standardization: the Hessian determinant scales with
+        # the square of image contrast, so un-normalized night captures
+        # would lose most of their interest points to the fixed threshold.
+        std = gray.std()
+        if std > 1e-6:
+            gray = (gray - gray.mean()) / (4.0 * std) + 0.5
+        out[i] = gray
+    return out
 
-    stack = np.stack([_hessian_response(table, s) for s in filter_sizes])
+
+def _features_from_responses(
+    table: np.ndarray,
+    stack: np.ndarray,
+    threshold: float,
+    max_features: int,
+    filter_sizes: Sequence[int],
+) -> List[SurfFeature]:
+    """NMS + descriptors for one frame's (scales, H, W) response stack."""
     ss, ys_i, xs_i, values = _non_max_suppression(stack, threshold)
     if ss.size == 0:
         return []
@@ -259,6 +268,69 @@ def detect_and_describe(
         )
         for i in range(ss.size)
     ]
+
+
+def detect_and_describe(
+    image: np.ndarray,
+    threshold: float = 0.0001,
+    max_features: int = 200,
+    filter_sizes: Sequence[int] = DEFAULT_FILTER_SIZES,
+) -> List[SurfFeature]:
+    """Detect fast-Hessian interest points and compute their descriptors.
+
+    ``threshold`` is on the normalized Hessian determinant; raise it to keep
+    only stronger blobs. At most ``max_features`` strongest features are
+    described (sorted by response), which bounds matching cost.
+
+    Delegates to :func:`surf_detect_batch` with a one-frame batch — the
+    same pattern ``hog_descriptor`` uses — so there is exactly one
+    detection code path to keep bit-exact.
+    """
+    return surf_detect_batch(
+        [image],
+        threshold=threshold,
+        max_features=max_features,
+        filter_sizes=filter_sizes,
+    )[0]
+
+
+def surf_detect_batch(
+    images: Sequence[np.ndarray],
+    threshold: float = 0.0001,
+    max_features: int = 200,
+    filter_sizes: Sequence[int] = DEFAULT_FILTER_SIZES,
+) -> List[List[SurfFeature]]:
+    """SURF features for many frames, batching the detector across frames.
+
+    Frames are grouped by shape; each group shares one stacked integral
+    table and one stacked Hessian response per filter size, which
+    amortizes the box-sum padding and slice arithmetic that dominate
+    per-frame detection. Non-maximum suppression and description remain
+    per frame (their outputs are ragged). Every frame's features are
+    bit-identical to ``detect_and_describe`` on that frame alone: the
+    batched steps are slice/elementwise ops over independent lanes, and
+    the per-frame scalar decisions are made frame by frame.
+    """
+    results: List[Optional[List[SurfFeature]]] = [None] * len(images)
+    groups: Dict[tuple, List[int]] = {}
+    for idx, image in enumerate(images):
+        groups.setdefault(np.asarray(image).shape, []).append(idx)
+    for indices in groups.values():
+        members = [np.asarray(images[idx]) for idx in indices]
+        # A one-frame group gets a broadcast view, not a stack copy.
+        stacked = members[0][None] if len(members) == 1 else np.stack(members)
+        grays = _standardize_grays(to_grayscale_stack(stacked))
+        tables = integral_image_stack(grays)
+        # (N, S, H, W): one vectorized Hessian pass per filter size.
+        responses = np.stack(
+            [_hessian_response(tables, s) for s in filter_sizes], axis=1
+        )
+        for lane, idx in enumerate(indices):  # crowdlint: allow[CM006] NMS + description outputs are ragged per frame; only the lane loop scatters them
+            results[idx] = _features_from_responses(
+                tables[lane], responses[lane],
+                threshold, max_features, filter_sizes,
+            )
+    return [features if features is not None else [] for features in results]
 
 
 @shaped(out="(N,D) float64 descriptors")

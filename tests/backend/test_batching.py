@@ -1,0 +1,67 @@
+"""Frame-batch planner: grouping, determinism, scatter, telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.batching import FrameBatch, plan_batches, scatter_results
+from repro.backend.telemetry import TelemetryRegistry
+
+
+class TestPlanBatches:
+    def test_groups_by_shape_preserving_order(self):
+        shapes = [(2, 3), (4, 4), (2, 3), (2, 3), (4, 4)]
+        batches = plan_batches(shapes, batch_size=16)
+        assert [b.shape for b in batches] == [(2, 3), (4, 4)]
+        assert batches[0].indices == (0, 2, 3)
+        assert batches[1].indices == (1, 4)
+
+    def test_batch_size_caps_groups(self):
+        batches = plan_batches([(8, 8)] * 10, batch_size=4)
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert batches[0].indices == (0, 1, 2, 3)
+        assert batches[2].indices == (8, 9)
+
+    def test_indices_are_a_permutation(self):
+        shapes = [(i % 3, 5) for i in range(23)]
+        batches = plan_batches(shapes, batch_size=4)
+        flat = [i for b in batches for i in b.indices]
+        assert sorted(flat) == list(range(23))
+
+    def test_plan_is_deterministic(self):
+        shapes = [(3, 3), (5, 5), (3, 3), (7, 7), (5, 5), (3, 3)]
+        assert plan_batches(shapes, batch_size=2) == plan_batches(
+            shapes, batch_size=2
+        )
+
+    def test_empty_input(self):
+        assert plan_batches([]) == []
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            plan_batches([(2, 2)], batch_size=0)
+
+    def test_telemetry_counters(self):
+        telemetry = TelemetryRegistry()
+        plan_batches(
+            [(2, 2), (2, 2), (3, 3)], batch_size=16, telemetry=telemetry
+        )
+        assert telemetry.value("batch_plans") == 1
+        assert telemetry.value("batch_groups") == 2
+        assert telemetry.value("batch_frames") == 3
+        assert telemetry.value("batch_singleton_frames") == 1
+
+
+class TestScatterResults:
+    def test_roundtrip_restores_input_order(self):
+        shapes = [(2,), (3,), (2,), (3,), (2,)]
+        batches = plan_batches(shapes, batch_size=2)
+        per_batch = [[f"r{i}" for i in b.indices] for b in batches]
+        assert scatter_results(batches, per_batch, len(shapes)) == [
+            "r0", "r1", "r2", "r3", "r4",
+        ]
+
+    def test_length_mismatch_rejected(self):
+        batches = [FrameBatch(indices=(0, 1), shape=(2, 2))]
+        with pytest.raises(ValueError):
+            scatter_results(batches, [["only-one"]], 2)

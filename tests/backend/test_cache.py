@@ -129,6 +129,26 @@ class TestContentKeys:
         b[0, 0] += 1e-12
         assert array_digest(a) != array_digest(b)
 
+    def test_array_digest_zero_copy_paths_agree(self):
+        """Every buffer layout of the same content digests identically.
+
+        The digest feeds the content-addressed cache from both the
+        serial path (plain contiguous arrays) and the shm path
+        (read-only views, strided slices): a layout-dependent digest
+        would silently split cache slots between transports.
+        """
+        base = np.random.default_rng(3).standard_normal((32, 48))
+        reference = array_digest(np.ascontiguousarray(base))
+        # Read-only view (how shm-backed frames arrive in workers).
+        readonly = base.copy()
+        readonly.setflags(write=False)
+        assert array_digest(readonly) == reference
+        # Fortran-order and strided layouts of the same values.
+        assert array_digest(np.asfortranarray(base)) == reference
+        strided = np.empty((64, 48))
+        strided[::2] = base
+        assert array_digest(strided[::2]) == reference
+
     def test_config_fingerprint_scoped_to_fields(self):
         base = CrowdMapConfig()
         tweaked_unrelated = CrowdMapConfig(force_iterations=base.force_iterations + 1)

@@ -1,0 +1,173 @@
+"""Shared-memory frame arena: handles, lifecycle, fallback, leak audit.
+
+The zero-copy transport contract: any object graph the arena has walked
+pickles its large arrays as tiny :class:`ShmHandle` records, receivers
+rebuild them into views of the same physical pages, and closing the
+arena unlinks every segment so nothing outlives the stage in
+``/dev/shm`` — while degraded modes (disabled arena, small arrays,
+closed segments) fall back to plain by-value pickling with identical
+array contents.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.backend.shm import (
+    DEFAULT_MIN_BYTES,
+    ShmArena,
+    ShmArray,
+    audit_dev_shm,
+    shm_available,
+    sweep_orphans,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="platform has no POSIX shared memory"
+)
+
+
+@dataclass(frozen=True)
+class _FrameLike:
+    """Stands in for a Frame: one big pixel array plus scalar metadata."""
+
+    index: int
+    pixels: np.ndarray
+
+
+def _child_probe(payload: bytes):
+    """Spawn-side helper: rebuild a pickled arena view and describe it."""
+    arr = pickle.loads(payload)
+    return float(arr.sum()), type(arr).__name__, bool(arr.flags.writeable)
+
+
+class TestShmArray:
+    def test_share_array_returns_equal_view(self):
+        arr = np.arange(65536, dtype=np.float64).reshape(256, 256)
+        with ShmArena() as arena:
+            view = arena.share_array(arr)
+            assert isinstance(view, ShmArray)
+            assert view.crowdmap_handle is not None
+            assert np.array_equal(view, arr)
+            # The arena copy is read-only: workers must not be able to
+            # scribble on pages other workers are reading.
+            assert not view.flags.writeable
+
+    def test_handle_pickle_is_tiny(self):
+        arr = np.random.default_rng(0).standard_normal((512, 512))
+        with ShmArena() as arena:
+            view = arena.share_array(arr)
+            payload = pickle.dumps(view)
+            # 2 MB of array bytes cross as a <1 kB handle.
+            assert len(payload) < 1024
+            assert np.array_equal(pickle.loads(payload), arr)
+
+    def test_parent_rebuild_short_circuits_to_original(self):
+        arr = np.ones((256, 256))
+        with ShmArena() as arena:
+            view = arena.share_array(arr)
+            rebuilt = pickle.loads(pickle.dumps(view))
+            # In the sharing process the handle resolves to the original
+            # array object — not even a view copy.
+            assert rebuilt is arr
+
+    def test_derived_views_ship_by_value(self):
+        arr = np.arange(65536, dtype=np.float64).reshape(256, 256)
+        with ShmArena() as arena:
+            view = arena.share_array(arr)
+            half = view[:128]
+            assert half.crowdmap_handle is None
+            assert np.array_equal(pickle.loads(pickle.dumps(half)), arr[:128])
+
+    def test_small_arrays_pass_through(self):
+        small = np.ones(8)
+        with ShmArena() as arena:
+            assert small.nbytes < DEFAULT_MIN_BYTES
+            assert arena.share_array(small) is small
+
+    def test_spawned_child_attaches_and_reads(self):
+        arr = np.arange(65536, dtype=np.float64).reshape(256, 256)
+        with ShmArena() as arena:
+            payload = pickle.dumps(arena.share_array(arr))
+            # spawn (not fork): the child shares no state with this
+            # process, so resolving the handle requires a genuine attach.
+            ctx = multiprocessing.get_context("spawn")
+            with ctx.Pool(1) as pool:
+                total, type_name, writeable = pool.apply(
+                    _child_probe, (payload,)
+                )
+        assert total == float(arr.sum())
+        assert type_name == "ShmArray"
+        assert not writeable
+
+
+class TestShareWalker:
+    def test_walks_dataclasses_and_preserves_metadata(self):
+        frame = _FrameLike(index=7, pixels=np.ones((256, 256)))
+        with ShmArena() as arena:
+            shared = arena.share(frame)
+            assert shared is not frame  # pixels were replaced
+            assert shared.index == 7
+            assert isinstance(shared.pixels, ShmArray)
+            assert np.array_equal(shared.pixels, frame.pixels)
+
+    def test_untouched_containers_are_not_rebuilt(self):
+        obj = {"name": "session", "tags": ("a", "b"), "score": 1.5}
+        with ShmArena() as arena:
+            assert arena.share(obj) is obj
+
+    def test_shared_subobjects_stay_shared(self):
+        pixels = np.ones((256, 256))
+        frames = [_FrameLike(0, pixels), _FrameLike(1, pixels)]
+        with ShmArena() as arena:
+            shared = arena.share(frames)
+            assert shared[0].pixels is shared[1].pixels
+
+    def test_disabled_arena_is_identity(self):
+        frame = _FrameLike(index=0, pixels=np.ones((256, 256)))
+        arena = ShmArena(enabled=False)
+        assert arena.share(frame) is frame
+        assert arena.share_array(frame.pixels) is frame.pixels
+
+
+class TestArenaLifecycle:
+    def test_close_unlinks_every_segment(self):
+        arena = ShmArena()
+        views = [
+            arena.share_array(np.full((256, 256), i, dtype=np.float64))
+            for i in range(3)
+        ]
+        assert audit_dev_shm(arena.prefix)  # segments exist while open
+        del views
+        arena.close()
+        assert audit_dev_shm(arena.prefix) == []
+        arena.close()  # idempotent
+
+    def test_views_survive_close_and_fall_back_to_value_pickle(self):
+        arena = ShmArena()
+        arr = np.arange(65536, dtype=np.float64)
+        view = arena.share_array(arr)
+        arena.close()
+        # Still readable (lease keeps the mapping) but no longer
+        # attachable — pickling must carry the bytes.
+        assert np.array_equal(view, arr)
+        payload = pickle.dumps(view)
+        assert len(payload) > arr.nbytes
+        assert np.array_equal(pickle.loads(payload), arr)
+        del view
+        assert audit_dev_shm(arena.prefix) == []
+
+    def test_sweep_orphans_reaps_by_prefix(self):
+        from multiprocessing import shared_memory
+
+        name = "cmshmtestorphan0"
+        mem = shared_memory.SharedMemory(name=name, create=True, size=1024)
+        mem.close()
+        assert name in audit_dev_shm("cmshmtestorphan")
+        assert sweep_orphans("cmshmtestorphan") == 1
+        assert audit_dev_shm("cmshmtestorphan") == []

@@ -1,0 +1,82 @@
+"""Serial, shm-process and pickle-process pipelines are bit-identical.
+
+The zero-copy transport and the process backend are pure execution
+strategies: whatever combination runs the stages, the reconstruction
+must be the same bits. This is the end-to-end version of the per-kernel
+identity tests — one rendered dataset, three executions, artifact-level
+exact comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.cache import ResultCache, set_cache
+from repro.backend.shm import audit_dev_shm, shm_available
+from repro.core.config import CrowdMapConfig
+from repro.core.pipeline import CrowdMapPipeline
+from repro.world.buildings import build_lab1
+from repro.world.crowd import CrowdConfig, generate_crowd_dataset
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="platform has no POSIX shared memory"
+)
+
+
+@pytest.fixture(scope="module")
+def three_runs():
+    dataset = generate_crowd_dataset(
+        build_lab1(),
+        CrowdConfig(n_users=2, sws_per_user=1, srs_rooms_per_user=1, seed=11),
+    )
+    configs = {
+        "serial": CrowdMapConfig(),
+        "shm": CrowdMapConfig(worker_backend="process", worker_transport="shm"),
+        "pickle": CrowdMapConfig(
+            worker_backend="process", worker_transport="pickle"
+        ),
+    }
+    results = {}
+    for name, config in configs.items():
+        set_cache(ResultCache(mode="memory"))  # every run cache-cold
+        results[name] = CrowdMapPipeline(config).run(dataset)
+    set_cache(None)
+    return results
+
+
+class TestTransportIdentity:
+    @pytest.mark.parametrize("variant", ["shm", "pickle"])
+    def test_skeleton_bit_identical(self, three_runs, variant):
+        a, b = three_runs["serial"], three_runs[variant]
+        assert np.array_equal(a.skeleton.probability, b.skeleton.probability)
+        assert np.array_equal(a.skeleton.skeleton, b.skeleton.skeleton)
+
+    @pytest.mark.parametrize("variant", ["shm", "pickle"])
+    def test_panoramas_bit_identical(self, three_runs, variant):
+        a, b = three_runs["serial"], three_runs[variant]
+        assert [p.room_hint for p in a.panoramas] == [
+            p.room_hint for p in b.panoramas
+        ]
+        for pa, pb in zip(a.panoramas, b.panoramas):
+            assert np.array_equal(pa.panorama.pixels, pb.panorama.pixels)
+
+    @pytest.mark.parametrize("variant", ["shm", "pickle"])
+    def test_floorplan_bit_identical(self, three_runs, variant):
+        a, b = three_runs["serial"], three_runs[variant]
+        assert len(a.floorplan.rooms) == len(b.floorplan.rooms)
+        for ra, rb in zip(a.floorplan.rooms, b.floorplan.rooms):
+            assert ra.name == rb.name
+            assert (ra.center.x, ra.center.y) == (rb.center.x, rb.center.y)
+            assert (
+                ra.layout.width, ra.layout.depth, ra.layout.orientation
+            ) == (rb.layout.width, rb.layout.depth, rb.layout.orientation)
+        assert a.floorplan.render_ascii() == b.floorplan.render_ascii()
+
+    @pytest.mark.parametrize("variant", ["shm", "pickle"])
+    def test_clean_runs_quarantine_nothing(self, three_runs, variant):
+        assert three_runs[variant].failures == []
+
+    def test_no_leaked_segments(self, three_runs):
+        # Every stage arena must have been closed and unlinked.
+        assert audit_dev_shm() == []

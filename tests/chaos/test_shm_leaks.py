@@ -1,0 +1,85 @@
+"""Chaos suite: crashed workers must not leak shared-memory segments.
+
+The arena's crash-safety story has two layers — the creating process's
+``resource_tracker`` registration and the prefix-scoped orphan sweep at
+arena close. These tests SIGKILL a worker that is actively mapped into
+an arena segment (no atexit, no finalizers, no tracker on the worker
+side runs) and assert that ``/dev/shm`` is clean once the arena closes,
+and that the pool-draining path (:class:`WorkerPool` handlers reading
+arena-backed frames) leaves nothing behind after ``stop``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import signal
+
+import numpy as np
+import pytest
+
+from repro.backend.queue import TaskQueue
+from repro.backend.shm import ShmArena, audit_dev_shm, shm_available
+from repro.backend.workers import WorkerPool
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="platform has no POSIX shared memory"
+)
+
+
+def _attach_and_spin(payload: bytes, attached, release) -> None:
+    """Worker body: attach to the shared array, signal, then hang."""
+    view = pickle.loads(payload)
+    assert float(view[0, 0]) == 1.0
+    attached.set()
+    release.wait(timeout=30.0)
+
+
+class TestKilledWorkerLeaksNothing:
+    def test_sigkilled_attacher_leaks_no_segments(self):
+        arena = ShmArena()
+        view = arena.share_array(np.ones((256, 256)))
+        payload = pickle.dumps(view)
+        # spawn: the child holds a genuine attach-side mapping with its
+        # own (suppressed) tracker state — the worst case for cleanup.
+        ctx = multiprocessing.get_context("spawn")
+        attached = ctx.Event()
+        release = ctx.Event()
+        child = ctx.Process(
+            target=_attach_and_spin, args=(payload, attached, release)
+        )
+        child.start()
+        try:
+            assert attached.wait(timeout=30.0)
+            os.kill(child.pid, signal.SIGKILL)  # no cleanup runs child-side
+            child.join(timeout=10.0)
+            assert child.exitcode == -signal.SIGKILL
+        finally:
+            release.set()
+            if child.is_alive():
+                child.terminate()
+                child.join(timeout=10.0)
+        del view  # drop the last parent-side lease
+        arena.close()
+        assert audit_dev_shm(arena.prefix) == []
+
+    def test_worker_pool_stop_leaves_dev_shm_clean(self):
+        arena = ShmArena()
+        frames = [
+            arena.share_array(np.full((128, 128), i, dtype=np.float64))
+            for i in range(4)
+        ]
+        queue = TaskQueue()
+        pool = WorkerPool(queue, n_workers=2)
+        pool.register("checksum", lambda frame: float(frame.sum()))
+        task_ids = [
+            queue.submit("checksum", frame).task_id for frame in frames
+        ]
+        with pool:
+            pool.drain()
+        results = [queue.task(task_id).result for task_id in task_ids]
+        assert results == [float(np.full((128, 128), i).sum()) for i in range(4)]
+        del frames
+        arena.close()
+        assert audit_dev_shm(arena.prefix) == []

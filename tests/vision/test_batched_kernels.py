@@ -1,0 +1,112 @@
+"""Batched kernel entry points are bit-identical to their per-frame twins.
+
+The frame-batch planner only buys performance if batching is invisible:
+every batched kernel must produce, frame for frame, the exact bits the
+single-frame call produces. These tests mix frame shapes and value
+ranges (float [0,1] and integer [0,255]) so the shape-grouping, the
+rescale decisions and the scatter back into input order are all on the
+hook — and they pin the LSD component-pruning shortcut to the unpruned
+growth it claims to be equivalent to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.color_histogram import (
+    chromaticity_histogram,
+    chromaticity_histogram_batch,
+)
+from repro.vision.hog import hog_descriptor, hog_descriptors_batch
+from repro.vision.lsd import detect_line_segments
+from repro.vision.surf import detect_and_describe, surf_detect_batch
+
+
+def _textured(seed: int, h: int, w: int, scale: float = 1.0) -> np.ndarray:
+    """A seeded color frame with gradient + blob structure."""
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:h, 0:w]
+    base = 0.5 + 0.25 * np.sin(xx / 5.0) + 0.2 * np.cos(yy / 9.0)
+    base = np.clip(base + 0.1 * rng.standard_normal((h, w)), 0.0, 1.0)
+    frame = np.stack(
+        [base, np.roll(base, 2, axis=0), np.roll(base, 2, axis=1)], axis=-1
+    )
+    return frame * scale
+
+
+def _mixed_frames():
+    """Frames of two shapes and two value ranges, interleaved."""
+    return [
+        _textured(0, 48, 64),
+        _textured(1, 32, 32),
+        _textured(2, 48, 64, scale=255.0),
+        _textured(3, 48, 64),
+        _textured(4, 32, 32, scale=255.0),
+    ]
+
+
+class TestHogBatchIdentity:
+    def test_batch_matches_per_frame(self):
+        frames = _mixed_frames()
+        batched = hog_descriptors_batch(frames, batch_size=2)
+        for frame, descriptor in zip(frames, batched):
+            single = hog_descriptor(frame)
+            assert descriptor.dtype == single.dtype
+            assert np.array_equal(descriptor, single)
+
+
+class TestChromaticityBatchIdentity:
+    def test_batch_matches_per_frame(self):
+        frames = _mixed_frames()
+        batched = chromaticity_histogram_batch(frames, batch_size=2)
+        for frame, histogram in zip(frames, batched):
+            assert np.array_equal(histogram, chromaticity_histogram(frame))
+
+    def test_batched_rows_are_independent(self):
+        frames = [_textured(7, 24, 24), _textured(8, 24, 24)]
+        first, second = chromaticity_histogram_batch(frames, batch_size=2)
+        before = second.copy()
+        first += 1.0  # must not alias the sibling row's storage
+        assert np.array_equal(second, before)
+
+
+class TestSurfBatchIdentity:
+    def test_batch_matches_per_frame(self):
+        frames = [
+            _textured(10, 64, 64),
+            _textured(11, 80, 64),
+            _textured(12, 64, 64, scale=255.0),
+        ]
+        batched = surf_detect_batch(frames)
+        for frame, features in zip(frames, batched):
+            singles = detect_and_describe(frame)
+            assert len(features) == len(singles)
+            for fa, fb in zip(features, singles):
+                assert (fa.x, fa.y, fa.scale, fa.response) == (
+                    fb.x, fb.y, fb.scale, fb.response,
+                )
+                assert np.array_equal(fa.descriptor, fb.descriptor)
+
+
+class TestLsdPruningIdentity:
+    def test_component_pruning_is_invisible(self, monkeypatch):
+        """Segments with pruning on == segments with pruning disabled.
+
+        Forcing ``scipy.ndimage.label`` to report zero components skips
+        the early-rejection path entirely, reproducing unpruned region
+        growing; the detected segments must match bit for bit.
+        """
+        images = [_textured(20, 96, 96), _textured(21, 64, 128, scale=255.0)]
+        pruned = [detect_line_segments(image) for image in images]
+
+        import scipy.ndimage
+
+        monkeypatch.setattr(
+            scipy.ndimage,
+            "label",
+            lambda mask, structure=None: (np.zeros(mask.shape, int), 0),
+        )
+        unpruned = [detect_line_segments(image) for image in images]
+        # LineSegment2D is a frozen dataclass of floats: == is bit-exact.
+        assert pruned == unpruned
+        assert any(segments for segments in pruned)
