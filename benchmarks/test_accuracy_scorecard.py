@@ -1,0 +1,73 @@
+"""Full-campaign accuracy scorecard over the benchmark reconstructions.
+
+Where ``python -m repro.eval`` scores the small committed-baseline grid,
+this benchmark scores the *benchmark-scale* campaign (7 users per
+building, the same cached reconstructions Table I and Fig. 8 read) and
+prints one FloorReconstructionReport row per building next to the
+paper's Table I numbers. It is the bridge between the CI quality gate
+and the EXPERIMENTS.md tables.
+"""
+
+from repro.eval.report import render_table
+from repro.eval.scorecard import score_reconstruction
+
+from benchmarks._shared import tee_print as print  # noqa: A004
+from benchmarks._shared import (
+    BUILDINGS,
+    plan_for,
+    print_banner,
+    reconstruction_for,
+)
+
+PAPER_TABLE1 = {
+    "Lab1": (0.875, 0.933, 0.903),
+    "Lab2": (0.922, 0.959, 0.940),
+    "Gym": (0.843, 0.888, 0.865),
+}
+
+
+def run_scorecards():
+    reports = {}
+    for building in BUILDINGS:
+        reports[building] = score_reconstruction(
+            reconstruction_for(building), plan_for(building)
+        )
+    return reports
+
+
+def test_accuracy_scorecard(benchmark):
+    reports = benchmark.pedantic(run_scorecards, rounds=1, iterations=1)
+
+    print_banner("Accuracy scorecard (benchmark campaign)")
+    rows = []
+    for building in BUILDINGS:
+        r = reports[building]
+        paper = PAPER_TABLE1[building]
+        rows.append(
+            [
+                building,
+                f"{r.hallway_precision:.1%}",
+                f"{r.hallway_recall:.1%}",
+                f"{r.hallway_f:.1%}",
+                f"{paper[0]:.1%} / {paper[1]:.1%} / {paper[2]:.1%}",
+                f"{r.room_iou_mean:.2f}",
+                f"{r.rooms_scored}/{r.rooms_total}",
+                f"{r.keyframes_localized_fraction:.0%}",
+                f"{r.room_location_error_mean:.2f} m",
+            ]
+        )
+    print(
+        render_table(
+            "Reconstruction scorecard (measured vs paper Table I P/R/F)",
+            ["building", "precision", "recall", "F", "paper P/R/F",
+             "room IoU", "rooms", "kf localized", "room loc err"],
+            rows,
+        )
+    )
+
+    for building, report in reports.items():
+        # The campaign must produce a usable map everywhere: a standing
+        # skeleton, most key-frames registered, and scored rooms.
+        assert report.hallway_f > 0.3, building
+        assert report.keyframes_localized_fraction > 0.3, building
+        assert report.rooms_scored >= 1, building

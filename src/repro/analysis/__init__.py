@@ -30,6 +30,10 @@ CM007     *(advisory)* no real-time waits (``time.sleep``,
           ``asyncio.sleep``) in ``repro.serving`` — the serving layer
           runs entirely on the virtual clock, which is what makes its
           SLO reports bit-reproducible per seed
+CM008     no clock reads or waits in ``repro.eval`` — the accuracy gate
+          bit-compares scorecards against the committed
+          ``ACCURACY_baseline.json``, so even monotonic durations
+          (allowed elsewhere by CM002) are banned there
 ========  ==============================================================
 
 Severities: every rule is an **error** (fails the CLI with exit 1)

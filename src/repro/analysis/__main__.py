@@ -20,7 +20,7 @@ from repro.analysis.rules import ALL_RULES
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="crowdlint: repo-native static analysis (rules CM001-CM006)",
+        description="crowdlint: repo-native static analysis (rules CM001-CM008)",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],

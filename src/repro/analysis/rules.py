@@ -1,4 +1,4 @@
-"""The crowdlint rule set (CM001–CM006).
+"""The crowdlint rule set (CM001–CM008).
 
 Each rule encodes one repo invariant that a generic linter cannot check.
 See the package docstring for the one-line summary of each; the classes
@@ -363,6 +363,58 @@ class RealTimeWaitRule(Rule):
                 )
 
 
+class EvalClockRule(Rule):
+    """CM008: no clock reads or waits inside ``repro/eval/``.
+
+    The accuracy gate's whole premise is that the committed
+    ``ACCURACY_baseline.json`` regenerates *bit-identically* per seed:
+    CI diffs fresh scorecards against it. Wall-clock reads are already
+    CM002 everywhere, but evaluation code additionally must not read the
+    *monotonic* clocks (``time.perf_counter``, ``time.monotonic``, the
+    process/thread CPU timers) — a duration smuggled into a scorecard
+    artifact varies per host and silently breaks the bit-compare — nor
+    sleep. Timing belongs to ``repro.bench``; scorecard cells carry none.
+
+    Unlike the advisory path-scoped rules (CM006/CM007) this one is an
+    **error**: there is no legitimate reason for the quality gate itself
+    to observe time. The pipeline's internal stage timings (recorded
+    outside ``eval/``) stay allowed and are simply never serialized into
+    accuracy reports.
+    """
+
+    rule_id = "CM008"
+    title = "clock read or wait in evaluation code"
+
+    _PATH_DIR = "eval"
+    _CLOCK_FNS = {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.thread_time",
+        "time.thread_time_ns",
+        "time.sleep",
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        parts = ctx.path.replace("\\", "/").split("/")
+        if self._PATH_DIR not in parts:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.resolve_call_name(node.func)
+            if name in self._CLOCK_FNS:
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() observes time inside eval code — scorecard "
+                    "artifacts must regenerate bit-identically per seed; "
+                    "move timing into repro.bench",
+                )
+
+
 ALL_RULES: Sequence[Rule] = (
     UnseededRngRule(),
     WallClockRule(),
@@ -371,4 +423,5 @@ ALL_RULES: Sequence[Rule] = (
     ConfigFieldRule(),
     ElementwiseLoopRule(),
     RealTimeWaitRule(),
+    EvalClockRule(),
 )

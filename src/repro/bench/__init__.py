@@ -24,12 +24,17 @@ provenance lives in git history.
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro.bench.baseline import (
+    load_json_report,
+    update_baseline_file,
+    write_json_report,
+)
 
 #: Bump when the JSON layout changes incompatibly.
 SCHEMA_VERSION = 1
@@ -342,16 +347,13 @@ def compare_to_baseline(
 
 
 def load_report(path: str) -> dict:
-    with open(path) as fh:
-        report = json.load(fh)
-    if report.get("schema") != SCHEMA_VERSION:
-        raise ValueError(
-            f"{path}: schema {report.get('schema')!r} != {SCHEMA_VERSION}"
-        )
-    return report
+    return load_json_report(path, SCHEMA_VERSION)
 
 
 def write_report(report: dict, path: str) -> None:
-    with open(path, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_json_report(report, path)
+
+
+def update_baseline(path: str, report: dict) -> dict:
+    """Rewrite the bench baseline, preserving its ``pre_pr*`` records."""
+    return update_baseline_file(path, report, SCHEMA_VERSION)

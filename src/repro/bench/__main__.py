@@ -24,6 +24,7 @@ from repro.bench import (
     compare_to_baseline,
     load_report,
     run_suite,
+    update_baseline,
     write_report,
 )
 
@@ -65,14 +66,9 @@ def main(argv=None) -> int:
         print(f"report written to {args.output}")
 
     if args.update_baseline:
-        try:
-            previous = load_report(args.update_baseline)
-        except (OSError, ValueError):
-            previous = {}
-        for key in previous:
-            if key.startswith("pre_pr"):
-                report[key] = previous[key]
-        write_report(report, args.update_baseline)
+        # Shared with the accuracy CLI (repro.bench.baseline): rewrites
+        # the file from this run while preserving every pre_pr* record.
+        report = update_baseline(args.update_baseline, report)
         print(f"baseline updated: {args.update_baseline}")
 
     if args.check:

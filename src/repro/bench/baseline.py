@@ -1,0 +1,67 @@
+"""Shared baseline-file plumbing for the perf and accuracy gates.
+
+``BENCH_baseline.json`` (speed) and ``ACCURACY_baseline.json`` (quality)
+follow one contract so the two committed gates cannot diverge in format:
+
+- a top-level ``"schema"`` integer, validated on load;
+- stable serialization (``indent=2, sort_keys=True`` + trailing newline),
+  so regenerated baselines diff cleanly and bit-compare across runs;
+- ``--update-baseline`` rewrites the file from a fresh run while
+  preserving every top-level key starting with ``pre_pr`` — the frozen
+  historical records that improvement claims are made against.
+
+Both CLIs (``python -m repro.bench`` and ``python -m repro.eval``) go
+through these helpers rather than open-coding the read/modify/write.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+#: Prefix of top-level keys that ``update_baseline_file`` carries over
+#: from the previous baseline ("pre_pr", "pre_pr_shm", ...).
+PRESERVED_PREFIX = "pre_pr"
+
+
+def load_json_report(path: str, schema_version: Optional[int] = None) -> dict:
+    """Load a report/baseline JSON, validating its schema when given."""
+    with open(path) as fh:
+        report = json.load(fh)
+    if schema_version is not None and report.get("schema") != schema_version:
+        raise ValueError(
+            f"{path}: schema {report.get('schema')!r} != {schema_version}"
+        )
+    return report
+
+
+def write_json_report(report: dict, path: str) -> None:
+    """Write a report in the stable, diff-friendly baseline layout."""
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def update_baseline_file(
+    path: str,
+    report: dict,
+    schema_version: Optional[int] = None,
+    preserve_prefix: str = PRESERVED_PREFIX,
+) -> dict:
+    """Rewrite ``path`` from ``report``, keeping its ``pre_pr*`` records.
+
+    A missing or unreadable previous baseline is treated as empty (first
+    generation); a previous baseline with the wrong schema is an error —
+    silently dropping its preserved records would lose history.
+    Returns the merged report that was written.
+    """
+    try:
+        previous = load_json_report(path, schema_version)
+    except (OSError, json.JSONDecodeError):
+        previous = {}
+    merged = dict(report)
+    for key, value in previous.items():
+        if key.startswith(preserve_prefix):
+            merged[key] = value
+    write_json_report(merged, path)
+    return merged

@@ -6,7 +6,10 @@
   errors (Fig. 8);
 - :mod:`repro.eval.cdf` — empirical CDF helper used by every CDF figure;
 - :mod:`repro.eval.report` — text rendering of tables and CDF series in
-  the shape the paper reports them.
+  the shape the paper reports them;
+- :mod:`repro.eval.scorecard` — the per-``(building, lighting, crowd)``
+  reconstruction scorecard behind ``python -m repro.eval`` and the
+  committed, CI-gated ``ACCURACY_baseline.json``.
 """
 
 from repro.eval.hallway_metrics import evaluate_hallway_shape, HallwayShapeScore
@@ -25,6 +28,16 @@ from repro.eval.matching_accuracy import (
 )
 from repro.eval.report import render_table, render_cdf_series, render_comparison
 from repro.eval.figures import render_ascii_plot, render_cdf_plot, render_sparkline
+from repro.eval.scorecard import (
+    FloorReconstructionReport,
+    score_reconstruction,
+    score_scenario,
+    run_scorecard,
+    compare_to_accuracy_baseline,
+    render_scorecard_table,
+    render_crowd_sweep,
+    ACCURACY_SCHEMA_VERSION,
+)
 
 __all__ = [
     "evaluate_hallway_shape",
@@ -46,4 +59,12 @@ __all__ = [
     "render_ascii_plot",
     "render_cdf_plot",
     "render_sparkline",
+    "FloorReconstructionReport",
+    "score_reconstruction",
+    "score_scenario",
+    "run_scorecard",
+    "compare_to_accuracy_baseline",
+    "render_scorecard_table",
+    "render_crowd_sweep",
+    "ACCURACY_SCHEMA_VERSION",
 ]

@@ -1,0 +1,420 @@
+"""Per-building reconstruction scorecard and the accuracy baseline gate.
+
+The quality counterpart of ``repro.bench``: where the perf harness gates
+*speed* against ``BENCH_baseline.json``, this module runs the full
+pipeline over the seeded scenario matrix (:mod:`repro.world.scenarios`)
+and scores every ``(building, lighting, crowd_size)`` cell against its
+procedural ground truth, emitting a committed ``ACCURACY_baseline.json``
+that CI bit-compares future runs against (within per-metric tolerance
+bands).
+
+One :class:`FloorReconstructionReport` per cell carries the paper's own
+evaluation (Section V): hallway-skeleton precision/recall/F after the
+overlay alignment (Table I), room area / aspect-ratio / location errors
+(Fig. 8), plus three metrics the paper could not automate — room-shape
+IoU against the exact ground-truth rectangles, the fraction of key-frames
+localized into the common frame, and the residual rotation/translation of
+the alignment itself (how far the reconstructed frame sat from truth).
+
+Everything here must stay bit-deterministic per seed: no clock reads, no
+unseeded RNG (crowdlint CM008 gates this module tree), floats rounded at
+serialization so the JSON is byte-stable across platforms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.config import CrowdMapConfig
+from repro.core.pipeline import CrowdMapPipeline, ReconstructionResult
+from repro.eval.cdf import mean_of
+from repro.eval.hallway_metrics import evaluate_hallway_shape
+from repro.eval.room_metrics import evaluate_rooms
+from repro.geometry.polygon_ops import bounding_box_iou
+from repro.world.floorplan_model import FloorPlan
+from repro.world.scenarios import ScenarioSpec
+
+#: Bump when the ACCURACY_baseline.json layout changes incompatibly.
+ACCURACY_SCHEMA_VERSION = 1
+
+#: Serialization precision: enough to resolve any real quality drift,
+#: coarse enough that the JSON bit-compares across runs and platforms.
+_ROUND = 4
+
+
+@dataclass(frozen=True)
+class FloorReconstructionReport:
+    """Scorecard for one scenario cell, reconstruction vs ground truth."""
+
+    building: str
+    lighting: str
+    crowd_size: int
+    # Workload shape (sanity anchors: if these drift, the world changed,
+    # not the pipeline).
+    n_sessions: int
+    n_frames: int
+    n_keyframes: int
+    sessions_quarantined: int
+    # Pathway quality (paper Table I) + alignment residual.
+    hallway_precision: float
+    hallway_recall: float
+    hallway_f: float
+    alignment_rotation_error_deg: float
+    alignment_translation_error_m: float
+    # Localization: key-frame mass registered into the common frame.
+    keyframes_localized_fraction: float
+    # Room quality (paper Fig. 8 + exact-ground-truth IoU).
+    rooms_total: int
+    rooms_scored: int
+    room_iou_mean: float
+    room_area_error_mean: float
+    room_aspect_error_mean: float
+    room_location_error_mean: float
+    room_location_error_max: float
+    # Per-room samples (CDF material; keys are ground-truth room names).
+    room_ious: Dict[str, float]
+    room_location_errors: Dict[str, float]
+
+    @property
+    def rooms_scored_fraction(self) -> float:
+        return self.rooms_scored / self.rooms_total if self.rooms_total else 0.0
+
+    def to_json(self) -> dict:
+        def r(value: float) -> float:
+            return round(float(value), _ROUND)
+
+        return {
+            "building": self.building,
+            "lighting": self.lighting,
+            "crowd_size": self.crowd_size,
+            "n_sessions": self.n_sessions,
+            "n_frames": self.n_frames,
+            "n_keyframes": self.n_keyframes,
+            "sessions_quarantined": self.sessions_quarantined,
+            "hallway_precision": r(self.hallway_precision),
+            "hallway_recall": r(self.hallway_recall),
+            "hallway_f": r(self.hallway_f),
+            "alignment_rotation_error_deg": r(self.alignment_rotation_error_deg),
+            "alignment_translation_error_m": r(self.alignment_translation_error_m),
+            "keyframes_localized_fraction": r(self.keyframes_localized_fraction),
+            "rooms_total": self.rooms_total,
+            "rooms_scored": self.rooms_scored,
+            "rooms_scored_fraction": r(self.rooms_scored_fraction),
+            "room_iou_mean": r(self.room_iou_mean),
+            "room_area_error_mean": r(self.room_area_error_mean),
+            "room_aspect_error_mean": r(self.room_aspect_error_mean),
+            "room_location_error_mean": r(self.room_location_error_mean),
+            "room_location_error_max": r(self.room_location_error_max),
+            "samples": {
+                "room_iou": {k: r(v) for k, v in sorted(self.room_ious.items())},
+                "room_location_error": {
+                    k: r(v) for k, v in sorted(self.room_location_errors.items())
+                },
+            },
+        }
+
+
+def _fold_rotation(angle_deg: float) -> float:
+    """Smallest absolute rotation equivalent to ``angle_deg`` (0..180]."""
+    folded = math.fmod(angle_deg, 360.0)
+    if folded < 0:
+        folded += 360.0
+    return min(folded, 360.0 - folded)
+
+
+def _keyframes_localized(result: ReconstructionResult) -> tuple:
+    """(total key-frames, key-frames in the largest registered component).
+
+    A trajectory outside the dominant connected component of the merge
+    graph was never registered into the common frame — its key-frames
+    exist but are not *localized* on the shared map.
+    """
+    counts = [len(anchored.keyframes) for anchored in result.anchored]
+    total = sum(counts)
+    if not counts:
+        return 0, 0
+    components = result.aggregation.components or []
+    localized = max(
+        (sum(counts[i] for i in component if i < len(counts))
+         for component in components),
+        default=0,
+    )
+    return total, localized
+
+
+def score_reconstruction(
+    result: ReconstructionResult,
+    plan: FloorPlan,
+    lighting: str = "day",
+    crowd_size: int = 0,
+    n_sessions: int = 0,
+    n_frames: int = 0,
+) -> FloorReconstructionReport:
+    """Score one finished reconstruction against its ground-truth plan."""
+    hallway = evaluate_hallway_shape(result.skeleton, plan)
+    alignment = hallway.alignment
+    cell = result.skeleton.cell_size
+    if result.skeleton.skeleton.any():
+        translation_m = math.hypot(
+            alignment.shift_rows, alignment.shift_cols
+        ) * cell
+        rotation_deg = _fold_rotation(alignment.rotation_deg)
+    else:
+        # No reconstructed cells: the alignment search degenerates to an
+        # arbitrary zero-overlap transform; report no residual instead of
+        # whichever shift the search visited first.
+        translation_m = 0.0
+        rotation_deg = 0.0
+
+    hints = [pano.room_hint for pano in result.panoramas]
+    rooms = evaluate_rooms(result.layouts, hints, plan, result.floorplan)
+
+    room_ious: Dict[str, float] = {}
+    for placed in result.floorplan.rooms:
+        if placed.name is None:
+            continue
+        try:
+            truth = plan.room_by_name(placed.name)
+        except KeyError:
+            continue
+        room_ious[placed.name] = bounding_box_iou(
+            placed.bounding_box(), truth.bounding_box()
+        )
+
+    n_keyframes, localized = _keyframes_localized(result)
+    scored_names = set(room_ious) | set(rooms.location_errors)
+    return FloorReconstructionReport(
+        building=plan.name,
+        lighting=lighting,
+        crowd_size=crowd_size,
+        n_sessions=n_sessions,
+        n_frames=n_frames,
+        n_keyframes=n_keyframes,
+        sessions_quarantined=result.n_quarantined,
+        hallway_precision=hallway.precision,
+        hallway_recall=hallway.recall,
+        hallway_f=hallway.f_measure,
+        alignment_rotation_error_deg=rotation_deg,
+        alignment_translation_error_m=translation_m,
+        keyframes_localized_fraction=(
+            localized / n_keyframes if n_keyframes else 0.0
+        ),
+        rooms_total=len(plan.rooms),
+        rooms_scored=len(scored_names),
+        room_iou_mean=mean_of(room_ious.values()),
+        room_area_error_mean=rooms.mean_area_error(),
+        room_aspect_error_mean=rooms.mean_aspect_ratio_error(),
+        room_location_error_mean=rooms.mean_location_error(),
+        room_location_error_max=rooms.max_location_error(),
+        room_ious=room_ious,
+        room_location_errors=dict(rooms.location_errors),
+    )
+
+
+def score_scenario(
+    spec: ScenarioSpec, config: Optional[CrowdMapConfig] = None
+) -> FloorReconstructionReport:
+    """Generate one cell's world, run the full pipeline, score the result."""
+    dataset = spec.generate()
+    result = CrowdMapPipeline(config).run(dataset)
+    return score_reconstruction(
+        result,
+        dataset.plan,
+        lighting=spec.lighting,
+        crowd_size=spec.n_users,
+        n_sessions=len(dataset.sessions),
+        n_frames=dataset.total_frames(),
+    )
+
+
+def run_scorecard(
+    specs: Sequence[ScenarioSpec],
+    config: Optional[CrowdMapConfig] = None,
+    log: Callable[[str], None] = lambda line: None,
+) -> dict:
+    """Score every scenario cell; returns the JSON-ready report dict."""
+    cells: Dict[str, dict] = {}
+    for spec in specs:
+        log(f"scoring {spec.key} ...")
+        report = score_scenario(spec, config)
+        cells[spec.key] = report.to_json()
+        log(
+            f"{spec.key:18s} F={report.hallway_f:.3f} "
+            f"IoU={report.room_iou_mean:.3f} "
+            f"loc_err={report.room_location_error_mean:.2f}m "
+            f"kf_localized={report.keyframes_localized_fraction:.0%}"
+        )
+    return {"schema": ACCURACY_SCHEMA_VERSION, "cells": cells}
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison (the CI gate)
+# ----------------------------------------------------------------------
+
+#: Score-like metrics (bigger is better): allowed absolute *drop* per cell.
+SCORE_TOLERANCES: Dict[str, float] = {
+    "hallway_precision": 0.08,
+    "hallway_recall": 0.08,
+    "hallway_f": 0.06,
+    "room_iou_mean": 0.08,
+    "rooms_scored_fraction": 0.0,  # losing a whole room is always drift
+    "keyframes_localized_fraction": 0.10,
+}
+
+#: Error-like metrics (smaller is better): allowed absolute *rise* per
+#: cell, in the metric's own unit (fractions, metres, degrees).
+ERROR_TOLERANCES: Dict[str, float] = {
+    "room_area_error_mean": 0.08,
+    "room_aspect_error_mean": 0.08,
+    "room_location_error_mean": 0.75,
+    "room_location_error_max": 1.50,
+    "alignment_rotation_error_deg": 15.0,
+    "alignment_translation_error_m": 1.00,
+}
+
+
+def compare_to_accuracy_baseline(
+    report: dict,
+    baseline: dict,
+    tolerance_scale: float = 1.0,
+    require_all_cells: bool = True,
+) -> List[str]:
+    """Quality regressions versus the committed baseline, human-readable.
+
+    Every cell present in both reports is compared metric-by-metric
+    against the per-metric tolerance bands (scaled by
+    ``tolerance_scale``); improvements never fail. With
+    ``require_all_cells`` (the CI default) a baseline cell missing from
+    the fresh report is itself a failure — a gate that silently stops
+    measuring a building has not passed.
+    """
+    if tolerance_scale < 0:
+        raise ValueError("tolerance_scale must be >= 0")
+    problems: List[str] = []
+    base_cells = baseline.get("cells", {})
+    run_cells = report.get("cells", {})
+    if require_all_cells:
+        for key in sorted(set(base_cells) - set(run_cells)):
+            problems.append(f"{key}: cell present in baseline but not scored")
+    for key in sorted(set(base_cells) & set(run_cells)):
+        base, current = base_cells[key], run_cells[key]
+        for metric, band in sorted(SCORE_TOLERANCES.items()):
+            if metric not in base or metric not in current:
+                continue
+            floor = base[metric] - band * tolerance_scale
+            if current[metric] < floor:
+                problems.append(
+                    f"{key}: {metric} {current[metric]:.4f} dropped below "
+                    f"baseline {base[metric]:.4f} - {band * tolerance_scale:.4f}"
+                )
+        for metric, band in sorted(ERROR_TOLERANCES.items()):
+            if metric not in base or metric not in current:
+                continue
+            ceiling = base[metric] + band * tolerance_scale
+            if current[metric] > ceiling:
+                problems.append(
+                    f"{key}: {metric} {current[metric]:.4f} rose above "
+                    f"baseline {base[metric]:.4f} + {band * tolerance_scale:.4f}"
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Text rendering (scorecard table, CDFs, crowd-size sweep)
+# ----------------------------------------------------------------------
+
+
+def render_scorecard_table(report: dict) -> str:
+    """Fixed-width table of every cell's headline metrics."""
+    from repro.eval.report import render_table
+
+    rows = []
+    for key in sorted(report.get("cells", {})):
+        cell = report["cells"][key]
+        rows.append(
+            (
+                key,
+                f"{cell['hallway_precision']:.1%}",
+                f"{cell['hallway_recall']:.1%}",
+                f"{cell['hallway_f']:.1%}",
+                f"{cell['room_iou_mean']:.2f}",
+                f"{cell['room_location_error_mean']:.2f}m",
+                f"{cell['keyframes_localized_fraction']:.0%}",
+                f"{cell['rooms_scored']}/{cell['rooms_total']}",
+            )
+        )
+    return render_table(
+        "Reconstruction scorecard (per scenario cell)",
+        ["cell", "P", "R", "F", "room IoU", "loc err", "kf localized", "rooms"],
+        rows,
+    )
+
+
+def collect_samples(report: dict) -> Dict[str, List[float]]:
+    """Pool the per-room sample series across cells (CDF material)."""
+    pooled: Dict[str, List[float]] = {}
+    for key in sorted(report.get("cells", {})):
+        samples = report["cells"][key].get("samples", {})
+        for metric in sorted(samples):
+            pooled.setdefault(metric, []).extend(
+                samples[metric][name] for name in sorted(samples[metric])
+            )
+    return pooled
+
+
+def render_accuracy_cdfs(report: dict) -> Dict[str, str]:
+    """Named text CDF plots over the pooled per-room samples."""
+    from repro.eval.figures import render_cdf_plot
+
+    plots: Dict[str, str] = {}
+    units = {"room_iou": "", "room_location_error": " (m)"}
+    for metric, values in collect_samples(report).items():
+        if not values:
+            continue
+        plots[metric] = render_cdf_plot(
+            f"CDF: {metric}{units.get(metric, '')} "
+            f"({len(values)} rooms, all cells)",
+            {metric: values},
+        )
+    return plots
+
+
+def render_crowd_sweep(report: dict) -> str:
+    """Accuracy versus crowd size, per (building, lighting) series.
+
+    The sweep the paper could not collect: with procedural ground truth
+    the quality-vs-#users curve (its Fig. 7a premise: quality grows with
+    trajectory quantity) regenerates automatically from the full matrix.
+    """
+    from repro.eval.report import render_table
+
+    series: Dict[tuple, List[tuple]] = {}
+    for cell in report.get("cells", {}).values():
+        series.setdefault((cell["building"], cell["lighting"]), []).append(
+            (
+                cell["crowd_size"],
+                cell["hallway_f"],
+                cell["room_iou_mean"],
+                cell["keyframes_localized_fraction"],
+            )
+        )
+    rows = []
+    for (building, lighting), points in sorted(series.items()):
+        for n_users, f, iou, localized in sorted(points):
+            rows.append(
+                (
+                    building,
+                    lighting,
+                    n_users,
+                    f"{f:.1%}",
+                    f"{iou:.2f}",
+                    f"{localized:.0%}",
+                )
+            )
+    return render_table(
+        "Accuracy vs crowd size",
+        ["building", "lighting", "#users", "hallway F", "room IoU", "kf localized"],
+        rows,
+    )

@@ -22,6 +22,7 @@ from repro.geometry.polygon_ops import (
     rasterize_polygon,
     mask_iou,
     mask_precision_recall,
+    bounding_box_iou,
     point_in_polygon,
 )
 from repro.geometry.alpha_shape import alpha_shape_mask, alpha_shape_edges
@@ -39,6 +40,7 @@ __all__ = [
     "rasterize_polygon",
     "mask_iou",
     "mask_precision_recall",
+    "bounding_box_iou",
     "point_in_polygon",
     "alpha_shape_mask",
     "alpha_shape_edges",

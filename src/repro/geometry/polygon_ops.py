@@ -101,6 +101,26 @@ def mask_iou(a: np.ndarray, b: np.ndarray) -> float:
     return np.count_nonzero(a & b) / union
 
 
+def bounding_box_iou(a: BoundingBox, b: BoundingBox) -> float:
+    """Intersection-over-union of two axis-aligned boxes (0 when disjoint).
+
+    Room-shape IoU for the scorecard: reconstructed rooms are
+    near-axis-aligned rectangles and ground-truth rooms are exact ones,
+    so the axis-aligned bound is the natural common denominator (the same
+    simplification :meth:`PlacedRoom.bounding_box` makes for overlap
+    forces).
+    """
+    ix = min(a.max_x, b.max_x) - max(a.min_x, b.min_x)
+    iy = min(a.max_y, b.max_y) - max(a.min_y, b.min_y)
+    if ix <= 0.0 or iy <= 0.0:
+        return 0.0
+    intersection = ix * iy
+    union = a.area() + b.area() - intersection
+    if union <= 0.0:
+        return 0.0
+    return intersection / union
+
+
 def mask_precision_recall(
     generated: np.ndarray, truth: np.ndarray
 ) -> Tuple[float, float, float]:

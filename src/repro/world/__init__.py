@@ -18,6 +18,14 @@ from repro.world.renderer import Camera, Renderer
 from repro.world.walker import Walker, WalkerProfile, CaptureSession
 from repro.world.crowd import CrowdConfig, generate_crowd_dataset, CrowdDataset
 from repro.world.dataset_io import save_dataset, load_dataset
+from repro.world.scenarios import (
+    ScenarioSpec,
+    scenario_matrix,
+    quick_scenarios,
+    full_scenarios,
+    scenarios_for_profile,
+    find_scenarios,
+)
 
 __all__ = [
     "Door",
@@ -43,4 +51,10 @@ __all__ = [
     "CrowdDataset",
     "save_dataset",
     "load_dataset",
+    "ScenarioSpec",
+    "scenario_matrix",
+    "quick_scenarios",
+    "full_scenarios",
+    "scenarios_for_profile",
+    "find_scenarios",
 ]

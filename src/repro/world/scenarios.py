@@ -1,0 +1,178 @@
+"""Seeded evaluation scenario matrix: buildings × lighting × crowd sizes.
+
+The accuracy scorecard (:mod:`repro.eval.scorecard`) needs a stable,
+named grid of worlds to reconstruct and score. A :class:`ScenarioSpec`
+pins everything that influences the generated dataset — building,
+lighting condition, crowd size, per-user task counts and the RNG seed —
+so the same spec regenerates byte-identical sensor data on any machine,
+which is what lets ``ACCURACY_baseline.json`` be a committed, diffable
+artifact.
+
+Seeds are derived from the cell key (not from enumeration order), so
+adding or removing cells never changes the data of the remaining ones.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Sequence
+
+from repro.world.buildings import BUILDING_BUILDERS
+from repro.world.crowd import CrowdConfig, CrowdDataset, generate_crowd_dataset
+from repro.world.floorplan_model import FloorPlan
+
+#: Lighting condition names a scenario may request.
+LIGHTINGS = ("day", "night")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully pinned evaluation world: who walked where, under what light."""
+
+    building: str
+    lighting: str = "day"
+    n_users: int = 3
+    sws_per_user: int = 2
+    srs_rooms_per_user: int = 1
+    base_seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.building not in BUILDING_BUILDERS:
+            raise ValueError(
+                f"unknown building {self.building!r}; "
+                f"known: {sorted(BUILDING_BUILDERS)}"
+            )
+        if self.lighting not in LIGHTINGS:
+            raise ValueError(
+                f"lighting must be one of {LIGHTINGS}, got {self.lighting!r}"
+            )
+        if self.n_users < 1:
+            raise ValueError("n_users must be >= 1")
+
+    @property
+    def key(self) -> str:
+        """Stable cell name, used as the baseline-JSON key."""
+        return f"{self.building}/{self.lighting}/u{self.n_users:02d}"
+
+    @property
+    def seed(self) -> int:
+        """Per-cell dataset seed, derived from the key so cells never share
+        (or shift) RNG streams when the matrix grows or shrinks."""
+        return (self.base_seed + zlib.crc32(self.key.encode("ascii"))) % (2**31)
+
+    def plan(self) -> FloorPlan:
+        return BUILDING_BUILDERS[self.building]()
+
+    def crowd_config(self) -> CrowdConfig:
+        return CrowdConfig(
+            n_users=self.n_users,
+            sws_per_user=self.sws_per_user,
+            srs_rooms_per_user=self.srs_rooms_per_user,
+            night_fraction=1.0 if self.lighting == "night" else 0.0,
+            seed=self.seed,
+        )
+
+    def generate(self) -> CrowdDataset:
+        """Simulate this cell's crowdsourcing campaign."""
+        return generate_crowd_dataset(self.plan(), self.crowd_config())
+
+
+def scenario_matrix(
+    buildings: Sequence[str] = ("Lab1", "Lab2", "Gym"),
+    lightings: Sequence[str] = ("day",),
+    crowd_sizes: Sequence[int] = (3,),
+    base_seed: int = 11,
+    sws_per_user: int = 2,
+    srs_rooms_per_user: int = 1,
+) -> List[ScenarioSpec]:
+    """The cross product of buildings × lightings × crowd sizes, in a
+    deterministic order (buildings outermost, crowd sizes innermost)."""
+    return [
+        ScenarioSpec(
+            building=building,
+            lighting=lighting,
+            n_users=n_users,
+            sws_per_user=sws_per_user,
+            srs_rooms_per_user=srs_rooms_per_user,
+            base_seed=base_seed,
+        )
+        for building in buildings
+        for lighting in lightings
+        for n_users in crowd_sizes
+    ]
+
+
+def _densify_gym(specs: Iterable[ScenarioSpec]) -> List[ScenarioSpec]:
+    """Give Gym cells a denser crowd, like the paper's own campaign.
+
+    The Gym's ~600 m² open hall needs more walkers to reach the areal
+    coverage the lab corridors get from a handful (the paper's gym
+    dataset was its largest for the same reason; benchmarks/_shared.py
+    applies the same +3 users / +1 walk bump).
+    """
+    dense = []
+    for spec in specs:
+        if spec.building == "Gym":
+            spec = replace(
+                spec,
+                n_users=spec.n_users + 3,
+                sws_per_user=spec.sws_per_user + 1,
+            )
+        dense.append(spec)
+    return dense
+
+
+def quick_scenarios(base_seed: int = 11) -> List[ScenarioSpec]:
+    """The committed-baseline grid: three buildings by day, plus one
+    night cell — small enough for a CI gate, wide enough that hallway,
+    room and lighting regressions all move at least one cell."""
+    specs = scenario_matrix(
+        buildings=("Lab1", "Lab2", "Gym"), base_seed=base_seed
+    )
+    specs += scenario_matrix(
+        buildings=("Lab1",), lightings=("night",), base_seed=base_seed
+    )
+    return _densify_gym(specs)
+
+
+def full_scenarios(base_seed: int = 11) -> List[ScenarioSpec]:
+    """The quick grid plus the remaining night cells and a Lab1
+    accuracy-vs-crowd-size sweep (the curve the paper could not collect:
+    procedural ground truth makes the sweep free)."""
+    specs = quick_scenarios(base_seed)
+    specs += _densify_gym(
+        scenario_matrix(
+            buildings=("Lab2", "Gym"), lightings=("night",), base_seed=base_seed
+        )
+    )
+    specs += scenario_matrix(
+        buildings=("Lab1",), crowd_sizes=(1, 2, 5), base_seed=base_seed
+    )
+    return specs
+
+
+def scenarios_for_profile(
+    profile: str, base_seed: int = 11
+) -> List[ScenarioSpec]:
+    """The scenario grid for a named profile (``"quick"`` or ``"full"``)."""
+    if profile == "quick":
+        return quick_scenarios(base_seed)
+    if profile == "full":
+        return full_scenarios(base_seed)
+    raise ValueError(f"profile must be 'quick' or 'full', got {profile!r}")
+
+
+def find_scenarios(
+    specs: Sequence[ScenarioSpec], keys: Optional[Sequence[str]]
+) -> List[ScenarioSpec]:
+    """Subset ``specs`` by cell key (``None`` keeps everything)."""
+    if not keys:
+        return list(specs)
+    by_key = {spec.key: spec for spec in specs}
+    missing = [key for key in keys if key not in by_key]
+    if missing:
+        raise KeyError(
+            f"unknown scenario cell(s) {missing}; known: {sorted(by_key)}"
+        )
+    return [by_key[key] for key in keys]

@@ -1,0 +1,15 @@
+"""Fixture: code CM008 must not flag inside eval-path modules."""
+
+
+def score_cells(specs, pipeline):
+    # Pure data flow: worlds in, metrics out — nothing observes time.
+    return {spec.key: pipeline(spec) for spec in specs}
+
+
+def round_for_baseline(value, digits=4):
+    return round(float(value), digits)
+
+
+def timestamp_free_report(cells):
+    # Provenance lives in git history, not in the artifact.
+    return {"schema": 1, "cells": cells}

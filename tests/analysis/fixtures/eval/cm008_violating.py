@@ -1,0 +1,24 @@
+"""Fixture: clock observations CM008 flags in eval-path modules."""
+
+import time
+from time import monotonic as mono
+
+
+def timed_scorecard(run):
+    start = time.perf_counter()  # [expect CM008]
+    cells = run()
+    elapsed = time.perf_counter() - start  # [expect CM008]
+    return cells, elapsed
+
+
+def cpu_budget():
+    return time.process_time()  # [expect CM008]
+
+
+def throttle(run):
+    time.sleep(0.1)  # [expect CM008]
+    return run()
+
+
+def aliased_clock():
+    return mono()  # [expect CM008]

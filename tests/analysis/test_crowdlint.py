@@ -173,6 +173,41 @@ class TestCli:
             assert rule.rule_id in out
 
 
+class TestCm008:
+    """CM008 is path-scoped to eval modules and error-severity."""
+
+    EVAL = FIXTURES / "eval"
+
+    def test_violating_fixture_matches_markers(self):
+        path = self.EVAL / "cm008_violating.py"
+        expected = expected_markers(path)
+        assert expected, f"{path} has no [expect ...] markers"
+        found = sorted((f.rule, f.line) for f in lint_fixture(path))
+        assert found == expected
+
+    def test_clean_fixture_has_no_findings(self):
+        path = self.EVAL / "cm008_clean.py"
+        findings = lint_fixture(path)
+        assert findings == [], format_findings(findings)
+
+    def test_findings_are_errors(self):
+        findings = lint_fixture(self.EVAL / "cm008_violating.py")
+        assert findings and {f.severity for f in findings} == {"error"}
+
+    def test_rule_only_applies_under_an_eval_directory(self):
+        source = (self.EVAL / "cm008_violating.py").read_text()
+        assert lint_source(source, path="somewhere/else/harness.py") == []
+
+    def test_monotonic_clock_allowed_outside_eval_but_not_inside(self):
+        source = "import time\nstart = time.perf_counter()\n"
+        # CM002 permits monotonic reads in general library code ...
+        assert lint_source(source, path="src/repro/bench/timers.py") == []
+        # ... but scorecard artifacts must not observe any clock.
+        assert [f.rule for f in lint_source(source, path="src/repro/eval/x.py")] == [
+            "CM008"
+        ]
+
+
 class TestCm006:
     """CM006 is path-scoped to vision modules and advisory-severity."""
 

@@ -1,0 +1,136 @@
+"""Shared baseline-file plumbing (repro.bench.baseline).
+
+Both committed gates — ``BENCH_baseline.json`` (perf) and
+``ACCURACY_baseline.json`` (quality) — go through these helpers; this
+file pins the contract they share: schema validation, stable
+serialization, and preservation of frozen ``pre_pr*`` records across
+``--update-baseline`` rewrites.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import SCHEMA_VERSION, load_report, update_baseline, write_report
+from repro.bench.baseline import (
+    PRESERVED_PREFIX,
+    load_json_report,
+    update_baseline_file,
+    write_json_report,
+)
+
+
+class TestLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "b.json"
+        write_json_report({"schema": 7, "cells": {"a": 1}}, str(path))
+        assert load_json_report(str(path), 7) == {"schema": 7, "cells": {"a": 1}}
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text('{"schema": 1}')
+        with pytest.raises(ValueError, match="schema"):
+            load_json_report(str(path), 2)
+
+    def test_missing_schema_key_raises(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="schema"):
+            load_json_report(str(path), 1)
+
+    def test_no_validation_without_version(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text('{"anything": true}')
+        assert load_json_report(str(path)) == {"anything": True}
+
+
+class TestWrite:
+    def test_stable_diff_friendly_layout(self, tmp_path):
+        path = tmp_path / "b.json"
+        write_json_report({"z": 1, "a": {"y": 2, "b": 3}}, str(path))
+        text = path.read_text()
+        assert text.endswith("\n")
+        # Keys sorted at every level, 2-space indent.
+        assert text.index('"a"') < text.index('"z"')
+        assert text.index('"b"') < text.index('"y"')
+        assert '  "a"' in text
+
+    def test_byte_identical_across_writes(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        report = {"schema": 1, "cells": {"x": 0.5}}
+        write_json_report(report, str(a))
+        write_json_report(json.loads(a.read_text()), str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestUpdate:
+    def test_first_generation_with_no_previous_file(self, tmp_path):
+        path = tmp_path / "b.json"
+        merged = update_baseline_file(str(path), {"schema": 1, "cells": {}}, 1)
+        assert merged == {"schema": 1, "cells": {}}
+        assert json.loads(path.read_text()) == merged
+
+    def test_preserves_every_pre_pr_record(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "cells": {"old": 1},
+                    "pre_pr": {"f": 0.1},
+                    "pre_pr_shm": {"f": 0.2},
+                }
+            )
+        )
+        merged = update_baseline_file(str(path), {"schema": 1, "cells": {"new": 2}}, 1)
+        assert merged["cells"] == {"new": 2}
+        assert merged["pre_pr"] == {"f": 0.1}
+        assert merged["pre_pr_shm"] == {"f": 0.2}
+
+    def test_corrupt_previous_file_is_treated_as_empty(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text("{not json")
+        merged = update_baseline_file(str(path), {"schema": 1}, 1)
+        assert merged == {"schema": 1}
+
+    def test_wrong_schema_previous_file_is_an_error(self, tmp_path):
+        # Silently dropping preserved records would lose history.
+        path = tmp_path / "b.json"
+        path.write_text('{"schema": 99, "pre_pr": {}}')
+        with pytest.raises(ValueError, match="schema"):
+            update_baseline_file(str(path), {"schema": 1}, 1)
+
+    def test_custom_preserve_prefix(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text('{"schema": 1, "frozen_x": 1, "pre_pr": 2}')
+        merged = update_baseline_file(
+            str(path), {"schema": 1}, 1, preserve_prefix="frozen_"
+        )
+        assert merged == {"schema": 1, "frozen_x": 1}
+
+    def test_report_keys_win_over_non_preserved_previous(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text('{"schema": 1, "cells": {"a": 1}, "note": "old"}')
+        merged = update_baseline_file(str(path), {"schema": 1, "cells": {"b": 2}}, 1)
+        assert merged == {"schema": 1, "cells": {"b": 2}}
+
+
+class TestBenchFacade:
+    """repro.bench re-exports the helpers bound to its own schema."""
+
+    def test_load_and_write_report_use_bench_schema(self, tmp_path):
+        path = tmp_path / "b.json"
+        write_report({"schema": SCHEMA_VERSION, "results": {}}, str(path))
+        assert load_report(str(path))["schema"] == SCHEMA_VERSION
+        path.write_text('{"schema": -1}')
+        with pytest.raises(ValueError, match="schema"):
+            load_report(str(path))
+
+    def test_update_baseline_preserves_prefix(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps({"schema": SCHEMA_VERSION, "pre_pr": {"kept": True}})
+        )
+        merged = update_baseline(str(path), {"schema": SCHEMA_VERSION, "results": {}})
+        assert merged["pre_pr"] == {"kept": True}
+        assert PRESERVED_PREFIX == "pre_pr"

@@ -1,0 +1,312 @@
+"""Scorecard unit behaviour: edge cases, comparison bands, rendering.
+
+The expensive end-to-end paths (real pipeline runs, the CLI gate, the
+two-run bit-identity acceptance criterion) live in
+``tests/eval/test_accuracy_gate.py``; everything here is fast and
+synthetic.
+"""
+
+import json
+import math
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import AggregationResult
+from repro.core.floorplan import FloorPlanResult, PlacedRoom
+from repro.core.pipeline import ReconstructionResult
+from repro.core.room_layout import RoomLayout
+from repro.core.skeleton import OccupancyGrid, SkeletonResult
+from repro.eval.scorecard import (
+    ERROR_TOLERANCES,
+    SCORE_TOLERANCES,
+    _fold_rotation,
+    collect_samples,
+    compare_to_accuracy_baseline,
+    render_crowd_sweep,
+    render_scorecard_table,
+    score_reconstruction,
+)
+from repro.geometry.polygon_ops import bounding_box_iou
+from repro.geometry.primitives import BoundingBox, Point
+from repro.world.buildings import build_lab1
+
+
+def empty_skeleton(plan, cell_size=0.5):
+    grid = OccupancyGrid(plan.bounds, cell_size)
+    zeros = np.zeros_like(grid.counts, dtype=bool)
+    return SkeletonResult(
+        grid=grid,
+        probability=grid.counts.copy(),
+        binarized=zeros.copy(),
+        alpha_mask=zeros.copy(),
+        skeleton=zeros.copy(),
+    )
+
+
+def empty_result(plan):
+    skeleton = empty_skeleton(plan)
+    return ReconstructionResult(
+        aggregation=AggregationResult(
+            trajectories=[], transforms=[], candidates=[], components=[]
+        ),
+        skeleton=skeleton,
+        panoramas=[],
+        layouts=[],
+        floorplan=FloorPlanResult(skeleton=skeleton, rooms=[]),
+        anchored=[],
+    )
+
+
+class TestEdgeCases:
+    def test_empty_skeleton_scores_zero_without_crashing(self):
+        plan = build_lab1()
+        report = score_reconstruction(empty_result(plan), plan)
+        assert report.hallway_precision == 0.0
+        assert report.hallway_recall == 0.0
+        assert report.hallway_f == 0.0
+        assert report.rooms_scored == 0
+        assert report.room_iou_mean == 0.0
+        assert report.rooms_total == len(plan.rooms)
+
+    def test_zero_keyframes_localized_fraction_is_zero(self):
+        plan = build_lab1()
+        report = score_reconstruction(empty_result(plan), plan)
+        assert report.n_keyframes == 0
+        assert report.keyframes_localized_fraction == 0.0
+
+    def test_partial_registration_counts_largest_component(self):
+        plan = build_lab1()
+        result = empty_result(plan)
+        # Three anchored sessions: two registered together, one orphan.
+        result.anchored = [
+            SimpleNamespace(keyframes=[0] * 6),
+            SimpleNamespace(keyframes=[0] * 4),
+            SimpleNamespace(keyframes=[0] * 10),
+        ]
+        result.aggregation.components = [[0, 1], [2]]
+        report = score_reconstruction(result, plan)
+        assert report.n_keyframes == 20
+        assert report.keyframes_localized_fraction == pytest.approx(0.5)
+
+    def test_unnamed_and_unknown_rooms_are_skipped(self):
+        plan = build_lab1()
+        result = empty_result(plan)
+        layout = RoomLayout(
+            width=3.0, depth=3.0, orientation=0.0, center=Point(0.0, 0.0),
+            consistency=1.0,
+        )
+        result.floorplan.rooms = [
+            PlacedRoom(layout=layout, center=Point(0, 0), name=None),
+            PlacedRoom(layout=layout, center=Point(0, 0), name="no_such_room"),
+        ]
+        report = score_reconstruction(result, plan)
+        assert report.room_ious == {}
+
+    def test_json_round_trips_and_is_rounded(self):
+        plan = build_lab1()
+        cell = score_reconstruction(empty_result(plan), plan).to_json()
+        # Serializable, and every float fits the 4-decimal contract.
+        payload = json.loads(json.dumps(cell))
+        for key, value in payload.items():
+            if isinstance(value, float):
+                assert value == round(value, 4), key
+
+
+class TestFoldRotation:
+    @pytest.mark.parametrize(
+        "angle,expected",
+        [(0.0, 0.0), (90.0, 90.0), (180.0, 180.0), (270.0, 90.0),
+         (360.0, 0.0), (-90.0, 90.0), (350.0, 10.0)],
+    )
+    def test_folds_into_smallest_equivalent(self, angle, expected):
+        assert _fold_rotation(angle) == pytest.approx(expected)
+
+
+class TestBoundingBoxIou:
+    def test_identical_boxes(self):
+        box = BoundingBox(0, 0, 4, 2)
+        assert bounding_box_iou(box, box) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        assert bounding_box_iou(
+            BoundingBox(0, 0, 1, 1), BoundingBox(5, 5, 6, 6)
+        ) == 0.0
+
+    def test_half_overlap(self):
+        a = BoundingBox(0, 0, 2, 1)
+        b = BoundingBox(1, 0, 3, 1)
+        # intersection 1, union 3.
+        assert bounding_box_iou(a, b) == pytest.approx(1.0 / 3.0)
+
+    def test_degenerate_box_is_zero(self):
+        a = BoundingBox(1, 1, 1, 1)
+        assert bounding_box_iou(a, a) == 0.0
+
+
+def make_report(**metrics):
+    cell = {
+        "building": "Lab1",
+        "lighting": "day",
+        "crowd_size": 3,
+        "hallway_precision": 0.8,
+        "hallway_recall": 0.7,
+        "hallway_f": 0.75,
+        "room_iou_mean": 0.6,
+        "rooms_scored_fraction": 0.5,
+        "keyframes_localized_fraction": 0.9,
+        "room_area_error_mean": 0.1,
+        "room_aspect_error_mean": 0.05,
+        "room_location_error_mean": 0.5,
+        "room_location_error_max": 1.0,
+        "alignment_rotation_error_deg": 0.0,
+        "alignment_translation_error_m": 0.5,
+    }
+    cell.update(metrics)
+    return {"schema": 1, "cells": {"Lab1/day/u03": cell}}
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        base = make_report()
+        assert compare_to_accuracy_baseline(base, base) == []
+
+    def test_improvements_never_fail(self):
+        improved = make_report(
+            hallway_f=0.95, room_location_error_mean=0.1, room_iou_mean=0.9
+        )
+        assert compare_to_accuracy_baseline(improved, make_report()) == []
+
+    def test_score_drop_beyond_band_fails(self):
+        band = SCORE_TOLERANCES["hallway_f"]
+        degraded = make_report(hallway_f=0.75 - band - 0.01)
+        problems = compare_to_accuracy_baseline(degraded, make_report())
+        assert len(problems) == 1
+        assert "hallway_f" in problems[0]
+
+    def test_score_drop_within_band_passes(self):
+        band = SCORE_TOLERANCES["hallway_f"]
+        wobble = make_report(hallway_f=0.75 - band + 0.01)
+        assert compare_to_accuracy_baseline(wobble, make_report()) == []
+
+    def test_error_rise_beyond_band_fails(self):
+        band = ERROR_TOLERANCES["room_location_error_mean"]
+        degraded = make_report(room_location_error_mean=0.5 + band + 0.01)
+        problems = compare_to_accuracy_baseline(degraded, make_report())
+        assert len(problems) == 1
+        assert "room_location_error_mean" in problems[0]
+
+    def test_tolerance_scale_widens_bands(self):
+        band = SCORE_TOLERANCES["hallway_f"]
+        degraded = make_report(hallway_f=0.75 - 1.5 * band)
+        assert compare_to_accuracy_baseline(degraded, make_report())
+        assert (
+            compare_to_accuracy_baseline(
+                degraded, make_report(), tolerance_scale=2.0
+            )
+            == []
+        )
+        with pytest.raises(ValueError, match="tolerance_scale"):
+            compare_to_accuracy_baseline(
+                make_report(), make_report(), tolerance_scale=-1.0
+            )
+
+    def test_missing_cell_fails_unless_subset(self):
+        base = make_report()
+        empty = {"schema": 1, "cells": {}}
+        problems = compare_to_accuracy_baseline(empty, base)
+        assert problems and "not scored" in problems[0]
+        assert (
+            compare_to_accuracy_baseline(empty, base, require_all_cells=False)
+            == []
+        )
+
+    def test_new_cells_in_report_are_ignored(self):
+        report = make_report()
+        report["cells"]["Gym/day/u06"] = dict(
+            report["cells"]["Lab1/day/u03"], building="Gym"
+        )
+        assert compare_to_accuracy_baseline(report, make_report()) == []
+
+    def test_losing_a_room_always_fails(self):
+        degraded = make_report(rooms_scored_fraction=0.4999)
+        problems = compare_to_accuracy_baseline(degraded, make_report())
+        assert len(problems) == 1
+        assert "rooms_scored_fraction" in problems[0]
+
+
+class TestRendering:
+    def cell(self, building="Lab1", n_users=3, f=0.8):
+        return {
+            "building": building,
+            "lighting": "day",
+            "crowd_size": n_users,
+            "hallway_precision": 0.9,
+            "hallway_recall": 0.8,
+            "hallway_f": f,
+            "room_iou_mean": 0.7,
+            "room_location_error_mean": 0.4,
+            "keyframes_localized_fraction": 0.85,
+            "rooms_scored": 3,
+            "rooms_total": 12,
+            "samples": {
+                "room_iou": {"s1": 0.7},
+                "room_location_error": {"s1": 0.4},
+            },
+        }
+
+    def test_table_lists_every_cell(self):
+        report = {
+            "schema": 1,
+            "cells": {
+                "Lab1/day/u03": self.cell(),
+                "Gym/day/u06": self.cell(building="Gym", n_users=6),
+            },
+        }
+        table = render_scorecard_table(report)
+        assert "Lab1/day/u03" in table and "Gym/day/u06" in table
+
+    def test_sweep_orders_by_crowd_size(self):
+        report = {
+            "schema": 1,
+            "cells": {
+                "Lab1/day/u05": self.cell(n_users=5, f=0.9),
+                "Lab1/day/u01": self.cell(n_users=1, f=0.4),
+                "Lab1/day/u03": self.cell(n_users=3, f=0.8),
+            },
+        }
+        sweep = render_crowd_sweep(report)
+        lines = [line for line in sweep.splitlines() if line.startswith("Lab1")]
+        users = [int(line.split("|")[2]) for line in lines]
+        assert users == [1, 3, 5]
+
+    def test_collect_samples_pools_across_cells(self):
+        report = {
+            "schema": 1,
+            "cells": {
+                "Lab1/day/u03": self.cell(),
+                "Gym/day/u06": self.cell(building="Gym"),
+            },
+        }
+        pooled = collect_samples(report)
+        assert pooled["room_iou"] == [0.7, 0.7]
+        assert pooled["room_location_error"] == [0.4, 0.4]
+
+
+class TestDeterminismContract:
+    def test_scorecard_module_reads_no_clocks(self):
+        """CM008 in miniature: the module tree must not observe time."""
+        import repro.eval.scorecard as module
+
+        source = open(module.__file__).read()
+        for banned in ("perf_counter", "monotonic", "time.time", "sleep("):
+            assert banned not in source
+
+    def test_translation_error_uses_cell_size(self):
+        plan = build_lab1()
+        result = empty_result(plan)
+        report = score_reconstruction(result, plan)
+        # Empty masks align at zero shift: no translation residual.
+        assert report.alignment_translation_error_m == 0.0
+        assert not math.isnan(report.alignment_rotation_error_deg)

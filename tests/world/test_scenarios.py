@@ -1,0 +1,119 @@
+"""Scenario-matrix behaviour: stable keys, derived seeds, lighting."""
+
+import pytest
+
+from repro.world.scenarios import (
+    ScenarioSpec,
+    find_scenarios,
+    full_scenarios,
+    quick_scenarios,
+    scenario_matrix,
+    scenarios_for_profile,
+)
+
+
+class TestSpec:
+    def test_key_encodes_cell_coordinates(self):
+        spec = ScenarioSpec(building="Lab2", lighting="night", n_users=4)
+        assert spec.key == "Lab2/night/u04"
+
+    def test_seed_is_stable_and_per_cell(self):
+        a = ScenarioSpec(building="Lab1", n_users=3)
+        b = ScenarioSpec(building="Lab1", n_users=3)
+        c = ScenarioSpec(building="Lab2", n_users=3)
+        d = ScenarioSpec(building="Lab1", lighting="night", n_users=3)
+        assert a.seed == b.seed
+        assert len({a.seed, c.seed, d.seed}) == 3
+
+    def test_seed_does_not_depend_on_matrix_position(self):
+        # Adding cells must never reshuffle existing cells' data.
+        small = scenario_matrix(buildings=("Lab1",), crowd_sizes=(3,))
+        large = scenario_matrix(
+            buildings=("Lab2", "Lab1"), crowd_sizes=(1, 2, 3)
+        )
+        by_key = {spec.key: spec for spec in large}
+        assert by_key[small[0].key].seed == small[0].seed
+
+    def test_unknown_building_rejected(self):
+        with pytest.raises(ValueError, match="unknown building"):
+            ScenarioSpec(building="Atlantis")
+
+    def test_bad_lighting_rejected(self):
+        with pytest.raises(ValueError, match="lighting"):
+            ScenarioSpec(building="Lab1", lighting="dusk")
+
+    def test_night_cell_generates_night_sessions(self):
+        spec = ScenarioSpec(
+            building="Lab1", lighting="night", n_users=1,
+            sws_per_user=1, srs_rooms_per_user=0,
+        )
+        dataset = spec.generate()
+        assert dataset.sessions
+        assert all(s.lighting.name == "night" for s in dataset.sessions)
+
+    def test_crowd_config_carries_spec_fields(self):
+        spec = ScenarioSpec(building="Gym", n_users=5, sws_per_user=3)
+        config = spec.crowd_config()
+        assert config.n_users == 5
+        assert config.sws_per_user == 3
+        assert config.night_fraction == 0.0
+        assert config.seed == spec.seed
+
+
+class TestMatrix:
+    def test_matrix_is_the_ordered_cross_product(self):
+        specs = scenario_matrix(
+            buildings=("Lab1", "Lab2"), lightings=("day", "night"),
+            crowd_sizes=(2, 3),
+        )
+        assert [s.key for s in specs] == [
+            "Lab1/day/u02", "Lab1/day/u03",
+            "Lab1/night/u02", "Lab1/night/u03",
+            "Lab2/day/u02", "Lab2/day/u03",
+            "Lab2/night/u02", "Lab2/night/u03",
+        ]
+
+    def test_quick_grid_covers_three_buildings_and_night(self):
+        keys = [s.key for s in quick_scenarios()]
+        assert len(keys) == len(set(keys))
+        buildings = {key.split("/")[0] for key in keys}
+        assert buildings == {"Lab1", "Lab2", "Gym"}
+        assert any("/night/" in key for key in keys)
+
+    def test_gym_cells_get_a_denser_crowd(self):
+        by_building = {}
+        for spec in quick_scenarios():
+            by_building.setdefault(spec.building, spec)
+        assert by_building["Gym"].n_users > by_building["Lab1"].n_users
+
+    def test_full_grid_extends_quick_with_a_lab1_sweep(self):
+        quick_keys = {s.key for s in quick_scenarios()}
+        full_keys = {s.key for s in full_scenarios()}
+        assert quick_keys < full_keys
+        lab1_day = sorted(
+            s.n_users for s in full_scenarios()
+            if s.building == "Lab1" and s.lighting == "day"
+        )
+        assert len(lab1_day) >= 3  # the accuracy-vs-#users sweep
+
+    def test_profiles(self):
+        assert [s.key for s in scenarios_for_profile("quick")] == [
+            s.key for s in quick_scenarios()
+        ]
+        with pytest.raises(ValueError, match="profile"):
+            scenarios_for_profile("exhaustive")
+
+
+class TestFind:
+    def test_subsets_by_key_in_request_order(self):
+        specs = quick_scenarios()
+        keys = [specs[2].key, specs[0].key]
+        assert [s.key for s in find_scenarios(specs, keys)] == keys
+
+    def test_none_keeps_everything(self):
+        specs = quick_scenarios()
+        assert find_scenarios(specs, None) == specs
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario cell"):
+            find_scenarios(quick_scenarios(), ["Lab1/day/u99"])
