@@ -1,0 +1,171 @@
+"""Baseline suppression file for crowdlint.
+
+New rules should land at **error** severity without demanding a big-bang
+cleanup of every pre-existing violation. The baseline file
+(``.crowdlint-baseline.json``, committed at the repo root) records known
+findings that are accepted *with a written reason*; the CLI subtracts
+matching findings at output time, so baselined debt neither fails the
+build nor pollutes reports, while anything *new* still gates.
+
+Matching is deliberately coarse — ``(rule, path, optional message
+substring)`` rather than line numbers — so unrelated edits that shift
+lines do not invalidate entries, and one entry can cover a file's whole
+class of accepted debt (e.g. every CM010 edge out of
+``core/keyframes.py``).
+
+Every entry must carry a non-empty ``reason``; a reasonless entry is a
+configuration error (mirroring the CM000 rule for inline pragmas). The
+CLI warns about entries that matched nothing — stale debt records should
+be deleted as the code heals.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.engine import Finding
+
+BASELINE_SCHEMA = "crowdlint-baseline/1"
+
+#: File name auto-discovered upward from the invocation directory.
+BASELINE_FILENAME = ".crowdlint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or violates its contract."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted class of findings.
+
+    ``path`` uses forward slashes, is repo-relative, and matches the
+    finding's reported path either exactly or as a ``/``-boundary suffix
+    — so ``src/repro/core/pipeline.py`` covers both a repo-root
+    invocation and an absolute-path one. ``contains``, when non-empty,
+    additionally requires the substring to appear in the message.
+    """
+
+    rule: str
+    path: str
+    contains: str = ""
+    reason: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.rule != self.rule:
+            return False
+        found_path = finding.path.replace("\\", "/")
+        if found_path != self.path and not found_path.endswith("/" + self.path):
+            return False
+        return self.contains in finding.message if self.contains else True
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    """Parse a baseline file, enforcing schema and mandatory reasons."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"baseline {path} must be an object with schema={BASELINE_SCHEMA!r}"
+        )
+    raw_entries = data.get("entries")
+    if not isinstance(raw_entries, list):
+        raise BaselineError(f"baseline {path} is missing its 'entries' list")
+    entries: List[BaselineEntry] = []
+    for index, raw in enumerate(raw_entries):
+        if not isinstance(raw, dict):
+            raise BaselineError(f"baseline {path} entry {index} is not an object")
+        try:
+            entry = BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                contains=str(raw.get("contains", "")),
+                reason=str(raw.get("reason", "")),
+            )
+        except KeyError as exc:
+            raise BaselineError(
+                f"baseline {path} entry {index} is missing {exc}"
+            ) from exc
+        reason = entry.reason.strip()
+        if not reason or reason.startswith("TODO"):
+            raise BaselineError(
+                f"baseline {path} entry {index} ({entry.rule} {entry.path}) "
+                "has no reason — every accepted finding must say why"
+            )
+        entries.append(entry)
+    return entries
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> int:
+    """Write the given findings as a fresh baseline; returns entry count.
+
+    Findings collapse to one entry per ``(rule, path)`` with a
+    placeholder reason the author must replace — a freshly generated
+    baseline intentionally fails :func:`load_baseline` until each entry
+    is justified.
+    """
+    grouped: Dict[Tuple[str, str], int] = {}
+    for finding in findings:
+        key = (finding.rule, finding.path.replace("\\", "/"))
+        grouped[key] = grouped.get(key, 0) + 1
+    entries = [
+        {
+            "rule": rule,
+            "path": file_path,
+            "contains": "",
+            "reason": f"TODO: justify ({count} finding(s) at generation time)",
+        }
+        for (rule, file_path), count in sorted(grouped.items())
+    ]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {"schema": BASELINE_SCHEMA, "entries": entries}, fh, indent=2
+        )
+        fh.write("\n")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Finding], int, List[BaselineEntry]]:
+    """Subtract baselined findings.
+
+    Returns ``(kept findings, suppressed count, entries that matched
+    nothing)`` — the last so the CLI can nag about stale entries.
+    """
+    used = [False] * len(entries)
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        matched = False
+        for index, entry in enumerate(entries):
+            if entry.matches(finding):
+                used[index] = True
+                matched = True
+        if matched:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    unused = [entry for entry, flag in zip(entries, used) if not flag]
+    return kept, suppressed, unused
+
+
+def find_baseline(start_dir: str = ".") -> Optional[str]:
+    """Nearest ``.crowdlint-baseline.json`` at or above ``start_dir``."""
+    current = os.path.abspath(start_dir)
+    while True:
+        candidate = os.path.join(current, BASELINE_FILENAME)
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(current)
+        if parent == current:
+            return None
+        current = parent

@@ -1,0 +1,74 @@
+"""Rule catalogue generation: the README table is derived, not written.
+
+The README's crowdlint table is regenerated from each rule's
+``rule_id`` / ``title`` / ``severity`` metadata between two HTML marker
+comments, and a drift test fails whenever the committed table disagrees
+with :data:`repro.analysis.rules.ALL_RULES` — so adding a rule without
+documenting it (or documenting a rule that does not exist) breaks CI.
+
+Regenerate with::
+
+    python -m repro.analysis --update-rule-docs
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules import ALL_RULES
+
+RULE_TABLE_BEGIN = "<!-- crowdlint-rule-table:begin (generated; run python -m repro.analysis --update-rule-docs) -->"
+RULE_TABLE_END = "<!-- crowdlint-rule-table:end -->"
+
+DEFAULT_README = "README.md"
+
+
+def rule_table_markdown(rules: Optional[Sequence[Rule]] = None) -> str:
+    """The generated markdown table (without the marker comments)."""
+    if rules is None:
+        rules = ALL_RULES
+    lines: List[str] = [
+        "| Rule | Severity | Enforces |",
+        "| ---- | -------- | -------- |",
+    ]
+    for rule in sorted(rules, key=lambda r: r.rule_id):
+        lines.append(f"| {rule.rule_id} | {rule.severity} | {rule.title} |")
+    return "\n".join(lines)
+
+
+def render_rule_table(rules: Optional[Sequence[Rule]] = None) -> str:
+    """Marker-delimited block as it should appear in the README."""
+    return f"{RULE_TABLE_BEGIN}\n{rule_table_markdown(rules)}\n{RULE_TABLE_END}"
+
+
+def extract_rule_table(readme_text: str) -> Optional[str]:
+    """The current marker-delimited block, or None when markers are absent."""
+    start = readme_text.find(RULE_TABLE_BEGIN)
+    if start < 0:
+        return None
+    end = readme_text.find(RULE_TABLE_END, start)
+    if end < 0:
+        return None
+    return readme_text[start : end + len(RULE_TABLE_END)]
+
+
+def update_readme(
+    readme_path: str = DEFAULT_README,
+    rules: Optional[Sequence[Rule]] = None,
+) -> bool:
+    """Rewrite the README's rule table in place; True when it changed."""
+    with open(readme_path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    current = extract_rule_table(text)
+    if current is None:
+        raise ValueError(
+            f"{readme_path} has no crowdlint rule-table markers "
+            f"({RULE_TABLE_BEGIN!r} ... {RULE_TABLE_END!r})"
+        )
+    desired = render_rule_table(rules)
+    if current == desired:
+        return False
+    with open(readme_path, "w", encoding="utf-8") as fh:
+        fh.write(text.replace(current, desired))
+    return True

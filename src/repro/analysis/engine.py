@@ -29,7 +29,12 @@ SEVERITIES = ("error", "advisory")
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``end_line`` is the last physical line of the flagged node (equal to
+    ``line`` for single-line constructs); pragma suppression honours the
+    whole span, and SARIF output carries it as ``region.endLine``.
+    """
 
     rule: str
     path: str
@@ -37,6 +42,11 @@ class Finding:
     col: int
     message: str
     severity: str = "error"
+    end_line: int = 0
+
+    @property
+    def span_end(self) -> int:
+        return max(self.end_line, self.line)
 
     @property
     def location(self) -> str:
@@ -59,6 +69,57 @@ class Pragma:
     reason: str
 
 
+@dataclass(frozen=True)
+class ImportStmt:
+    """One resolved import edge out of a module.
+
+    ``module`` is the absolute dotted target (relative imports are
+    resolved against the file's package); ``name`` is the bound name for
+    ``from X import name`` forms — it may itself address a submodule, so
+    graph construction tries ``module.name`` before falling back to
+    ``module``. ``type_checking`` marks imports inside an
+    ``if TYPE_CHECKING:`` block (annotation-only, never a runtime edge);
+    ``lazy`` marks imports inside a function body (a runtime edge, just a
+    deferred one).
+    """
+
+    module: str
+    name: Optional[str]
+    line: int
+    end_line: int
+    type_checking: bool = False
+    lazy: bool = False
+
+
+def module_name_for_path(path: str) -> Optional[str]:
+    """Dotted module name of a real file, via the ``__init__.py`` chain.
+
+    ``src/repro/vision/hog.py`` resolves to ``repro.vision.hog`` because
+    every directory from ``repro`` down carries an ``__init__.py`` while
+    ``src`` does not. Returns None for paths that do not exist (fixture
+    strings fed to :func:`lint_source`) or top-level scripts outside any
+    package.
+    """
+    p = Path(path)
+    if p.suffix != ".py" or not p.is_file():
+        return None
+    p = p.resolve()
+    parts: List[str] = [] if p.stem == "__init__" else [p.stem]
+    current = p.parent
+    while (current / "__init__.py").is_file():
+        parts.insert(0, current.name)
+        if current.parent == current:
+            break
+        current = current.parent
+    return ".".join(parts) if parts else None
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    return isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+
+
 class Rule:
     """Base class for crowdlint rules.
 
@@ -75,14 +136,35 @@ class Rule:
         raise NotImplementedError
 
     def finding(self, ctx: "ModuleContext", node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 0)
         return Finding(
             rule=self.rule_id,
             path=ctx.path,
-            line=getattr(node, "lineno", 0),
+            line=line,
             col=getattr(node, "col_offset", 0),
             message=message,
             severity=self.severity,
+            end_line=getattr(node, "end_lineno", None) or line,
         )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole-program view.
+
+    Subclasses implement :meth:`check_project`, which receives the module
+    under scrutiny *and* the :class:`~repro.analysis.project.ProjectContext`
+    holding every parsed module plus the import graph. Findings must be
+    anchored in ``ctx``'s file — the incremental cache stores project-rule
+    findings per file, invalidated whenever any project file changes.
+    """
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        raise TypeError(
+            f"{self.rule_id} is a project rule; drive it via check_project()"
+        )
+
+    def check_project(self, ctx: "ModuleContext", project) -> Iterator[Finding]:
+        raise NotImplementedError
 
 
 class ModuleContext:
@@ -96,17 +178,29 @@ class ModuleContext:
     how the module spelled the import.
     """
 
-    def __init__(self, path: str, source: str):
+    def __init__(self, path: str, source: str, module_name: Optional[str] = None):
         self.path = path
         self.source = source
         self.tree = ast.parse(source, filename=path)
         self.lines = source.splitlines()
+        self.module_name = module_name or module_name_for_path(path)
+        self.package = self._package_of(path, self.module_name)
         self.pragmas: Dict[int, Pragma] = {}
         self.malformed_pragmas: List[Pragma] = []
         self._parse_pragmas()
         self.import_aliases: Dict[str, str] = {}
         self.from_imports: Dict[str, str] = {}
+        self.imports: List[ImportStmt] = []
         self._collect_imports()
+
+    @staticmethod
+    def _package_of(path: str, module_name: Optional[str]) -> str:
+        """Containing package of this module ('' when unknown)."""
+        if not module_name:
+            return ""
+        if Path(path).stem == "__init__":
+            return module_name
+        return module_name.rsplit(".", 1)[0] if "." in module_name else ""
 
     # -- pragmas -------------------------------------------------------
 
@@ -124,15 +218,68 @@ class ModuleContext:
             else:
                 self.malformed_pragmas.append(pragma)
 
-    def allowed(self, rule_id: str, line: int) -> bool:
-        """True when a well-formed pragma on ``line`` covers ``rule_id``."""
-        pragma = self.pragmas.get(line)
-        return pragma is not None and rule_id in pragma.rules
+    def allowed(self, rule_id: str, line: int, end_line: Optional[int] = None) -> bool:
+        """True when a well-formed pragma covers ``rule_id`` for this span.
+
+        A pragma suppresses a finding when it sits on any physical line of
+        the flagged node (``line`` through ``end_line`` — so a pragma on the
+        first line of a multi-line call works wherever the finding anchors)
+        or on the line directly above the node.
+        """
+        last = max(end_line or line, line)
+        for candidate in range(max(line - 1, 1), last + 1):
+            pragma = self.pragmas.get(candidate)
+            if pragma is not None and rule_id in pragma.rules:
+                return True
+        return False
 
     # -- import resolution ---------------------------------------------
 
+    def _resolve_relative(self, node: ast.ImportFrom) -> Optional[str]:
+        """Absolute dotted target of a relative import, or None.
+
+        ``from .foo import bar`` in package ``repro.vision`` resolves to
+        ``repro.vision.foo``; each extra leading dot climbs one package.
+        Unresolvable when the file's package is unknown (string fixtures)
+        or the import climbs past the top of the package.
+        """
+        if not self.package:
+            return None
+        parts = self.package.split(".")
+        climb = node.level - 1
+        if climb > len(parts):
+            return None
+        base = parts[: len(parts) - climb] if climb else parts
+        if node.module:
+            base = base + node.module.split(".")
+        return ".".join(base) if base else None
+
     def _collect_imports(self) -> None:
-        for node in ast.walk(self.tree):
+        self._walk_imports(self.tree.body, type_checking=False, lazy=False)
+
+    def _record_from_import(
+        self, node: ast.ImportFrom, target: str, type_checking: bool, lazy: bool
+    ) -> None:
+        for alias in node.names:
+            if alias.name != "*":
+                self.from_imports[alias.asname or alias.name] = (
+                    f"{target}.{alias.name}"
+                )
+            self.imports.append(
+                ImportStmt(
+                    module=target,
+                    name=None if alias.name == "*" else alias.name,
+                    line=node.lineno,
+                    end_line=node.end_lineno or node.lineno,
+                    type_checking=type_checking,
+                    lazy=lazy,
+                )
+            )
+
+    def _walk_imports(
+        self, stmts: Sequence[ast.stmt], type_checking: bool, lazy: bool
+    ) -> None:
+        for node in stmts:
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     if alias.asname:
@@ -140,11 +287,43 @@ class ModuleContext:
                     else:
                         root = alias.name.split(".")[0]
                         self.import_aliases[root] = root
-            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
-                for alias in node.names:
-                    self.from_imports[alias.asname or alias.name] = (
-                        f"{node.module}.{alias.name}"
+                    self.imports.append(
+                        ImportStmt(
+                            module=alias.name,
+                            name=None,
+                            line=node.lineno,
+                            end_line=node.end_lineno or node.lineno,
+                            type_checking=type_checking,
+                            lazy=lazy,
+                        )
                     )
+            elif isinstance(node, ast.ImportFrom):
+                target = (
+                    node.module
+                    if node.level == 0
+                    else self._resolve_relative(node)
+                )
+                if target:
+                    self._record_from_import(node, target, type_checking, lazy)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._walk_imports(node.body, type_checking, lazy=True)
+            elif isinstance(node, ast.If):
+                tc = type_checking or _is_type_checking_test(node.test)
+                self._walk_imports(node.body, tc, lazy)
+                self._walk_imports(node.orelse, type_checking, lazy)
+            elif isinstance(node, ast.ClassDef):
+                self._walk_imports(node.body, type_checking, lazy)
+            elif isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                self._walk_imports(node.body, type_checking, lazy)
+                self._walk_imports(node.orelse, type_checking, lazy)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                self._walk_imports(node.body, type_checking, lazy)
+            elif isinstance(node, ast.Try):
+                self._walk_imports(node.body, type_checking, lazy)
+                for handler in node.handlers:
+                    self._walk_imports(handler.body, type_checking, lazy)
+                self._walk_imports(node.orelse, type_checking, lazy)
+                self._walk_imports(node.finalbody, type_checking, lazy)
 
     def resolve_call_name(self, func: ast.expr) -> Optional[str]:
         """Canonical dotted path of a call target, or None if not static.
@@ -192,34 +371,40 @@ def _iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
                 yield candidate
 
 
-def lint_source(
-    source: str,
-    path: str = "<string>",
-    rules: Optional[Sequence[Rule]] = None,
-) -> List[Finding]:
-    """Lint one source string; the unit every test fixture goes through."""
-    if rules is None:
-        from repro.analysis.rules import ALL_RULES
+def _default_rules() -> Sequence[Rule]:
+    from repro.analysis.rules import ALL_RULES
 
-        rules = ALL_RULES
-    try:
-        ctx = ModuleContext(path, source)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule="CM000",
-                path=path,
-                line=exc.lineno or 0,
-                col=exc.offset or 0,
-                message=f"syntax error prevents analysis: {exc.msg}",
-            )
-        ]
+    return ALL_RULES
+
+
+def _syntax_error_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule="CM000",
+        path=path,
+        line=exc.lineno or 0,
+        col=exc.offset or 0,
+        message=f"syntax error prevents analysis: {exc.msg}",
+    )
+
+
+def check_module(
+    ctx: ModuleContext,
+    rules: Sequence[Rule],
+    project=None,
+) -> List[Finding]:
+    """Run every rule against one parsed module, applying pragmas.
+
+    ``project`` is the :class:`~repro.analysis.project.ProjectContext`
+    shared by cross-module rules; when None, a degenerate single-module
+    project is built on demand so project rules still see intra-module
+    hazards.
+    """
     findings: List[Finding] = []
     for pragma in ctx.malformed_pragmas:
         findings.append(
             Finding(
                 rule="CM000",
-                path=path,
+                path=ctx.path,
                 line=pragma.line,
                 col=0,
                 message=(
@@ -229,23 +414,67 @@ def lint_source(
                 ),
             )
         )
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    if project is None and project_rules:
+        from repro.analysis.project import ProjectContext
+
+        project = ProjectContext.from_contexts([ctx])
     for rule in rules:
-        for finding in rule.check(ctx):
-            if not ctx.allowed(finding.rule, finding.line):
+        produced = (
+            rule.check_project(ctx, project)
+            if isinstance(rule, ProjectRule)
+            else rule.check(ctx)
+        )
+        for finding in produced:
+            if not ctx.allowed(finding.rule, finding.line, finding.end_line):
                 findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+    module_name: Optional[str] = None,
+) -> List[Finding]:
+    """Lint one source string; the unit every test fixture goes through."""
+    if rules is None:
+        rules = _default_rules()
+    try:
+        ctx = ModuleContext(path, source, module_name=module_name)
+    except SyntaxError as exc:
+        return [_syntax_error_finding(path, exc)]
+    return check_module(ctx, rules)
 
 
 def lint_paths(
     paths: Sequence[str],
     rules: Optional[Sequence[Rule]] = None,
 ) -> List[Finding]:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    All discovered modules form one project: cross-module rules
+    (CM010-CM012) resolve imports, reachability and layer membership over
+    exactly this file set. For the cached incremental driver wrapping this
+    pass, see :mod:`repro.analysis.cache`.
+    """
+    from repro.analysis.project import ProjectContext
+
+    if rules is None:
+        rules = _default_rules()
     findings: List[Finding] = []
+    contexts: List[ModuleContext] = []
     for file_path in _iter_python_files(paths):
         source = file_path.read_text(encoding="utf-8")
-        findings.extend(lint_source(source, path=str(file_path), rules=rules))
+        try:
+            contexts.append(ModuleContext(str(file_path), source))
+        except SyntaxError as exc:
+            findings.append(_syntax_error_finding(str(file_path), exc))
+    project = ProjectContext.from_contexts(contexts)
+    for ctx in contexts:
+        findings.extend(check_module(ctx, rules, project=project))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
 

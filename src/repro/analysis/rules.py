@@ -1,16 +1,33 @@
-"""The crowdlint rule set (CM001–CM008).
+"""The crowdlint rule set (CM001–CM012).
 
 Each rule encodes one repo invariant that a generic linter cannot check.
 See the package docstring for the one-line summary of each; the classes
 below document the precise detection logic and its deliberate blind spots.
+CM001–CM008 are per-file rules; CM010–CM011 are *project* rules driven
+with the whole-program :class:`~repro.analysis.project.ProjectContext`
+(import graph, cross-module call resolution), and CM012 tracks shm
+lifecycles along straight-line paths within one file.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.engine import Finding, ModuleContext, Rule
+from repro.analysis.engine import (
+    Finding,
+    ImportStmt,
+    ModuleContext,
+    ProjectRule,
+    Rule,
+)
+from repro.analysis.graph import layer_index_of, layer_of
+
+#: Bump whenever a rule's detection logic or the finding schema changes:
+#: the incremental cache (.crowdlint_cache.json) and the CI cache key are
+#: both keyed on it, so stale cached findings can never survive a rule
+#: change. Format: <highest rule id>.<revision>.
+RULES_VERSION = "cm012.1"
 
 #: Module-level numpy RNG entry points that draw from (or mutate) the
 #: hidden global state. Calling any of these makes a run order-dependent.
@@ -415,6 +432,791 @@ class EvalClockRule(Rule):
                 )
 
 
+class LayeringRule(ProjectRule):
+    """CM010: the declared layer DAG is a hard import contract.
+
+    Layers (bottom up): core/geometry/sensors, vision, world/baselines,
+    eval/bench, backend, serving/analysis (see
+    :data:`repro.analysis.graph.LAYERS`). A layered module may import its
+    own layer or below; an import that lands on a *higher* layer is a
+    violation naming the offending edge. Unlayered modules (``repro.cli``)
+    are unrestricted themselves but walked transitively, so an upward
+    dependency cannot hide behind one — those findings carry the full
+    import chain as evidence.
+
+    ``if TYPE_CHECKING:`` imports are exempt (annotation-only coupling,
+    the repo's established idiom — see ``repro.sensors.energy``); lazy
+    function-body imports are real runtime edges and are checked.
+    """
+
+    rule_id = "CM010"
+    title = "architecture layering violation"
+
+    def check_project(self, ctx: ModuleContext, project) -> Iterator[Finding]:
+        src = ctx.module_name
+        if not src:
+            return
+        src_idx = layer_index_of(src)
+        if src_idx is None:
+            return
+        src_layer = layer_of(src)
+        reported: Set[Tuple[int, str]] = set()
+        for stmt in ctx.imports:
+            if stmt.type_checking:
+                continue
+            dst = project.graph.resolve_target(stmt)
+            if dst is None or dst == src or (stmt.line, dst) in reported:
+                continue
+            reported.add((stmt.line, dst))
+            dst_idx = layer_index_of(dst)
+            if dst_idx is not None:
+                if dst_idx > src_idx:
+                    yield self._violation(
+                        ctx, stmt, src_layer, layer_of(dst), [src, dst]
+                    )
+            else:
+                reach = project.graph.highest_reach_through_unlayered(dst)
+                if reach is not None and reach[0] > src_idx:
+                    chain = [src] + reach[1]
+                    yield self._violation(
+                        ctx, stmt, src_layer, layer_of(chain[-1]), chain
+                    )
+
+    def _violation(
+        self,
+        ctx: ModuleContext,
+        stmt: ImportStmt,
+        src_layer: Optional[str],
+        dst_layer: Optional[str],
+        chain: List[str],
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=ctx.path,
+            line=stmt.line,
+            col=0,
+            message=(
+                f"layer '{src_layer}' must not import layer '{dst_layer}' "
+                f"(import chain: {' -> '.join(chain)})"
+            ),
+            severity=self.severity,
+            end_line=stmt.end_line,
+        )
+
+
+#: Parallel submission entry points whose first argument runs in workers.
+_PARALLEL_ENTRIES = {
+    "repro.backend.workers.map_parallel",
+    "repro.backend.workers.map_with_failures",
+}
+
+#: Executor types whose ``.submit()``/``.map()`` ship work to processes.
+_EXECUTOR_TYPES = {
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+}
+
+#: Method calls that mutate their receiver in place.
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "add", "discard", "setdefault", "sort", "reverse",
+    "appendleft", "extendleft", "__setitem__", "__delitem__",
+}
+
+_MAX_REACH_DEPTH = 8
+_MAX_REACH_FNS = 200
+
+
+def _root_name(expr: ast.expr) -> Optional[str]:
+    node = expr
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _bound_names(func: ast.AST) -> Set[str]:
+    """Names bound inside a function scope (params, assignments, targets).
+
+    ``global``/``nonlocal`` declarations are subtracted afterwards by the
+    caller — a declared-global assignment is exactly the hazard CM011
+    hunts, not a local binding.
+    """
+    def stored(target: ast.AST) -> Set[str]:
+        # Only Store-context names bind: in ``TOTALS[key] = x`` both
+        # TOTALS and key are *loads* — treating them as locals would
+        # mask exactly the shared-state stores this rule hunts.
+        return {
+            n.id
+            for n in ast.walk(target)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Store)
+        }
+
+    bound: Set[str] = set()
+    args = func.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        bound.add(arg.arg)
+    body = func.body if isinstance(func.body, list) else [func.body]
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    bound.update(stored(target))
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign, ast.NamedExpr)):
+                if isinstance(node.target, ast.Name):
+                    bound.add(node.target.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                bound.update(stored(node.target))
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        bound.update(stored(item.optional_vars))
+            elif isinstance(node, ast.comprehension):
+                bound.update(stored(node.target))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                bound.add(node.name)
+    return bound
+
+
+class ParallelSafetyRule(ProjectRule):
+    """CM011: worker code must not touch shared mutable state.
+
+    Finds every function statically reachable from a parallel submission —
+    ``map_parallel``/``map_with_failures`` (resolved through imports) or
+    ``.submit()``/``.map()`` on a ``ProcessPoolExecutor`` — and flags,
+    inside each:
+
+    - rebinding of a ``global``/``nonlocal`` name (process workers mutate
+      a copy, thread workers race — either way results depend on backend
+      and schedule, breaking twin-run identity);
+    - in-place mutation of module-level state: subscript/attribute stores
+      and mutating method calls (``.append``, ``.update`` …) whose root
+      name is bound at module level rather than locally;
+    - worker *closures* (lambdas, nested defs) that capture a
+      module-level mutable (list/dict/set literal or factory) even
+      read-only — under the process backend the closure sees a stale
+      copy, under threads it races.
+
+    Cross-module reach is resolved through the project function table
+    (``map_parallel(compute.work, ...)`` follows into ``compute``'s
+    file); calls through dynamic values (``function(item)``) are opaque
+    and end the walk — the deliberate blind spot that keeps this a
+    race *detector*, not a verifier.
+    """
+
+    rule_id = "CM011"
+    title = "shared-state mutation in parallel worker"
+
+    def check_project(self, ctx: ModuleContext, project) -> Iterator[Finding]:
+        submissions = list(self._submissions(ctx))
+        if not submissions:
+            return
+        reported: Set[Tuple[str, int, str]] = set()
+        for worker_expr, entry_desc in submissions:
+            units = self._resolve_callable(worker_expr, ctx, project)
+            closure_units = [
+                u for u in units
+                if isinstance(u[1], ast.Lambda)
+                or u[1] not in project.summary(u[0]).functions.values()
+            ]
+            for unit_ctx, node in closure_units:
+                yield from self._check_capture(
+                    unit_ctx, node, project, entry_desc, reported
+                )
+            yield from self._walk_reachable(units, project, entry_desc, reported)
+
+    # -- submission discovery ------------------------------------------
+
+    def _submissions(
+        self, ctx: ModuleContext
+    ) -> Iterator[Tuple[ast.expr, str]]:
+        executor_names = self._executor_names(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve_call_name(node.func)
+            worker: Optional[ast.expr] = None
+            entry = None
+            if resolved in _PARALLEL_ENTRIES:
+                entry = resolved.rsplit(".", 1)[-1]
+                worker = node.args[0] if node.args else next(
+                    (kw.value for kw in node.keywords
+                     if kw.arg in ("function", "fn", "func")),
+                    None,
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("submit", "map")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in executor_names
+                and node.args
+            ):
+                entry = f"{node.func.value.id}.{node.func.attr}"
+                worker = node.args[0]
+            if worker is not None:
+                yield worker, f"{entry}() at {ctx.path}:{node.lineno}"
+
+    @staticmethod
+    def _executor_names(ctx: ModuleContext) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            value = None
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        if (
+                            isinstance(item.context_expr, ast.Call)
+                            and ctx.resolve_call_name(item.context_expr.func)
+                            in _EXECUTOR_TYPES
+                        ):
+                            names.update(
+                                n.id
+                                for n in ast.walk(item.optional_vars)
+                                if isinstance(n, ast.Name)
+                            )
+                continue
+            if (
+                value is not None
+                and isinstance(value, ast.Call)
+                and ctx.resolve_call_name(value.func) in _EXECUTOR_TYPES
+            ):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    # -- callable resolution -------------------------------------------
+
+    def _resolve_callable(
+        self, expr: ast.expr, ctx: ModuleContext, project
+    ) -> List[Tuple[ModuleContext, ast.AST]]:
+        if isinstance(expr, ast.Lambda):
+            return [(ctx, expr)]
+        if isinstance(expr, ast.Name):
+            local = self._any_def(ctx, expr.id)
+            if local is not None:
+                return [(ctx, local)]
+            dotted = ctx.from_imports.get(expr.id)
+            if dotted:
+                hit = project.resolve_function(dotted)
+                return [hit] if hit else []
+            return []
+        if isinstance(expr, ast.Call):
+            name = ctx.resolve_call_name(expr.func)
+            if name == "functools.partial" and expr.args:
+                return self._resolve_callable(expr.args[0], ctx, project)
+            return []
+        if isinstance(expr, ast.Attribute):
+            dotted = ctx.resolve_call_name(expr)
+            if dotted:
+                hit = project.resolve_function(dotted)
+                return [hit] if hit else []
+        return []
+
+    @staticmethod
+    def _any_def(ctx: ModuleContext, name: str) -> Optional[ast.AST]:
+        """First def bound to ``name`` anywhere in the module (incl. nested)."""
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == name
+            ):
+                return node
+        return None
+
+    # -- reachability + mutation scan ----------------------------------
+
+    def _walk_reachable(
+        self,
+        roots: List[Tuple[ModuleContext, ast.AST]],
+        project,
+        entry_desc: str,
+        reported: Set[Tuple[str, int, str]],
+    ) -> Iterator[Finding]:
+        queue: List[Tuple[ModuleContext, ast.AST, int]] = [
+            (c, n, 0) for c, n in roots
+        ]
+        visited: Set[Tuple[str, int, int]] = set()
+        while queue:
+            fn_ctx, fn_node, depth = queue.pop(0)
+            key = (fn_ctx.path, fn_node.lineno, fn_node.col_offset)
+            if key in visited or len(visited) >= _MAX_REACH_FNS:
+                continue
+            visited.add(key)
+            yield from self._check_mutations(
+                fn_ctx, fn_node, project, entry_desc, reported
+            )
+            if depth >= _MAX_REACH_DEPTH:
+                continue
+            for node in ast.walk(fn_node):
+                if isinstance(node, ast.Call):
+                    for callee in self._resolve_callable(
+                        node.func, fn_ctx, project
+                    ):
+                        queue.append((callee[0], callee[1], depth + 1))
+
+    def _check_mutations(
+        self,
+        ctx: ModuleContext,
+        func: ast.AST,
+        project,
+        entry_desc: str,
+        reported: Set[Tuple[str, int, str]],
+    ) -> Iterator[Finding]:
+        summary = project.summary(ctx)
+        declared_global: Set[str] = set()
+        declared_nonlocal: Set[str] = set()
+        body = func.body if isinstance(func.body, list) else [func.body]
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Global):
+                    declared_global.update(node.names)
+                elif isinstance(node, ast.Nonlocal):
+                    declared_nonlocal.update(node.names)
+        local = _bound_names(func) - declared_global - declared_nonlocal
+        fname = getattr(func, "name", "<lambda>")
+
+        def shared(name: Optional[str]) -> bool:
+            return (
+                name is not None
+                and name not in local
+                and (
+                    name in summary.module_level_names
+                    or name in declared_global
+                )
+            )
+
+        def emit(node: ast.AST, name: str, what: str) -> Optional[Finding]:
+            key = (ctx.path, node.lineno, name)
+            if key in reported:
+                return None
+            reported.add(key)
+            return Finding(
+                rule=self.rule_id,
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"worker function '{fname}' {what} — reached from "
+                    f"{entry_desc}; thread state through arguments and "
+                    "return values instead"
+                ),
+                severity=self.severity,
+                end_line=getattr(node, "end_lineno", None) or node.lineno,
+            )
+
+        for stmt in body:
+            for node in ast.walk(stmt):
+                finding = None
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if isinstance(target, ast.Name):
+                            scope = (
+                                "module-level"
+                                if target.id in declared_global
+                                else "enclosing-scope"
+                                if target.id in declared_nonlocal
+                                else None
+                            )
+                            if scope is not None:
+                                finding = emit(
+                                    node, target.id,
+                                    f"rebinds {scope} name '{target.id}'",
+                                )
+                        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                            root = _root_name(target.value)
+                            if shared(root):
+                                finding = emit(
+                                    node, root,
+                                    "mutates module-level state "
+                                    f"'{ast.unparse(target)}'",
+                                )
+                        if finding is not None:
+                            break
+                elif isinstance(node, ast.Delete):
+                    for target in node.targets:
+                        if isinstance(target, (ast.Subscript, ast.Attribute)):
+                            root = _root_name(target.value)
+                            if shared(root):
+                                finding = emit(
+                                    node, root,
+                                    "deletes from module-level state "
+                                    f"'{ast.unparse(target)}'",
+                                )
+                                break
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATING_METHODS
+                ):
+                    root = _root_name(node.func.value)
+                    if shared(root) and ctx.resolve_call_name(node.func) is None:
+                        finding = emit(
+                            node, root,
+                            f"calls mutating '{ast.unparse(node.func)}()' on "
+                            "module-level state",
+                        )
+                if finding is not None:
+                    yield finding
+
+    def _check_capture(
+        self,
+        ctx: ModuleContext,
+        func: ast.AST,
+        project,
+        entry_desc: str,
+        reported: Set[Tuple[str, int, str]],
+    ) -> Iterator[Finding]:
+        summary = project.summary(ctx)
+        local = _bound_names(func)
+        fname = getattr(func, "name", "<lambda>")
+        body = func.body if isinstance(func.body, list) else [func.body]
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id not in local
+                    and node.id in summary.mutable_globals
+                ):
+                    key = (ctx.path, node.lineno, node.id)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"worker closure '{fname}' captures mutable "
+                            f"module-level '{node.id}' — reached from "
+                            f"{entry_desc}; pass it as an argument or make "
+                            "it immutable"
+                        ),
+                        severity=self.severity,
+                        end_line=getattr(node, "end_lineno", None)
+                        or node.lineno,
+                    )
+
+
+#: Constructors whose instances own shared-memory lifecycles.
+_SHM_CONSTRUCTORS = {
+    "repro.backend.shm.ShmArena",
+    "multiprocessing.shared_memory.SharedMemory",
+}
+
+
+class ShmLifecycleRule(Rule):
+    """CM012: no shm use after close, no handles escaping their arena.
+
+    Straight-line lifecycle tracking per function scope, for names bound
+    to ``ShmArena()`` / ``SharedMemory()`` (resolved through imports, so
+    the defining module itself is naturally exempt):
+
+    - after ``x.close()`` / ``x.unlink()``, any later use of ``x`` on the
+      same straight-line path is flagged (an extra idempotent
+      close/unlink is allowed; rebinding ``x`` resets tracking). Branches
+      merge pessimistically: a close on *any* path poisons the join.
+    - inside ``with ShmArena() as a:``, returning or yielding the arena
+      or a name assigned from one of its method calls (``a.share(...)``)
+      escapes the handle past the arena's unlink — as does using such a
+      name after the ``with`` block exits.
+
+    Deliberate blind spots: loop-carried closes (close in a loop body,
+    use at the next iteration's top), aliasing through containers, and
+    views outliving an *explicit* ``close()`` — the lease machinery keeps
+    those readable until GC, which is documented behaviour.
+    """
+
+    rule_id = "CM012"
+    title = "shared-memory lifecycle misuse"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        scopes: List[List[ast.stmt]] = [ctx.tree.body]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node.body)
+        for body in scopes:
+            state = _ShmState()
+            self._walk_block(ctx, body, state, findings)
+        findings.sort(key=lambda f: (f.line, f.col))
+        yield from findings
+
+    # -- state ---------------------------------------------------------
+
+    def _is_shm_ctor(self, ctx: ModuleContext, expr: ast.expr) -> bool:
+        return (
+            isinstance(expr, ast.Call)
+            and ctx.resolve_call_name(expr.func) in _SHM_CONSTRUCTORS
+        )
+
+    @staticmethod
+    def _loads(expr: ast.expr) -> Set[str]:
+        return {
+            n.id
+            for n in ast.walk(expr)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+        }
+
+    def _derived_from(self, state: "_ShmState", expr: ast.expr) -> Optional[str]:
+        """Arena a value expression derives a handle from, if any.
+
+        Direct arena method calls (``a.share(x)``), aliases of tainted
+        names, and containers/comprehensions of either. Values produced
+        by *other* functions fed tainted arguments are not tracked —
+        consumers usually return plain data, and flagging them would
+        drown the signal.
+        """
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                root = _root_name(node.func.value)
+                if root is not None and root in state.arenas:
+                    return root
+        if isinstance(expr, ast.Name) and expr.id in state.tainted:
+            return state.tainted[expr.id]
+        return None
+
+    def _check_uses(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        state: "_ShmState",
+        findings: List[Finding],
+        skip: Set[str] = frozenset(),
+    ) -> None:
+        for name in sorted(self._loads(node) - skip):
+            if name in state.closed:
+                findings.append(
+                    self._finding(
+                        ctx, node,
+                        f"'{name}' used after close()/unlink() on line "
+                        f"{state.closed[name]} — every straight-line path "
+                        "must finish with the segment before releasing it",
+                    )
+                )
+            elif name in state.leaked:
+                findings.append(
+                    self._finding(
+                        ctx, node,
+                        f"shm handle '{name}' outlives its arena's with "
+                        f"block (closed on line {state.leaked[name]}) — "
+                        "new attachers can no longer resolve it",
+                    )
+                )
+
+    def _finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 0)
+        return Finding(
+            rule=self.rule_id,
+            path=ctx.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=self.severity,
+            end_line=getattr(node, "end_lineno", None) or line,
+        )
+
+    # -- block walking -------------------------------------------------
+
+    def _walk_block(
+        self,
+        ctx: ModuleContext,
+        stmts: Sequence[ast.stmt],
+        state: "_ShmState",
+        findings: List[Finding],
+        escape_watch: Optional[Set[str]] = None,
+    ) -> None:
+        for node in stmts:
+            self._walk_stmt(ctx, node, state, findings, escape_watch)
+
+    def _walk_stmt(
+        self,
+        ctx: ModuleContext,
+        node: ast.stmt,
+        state: "_ShmState",
+        findings: List[Finding],
+        escape_watch: Optional[Set[str]],
+    ) -> None:
+        if isinstance(node, ast.Assign):
+            self._check_uses(ctx, node.value, state, findings)
+            names = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if self._is_shm_ctor(ctx, node.value):
+                for name in names:
+                    state.bind_arena(name)
+            else:
+                arena = self._derived_from(state, node.value)
+                for name in names:
+                    state.rebind(name)
+                    if arena is not None:
+                        state.tainted[name] = arena
+                        if escape_watch is not None and arena in escape_watch:
+                            escape_watch.add(name)
+            return
+        if isinstance(node, (ast.Return, ast.Expr)) and isinstance(
+            getattr(node, "value", None), (ast.Yield, ast.YieldFrom)
+        ) or isinstance(node, ast.Return):
+            value = node.value
+            if isinstance(value, (ast.Yield, ast.YieldFrom)):
+                value = value.value
+            if value is not None:
+                self._check_uses(ctx, value, state, findings)
+                if escape_watch:
+                    hit = sorted(self._loads(value) & escape_watch)
+                    if hit:
+                        findings.append(
+                            self._finding(
+                                ctx, node,
+                                f"shm handle '{hit[0]}' escapes its arena's "
+                                "with scope — the arena unlinks on exit, so "
+                                "receivers cannot attach; share into a "
+                                "longer-lived arena instead",
+                            )
+                        )
+            return
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            call = node.value
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in ("close", "unlink")
+                and isinstance(call.func.value, ast.Name)
+                and call.func.value.id in state.arenas
+            ):
+                # Idempotent re-close of an already-closed segment is fine.
+                self._check_uses(
+                    ctx, call, state, findings, skip={call.func.value.id}
+                )
+                state.closed[call.func.value.id] = node.lineno
+                return
+            self._check_uses(ctx, node.value, state, findings)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._walk_with(ctx, node, state, findings, escape_watch)
+            return
+        if isinstance(node, ast.If):
+            self._check_uses(ctx, node.test, state, findings)
+            then_state = state.copy()
+            else_state = state.copy()
+            self._walk_block(ctx, node.body, then_state, findings, escape_watch)
+            self._walk_block(ctx, node.orelse, else_state, findings, escape_watch)
+            state.merge(then_state, else_state)
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            header = node.iter if isinstance(node, (ast.For, ast.AsyncFor)) \
+                else node.test
+            self._check_uses(ctx, header, state, findings)
+            body_state = state.copy()
+            self._walk_block(ctx, node.body, body_state, findings, escape_watch)
+            self._walk_block(ctx, node.orelse, body_state, findings, escape_watch)
+            state.merge(body_state)
+            return
+        if isinstance(node, ast.Try):
+            self._walk_block(ctx, node.body, state, findings, escape_watch)
+            for handler in node.handlers:
+                handler_state = state.copy()
+                self._walk_block(
+                    ctx, handler.body, handler_state, findings, escape_watch
+                )
+                state.merge(handler_state)
+            self._walk_block(ctx, node.orelse, state, findings, escape_watch)
+            self._walk_block(ctx, node.finalbody, state, findings, escape_watch)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are walked as their own top-level scope
+        self._check_uses(ctx, node, state, findings)
+
+    def _walk_with(
+        self,
+        ctx: ModuleContext,
+        node: ast.stmt,
+        state: "_ShmState",
+        findings: List[Finding],
+        escape_watch: Optional[Set[str]],
+    ) -> None:
+        opened: List[str] = []
+        for item in node.items:
+            self._check_uses(ctx, item.context_expr, state, findings)
+            if item.optional_vars is None or not isinstance(
+                item.optional_vars, ast.Name
+            ):
+                continue
+            name = item.optional_vars.id
+            is_arena_expr = self._is_shm_ctor(ctx, item.context_expr) or (
+                isinstance(item.context_expr, ast.Name)
+                and item.context_expr.id in state.arenas
+            )
+            if is_arena_expr:
+                state.bind_arena(name)
+                opened.append(name)
+            else:
+                state.rebind(name)
+        watch = set(escape_watch or set()) | set(opened)
+        self._walk_block(ctx, node.body, state, findings, watch)
+        # The with-exit closes these arenas and unlinks their segments.
+        for name in opened:
+            state.closed[name] = node.end_lineno or node.lineno
+        for name, arena in sorted(state.tainted.items()):
+            if arena in opened:
+                state.leaked[name] = node.end_lineno or node.lineno
+
+
+class _ShmState:
+    """Lifecycle facts along one straight-line path."""
+
+    def __init__(self) -> None:
+        self.arenas: Set[str] = set()
+        self.closed: Dict[str, int] = {}
+        self.tainted: Dict[str, str] = {}
+        self.leaked: Dict[str, int] = {}
+
+    def bind_arena(self, name: str) -> None:
+        self.rebind(name)
+        self.arenas.add(name)
+
+    def rebind(self, name: str) -> None:
+        self.arenas.discard(name)
+        self.closed.pop(name, None)
+        self.tainted.pop(name, None)
+        self.leaked.pop(name, None)
+
+    def copy(self) -> "_ShmState":
+        clone = _ShmState()
+        clone.arenas = set(self.arenas)
+        clone.closed = dict(self.closed)
+        clone.tainted = dict(self.tainted)
+        clone.leaked = dict(self.leaked)
+        return clone
+
+    def merge(self, *branches: "_ShmState") -> None:
+        """Pessimistic join: closed/leaked on any branch stays closed."""
+        for branch in branches:
+            self.arenas |= branch.arenas
+            for name, line in branch.closed.items():
+                self.closed.setdefault(name, line)
+            self.tainted.update(branch.tainted)
+            for name, line in branch.leaked.items():
+                self.leaked.setdefault(name, line)
+
+
 ALL_RULES: Sequence[Rule] = (
     UnseededRngRule(),
     WallClockRule(),
@@ -424,4 +1226,7 @@ ALL_RULES: Sequence[Rule] = (
     ElementwiseLoopRule(),
     RealTimeWaitRule(),
     EvalClockRule(),
+    LayeringRule(),
+    ParallelSafetyRule(),
+    ShmLifecycleRule(),
 )

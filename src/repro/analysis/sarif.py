@@ -1,0 +1,107 @@
+"""SARIF 2.1.0 output for crowdlint findings.
+
+GitHub code scanning ingests SARIF, so the ``static-analysis`` CI job can
+surface CM findings as review annotations instead of burying them in a
+log. The emitter is deliberately minimal — one run, one tool, static rule
+descriptors from :data:`repro.analysis.rules.ALL_RULES` — and fully
+deterministic (no timestamps, sorted keys), which is what lets the
+incremental driver's warm output be byte-compared against cold.
+
+Severity mapping: crowdlint ``error`` -> SARIF ``error`` (gates the
+build), crowdlint ``advisory`` -> SARIF ``note`` (annotation only).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.engine import Finding, Rule
+from repro.analysis.rules import ALL_RULES, RULES_VERSION
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_LEVELS = {"error": "error", "advisory": "note"}
+
+
+def _rule_descriptor(rule_id: str, title: str, severity: str) -> dict:
+    return {
+        "id": rule_id,
+        "name": title or rule_id,
+        "shortDescription": {"text": title or rule_id},
+        "defaultConfiguration": {"level": _LEVELS.get(severity, "error")},
+    }
+
+
+def _descriptors(rules: Sequence[Rule]) -> List[dict]:
+    table: Dict[str, dict] = {
+        # CM000 covers malformed pragmas and syntax errors — emitted by
+        # the engine itself, so it has no Rule instance to enumerate.
+        "CM000": _rule_descriptor(
+            "CM000", "malformed pragma or unparseable source", "error"
+        )
+    }
+    for rule in rules:
+        table[rule.rule_id] = _rule_descriptor(
+            rule.rule_id, rule.title, rule.severity
+        )
+    return [table[rule_id] for rule_id in sorted(table)]
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "error"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/")
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                        "endLine": max(finding.span_end, 1),
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(
+    findings: Sequence[Finding], rules: Optional[Sequence[Rule]] = None
+) -> dict:
+    """SARIF log dict for one lint run."""
+    if rules is None:
+        rules = ALL_RULES
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "crowdlint",
+                        "informationUri": (
+                            "https://github.com/crowd-map/repro"
+                            "/blob/main/src/repro/analysis/__init__.py"
+                        ),
+                        "version": RULES_VERSION,
+                        "rules": _descriptors(rules),
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": [_result(f) for f in findings],
+            }
+        ],
+    }
+
+
+def format_sarif(
+    findings: Sequence[Finding], rules: Optional[Sequence[Rule]] = None
+) -> str:
+    """Serialized SARIF log (stable key order, trailing newline)."""
+    return json.dumps(to_sarif(findings, rules), indent=2, sort_keys=True)

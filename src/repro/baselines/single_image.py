@@ -12,11 +12,10 @@ leads to errors." This baseline exists to reproduce exactly that failure.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.backend.workers import map_parallel
 from repro.core.aggregation import (
     AggregationResult,
     AnchoredTrajectory,
@@ -34,9 +33,16 @@ class SingleImageAggregator:
         self,
         config: Optional[CrowdMapConfig] = None,
         comparator: Optional[KeyframeComparator] = None,
+        mapper: Optional[Callable[..., Iterable]] = None,
     ):
         self.config = config or CrowdMapConfig()
         self.comparator = comparator or KeyframeComparator(self.config)
+        # Pair scoring is embarrassingly parallel; callers that want the
+        # backend worker pool inject ``map_parallel`` here. Defaulting to
+        # serial map keeps this baseline free of any upward dependency on
+        # repro.backend (layering contract CM010) — and on pure-Python
+        # scoring the thread backend was serial-equivalent anyway.
+        self._map = mapper or (lambda fn, items, **_kw: [fn(x) for x in items])
 
     def score_pair(
         self,
@@ -99,7 +105,7 @@ class SingleImageAggregator:
         """
         n = len(anchored)
         pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
-        candidates = map_parallel(
+        candidates = self._map(
             lambda ij: self.score_pair(anchored[ij[0]], anchored[ij[1]], *ij),
             pairs,
             max_workers=self.config.n_workers,

@@ -1,0 +1,21 @@
+"""Shared fixtures for the crowdlint suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_default_cache(tmp_path, monkeypatch):
+    """Keep ``main()`` calls from writing ``.crowdlint_cache.json`` in cwd.
+
+    The CLI's incremental cache defaults to a path relative to the
+    invocation directory; under pytest that is the repo root, and tests
+    that drive ``main()`` without an explicit ``--cache`` would litter
+    (and worse, share) a cache file there. ``_build_parser`` reads the
+    module attribute at call time, so patching it redirects the default.
+    """
+    monkeypatch.setattr(
+        "repro.analysis.__main__.DEFAULT_CACHE_PATH",
+        str(tmp_path / "default_cache.json"),
+    )

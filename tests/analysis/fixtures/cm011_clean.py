@@ -1,0 +1,27 @@
+"""CM011 clean twin: workers thread state through arguments and returns."""
+
+from functools import partial
+
+from repro.backend.workers import map_parallel, map_with_failures
+
+LIMIT = 64  # immutable module-level constant: reading it is fine
+
+
+def double(item):
+    return item * 2
+
+
+def clip(bound, item):
+    scratch = [item]  # locals may mutate freely
+    scratch.append(bound)
+    return min(scratch)
+
+
+def run(items):
+    doubled = map_parallel(double, items)
+    clipped = map_parallel(partial(clip, LIMIT), items)
+    successes, _errors = map_with_failures(lambda x: (x, x * x), items)
+    merged = {}
+    for _idx, pair in successes:
+        merged[pair[0]] = pair[1]  # parent-side aggregation, not a worker
+    return doubled, clipped, merged

@@ -1,0 +1,37 @@
+"""CM011 violating fixture: parallel workers touching shared state.
+
+Linted as text, never imported — ``repro.backend.workers`` resolves
+through the import table, so the entries are recognised without running
+anything.
+"""
+
+from functools import partial
+
+from repro.backend.workers import map_parallel, map_with_failures
+
+RESULTS = []
+TOTALS = {}
+COUNTER = 0
+
+
+def accumulate(item):
+    RESULTS.append(item)  # [expect CM011]
+    return item
+
+
+def bump(item):
+    global COUNTER
+    COUNTER += 1  # [expect CM011]
+    return COUNTER
+
+
+def tally(key, item):
+    TOTALS[key] = item  # [expect CM011]
+    return item
+
+
+def run(items):
+    map_parallel(accumulate, items)
+    map_with_failures(bump, items)
+    map_parallel(partial(tally, "sum"), items)
+    return map_parallel(lambda x: x + len(RESULTS), items)  # [expect CM011]

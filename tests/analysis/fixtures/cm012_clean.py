@@ -1,0 +1,35 @@
+"""CM012 clean twin: disciplined arena lifecycles."""
+
+from repro.backend.shm import ShmArena
+
+
+def put_then_close(payload):
+    arena = ShmArena()
+    try:
+        handle = arena.put(payload)
+        size = handle.nbytes
+    finally:
+        arena.close()
+    return size
+
+
+def with_scope(payload):
+    with ShmArena() as arena:
+        handle = arena.put(payload)
+        total = handle.nbytes
+    return total
+
+
+def idempotent_close():
+    arena = ShmArena()
+    arena.close()
+    arena.close()  # double close is documented as idempotent
+
+
+def rebind_resets(payload):
+    arena = ShmArena()
+    arena.close()
+    arena = ShmArena()
+    handle = arena.put(payload)
+    arena.close()
+    return handle.nbytes

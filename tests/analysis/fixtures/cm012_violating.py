@@ -1,0 +1,29 @@
+"""CM012 violating fixture: shared-memory lifecycle misuse."""
+
+from repro.backend.shm import ShmArena
+
+
+def use_after_close(payload):
+    arena = ShmArena()
+    arena.put(payload)
+    arena.close()
+    return arena.put(payload)  # [expect CM012]
+
+
+def escape_with_scope(payload):
+    with ShmArena() as arena:
+        handle = arena.put(payload)
+        return handle  # [expect CM012]
+
+
+def leak_after_with(payload):
+    with ShmArena() as arena:
+        handle = arena.put(payload)
+    return handle  # [expect CM012]
+
+
+def close_on_one_branch(payload, flag):
+    arena = ShmArena()
+    if flag:
+        arena.close()
+    return arena.put(payload)  # [expect CM012]

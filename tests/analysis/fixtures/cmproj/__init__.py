@@ -1,0 +1,8 @@
+"""A miniature layered project for the CM010/CM011 project-rule tests.
+
+The package is linted via ``lint_paths`` (never imported); its
+subpackage names (``vision``, ``serving``) are what the layer resolver
+keys on — the *last* matching dotted segment wins, which is exactly why
+these fixtures can live under ``tests/analysis`` without inheriting the
+``analysis`` layer.
+"""

@@ -1,0 +1,1 @@
+"""Layer-5 (serving) fixture subpackage."""

@@ -1,0 +1,22 @@
+"""Serving-layer job runner: submits a cross-module worker.
+
+The ``..vision.edges`` import is *downward* (serving -> vision) and must
+stay finding-free; the hazard this module contributes is handing
+``store.record`` to ``map_parallel`` — the CM011 finding lands in
+``store.py`` where the mutation lives.
+"""
+
+from repro.backend.workers import map_parallel
+
+from .store import record
+from ..vision.edges import gradient
+
+
+class BatchHandle:
+    def __init__(self, items):
+        self.items = items
+
+
+def ingest(items):
+    vectors = [gradient(item) for item in items]
+    return map_parallel(record, vectors)

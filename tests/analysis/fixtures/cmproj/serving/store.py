@@ -1,0 +1,17 @@
+"""Serving-layer store whose ``record`` runs as a parallel worker.
+
+``jobs.ingest`` submits :func:`record` to ``map_parallel``, so the
+cross-module reachability walk must land here and flag the shared-cache
+mutation — in *this* file, at the mutating line, not at the submission.
+"""
+
+CACHE = {}
+
+
+def record(item):
+    CACHE[item] = True  # [expect CM011]
+    return item
+
+
+def lookup(key):
+    return CACHE.get(key)

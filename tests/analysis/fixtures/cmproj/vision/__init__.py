@@ -1,0 +1,1 @@
+"""Layer-1 (vision) fixture subpackage."""

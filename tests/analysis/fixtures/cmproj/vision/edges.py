@@ -1,0 +1,5 @@
+"""Clean vision-layer helper; target of legal same-layer relative imports."""
+
+
+def gradient(frame):
+    return sum(frame) / max(len(frame), 1)

@@ -1,0 +1,33 @@
+"""Vision-layer module that illegally reaches up into serving.
+
+Both offending imports are *relative* — they only resolve because the
+engine rewrites ``..serving`` against this file's package, which is the
+satellite fix this fixture locks in. The ``TYPE_CHECKING`` import is the
+sanctioned annotation-only idiom and must stay finding-free.
+"""
+
+from typing import TYPE_CHECKING
+
+from .edges import gradient
+from ..serving import store  # [expect CM010]
+
+if TYPE_CHECKING:
+    from ..serving import jobs  # annotation-only: never a runtime edge
+
+
+def feature_vector(frame):
+    return [gradient(frame), 0.0]
+
+
+def persist(frame):
+    return store.record(tuple(feature_vector(frame)))
+
+
+def render_preview(frame):
+    from ..serving import store as live_store  # [expect CM010]
+
+    return live_store.lookup(tuple(feature_vector(frame)))
+
+
+def schedule(batch: "jobs.BatchHandle"):
+    return batch

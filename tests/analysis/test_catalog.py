@@ -1,0 +1,81 @@
+"""Rule-catalogue generation and the README drift gate."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.catalog import (
+    RULE_TABLE_BEGIN,
+    RULE_TABLE_END,
+    extract_rule_table,
+    render_rule_table,
+    rule_table_markdown,
+    update_readme,
+)
+from repro.analysis.rules import ALL_RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestTableRendering:
+    def test_every_rule_has_a_row(self):
+        table = rule_table_markdown()
+        for rule in ALL_RULES:
+            assert f"| {rule.rule_id} |" in table
+            assert rule.title in table
+
+    def test_rows_are_sorted_by_rule_id(self):
+        rows = [
+            line.split("|")[1].strip()
+            for line in rule_table_markdown().splitlines()[2:]
+        ]
+        assert rows == sorted(rows)
+
+    def test_rendered_block_is_marker_delimited(self):
+        block = render_rule_table()
+        assert block.startswith(RULE_TABLE_BEGIN)
+        assert block.endswith(RULE_TABLE_END)
+
+
+class TestReadmeDrift:
+    """The committed README table must equal the generated one."""
+
+    def test_readme_table_matches_rule_metadata(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        current = extract_rule_table(readme)
+        assert current is not None, (
+            "README.md lost its crowdlint rule-table markers"
+        )
+        assert current == render_rule_table(), (
+            "README rule table drifted from ALL_RULES — run "
+            "`python -m repro.analysis --update-rule-docs`"
+        )
+
+
+class TestUpdateReadme:
+    def test_rewrites_stale_table_in_place(self, tmp_path):
+        readme = tmp_path / "README.md"
+        readme.write_text(
+            "# Title\n\n"
+            f"{RULE_TABLE_BEGIN}\nstale rows\n{RULE_TABLE_END}\n\n"
+            "trailing prose\n"
+        )
+        assert update_readme(str(readme)) is True
+        text = readme.read_text()
+        assert "stale rows" not in text
+        assert extract_rule_table(text) == render_rule_table()
+        assert text.startswith("# Title\n")
+        assert text.endswith("trailing prose\n")
+
+    def test_noop_when_already_current(self, tmp_path):
+        readme = tmp_path / "README.md"
+        readme.write_text(f"intro\n\n{render_rule_table()}\n")
+        assert update_readme(str(readme)) is False
+
+    def test_missing_markers_raise(self, tmp_path):
+        readme = tmp_path / "README.md"
+        readme.write_text("no markers here\n")
+        with pytest.raises(ValueError, match="rule-table markers"):
+            update_readme(str(readme))

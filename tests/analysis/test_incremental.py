@@ -1,0 +1,293 @@
+"""Incremental-driver and baseline tests.
+
+The acceptance contract: a warm ``python -m repro.analysis`` run must be
+**byte-identical** on stdout to the cold run that populated the cache,
+while stderr proves the cache actually did the work (hit counts, project
+graph reused). These tests drive the real CLI (``main(argv)``) against a
+tmp tree so they exercise the same path CI does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.baseline import (
+    BaselineError,
+    apply_baseline,
+    find_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.cache import CacheStats, cached_lint, load_cache
+from repro.analysis.engine import Finding, lint_paths
+from repro.analysis.rules import ALL_RULES
+
+DIRTY = "def check(x):\n    return x == 1.0\n"
+CLEAN = "def double(x):\n    return x * 2\n"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """Two-file lint target: one CM004 violation, one clean module."""
+    src = tmp_path / "proj"
+    src.mkdir()
+    (src / "dirty.py").write_text(DIRTY)
+    (src / "clean.py").write_text(CLEAN)
+    return src
+
+
+def run_cli(tree, cache, capsys, *extra):
+    code = main(
+        [str(tree), "--cache", str(cache), "--no-baseline", *extra]
+    )
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestColdWarmIdentity:
+    @pytest.mark.parametrize("fmt", ["text", "json", "sarif"])
+    def test_warm_stdout_is_byte_identical(self, tree, tmp_path, capsys, fmt):
+        cache = tmp_path / "cache.json"
+        cold_code, cold_out, cold_err = run_cli(
+            tree, cache, capsys, "--format", fmt
+        )
+        warm_code, warm_out, warm_err = run_cli(
+            tree, cache, capsys, "--format", fmt
+        )
+        assert cold_code == warm_code == 1  # the CM004 finding gates
+        assert warm_out == cold_out
+        assert "0/2 file(s) hit, 2 miss(es)" in cold_err
+        assert "project graph recomputed" in cold_err
+        assert "2/2 file(s) hit, 0 miss(es)" in warm_err
+        assert "project graph reused" in warm_err
+
+    def test_stats_stay_on_stderr(self, tree, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        _, out, err = run_cli(tree, cache, capsys, "--format", "json")
+        json.loads(out)  # stdout must remain machine-parseable
+        assert "crowdlint cache:" in err
+        assert "crowdlint cache:" not in out
+
+
+class TestInvalidation:
+    def test_source_edit_misses_only_that_file(self, tree, tmp_path):
+        cache = str(tmp_path / "cache.json")
+        cached_lint([str(tree)], cache_path=cache)
+        (tree / "clean.py").write_text(CLEAN + "EXTRA = 1\n")
+        findings, stats = cached_lint([str(tree)], cache_path=cache)
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.project_reused is False
+        # Results still equal a from-scratch lint of the edited tree.
+        assert findings == lint_paths([str(tree)])
+
+    def test_new_file_recomputes_project_pass(self, tree, tmp_path):
+        cache = str(tmp_path / "cache.json")
+        cached_lint([str(tree)], cache_path=cache)
+        (tree / "third.py").write_text("Z = 3\n")
+        _, stats = cached_lint([str(tree)], cache_path=cache)
+        assert (stats.hits, stats.misses) == (2, 1)
+        assert stats.project_reused is False
+
+    def test_rules_version_bump_invalidates_everything(
+        self, tree, tmp_path, monkeypatch
+    ):
+        cache = str(tmp_path / "cache.json")
+        cached_lint([str(tree)], cache_path=cache)
+        monkeypatch.setattr(
+            "repro.analysis.cache.RULES_VERSION", "cm999.test"
+        )
+        _, stats = cached_lint([str(tree)], cache_path=cache)
+        assert (stats.hits, stats.misses) == (0, 2)
+
+    def test_select_does_not_reuse_full_rule_set_cache(self, tree, tmp_path):
+        cache = str(tmp_path / "cache.json")
+        cached_lint([str(tree)], cache_path=cache)
+        subset = [r for r in ALL_RULES if r.rule_id == "CM004"]
+        _, stats = cached_lint([str(tree)], rules=subset, cache_path=cache)
+        assert stats.hits == 0
+
+    def test_corrupted_cache_is_treated_as_empty(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        findings, stats = cached_lint([str(tree)], cache_path=str(cache))
+        assert stats.hits == 0
+        assert findings == lint_paths([str(tree)])
+        # And the run healed the file: the next one is fully warm.
+        _, stats = cached_lint([str(tree)], cache_path=str(cache))
+        assert stats.project_reused is True
+
+    def test_load_cache_rejects_wrong_schema(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        cache.write_text(json.dumps({"schema": "other/9", "files": {}}))
+        assert load_cache(str(cache), "whatever") is None
+
+
+class TestCachedLintApi:
+    def test_cold_and_warm_findings_are_equal(self, tree, tmp_path):
+        cache = str(tmp_path / "cache.json")
+        cold, cold_stats = cached_lint([str(tree)], cache_path=cache)
+        warm, warm_stats = cached_lint([str(tree)], cache_path=cache)
+        assert warm == cold
+        assert cold_stats.project_reused is False
+        assert warm_stats.project_reused is True
+        assert warm_stats.describe() == (
+            "crowdlint cache: 2/2 file(s) hit, 0 miss(es), "
+            "project graph reused"
+        )
+
+    def test_use_cache_false_never_writes(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        findings, stats = cached_lint(
+            [str(tree)], cache_path=str(cache), use_cache=False
+        )
+        assert not cache.exists()
+        assert findings == lint_paths([str(tree)])
+
+    def test_syntax_error_is_cached_like_any_finding(self, tree, tmp_path):
+        cache = str(tmp_path / "cache.json")
+        (tree / "broken.py").write_text("def oops(:\n")
+        cold, _ = cached_lint([str(tree)], cache_path=cache)
+        warm, stats = cached_lint([str(tree)], cache_path=cache)
+        assert stats.project_reused is True
+        assert warm == cold
+        assert any(f.rule == "CM000" for f in warm)
+
+    def test_stats_default_shape(self):
+        stats = CacheStats()
+        assert "0/0 file(s) hit" in stats.describe()
+        assert "recomputed" in stats.describe()
+
+
+class TestBaselineFile:
+    def make_baseline(self, tmp_path, entries):
+        path = tmp_path / ".crowdlint-baseline.json"
+        path.write_text(
+            json.dumps({"schema": "crowdlint-baseline/1", "entries": entries})
+        )
+        return str(path)
+
+    def test_reasonless_entry_is_rejected(self, tmp_path):
+        path = self.make_baseline(
+            tmp_path, [{"rule": "CM004", "path": "proj/dirty.py"}]
+        )
+        with pytest.raises(BaselineError, match="has no reason"):
+            load_baseline(path)
+
+    def test_cli_exits_2_on_reasonless_baseline(self, tree, tmp_path, capsys):
+        path = self.make_baseline(
+            tmp_path, [{"rule": "CM004", "path": "proj/dirty.py"}]
+        )
+        code = main(
+            [
+                str(tree),
+                "--cache", str(tmp_path / "cache.json"),
+                "--baseline", path,
+            ]
+        )
+        assert code == 2
+        assert "has no reason" in capsys.readouterr().err
+
+    def test_baseline_suppresses_matching_findings(self, tree, tmp_path, capsys):
+        path = self.make_baseline(
+            tmp_path,
+            [
+                {
+                    "rule": "CM004",
+                    "path": "proj/dirty.py",
+                    "reason": "fixture: accepted float compare",
+                }
+            ],
+        )
+        code = main(
+            [
+                str(tree),
+                "--cache", str(tmp_path / "cache.json"),
+                "--baseline", path,
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "no findings" in captured.out
+        assert "1 finding(s) suppressed" in captured.err
+
+    def test_stale_entries_are_reported(self, tree, tmp_path, capsys):
+        path = self.make_baseline(
+            tmp_path,
+            [
+                {
+                    "rule": "CM001",
+                    "path": "proj/nonexistent.py",
+                    "reason": "left behind after the module was deleted",
+                }
+            ],
+        )
+        code = main(
+            [
+                str(tree),
+                "--cache", str(tmp_path / "cache.json"),
+                "--baseline", path,
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 1  # CM004 still gates; stale entry suppressed nothing
+        assert "matched nothing" in err
+        assert "CM001 proj/nonexistent.py" in err
+
+    def test_apply_baseline_boundary_suffix_match(self):
+        finding = Finding(
+            rule="CM004", path="/abs/proj/dirty.py", line=2, col=11,
+            message="float equality", severity="error",
+        )
+        from repro.analysis.baseline import BaselineEntry
+
+        hit = BaselineEntry(rule="CM004", path="proj/dirty.py", reason="r")
+        near_miss = BaselineEntry(
+            rule="CM004", path="irty.py", reason="r"
+        )
+        kept, suppressed, unused = apply_baseline(
+            [finding], [hit, near_miss]
+        )
+        assert kept == [] and suppressed == 1
+        assert unused == [near_miss]  # substring != path-boundary suffix
+
+    def test_write_baseline_demands_reasons(self, tree, tmp_path):
+        out_path = str(tmp_path / "generated.json")
+        findings = lint_paths([str(tree)])
+        count = write_baseline(out_path, findings)
+        assert count == 1
+        with pytest.raises(BaselineError, match="has no reason"):
+            load_baseline(out_path)
+        data = json.loads(Path(out_path).read_text())
+        assert data["entries"][0]["reason"].startswith("TODO")
+
+    def test_write_baseline_cli(self, tree, tmp_path, capsys):
+        out_path = str(tmp_path / "generated.json")
+        code = main(
+            [
+                str(tree),
+                "--cache", str(tmp_path / "cache.json"),
+                "--no-baseline",
+                "--write-baseline", out_path,
+            ]
+        )
+        assert code == 0
+        assert "fill in every TODO reason" in capsys.readouterr().err
+        assert Path(out_path).is_file()
+
+    def test_find_baseline_walks_upward(self, tmp_path):
+        nested = tmp_path / "a" / "b" / "c"
+        nested.mkdir(parents=True)
+        marker = tmp_path / "a" / ".crowdlint-baseline.json"
+        marker.write_text("{}")
+        assert find_baseline(str(nested)) == str(marker)
+        assert find_baseline(str(tmp_path / "a")) == str(marker)
+
+    def test_find_baseline_returns_none_without_file(self, tmp_path):
+        nested = tmp_path / "x" / "y"
+        nested.mkdir(parents=True)
+        found = find_baseline(str(nested))
+        assert found is None or not found.startswith(str(tmp_path))

@@ -56,7 +56,11 @@ class TestKilledWorkerLeaksNothing:
             child.join(timeout=10.0)
             assert child.exitcode == -signal.SIGKILL
         finally:
-            release.set()
+            # Never Event.set() here: if the SIGKILLed child died while
+            # registered as a sleeper on the event's condition, set()
+            # blocks forever in notify_all waiting for the dead process
+            # to acknowledge its wakeup. Terminate instead — nothing
+            # else ever waits on `release`.
             if child.is_alive():
                 child.terminate()
                 child.join(timeout=10.0)
