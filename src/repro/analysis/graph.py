@@ -36,6 +36,7 @@ from repro.analysis.engine import ImportStmt
 LAYERS: Tuple[Tuple[str, ...], ...] = (
     ("core", "geometry", "sensors"),
     ("vision",),
+    ("dataflow",),
     ("world", "baselines"),
     ("eval", "bench"),
     ("backend",),

@@ -1,12 +1,13 @@
-"""The crowdlint rule set (CM001–CM012).
+"""The crowdlint rule set (CM001–CM013).
 
 Each rule encodes one repo invariant that a generic linter cannot check.
 See the package docstring for the one-line summary of each; the classes
 below document the precise detection logic and its deliberate blind spots.
 CM001–CM008 are per-file rules; CM010–CM011 are *project* rules driven
 with the whole-program :class:`~repro.analysis.project.ProjectContext`
-(import graph, cross-module call resolution), and CM012 tracks shm
-lifecycles along straight-line paths within one file.
+(import graph, cross-module call resolution), CM012 tracks shm
+lifecycles along straight-line paths within one file, and CM013 keeps
+reconstruction stage calls inside the sanctioned dataflow entry points.
 """
 
 from __future__ import annotations
@@ -27,7 +28,7 @@ from repro.analysis.graph import layer_index_of, layer_of
 #: the incremental cache (.crowdlint_cache.json) and the CI cache key are
 #: both keyed on it, so stale cached findings can never survive a rule
 #: change. Format: <highest rule id>.<revision>.
-RULES_VERSION = "cm012.1"
+RULES_VERSION = "cm013.1"
 
 #: Module-level numpy RNG entry points that draw from (or mutate) the
 #: hidden global state. Calling any of these makes a run order-dependent.
@@ -1217,6 +1218,109 @@ class _ShmState:
                 self.leaked.setdefault(name, line)
 
 
+#: Stage entry points the dataflow planner owns. Bare names are resolved
+#: through the module's imports; ``self.``-rooted chains are matched on
+#: their dotted tail (the pipeline's stage components).
+_STAGE_ENTRY_BARE = {
+    "select_keyframes",
+    "prefetch_surf",
+    "reconstruct_skeleton",
+    "calibrate_drift",
+    "register_candidates",
+}
+_STAGE_ENTRY_ATTR = {
+    "aggregator.aggregate",
+    "panorama_builder.build",
+    "layout_estimator.estimate",
+    "assembler.arrange",
+}
+
+#: The sanctioned homes for direct stage calls inside the pipeline
+#: module: the legacy cascade (kept as the planner's byte-identity
+#: reference) and the per-item producers the planner itself executes
+#: nodes through.
+_STAGE_CALL_SANCTUARY = {
+    "anchor_session",
+    "build_pathway",
+    "build_room",
+    "build_rooms",
+    "run_sessions_legacy",
+}
+
+
+class CascadeRegrowthRule(Rule):
+    """CM013: stage calls in ``core/pipeline.py`` must stay in the cascade.
+
+    PR 8 lifted reconstruction out of the fixed cascade into the dataflow
+    graph (``repro.dataflow``): ``run_sessions`` plans nodes, and only
+    the sanctioned legacy-cascade methods (plus the per-item producers
+    the planner executes nodes through) may call stage entry points
+    directly. A stage call sprouting anywhere else in the pipeline module
+    is the fixed cascade silently regrowing — it would execute outside
+    the graph, invisible to content-keyed skipping and the
+    node-execution telemetry. **Advisory**: a deliberate bypass is
+    conceivable (debugging harnesses), but it needs an ``allow[CM013]``
+    pragma explaining why the call must not be a graph node.
+
+    Deliberate blind spots: modules other than ``core/pipeline.py`` (the
+    planner itself executes stages, legitimately), and dynamic dispatch
+    (``getattr``) — this guards against the honest mistake, not evasion.
+    """
+
+    rule_id = "CM013"
+    title = "stage call bypasses the dataflow graph"
+    severity = "advisory"
+
+    @staticmethod
+    def _dotted_tail(func: ast.expr) -> Optional[str]:
+        """Dotted call-target path with its root name (``self`` kept)."""
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        return ".".join(parts)
+
+    def _is_stage_call(self, node: ast.Call) -> bool:
+        dotted = self._dotted_tail(node.func)
+        if dotted is None:
+            return False
+        parts = dotted.split(".")
+        if parts[-1] in _STAGE_ENTRY_BARE:
+            return True
+        tail = ".".join(parts[-2:])
+        return tail in _STAGE_ENTRY_ATTR
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        parts = ctx.path.replace("\\", "/").split("/")
+        if len(parts) < 2 or parts[-2:] != ["core", "pipeline.py"]:
+            return
+        sanctioned: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in _STAGE_CALL_SANCTUARY
+            ):
+                for inner in ast.walk(node):
+                    sanctioned.add(id(inner))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or id(node) in sanctioned:
+                continue
+            if self._is_stage_call(node):
+                dotted = self._dotted_tail(node.func)
+                yield self.finding(
+                    ctx, node,
+                    f"'{dotted}' runs a reconstruction stage outside the "
+                    "sanctioned cascade methods — route it through the "
+                    "dataflow graph (a planner node), or allowlist with "
+                    "the reason it must bypass the planner",
+                )
+
+
 ALL_RULES: Sequence[Rule] = (
     UnseededRngRule(),
     WallClockRule(),
@@ -1229,4 +1333,5 @@ ALL_RULES: Sequence[Rule] = (
     LayeringRule(),
     ParallelSafetyRule(),
     ShmLifecycleRule(),
+    CascadeRegrowthRule(),
 )

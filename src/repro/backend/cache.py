@@ -35,9 +35,10 @@ import hashlib
 import os
 import pickle
 import threading
+import weakref
 from collections import OrderedDict
 from functools import lru_cache
-from typing import Any, Callable, Iterable, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -48,6 +49,20 @@ CACHE_MODES = ("off", "memory", "disk")
 
 _DEFAULT_MAX_ENTRIES = 4096
 _DEFAULT_CACHE_DIR = ".crowdmap_cache"
+
+#: id-keyed digest memo: ``id(arr) -> (weakref to arr, digest)``. The
+#: weakref callback evicts the entry when the array dies, so a recycled
+#: id can never resurrect a dead array's digest; the liveness check in
+#: :func:`array_digest` additionally re-verifies identity before reuse.
+_digest_memo: Dict[int, Tuple["weakref.ref", str]] = {}
+_digest_memo_lock = threading.Lock()
+
+
+def _digest_memo_evict(key: int) -> Callable[[Any], None]:
+    def _evict(_ref: Any) -> None:
+        with _digest_memo_lock:
+            _digest_memo.pop(key, None)
+    return _evict
 
 
 def array_digest(arr: np.ndarray) -> str:
@@ -63,14 +78,38 @@ def array_digest(arr: np.ndarray) -> str:
     contiguous copy first. The digest depends on dtype, shape and
     element order alone, so a strided view and its contiguous copy — or
     an array and its shared-memory twin — always hash identically.
+
+    The digest is memoized per array *object* (id-keyed, weakly held):
+    one value feeding several cached kernels is hashed once, and the
+    repeats are counted by the ``digests_avoided`` telemetry counter.
+    Like :func:`frame_digest`, the memo assumes content addressing's
+    immutability contract — replace an array to change its content,
+    never mutate it in place after digesting.
     """
+    key = id(arr)
+    with _digest_memo_lock:
+        entry = _digest_memo.get(key)
+    if entry is not None and entry[0]() is arr:
+        default_registry.counter(
+            "digests_avoided",
+            "array digests served from the id-keyed memo",
+        ).inc()
+        return entry[1]
+    base = arr
     if not arr.flags.c_contiguous:
         arr = np.ascontiguousarray(arr)
     h = hashlib.sha1()
     h.update(str(arr.dtype).encode())
     h.update(repr(arr.shape).encode())
     h.update(memoryview(arr).cast("B"))
-    return h.hexdigest()
+    digest = h.hexdigest()
+    try:
+        ref = weakref.ref(base, _digest_memo_evict(key))
+    except TypeError:  # non-weakref-able array subclass: skip the memo
+        return digest
+    with _digest_memo_lock:
+        _digest_memo[key] = (ref, digest)
+    return digest
 
 
 def value_fingerprint(*parts: Any) -> str:

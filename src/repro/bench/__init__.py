@@ -39,9 +39,12 @@ from repro.bench.baseline import (
 #: Bump when the JSON layout changes incompatibly.
 SCHEMA_VERSION = 1
 
-#: Benchmarks below this cost get several timed repeats; the expensive
-#: pipeline runs get one (their internal fan-out already averages noise).
+#: Cheap kernel benchmarks get several timed repeats (median selection);
+#: pipeline runs get 3 repeats with min-of-N selection — the minimum is
+#: the least noisy estimator for a deterministic workload on a shared
+#: box, and the per-repeat spread is recorded in the report artifact.
 _KERNEL_REPEATS = 5
+_PIPELINE_REPEATS = 3
 
 
 @dataclass(frozen=True)
@@ -52,13 +55,19 @@ class BenchResult:
     seconds: float
     normalized: float  # seconds / calibration_seconds
     repeats: int
+    select: str = "median"          # "median" or "min" of the repeats
+    spread: Tuple[float, ...] = ()  # every repeat's raw seconds
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "seconds": round(self.seconds, 6),
             "normalized": round(self.normalized, 3),
             "repeats": self.repeats,
         }
+        if self.repeats > 1:
+            payload["select"] = self.select
+            payload["spread_seconds"] = [round(t, 6) for t in self.spread]
+        return payload
 
 
 def calibrate(repeats: int = 7) -> float:
@@ -80,14 +89,29 @@ def calibrate(repeats: int = 7) -> float:
     return float(np.median(times))
 
 
-def _time(fn: Callable[[], object], repeats: int) -> float:
-    """Median of ``repeats`` timed calls (median resists scheduler noise)."""
+def _measure(
+    fn: Callable[[], object], repeats: int, select: str = "median"
+) -> Tuple[float, List[float]]:
+    """``(selected, all_times)`` over ``repeats`` timed calls.
+
+    ``median`` resists scheduler noise for cheap kernels that repeat many
+    times; ``min`` is the right estimator for the expensive deterministic
+    pipeline runs, where every microsecond above the minimum is
+    interference, not workload.
+    """
     times = []
     for _ in range(repeats):
         t0 = time.perf_counter()
         fn()
         times.append(time.perf_counter() - t0)
-    return float(np.median(times))
+    if select == "min":
+        return float(min(times)), times
+    return float(np.median(times)), times
+
+
+def _time(fn: Callable[[], object], repeats: int) -> float:
+    """Median of ``repeats`` timed calls (median resists scheduler noise)."""
+    return _measure(fn, repeats, "median")[0]
 
 
 # ----------------------------------------------------------------------
@@ -112,6 +136,7 @@ def _synthetic_image(size: int = 128, channels: int = 3) -> np.ndarray:
 
 
 def _kernel_benches() -> List[Tuple[str, Callable[[], object], int]]:
+    from repro.dataflow.dispatch import convolve2d_fft
     from repro.vision.filters import convolve2d, gaussian_blur
     from repro.vision.hog import hog_descriptor
     from repro.vision.image import to_grayscale
@@ -123,12 +148,17 @@ def _kernel_benches() -> List[Tuple[str, Callable[[], object], int]]:
     gray = to_grayscale(image)
     rng = np.random.default_rng(7)
     kernel5 = rng.standard_normal((5, 5))
+    kernel21 = rng.standard_normal((21, 21))
     features = detect_and_describe(image, max_features=150)
 
     return [
         ("hog_descriptor_128", lambda: hog_descriptor(gray), _KERNEL_REPEATS),
         ("gaussian_blur_128", lambda: gaussian_blur(gray, 2.0), _KERNEL_REPEATS),
         ("convolve2d_5x5_128", lambda: convolve2d(gray, kernel5), _KERNEL_REPEATS),
+        # The size-dispatch pair: at 21x21 taps the planner's cost model
+        # picks FFT; the direct/fft gap here is the aggressive-mode win.
+        ("convolve2d_21x21_direct", lambda: convolve2d(gray, kernel21), _KERNEL_REPEATS),
+        ("convolve2d_21x21_fft", lambda: convolve2d_fft(gray, kernel21), _KERNEL_REPEATS),
         ("surf_detect_128", lambda: detect_and_describe(image), _KERNEL_REPEATS),
         (
             "match_descriptors_150",
@@ -164,7 +194,9 @@ def _session_id(session) -> str:
     return session.session_id
 
 
-def _pipeline_benches(profile: str) -> List[Tuple[str, Callable[[], object], int]]:
+def _pipeline_benches(profile: str) -> List[Tuple[str, Callable[[], object], int, str]]:
+    import os
+
     from repro.backend.cache import ResultCache, set_cache
     from repro.core.config import CrowdMapConfig
     from repro.core.pipeline import CrowdMapPipeline
@@ -172,26 +204,36 @@ def _pipeline_benches(profile: str) -> List[Tuple[str, Callable[[], object], int
 
     quick_dataset = _bench_dataset("quick")
 
-    def cold_runner(dataset, config):
-        def run_cold():
-            # Fresh cache: measures the pipeline itself, not memoization.
-            set_cache(ResultCache(mode="memory"))
+    def run_pinned(dataset, config, cold: bool, mode: Optional[str]):
+        """One pipeline run, optionally cache-cold and planner-pinned."""
+        previous = os.environ.get("CROWDMAP_PLANNER")
+        if mode is not None:
+            os.environ["CROWDMAP_PLANNER"] = mode
+        try:
+            if cold:
+                # Fresh cache: measures the pipeline, not memoization.
+                set_cache(ResultCache(mode="memory"))
             return CrowdMapPipeline(config).run(dataset)
+        finally:
+            if mode is not None:
+                if previous is None:
+                    os.environ.pop("CROWDMAP_PLANNER", None)
+                else:
+                    os.environ["CROWDMAP_PLANNER"] = previous
 
-        return run_cold
+    def cold_runner(dataset, config, mode: Optional[str] = None):
+        return lambda: run_pinned(dataset, config, cold=True, mode=mode)
 
-    def warm_runner(dataset, config):
-        def run_warm():
-            # Deliberately *not* resetting the cache: the previous bench
-            # run populated it, so this measures an incremental re-run.
-            return CrowdMapPipeline(config).run(dataset)
-
-        return run_warm
+    def warm_runner(dataset, config, mode: Optional[str] = None):
+        # Deliberately *not* resetting the cache: the preceding cold
+        # scenario populated it, so this measures an incremental re-run.
+        return lambda: run_pinned(dataset, config, cold=False, mode=mode)
 
     serial = CrowdMapConfig()
-    benches: List[Tuple[str, Callable[[], object], int]] = [
-        ("pipeline_lab1_quick", cold_runner(quick_dataset, serial), 1),
-        ("pipeline_lab1_quick_cached_rerun", warm_runner(quick_dataset, serial), 1),
+    n, sel = _PIPELINE_REPEATS, "min"
+    benches: List[Tuple[str, Callable[[], object], int, str]] = [
+        ("pipeline_lab1_quick", cold_runner(quick_dataset, serial), n, sel),
+        ("pipeline_lab1_quick_cached_rerun", warm_runner(quick_dataset, serial), n, sel),
         # Same cold run fanned out over the process backend: "parallel"
         # ships frames as shared-memory handles (zero-copy transport),
         # "parallel_pickle" forces the serialized fallback — their gap is
@@ -202,7 +244,7 @@ def _pipeline_benches(profile: str) -> List[Tuple[str, Callable[[], object], int
                 quick_dataset,
                 CrowdMapConfig(worker_backend="process", worker_transport="shm"),
             ),
-            1,
+            n, sel,
         ),
         (
             "pipeline_lab1_parallel_pickle",
@@ -210,7 +252,7 @@ def _pipeline_benches(profile: str) -> List[Tuple[str, Callable[[], object], int
                 quick_dataset,
                 CrowdMapConfig(worker_backend="process", worker_transport="pickle"),
             ),
-            1,
+            n, sel,
         ),
         # Transport in isolation: fan the quick dataset's sessions out to
         # process workers that do no work, so the timing is purely
@@ -221,7 +263,7 @@ def _pipeline_benches(profile: str) -> List[Tuple[str, Callable[[], object], int
                 _session_id, quick_dataset.sessions,
                 max_workers=4, backend="process", transport="shm",
             ),
-            3,
+            3, "median",
         ),
         (
             "frames_transport_pickle",
@@ -229,17 +271,34 @@ def _pipeline_benches(profile: str) -> List[Tuple[str, Callable[[], object], int
                 _session_id, quick_dataset.sessions,
                 max_workers=4, backend="process", transport="pickle",
             ),
-            3,
+            3, "median",
         ),
     ]
     if profile == "full":
         full_dataset = _bench_dataset("full")
         benches += [
-            ("pipeline_lab1_full", cold_runner(full_dataset, serial), 1),
+            ("pipeline_lab1_full", cold_runner(full_dataset, serial), n, sel),
             (
                 "pipeline_lab1_full_cached_rerun",
                 warm_runner(full_dataset, serial),
-                1,
+                n, sel,
+            ),
+            # Planner-pinned variants: `planned` is the dataflow graph
+            # executed cache-cold (vs `pipeline_lab1_full`, which follows
+            # the ambient CROWDMAP_PLANNER mode), and
+            # `planned_incremental` is the warm rerun where every node
+            # resolves from the graph-level cache — the scenario that
+            # shows what graph skipping buys over the per-kernel
+            # memoization of `pipeline_lab1_full_cached_rerun`.
+            (
+                "pipeline_lab1_planned",
+                cold_runner(full_dataset, serial, mode="default"),
+                n, sel,
+            ),
+            (
+                "pipeline_lab1_planned_incremental",
+                warm_runner(full_dataset, serial, mode="default"),
+                n, sel,
             ),
         ]
     return benches
@@ -298,20 +357,26 @@ def run_suite(
         _kernel_benches() + _serving_benches() + _pipeline_benches(profile)
     )
     results: Dict[str, BenchResult] = {}
-    for name, fn, repeats in benches:
+    for bench in benches:
+        name, fn, repeats = bench[0], bench[1], bench[2]
+        select = bench[3] if len(bench) > 3 else "median"
         if include and name not in include:
             continue
-        seconds = _time(fn, repeats)
+        seconds, spread = _measure(fn, repeats, select)
         result = BenchResult(
             name=name,
             seconds=seconds,
             normalized=seconds / calibration,
             repeats=repeats,
+            select=select,
+            spread=tuple(spread),
         )
         results[name] = result
+        jitter = (max(spread) - min(spread)) * 1e3 if repeats > 1 else 0.0
         log(
             f"{name:40s} {seconds * 1e3:10.2f} ms   "
-            f"(normalized {result.normalized:9.1f}, n={repeats})"
+            f"(normalized {result.normalized:9.1f}, n={repeats}, "
+            f"{select}, spread {jitter:.2f} ms)"
         )
     return {
         "schema": SCHEMA_VERSION,
@@ -321,13 +386,24 @@ def run_suite(
     }
 
 
+#: Absolute slack (normalized units, ~1 calibration matmul each) added to
+#: every regression budget. Scenarios the graph cache collapses to
+#: sub-millisecond lookups sit below timer/scheduler noise, where a
+#: purely relative tolerance flags 0.1 ms of jitter as an 85% regression;
+#: the floor keeps the gate meaningful for them without loosening it for
+#: scenarios whose budget is already thousands of normalized units.
+NOISE_FLOOR_NORMALIZED = 2.0
+
+
 def compare_to_baseline(
     report: dict, baseline: dict, tolerance: float = 0.25
 ) -> List[str]:
     """Normalized-time regressions beyond ``tolerance``, human-readable.
 
     Only benchmarks present in both reports are compared; an empty list
-    means the run is within budget.
+    means the run is within budget. The budget is relative
+    (``tolerance``) plus the absolute :data:`NOISE_FLOOR_NORMALIZED`, so
+    near-zero baselines cannot fail on timer jitter alone.
     """
     problems: List[str] = []
     base_marks = baseline.get("benchmarks", {})
@@ -335,7 +411,9 @@ def compare_to_baseline(
         base = base_marks.get(name)
         if base is None:
             continue
-        allowed = base["normalized"] * (1.0 + tolerance)
+        allowed = (
+            base["normalized"] * (1.0 + tolerance) + NOISE_FLOOR_NORMALIZED
+        )
         if current["normalized"] > allowed:
             problems.append(
                 f"{name}: normalized {current['normalized']:.1f} exceeds "

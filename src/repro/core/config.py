@@ -9,8 +9,27 @@ which paper stage it controls so ablations can sweep them meaningfully.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, replace
 from typing import Tuple
+
+#: Recognized ``CROWDMAP_PLANNER`` values. ``default`` runs the dataflow
+#: planner in its bit-identical mode; ``aggressive`` additionally allows
+#: size-dispatched (FFT-vs-direct) kernels, which match direct values to
+#: round-off but not bit for bit; ``legacy``/``off`` run the original
+#: fixed cascade.
+PLANNER_MODES = ("default", "aggressive", "legacy", "off")
+
+
+def planner_mode() -> str:
+    """The planner mode selected by the ``CROWDMAP_PLANNER`` env switch."""
+    mode = os.environ.get("CROWDMAP_PLANNER", "default").strip().lower()
+    mode = mode or "default"
+    if mode not in PLANNER_MODES:
+        raise ValueError(
+            f"CROWDMAP_PLANNER must be one of {PLANNER_MODES}, got {mode!r}"
+        )
+    return mode
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,7 @@ import math
 
 from repro.backend.batching import plan_batches
 from repro.backend.cache import config_fingerprint, frame_digest, get_cache
-from repro.core.config import CrowdMapConfig
+from repro.core.config import CrowdMapConfig, planner_mode
 from repro.vision.color_histogram import chromaticity_histogram
 from repro.vision.filters import gaussian_blur, gaussian_blur_stack
 from repro.vision.hog import (
@@ -116,6 +116,41 @@ class KeyFrame:
         return self.surf
 
 
+#: Injected by ``repro.dataflow`` (which sits below this layer's backend
+#: dependencies in the CM010 DAG, so it cannot be imported here): an
+#: object with ``variant(shape, sigma) -> "" | ":fft"`` deciding which
+#: blur implementation the size dispatcher would pick, and
+#: ``blur(stack, sigma) -> ndarray`` running the FFT path. Consulted only
+#: under ``CROWDMAP_PLANNER=aggressive``; the default mode always takes
+#: the bit-reproducible direct path.
+_blur_dispatcher = None
+
+
+def set_blur_dispatcher(dispatcher) -> None:
+    """Install the size dispatcher (called by ``repro/__init__`` wiring)."""
+    global _blur_dispatcher
+    _blur_dispatcher = dispatcher
+
+
+def _blur_variant(config: CrowdMapConfig, shape) -> str:
+    """Cache-key suffix naming the blur implementation for this shape.
+
+    ``""`` is the direct separable path (the only one default mode ever
+    uses); ``":fft"`` marks aggressive-mode FFT blurs. The suffix keys the
+    per-frame ``hog`` cache per-implementation so FFT and direct outputs
+    — equal to round-off, not bitwise — never share a cache slot.
+    """
+    if _blur_dispatcher is None or planner_mode() != "aggressive":
+        return ""
+    return _blur_dispatcher.variant(shape, config.hog_blur_sigma)
+
+
+def _blur_stack(stack: np.ndarray, config: CrowdMapConfig, variant: str) -> np.ndarray:
+    if variant == ":fft":
+        return _blur_dispatcher.blur(stack, config.hog_blur_sigma)
+    return gaussian_blur_stack(stack, config.hog_blur_sigma)
+
+
 def _frame_hog(frame: Frame, config: CrowdMapConfig) -> np.ndarray:
     """Blur + HOG for one frame, memoized by pixel content and HOG knobs.
 
@@ -123,12 +158,17 @@ def _frame_hog(frame: Frame, config: CrowdMapConfig) -> np.ndarray:
     selection thins with), so on incremental re-runs the cache turns the
     dominant per-frame cost into a digest lookup.
     """
+    variant = _blur_variant(config, frame.pixels.shape)
     key = frame_digest(frame) + config_fingerprint(
         config, ("hog_blur_sigma", "hog_cell_size")
-    )
+    ) + variant
 
     def compute() -> np.ndarray:
-        smoothed = gaussian_blur(to_grayscale(frame.pixels), config.hog_blur_sigma)
+        gray = to_grayscale(frame.pixels)
+        if variant:
+            smoothed = _blur_dispatcher.blur(gray, config.hog_blur_sigma)
+        else:
+            smoothed = gaussian_blur(gray, config.hog_blur_sigma)
         return hog_descriptor(smoothed, cell_size=config.hog_cell_size)
 
     return get_cache().get_or_compute("hog", key, compute)
@@ -154,7 +194,11 @@ def _frame_hogs(
     fingerprint = config_fingerprint(
         config, ("hog_blur_sigma", "hog_cell_size")
     )
-    keys = [frame_digest(frame) + fingerprint for frame in frames]
+    keys = [
+        frame_digest(frame) + fingerprint
+        + _blur_variant(config, frame.pixels.shape)
+        for frame in frames
+    ]
     hogs: List[Optional[np.ndarray]] = [None] * len(frames)
     misses: List[int] = []
     for i in range(len(frames)):
@@ -172,8 +216,9 @@ def _frame_hogs(
     for batch in batches:
         frame_indices = [misses[j] for j in batch.indices]
         stack = np.stack([frames[i].pixels for i in frame_indices])
-        smoothed = gaussian_blur_stack(
-            to_grayscale_stack(stack), config.hog_blur_sigma
+        smoothed = _blur_stack(
+            to_grayscale_stack(stack), config,
+            _blur_variant(config, frames[frame_indices[0]].pixels.shape),
         )
         descriptors = hog_descriptor_stack(
             smoothed, cell_size=config.hog_cell_size

@@ -48,7 +48,7 @@ from repro.core.aggregation import (
     calibrate_drift,
 )
 from repro.core.comparison import KeyframeComparator
-from repro.core.config import CrowdMapConfig
+from repro.core.config import CrowdMapConfig, planner_mode
 from repro.core.floorplan import FloorPlanAssembler, FloorPlanResult
 from repro.core.keyframes import KeyFrame, prefetch_surf, select_keyframes
 from repro.core.panorama import PanoramaBuilder, PanoramaCoverageError, RoomPanorama
@@ -57,6 +57,19 @@ from repro.core.skeleton import SkeletonResult, reconstruct_skeleton
 from repro.geometry.primitives import BoundingBox, Point
 from repro.world.crowd import CrowdDataset
 from repro.world.walker import CaptureSession
+
+
+#: Installed by ``repro/__init__``: ``(pipeline, mode) -> planner`` where
+#: the planner exposes ``run_sessions``. Kept as an injection point (like
+#: the keyframe blur dispatcher) because ``repro.dataflow`` sits above
+#: ``core`` only through the unlayered package root in the CM010 DAG.
+_planner_factory = None
+
+
+def set_planner_factory(factory) -> None:
+    """Install the dataflow-planner factory (called by package wiring)."""
+    global _planner_factory
+    _planner_factory = factory
 
 
 @dataclass(frozen=True)
@@ -355,7 +368,24 @@ class CrowdMapPipeline:
         This is the entry point the backend uses: decoded uploads arrive as
         a flat stream, and multi-floor reconstruction feeds per-floor
         session groups through it.
+
+        Execution is dispatched by the ``CROWDMAP_PLANNER`` env switch:
+        ``default`` (and ``aggressive``) build and execute the dataflow
+        graph via the installed planner; ``legacy``/``off`` run the
+        original fixed cascade in :meth:`run_sessions_legacy`. The
+        default planner mode is byte-identical to the cascade — the
+        twin-run determinism suite and ``python -m repro.dataflow``
+        enforce that.
         """
+        mode = planner_mode()
+        if mode in ("legacy", "off") or _planner_factory is None:
+            return self.run_sessions_legacy(sessions)
+        return _planner_factory(self, mode).run_sessions(sessions)
+
+    def run_sessions_legacy(
+        self, sessions: List[CaptureSession]
+    ) -> ReconstructionResult:
+        """The original fixed cascade (pathway → rooms → floor plan)."""
         sws = [s for s in sessions if s.task == "SWS"]
         srs = [s for s in sessions if s.task == "SRS"]
         timings: Dict[str, float] = {}

@@ -1,0 +1,186 @@
+"""Size-dispatched convolution: FFT vs direct, chosen by a cost model.
+
+The vision kernels convolve directly (windowed contraction or per-tap
+accumulation) because at the pipeline's usual sizes — 13-tap separable
+Gaussians on 192x160 frames — direct wins and is bit-reproducible. But
+direct cost grows linearly with tap count while FFT cost is (almost)
+size-independent, so large kernels cross over. This module holds the
+crossover model and the FFT implementations.
+
+FFT convolution is **not bit-exact** versus direct (different summation
+order), so the planner only routes through the dispatcher in
+``CROWDMAP_PLANNER=aggressive`` mode; the default planner mode never
+calls it. Values match direct convolution to ~1e-12 relative — well
+inside the accuracy gate's tolerance bands — and both FFT paths pad with
+the same reflect boundary as their direct counterparts, so outputs are
+shape- and boundary-compatible.
+
+The crossover constants were measured on the bench box (see
+EXPERIMENTS.md): direct separable blur costs ~2k multiply-adds per pixel
+for a k-tap kernel, dense direct costs ``kh*kw``, and the padded 2-D
+real FFT round-trip costs roughly ``C * log2(area)`` per pixel with
+``C ~ 6``. The model only has to get the *ordering* right near the
+crossover; mispredicting by a few taps costs microseconds, not
+correctness.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+from scipy.fft import next_fast_len
+
+from repro.vision.filters import (
+    _reflect_pad,
+    convolve2d,
+    gaussian_blur_stack,
+    gaussian_kernel_1d,
+)
+
+#: Per-pixel cost multiplier of one padded rfft2+irfft2 round trip,
+#: relative to one fused multiply-add of the direct path. Measured, not
+#: derived; biased high so the dispatcher only leaves the bit-stable
+#: direct path when FFT wins clearly.
+_FFT_COST_FACTOR = 6.0
+
+#: The separable direct path streams two 1-D passes through BLAS-shaped
+#: contractions, so its effective per-tap cost is below a dense
+#: multiply-add; the smaller factor still lands the crossover near the
+#: measured one (~37 taps on 192x160 frames — FFT wins from sigma ~6).
+_SEPARABLE_FFT_COST_FACTOR = 5.0
+
+
+def _fft_cost(h: int, w: int, factor: float) -> float:
+    """Modeled per-pixel cost of FFT convolution on an ``(h, w)`` image."""
+    area = float(max(h * w, 2))
+    return factor * np.log2(area)
+
+
+def choose_separable(sigma: float, shape: Tuple[int, ...]) -> str:
+    """``"direct"`` or ``"fft"`` for a separable Gaussian of ``sigma``.
+
+    Direct separable filtering costs ``2k`` multiply-adds per pixel for a
+    ``k``-tap kernel (one horizontal + one vertical pass); FFT costs
+    ``~C*log2(HW)`` regardless of ``k``.
+    """
+    k = gaussian_kernel_1d(sigma).size
+    h, w = shape[-2], shape[-1]
+    cost = _fft_cost(h, w, _SEPARABLE_FFT_COST_FACTOR)
+    return "fft" if 2.0 * k > cost else "direct"
+
+
+def choose_dense(kernel_shape: Tuple[int, int], shape: Tuple[int, ...]) -> str:
+    """``"direct"`` or ``"fft"`` for a dense 2-D kernel."""
+    kh, kw = kernel_shape
+    h, w = shape[-2], shape[-1]
+    cost = _fft_cost(h, w, _FFT_COST_FACTOR)
+    return "fft" if float(kh * kw) > cost else "direct"
+
+
+@lru_cache(maxsize=64)
+def _kernel_spectrum(
+    key: Tuple[str, float, int, int, int, int]
+) -> np.ndarray:
+    """Cached rfft2 of a kernel zero-padded to the FFT size.
+
+    ``key`` is (kind, param, kh, kw, fft_h, fft_w) where kind/param
+    reconstruct the kernel deterministically — caching the spectrum, not
+    the kernel, because the transform is the expensive part.
+    """
+    kind, param, kh, kw, fft_h, fft_w = key
+    if kind == "gauss":
+        k1 = gaussian_kernel_1d(param)
+        kernel = np.outer(k1, k1)
+    else:  # pragma: no cover - dense kernels pass their spectrum directly
+        raise ValueError(f"unknown cached kernel kind {kind!r}")
+    padded = np.zeros((fft_h, fft_w), dtype=np.float64)
+    padded[:kh, :kw] = kernel
+    return np.fft.rfft2(padded)
+
+
+def _fft_convolve_padded(
+    padded: np.ndarray, spectrum: np.ndarray, out_h: int, out_w: int,
+    kh: int, kw: int,
+) -> np.ndarray:
+    """Linear convolution of reflect-padded input via the padded spectrum.
+
+    ``padded`` is the reflect-padded image (stack), already grown by the
+    kernel radius on each side; the full linear convolution is computed
+    on the zero-extended FFT grid and the central ``(out_h, out_w)``
+    window — the same window direct convolution produces — is returned.
+    FFT sizes round up to the next fast (smooth-radix) length so the
+    transform never lands on a slow prime-factor grid.
+    """
+    fft_h = next_fast_len(padded.shape[-2] + kh - 1)
+    fft_w = next_fast_len(padded.shape[-1] + kw - 1)
+    spec = np.fft.rfft2(padded, s=(fft_h, fft_w))
+    conv = np.fft.irfft2(spec * spectrum, s=(fft_h, fft_w))
+    top = kh - 1
+    left = kw - 1
+    return np.ascontiguousarray(
+        conv[..., top : top + out_h, left : left + out_w]
+    )
+
+
+def gaussian_blur_stack_fft(images: np.ndarray, sigma: float) -> np.ndarray:
+    """Gaussian blur of an ``(N, H, W)`` stack (or one image) via FFT.
+
+    Matches :func:`repro.vision.filters.gaussian_blur_stack` to floating
+    point round-off: same reflect padding, same truncated kernel, FFT
+    summation order instead of separable passes.
+    """
+    img = np.asarray(images, dtype=np.float64)
+    k1 = gaussian_kernel_1d(sigma)
+    k = k1.size
+    pad = k // 2
+    h, w = img.shape[-2], img.shape[-1]
+    lead = [(0, 0)] * (img.ndim - 2)
+    padded = np.pad(img, lead + [(pad, pad), (pad, pad)], mode="reflect")
+    fft_h = next_fast_len(padded.shape[-2] + k - 1)
+    fft_w = next_fast_len(padded.shape[-1] + k - 1)
+    spectrum = _kernel_spectrum(("gauss", float(sigma), k, k, fft_h, fft_w))
+    return _fft_convolve_padded(padded, spectrum, h, w, k, k)
+
+
+def convolve2d_fft(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Dense 2-D convolution via FFT, reflect-padded like ``convolve2d``."""
+    img = np.asarray(image, dtype=np.float64)
+    kh, kw = kernel.shape
+    pad_h, pad_w = kh // 2, kw // 2
+    padded = _reflect_pad(img, pad_h, pad_w)
+    h, w = img.shape
+    fft_h = next_fast_len(padded.shape[0] + kh - 1)
+    fft_w = next_fast_len(padded.shape[1] + kw - 1)
+    # Convolution (not correlation): the kernel enters un-flipped because
+    # the FFT product computes the true convolution sum directly.
+    spec_kernel = np.zeros((fft_h, fft_w), dtype=np.float64)
+    spec_kernel[:kh, :kw] = np.asarray(kernel, dtype=np.float64)
+    spectrum = np.fft.rfft2(spec_kernel)
+    return _fft_convolve_padded(padded, spectrum, h, w, kh, kw)
+
+
+def gaussian_blur_stack_planned(
+    images: np.ndarray, sigma: float, aggressive: bool
+) -> Tuple[np.ndarray, str]:
+    """Blur a stack through the dispatcher; returns ``(result, choice)``.
+
+    In default mode the choice is always ``"direct"`` (bit-identical to
+    the cascade); aggressive mode consults the cost model. The choice is
+    returned so callers can key caches per-implementation — FFT and
+    direct outputs must never share a content-cache slot.
+    """
+    choice = choose_separable(sigma, images.shape) if aggressive else "direct"
+    if choice == "fft":
+        return gaussian_blur_stack_fft(images, sigma), choice
+    return gaussian_blur_stack(images, sigma), choice
+
+
+def convolve2d_planned(
+    image: np.ndarray, kernel: np.ndarray, aggressive: bool = True
+) -> np.ndarray:
+    """Dense convolution through the size dispatcher."""
+    if aggressive and choose_dense(kernel.shape, image.shape) == "fft":
+        return convolve2d_fft(image, kernel)
+    return convolve2d(image, kernel)

@@ -1,0 +1,31 @@
+"""CM013 fixture: stage calls sprouting outside the sanctioned cascade.
+
+This file is linted with an overridden path of
+``src/repro/core/pipeline.py`` — the rule is path-scoped and ignores the
+fixture's real location. Names are intentionally undefined; crowdlint is
+purely static.
+"""
+
+
+class CrowdMapPipeline:
+    def anchor_session(self, session):
+        # Sanctioned: the legacy cascade's per-session producer.
+        frames = select_keyframes(session.frames, self.config)
+        return prefetch_surf(frames)
+
+    def run_sessions(self, sessions):
+        # The planner owns this method now; direct stage calls here are
+        # the fixed cascade regrowing.
+        anchors = [self.anchor_session(s) for s in sessions]
+        skeleton = reconstruct_skeleton(anchors)  # [expect CM013]
+        return self.aggregator.aggregate(skeleton)  # [expect CM013]
+
+    def debug_room(self, group):
+        pano = self.panorama_builder.build(group)  # [expect CM013]
+        layout = self.layout_estimator.estimate(pano)  # [expect CM013]
+        return self.assembler.arrange([layout])  # [expect CM013]
+
+
+def _module_level_probe(frames, config):
+    candidates = register_candidates(frames, config)  # [expect CM013]
+    return calibrate_drift(candidates)  # [expect CM013]

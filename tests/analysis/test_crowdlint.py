@@ -336,6 +336,61 @@ class TestCm007:
         assert "CM007" in out and "advisory" in out
 
 
+class TestCm013:
+    """CM013 is scoped to core/pipeline.py and advisory-severity.
+
+    The fixtures live under the flat fixtures directory, so they are
+    linted with an overridden path — the rule keys on the module path,
+    not the file's real location.
+    """
+
+    PIPELINE_PATH = "src/repro/core/pipeline.py"
+
+    def _lint(self, fixture_name):
+        source = (FIXTURES / fixture_name).read_text()
+        return lint_source(source, path=self.PIPELINE_PATH)
+
+    def test_violating_fixture_matches_markers(self):
+        path = FIXTURES / "cm013_violating.py"
+        expected = expected_markers(path)
+        assert expected, f"{path} has no [expect ...] markers"
+        found = sorted((f.rule, f.line) for f in self._lint(path.name))
+        assert found == expected
+
+    def test_clean_fixture_has_no_findings(self):
+        findings = self._lint("cm013_clean.py")
+        assert findings == [], format_findings(findings)
+
+    def test_findings_are_advisory(self):
+        findings = self._lint("cm013_violating.py")
+        assert findings and {f.severity for f in findings} == {"advisory"}
+        assert "[advisory]" in str(findings[0])
+
+    def test_rule_only_applies_to_core_pipeline(self):
+        source = (FIXTURES / "cm013_violating.py").read_text()
+        # The planner module executes stages legitimately...
+        assert lint_source(source, path="src/repro/dataflow/planner.py") == []
+        # ...and a sibling module under core/ is out of scope too.
+        assert lint_source(source, path="src/repro/core/other.py") == []
+        # "core" must be the immediate parent directory.
+        assert lint_source(source, path="src/core2/pipeline.py") == []
+        assert lint_source(source, path="core/pipeline.py") != []
+
+    def test_pragma_allowlists_a_deliberate_bypass(self):
+        source = (
+            "def probe(frames, config):\n"
+            "    return select_keyframes(frames, config)"
+            "  # crowdlint: allow[CM013] debugging harness stays off-graph\n"
+        )
+        assert lint_source(source, path=self.PIPELINE_PATH) == []
+
+    def test_repo_pipeline_module_is_clean(self):
+        """The refactored pipeline routes every stage through the graph."""
+        path = REPO_ROOT / "src" / "repro" / "core" / "pipeline.py"
+        findings = [f for f in lint_fixture(path) if f.rule == "CM013"]
+        assert findings == [], format_findings(findings)
+
+
 def _lint_project(modules):
     """Lint a synthetic multi-module project given ``{name: source}``."""
     contexts = [
@@ -393,6 +448,9 @@ _RULE_TRIGGERS = {
               "    a.close()\n"
               "    return a.put(p)\n",
               "src/repro/core/x.py", None, None),
+    "CM013": ("def probe(frames, config):\n"
+              "    return select_keyframes(frames, config)\n",
+              "src/repro/core/pipeline.py", None, None),
 }
 
 

@@ -78,7 +78,7 @@ class TestLayerResolution:
         assert layer_of("tests.analysis.fixtures.cmproj.serving.store") == "serving"
         assert layer_of("repro.cli") is None
         assert layer_index_of("repro.core.pipeline") == 0
-        assert layer_index_of("repro.serving.frontend") == 5
+        assert layer_index_of("repro.serving.frontend") == 6
 
     def test_declared_order_matches_issue_contract(self):
         assert LAYER_INDEX["core"] < LAYER_INDEX["vision"]

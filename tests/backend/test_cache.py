@@ -149,6 +149,33 @@ class TestContentKeys:
         strided[::2] = base
         assert array_digest(strided[::2]) == reference
 
+    def test_array_digest_memoized_per_object(self):
+        from repro.backend.telemetry import default_registry
+
+        arr = np.random.default_rng(5).standard_normal((16, 16))
+        before = default_registry.value("digests_avoided")
+        first = array_digest(arr)
+        assert array_digest(arr) == first  # second call hits the memo
+        assert default_registry.value("digests_avoided") == before + 1
+        # A content twin is a different object: fresh hash, same digest.
+        assert array_digest(arr.copy()) == first
+        assert default_registry.value("digests_avoided") == before + 1
+
+    def test_array_digest_memo_evicts_dead_arrays(self):
+        import gc
+
+        from repro.backend import cache as cache_module
+
+        arr = np.ones((8, 8))
+        array_digest(arr)
+        key = id(arr)
+        assert key in cache_module._digest_memo
+        del arr
+        gc.collect()
+        # The weakref callback must drop the entry, or a recycled id
+        # could serve a dead array's digest to an unrelated array.
+        assert key not in cache_module._digest_memo
+
     def test_config_fingerprint_scoped_to_fields(self):
         base = CrowdMapConfig()
         tweaked_unrelated = CrowdMapConfig(force_iterations=base.force_iterations + 1)

@@ -11,7 +11,14 @@ import json
 
 import pytest
 
-from repro.bench import SCHEMA_VERSION, load_report, update_baseline, write_report
+from repro.bench import (
+    NOISE_FLOOR_NORMALIZED,
+    SCHEMA_VERSION,
+    compare_to_baseline,
+    load_report,
+    update_baseline,
+    write_report,
+)
 from repro.bench.baseline import (
     PRESERVED_PREFIX,
     load_json_report,
@@ -113,6 +120,37 @@ class TestUpdate:
         path.write_text('{"schema": 1, "cells": {"a": 1}, "note": "old"}')
         merged = update_baseline_file(str(path), {"schema": 1, "cells": {"b": 2}}, 1)
         assert merged == {"schema": 1, "cells": {"b": 2}}
+
+
+class TestCompare:
+    @staticmethod
+    def _reports(current, base):
+        return (
+            {"benchmarks": {"x": {"normalized": current}}},
+            {"benchmarks": {"x": {"normalized": base}}},
+        )
+
+    def test_within_tolerance_passes(self):
+        report, base = self._reports(110.0, 100.0)
+        assert compare_to_baseline(report, base, tolerance=0.25) == []
+
+    def test_regression_beyond_budget_fails(self):
+        report, base = self._reports(140.0, 100.0)
+        problems = compare_to_baseline(report, base, tolerance=0.25)
+        assert len(problems) == 1 and "x" in problems[0]
+
+    def test_noise_floor_shields_near_zero_baselines(self):
+        # A graph-cached warm rerun baselines at well under a millisecond;
+        # 5x that is still timer jitter, not a regression.
+        report, base = self._reports(1.5, 0.3)
+        assert compare_to_baseline(report, base, tolerance=0.25) == []
+        # But the floor is absolute: past it, tiny baselines still gate.
+        report, base = self._reports(0.3 * 1.25 + NOISE_FLOOR_NORMALIZED + 0.1, 0.3)
+        assert compare_to_baseline(report, base, tolerance=0.25) != []
+
+    def test_unknown_benchmarks_are_ignored(self):
+        report = {"benchmarks": {"new_scenario": {"normalized": 1e9}}}
+        assert compare_to_baseline(report, {"benchmarks": {}}) == []
 
 
 class TestBenchFacade:

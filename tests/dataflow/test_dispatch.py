@@ -1,0 +1,152 @@
+"""Size-dispatched convolution: FFT/direct equivalence and the cost model.
+
+FFT convolution is numerically equal (to round-off) but not bit-equal to
+the direct kernels, which is exactly why the dispatcher is fenced behind
+``CROWDMAP_PLANNER=aggressive``. These tests pin both halves of that
+contract: values agree to tight tolerance, and the default path never
+routes through FFT.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import CrowdMapConfig
+from repro.core.keyframes import _frame_hog
+from repro.dataflow.dispatch import (
+    choose_dense,
+    choose_separable,
+    convolve2d_fft,
+    convolve2d_planned,
+    gaussian_blur_stack_fft,
+    gaussian_blur_stack_planned,
+)
+from repro.vision.filters import convolve2d, gaussian_blur_stack
+from repro.vision.image import Frame
+
+
+def _image(h=96, w=80, seed=0):
+    return np.random.default_rng(seed).standard_normal((h, w))
+
+
+class TestFFTEquivalence:
+    @pytest.mark.parametrize("kh,kw", [(3, 3), (5, 7), (13, 13), (21, 21)])
+    def test_dense_matches_direct(self, kh, kw):
+        image = _image()
+        kernel = np.random.default_rng(1).standard_normal((kh, kw))
+        direct = convolve2d(image, kernel)
+        fft = convolve2d_fft(image, kernel)
+        assert fft.shape == direct.shape
+        np.testing.assert_allclose(fft, direct, rtol=1e-10, atol=1e-10)
+
+    @pytest.mark.parametrize("sigma", [1.0, 2.0, 4.0, 8.0])
+    def test_separable_matches_direct(self, sigma):
+        stack = np.random.default_rng(2).standard_normal((4, 64, 56))
+        direct = gaussian_blur_stack(stack, sigma)
+        fft = gaussian_blur_stack_fft(stack, sigma)
+        assert fft.shape == direct.shape
+        np.testing.assert_allclose(fft, direct, rtol=1e-10, atol=1e-12)
+
+    def test_single_image_stack(self):
+        from repro.vision.filters import gaussian_blur
+
+        image = _image(48, 40, seed=3)
+        np.testing.assert_allclose(
+            gaussian_blur_stack_fft(image, 2.0),
+            gaussian_blur(image, 2.0),
+            rtol=1e-10, atol=1e-12,
+        )
+
+
+class TestCostModel:
+    def test_small_kernels_stay_direct(self):
+        assert choose_separable(2.0, (192, 160)) == "direct"
+        assert choose_dense((3, 3), (192, 160)) == "direct"
+
+    def test_large_kernels_cross_to_fft(self):
+        assert choose_separable(16.0, (192, 160)) == "fft"
+        assert choose_dense((21, 21), (192, 160)) == "fft"
+
+    def test_crossover_is_monotonic_in_kernel_size(self):
+        shape = (192, 160)
+        crossed = False
+        for sigma in (0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0):
+            choice = choose_separable(sigma, shape)
+            if crossed:
+                assert choice == "fft"
+            elif choice == "fft":
+                crossed = True
+        assert crossed
+
+
+class TestDispatchGating:
+    def test_default_mode_never_picks_fft(self):
+        stack = np.random.default_rng(4).standard_normal((2, 64, 56))
+        # Even at a sigma where aggressive mode would go FFT.
+        result, choice = gaussian_blur_stack_planned(stack, 16.0, aggressive=False)
+        assert choice == "direct"
+        assert np.array_equal(result, gaussian_blur_stack(stack, 16.0))
+
+    def test_aggressive_mode_dispatches_by_size(self):
+        stack = np.random.default_rng(5).standard_normal((2, 64, 56))
+        _, small = gaussian_blur_stack_planned(stack, 1.0, aggressive=True)
+        _, large = gaussian_blur_stack_planned(stack, 16.0, aggressive=True)
+        assert small == "direct"
+        assert large == "fft"
+
+    def test_convolve2d_planned_routes_large_kernels(self):
+        image = _image()
+        kernel = np.random.default_rng(6).standard_normal((21, 21))
+        planned = convolve2d_planned(image, kernel, aggressive=True)
+        np.testing.assert_allclose(
+            planned, convolve2d(image, kernel), rtol=1e-10, atol=1e-10
+        )
+        small = np.random.default_rng(7).standard_normal((3, 3))
+        assert np.array_equal(
+            convolve2d_planned(image, small, aggressive=True),
+            convolve2d(image, small),
+        )
+
+
+class TestAggressiveHogKeying:
+    """Aggressive-mode FFT blurs must not pollute default cache slots."""
+
+    @pytest.fixture
+    def aggressive_env(self):
+        previous = os.environ.get("CROWDMAP_PLANNER")
+        yield
+        if previous is None:
+            os.environ.pop("CROWDMAP_PLANNER", None)
+        else:
+            os.environ["CROWDMAP_PLANNER"] = previous
+
+    def test_fft_variant_gets_its_own_cache_key(self, aggressive_env):
+        from repro.backend.cache import ResultCache, set_cache
+
+        pixels = np.clip(
+            0.5 + 0.2 * np.random.default_rng(8).standard_normal((64, 56, 3)),
+            0.0, 1.0,
+        )
+        frame = Frame(pixels=pixels, timestamp=0.0, heading=0.0, position=None)
+        config = CrowdMapConfig(hog_blur_sigma=16.0)  # FFT territory
+
+        set_cache(ResultCache(mode="memory"))
+        os.environ["CROWDMAP_PLANNER"] = "default"
+        direct_hog = _frame_hog(frame, config)
+
+        os.environ["CROWDMAP_PLANNER"] = "aggressive"
+        fft_hog = _frame_hog(frame, config)
+        # Different cache slots: the aggressive call computed its own
+        # value instead of inheriting the direct one...
+        assert not np.array_equal(fft_hog, direct_hog)
+        # ...yet the values agree to round-off, which is what the
+        # accuracy tolerance bands rely on.
+        np.testing.assert_allclose(fft_hog, direct_hog, rtol=1e-7, atol=1e-9)
+
+        # Back in default mode the original direct value is still served.
+        os.environ["CROWDMAP_PLANNER"] = "default"
+        assert np.array_equal(_frame_hog(frame, config), direct_hog)
+        set_cache(None)

@@ -1,0 +1,168 @@
+"""Planner correctness: bit-identity vs the cascade, graph invalidation.
+
+The planner's contract is scheduling-only change: in default mode every
+artifact must agree with the legacy cascade bit for bit, under every
+worker transport. And its value is *graph-level* skipping: changing one
+session may re-execute only that session's dependent subgraph.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.backend.cache import ResultCache, set_cache
+from repro.core.config import CrowdMapConfig, planner_mode
+from repro.core.pipeline import CrowdMapPipeline
+from repro.dataflow.planner import last_plan_report
+from repro.world.buildings import build_lab1
+from repro.world.crowd import CrowdConfig, generate_crowd_dataset
+
+
+@pytest.fixture
+def planner_env():
+    """Restore CROWDMAP_PLANNER and the process cache after each test."""
+    previous = os.environ.get("CROWDMAP_PLANNER")
+    yield
+    if previous is None:
+        os.environ.pop("CROWDMAP_PLANNER", None)
+    else:
+        os.environ["CROWDMAP_PLANNER"] = previous
+    set_cache(None)
+
+
+def _quick_dataset(seed: int = 11):
+    return generate_crowd_dataset(
+        build_lab1(),
+        CrowdConfig(n_users=2, sws_per_user=1, srs_rooms_per_user=1, seed=seed),
+    )
+
+
+def _run(dataset, mode: str, config: CrowdMapConfig = None):
+    os.environ["CROWDMAP_PLANNER"] = mode
+    set_cache(ResultCache(mode="memory"))
+    return CrowdMapPipeline(config or CrowdMapConfig()).run(dataset)
+
+
+def _assert_bit_identical(a, b):
+    assert np.array_equal(a.skeleton.probability, b.skeleton.probability)
+    assert np.array_equal(a.skeleton.binarized, b.skeleton.binarized)
+    assert np.array_equal(a.skeleton.skeleton, b.skeleton.skeleton)
+    assert len(a.aggregation.trajectories) == len(b.aggregation.trajectories)
+    for ta, tb in zip(a.aggregation.trajectories, b.aggregation.trajectories):
+        assert np.array_equal(ta.as_array(), tb.as_array())
+        assert np.array_equal(ta.times(), tb.times())
+    assert [p.room_hint for p in a.panoramas] == [p.room_hint for p in b.panoramas]
+    for pa, pb in zip(a.panoramas, b.panoramas):
+        assert np.array_equal(pa.panorama.pixels, pb.panorama.pixels)
+    assert len(a.floorplan.rooms) == len(b.floorplan.rooms)
+    for ra, rb in zip(a.floorplan.rooms, b.floorplan.rooms):
+        assert ra.name == rb.name
+        assert (ra.center.x, ra.center.y) == (rb.center.x, rb.center.y)
+        assert (ra.layout.width, ra.layout.depth, ra.layout.orientation) == (
+            rb.layout.width, rb.layout.depth, rb.layout.orientation,
+        )
+    assert a.floorplan.render_ascii() == b.floorplan.render_ascii()
+    assert [(f.stage, f.item_id) for f in a.failures] == [
+        (f.stage, f.item_id) for f in b.failures
+    ]
+
+
+class TestPlannerBitIdentity:
+    """Legacy cascade vs planner-default, across worker transports."""
+
+    @pytest.mark.parametrize(
+        "backend,transport",
+        [("serial", "auto"), ("process", "shm"), ("process", "pickle")],
+    )
+    def test_matrix(self, planner_env, backend, transport):
+        dataset = _quick_dataset()
+        reference = _run(dataset, "legacy")
+        planned = _run(
+            dataset, "default",
+            CrowdMapConfig(worker_backend=backend, worker_transport=transport),
+        )
+        _assert_bit_identical(reference, planned)
+
+    def test_mode_switch_reaches_planner(self, planner_env):
+        dataset = _quick_dataset()
+        _run(dataset, "legacy")
+        report_after_legacy = last_plan_report()
+        _run(dataset, "default")
+        report = last_plan_report()
+        assert report is not report_after_legacy
+        assert report.mode == "default"
+        assert report.n_executed() > 0
+
+    def test_timings_keep_stage_names(self, planner_env):
+        result = _run(_quick_dataset(), "default")
+        assert set(result.timings) == {"pathway", "rooms", "floorplan"}
+
+    def test_invalid_mode_rejected(self, planner_env):
+        os.environ["CROWDMAP_PLANNER"] = "turbo"
+        with pytest.raises(ValueError):
+            planner_mode()
+
+
+class TestPlannerInvalidation:
+    """Replacing one session's frames re-executes only its subgraph."""
+
+    def test_single_session_change_is_local(self, planner_env):
+        dataset = generate_crowd_dataset(
+            build_lab1(),
+            CrowdConfig(n_users=3, sws_per_user=1, srs_rooms_per_user=1, seed=11),
+        )
+        os.environ["CROWDMAP_PLANNER"] = "default"
+        set_cache(ResultCache(mode="memory"))
+        pipeline = CrowdMapPipeline(CrowdMapConfig())
+        pipeline.run(dataset)
+        cold = last_plan_report()
+        n_sws = cold.n_executed("keyframes")
+        n_pairs = cold.n_executed("pair")
+        n_rooms = cold.n_executed("room")
+        assert n_sws == 3 and n_pairs == 3
+
+        # Replace (never mutate: content addressing) one SWS session's
+        # frames with brightened twins — new content, new digests.
+        sessions = list(dataset.sessions)
+        target = next(i for i, s in enumerate(sessions) if s.task == "SWS")
+        victim = sessions[target]
+        new_frames = [
+            dataclasses.replace(f, pixels=f.pixels * 0.5 + 0.25)
+            for f in victim.frames
+        ]
+        sessions[target] = dataclasses.replace(victim, frames=new_frames)
+
+        pipeline.run_sessions(sessions)
+        warm = last_plan_report()
+        # Only the changed session's key-frame node re-runs; the other
+        # sessions' nodes and every room node resolve from the graph.
+        assert warm.n_executed("keyframes") == 1
+        assert warm.n_skipped("keyframes") == n_sws - 1
+        assert warm.executed_ids("keyframes") == [f"kf:{victim.session_id}"]
+        # Exactly the two pairs touching the changed session re-score.
+        assert warm.n_executed("pair") == 2
+        assert warm.n_skipped("pair") == n_pairs - 2
+        assert all(
+            victim.session_id in node_id for node_id in warm.executed_ids("pair")
+        )
+        assert warm.n_executed("room") == 0
+        assert warm.n_skipped("room") == n_rooms
+        # The late-keyed consumers see changed producer keys and re-run.
+        assert warm.n_executed("pathway") == 1
+        assert warm.n_executed("floorplan") == 1
+
+    def test_unchanged_rerun_skips_everything(self, planner_env):
+        dataset = _quick_dataset()
+        os.environ["CROWDMAP_PLANNER"] = "default"
+        set_cache(ResultCache(mode="memory"))
+        pipeline = CrowdMapPipeline(CrowdMapConfig())
+        first = pipeline.run(dataset)
+        rerun = pipeline.run(dataset)
+        report = last_plan_report()
+        assert report.n_executed() == 0
+        assert report.n_skipped() > 0
+        _assert_bit_identical(first, rerun)
