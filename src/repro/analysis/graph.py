@@ -10,6 +10,7 @@ any layer *below* it, never above:
         <- eval / bench              (3: quality + perf harnesses)
         <- backend                   (4: cache, workers, shm, serving infra)
         <- serving / analysis        (5: traffic tier, this linter)
+        <- fleet                     (6: multi-node gossip fusion)
 
 A module's layer is the *last* dotted-path segment that names a layer
 (``repro.vision.hog`` -> ``vision``), mirroring how the path-scoped rules
@@ -41,6 +42,7 @@ LAYERS: Tuple[Tuple[str, ...], ...] = (
     ("eval", "bench"),
     ("backend",),
     ("serving", "analysis"),
+    ("fleet",),
 )
 
 #: layer name -> index in the stack (0 = bottom).

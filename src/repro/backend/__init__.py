@@ -25,6 +25,8 @@ from repro.backend.faults import (
     FaultInjectionError,
     FaultInjector,
     FlakyHandler,
+    LinkFaultModel,
+    Partition,
     SlowHandler,
 )
 from repro.backend.queue import TaskQueue, Task, TaskState, RetryPolicy
@@ -52,6 +54,8 @@ __all__ = [
     "FaultInjectionError",
     "FaultInjector",
     "FlakyHandler",
+    "LinkFaultModel",
+    "Partition",
     "SlowHandler",
     "SimulatedScheduler",
     "ScheduledJob",

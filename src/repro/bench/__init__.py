@@ -7,6 +7,8 @@ Three layers of benchmark:
   LSD) on seeded synthetic rasters;
 - **serving** benchmarks time the map-serving layer's virtual-clock
   router on stub shards (per-request orchestration overhead);
+- **fleet** benchmarks time the multi-node gossip fusion tier from
+  slice ingest to a fully converged mesh (nodes x rounds smoke);
 - **pipeline** benchmarks time :class:`~repro.core.pipeline.CrowdMapPipeline`
   end-to-end on a generated crowd dataset, both cache-cold and — to show
   what the content-addressed cache buys incremental re-runs — cache-warm.
@@ -339,6 +341,50 @@ def _serving_benches() -> List[Tuple[str, Callable[[], object], int]]:
 
 
 # ----------------------------------------------------------------------
+# Fleet workloads
+# ----------------------------------------------------------------------
+
+
+def _fleet_benches() -> List[Tuple[str, Callable[[], object], int]]:
+    """Gossip convergence cost of the multi-node fusion tier.
+
+    The crowd is generated once outside the timer (sensor-only, so it is
+    cheap but still not the thing under test); the timed region is the
+    fleet hot path — node construction, slice ingest, and anti-entropy
+    rounds until every node's fused map is bit-identical to the union.
+    """
+    from repro.fleet import FleetNode, GossipConfig, GossipMesh
+    from repro.fleet.sim import FleetSimConfig, build_fleet_crowd
+    from repro.world.scenarios import slice_sessions
+
+    config = FleetSimConfig(
+        buildings=("Lab1",), n_nodes=4, users_per_building=2, max_rounds=64
+    )
+    sessions, _plans = build_fleet_crowd(config)
+
+    def run_convergence():
+        nodes = [
+            FleetNode(node_id, config=config.evidence)
+            for node_id in config.node_ids()
+        ]
+        slices = slice_sessions(
+            sessions, config.n_nodes, overlap=config.overlap, seed=config.seed
+        )
+        for node, node_sessions in zip(nodes, slices):
+            for session in node_sessions:
+                node.ingest_session(session)
+        mesh = GossipMesh(nodes, config=GossipConfig(seed=config.seed))
+        for round_number in range(1, config.max_rounds + 1):
+            mesh.run_round(float(round_number))
+            if mesh.converged():
+                break
+        assert mesh.converged()
+        return mesh
+
+    return [("fleet_convergence", run_convergence, 3)]
+
+
+# ----------------------------------------------------------------------
 # Suite driver + baseline comparison
 # ----------------------------------------------------------------------
 
@@ -354,7 +400,10 @@ def run_suite(
     calibration = calibrate()
     log(f"calibration: {calibration * 1e3:.3f} ms (256x256 matmul)")
     benches = (
-        _kernel_benches() + _serving_benches() + _pipeline_benches(profile)
+        _kernel_benches()
+        + _serving_benches()
+        + _fleet_benches()
+        + _pipeline_benches(profile)
     )
     results: Dict[str, BenchResult] = {}
     for bench in benches:

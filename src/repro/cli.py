@@ -12,7 +12,12 @@ Commands:
                   the SLO report (deterministic per seed);
 - ``planner-check`` run the same smoke crowd through the legacy cascade
                   and the dataflow planner (default mode) and fail
-                  unless every artifact is byte-identical.
+                  unless every artifact is byte-identical;
+- ``fleet-sim``   slice a multi-building crowd across N simulated ingest
+                  nodes, gossip evidence summaries over fault-injected
+                  links, and print the deterministic convergence report
+                  (rounds-to-converge, bytes gossiped, per-node
+                  divergence; byte-equal across same-seed runs).
 """
 
 from __future__ import annotations
@@ -100,6 +105,47 @@ def _add_planner_check(subparsers) -> None:
     p.add_argument("--seed", type=int, default=11)
 
 
+def _add_fleet_sim(subparsers) -> None:
+    p = subparsers.add_parser(
+        "fleet-sim",
+        help="simulate N ingest nodes gossiping map evidence to convergence",
+    )
+    p.add_argument("--building", action="append", default=None,
+                   choices=["Lab1", "Lab2", "Gym", "Office"],
+                   help="crowd source building (repeatable; "
+                        "default: Lab1 + Lab2)")
+    p.add_argument("--nodes", type=int, default=4,
+                   help="simulated ingest nodes (default 4)")
+    p.add_argument("--users", type=int, default=3,
+                   help="crowd size per building (default 3)")
+    p.add_argument("--overlap", type=float, default=0.25,
+                   help="probability a session is seen by a second node "
+                        "(default 0.25)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seeds the crowd, the slicing, the mesh and "
+                        "the links")
+    p.add_argument("--max-rounds", type=int, default=64,
+                   help="gossip round budget (default 64)")
+    p.add_argument("--fanout", type=int, default=1,
+                   help="peers pushed to per node per round (default 1)")
+    p.add_argument("--loss", type=float, default=0.0,
+                   help="per-message link loss rate (default 0)")
+    p.add_argument("--latency", type=float, default=0.05,
+                   help="base one-way link latency, virtual s (default 0.05)")
+    p.add_argument("--jitter", type=float, default=0.02,
+                   help="uniform latency jitter, virtual s (default 0.02)")
+    p.add_argument("--partition", action="append", default=None,
+                   metavar="START:END:G0|G1",
+                   help="partition window, e.g. '2:6:0,1|2,3' splits node "
+                        "indices {0,1} from {2,3} during rounds 2-6 "
+                        "(repeatable)")
+    p.add_argument("--local-maps", action="store_true",
+                   help="also run a private ShardManager serving stack "
+                        "per node")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the full report as canonical JSON")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -113,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_buildings(subparsers)
     _add_serve_sim(subparsers)
     _add_planner_check(subparsers)
+    _add_fleet_sim(subparsers)
     return parser
 
 
@@ -398,6 +445,81 @@ def cmd_planner_check(args) -> int:
     return 0
 
 
+def _parse_partition(value: str, n_nodes: int):
+    """Parse ``START:END:0,1|2,3`` into a node-id Partition."""
+    from repro.backend.faults import Partition
+
+    parts = value.split(":")
+    if len(parts) != 3:
+        raise ValueError(
+            f"partition {value!r} must look like START:END:G0|G1"
+        )
+    start, end = float(parts[0]), float(parts[1])
+    groups = []
+    for group in parts[2].split("|"):
+        indices = [int(idx) for idx in group.split(",") if idx != ""]
+        bad = [idx for idx in indices if not 0 <= idx < n_nodes]
+        if bad:
+            raise ValueError(
+                f"partition {value!r} names node index {bad[0]} but the "
+                f"fleet has {n_nodes} nodes"
+            )
+        groups.append(tuple(f"node{idx:02d}" for idx in indices))
+    return Partition(start=start, end=end, groups=tuple(groups))
+
+
+def cmd_fleet_sim(args) -> int:
+    from repro.fleet import (
+        FleetSimConfig,
+        render_fleet_report,
+        report_json,
+        run_fleet_simulation,
+    )
+
+    buildings = tuple(args.building or ["Lab1", "Lab2"])
+    try:
+        partitions = tuple(
+            _parse_partition(value, args.nodes)
+            for value in (args.partition or [])
+        )
+    except ValueError as exc:
+        print(f"fleet-sim: {exc}", file=sys.stderr)
+        return 2
+    config = FleetSimConfig(
+        buildings=buildings,
+        n_nodes=args.nodes,
+        users_per_building=args.users,
+        overlap=args.overlap,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        fanout=args.fanout,
+        loss_rate=args.loss,
+        base_latency=args.latency,
+        latency_jitter=args.jitter,
+        partitions=partitions,
+        maintain_local_maps=args.local_maps,
+    )
+    report = run_fleet_simulation(config, log=print)
+    print()
+    print(render_fleet_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report_json(report))
+        print(f"\nreport JSON written to {args.json}")
+    if not report["converged"]:
+        return 1
+    problems = [
+        problem
+        for entry in report["equivalence"].values()
+        for problem in entry["problems"]
+    ]
+    if problems:
+        for problem in problems:
+            print(f"fleet-sim: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "demo": cmd_demo,
     "generate": cmd_generate,
@@ -405,6 +527,7 @@ _COMMANDS = {
     "buildings": cmd_buildings,
     "serve-sim": cmd_serve_sim,
     "planner-check": cmd_planner_check,
+    "fleet-sim": cmd_fleet_sim,
 }
 
 

@@ -33,6 +33,7 @@ from repro.eval.scorecard import (
     score_reconstruction,
     score_scenario,
     run_scorecard,
+    compare_metric_bands,
     compare_to_accuracy_baseline,
     render_scorecard_table,
     render_crowd_sweep,
@@ -63,6 +64,7 @@ __all__ = [
     "score_reconstruction",
     "score_scenario",
     "run_scorecard",
+    "compare_metric_bands",
     "compare_to_accuracy_baseline",
     "render_scorecard_table",
     "render_crowd_sweep",

@@ -275,6 +275,48 @@ ERROR_TOLERANCES: Dict[str, float] = {
 }
 
 
+def compare_metric_bands(
+    current: Dict[str, float],
+    base: Dict[str, float],
+    score_tolerances: Dict[str, float],
+    error_tolerances: Dict[str, float],
+    tolerance_scale: float = 1.0,
+    label: str = "",
+) -> List[str]:
+    """Band-compare one metric dict against a reference, human-readable.
+
+    Score-like metrics may drop by at most their band below the
+    reference; error-like metrics may rise by at most theirs. Metrics
+    absent from either side are skipped; improvements never fail. Shared
+    by the accuracy baseline gate and the fleet fused-vs-central
+    comparison — any consumer with "bigger is better" / "smaller is
+    better" tolerance tables.
+    """
+    if tolerance_scale < 0:
+        raise ValueError("tolerance_scale must be >= 0")
+    prefix = f"{label}: " if label else ""
+    problems: List[str] = []
+    for metric, band in sorted(score_tolerances.items()):
+        if metric not in base or metric not in current:
+            continue
+        floor = base[metric] - band * tolerance_scale
+        if current[metric] < floor:
+            problems.append(
+                f"{prefix}{metric} {current[metric]:.4f} dropped below "
+                f"baseline {base[metric]:.4f} - {band * tolerance_scale:.4f}"
+            )
+    for metric, band in sorted(error_tolerances.items()):
+        if metric not in base or metric not in current:
+            continue
+        ceiling = base[metric] + band * tolerance_scale
+        if current[metric] > ceiling:
+            problems.append(
+                f"{prefix}{metric} {current[metric]:.4f} rose above "
+                f"baseline {base[metric]:.4f} + {band * tolerance_scale:.4f}"
+            )
+    return problems
+
+
 def compare_to_accuracy_baseline(
     report: dict,
     baseline: dict,
@@ -299,25 +341,16 @@ def compare_to_accuracy_baseline(
         for key in sorted(set(base_cells) - set(run_cells)):
             problems.append(f"{key}: cell present in baseline but not scored")
     for key in sorted(set(base_cells) & set(run_cells)):
-        base, current = base_cells[key], run_cells[key]
-        for metric, band in sorted(SCORE_TOLERANCES.items()):
-            if metric not in base or metric not in current:
-                continue
-            floor = base[metric] - band * tolerance_scale
-            if current[metric] < floor:
-                problems.append(
-                    f"{key}: {metric} {current[metric]:.4f} dropped below "
-                    f"baseline {base[metric]:.4f} - {band * tolerance_scale:.4f}"
-                )
-        for metric, band in sorted(ERROR_TOLERANCES.items()):
-            if metric not in base or metric not in current:
-                continue
-            ceiling = base[metric] + band * tolerance_scale
-            if current[metric] > ceiling:
-                problems.append(
-                    f"{key}: {metric} {current[metric]:.4f} rose above "
-                    f"baseline {base[metric]:.4f} + {band * tolerance_scale:.4f}"
-                )
+        problems.extend(
+            compare_metric_bands(
+                run_cells[key],
+                base_cells[key],
+                SCORE_TOLERANCES,
+                ERROR_TOLERANCES,
+                tolerance_scale=tolerance_scale,
+                label=key,
+            )
+        )
     return problems
 
 

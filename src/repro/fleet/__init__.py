@@ -1,0 +1,87 @@
+"""City-scale fleet simulation: distributed ingest with gossip map fusion.
+
+The "millions of users" tier above :mod:`repro.serving`: no single node
+ever holds the whole crowd. N simulated ingest nodes each observe a
+partial, overlapping slice of a multi-building crowd, keep local partial
+maps, and exchange compact per-session evidence over a seeded
+anti-entropy gossip mesh with fault-injected links. Fusion is a pure,
+deterministic projection of a grow-only evidence set with per-region
+version vectors, so merges are commutative/associative/idempotent and
+the converged fleet map is *bit-identical* to a single node run on the
+union of all sessions.
+
+- :mod:`repro.fleet.evidence` — compact per-session evidence records;
+- :mod:`repro.fleet.versions` — per-region version vectors;
+- :mod:`repro.fleet.beliefs` — grow-only stores, confidence-weighted
+  projection, divergence measures;
+- :mod:`repro.fleet.node` — one ingest node (store + optional private
+  serving stack + summary exchange);
+- :mod:`repro.fleet.gossip` — seeded push anti-entropy over
+  :class:`~repro.backend.faults.LinkFaultModel` links;
+- :mod:`repro.fleet.sim` — the end-to-end simulation and its
+  deterministic convergence report (``python -m repro fleet-sim``);
+- :mod:`repro.fleet.compare` — fused-vs-central tolerance bands and
+  ground-truth scoring through the eval layer.
+"""
+
+from repro.fleet.evidence import (
+    EvidenceConfig,
+    SessionEvidence,
+    extract_evidence,
+    canonical_json,
+)
+from repro.fleet.versions import VersionVector
+from repro.fleet.beliefs import (
+    EvidenceStore,
+    FleetMap,
+    FloorBelief,
+    RoomBelief,
+    project,
+    divergence,
+)
+from repro.fleet.node import FleetNode, FleetSummary
+from repro.fleet.gossip import GossipConfig, GossipMesh
+from repro.fleet.sim import (
+    FleetSimConfig,
+    build_fleet_crowd,
+    run_fleet_simulation,
+    render_fleet_report,
+    report_json,
+)
+from repro.fleet.compare import (
+    FLEET_SCORE_TOLERANCES,
+    FLEET_ERROR_TOLERANCES,
+    fused_vs_central_metrics,
+    compare_fused_to_central,
+    fleet_skeleton,
+    score_fleet_against_truth,
+)
+
+__all__ = [
+    "EvidenceConfig",
+    "SessionEvidence",
+    "extract_evidence",
+    "canonical_json",
+    "VersionVector",
+    "EvidenceStore",
+    "FleetMap",
+    "FloorBelief",
+    "RoomBelief",
+    "project",
+    "divergence",
+    "FleetNode",
+    "FleetSummary",
+    "GossipConfig",
+    "GossipMesh",
+    "FleetSimConfig",
+    "build_fleet_crowd",
+    "run_fleet_simulation",
+    "render_fleet_report",
+    "report_json",
+    "FLEET_SCORE_TOLERANCES",
+    "FLEET_ERROR_TOLERANCES",
+    "fused_vs_central_metrics",
+    "compare_fused_to_central",
+    "fleet_skeleton",
+    "score_fleet_against_truth",
+]

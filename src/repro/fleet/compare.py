@@ -1,0 +1,205 @@
+"""Fused-vs-central comparison and ground-truth scoring of fleet maps.
+
+Two questions get answered here, with the eval layer's own machinery:
+
+1. **Did the fleet converge to the centralized answer?**
+   :func:`fused_vs_central_metrics` reduces a pair of
+   :class:`~repro.fleet.beliefs.FleetMap` projections to a few scalar
+   metrics, and :func:`compare_fused_to_central` gates them through
+   :func:`repro.eval.scorecard.compare_metric_bands` — the same
+   tolerance-band comparator the CI accuracy gate uses — against the
+   perfect-agreement reference. In the partition-free case the maps are
+   bit-identical (equal digests) and every metric sits exactly at its
+   reference; under healed loss/partitions the bands say how much
+   residual disagreement is acceptable.
+
+2. **Is the fused map any good?** :func:`fleet_skeleton` lifts a
+   fused floor belief into a :class:`~repro.core.skeleton.SkeletonResult`
+   so :func:`repro.eval.hallway_metrics.evaluate_hallway_shape` can score
+   it against the procedural ground-truth plan, exactly as the
+   single-node scorecard scores pipeline output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.skeleton import OccupancyGrid, SkeletonResult
+from repro.eval.hallway_metrics import evaluate_hallway_shape
+from repro.eval.scorecard import compare_metric_bands
+from repro.fleet.beliefs import FleetMap, FloorBelief
+from repro.geometry.primitives import BoundingBox
+from repro.world.floorplan_model import FloorPlan
+
+#: Score-like fused-vs-central metrics (reference 1.0): allowed drop.
+FLEET_SCORE_TOLERANCES: Dict[str, float] = {
+    "occupied_iou": 0.05,
+    "room_match_fraction": 0.0,  # a whole lost room is never tolerable
+}
+
+#: Error-like fused-vs-central metrics (reference 0.0): allowed rise.
+FLEET_ERROR_TOLERANCES: Dict[str, float] = {
+    "confidence_mae": 0.05,
+    "room_center_delta_m": 0.25,
+}
+
+#: The reference every fused map is banded against: perfect agreement
+#: with the central projection.
+FLEET_REFERENCE: Dict[str, float] = {
+    "occupied_iou": 1.0,
+    "room_match_fraction": 1.0,
+    "confidence_mae": 0.0,
+    "room_center_delta_m": 0.0,
+}
+
+
+def fused_vs_central_metrics(
+    fused: FleetMap, central: FleetMap
+) -> Dict[str, float]:
+    """Scalar agreement metrics between a node's map and the central one.
+
+    - ``occupied_iou``: intersection-over-union of occupied cells,
+      averaged over floors (1.0 = identical footprints);
+    - ``confidence_mae``: mean absolute confidence delta over nonzero
+      cells, averaged over floors;
+    - ``room_match_fraction``: fraction of central room beliefs present
+      in the fused map (by key);
+    - ``room_center_delta_m``: mean distance between matched room
+      centres, metres.
+    """
+    floors = sorted(set(fused.floors) | set(central.floors))
+    iou_total = 0.0
+    mae_total = 0.0
+    for key in floors:
+        a = fused.floors.get(key)
+        b = central.floors.get(key)
+        occ_a = set(a.occupied) if a else set()
+        occ_b = set(b.occupied) if b else set()
+        union = occ_a | occ_b
+        iou_total += len(occ_a & occ_b) / len(union) if union else 1.0
+        conf_a = a.confidences if a else {}
+        conf_b = b.confidences if b else {}
+        cells = set(conf_a) | set(conf_b)
+        if cells:
+            mae_total += sum(
+                abs(conf_a.get(c, 0.0) - conf_b.get(c, 0.0)) for c in cells
+            ) / len(cells)
+    n_floors = max(1, len(floors))
+
+    matched = [key for key in central.rooms if key in fused.rooms]
+    deltas = [
+        float(
+            np.hypot(
+                fused.rooms[key].center[0] - central.rooms[key].center[0],
+                fused.rooms[key].center[1] - central.rooms[key].center[1],
+            )
+        )
+        for key in matched
+    ]
+    return {
+        "occupied_iou": round(iou_total / n_floors, 6),
+        "confidence_mae": round(mae_total / n_floors, 6),
+        "room_match_fraction": round(
+            len(matched) / len(central.rooms), 6
+        ) if central.rooms else 1.0,
+        "room_center_delta_m": round(
+            sum(deltas) / len(deltas), 6
+        ) if deltas else 0.0,
+    }
+
+
+def compare_fused_to_central(
+    fused: FleetMap,
+    central: FleetMap,
+    tolerance_scale: float = 1.0,
+    label: str = "fused",
+) -> List[str]:
+    """Tolerance-band problems of a fused map versus the central one.
+
+    Empty list = within bands. Bit-identical maps (equal digests) short
+    circuit to no problems by construction.
+    """
+    if fused.digest() == central.digest():
+        return []
+    return compare_metric_bands(
+        fused_vs_central_metrics(fused, central),
+        FLEET_REFERENCE,
+        FLEET_SCORE_TOLERANCES,
+        FLEET_ERROR_TOLERANCES,
+        tolerance_scale=tolerance_scale,
+        label=label,
+    )
+
+
+def fleet_skeleton(
+    belief: FloorBelief, cell_size: float = 0.5
+) -> Optional[SkeletonResult]:
+    """Lift a fused floor belief into the eval layer's skeleton shape.
+
+    Builds an :class:`~repro.core.skeleton.OccupancyGrid` over the
+    belief's extent, fills counts from per-cell support and masks from
+    the occupied set — enough structure for
+    :func:`~repro.eval.hallway_metrics.evaluate_hallway_shape` to
+    rasterize truth onto the same grid and align. Returns None for an
+    empty belief.
+    """
+    if not belief.confidences:
+        return None
+    xs = [c[0] for c in belief.confidences]
+    ys = [c[1] for c in belief.confidences]
+    min_cx, max_cx = min(xs), max(xs)
+    min_cy, max_cy = min(ys), max(ys)
+    bounds = BoundingBox(
+        min_x=min_cx * cell_size,
+        min_y=min_cy * cell_size,
+        max_x=(max_cx + 1) * cell_size,
+        max_y=(max_cy + 1) * cell_size,
+    )
+    grid = OccupancyGrid(bounds, cell_size)
+    probability = np.zeros((grid.rows, grid.cols), dtype=np.float64)
+    occupied = np.zeros((grid.rows, grid.cols), dtype=bool)
+    for (cx, cy), support in belief.support.items():
+        row, col = cy - min_cy, cx - min_cx
+        if grid.in_bounds(row, col):
+            grid.counts[row, col] = support
+            probability[row, col] = belief.confidences[(cx, cy)]
+    for cx, cy in belief.occupied:
+        row, col = cy - min_cy, cx - min_cx
+        if grid.in_bounds(row, col):
+            occupied[row, col] = True
+    return SkeletonResult(
+        grid=grid,
+        probability=probability,
+        binarized=occupied.copy(),
+        alpha_mask=occupied.copy(),
+        skeleton=occupied,
+    )
+
+
+def score_fleet_against_truth(
+    fleet_map: FleetMap,
+    plans: Dict[str, FloorPlan],
+    cell_size: float = 0.5,
+) -> Dict[str, Dict[str, float]]:
+    """Hallway-shape scores of a fused map per building, vs ground truth.
+
+    Returns ``{building: {hallway_precision, hallway_recall, hallway_f}}``
+    for every building with both a plan and a non-empty fused belief.
+    """
+    scores: Dict[str, Dict[str, float]] = {}
+    for (building, _floor), belief in sorted(fleet_map.floors.items()):
+        plan = plans.get(building)
+        if plan is None:
+            continue
+        skeleton = fleet_skeleton(belief, cell_size=cell_size)
+        if skeleton is None:
+            continue
+        shape = evaluate_hallway_shape(skeleton, plan)
+        scores[building] = {
+            "hallway_precision": round(shape.precision, 4),
+            "hallway_recall": round(shape.recall, 4),
+            "hallway_f": round(shape.f_measure, 4),
+        }
+    return scores

@@ -1,0 +1,224 @@
+"""Seeded push anti-entropy over fault-injected links.
+
+Every round, every node (in fixed index order) picks a seeded random
+peer and pushes the regions it cannot prove the peer already has
+(:meth:`~repro.fleet.node.FleetNode.summary_for`). Messages traverse a
+:class:`~repro.backend.faults.LinkFaultModel`: they may be delayed
+(delivered on a later round, in ``(deliver_time, sequence)`` order),
+dropped, or blocked by a scheduled partition.
+
+Determinism: peer choice derives a fresh generator per
+``(seed, round, node)`` event, and loss/latency decisions are pure
+functions of ``(seed, edge, round)`` inside the link model — so a run
+replays byte-identically, and no decision depends on dict ordering or
+on how many other messages were in flight.
+
+Convergence under faults is loss-safe because knowledge is only ever
+learned from messages that *arrive*: a delivered push earns the sender
+a reconcile response carrying the receiver's post-merge vectors (an ack
+region — vector, no records — where the receiver holds nothing extra),
+so both ends prove the exchange happened and stop re-pushing. A lost
+push or lost response just means the push repeats next round; a healed
+partition drains the same way.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend.faults import LinkFaultModel
+from repro.backend.scheduler import ScheduledJob, SimulatedScheduler
+from repro.backend.telemetry import TelemetryRegistry
+from repro.fleet.node import FleetNode, FleetSummary
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """Mesh-wide knobs: cadence, fanout and the RNG seed."""
+
+    seed: int = 0
+    #: Virtual seconds between anti-entropy rounds.
+    round_interval: float = 1.0
+    #: Peers each node pushes to per round.
+    fanout: int = 1
+
+    def __post_init__(self) -> None:
+        if self.round_interval <= 0:
+            raise ValueError("round_interval must be positive")
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")
+
+
+class GossipMesh:
+    """The fleet's communication fabric: rounds, links, delivery queue."""
+
+    def __init__(
+        self,
+        nodes: Sequence[FleetNode],
+        link_model: Optional[LinkFaultModel] = None,
+        config: Optional[GossipConfig] = None,
+        telemetry: Optional[TelemetryRegistry] = None,
+    ):
+        if len(nodes) < 1:
+            raise ValueError("a mesh needs at least one node")
+        ids = [node.node_id for node in nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("node ids must be unique")
+        self.nodes = list(nodes)
+        self.config = config or GossipConfig()
+        self.link_model = link_model or LinkFaultModel()
+        self.telemetry = telemetry or TelemetryRegistry()
+        #: In-flight messages: (deliver_at, sequence, receiver_id, summary).
+        self._pending: List[Tuple[float, int, str, FleetSummary]] = []
+        self._round_index = 0
+        self._sequence = 0
+        #: Send attempts so far — the link model's fault tick, unique per
+        #: message so retransmits of a lost push get fresh loss draws.
+        self._attempts = 0
+
+    @property
+    def round_index(self) -> int:
+        """Rounds run so far (also the link model's fault tick)."""
+        return self._round_index
+
+    def attach(
+        self, scheduler: SimulatedScheduler, delay: Optional[float] = None
+    ) -> ScheduledJob:
+        """Register the periodic round job on the fleet's virtual clock."""
+        return scheduler.add_job(
+            "gossip_round",
+            self.config.round_interval,
+            lambda: self.run_round(scheduler.now),
+            delay=delay,
+        )
+
+    def _peer_rng(self, node_id: str, slot: int) -> np.random.Generator:
+        token = (
+            f"{self.config.seed}:peer:{self._round_index}:{node_id}:{slot}"
+        )
+        return np.random.default_rng(zlib.crc32(token.encode("utf-8")))
+
+    def _send(
+        self,
+        sender_id: str,
+        receiver_id: str,
+        summary: FleetSummary,
+        now: float,
+        stats: Dict[str, int],
+    ) -> None:
+        """Put one summary on the wire: count it, maybe drop it, queue it.
+
+        Bytes are counted for every message *sent*, including ones the
+        link then drops — that is what a real deployment's egress meter
+        would see. The fault tick is the mesh-wide send-attempt counter,
+        unique per message, so a retransmit of a lost push draws fresh
+        loss/latency rather than replaying last round's verdict.
+        """
+        nbytes = summary.payload_bytes()
+        stats["messages_sent"] += 1
+        stats["bytes_sent"] += nbytes
+        self.telemetry.counter(
+            "fleet_gossip_messages_sent", "summaries put on the wire"
+        ).inc()
+        self.telemetry.counter(
+            "fleet_gossip_bytes_sent", "summary bytes put on the wire"
+        ).inc(nbytes)
+        self._attempts += 1
+        tick = self._attempts
+        if not self.link_model.delivers(sender_id, receiver_id, tick, now):
+            stats["dropped"] += 1
+            self.telemetry.counter(
+                "fleet_gossip_dropped", "summaries lost in flight"
+            ).inc()
+            return
+        deliver_at = now + self.link_model.latency(
+            sender_id, receiver_id, tick
+        )
+        self._sequence += 1
+        self._pending.append(
+            (deliver_at, self._sequence, receiver_id, summary)
+        )
+
+    def _deliver_due(self, now: float, stats: Dict[str, int]) -> None:
+        """Apply every in-flight message whose delay has elapsed.
+
+        Delivery happens in ``(deliver_time, sequence)`` order — the one
+        total order a pair of same-time messages replay in. A delivered
+        push earns its sender a reconcile response (the receiver's
+        post-merge vectors, plus records where the receiver holds more),
+        which is what lets both ends prove the exchange happened and
+        quiesce; responses are never themselves responded to.
+        """
+        due = sorted(m for m in self._pending if m[0] <= now)
+        self._pending = [m for m in self._pending if m[0] > now]
+        by_id = {node.node_id: node for node in self.nodes}
+        for _, _, receiver_id, summary in due:
+            receiver = by_id[receiver_id]
+            outcome = receiver.receive_summary(summary)
+            stats["delivered"] += 1
+            stats["merged_records"] += outcome["merged_records"]
+            stats["stale_regions"] += outcome["stale_regions"]
+            self.telemetry.counter(
+                "fleet_gossip_delivered", "summaries delivered"
+            ).inc()
+            response = receiver.response_to(summary)
+            if response is not None and summary.sender in by_id:
+                self._send(receiver_id, summary.sender, response, now, stats)
+
+    def deliver_due(self, now: float) -> Dict[str, int]:
+        """Drain due deliveries outside a round (returns the stats)."""
+        stats = {
+            "messages_sent": 0,
+            "bytes_sent": 0,
+            "dropped": 0,
+            "delivered": 0,
+            "merged_records": 0,
+            "stale_regions": 0,
+        }
+        self._deliver_due(now, stats)
+        return stats
+
+    def run_round(self, now: float) -> Dict[str, int]:
+        """One anti-entropy round: drain due deliveries, then push."""
+        stats = {
+            "round": self._round_index,
+            "messages_sent": 0,
+            "bytes_sent": 0,
+            "dropped": 0,
+            "delivered": 0,
+            "merged_records": 0,
+            "stale_regions": 0,
+        }
+        self._deliver_due(now, stats)
+        if len(self.nodes) > 1:
+            for index, node in enumerate(self.nodes):
+                for slot in range(self.config.fanout):
+                    rng = self._peer_rng(node.node_id, slot)
+                    peer_index = int(rng.integers(len(self.nodes) - 1))
+                    if peer_index >= index:
+                        peer_index += 1
+                    peer = self.nodes[peer_index]
+                    summary = node.summary_for(peer.node_id)
+                    if summary is None:
+                        continue
+                    self._send(node.node_id, peer.node_id, summary, now, stats)
+        self._round_index += 1
+        return stats
+
+    def pending_messages(self) -> int:
+        """Messages still in flight (delayed past the current round)."""
+        return len(self._pending)
+
+    def digests(self) -> List[str]:
+        """Every node's fusion-state digest, in node order."""
+        return [node.digest() for node in self.nodes]
+
+    def converged(self) -> bool:
+        """True when all nodes hold bit-identical fusion state and the
+        network has no undelivered messages left."""
+        digests = self.digests()
+        return len(set(digests)) == 1 and not self._pending

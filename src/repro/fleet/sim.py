@@ -1,0 +1,377 @@
+"""The fleet simulation: seeded crowds, gossip rounds, convergence report.
+
+:func:`run_fleet_simulation` wires the whole subsystem together:
+
+1. generate a sensor-only crowd per building
+   (:func:`repro.world.scenarios.fleet_scenarios`), deal its sessions
+   across N nodes in overlapping slices
+   (:func:`repro.world.scenarios.slice_sessions`);
+2. stand up one :class:`~repro.fleet.node.FleetNode` per slice — each
+   with its own telemetry registry and (optionally) its own serving
+   stack — plus a *central* reference node that ingests the union;
+3. run anti-entropy rounds on a
+   :class:`~repro.backend.scheduler.SimulatedScheduler` through a
+   :class:`~repro.fleet.gossip.GossipMesh` over a fault-injected
+   :class:`~repro.backend.faults.LinkFaultModel`;
+4. after every round, project each node's fused map and measure its
+   divergence from the central projection, stopping at convergence
+   (all nodes bit-identical to central, nothing in flight).
+
+The returned report is a pure function of the config: no wall-clock
+reads, floats rounded at serialization, dict iteration everywhere in
+sorted or construction order — two same-seed runs serialize byte-equal,
+which the CI fleet job enforces with a literal ``diff``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.backend.faults import LinkFaultModel, Partition
+from repro.backend.scheduler import SimulatedScheduler
+from repro.fleet.beliefs import divergence
+from repro.fleet.compare import (
+    compare_fused_to_central,
+    fused_vs_central_metrics,
+    score_fleet_against_truth,
+)
+from repro.fleet.evidence import EvidenceConfig, canonical_json
+from repro.fleet.gossip import GossipConfig, GossipMesh
+from repro.fleet.node import FleetNode
+from repro.world.floorplan_model import FloorPlan
+from repro.world.scenarios import fleet_scenarios, slice_sessions
+
+
+@dataclass(frozen=True)
+class FleetSimConfig:
+    """Everything that pins one fleet run (and hence its report bytes)."""
+
+    buildings: Tuple[str, ...] = ("Lab1", "Lab2")
+    n_nodes: int = 4
+    users_per_building: int = 3
+    sws_per_user: int = 1
+    srs_rooms_per_user: int = 1
+    #: Probability a session is observed by a second node too.
+    overlap: float = 0.25
+    seed: int = 0
+    max_rounds: int = 64
+    round_interval: float = 1.0
+    fanout: int = 1
+    base_latency: float = 0.05
+    latency_jitter: float = 0.02
+    loss_rate: float = 0.0
+    partitions: Tuple[Partition, ...] = ()
+    #: Run a private ShardManager serving stack on every node.
+    maintain_local_maps: bool = False
+    shard_refresh_interval: float = 5.0
+    evidence: EvidenceConfig = field(default_factory=EvidenceConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        if not self.buildings:
+            raise ValueError("need at least one building")
+
+    def node_ids(self) -> List[str]:
+        """The fleet's node names, in mesh order."""
+        return [f"node{i:02d}" for i in range(self.n_nodes)]
+
+
+def build_fleet_crowd(
+    config: FleetSimConfig,
+) -> Tuple[list, Dict[str, FloorPlan]]:
+    """The union crowd (all buildings, campaign order) plus plans by name."""
+    sessions = []
+    plans: Dict[str, FloorPlan] = {}
+    for spec in fleet_scenarios(
+        buildings=config.buildings,
+        n_users=config.users_per_building,
+        sws_per_user=config.sws_per_user,
+        srs_rooms_per_user=config.srs_rooms_per_user,
+        base_seed=config.seed,
+        render_frames=False,
+    ):
+        dataset = spec.generate()
+        plans[spec.building] = dataset.plan
+        sessions.extend(dataset.sessions)
+    return sessions, plans
+
+
+def run_fleet_simulation(
+    config: Optional[FleetSimConfig] = None,
+    log: Callable[[str], None] = lambda line: None,
+) -> Dict:
+    """Run one fleet simulation end to end; returns the report dict."""
+    config = config or FleetSimConfig()
+    sessions, plans = build_fleet_crowd(config)
+    slices = slice_sessions(
+        sessions, config.n_nodes, overlap=config.overlap, seed=config.seed
+    )
+    log(
+        f"crowd: {len(sessions)} sessions across "
+        f"{len(config.buildings)} buildings, {config.n_nodes} nodes"
+    )
+
+    central = FleetNode("central", config=config.evidence)
+    for session in sessions:
+        central.ingest_session(session)
+    central_map = central.fused_map()
+    central_digest = central_map.digest()
+
+    nodes = [
+        FleetNode(
+            node_id,
+            config=config.evidence,
+            maintain_local_maps=config.maintain_local_maps,
+        )
+        for node_id in config.node_ids()
+    ]
+    for node, node_sessions in zip(nodes, slices):
+        for session in node_sessions:
+            node.ingest_session(session)
+
+    scheduler = SimulatedScheduler()
+    mesh = GossipMesh(
+        nodes,
+        link_model=LinkFaultModel(
+            seed=config.seed,
+            base_latency=config.base_latency,
+            latency_jitter=config.latency_jitter,
+            loss_rate=config.loss_rate,
+            partitions=config.partitions,
+        ),
+        config=GossipConfig(
+            seed=config.seed,
+            round_interval=config.round_interval,
+            fanout=config.fanout,
+        ),
+    )
+    round_stats: List[Dict] = []
+    scheduler.add_job(
+        "gossip_round",
+        config.round_interval,
+        lambda: round_stats.append(mesh.run_round(scheduler.now)),
+    )
+    if config.maintain_local_maps:
+        for node in nodes:
+            node.shards.attach_refresh_job(
+                scheduler, config.shard_refresh_interval
+            )
+
+    rounds: List[Dict] = []
+    rounds_to_converge: Optional[int] = None
+    for round_number in range(1, config.max_rounds + 1):
+        scheduler.advance(config.round_interval)
+        stats = round_stats[-1]
+        maps = [node.fused_map() for node in nodes]
+        per_node = {
+            node.node_id: divergence(node_map, central_map)
+            for node, node_map in zip(nodes, maps)
+        }
+        identical = [
+            node_map.digest() == central_digest for node_map in maps
+        ]
+        rounds.append(
+            {
+                "round": round_number,
+                "messages_sent": stats["messages_sent"],
+                "bytes_sent": stats["bytes_sent"],
+                "dropped": stats["dropped"],
+                "delivered": stats["delivered"],
+                "merged_records": stats["merged_records"],
+                "stale_regions": stats["stale_regions"],
+                "nodes_identical_to_central": sum(identical),
+                "divergence": per_node,
+            }
+        )
+        log(
+            f"round {round_number:3d}: {stats['messages_sent']} msgs, "
+            f"{stats['bytes_sent']} B, {stats['dropped']} dropped, "
+            f"{sum(identical)}/{len(nodes)} nodes at central"
+        )
+        if (
+            all(identical)
+            and mesh.pending_messages() == 0
+            and len(set(mesh.digests())) == 1
+        ):
+            rounds_to_converge = round_number
+            break
+
+    final_maps = {node.node_id: node.fused_map() for node in nodes}
+    equivalence = {
+        node_id: {
+            "bit_identical_to_central": node_map.digest() == central_digest,
+            "metrics": fused_vs_central_metrics(node_map, central_map),
+            "problems": compare_fused_to_central(
+                node_map, central_map, label=node_id
+            ),
+        }
+        for node_id, node_map in sorted(final_maps.items())
+    }
+
+    report: Dict = {
+        "config": _config_payload(config),
+        "crowd": {
+            "n_sessions": len(sessions),
+            "sessions_per_node": [len(s) for s in slices],
+            "buildings": sorted(plans),
+        },
+        "converged": rounds_to_converge is not None,
+        "rounds_to_converge": rounds_to_converge,
+        "pending_messages": mesh.pending_messages(),
+        "totals": {
+            "messages_sent": int(
+                mesh.telemetry.value("fleet_gossip_messages_sent")
+            ),
+            "bytes_gossiped": int(
+                mesh.telemetry.value("fleet_gossip_bytes_sent")
+            ),
+            "dropped": int(mesh.telemetry.value("fleet_gossip_dropped")),
+            "delivered": int(mesh.telemetry.value("fleet_gossip_delivered")),
+        },
+        "equivalence": equivalence,
+        "central_quality": score_fleet_against_truth(
+            central_map, plans, cell_size=config.evidence.cell_size
+        ),
+        "rounds": rounds,
+    }
+    if config.maintain_local_maps:
+        report["local_maps"] = {
+            node.node_id: {
+                "shards": len(node.shards.shards()),
+                "snapshots_published": int(
+                    node.telemetry.value("serving_snapshots_published")
+                ),
+            }
+            for node in nodes
+        }
+    return report
+
+
+def _config_payload(config: FleetSimConfig) -> Dict:
+    """The config echo embedded in every report (JSON-safe, canonical)."""
+    return {
+        "buildings": list(config.buildings),
+        "n_nodes": config.n_nodes,
+        "users_per_building": config.users_per_building,
+        "sws_per_user": config.sws_per_user,
+        "srs_rooms_per_user": config.srs_rooms_per_user,
+        "overlap": config.overlap,
+        "seed": config.seed,
+        "max_rounds": config.max_rounds,
+        "round_interval": config.round_interval,
+        "fanout": config.fanout,
+        "base_latency": config.base_latency,
+        "latency_jitter": config.latency_jitter,
+        "loss_rate": config.loss_rate,
+        "partitions": [
+            {
+                "start": p.start,
+                "end": p.end,
+                "groups": [list(g) for g in p.groups],
+            }
+            for p in config.partitions
+        ],
+        "maintain_local_maps": config.maintain_local_maps,
+    }
+
+
+def render_fleet_report(report: Dict) -> str:
+    """Deterministic text rendering of a fleet run (the CLI output)."""
+    from repro.eval.report import render_table
+
+    lines: List[str] = []
+    config = report["config"]
+    lines.append(
+        f"fleet-sim: {config['n_nodes']} nodes, "
+        f"{report['crowd']['n_sessions']} sessions, "
+        f"buildings={','.join(config['buildings'])}, seed={config['seed']}"
+    )
+    if report["converged"]:
+        lines.append(
+            f"converged in {report['rounds_to_converge']} rounds "
+            f"({report['totals']['bytes_gossiped']} bytes gossiped, "
+            f"{report['totals']['dropped']} messages dropped)"
+        )
+    else:
+        lines.append(
+            f"NOT converged after {len(report['rounds'])} rounds "
+            f"({report['pending_messages']} messages still in flight)"
+        )
+    rows = []
+    for entry in report["rounds"]:
+        mean_jaccard = 0.0
+        mean_mae = 0.0
+        per_node = entry["divergence"]
+        if per_node:
+            mean_jaccard = sum(
+                d["occupied_jaccard_distance"] for d in per_node.values()
+            ) / len(per_node)
+            mean_mae = sum(
+                d["confidence_mae"] for d in per_node.values()
+            ) / len(per_node)
+        rows.append(
+            (
+                entry["round"],
+                entry["messages_sent"],
+                entry["bytes_sent"],
+                entry["dropped"],
+                f"{entry['nodes_identical_to_central']}/{config['n_nodes']}",
+                f"{mean_jaccard:.4f}",
+                f"{mean_mae:.4f}",
+            )
+        )
+    lines.append(
+        render_table(
+            "Convergence (per gossip round)",
+            ["round", "msgs", "bytes", "drop", "at central", "jaccard", "mae"],
+            rows,
+        )
+    )
+    eq_rows = []
+    for node_id in sorted(report["equivalence"]):
+        entry = report["equivalence"][node_id]
+        metrics = entry["metrics"]
+        eq_rows.append(
+            (
+                node_id,
+                "yes" if entry["bit_identical_to_central"] else "no",
+                f"{metrics['occupied_iou']:.4f}",
+                f"{metrics['confidence_mae']:.4f}",
+                f"{metrics['room_match_fraction']:.2f}",
+                "ok" if not entry["problems"] else "; ".join(entry["problems"]),
+            )
+        )
+    lines.append(
+        render_table(
+            "Fused vs central (final)",
+            ["node", "bit-identical", "IoU", "conf MAE", "rooms", "bands"],
+            eq_rows,
+        )
+    )
+    if report["central_quality"]:
+        quality_rows = [
+            (
+                building,
+                f"{scores['hallway_precision']:.1%}",
+                f"{scores['hallway_recall']:.1%}",
+                f"{scores['hallway_f']:.1%}",
+            )
+            for building, scores in sorted(report["central_quality"].items())
+        ]
+        lines.append(
+            render_table(
+                "Fused map vs ground truth",
+                ["building", "P", "R", "F"],
+                quality_rows,
+            )
+        )
+    return "\n".join(lines)
+
+
+def report_json(report: Dict) -> str:
+    """Canonical JSON serialization (what the CI smoke byte-compares)."""
+    return canonical_json(report)

@@ -25,6 +25,8 @@ from repro.world.scenarios import (
     full_scenarios,
     scenarios_for_profile,
     find_scenarios,
+    fleet_scenarios,
+    slice_sessions,
 )
 
 __all__ = [
@@ -57,4 +59,6 @@ __all__ = [
     "full_scenarios",
     "scenarios_for_profile",
     "find_scenarios",
+    "fleet_scenarios",
+    "slice_sessions",
 ]

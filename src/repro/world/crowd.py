@@ -37,6 +37,13 @@ class CrowdConfig:
     #: When False, users start SWS tasks with unknown absolute heading —
     #: trajectories then live in arbitrarily rotated local frames.
     initial_heading_known: bool = True
+    #: When False, no frames are rendered (sensor-only campaign): sessions
+    #: carry IMU traces and dead-reckoned trajectories but empty frame
+    #: lists. Orders of magnitude cheaper — this is what lets the fleet
+    #: simulator seed city-scale crowds. Not frame-strippable back to the
+    #: rendered realization: rendering consumes walker RNG, so sessions
+    #: after a user's first differ between the two modes.
+    render_frames: bool = True
 
 
 @dataclass
@@ -148,7 +155,7 @@ def generate_crowd_dataset(
     """
     config = config or CrowdConfig()
     rng = np.random.default_rng(config.seed)
-    renderer = Renderer(plan, config.camera)
+    renderer = Renderer(plan, config.camera) if config.render_frames else None
     profiles = make_profiles(config.n_users, rng)
     room_names = list(rooms) if rooms is not None else [r.name for r in plan.rooms]
 
@@ -163,6 +170,7 @@ def generate_crowd_dataset(
             profile,
             rng=np.random.default_rng(rng.integers(2**31)),
             renderer=renderer,
+            capture_frames=config.render_frames,
         )
         for _ in range(config.sws_per_user):
             lighting = _pick_lighting(rng, config.night_fraction)

@@ -18,6 +18,8 @@ import zlib
 from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.world.buildings import BUILDING_BUILDERS
 from repro.world.crowd import CrowdConfig, CrowdDataset, generate_crowd_dataset
 from repro.world.floorplan_model import FloorPlan
@@ -36,6 +38,11 @@ class ScenarioSpec:
     sws_per_user: int = 2
     srs_rooms_per_user: int = 1
     base_seed: int = 11
+    #: ``False`` generates a sensor-only campaign (no rendered frames) —
+    #: used by the fleet simulator to afford multi-building crowds.
+    #: Deliberately excluded from :attr:`key`: the cell identity is the
+    #: world, not the capture fidelity.
+    render_frames: bool = True
 
     def __post_init__(self) -> None:
         if self.building not in BUILDING_BUILDERS:
@@ -71,6 +78,7 @@ class ScenarioSpec:
             srs_rooms_per_user=self.srs_rooms_per_user,
             night_fraction=1.0 if self.lighting == "night" else 0.0,
             seed=self.seed,
+            render_frames=self.render_frames,
         )
 
     def generate(self) -> CrowdDataset:
@@ -124,11 +132,11 @@ def _densify_gym(specs: Iterable[ScenarioSpec]) -> List[ScenarioSpec]:
 
 
 def quick_scenarios(base_seed: int = 11) -> List[ScenarioSpec]:
-    """The committed-baseline grid: three buildings by day, plus one
+    """The committed-baseline grid: four buildings by day, plus one
     night cell — small enough for a CI gate, wide enough that hallway,
     room and lighting regressions all move at least one cell."""
     specs = scenario_matrix(
-        buildings=("Lab1", "Lab2", "Gym"), base_seed=base_seed
+        buildings=("Lab1", "Lab2", "Gym", "Office"), base_seed=base_seed
     )
     specs += scenario_matrix(
         buildings=("Lab1",), lightings=("night",), base_seed=base_seed
@@ -176,3 +184,63 @@ def find_scenarios(
             f"unknown scenario cell(s) {missing}; known: {sorted(by_key)}"
         )
     return [by_key[key] for key in keys]
+
+
+def fleet_scenarios(
+    buildings: Sequence[str] = ("Lab1", "Lab2"),
+    n_users: int = 3,
+    sws_per_user: int = 1,
+    srs_rooms_per_user: int = 1,
+    base_seed: int = 11,
+    render_frames: bool = False,
+) -> List[ScenarioSpec]:
+    """One sensor-only campaign spec per building for a fleet simulation.
+
+    Seeds still derive from the cell key, so a fleet run over
+    ``("Lab1", "Lab2")`` and one over ``("Lab1",)`` observe the *same*
+    Lab1 crowd — which is what makes fused-vs-central comparisons across
+    configurations meaningful.
+    """
+    return [
+        ScenarioSpec(
+            building=building,
+            n_users=n_users,
+            sws_per_user=sws_per_user,
+            srs_rooms_per_user=srs_rooms_per_user,
+            base_seed=base_seed,
+            render_frames=render_frames,
+        )
+        for building in buildings
+    ]
+
+
+def slice_sessions(
+    sessions: Sequence, n_nodes: int, overlap: float = 0.25, seed: int = 0
+) -> List[List]:
+    """Deal a crowd's sessions across ``n_nodes`` overlapping slices.
+
+    Every session lands on a primary node round-robin (so slices stay
+    balanced and jointly exhaustive), and with probability ``overlap``
+    additionally on one other node — the partial-overlap regime the fleet
+    fusion layer must reconcile. Each session's extra assignment is drawn
+    from a generator keyed by ``(seed, session_id)``, so the slicing is
+    independent of list order and of how many other sessions exist.
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    if not 0.0 <= overlap <= 1.0:
+        raise ValueError("overlap must be in [0, 1]")
+    slices: List[List] = [[] for _ in range(n_nodes)]
+    for i, session in enumerate(sessions):
+        primary = i % n_nodes
+        slices[primary].append(session)
+        if n_nodes == 1:
+            continue
+        token = f"{seed}:slice:{session.session_id}"
+        rng = np.random.default_rng(zlib.crc32(token.encode("utf-8")))
+        if float(rng.random()) < overlap:
+            secondary = int(rng.integers(n_nodes - 1))
+            if secondary >= primary:
+                secondary += 1
+            slices[secondary].append(session)
+    return slices

@@ -113,6 +113,7 @@ class Walker:
         rng: Optional[np.random.Generator] = None,
         renderer: Optional[Renderer] = None,
         altitude: float = 0.0,
+        capture_frames: bool = True,
     ):
         self.plan = plan
         self.profile = profile
@@ -123,7 +124,16 @@ class Walker:
         #: Walkers built without a generator produce identical sessions.
         #: Pass a seeded Generator to get independent realizations.
         self.rng = rng if rng is not None else np.random.default_rng(0)
-        self.renderer = renderer or Renderer(plan, camera)
+        #: ``capture_frames=False`` skips rendering entirely (sensor-only
+        #: campaigns, e.g. the fleet simulator). Frames render *after* the
+        #: IMU record and dead reckoning, so a session's trajectory is
+        #: unaffected — but later sessions of the same walker diverge from
+        #: the rendered realization because the render loop consumes RNG.
+        self.capture_frames = capture_frames
+        if renderer is not None:
+            self.renderer = renderer
+        else:
+            self.renderer = Renderer(plan, camera) if capture_frames else None
         self.imu_sim = ImuSimulator(config=imu_config, rng=self.rng)
         self._session_counter = 0
 
@@ -269,8 +279,10 @@ class Walker:
 
         session_id = self._next_session_id()
         frames: List[Frame] = []
-        capture_times = np.arange(
-            motion.times[0], motion.times[-1] + 1e-9, frame_interval
+        capture_times = (
+            np.arange(motion.times[0], motion.times[-1] + 1e-9, frame_interval)
+            if self.capture_frames and self.renderer is not None
+            else np.empty(0)
         )
         for k, t in enumerate(capture_times):
             true_pos = motion.position_at(float(t))

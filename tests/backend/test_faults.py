@@ -305,3 +305,62 @@ class TestIngestFaults:
         # Unknown and repeated abandons are no-ops.
         assert not server.abandon_upload(upload_id)
         assert not server.abandon_upload("up-999999")
+
+
+class TestLinkFaultModel:
+    def test_default_link_always_delivers(self):
+        from repro.backend.faults import LinkFaultModel
+
+        link = LinkFaultModel()
+        assert all(
+            link.delivers("a", "b", tick, now=0.0) for tick in range(50)
+        )
+
+    def test_loss_is_deterministic_and_roughly_calibrated(self):
+        from repro.backend.faults import LinkFaultModel
+
+        link = LinkFaultModel(seed=3, loss_rate=0.3)
+        outcomes = [link.delivers("a", "b", tick, 0.0) for tick in range(400)]
+        again = [link.delivers("a", "b", tick, 0.0) for tick in range(400)]
+        assert outcomes == again
+        dropped = outcomes.count(False)
+        assert 60 <= dropped <= 180  # ~120 expected at p=0.3
+
+    def test_latency_is_bounded_and_replayable(self):
+        from repro.backend.faults import LinkFaultModel
+
+        link = LinkFaultModel(base_latency=0.05, latency_jitter=0.02)
+        for tick in range(20):
+            delay = link.latency("a", "b", tick)
+            assert delay == link.latency("a", "b", tick)
+            assert 0.05 <= delay <= 0.07
+
+    def test_partition_blocks_cross_group_both_ways(self):
+        from repro.backend.faults import LinkFaultModel, Partition
+
+        partition = Partition(
+            start=1.0, end=5.0, groups=(("a",), ("b", "c"))
+        )
+        link = LinkFaultModel(partitions=(partition,))
+        assert link.delivers("a", "b", 0, now=0.5)  # before the window
+        assert not link.delivers("a", "b", 1, now=1.0)
+        assert not link.delivers("b", "a", 1, now=4.9)
+        assert link.delivers("b", "c", 1, now=2.0)  # same side
+        assert link.delivers("a", "b", 2, now=5.0)  # healed (end exclusive)
+
+    def test_unlisted_nodes_form_their_own_component(self):
+        from repro.backend.faults import Partition
+
+        partition = Partition(start=0.0, end=1.0, groups=(("a",), ("b",)))
+        assert partition.blocks("a", "zz", now=0.0)
+        assert not partition.blocks("zz", "yy", now=0.0)
+
+    def test_link_model_validation(self):
+        from repro.backend.faults import LinkFaultModel
+
+        with pytest.raises(ValueError):
+            LinkFaultModel(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            LinkFaultModel(base_latency=-0.1)
+        with pytest.raises(ValueError):
+            LinkFaultModel(latency_jitter=-0.01)

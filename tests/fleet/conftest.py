@@ -1,0 +1,52 @@
+"""Shared fleet fixtures: one small sensor-only crowd, reused everywhere.
+
+Fleet tests never need rendered frames — evidence extraction reads only
+the dead-reckoned trajectory — so the crowd is generated sensor-only
+(``render_frames=False``), which keeps the whole suite cheap enough to
+regenerate per test session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.evidence import EvidenceConfig, extract_evidence
+from repro.fleet.sim import FleetSimConfig, build_fleet_crowd
+
+SMALL_CONFIG = FleetSimConfig(
+    buildings=("Lab1",),
+    n_nodes=3,
+    users_per_building=2,
+    max_rounds=32,
+)
+
+
+@pytest.fixture(scope="session")
+def fleet_crowd():
+    """(sessions, plans) for the small single-building fleet campaign."""
+    return build_fleet_crowd(SMALL_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def fleet_sessions(fleet_crowd):
+    return fleet_crowd[0]
+
+
+@pytest.fixture(scope="session")
+def fleet_plans(fleet_crowd):
+    return fleet_crowd[1]
+
+
+@pytest.fixture(scope="session")
+def evidence_config():
+    return EvidenceConfig()
+
+
+@pytest.fixture(scope="session")
+def evidence_records(fleet_sessions, evidence_config):
+    """Every extractable evidence record of the small crowd, in order."""
+    records = [
+        extract_evidence(session, evidence_config)
+        for session in fleet_sessions
+    ]
+    return [record for record in records if record is not None]

@@ -1,0 +1,79 @@
+"""Evidence extraction: determinism, wire roundtrip, absolute coordinates."""
+
+from types import SimpleNamespace
+
+from repro.fleet.evidence import (
+    EvidenceConfig,
+    SessionEvidence,
+    canonical_json,
+    extract_evidence,
+)
+
+
+class TestExtraction:
+    def test_extraction_is_deterministic(self, fleet_sessions, evidence_config):
+        for session in fleet_sessions:
+            first = extract_evidence(session, evidence_config)
+            second = extract_evidence(session, evidence_config)
+            assert first == second
+
+    def test_every_sws_and_srs_session_yields_evidence(
+        self, fleet_sessions, evidence_records
+    ):
+        expected = [s for s in fleet_sessions if s.task in ("SWS", "SRS")]
+        assert len(evidence_records) == len(expected)
+
+    def test_non_evidence_task_returns_none(self, evidence_config):
+        stub = SimpleNamespace(task="STAIRS")
+        assert extract_evidence(stub, evidence_config) is None
+
+    def test_cells_are_absolute_and_bbox_is_their_hull(self, evidence_records):
+        for record in evidence_records:
+            xs = [c[0] for c in record.cells]
+            ys = [c[1] for c in record.cells]
+            assert record.bbox == (min(xs), min(ys), max(xs), max(ys))
+            assert record.cells == tuple(sorted(set(record.cells)))
+
+    def test_srs_records_carry_room_center(self, evidence_records):
+        for record in evidence_records:
+            if record.task == "SRS":
+                assert record.room_center is not None
+            else:
+                assert record.room_center is None
+                assert record.room_name is None
+
+    def test_region_is_stable_per_record(self, evidence_records, evidence_config):
+        for record in evidence_records:
+            region = record.region(evidence_config)
+            assert region[0] == record.building
+            assert region[1] == record.floor
+            assert record.region(evidence_config) == region
+
+
+class TestWireFormat:
+    def test_payload_roundtrip(self, evidence_records):
+        for record in evidence_records:
+            assert SessionEvidence.from_payload(record.to_payload()) == record
+
+    def test_payload_is_canonical_json_serializable(self, evidence_records):
+        for record in evidence_records:
+            encoded = canonical_json(record.to_payload())
+            assert record.payload_bytes() == len(encoded.encode("utf-8"))
+
+    def test_records_are_compact(self, evidence_records):
+        """The point of evidence records: a session gossips in kilobytes."""
+        for record in evidence_records:
+            assert record.payload_bytes() < 64_000
+
+
+def test_config_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        EvidenceConfig(cell_size=0.0)
+    with pytest.raises(ValueError):
+        EvidenceConfig(region_tile=0)
+    with pytest.raises(ValueError):
+        EvidenceConfig(occupancy_threshold=1.5)
+    with pytest.raises(ValueError):
+        EvidenceConfig(observer_margin=-1)

@@ -1,0 +1,136 @@
+"""FleetNode behaviour: ingest idempotence, summaries, acks, isolation."""
+
+from repro.backend.telemetry import TelemetryRegistry, default_registry
+from repro.fleet.node import FleetNode, FleetSummary
+from repro.fleet.versions import VersionVector
+
+
+class TestIngest:
+    def test_reingesting_a_session_changes_nothing(
+        self, fleet_sessions, evidence_config
+    ):
+        node = FleetNode("n0", config=evidence_config)
+        for session in fleet_sessions:
+            node.ingest_session(session)
+        records = node.store.n_records()
+        digest = node.digest()
+        node.ingest_session(fleet_sessions[0])
+        assert node.store.n_records() == records
+        assert node.digest() == digest
+
+    def test_shard_ingest_is_gated_on_new_evidence(
+        self, fleet_sessions, evidence_config
+    ):
+        node = FleetNode("n0", config=evidence_config, maintain_local_maps=True)
+        session = next(s for s in fleet_sessions if s.task == "SWS")
+        node.ingest_session(session)
+        node.ingest_session(session)
+        shard = node.shards.shards()[0]
+        assert shard.sessions_ingested == 1
+
+
+class TestTelemetryIsolation:
+    def test_each_node_gets_a_private_registry(self, evidence_config):
+        a = FleetNode("a", config=evidence_config)
+        b = FleetNode("b", config=evidence_config)
+        assert a.telemetry is not b.telemetry
+        assert a.telemetry is not default_registry
+        assert b.telemetry is not default_registry
+
+    def test_counters_never_cross_nodes(self, fleet_sessions, evidence_config):
+        a = FleetNode("a", config=evidence_config)
+        b = FleetNode("b", config=evidence_config)
+        for session in fleet_sessions:
+            a.ingest_session(session)
+        assert a.telemetry.value("fleet_sessions_ingested") == len(
+            fleet_sessions
+        )
+        assert b.telemetry.value("fleet_sessions_ingested") == 0.0
+
+    def test_injected_registry_is_used(self, evidence_config):
+        registry = TelemetryRegistry()
+        node = FleetNode("n", config=evidence_config, telemetry=registry)
+        assert node.telemetry is registry
+
+
+class TestSummaryExchange:
+    def build(self, records, node_id, evidence_config):
+        node = FleetNode(node_id, config=evidence_config)
+        store = node.store
+        for record in records:
+            store.add(record, node_id)
+        return node
+
+    def test_summary_for_unknown_peer_covers_all_regions(
+        self, evidence_records, evidence_config
+    ):
+        node = self.build(evidence_records, "a", evidence_config)
+        summary = node.summary_for("b")
+        assert summary is not None
+        assert sorted(summary.regions) == node.store.regions()
+        assert summary.kind == "push"
+
+    def test_empty_node_owes_nothing(self, evidence_config):
+        assert FleetNode("a", config=evidence_config).summary_for("b") is None
+
+    def test_push_response_ack_quiesces_the_pair(
+        self, evidence_records, evidence_config
+    ):
+        a = self.build(evidence_records, "a", evidence_config)
+        b = FleetNode("b", config=evidence_config)
+        push = a.summary_for("b")
+        b.receive_summary(push)
+        response = b.response_to(push)
+        assert response is not None
+        assert response.kind == "response"
+        # b now holds exactly what a pushed, so every region is an ack.
+        assert all(not records for _, records in response.regions.values())
+        a.receive_summary(response)
+        assert a.summary_for("b") is None
+        assert b.summary_for("a") is None
+
+    def test_response_carries_records_when_receiver_knows_more(
+        self, evidence_records, evidence_config
+    ):
+        region = evidence_records[0].region(evidence_config)
+        same_region = [
+            r
+            for r in evidence_records
+            if r.region(evidence_config) == region
+        ]
+        rich = self.build(evidence_records, "rich", evidence_config)
+        poor = self.build(same_region[:1], "poor", evidence_config)
+        push = poor.summary_for("rich")
+        rich.receive_summary(push)
+        response = rich.response_to(push)
+        assert response is not None
+        version, records = response.regions[region]
+        assert records == tuple(rich.store.records(region))
+        assert version.dominates(poor.store.version(region))
+
+    def test_responses_are_never_answered(
+        self, evidence_records, evidence_config
+    ):
+        a = self.build(evidence_records, "a", evidence_config)
+        b = FleetNode("b", config=evidence_config)
+        push = a.summary_for("b")
+        b.receive_summary(push)
+        response = b.response_to(push)
+        a.receive_summary(response)
+        assert a.response_to(response) is None
+
+    def test_ack_region_never_merges_into_the_store(self, evidence_config):
+        node = FleetNode("n", config=evidence_config)
+        phantom_region = ("Lab1", 1, 0, 0)
+        ack = FleetSummary(
+            sender="peer",
+            regions={phantom_region: (VersionVector({"peer": 3}), ())},
+        )
+        outcome = node.receive_summary(ack)
+        assert outcome == {"merged_records": 0, "stale_regions": 0}
+        # The vector must not enter the store: claiming peer:3 without the
+        # records would break the dominance-implies-superset invariant.
+        assert node.store.regions() == []
+        assert not node.store.version(phantom_region)
+        # But peer knowledge was updated, so we would not push to them.
+        assert node.summary_for("peer") is None

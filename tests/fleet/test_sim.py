@@ -1,0 +1,130 @@
+"""End-to-end fleet simulation: determinism, equivalence, report shape."""
+
+import pytest
+
+from repro.backend.faults import Partition
+from repro.fleet.sim import (
+    FleetSimConfig,
+    render_fleet_report,
+    report_json,
+    run_fleet_simulation,
+)
+
+SMALL = FleetSimConfig(
+    buildings=("Lab1",), n_nodes=3, users_per_building=2, max_rounds=32
+)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return run_fleet_simulation(SMALL)
+
+
+class TestDeterminism:
+    def test_two_same_seed_runs_serialize_byte_equal(self, small_report):
+        again = run_fleet_simulation(SMALL)
+        assert report_json(small_report) == report_json(again)
+
+    def test_rendered_report_is_reproducible(self, small_report):
+        again = run_fleet_simulation(SMALL)
+        assert render_fleet_report(small_report) == render_fleet_report(again)
+
+
+class TestEquivalence:
+    """The headline property: fleet fusion == single node on the union."""
+
+    def test_partition_free_run_is_bit_identical_to_central(
+        self, small_report
+    ):
+        assert small_report["converged"]
+        for node_id, entry in small_report["equivalence"].items():
+            assert entry["bit_identical_to_central"], node_id
+            assert entry["problems"] == []
+            assert entry["metrics"]["occupied_iou"] == 1.0
+            assert entry["metrics"]["confidence_mae"] == 0.0
+
+    def test_divergence_hits_zero_at_convergence(self, small_report):
+        last = small_report["rounds"][-1]
+        for node_id, metrics in last["divergence"].items():
+            assert metrics["occupied_jaccard_distance"] == 0.0, node_id
+            assert metrics["confidence_mae"] == 0.0, node_id
+
+    def test_healed_partition_still_reaches_central(self):
+        config = FleetSimConfig(
+            buildings=("Lab1",),
+            n_nodes=3,
+            users_per_building=2,
+            max_rounds=64,
+            partitions=(
+                Partition(
+                    start=0.0,
+                    end=6.0,
+                    groups=(("node00",), ("node01", "node02")),
+                ),
+            ),
+        )
+        report = run_fleet_simulation(config)
+        assert report["converged"]
+        for entry in report["equivalence"].values():
+            assert entry["bit_identical_to_central"]
+            assert entry["problems"] == []
+
+    def test_lossy_links_converge_within_bands(self):
+        config = FleetSimConfig(
+            buildings=("Lab1",),
+            n_nodes=3,
+            users_per_building=2,
+            max_rounds=64,
+            loss_rate=0.3,
+        )
+        report = run_fleet_simulation(config)
+        assert report["converged"]
+        assert report["totals"]["dropped"] > 0
+        for entry in report["equivalence"].values():
+            assert entry["problems"] == []
+
+
+class TestReportShape:
+    def test_report_carries_the_headline_numbers(self, small_report):
+        assert small_report["rounds_to_converge"] is not None
+        assert small_report["totals"]["bytes_gossiped"] > 0
+        assert small_report["pending_messages"] == 0
+        # Overlapping slices: every session has a primary node, some also
+        # land on a second one.
+        assert sum(small_report["crowd"]["sessions_per_node"]) >= (
+            small_report["crowd"]["n_sessions"]
+        )
+        rounds = small_report["rounds"]
+        assert [r["round"] for r in rounds] == list(range(1, len(rounds) + 1))
+
+    def test_central_quality_scores_every_building(self, small_report):
+        assert sorted(small_report["central_quality"]) == ["Lab1"]
+        scores = small_report["central_quality"]["Lab1"]
+        assert 0.0 < scores["hallway_precision"] <= 1.0
+        assert 0.0 < scores["hallway_recall"] <= 1.0
+
+    def test_rendered_report_mentions_convergence(self, small_report):
+        text = render_fleet_report(small_report)
+        assert "converged in" in text
+        assert "Fused vs central (final)" in text
+
+    def test_local_maps_mode_publishes_per_node_shards(self):
+        config = FleetSimConfig(
+            buildings=("Lab1",),
+            n_nodes=2,
+            users_per_building=2,
+            max_rounds=16,
+            maintain_local_maps=True,
+        )
+        report = run_fleet_simulation(config)
+        assert "local_maps" in report
+        for node_id, entry in report["local_maps"].items():
+            assert entry["shards"] >= 1, node_id
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FleetSimConfig(n_nodes=0)
+        with pytest.raises(ValueError):
+            FleetSimConfig(buildings=())
+        with pytest.raises(ValueError):
+            FleetSimConfig(max_rounds=0)

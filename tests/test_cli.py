@@ -49,3 +49,57 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "hallway F-measure" in out
+
+
+class TestFleetSim:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet-sim"])
+        assert args.building is None
+        assert args.nodes == 4
+        assert args.overlap == 0.25
+        assert args.partition is None
+        assert not args.local_maps
+
+    def test_parser_repeatable_buildings_and_partitions(self):
+        args = build_parser().parse_args(
+            [
+                "fleet-sim", "--building", "Lab1", "--building", "Office",
+                "--partition", "2:6:0,1|2,3", "--partition", "8:9:0|1",
+                "--nodes", "4",
+            ]
+        )
+        assert args.building == ["Lab1", "Office"]
+        assert args.partition == ["2:6:0,1|2,3", "8:9:0|1"]
+
+    def test_partition_spec_parsing(self):
+        from repro.cli import _parse_partition
+
+        partition = _parse_partition("2:6:0,1|2,3", n_nodes=4)
+        assert partition.start == 2.0 and partition.end == 6.0
+        assert partition.groups == (
+            ("node00", "node01"), ("node02", "node03")
+        )
+
+    def test_bad_partition_spec_exits_2(self, capsys):
+        code = main(
+            ["fleet-sim", "--nodes", "2", "--partition", "0:1:0|7"]
+        )
+        assert code == 2
+        assert "fleet-sim" in capsys.readouterr().err
+
+    def test_small_run_converges_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "fleet.json"
+        code = main(
+            [
+                "fleet-sim", "--building", "Lab1", "--nodes", "2",
+                "--users", "2", "--max-rounds", "32",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        assert "converged in" in capsys.readouterr().out
+        assert out.exists()
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["converged"] is True

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.eval",
     "repro.geometry",
+    "repro.fleet",
 ]
 
 

@@ -73,11 +73,11 @@ class TestMatrix:
             "Lab2/night/u02", "Lab2/night/u03",
         ]
 
-    def test_quick_grid_covers_three_buildings_and_night(self):
+    def test_quick_grid_covers_four_buildings_and_night(self):
         keys = [s.key for s in quick_scenarios()]
         assert len(keys) == len(set(keys))
         buildings = {key.split("/")[0] for key in keys}
-        assert buildings == {"Lab1", "Lab2", "Gym"}
+        assert buildings == {"Lab1", "Lab2", "Gym", "Office"}
         assert any("/night/" in key for key in keys)
 
     def test_gym_cells_get_a_denser_crowd(self):
