@@ -47,6 +47,12 @@ SCHEMA_VERSION = 1
 #: box, and the per-repeat spread is recorded in the report artifact.
 _KERNEL_REPEATS = 5
 _PIPELINE_REPEATS = 3
+#: Sub-100 ms scenarios (serving, fleet) ride closest to scheduler noise:
+#: a single preempted repeat can double their median, which is exactly
+#: the flakiness the committed baseline's 2.2x fleet outlier recorded.
+#: They get five repeats with min-of-N select — for a deterministic
+#: workload every microsecond above the minimum is interference.
+_FAST_SCENARIO_REPEATS = 5
 
 
 @dataclass(frozen=True)
@@ -302,6 +308,16 @@ def _pipeline_benches(profile: str) -> List[Tuple[str, Callable[[], object], int
                 warm_runner(full_dataset, serial, mode="default"),
                 n, sel,
             ),
+            # The aggressive planner profile, cache-cold: approximate LSD
+            # masking, the keyframe pre-screen and FFT dispatch under
+            # their own cache namespace. Gated by the accuracy-band grid
+            # (repro.eval --check), not bit-identity — this scenario is
+            # the speed half of that contract.
+            (
+                "pipeline_lab1_aggressive",
+                cold_runner(full_dataset, serial, mode="aggressive"),
+                n, sel,
+            ),
         ]
     return benches
 
@@ -311,7 +327,7 @@ def _pipeline_benches(profile: str) -> List[Tuple[str, Callable[[], object], int
 # ----------------------------------------------------------------------
 
 
-def _serving_benches() -> List[Tuple[str, Callable[[], object], int]]:
+def _serving_benches() -> List[Tuple[str, Callable[[], object], int, str]]:
     """Throughput of the serving layer's virtual-clock machinery.
 
     Stub snapshots + modeled service times: the benchmark measures the
@@ -337,7 +353,9 @@ def _serving_benches() -> List[Tuple[str, Callable[[], object], int]]:
         assert report["requests"]["offered"] > 6000
         return report
 
-    return [("serving_throughput", run_throughput, 3)]
+    return [
+        ("serving_throughput", run_throughput, _FAST_SCENARIO_REPEATS, "min")
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -345,7 +363,7 @@ def _serving_benches() -> List[Tuple[str, Callable[[], object], int]]:
 # ----------------------------------------------------------------------
 
 
-def _fleet_benches() -> List[Tuple[str, Callable[[], object], int]]:
+def _fleet_benches() -> List[Tuple[str, Callable[[], object], int, str]]:
     """Gossip convergence cost of the multi-node fusion tier.
 
     The crowd is generated once outside the timer (sensor-only, so it is
@@ -381,7 +399,9 @@ def _fleet_benches() -> List[Tuple[str, Callable[[], object], int]]:
         assert mesh.converged()
         return mesh
 
-    return [("fleet_convergence", run_convergence, 3)]
+    return [
+        ("fleet_convergence", run_convergence, _FAST_SCENARIO_REPEATS, "min")
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -432,6 +452,84 @@ def run_suite(
         "profile": profile,
         "calibration_seconds": round(calibration, 8),
         "benchmarks": {name: r.to_json() for name, r in results.items()},
+    }
+
+
+def _short_path(path: str) -> str:
+    """Trim machine-specific prefixes so profile rows diff across hosts."""
+    normalized = path.replace("\\", "/")
+    for marker in ("/site-packages/", "/src/", "/lib/"):
+        idx = normalized.find(marker)
+        if idx >= 0:
+            return normalized[idx + len(marker):]
+    return normalized
+
+
+def profile_scenario(
+    name: str,
+    top_n: int = 30,
+    log: Callable[[str], None] = lambda line: None,
+) -> dict:
+    """Per-kernel cumulative-time breakdown of one benchmark scenario.
+
+    Runs the scenario once unprofiled (imports, thread pools, allocator
+    warm-up), then once under :mod:`cProfile`, and returns the ``top_n``
+    rows by cumulative time. Rows are ordered by (cumtime desc, tottime
+    desc, location asc) — fully deterministic for a given timing run, so
+    two reports diff cleanly. This is the "start from data" entry point
+    for cold-path work: ``python -m repro.bench --profile
+    pipeline_lab1_full``; the CI bench job uploads the JSON as an
+    artifact so every run leaves a breakdown behind.
+    """
+    import cProfile
+    import pstats
+
+    benches = (
+        _kernel_benches()
+        + _serving_benches()
+        + _fleet_benches()
+        + _pipeline_benches("full")
+    )
+    table = {bench[0]: bench[1] for bench in benches}
+    if name not in table:
+        known = ", ".join(sorted(table))
+        raise ValueError(f"unknown scenario {name!r}; known: {known}")
+    fn = table[name]
+    fn()  # warm-up run: imports and pools, not the thing under test
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    rows = []
+    for location, row in stats.stats.items():
+        filename, lineno, funcname = location
+        cc, nc, tt, ct, _callers = row
+        rows.append({
+            "function": f"{_short_path(filename)}:{lineno}({funcname})",
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime_seconds": round(tt, 6),
+            "cumtime_seconds": round(ct, 6),
+        })
+    rows.sort(
+        key=lambda r: (
+            -r["cumtime_seconds"], -r["tottime_seconds"], r["function"]
+        )
+    )
+    rows = rows[:top_n]
+    log(f"profile: {name} (top {len(rows)} by cumulative time)")
+    log(f"{'cumtime':>10s} {'tottime':>10s} {'ncalls':>10s}  function")
+    for row in rows:
+        log(
+            f"{row['cumtime_seconds']:10.4f} {row['tottime_seconds']:10.4f} "
+            f"{row['ncalls']:10d}  {row['function']}"
+        )
+    return {
+        "schema": SCHEMA_VERSION,
+        "scenario": name,
+        "top_n": top_n,
+        "rows": rows,
     }
 
 

@@ -4,6 +4,7 @@ Usage:
 
     python -m repro.bench                         # quick suite to stdout
     python -m repro.bench --profile full          # adds the larger dataset
+    python -m repro.bench --profile pipeline_lab1_full   # cProfile breakdown
     python -m repro.bench --output bench.json     # write the JSON report
     python -m repro.bench --check BENCH_baseline.json --tolerance 0.25
     python -m repro.bench --update-baseline BENCH_baseline.json
@@ -13,6 +14,13 @@ the tolerance versus the baseline file — the CI gate. ``--update-baseline``
 rewrites the baseline with this run's numbers while preserving every
 ``pre_pr*`` record (the frozen pre-optimization measurements the speedup
 claims are made against — one block per optimization PR).
+
+``--profile`` doubles as the entry point for per-scenario profiling: any
+value other than ``quick``/``full`` names one benchmark scenario, whose
+per-kernel cumulative-time breakdown (cProfile, deterministic ordering)
+is printed — and written as JSON with ``--output`` — instead of running
+the suite. The CI bench job uploads one as an artifact so cold-path work
+always starts from data.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ import sys
 from repro.bench import (
     compare_to_baseline,
     load_report,
+    profile_scenario,
     run_suite,
     update_baseline,
     write_report,
@@ -35,8 +44,11 @@ def main(argv=None) -> int:
         description="CrowdMap performance harness",
     )
     parser.add_argument(
-        "--profile", choices=("quick", "full"), default="quick",
-        help="quick: kernels + small pipeline; full: larger pipeline too",
+        "--profile", default="quick", metavar="PROFILE_OR_SCENARIO",
+        help="suite profile ('quick': kernels + small pipeline; 'full': "
+        "larger pipeline too) — or a benchmark scenario name (e.g. "
+        "pipeline_lab1_full) to print that scenario's per-kernel "
+        "cProfile breakdown instead of running the suite",
     )
     parser.add_argument(
         "--only", action="append", default=None, metavar="NAME",
@@ -58,6 +70,24 @@ def main(argv=None) -> int:
         help="rewrite the baseline with this run (keeps its pre_pr* records)",
     )
     args = parser.parse_args(argv)
+
+    if args.profile not in ("quick", "full"):
+        # Scenario-profiling mode: one scenario under cProfile, no suite
+        # run — so no baseline flags either; --check/--update-baseline
+        # compare suite reports, which this mode does not produce.
+        if args.check or args.update_baseline:
+            parser.error(
+                "--check/--update-baseline need a suite run; they cannot "
+                "be combined with a scenario --profile"
+            )
+        try:
+            breakdown = profile_scenario(args.profile, log=print)
+        except ValueError as exc:
+            parser.error(str(exc))
+        if args.output:
+            write_report(breakdown, args.output)
+            print(f"profile written to {args.output}")
+        return 0
 
     report = run_suite(profile=args.profile, include=args.only, log=print)
 

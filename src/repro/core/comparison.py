@@ -98,6 +98,8 @@ class KeyframeComparator:
                 a.ensure_surf(),
                 b.ensure_surf(),
                 distance_threshold=self.config.surf_distance_threshold,
+                precomputed_a=a.surf_matching_arrays(),
+                precomputed_b=b.surf_matching_arrays(),
             )
             return result.similarity
 

@@ -45,6 +45,25 @@ class CrowdMapConfig:
     #: Gaussian blur applied before the selection HOG, suppressing sensor
     #: noise so Scc reflects camera motion rather than shot noise.
     hog_blur_sigma: float = 2.0
+    #: Aggressive-profile key-frame pre-screen: frames whose strided
+    #: temporal gradient energy against the last surviving frame stays
+    #: below this are dropped *before* the gray→blur→HOG chain runs on
+    #: them. Consulted only under ``CROWDMAP_PLANNER=aggressive``; the
+    #: default (bit-reproducible) profile always processes every frame.
+    #: Calibrated on the bench substrate, where adjacent-frame energies
+    #: have median ~0.075: together with the heading guard below, 0.11
+    #: thins ~69% of frames while the full gated accuracy grid stays
+    #: inside its tolerance bands (0.12 drops Lab2's hallway F below
+    #: its band — walk thinning starves the LCSS anchor matches).
+    keyframe_prescreen_threshold: float = 0.11
+    #: Pre-screen coverage guard: a frame whose device heading moved at
+    #: least this far (radians) since the last surviving frame always
+    #: survives, whatever its pixel energy says. Spins rotate through
+    #: the full circle, so this bounds the angular gap the pre-screen
+    #: can open in a panorama sequence far below the stitching overlap
+    #: requirement; walks hold their heading and are thinned by pixel
+    #: energy alone. Aggressive profile only, like the threshold above.
+    keyframe_prescreen_heading: float = 0.15
 
     # ---- hierarchical key-frame comparison ---------------------------
     #: Weights of the cheap S1 combination: (color, shape, wavelet).

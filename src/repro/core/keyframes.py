@@ -23,14 +23,16 @@ import math
 from repro.backend.batching import plan_batches
 from repro.backend.cache import config_fingerprint, frame_digest, get_cache
 from repro.core.config import CrowdMapConfig, planner_mode
+from repro.geometry.primitives import angle_difference
 from repro.vision.color_histogram import chromaticity_histogram
-from repro.vision.filters import gaussian_blur, gaussian_blur_stack
+from repro.vision.filters import gaussian_blur_stack
+from repro.vision.framestack import adopt_gray_stack, frame_stack
 from repro.vision.hog import (
     hog_descriptor,
     hog_descriptor_stack,
     hog_similarity,
 )
-from repro.vision.image import to_grayscale, to_grayscale_stack
+from repro.vision.image import to_grayscale_stack
 from repro.vision.image import Frame
 from repro.vision.shape_matching import shape_signature
 from repro.vision.surf import SurfFeature, detect_and_describe, surf_detect_batch
@@ -65,6 +67,7 @@ class KeyFrame:
     wavelet: Optional[WaveletSignature] = None
     surf: Optional[List[SurfFeature]] = None
     _config: CrowdMapConfig = field(default_factory=CrowdMapConfig, repr=False)
+    _surf_matrix: Optional[tuple] = field(default=None, repr=False)
 
     @property
     def timestamp(self) -> float:
@@ -84,6 +87,7 @@ class KeyFrame:
         """
         if self.color is None or self.shape is None or self.wavelet is None:
             pixels = self.frame.pixels
+            stack = frame_stack(self.frame)
             self.color, self.shape, self.wavelet = get_cache().get_or_compute(
                 "s1_signatures",
                 frame_digest(self.frame),
@@ -92,8 +96,10 @@ class KeyFrame:
                     # night lighting, so the S1 color rung must not key on
                     # exposure.
                     chromaticity_histogram(pixels),
-                    shape_signature(pixels),
-                    wavelet_signature(pixels),
+                    # Shape and wavelet read the frame stack's shared
+                    # grayscale plane instead of reconverting.
+                    shape_signature(pixels, gray=stack.gray),
+                    wavelet_signature(pixels, gray=stack.gray),
                 ),
             )
 
@@ -111,9 +117,25 @@ class KeyFrame:
                     self.frame.pixels,
                     threshold=self._config.surf_response_threshold,
                     max_features=self._config.surf_max_features,
+                    stack=frame_stack(self.frame),
                 ),
             )
         return self.surf
+
+    def surf_matching_arrays(self) -> tuple:
+        """``(descriptor_matrix, squared row norms)`` of the SURF features.
+
+        A key-frame is matched against many partners; both halves of the
+        pairwise-distance expansion that depend on only one side are
+        memoized here per instance (computed by the exact expressions the
+        matcher would use, so reuse is bit-invisible).
+        """
+        if self._surf_matrix is None:
+            from repro.vision.matching import descriptor_norms
+            from repro.vision.surf import descriptor_matrix
+            matrix = descriptor_matrix(self.ensure_surf())
+            self._surf_matrix = (matrix, descriptor_norms(matrix))
+        return self._surf_matrix
 
 
 #: Injected by ``repro.dataflow`` (which sits below this layer's backend
@@ -151,6 +173,61 @@ def _blur_stack(stack: np.ndarray, config: CrowdMapConfig, variant: str) -> np.n
     return gaussian_blur_stack(stack, config.hog_blur_sigma)
 
 
+def _prescreen_energy(frame: Frame) -> np.ndarray:
+    """4x-strided single-channel plane used by the aggressive pre-screen.
+
+    Cheap by construction: a strided view (green channel for RGB — the
+    luma-dominant one), no conversion, no copy until the subtraction.
+    """
+    pixels = frame.pixels
+    if pixels.ndim == 3:
+        return pixels[::4, ::4, 1]
+    return pixels[::4, ::4]
+
+
+def prescreen_survivors(
+    frames: Sequence[Frame], config: CrowdMapConfig
+) -> List[Frame]:
+    """Thin near-duplicate frames before the HOG chain (aggressive only).
+
+    Sequential scan mirroring the selection loop's shape: a frame
+    survives when the mean absolute temporal gradient of its strided
+    plane against the *last survivor* reaches
+    ``config.keyframe_prescreen_threshold`` — i.e. the camera moved
+    enough that the frame could plausibly become a key-frame — or when
+    its device heading drifted ``config.keyframe_prescreen_heading``
+    radians from the last survivor's (the coverage guard: spin
+    sequences sweep the full circle, and panorama stitching needs the
+    angular gaps between surviving frames bounded well below the FOV
+    overlap requirement, whatever the pixel energy says). The first
+    and last frames always survive (selection keeps its endpoints).
+
+    This is the aggressive profile's approximation: a rejected frame
+    skips the full gray→blur→HOG chain entirely, so selection sees a
+    thinner sequence and its Scc decisions may differ from the default
+    profile's. Accuracy is gated by the scorecard tolerance bands, not
+    bit-identity. Callers must not invoke this in default mode.
+    """
+    threshold = config.keyframe_prescreen_threshold
+    if threshold <= 0.0 or len(frames) <= 2:
+        return list(frames)
+    heading_cap = config.keyframe_prescreen_heading
+    survivors = [frames[0]]
+    last_plane = _prescreen_energy(frames[0])
+    for frame in frames[1:-1]:
+        plane = _prescreen_energy(frame)
+        turned = heading_cap > 0.0 and abs(
+            angle_difference(frame.heading, survivors[-1].heading)
+        ) >= heading_cap
+        if turned or plane.shape != last_plane.shape or (
+            float(np.abs(plane - last_plane).mean()) >= threshold
+        ):
+            survivors.append(frame)
+            last_plane = plane
+    survivors.append(frames[-1])
+    return survivors
+
+
 def _frame_hog(frame: Frame, config: CrowdMapConfig) -> np.ndarray:
     """Blur + HOG for one frame, memoized by pixel content and HOG knobs.
 
@@ -164,11 +241,11 @@ def _frame_hog(frame: Frame, config: CrowdMapConfig) -> np.ndarray:
     ) + variant
 
     def compute() -> np.ndarray:
-        gray = to_grayscale(frame.pixels)
+        stack = frame_stack(frame)
         if variant:
-            smoothed = _blur_dispatcher.blur(gray, config.hog_blur_sigma)
+            smoothed = _blur_dispatcher.blur(stack.gray, config.hog_blur_sigma)
         else:
-            smoothed = gaussian_blur(gray, config.hog_blur_sigma)
+            smoothed = stack.blurred(config.hog_blur_sigma)
         return hog_descriptor(smoothed, cell_size=config.hog_cell_size)
 
     return get_cache().get_or_compute("hog", key, compute)
@@ -216,8 +293,13 @@ def _frame_hogs(
     for batch in batches:
         frame_indices = [misses[j] for j in batch.indices]
         stack = np.stack([frames[i].pixels for i in frame_indices])
+        gray_stack = to_grayscale_stack(stack)
+        # Seed each frame's grayscale cache from the batched conversion
+        # (per-lane bit-identical to converting alone) so later stages —
+        # S1 signatures, SURF, LSD — never reconvert the same pixels.
+        adopt_gray_stack([frames[i] for i in frame_indices], gray_stack)
         smoothed = _blur_stack(
-            to_grayscale_stack(stack), config,
+            gray_stack, config,
             _blur_variant(config, frames[frame_indices[0]].pixels.shape),
         )
         descriptors = hog_descriptor_stack(
@@ -269,6 +351,11 @@ def select_keyframes(
                 f"{frame.frame_index} has non-finite pixels (corrupt upload)",
                 session_id=session_id, frame_index=frame.frame_index,
             )
+    # Aggressive profile only: thin near-duplicate frames before any
+    # kernel runs on them. The default profile processes every frame
+    # (bit-identical to the pre-planner pipeline).
+    if planner_mode() == "aggressive":
+        frames = prescreen_survivors(frames, config)
     # Every frame's HOG is needed (selection compares each against the
     # last kept key-frame), so compute the whole sequence in one batch.
     hogs = _frame_hogs(frames, config)
@@ -338,6 +425,7 @@ def prefetch_surf(
             [pending[j].frame.pixels for j in batch.indices],
             threshold=config.surf_response_threshold,
             max_features=config.surf_max_features,
+            stacks=[frame_stack(pending[j].frame) for j in batch.indices],
         )
         for lane, j in enumerate(batch.indices):
             pending[j].surf = features[lane]

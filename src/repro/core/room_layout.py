@@ -24,7 +24,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from repro.core.config import CrowdMapConfig
+from repro.core.config import CrowdMapConfig, planner_mode
 from repro.core.panorama import RoomPanorama
 from repro.geometry.primitives import Point
 from repro.vision.filters import gaussian_blur
@@ -146,7 +146,9 @@ class RoomLayoutEstimator:
     # Evidence extraction
     # ------------------------------------------------------------------
 
-    def boundary_profile(self, pano: RoomPanorama) -> np.ndarray:
+    def boundary_profile(
+        self, pano: RoomPanorama, gray: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Distance-to-wall (m) per panorama column from wall junctions.
 
         For each column the wall-floor junction (strongest low vertical
@@ -157,10 +159,14 @@ class RoomLayoutEstimator:
         junction is visible are interpolated from their circular
         neighbours, and the profile is median-filtered to suppress
         per-column outliers (posters, scuffs).
+
+        ``gray`` optionally carries the panorama's precomputed grayscale
+        plane so the estimator's stages share one conversion.
         """
         from repro.world.floorplan_model import WALL_HEIGHT
 
-        gray = pano.panorama.grayscale()
+        if gray is None:
+            gray = pano.panorama.grayscale()
         gray = gaussian_blur(gray, 1.0)
         h, w = gray.shape
         horizon = (h - 1) / 2.0
@@ -243,14 +249,27 @@ class RoomLayoutEstimator:
         filtered = np.median(sliding_window_view(padded, 5), axis=1)
         return np.clip(filtered, 0.3, 40.0)
 
-    def detect_corners(self, pano: RoomPanorama, max_corners: int = 8) -> List[float]:
+    def detect_corners(
+        self,
+        pano: RoomPanorama,
+        max_corners: int = 8,
+        gray: Optional[np.ndarray] = None,
+    ) -> List[float]:
         """Corner azimuths from vertical line-segment evidence (Fig. 5).
 
         Runs the line-segment detector on the panorama and ranks panorama
         columns by their vertical-segment support (the Hough-style voting
-        of :func:`dominant_vertical_columns`).
+        of :func:`dominant_vertical_columns`). Under the aggressive
+        planner profile the detector's coarse support screen runs with
+        its tightened (accuracy-gated, not provable) thresholds.
         """
-        segments = detect_line_segments(pano.panorama.pixels)
+        if gray is None:
+            gray = pano.panorama.grayscale()
+        segments = detect_line_segments(
+            pano.panorama.pixels,
+            gray=gray,
+            aggressive=planner_mode() == "aggressive",
+        )
         ranked = dominant_vertical_columns(segments, pano.width)
         azimuths = []
         for column, _support in ranked[:max_corners]:
@@ -286,14 +305,36 @@ class RoomLayoutEstimator:
         sin_az = np.sin(azimuths)
         cos_t = np.cos(theta)  # (K,)
         sin_t = np.sin(theta)
-        # (cos, sin) of theta, theta+pi, theta+pi/2, theta-pi/2.
-        cos_n = np.stack([cos_t, -cos_t, -sin_t, sin_t], axis=1)  # (K, 4)
-        sin_n = np.stack([sin_t, -sin_t, cos_t, -cos_t], axis=1)
-        cosines = cos_n[:, :, None] * cos_az[None, None, :]  # (K, 4, C)
-        cosines += sin_n[:, :, None] * sin_az[None, None, :]
-        t = np.full(cosines.shape, np.inf)
-        np.divide(dists[:, :, None], cosines, out=t, where=cosines > 1e-6)
-        return t.min(axis=1)  # (K, C)
+        # The four normals' cosine planes are sign flips of two (K, C)
+        # planes: walls theta / theta+pi see +-(cos_t cos_az + sin_t
+        # sin_az), walls theta+-pi/2 see +-(-sin_t cos_az + cos_t
+        # sin_az). Each plane keeps the multiply-then-add-in-place order
+        # of the stacked (K, 4, C) form this replaces, and IEEE negation
+        # plus symmetric rounding make the flipped walls exact negations
+        # — so every per-element ratio below is unchanged, while the
+        # working set drops from one (K, 4, C) cube to (K, C) planes.
+        plane_a = cos_t[:, None] * cos_az[None, :]  # (K, C)
+        plane_a += sin_t[:, None] * sin_az[None, :]
+        plane_b = (-sin_t)[:, None] * cos_az[None, :]
+        plane_b += cos_t[:, None] * sin_az[None, :]
+        # Walls facing away (cosine <= 1e-6) must not win the min. Rather
+        # than an inf-filled buffer plus a where-mask, clamp the
+        # denominator: the four normals are exactly 90 deg apart, so some
+        # wall always has cosine >= sqrt(2)/2 and ratio <= 40/0.707 — a
+        # clamped entry's ratio is >= 0.4/1e-6 and can never be selected,
+        # making the min bit-identical while the division runs unmasked
+        # in the cosine buffer. The running minimum visits the walls in
+        # the same 0..3 order as the stacked form's axis-1 reduce (min is
+        # exact, so association cannot change the value anyway).
+        profile = None
+        for k, plane in enumerate((plane_a, -plane_a, plane_b, -plane_b)):
+            np.maximum(plane, 1e-6, out=plane)
+            np.divide(dists[:, k, None], plane, out=plane)
+            if profile is None:
+                profile = plane
+            else:
+                np.minimum(profile, plane, out=profile)
+        return profile  # (K, C)
 
     def _sample_candidates(
         self,
@@ -338,10 +379,21 @@ class RoomLayoutEstimator:
         profile: np.ndarray,
         thetas: np.ndarray,
         corner_azimuths: List[float],
+        log_profile: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Surface-consistency score per candidate (higher is better)."""
-        log_err = np.abs(np.log(predicted) - np.log(profile)[None, :])
-        consistency = -np.minimum(log_err, 1.0).mean(axis=1)
+        """Surface-consistency score per candidate (higher is better).
+
+        ``log_profile`` optionally carries a precomputed ``np.log(profile)``
+        (it is loop-invariant across sampling rounds). ``predicted`` is
+        consumed: the log-error chain runs in place on it.
+        """
+        if log_profile is None:
+            log_profile = np.log(profile)
+        log_err = np.log(predicted, out=predicted)
+        log_err -= log_profile[None, :]
+        np.abs(log_err, out=log_err)
+        np.minimum(log_err, 1.0, out=log_err)
+        consistency = -log_err.mean(axis=1)
         if corner_azimuths:
             # Bonus when a candidate's corners align with detected
             # vertical-line azimuths.
@@ -365,10 +417,13 @@ class RoomLayoutEstimator:
         """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
+        # Panorama.grayscale() memoizes, so both evidence stages below
+        # share one grayscale conversion.
         profile = self.boundary_profile(pano)
         c = len(profile)
         azimuths = np.arange(c) / c * TWO_PI
         corner_azimuths = self.detect_corners(pano)
+        log_profile = np.log(profile)
 
         best_params: Optional[Tuple[float, np.ndarray]] = None
         best_score = -np.inf
@@ -376,7 +431,9 @@ class RoomLayoutEstimator:
         def consider(thetas: np.ndarray, dists: np.ndarray) -> None:
             nonlocal best_params, best_score
             predicted = self._predict_profile(azimuths, thetas, dists)
-            scores = self._score(predicted, profile, thetas, corner_azimuths)
+            scores = self._score(
+                predicted, profile, thetas, corner_azimuths, log_profile
+            )
             k = int(np.argmax(scores))
             if scores[k] > best_score:
                 best_score = float(scores[k])
@@ -471,13 +528,18 @@ class RoomLayoutEstimator:
         n_total = max(200, cfg.layout_samples // 2)
         chunk = 2000
 
+        log_profile = np.log(profile)
+
         def consider(thetas, d_a, d_b):
             nonlocal best_score, best
             pred_a = self._predict_profile(azimuths, thetas, d_a)
             pred_b = self._predict_profile(azimuths, thetas, d_b)
-            predicted = np.maximum(pred_a, pred_b)
-            log_err = np.abs(np.log(predicted) - np.log(profile)[None, :])
-            scores = -np.minimum(log_err, 1.0).mean(axis=1)
+            predicted = np.maximum(pred_a, pred_b, out=pred_a)
+            log_err = np.log(predicted, out=predicted)
+            log_err -= log_profile[None, :]
+            np.abs(log_err, out=log_err)
+            np.minimum(log_err, 1.0, out=log_err)
+            scores = -log_err.mean(axis=1)
             k = int(np.argmax(scores))
             if scores[k] > best_score:
                 best_score = float(scores[k])

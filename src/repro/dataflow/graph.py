@@ -5,6 +5,11 @@ stage calls. Here the same computation is an explicit DAG whose nodes
 are the kernel-invocation groups the paper's Fig. 7c latency breakdown
 names, each keyed by a *content address*:
 
+- ``fs:<session>`` — the shared per-frame stack of derived planes
+  (grayscale, blurred, gradients, standardized, integral) every consumer
+  kernel reads. Key = session digest + the stack's config scope; the
+  key-frame and room nodes of the session depend on it, so a session
+  content change invalidates exactly its own stack subgraph.
 - ``kf:<session>`` — key-frame selection for one session. Key = digest
   of the session's frames + trajectory + capture metadata, scoped to the
   HOG/NCC config fields the selection reads.
@@ -38,8 +43,14 @@ from repro.dataflow.runtime import get_runtime
 #: Config fields each node kind reads — the scope of its fingerprint.
 #: Over-inclusion is safe (spurious invalidation); under-inclusion is a
 #: correctness bug (stale reuse), so every group errs toward inclusion.
+#: The shared frame stack (repro.vision.framestack) derives per-frame
+#: planes — grayscale, blurred, gradients, standardized, integral — whose
+#: only config input is the HOG blur sigma (every other plane is a pure
+#: function of the pixels).
+FRAMESTACK_FIELDS: Tuple[str, ...] = ("hog_blur_sigma",)
 KEYFRAME_FIELDS: Tuple[str, ...] = (
     "keyframe_ncc_threshold", "hog_cell_size", "hog_blur_sigma",
+    "keyframe_prescreen_threshold", "keyframe_prescreen_heading",
 )
 COMPARISON_FIELDS: Tuple[str, ...] = (
     "s1_weights", "s1_threshold", "surf_distance_threshold",
@@ -107,7 +118,7 @@ class Node:
     """One unit of plannable work, content-addressed by ``key``."""
 
     node_id: str              # stable human-readable id ("kf:u0-s1")
-    kind: str                 # "keyframes" | "pair" | "pathway" | "room" | "floorplan"
+    kind: str                 # "framestack" | "keyframes" | "pair" | "pathway" | "room" | "floorplan"
     stage: str                # timings bucket: "pathway" | "rooms" | "floorplan"
     key: Optional[str]        # content address; late-keyed nodes start None
     deps: Tuple[str, ...] = ()  # producer node_ids
@@ -132,6 +143,11 @@ class ReconstructionPlan:
     pathway_node: Node
     floorplan_node: Node
     comparison_fp: str
+    #: Per-session shared frame-stack nodes, keyed by session_id. First
+    #: class so the planner can account (and the cache can invalidate)
+    #: the shared-plane computation subgraph-locally: a session content
+    #: change re-runs exactly its own stack node, nothing else.
+    fs_nodes: Dict[str, Node] = field(default_factory=dict)
     nodes: Dict[str, Node] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -140,7 +156,8 @@ class ReconstructionPlan:
 
     def iter_nodes(self) -> List[Node]:
         return (
-            self.kf_nodes
+            list(self.fs_nodes.values())
+            + self.kf_nodes
             + list(self.pair_nodes.values())
             + [self.pathway_node]
             + self.room_nodes
@@ -164,8 +181,23 @@ def build_plan(
     srs = [s for s in sessions if s.task == "SRS"]
 
     kf_fp = rt.config_fingerprint(config, KEYFRAME_FIELDS)
+    fs_fp = rt.config_fingerprint(config, FRAMESTACK_FIELDS)
     comparison_fp = rt.config_fingerprint(config, COMPARISON_FIELDS)
     room_fp = rt.config_fingerprint(config, ROOM_FIELDS)
+
+    # One shared frame-stack node per session (SWS and SRS alike): the
+    # derived per-frame planes every consumer kernel reads. Its key is
+    # the session content plus the stack's own config scope, so a pixel
+    # change invalidates exactly that session's stack node.
+    fs_nodes = {
+        session.session_id: Node(
+            node_id=f"fs:{session.session_id}",
+            kind="framestack",
+            stage="pathway" if session.task == "SWS" else "rooms",
+            key=rt.value_fingerprint("fs", session_digest(session), fs_fp),
+        )
+        for session in sws + srs
+    }
 
     kf_nodes = [
         Node(
@@ -173,6 +205,7 @@ def build_plan(
             kind="keyframes",
             stage="pathway",
             key=rt.value_fingerprint("kf", session_digest(session), kf_fp),
+            deps=(fs_nodes[session.session_id].node_id,),
         )
         for session in sws
     ]
@@ -209,6 +242,9 @@ def build_plan(
             key=rt.value_fingerprint(
                 "room", *[session_digest(s) for s in group], room_fp
             ),
+            deps=tuple(
+                fs_nodes[s.session_id].node_id for s in group
+            ),
         )
         for group in groups
     ]
@@ -230,6 +266,7 @@ def build_plan(
         pathway_node=pathway_node,
         floorplan_node=floorplan_node,
         comparison_fp=comparison_fp,
+        fs_nodes=fs_nodes,
     )
 
 

@@ -143,23 +143,51 @@ class DataflowPlanner:
     def _serial(self) -> bool:
         return self.config.worker_backend == "serial"
 
-    def _fused_hog_pass(self, frame_lists: Sequence[Sequence[Any]]) -> None:
-        """One global gray→blur→HOG pass over every pending frame.
+    def _fused_hog_pass(
+        self,
+        sessions: Sequence[Any],
+        plan: Any,
+        cache: Any,
+        report: PlanReport,
+    ) -> None:
+        """One global gray→blur→HOG pass over every pending session.
 
         Only under the serial backend (process workers compute HOGs in
         their own address spaces) and only when caching is enabled (the
         pass communicates with selection through the ``hog`` cache
         slots). Sessions that fail the validity screen are left for
         selection to quarantine.
+
+        Each session's shared frame-stack node is accounted here: a
+        marker hit means a previous run already pushed this content
+        through the shared-plane chain (its per-frame cache slots are
+        warm, so the session is dropped from the fused batch); a miss
+        executes the pass and stores the marker. Under the aggressive
+        profile the key-frame pre-screen thins each session's frames
+        first, so the fused chain never runs on frames the selection is
+        about to drop anyway.
         """
-        from repro.core.keyframes import _frame_hogs
-        frames = [
-            frame
-            for frames in frame_lists if _frames_valid(frames)
-            for frame in frames
-        ]
+        from repro.core.keyframes import _frame_hogs, prescreen_survivors
+        aggressive = self.mode == "aggressive"
+        frames: List[Any] = []
+        pending_nodes: List[Node] = []
+        for session in sessions:
+            if not _frames_valid(session.frames):
+                continue
+            node = plan.fs_nodes.get(session.session_id)
+            if node is not None:
+                hit, _ = self._lookup(cache, node, report)
+                if hit:
+                    continue
+                pending_nodes.append(node)
+            session_frames = session.frames
+            if aggressive:
+                session_frames = prescreen_survivors(session_frames, self.config)
+            frames.extend(session_frames)
         if frames:
             _frame_hogs(frames, self.config)
+        for node in pending_nodes:
+            self._executed(cache, node, True, report)
 
     # -- phases --------------------------------------------------------
 
@@ -206,7 +234,7 @@ class DataflowPlanner:
         if kf_miss:
             miss_sessions = [plan.sws_sessions[i] for i in kf_miss]
             if fuse:
-                self._fused_hog_pass([s.frames for s in miss_sessions])
+                self._fused_hog_pass(miss_sessions, plan, cache, report)
             consume = None
             if config.surf_prefetch and not self._serial:
                 # Parallel backends keep the legacy stage pipelining:
@@ -319,9 +347,10 @@ class DataflowPlanner:
         if room_miss:
             miss_groups = [plan.srs_groups[i] for i in room_miss]
             if fuse:
-                self._fused_hog_pass([
-                    session.frames for group in miss_groups for session in group
-                ])
+                self._fused_hog_pass(
+                    [session for group in miss_groups for session in group],
+                    plan, cache, report,
+                )
             if quarantine:
                 successes, errors = rt.map_with_failures(
                     pipeline.build_room, miss_groups,

@@ -89,13 +89,26 @@ def chromaticity_histogram(image: np.ndarray, bins: int = 8) -> np.ndarray:
     means = np.where(means < 1e-6, 1.0, means)
     balanced = arr / means[None, None, :]
     total = balanced.sum(axis=2)
-    total = np.where(total < 1e-6, 1.0, total)
-    r = balanced[:, :, 0] / total
-    g = balanced[:, :, 1] / total
+    total[total < 1e-6] = 1.0
+    # The balanced buffer is consumed only by the two chromaticity
+    # channels, so the divisions and the bin scaling run in place on it
+    # (same op sequence as the fresh-buffer form, fewer temporaries).
+    r = np.divide(balanced[:, :, 0], total, out=balanced[:, :, 0])
+    g = np.divide(balanced[:, :, 1], total, out=balanced[:, :, 1])
     # Chromaticities concentrate near (1/3, 1/3); spread the useful range.
-    r_idx = np.clip(((r - 0.1) / 0.5 * bins).astype(int), 0, bins - 1)
-    g_idx = np.clip(((g - 0.1) / 0.5 * bins).astype(int), 0, bins - 1)
-    flat = (r_idx * bins + g_idx).ravel()
+    r -= 0.1
+    r /= 0.5
+    r *= bins
+    g -= 0.1
+    g /= 0.5
+    g *= bins
+    r_idx = r.astype(int)
+    np.clip(r_idx, 0, bins - 1, out=r_idx)
+    g_idx = g.astype(int)
+    np.clip(g_idx, 0, bins - 1, out=g_idx)
+    r_idx *= bins
+    r_idx += g_idx
+    flat = r_idx.ravel()
     # Weight by luminance: chromaticity is noise-dominated in dark pixels,
     # so letting bright pixels dominate makes the signature stable at night.
     weights = arr.mean(axis=2).ravel()

@@ -149,9 +149,6 @@ def sobel_gradients(image: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
 def gradient_magnitude_orientation(image: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Gradient magnitude and orientation (radians in ``[0, pi)``)."""
     gx, gy = sobel_gradients(image)
-    # sqrt(gx^2+gy^2) instead of hypot: Sobel responses on unit-range
-    # images cannot overflow, so hypot's scaling pass only costs time.
-    magnitude = np.sqrt(gx * gx + gy * gy)
     # Fold [-pi, pi] -> [0, pi) without np.mod's general divide path.
     # For x in (-pi, 0) this is the same `x + pi` that mod performs
     # (floor(x/pi) == -1), so results match bit for bit; the one input
@@ -159,4 +156,12 @@ def gradient_magnitude_orientation(image: np.ndarray) -> Tuple[np.ndarray, np.nd
     orientation = np.arctan2(gy, gx)
     np.add(orientation, np.pi, out=orientation, where=orientation < 0.0)
     orientation[orientation == np.pi] = 0.0
+    # sqrt(gx^2+gy^2) instead of hypot: Sobel responses on unit-range
+    # images cannot overflow, so hypot's scaling pass only costs time.
+    # The gradients are dead after this point, so the squares, their sum
+    # and the root all land in the gx/gy buffers (same op order).
+    np.multiply(gx, gx, out=gx)
+    np.multiply(gy, gy, out=gy)
+    gx += gy
+    magnitude = np.sqrt(gx, out=gx)
     return magnitude, orientation

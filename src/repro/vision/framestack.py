@@ -1,0 +1,126 @@
+"""Shared per-frame image-plane stack.
+
+Every cold-path kernel family starts from the same handful of derived
+planes — grayscale, Gaussian-blurred grayscale, gradient magnitude and
+orientation, and the (contrast-standardized) integral table — but the
+seed pipeline recomputed them per consumer: the HOG chain converted each
+frame to grayscale, then SURF converted it again, then the shape and
+wavelet signatures each converted it a third and fourth time.
+
+:class:`FrameStack` anchors those planes on the :class:`~repro.vision.
+image.Frame` itself, computed lazily and exactly once. Consumers that
+can share a plane take it as an optional argument (``shape_signature``,
+``wavelet_signature``, ``detect_and_describe``) or adopt it from a
+batched pass (:func:`adopt_gray_stack` writes each lane of a stacked
+grayscale conversion back onto its frame — bit-identical per lane, see
+:func:`~repro.vision.image.to_grayscale_stack`).
+
+Bit-exactness contract: every plane served by the stack is computed by
+the *same expression* the consumer would have used inline, so sharing is
+invisible to the artifact byte-for-byte. The dataflow planner surfaces
+stack materialization as first-class ``framestack`` graph nodes (see
+``repro.dataflow.graph``), so cache invalidation stays subgraph-local:
+a config change that only touches comparison thresholds skips every
+framestack node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.vision.filters import gaussian_blur, gradient_magnitude_orientation
+from repro.vision.image import Frame, to_grayscale
+from repro.vision.integral import integral_image
+
+
+def standardize_gray(gray: np.ndarray) -> np.ndarray:
+    """Range + contrast standardization of one grayscale plane.
+
+    The fast-Hessian detector's response scales with the square of image
+    contrast, so un-normalized night captures would lose most of their
+    interest points to a fixed threshold. This is the per-frame scalar
+    recipe ``repro.vision.surf`` applies before building integral
+    tables; it lives here so the stack and the detector share one
+    definition.
+    """
+    if gray.max() > 1.5:  # tolerate [0, 255] input
+        gray = gray / 255.0
+    std = gray.std()
+    if std > 1e-6:
+        gray = (gray - gray.mean()) / (4.0 * std) + 0.5
+    return gray
+
+
+class FrameStack:
+    """Lazily computed shared planes for one frame.
+
+    Construction is free; each plane is computed on first access and
+    memoized. The grayscale plane delegates to ``Frame.grayscale()`` so
+    a plane adopted from a batched conversion (``adopt_gray_stack``) is
+    found here too.
+    """
+
+    __slots__ = ("frame", "_blurred", "_gradients", "_standardized", "_integral")
+
+    def __init__(self, frame: Frame):
+        self.frame = frame
+        self._blurred: Dict[float, np.ndarray] = {}
+        self._gradients: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._standardized: Optional[np.ndarray] = None
+        self._integral: Optional[np.ndarray] = None
+
+    @property
+    def gray(self) -> np.ndarray:
+        """Grayscale plane (memoized on the frame itself)."""
+        return self.frame.grayscale()
+
+    def blurred(self, sigma: float) -> np.ndarray:
+        """Gaussian-blurred grayscale plane, memoized per sigma."""
+        plane = self._blurred.get(sigma)
+        if plane is None:
+            plane = gaussian_blur(self.gray, sigma)
+            self._blurred[sigma] = plane
+        return plane
+
+    def gradients(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(magnitude, orientation) of the unblurred grayscale plane."""
+        if self._gradients is None:
+            self._gradients = gradient_magnitude_orientation(self.gray)
+        return self._gradients
+
+    def standardized(self) -> np.ndarray:
+        """Contrast-standardized grayscale plane (the detector's input)."""
+        if self._standardized is None:
+            self._standardized = standardize_gray(self.gray)
+        return self._standardized
+
+    def integral(self) -> np.ndarray:
+        """Integral table of the standardized plane."""
+        if self._integral is None:
+            self._integral = integral_image(self.standardized())
+        return self._integral
+
+
+def frame_stack(frame: Frame) -> FrameStack:
+    """The frame's shared plane stack, memoized on the frame object."""
+    stack = getattr(frame, "_stack_cache", None)
+    if stack is None:
+        stack = FrameStack(frame)
+        frame._stack_cache = stack
+    return stack
+
+
+def adopt_gray_stack(frames, gray_stack: np.ndarray) -> None:
+    """Install each lane of a batched grayscale conversion on its frame.
+
+    ``gray_stack`` must be the ``to_grayscale_stack`` output for exactly
+    these frames, in order — each lane is bit-identical to converting
+    that frame alone, so later per-frame consumers (SURF, shape, wavelet
+    signatures) reuse it invisibly. Frames that already carry a gray
+    plane keep it (it is the same bytes by the content contract).
+    """
+    for lane, frame in enumerate(frames):  # crowdlint: allow[CM006] loop hands each frame object its own stack lane — per-object attribute writes, nothing to vectorize
+        if getattr(frame, "_gray_cache", None) is None:
+            frame._gray_cache = gray_stack[lane]

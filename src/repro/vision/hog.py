@@ -100,32 +100,37 @@ def hog_descriptor_stack(
     orientation = orientation[:, : cells_y * cell_size, : cells_x * cell_size]
 
     bin_width = np.pi / n_bins
-    # Soft assignment between the two nearest orientation bins.
-    scaled = orientation / bin_width - 0.5
+    # Soft assignment between the two nearest orientation bins. The
+    # orientation crop is consumed only here, so the scaling runs in
+    # place on it (same divide-then-subtract sequence, fewer temporaries).
+    scaled = np.divide(orientation, bin_width, out=orientation)
+    scaled -= 0.5
     lower_bin = np.floor(scaled).astype(int)
-    upper_frac = scaled - lower_bin
-    lower_frac = 1.0 - upper_frac
+    upper_frac = np.subtract(scaled, lower_bin, out=scaled)
+    lower_frac = np.subtract(1.0, upper_frac)
     # Orientation lies in [0, pi), so lower_bin is in [-1, n_bins - 1]
     # and upper_bin in [0, n_bins]: the wrap is a single conditional
-    # add/subtract, not a general modulo.
-    lower_bin_mod = np.where(lower_bin < 0, lower_bin + n_bins, lower_bin)
+    # add/subtract, not a general modulo. Both wraps run as masked
+    # in-place updates (identical values to the np.where form).
     upper_bin = lower_bin + 1
-    upper_bin_mod = np.where(upper_bin == n_bins, 0, upper_bin)
+    lower_bin[lower_bin < 0] += n_bins
+    upper_bin[upper_bin == n_bins] = 0
 
     # Histogram every (frame, cell, bin) triple in two bincount passes:
     # each pixel scatters its magnitude into flat index
-    # frame * n_slots + cell_index * n_bins + bin.
+    # frame * n_slots + cell_index * n_bins + bin. The frame + cell part
+    # is shared between the passes, so it is summed once.
     cell_base = _cell_base_grid(cells_y, cells_x, cell_size, n_bins)
     n_slots = cells_y * cells_x * n_bins
-    frame_base = (np.arange(n) * n_slots)[:, None, None]
+    base = (np.arange(n) * n_slots)[:, None, None] + cell_base
     hist = np.bincount(
-        (frame_base + cell_base + lower_bin_mod).ravel(),
-        weights=(magnitude * lower_frac).ravel(),
+        (base + lower_bin).ravel(),
+        weights=np.multiply(magnitude, lower_frac, out=lower_frac).ravel(),
         minlength=n * n_slots,
     )
     hist += np.bincount(
-        (frame_base + cell_base + upper_bin_mod).ravel(),
-        weights=(magnitude * upper_frac).ravel(),
+        (base + upper_bin).ravel(),
+        weights=np.multiply(magnitude, upper_frac, out=upper_frac).ravel(),
         minlength=n * n_slots,
     )
     hist = hist.reshape(n, cells_y, cells_x, n_bins)

@@ -81,6 +81,9 @@ class Frame:
     frame_index: int = 0
     user_id: str = ""
     _gray_cache: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    #: Memoized FrameStack of shared derived planes (see
+    #: repro.vision.framestack); typed loosely to avoid an import cycle.
+    _stack_cache: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def height(self) -> int:

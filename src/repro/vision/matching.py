@@ -33,15 +33,31 @@ class MatchResult:
         return len(self.pairs)
 
 
+def descriptor_norms(matrix: np.ndarray) -> np.ndarray:
+    """Per-row squared norms of a descriptor matrix, ``(N,)``.
+
+    Exactly the ``sum(a * a, axis=1)`` term of the pairwise-distance
+    expansion, split out so callers that compare one descriptor set
+    against many others (every key-frame pair shares its two halves) can
+    compute it once per set instead of once per pair.
+    """
+    return np.sum(matrix * matrix, axis=1)
+
+
 @shaped(a="(N,D)", b="(M,D)", out="(N,M) float64")
-def _pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def _pairwise_distances(
+    a: np.ndarray,
+    b: np.ndarray,
+    sq_a: np.ndarray = None,
+    sq_b: np.ndarray = None,
+) -> np.ndarray:
     """Euclidean distance matrix between rows of ``a`` (N,D) and ``b`` (M,D)."""
     # (x-y)^2 = x^2 + y^2 - 2xy, clamped against negative rounding error.
-    sq = (
-        np.sum(a * a, axis=1)[:, None]
-        + np.sum(b * b, axis=1)[None, :]
-        - 2.0 * (a @ b.T)
-    )
+    if sq_a is None:
+        sq_a = descriptor_norms(a)
+    if sq_b is None:
+        sq_b = descriptor_norms(b)
+    sq = sq_a[:, None] + sq_b[None, :] - 2.0 * (a @ b.T)
     return np.sqrt(np.maximum(sq, 0.0))
 
 
@@ -49,6 +65,8 @@ def match_descriptors(
     features_a: Sequence[SurfFeature],
     features_b: Sequence[SurfFeature],
     distance_threshold: float = 0.35,
+    precomputed_a: tuple = None,
+    precomputed_b: tuple = None,
 ) -> MatchResult:
     """Mutual-NN matching of two SURF feature sets with S2 scoring.
 
@@ -56,12 +74,19 @@ def match_descriptors(
     pair only counts as a good match when its descriptor distance is below
     it. The union size in Eq. 1 is ``|F1| + |F2| - |A|`` (matched pairs are
     identified across the two sets).
+
+    ``precomputed_a``/``precomputed_b`` optionally carry a
+    ``(descriptor_matrix, descriptor_norms)`` pair for either side. A
+    key-frame participates in many pairwise comparisons; reusing its
+    stacked matrix and squared row norms (the per-set halves of the
+    distance expansion) skips the per-call restacking without changing a
+    bit — the cached values are produced by the very same expressions.
     """
     if not features_a or not features_b:
         return MatchResult(pairs=(), similarity=0.0)
-    mat_a = descriptor_matrix(features_a)
-    mat_b = descriptor_matrix(features_b)
-    distances = _pairwise_distances(mat_a, mat_b)
+    mat_a, sq_a = precomputed_a or (descriptor_matrix(features_a), None)
+    mat_b, sq_b = precomputed_b or (descriptor_matrix(features_b), None)
+    distances = _pairwise_distances(mat_a, mat_b, sq_a, sq_b)
     nn_ab = distances.argmin(axis=1)  # for each f1, nearest f2
     nn_ba = distances.argmin(axis=0)  # for each f2, nearest f1
 

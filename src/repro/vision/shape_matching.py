@@ -20,16 +20,23 @@ from repro.vision.image import to_grayscale
 
 @shaped(image="(H,W)|(H,W,3)", out="(?,) float64")
 def shape_signature(
-    image: np.ndarray, grid: int = 4, n_bins: int = 8
+    image: np.ndarray,
+    grid: int = 4,
+    n_bins: int = 8,
+    gray: np.ndarray = None,
 ) -> np.ndarray:
     """Grid-of-edge-orientation-histograms signature, L1-normalized per cell.
 
     The image is split into ``grid`` x ``grid`` cells; each contributes an
     ``n_bins`` histogram of gradient orientations weighted by magnitude.
+    ``gray`` optionally carries the frame's shared grayscale plane (the
+    untouched ``to_grayscale(image)`` output) so the conversion is not
+    repeated per signature.
     """
     if grid < 1:
         raise ValueError("grid must be positive")
-    gray = to_grayscale(image)
+    if gray is None:
+        gray = to_grayscale(image)
     h, w = gray.shape
     if h < grid or w < grid:
         raise ValueError(f"image {gray.shape} smaller than grid {grid}")

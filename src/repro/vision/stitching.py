@@ -13,7 +13,7 @@ continuous 360-degree coverage).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -35,6 +35,11 @@ class Panorama:
 
     pixels: np.ndarray
     coverage: np.ndarray
+    #: Memoized grayscale plane; the layout estimator's evidence stages
+    #: (boundary profile, corner detection) share one conversion.
+    _gray_cache: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def height(self) -> int:
@@ -57,7 +62,9 @@ class Panorama:
         return float(np.count_nonzero(column_cover == 0) / self.width)
 
     def grayscale(self) -> np.ndarray:
-        return to_grayscale(self.pixels)
+        if self._gray_cache is None:
+            self._gray_cache = to_grayscale(self.pixels)
+        return self._gray_cache
 
 
 def wrap_to_2pi(theta: float) -> float:

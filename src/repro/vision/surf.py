@@ -15,12 +15,12 @@ implements the same pipeline shape on integral images:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
 from repro.core.contracts import shaped
+from repro.vision.framestack import standardize_gray
 from repro.vision.image import to_grayscale_stack
 from repro.vision.integral import DenseBoxSums, integral_image_stack
 
@@ -31,9 +31,14 @@ DEFAULT_FILTER_SIZES = (9, 15, 21, 27)
 _DXY_WEIGHT = 0.9
 
 
-@dataclass(frozen=True)
-class SurfFeature:
-    """One detected interest point with its descriptor."""
+class SurfFeature(NamedTuple):
+    """One detected interest point with its descriptor.
+
+    A ``NamedTuple`` rather than a frozen dataclass: construction is a
+    single tuple allocation instead of five guarded ``__setattr__`` calls,
+    which matters because the detector materializes hundreds of features
+    per frame (same field names, immutability and pickling behaviour).
+    """
 
     x: float
     y: float
@@ -46,7 +51,9 @@ class SurfFeature:
         return float(np.linalg.norm(self.descriptor - other.descriptor))
 
 
-def _hessian_response(table: np.ndarray, size: int) -> np.ndarray:
+def _hessian_response(
+    table: np.ndarray, size: int, dense: Optional[DenseBoxSums] = None
+) -> np.ndarray:
     """Approximated Hessian determinant for one box-filter ``size``.
 
     Uses the classic 3-lobe Dyy/Dxx and 4-lobe Dxy box layouts. ``size``
@@ -54,12 +61,19 @@ def _hessian_response(table: np.ndarray, size: int) -> np.ndarray:
     a single integral table or an ``(N, H+1, W+1)`` stack; every step is
     a slice combination or elementwise op, so each lane of a stacked
     response is bit-identical to the 2-D call on that lane.
+
+    ``dense`` may carry a pre-padded :class:`DenseBoxSums` of the same
+    table with margin >= ``size // 2 + 1``: edge padding is replication,
+    so a larger-margin pad serves every smaller filter's corner views
+    with exactly the same values, letting one pad feed the whole scale
+    stack.
     """
     lobe = size // 3
     half = size // 2
     # Every box below is anchored at every pixel; the padded dense view
     # serves them all through slicing (no fancy-index gathers).
-    dense = DenseBoxSums(table, margin=half + 1)
+    if dense is None or dense.margin < half + 1:
+        dense = DenseBoxSums(table, margin=half + 1)
 
     # Dyy: three stacked lobes of height `lobe`, middle weighted -2; the
     # filter is (2*lobe - 1) wide. whole - 3*middle realizes (+1, -2, +1).
@@ -115,23 +129,40 @@ def _non_max_suppression(
     if n_scales < 3 or h < 3 or w < 3:
         return empty
     center = stack[1:-1, 1:-1, 1:-1]
-    is_max = center > threshold
-    for ds in (-1, 0, 1):  # crowdlint: allow[CM006] loop is over the 26 stencil offsets; each compare is a full-array slice op
-        for dy in (-1, 0, 1):  # crowdlint: allow[CM006] loop is over the 26 stencil offsets; each compare is a full-array slice op
-            for dx in (-1, 0, 1):  # crowdlint: allow[CM006] loop is over the 26 stencil offsets; each compare is a full-array slice op
-                if ds == 0 and dy == 0 and dx == 0:
-                    continue
-                neighbour = stack[
-                    1 + ds : n_scales - 1 + ds,
-                    1 + dy : h - 1 + dy,
-                    1 + dx : w - 1 + dx,
-                ]
-                is_max &= center > neighbour
-                if not is_max.any():
-                    return empty
-    ss, ys, xs = np.nonzero(is_max)
-    values = center[ss, ys, xs]
-    return ss + 1, ys + 1, xs + 1, values
+    # Candidate pass: a separable 3x3x3 running maximum (6 full-array
+    # maximum ops instead of 26 shifted compares). The cube max includes
+    # the centre itself, so ``center >= cube_max`` keeps exactly the
+    # points that are >= all 26 neighbours — a superset of the strict
+    # maxima (a strict maximum IS the cube max). The sparse pass below
+    # then enforces the original strict-> predicate exactly, so ties are
+    # dropped just as the 26-compare loop dropped them.
+    m = np.maximum(stack[:-2], stack[1:-1])
+    np.maximum(m, stack[2:], out=m)
+    my = np.maximum(m[:, :-2], m[:, 1:-1])
+    np.maximum(my, m[:, 2:], out=my)
+    cube = np.maximum(my[:, :, :-2], my[:, :, 1:-1])
+    np.maximum(cube, my[:, :, 2:], out=cube)
+    candidates = center > threshold
+    candidates &= center >= cube
+    ss, ys, xs = np.nonzero(candidates)
+    if ss.size == 0:
+        return empty
+    # Strict over all 26 neighbours <=> the candidate's 3x3x3 cube holds
+    # exactly one entry (the centre) equal to its maximum. One flat
+    # gather of every candidate's cube checks all ties at once.
+    flat = stack.ravel()
+    base = (ss + 1) * (h * w) + (ys + 1) * w + (xs + 1)
+    d = np.array([-1, 0, 1])
+    cube_offsets = (
+        d[:, None, None] * (h * w) + d[None, :, None] * w + d[None, None, :]
+    ).ravel()
+    cubes = flat[base[:, None] + cube_offsets[None, :]]  # (K, 27)
+    centre_vals = center[ss, ys, xs]
+    keep = (
+        np.count_nonzero(cubes == centre_vals[:, None], axis=1) == 1
+    )
+    ss, ys, xs = ss[keep], ys[keep], xs[keep]
+    return ss + 1, ys + 1, xs + 1, centre_vals[keep]
 
 
 def _haar_responses(
@@ -144,16 +175,30 @@ def _haar_responses(
     the eight distinct corners once and combining them with the same
     grouping :func:`~repro.vision.integral.box_sum_grid` uses halves the
     gather traffic of four independent box-sum calls, bit-identically.
+
+    ``ys``/``xs`` may be separable anchor axes — ``(K, G)`` row and column
+    coordinates instead of full ``(K, G, G)`` grids. The clip/stride
+    arithmetic then runs once per axis and only the eight gathers see the
+    broadcast ``(K, G, G)`` index sums, which cuts the integer traffic by
+    ~G per corner without changing a single gathered value.
     """
     h, w = table.shape[0] - 1, table.shape[1] - 1
     stride = w + 1
     flat = table.ravel()
+    separable = ys.ndim == 2 and xs.ndim == 2
     ym = np.clip(ys - size, 0, h) * stride
     y0 = np.clip(ys, 0, h) * stride
     yp = np.clip(ys + size, 0, h) * stride
     xm = np.clip(xs - size, 0, w)
     x0 = np.clip(xs, 0, w)
     xp = np.clip(xs + size, 0, w)
+    if separable:
+        ym = ym[:, :, None]
+        y0 = y0[:, :, None]
+        yp = yp[:, :, None]
+        xm = xm[:, None, :]
+        x0 = x0[:, None, :]
+        xp = xp[:, None, :]
     t_mm = flat[ym + xm]
     t_m0 = flat[ym + x0]
     t_mp = flat[ym + xp]
@@ -187,17 +232,19 @@ def _describe_batch(
     for step in np.unique(steps):
         sel = np.nonzero(steps == step)[0]
         offsets = grid * step
-        sy = np.round(ys[sel, None, None] + offsets[None, :, None]).astype(int)
-        sx = np.round(xs[sel, None, None] + offsets[None, None, :]).astype(int)
-        sy = np.broadcast_to(sy, (len(sel), 20, 20))
-        sx = np.broadcast_to(sx, (len(sel), 20, 20))
+        # Sample rows/columns are separable: the grid at (y, x) is the
+        # outer product of a (K, 20) row axis and a (K, 20) column axis,
+        # so rounding/clipping runs per axis and only the gathers inside
+        # ``_haar_responses`` touch the full (K, 20, 20) grid.
+        sy = np.round(ys[sel, None] + offsets[None, :]).astype(int)
+        sx = np.round(xs[sel, None] + offsets[None, :]).astype(int)
         dx, dy = _haar_responses(table, sy, sx, int(step))
         # Gaussian weighting centred on the keypoint (sigma = 3.3 * scale).
         sigma = 3.3 * scales[sel]
         gy = np.exp(-0.5 * (offsets[None, :] / sigma[:, None]) ** 2)
         weight = gy[:, :, None] * gy[:, None, :]
-        dx = dx * weight
-        dy = dy * weight
+        dx *= weight
+        dy *= weight
         # 4x4 subregions of 5x5 samples each.
         dx_sub = dx.reshape(len(sel), 4, 5, 4, 5)
         dy_sub = dy.reshape(len(sel), 4, 5, 4, 5)
@@ -221,20 +268,12 @@ def _standardize_grays(grays: np.ndarray) -> np.ndarray:
 
     The decisions ([0, 255] rescale, contrast standardization) depend on
     per-frame scalars, so they run frame by frame over the stack — the
-    exact scalar sequence the single-frame path computes.
+    exact scalar sequence :func:`repro.vision.framestack.standardize_gray`
+    (the single-frame definition both paths share) computes.
     """
     out = np.empty_like(grays, dtype=np.float64)
     for i in range(grays.shape[0]):  # crowdlint: allow[CM006] per-frame scalar decisions (rescale, contrast) must run in single-frame order to stay bit-identical
-        gray = grays[i]
-        if gray.max() > 1.5:  # tolerate [0, 255] input
-            gray = gray / 255.0
-        # Contrast standardization: the Hessian determinant scales with
-        # the square of image contrast, so un-normalized night captures
-        # would lose most of their interest points to the fixed threshold.
-        std = gray.std()
-        if std > 1e-6:
-            gray = (gray - gray.mean()) / (4.0 * std) + 0.5
-        out[i] = gray
+        out[i] = standardize_gray(grays[i])
     return out
 
 
@@ -258,14 +297,10 @@ def _features_from_responses(
     # SURF maps filter size L to scale sigma = 1.2 * L / 9.
     scales = 1.2 * np.asarray(filter_sizes, dtype=np.float64)[ss] / 9.0
     descriptors = _describe_batch(table, ys, xs, scales)
+    xs_l, ys_l = xs.tolist(), ys.tolist()
+    scales_l, values_l = scales.tolist(), values.tolist()
     return [
-        SurfFeature(
-            x=float(xs[i]),
-            y=float(ys[i]),
-            scale=float(scales[i]),
-            response=float(values[i]),
-            descriptor=descriptors[i],
-        )
+        SurfFeature(xs_l[i], ys_l[i], scales_l[i], values_l[i], descriptors[i])
         for i in range(ss.size)
     ]
 
@@ -275,12 +310,19 @@ def detect_and_describe(
     threshold: float = 0.0001,
     max_features: int = 200,
     filter_sizes: Sequence[int] = DEFAULT_FILTER_SIZES,
+    stack=None,
 ) -> List[SurfFeature]:
     """Detect fast-Hessian interest points and compute their descriptors.
 
     ``threshold`` is on the normalized Hessian determinant; raise it to keep
     only stronger blobs. At most ``max_features`` strongest features are
     described (sorted by response), which bounds matching cost.
+
+    ``stack`` optionally carries the frame's shared
+    :class:`~repro.vision.framestack.FrameStack`, whose grayscale /
+    standardized / integral planes are reused instead of recomputed —
+    the planes are built by the exact expressions this path would use,
+    so the features are bit-identical either way.
 
     Delegates to :func:`surf_detect_batch` with a one-frame batch — the
     same pattern ``hog_descriptor`` uses — so there is exactly one
@@ -291,6 +333,7 @@ def detect_and_describe(
         threshold=threshold,
         max_features=max_features,
         filter_sizes=filter_sizes,
+        stacks=None if stack is None else [stack],
     )[0]
 
 
@@ -299,6 +342,7 @@ def surf_detect_batch(
     threshold: float = 0.0001,
     max_features: int = 200,
     filter_sizes: Sequence[int] = DEFAULT_FILTER_SIZES,
+    stacks=None,
 ) -> List[List[SurfFeature]]:
     """SURF features for many frames, batching the detector across frames.
 
@@ -310,20 +354,39 @@ def surf_detect_batch(
     bit-identical to ``detect_and_describe`` on that frame alone: the
     batched steps are slice/elementwise ops over independent lanes, and
     the per-frame scalar decisions are made frame by frame.
+
+    ``stacks`` optionally carries one FrameStack per image; the shared
+    grayscale/standardized/integral planes then replace this function's
+    own conversions. A stack's integral table is built per frame
+    (:func:`~repro.vision.integral.integral_image`), which is
+    bit-identical per lane to the stacked table build.
     """
     results: List[Optional[List[SurfFeature]]] = [None] * len(images)
     groups: Dict[tuple, List[int]] = {}
     for idx, image in enumerate(images):
         groups.setdefault(np.asarray(image).shape, []).append(idx)
     for indices in groups.values():
-        members = [np.asarray(images[idx]) for idx in indices]
-        # A one-frame group gets a broadcast view, not a stack copy.
-        stacked = members[0][None] if len(members) == 1 else np.stack(members)
-        grays = _standardize_grays(to_grayscale_stack(stacked))
-        tables = integral_image_stack(grays)
-        # (N, S, H, W): one vectorized Hessian pass per filter size.
+        if stacks is not None:
+            member_tables = [stacks[idx].integral() for idx in indices]
+            tables = (
+                member_tables[0][None]
+                if len(member_tables) == 1
+                else np.stack(member_tables)
+            )
+        else:
+            members = [np.asarray(images[idx]) for idx in indices]
+            # A one-frame group gets a broadcast view, not a stack copy.
+            stacked = (
+                members[0][None] if len(members) == 1 else np.stack(members)
+            )
+            grays = _standardize_grays(to_grayscale_stack(stacked))
+            tables = integral_image_stack(grays)
+        # (N, S, H, W): one vectorized Hessian pass per filter size, all
+        # sizes sharing a single max-margin edge pad of the tables.
+        shared = DenseBoxSums(tables, margin=max(filter_sizes) // 2 + 1)
         responses = np.stack(
-            [_hessian_response(tables, s) for s in filter_sizes], axis=1
+            [_hessian_response(tables, s, dense=shared) for s in filter_sizes],
+            axis=1,
         )
         for lane, idx in enumerate(indices):  # crowdlint: allow[CM006] NMS + description outputs are ragged per frame; only the lane loop scatters them
             results[idx] = _features_from_responses(

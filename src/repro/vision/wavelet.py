@@ -54,17 +54,21 @@ class WaveletSignature:
 
 
 def wavelet_signature(
-    image: np.ndarray, size: int = 64, keep: int = 60
+    image: np.ndarray, size: int = 64, keep: int = 60,
+    gray: np.ndarray = None,
 ) -> WaveletSignature:
     """Jacobs-style truncated signature of ``image``.
 
     The image is resampled to ``size`` x ``size``, Haar-transformed, and the
     ``keep`` largest-magnitude non-DC coefficients are retained as
-    (position, sign) pairs.
+    (position, sign) pairs. ``gray`` optionally carries the frame's
+    shared grayscale plane (the untouched ``to_grayscale(image)``
+    output) so the conversion is not repeated per signature.
     """
     if size & (size - 1):
         raise ValueError("size must be a power of two")
-    gray = to_grayscale(image)
+    if gray is None:
+        gray = to_grayscale(image)
     if gray.max() > 1.5:
         gray = gray / 255.0
     small = resize_nearest(gray, size, size)

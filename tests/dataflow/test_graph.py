@@ -122,10 +122,58 @@ class TestPlanKeys:
         for node in plan.kf_nodes:
             assert plan.nodes[node.node_id] is node
         n_nodes = (
-            len(plan.kf_nodes) + len(plan.pair_nodes)
-            + len(plan.room_nodes) + 2
+            len(plan.fs_nodes) + len(plan.kf_nodes)
+            + len(plan.pair_nodes) + len(plan.room_nodes) + 2
         )
         assert len(plan.nodes) == n_nodes
+
+    def test_framestack_nodes_cover_sessions_and_feed_consumers(self):
+        sessions = _sessions()
+        plan = build_plan(CrowdMapPipeline(CrowdMapConfig()), sessions)
+        assert set(plan.fs_nodes) == {s.session_id for s in sessions}
+        for node in plan.kf_nodes:
+            session_id = node.node_id.split(":", 1)[1]
+            assert f"fs:{session_id}" in node.deps
+        for node in plan.room_nodes:
+            for session_id in node.node_id[len("room:"):].split("+"):
+                assert f"fs:{session_id}" in node.deps
+
+    def test_framestack_scope_is_blur_sigma_only(self):
+        """The stack derives pure per-pixel planes; only the blur sigma
+        is a config input. A selection-threshold change must leave every
+        stack node warm while a sigma change invalidates them all."""
+        sessions = _sessions()
+        base = build_plan(CrowdMapPipeline(CrowdMapConfig()), sessions)
+        ncc = build_plan(
+            CrowdMapPipeline(CrowdMapConfig(keyframe_ncc_threshold=0.5)),
+            sessions,
+        )
+        assert {sid: n.key for sid, n in base.fs_nodes.items()} == {
+            sid: n.key for sid, n in ncc.fs_nodes.items()
+        }
+        sigma = build_plan(
+            CrowdMapPipeline(CrowdMapConfig(hog_blur_sigma=3.0)), sessions
+        )
+        for sid, node in base.fs_nodes.items():
+            assert node.key != sigma.fs_nodes[sid].key
+
+    def test_framestack_invalidation_is_session_local(self):
+        sessions = _sessions()
+        pipeline = CrowdMapPipeline(CrowdMapConfig())
+        before = build_plan(pipeline, sessions)
+        changed = list(sessions)
+        victim = changed[0]
+        changed[0] = dataclasses.replace(
+            victim,
+            frames=[
+                dataclasses.replace(f, pixels=f.pixels + 0.01)
+                for f in victim.frames
+            ],
+        )
+        after = build_plan(pipeline, changed)
+        for sid, node in before.fs_nodes.items():
+            same = node.key == after.fs_nodes[sid].key
+            assert same == (sid != victim.session_id)
 
     def test_session_digest_memoized_on_object(self):
         from repro.dataflow.graph import session_digest

@@ -104,6 +104,25 @@ class TestGate:
         capsys.readouterr()
 
 
+class TestAggressivePlannerBands:
+    """The aggressive profile's correctness contract is these bands.
+
+    ``CROWDMAP_PLANNER=aggressive`` trades bit-identity for speed
+    (approximate LSD masking, the key-frame pre-screen, FFT dispatch
+    under its own cache namespace); the gate that keeps it honest is the
+    same scorecard tolerance check the default profile passes. Scoring
+    the quick-grid cell against a default-mode baseline pins every
+    approximation inside the committed bands.
+    """
+
+    def test_aggressive_mode_stays_inside_bands(
+        self, baseline_path, monkeypatch_module, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("CROWDMAP_PLANNER", "aggressive")
+        assert eval_cli.main(["--check", str(baseline_path)]) == 0
+        assert "OK: within tolerance" in capsys.readouterr().out
+
+
 class TestCliPlumbing:
     def test_list_cells_runs_nothing(self, monkeypatch_module, capsys):
         assert eval_cli.main(["--list-cells"]) == 0
